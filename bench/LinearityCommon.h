@@ -1,0 +1,112 @@
+//===- bench/LinearityCommon.h - Shared Figure 5/6 machinery ----*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared machinery for the Figure 5/6 benches: collect (program size,
+/// counter) points over the benchmark suite plus a sweep of synthetic
+/// programs, and fit a through-origin regression to quantify the paper's
+/// linearity claim ("the technique maintains the linear runtime behavior
+/// of constant propagation experienced in practice").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_BENCH_LINEARITYCOMMON_H
+#define VRP_BENCH_LINEARITYCOMMON_H
+
+#include "benchsuite/Programs.h"
+#include "benchsuite/Synthetic.h"
+#include "driver/Pipeline.h"
+#include "support/Format.h"
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+struct LinearityPoint {
+  std::string Name;
+  unsigned Instructions = 0;
+  uint64_t Counter = 0;
+};
+
+/// Analyzes every suite program and ~40 synthetic programs, extracting one
+/// counter per program via \p Extract.
+template <typename ExtractFn>
+std::vector<LinearityPoint> collectLinearityPoints(ExtractFn Extract) {
+  std::vector<LinearityPoint> Points;
+  VRPOptions Opts;
+
+  auto analyze = [&](const std::string &Name, const std::string &Source) {
+    DiagnosticEngine Diags;
+    auto Compiled = compileToSSA(Source, Diags, Opts);
+    if (!Compiled) {
+      std::cerr << "skipping " << Name << ": " << Diags.firstError()
+                << "\n";
+      return;
+    }
+    RangeStats Total;
+    for (const auto &F : Compiled->IR->functions()) {
+      FunctionVRPResult R = propagateRanges(*F, Opts);
+      Total += R.Stats;
+    }
+    Points.push_back(
+        {Name, Compiled->IR->numInstructions(), Extract(Total)});
+  };
+
+  for (const BenchmarkProgram *P : allPrograms())
+    analyze(P->Name, P->Source);
+  for (unsigned SizeClass = 1; SizeClass <= 40; ++SizeClass)
+    analyze("synthetic" + std::to_string(SizeClass),
+            makeSyntheticProgram(SizeClass, 0xABCD + SizeClass));
+  return Points;
+}
+
+/// Prints the scatter, a through-origin least-squares slope and the R² of
+/// the linear fit.
+inline void reportLinearity(const std::vector<LinearityPoint> &Points,
+                            const std::string &Title,
+                            const std::string &CounterName) {
+  std::cout << "==== " << Title << " ====\n\n";
+  TextTable Table({"program", "instructions", CounterName, "ratio"});
+  double SumXY = 0, SumXX = 0, SumX = 0, SumY = 0;
+  for (const LinearityPoint &P : Points) {
+    Table.addRow({P.Name, std::to_string(P.Instructions),
+                  std::to_string(P.Counter),
+                  formatDouble(static_cast<double>(P.Counter) /
+                                   P.Instructions,
+                               2)});
+    SumXY += static_cast<double>(P.Instructions) * P.Counter;
+    SumXX += static_cast<double>(P.Instructions) * P.Instructions;
+    SumX += P.Instructions;
+    SumY += static_cast<double>(P.Counter);
+  }
+  Table.print(std::cout);
+
+  double N = Points.size();
+  double MeanX = SumX / N, MeanY = SumY / N;
+  double Sxx = SumXX - N * MeanX * MeanX;
+  double Sxy = SumXY - N * MeanX * MeanY;
+  double Slope = Sxx == 0 ? 0.0 : Sxy / Sxx;
+  double Intercept = MeanY - Slope * MeanX;
+  double SsTot = 0, SsRes = 0;
+  for (const LinearityPoint &P : Points) {
+    double Pred = Intercept + Slope * P.Instructions;
+    SsRes += (P.Counter - Pred) * (P.Counter - Pred);
+    SsTot += (P.Counter - MeanY) * (P.Counter - MeanY);
+  }
+  double R2 = SsTot == 0 ? 1.0 : 1.0 - SsRes / SsTot;
+  std::cout << "\nlinear fit: " << CounterName << " ≈ "
+            << formatDouble(Slope, 3) << " × instructions + "
+            << formatDouble(Intercept, 1) << ",  R² = "
+            << formatDouble(R2, 4) << "\n"
+            << "(paper §4: evaluation counts stay linear in program size)\n";
+}
+
+} // namespace vrp
+
+#endif // VRP_BENCH_LINEARITYCOMMON_H

@@ -1,0 +1,229 @@
+//===- bench/ablation.cpp - Design-choice ablations -------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Ablates the design choices DESIGN.md calls out (§3.4-§3.7 of the
+// paper): the subrange cap R, symbolic ranges, loop derivation, assertion
+// insertion, interprocedural analysis and the assumed symbolic trip
+// count. For each configuration: mean prediction error on both suites,
+// the share of branches predicted from ranges, and the evaluation-count
+// cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "eval/Reporting.h"
+#include "profile/Interpreter.h"
+#include "support/Format.h"
+
+#include <iostream>
+
+using namespace vrp;
+
+namespace {
+
+struct AblationRow {
+  std::string Name;
+  VRPOptions Opts;
+};
+
+/// Mean-of-benchmarks unweighted VRP error plus supporting numbers.
+struct AblationResult {
+  double IntMeanErr = 0.0;
+  double FpMeanErr = 0.0;
+  double RangeFraction = 0.0;
+  uint64_t Evaluations = 0;
+};
+
+AblationResult evaluateConfig(const VRPOptions &Opts) {
+  AblationResult Result;
+
+  auto suiteMean = [&](const std::vector<BenchmarkProgram> &Programs,
+                       double &MeanOut) {
+    std::vector<ErrorCdf> Cdfs;
+    double FractionSum = 0.0;
+    unsigned FractionCount = 0;
+    for (const BenchmarkProgram &P : Programs) {
+      BenchmarkEvaluation Eval = evaluateProgram(P, Opts);
+      if (!Eval.Ok) {
+        std::cerr << P.Name << ": " << Eval.Error << "\n";
+        continue;
+      }
+      Cdfs.push_back(Eval.Curves.at(PredictorKind::VRP).first);
+      FractionSum += Eval.VRPRangeFraction;
+      ++FractionCount;
+
+      // Count evaluation cost once per program (full VRP config).
+      DiagnosticEngine Diags;
+      auto Compiled = compileToSSA(P.Source, Diags, Opts);
+      if (Compiled) {
+        for (const auto &F : Compiled->IR->functions()) {
+          FunctionVRPResult R = propagateRanges(*F, Opts);
+          Result.Evaluations += R.Stats.ExprEvaluations;
+        }
+      }
+    }
+    MeanOut = ErrorCdf::average(Cdfs).meanError();
+    Result.RangeFraction += FractionCount ? FractionSum / FractionCount : 0;
+  };
+
+  suiteMean(integerSuite(), Result.IntMeanErr);
+  suiteMean(numericSuite(), Result.FpMeanErr);
+  Result.RangeFraction /= 2.0;
+  return Result;
+}
+
+} // namespace
+
+int main() {
+  std::vector<AblationRow> Rows;
+  auto add = [&](const std::string &Name, auto Mutate) {
+    VRPOptions Opts;
+    Opts.Interprocedural = true;
+    Mutate(Opts);
+    Rows.push_back({Name, Opts});
+  };
+
+  add("baseline (R=4, symbolic, derivation, asserts, interproc)",
+      [](VRPOptions &) {});
+  add("R=1 subrange", [](VRPOptions &O) { O.MaxSubRanges = 1; });
+  add("R=2 subranges", [](VRPOptions &O) { O.MaxSubRanges = 2; });
+  add("R=8 subranges", [](VRPOptions &O) { O.MaxSubRanges = 8; });
+  add("no symbolic ranges",
+      [](VRPOptions &O) { O.EnableSymbolicRanges = false; });
+  add("no loop derivation",
+      [](VRPOptions &O) { O.EnableDerivation = false; });
+  add("no assertions", [](VRPOptions &O) { O.EnableAssertions = false; });
+  add("intraprocedural only",
+      [](VRPOptions &O) { O.Interprocedural = false; });
+  add("assumed trip count 10",
+      [](VRPOptions &O) { O.AssumedSymbolicCount = 10; });
+  add("assumed trip count 1000",
+      [](VRPOptions &O) { O.AssumedSymbolicCount = 1000; });
+
+  std::cout << "==== Ablation: VRP design choices (mean |error| in "
+               "percentage points, lower is better) ====\n\n";
+  TextTable Table({"configuration", "int suite", "numeric suite",
+                   "range-predicted", "expr evals"});
+  for (const AblationRow &Row : Rows) {
+    AblationResult R = evaluateConfig(Row.Opts);
+    Table.addRow({Row.Name, formatDouble(R.IntMeanErr, 2) + " pp",
+                  formatDouble(R.FpMeanErr, 2) + " pp",
+                  formatPercent(R.RangeFraction),
+                  std::to_string(R.Evaluations)});
+  }
+  Table.print(std::cout);
+  std::cout << "\nExpected shape: symbolic ranges and derivation carry "
+               "most of the accuracy; R=1 hurts merges; heuristic-only "
+               "configurations degrade toward the Ball–Larus line.\n\n";
+
+  // ------------------------------------------------------------------
+  // Interprocedural showcase (§3.7). The main suites pass mostly
+  // data-dependent (⊥) arguments, so jump functions barely move their
+  // averages; these mini-programs are the contexts where parameter and
+  // return ranges — and procedure cloning — pay off.
+  // ------------------------------------------------------------------
+  struct ShowcaseProgram {
+    const char *Name;
+    const char *Source;
+  };
+  const ShowcaseProgram Showcase[] = {
+      {"const-args", R"(
+        fn process(limit, v) {
+          if (v < limit) {        // v in [0:999], limit 1000: certain.
+            return v;
+          }
+          return limit - 1;
+        }
+        fn main() {
+          var total = 0;
+          for (var i = 0; i < 2000; i = i + 1) {
+            total = total + process(1000, i % 1000);
+          }
+          print(total);
+          return total;
+        }
+      )"},
+      {"ret-ranges", R"(
+        fn classify(v) {
+          if (v < 0) { return 0; }
+          if (v > 9) { return 2; }
+          return 1;
+        }
+        fn main() {
+          var buckets = 0;
+          for (var i = 0; i < 3000; i = i + 1) {
+            var c = classify(i % 14 - 2);
+            if (c == 0) { buckets = buckets + 1; }
+            if (c >= 3) { buckets = buckets + 100; } // Provably never.
+          }
+          print(buckets);
+          return buckets;
+        }
+      )"},
+      {"cloning", R"(
+        fn walk(mode, n) {
+          var acc = 0;
+          for (var i = 0; i < n; i = i + 1) {
+            if (mode == 0) { acc = acc + i; } else { acc = acc + 2 * i; }
+          }
+          return acc;
+        }
+        fn main() {
+          var a = walk(0, 700);
+          var b = walk(1, 900);
+          print(a);
+          print(b);
+          return a + b;
+        }
+      )"},
+  };
+
+  std::cout << "==== Interprocedural analysis showcase (mean VRP |error|, "
+               "pp) ====\n\n";
+  TextTable Inter({"program", "intraprocedural", "interprocedural",
+                   "interproc + cloning"});
+  for (const ShowcaseProgram &S : Showcase) {
+    std::vector<std::string> Row{S.Name};
+    for (int Mode = 0; Mode < 3; ++Mode) {
+      VRPOptions Opts;
+      Opts.Interprocedural = Mode >= 1;
+      Opts.EnableCloning = Mode == 2;
+      // Hand-rolled protocol: cloning transforms the module, so the
+      // reference profile must be collected from the *transformed*
+      // program (predictions and ground truth must describe the same
+      // static branches).
+      DiagnosticEngine Diags;
+      auto Compiled = compileToSSA(S.Source, Diags, Opts);
+      if (!Compiled) {
+        Row.push_back("compile error");
+        continue;
+      }
+      Module &M = *Compiled->IR;
+      ModuleVRPResult R = runModuleVRP(M, Opts); // May clone.
+      BranchProbMap Probs;
+      for (const auto &F : M.functions()) {
+        FinalPredictionMap Final =
+            finalizePredictions(*F, *R.forFunction(F.get()));
+        for (const auto &[Branch, Pred] : Final)
+          Probs[Branch] = Pred.ProbTrue;
+      }
+      Interpreter Interp(M);
+      EdgeProfile Ref;
+      ExecutionResult Run = Interp.run({}, &Ref);
+      if (!Run.Ok) {
+        Row.push_back("run error");
+        continue;
+      }
+      ErrorCdf Cdf;
+      Cdf.addSamples(computeErrors(Probs, Ref), /*Weighted=*/false);
+      Row.push_back(formatDouble(Cdf.meanError(), 2) + " pp");
+    }
+    Inter.addRow(std::move(Row));
+  }
+  Inter.print(std::cout);
+  std::cout << "\nJump functions carry call-site constants into callees; "
+               "return ranges fold impossible caller branches; cloning "
+               "specializes divergent contexts (paper §3.7).\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+//===- bench/applications.cpp - Paper §6 applications ----------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Exercises the §6 applications over the whole benchmark suite and
+// reports aggregate effect:
+//   * constant/copy propagation subsumption + unreachable code removal,
+//   * array bounds check elimination,
+//   * probability-guided block layout (expected taken-transfer reduction),
+// with interpreter-verified semantics preservation for the transforming
+// pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "driver/Pipeline.h"
+#include "opt/BlockLayout.h"
+#include "opt/BoundsCheckElim.h"
+#include "opt/ConstCopyProp.h"
+#include "opt/HotOrdering.h"
+#include "profile/Interpreter.h"
+#include "support/Format.h"
+
+#include <iostream>
+
+using namespace vrp;
+
+int main() {
+  std::cout << "==== Paper §6 applications over the benchmark suite "
+               "====\n\n";
+  TextTable Table({"benchmark", "folded", "copies", "branches", "dead",
+                   "bounds elim", "layout gain", "semantics"});
+
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+
+  for (const BenchmarkProgram *P : allPrograms()) {
+    DiagnosticEngine Diags;
+    auto Compiled = compileToSSA(P->Source, Diags, Opts);
+    if (!Compiled) {
+      Table.addRow({P->Name, "compile error"});
+      continue;
+    }
+    Module &M = *Compiled->IR;
+
+    // Reference behavior before optimization.
+    Interpreter Before(M);
+    ExecutionResult RefBefore = Before.run(P->RefInput);
+
+    ModuleVRPResult VRP = runModuleVRP(M, Opts);
+
+    unsigned Folded = 0, Copies = 0, Branches = 0, Dead = 0;
+    BoundsCheckReport Bounds;
+    double TakenBefore = 0.0, TakenAfter = 0.0;
+
+    for (const auto &F : M.functions()) {
+      const FunctionVRPResult *FR = VRP.forFunction(F.get());
+      if (!FR)
+        continue;
+
+      // Bounds checks and layout are analyses: run before mutation.
+      BoundsCheckReport B = analyzeBoundsChecks(*F, *FR);
+      Bounds.Total += B.Total;
+      Bounds.FullyRedundant += B.FullyRedundant;
+      Bounds.LowerRedundant += B.LowerRedundant;
+      Bounds.UpperRedundant += B.UpperRedundant;
+      Bounds.Required += B.Required;
+
+      FinalPredictionMap Final = finalizePredictions(*F, *FR);
+      EdgeFractionFn Fraction = [&](const BasicBlock *From,
+                                    const BasicBlock *To) {
+        const auto *CBr = dyn_cast_or_null<CondBrInst>(From->terminator());
+        if (!CBr)
+          return 1.0;
+        auto It = Final.find(CBr);
+        double Prob = It == Final.end() ? 0.5 : It->second.ProbTrue;
+        return CBr->trueBlock() == To ? Prob : 1.0 - Prob;
+      };
+      TakenBefore +=
+          expectedTakenTransfers(*F, naturalOrder(*F), Fraction);
+      TakenAfter +=
+          expectedTakenTransfers(*F, computeLayout(*F, Fraction), Fraction);
+
+      ConstCopyStats S = applyConstCopyProp(*F, *FR);
+      Folded += S.ConstantsFolded;
+      Copies += S.CopiesPropagated;
+      Branches += S.BranchesFolded;
+      Dead += S.DeadInstructionsRemoved + S.BlocksRemoved;
+    }
+
+    // Semantics check: same output after the transforming pass.
+    Interpreter After(M);
+    ExecutionResult RefAfter = After.run(P->RefInput);
+    bool Same = RefBefore.Ok && RefAfter.Ok &&
+                RefBefore.Output == RefAfter.Output &&
+                RefBefore.ExitValue == RefAfter.ExitValue;
+
+    double Gain = TakenBefore > 0.0
+                      ? (TakenBefore - TakenAfter) / TakenBefore
+                      : 0.0;
+    Table.addRow({P->Name, std::to_string(Folded), std::to_string(Copies),
+                  std::to_string(Branches), std::to_string(Dead),
+                  formatPercent(Bounds.eliminatedFraction()),
+                  formatPercent(Gain), Same ? "preserved" : "CHANGED!"});
+  }
+  Table.print(std::cout);
+  std::cout << "\n'bounds elim' is the share of the 2-per-access checks "
+               "ranges discharge; 'layout gain' the expected reduction in "
+               "taken control transfers from probability-guided layout.\n\n";
+
+  // §6 "descending order of execution frequency": show the hottest blocks
+  // of a representative program, the order resource-allocating
+  // optimizations should process.
+  {
+    const BenchmarkProgram *P = findProgram("qsort");
+    DiagnosticEngine Diags;
+    auto Compiled = compileToSSA(P->Source, Diags, Opts);
+    if (Compiled) {
+      ModuleVRPResult VRP = runModuleVRP(*Compiled->IR, Opts);
+      std::vector<HotBlock> Ranked =
+          rankBlocksByFrequency(*Compiled->IR, VRP);
+      std::cout << "==== Hot-first ordering for 'qsort' (top 8 blocks of "
+                << Ranked.size() << ") ====\n\n";
+      TextTable Hot({"rank", "function", "block", "est. frequency"});
+      for (size_t I = 0; I < Ranked.size() && I < 8; ++I)
+        Hot.addRow({std::to_string(I + 1), Ranked[I].F->name(),
+                    Ranked[I].Block->name(),
+                    formatDouble(Ranked[I].Frequency, 1)});
+      Hot.print(std::cout);
+      std::cout << "\nOptimizations allocating limited resources process "
+                   "blocks in this order (paper §6, after coagulation).\n";
+    }
+  }
+  return 0;
+}

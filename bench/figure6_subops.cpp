@@ -1,0 +1,22 @@
+//===- bench/figure6_subops.cpp - Paper Figure 6 ---------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Regenerates Figure 6: number of expression-evaluation sub-operations
+// (per-subrange-pair range operations; up to R² per evaluation) versus
+// number of instructions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "LinearityCommon.h"
+
+using namespace vrp;
+
+int main() {
+  std::vector<LinearityPoint> Points = collectLinearityPoints(
+      [](const RangeStats &S) { return S.SubOps; });
+  reportLinearity(Points,
+                  "Figure 6: evaluation sub-operations vs program size",
+                  "sub-operations");
+  return 0;
+}

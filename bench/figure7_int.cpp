@@ -1,0 +1,30 @@
+//===- bench/figure7_int.cpp - Paper Figure 7 (SPECint92 analog) ----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Regenerates Figure 7: prediction-error CDFs over the integer suite for
+// execution profiling, Ball–Larus heuristics, VRP (with and without
+// symbolic ranges), the 90/50 rule and random prediction — unweighted and
+// weighted by branch execution count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "eval/Reporting.h"
+
+#include <iostream>
+
+using namespace vrp;
+
+int main() {
+  std::vector<const BenchmarkProgram *> Programs;
+  for (const BenchmarkProgram &P : integerSuite())
+    Programs.push_back(&P);
+
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  SuiteEvaluation Suite = evaluateSuite(Programs, Opts);
+  printSuiteReport(Suite, "Figure 7: integer suite (SPECint92 analog)",
+                   std::cout);
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- bench/micro_pipeline.cpp - Pipeline-stage microbenchmarks ----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// google-benchmark timings for each pipeline stage on a representative
+// suite program: parse+sema, irgen, SSA construction, assertion insertion
+// and the propagation engine itself. Backs the paper's practicality claim
+// with wall-clock numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "driver/Pipeline.h"
+#include "irgen/IRGen.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "ssa/AssertionInsertion.h"
+#include "ssa/SSAConstruction.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace vrp;
+
+namespace {
+
+const std::string &programSource(const std::string &Name) {
+  return findProgram(Name)->Source;
+}
+
+void BM_ParseAndSema(benchmark::State &State) {
+  const std::string &Source = programSource("qsort");
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto AST = parseVL(Source, Diags);
+    runSema(*AST, Diags);
+    benchmark::DoNotOptimize(AST);
+  }
+}
+BENCHMARK(BM_ParseAndSema);
+
+void BM_IRGen(benchmark::State &State) {
+  const std::string &Source = programSource("qsort");
+  DiagnosticEngine Diags;
+  auto AST = parseVL(Source, Diags);
+  runSema(*AST, Diags);
+  for (auto _ : State) {
+    DiagnosticEngine LocalDiags;
+    benchmark::DoNotOptimize(generateIR(*AST, LocalDiags));
+  }
+}
+BENCHMARK(BM_IRGen);
+
+void BM_SSAConstruction(benchmark::State &State) {
+  const std::string &Source = programSource("qsort");
+  DiagnosticEngine Diags;
+  auto AST = parseVL(Source, Diags);
+  runSema(*AST, Diags);
+  for (auto _ : State) {
+    State.PauseTiming();
+    DiagnosticEngine LocalDiags;
+    auto M = generateIR(*AST, LocalDiags);
+    State.ResumeTiming();
+    benchmark::DoNotOptimize(constructSSA(*M));
+  }
+}
+BENCHMARK(BM_SSAConstruction);
+
+void BM_Propagation(benchmark::State &State) {
+  DiagnosticEngine Diags;
+  auto Compiled = compileToSSA(programSource("qsort"), Diags);
+  for (auto _ : State) {
+    RangeStats Total;
+    for (const auto &F : Compiled->IR->functions()) {
+      FunctionVRPResult R = propagateRanges(*F, VRPOptions());
+      Total += R.Stats;
+    }
+    benchmark::DoNotOptimize(Total);
+  }
+}
+BENCHMARK(BM_Propagation);
+
+void BM_FullPipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    for (const char *Name : {"sort", "matmul", "queens"}) {
+      DiagnosticEngine Diags;
+      auto Compiled = compileToSSA(programSource(Name), Diags);
+      VRPOptions Opts;
+      Opts.Interprocedural = true;
+      benchmark::DoNotOptimize(runModuleVRP(*Compiled->IR, Opts));
+    }
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+} // namespace
+
+BENCHMARK_MAIN();

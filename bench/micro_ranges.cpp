@@ -1,0 +1,101 @@
+//===- bench/micro_ranges.cpp - Range operation microbenchmarks -----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// google-benchmark microbenchmarks of the range-arithmetic kernel: the
+// per-suboperation costs behind Figure 6 ("evaluation sub-operations take
+// essentially constant time").
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+#include "vrp/RangeOps.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace vrp;
+
+namespace {
+
+/// Builds a deterministic random range with \p Subs subranges.
+ValueRange makeRange(RNG &Rng, unsigned Subs, unsigned Cap) {
+  std::vector<SubRange> Pieces;
+  for (unsigned I = 0; I < Subs; ++I) {
+    int64_t Lo = Rng.nextInRange(-1000, 1000);
+    int64_t Span = Rng.nextInRange(0, 400);
+    int64_t Stride = Span == 0 ? 0 : Rng.nextInRange(1, 8);
+    if (Stride > 0)
+      Span -= Span % Stride;
+    Pieces.push_back(SubRange::numeric(1.0 / Subs, Lo, Lo + Span,
+                                       Span == 0 ? 0 : Stride));
+  }
+  return ValueRange::ranges(std::move(Pieces), Cap);
+}
+
+void BM_RangeAdd(benchmark::State &State) {
+  VRPOptions Opts;
+  Opts.MaxSubRanges = static_cast<unsigned>(State.range(0));
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(42);
+  ValueRange A = makeRange(Rng, Opts.MaxSubRanges, Opts.MaxSubRanges);
+  ValueRange B = makeRange(Rng, Opts.MaxSubRanges, Opts.MaxSubRanges);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Ops.add(A, B));
+}
+BENCHMARK(BM_RangeAdd)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_RangeMul(benchmark::State &State) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(43);
+  ValueRange A = makeRange(Rng, 4, 4);
+  ValueRange B = makeRange(Rng, 4, 4);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Ops.mul(A, B));
+}
+BENCHMARK(BM_RangeMul);
+
+void BM_RangeMeet(benchmark::State &State) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(44);
+  std::vector<std::pair<ValueRange, double>> Entries;
+  for (unsigned I = 0; I < 4; ++I)
+    Entries.push_back({makeRange(Rng, 3, 4), 0.25});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Ops.meetWeighted(Entries));
+}
+BENCHMARK(BM_RangeMeet);
+
+void BM_RangeCmpProb(benchmark::State &State) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(45);
+  ValueRange A = makeRange(Rng, 4, 4);
+  ValueRange B = makeRange(Rng, 4, 4);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Ops.cmpProb(CmpPred::LT, A, B, nullptr, nullptr));
+}
+BENCHMARK(BM_RangeCmpProb);
+
+void BM_RangeAssert(benchmark::State &State) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(46);
+  ValueRange A = makeRange(Rng, 4, 4);
+  ValueRange Bound = ValueRange::intConstant(100);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        Ops.applyAssert(A, CmpPred::LT, Bound, nullptr));
+}
+BENCHMARK(BM_RangeAssert);
+
+} // namespace
+
+BENCHMARK_MAIN();

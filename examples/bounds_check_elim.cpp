@@ -1,0 +1,137 @@
+//===- examples/bounds_check_elim.cpp - §6 bounds-check demo ---------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Demonstrates the paper's §6 application: proving array bounds checks
+// redundant from value ranges. Runs the same program with assertions on
+// and off to show where the provability comes from, and demonstrates the
+// range-based array alias test.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "opt/BoundsCheckElim.h"
+#include "support/Format.h"
+
+#include <iostream>
+
+using namespace vrp;
+
+namespace {
+
+const char *Source = R"(
+var table[100];
+
+fn main() {
+  // (a) Loop-bounded accesses: i is derived as {1[0:100:1]}, and the
+  // assert on the body edge clips it to [0:99] - both checks redundant.
+  for (var i = 0; i < 100; i = i + 1) {
+    table[i] = i * 2;
+  }
+
+  // (b) Guarded access: the guard proves 0 <= k < 100 on the hot path.
+  var k = input();
+  if (k >= 0 && k < 100) {
+    table[k] = 7;
+  }
+
+  // (c) Unguarded data-dependent access: nothing provable; the check is
+  // required (the interpreter would trap if it were out of bounds).
+  var j = input() % 100;
+  if (j < 0) {
+    j = j + 100;
+  }
+  table[j] = 9;
+
+  return table[0];
+}
+)";
+
+void analyze(const char *Title, bool WithAssertions) {
+  DiagnosticEngine Diags;
+  VRPOptions Opts;
+  Opts.EnableAssertions = WithAssertions;
+  auto Compiled = compileToSSA(Source, Diags, Opts);
+  if (!Compiled) {
+    Diags.printAll(std::cerr);
+    return;
+  }
+  const Function *Main = Compiled->IR->findFunction("main");
+  FunctionVRPResult R = propagateRanges(*Main, Opts);
+
+  std::cout << Title << "\n";
+  TextTable Table({"access (source line)", "index range", "verdict"});
+  for (const auto &B : Main->blocks()) {
+    for (const auto &I : B->instructions()) {
+      const MemoryObject *Obj = nullptr;
+      const Value *Index = nullptr;
+      if (const auto *L = dyn_cast<LoadInst>(I.get())) {
+        Obj = L->object();
+        Index = L->index();
+      } else if (const auto *S = dyn_cast<StoreInst>(I.get())) {
+        Obj = S->object();
+        Index = S->index();
+      } else {
+        continue;
+      }
+      ValueRange VR = R.rangeOf(Index);
+      const char *Verdict = "";
+      switch (classifyBoundsCheck(VR, Obj->size())) {
+      case BoundsCheckStatus::FullyRedundant:
+        Verdict = "both checks redundant";
+        break;
+      case BoundsCheckStatus::LowerRedundant:
+        Verdict = "lower check redundant";
+        break;
+      case BoundsCheckStatus::UpperRedundant:
+        Verdict = "upper check redundant";
+        break;
+      case BoundsCheckStatus::Required:
+        Verdict = "checks required";
+        break;
+      }
+      Table.addRow({"@" + Obj->name() + "[" + Index->displayName() +
+                        "] at " + I->loc().str(),
+                    VR.str(), Verdict});
+    }
+  }
+  Table.print(std::cout);
+  BoundsCheckReport Report = analyzeBoundsChecks(*Main, R);
+  std::cout << "eliminated " << formatPercent(Report.eliminatedFraction())
+            << " of the individual checks\n\n";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "==== Array bounds check elimination (paper §6) ====\n\n";
+  std::cout << Source << "\n";
+  analyze("--- with post-branch assertions (the paper's configuration) ---",
+          /*WithAssertions=*/true);
+  analyze("--- without assertions (guards become invisible) ---",
+          /*WithAssertions=*/false);
+
+  // Alias test (paper §6 "Alias Analysis for Array Accesses").
+  std::cout << "--- range-based array alias test ---\n";
+  VRPOptions Opts;
+  RangeStats Stats;
+  ValueRange FirstHalf = ValueRange::ranges(
+      {SubRange::numeric(1.0, 0, 49, 1)}, Opts.MaxSubRanges);
+  ValueRange SecondHalf = ValueRange::ranges(
+      {SubRange::numeric(1.0, 50, 99, 1)}, Opts.MaxSubRanges);
+  std::cout << "index ranges " << FirstHalf.str() << " and "
+            << SecondHalf.str() << ": "
+            << (rangesCannotOverlap(FirstHalf, SecondHalf)
+                    ? "cannot alias"
+                    : "may alias")
+            << "\n";
+  ValueRange Overlapping = ValueRange::ranges(
+      {SubRange::numeric(1.0, 40, 60, 1)}, Opts.MaxSubRanges);
+  std::cout << "index ranges " << FirstHalf.str() << " and "
+            << Overlapping.str() << ": "
+            << (rangesCannotOverlap(FirstHalf, Overlapping)
+                    ? "cannot alias"
+                    : "may alias")
+            << "\n";
+  return 0;
+}

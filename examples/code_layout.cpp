@@ -1,0 +1,148 @@
+//===- examples/code_layout.cpp - §6 code layout demo ----------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Demonstrates probability-guided block layout (paper §6 "Code Layout,
+// Cache Optimization & Inlining"): straightens the likely path of a
+// function with a rarely-taken error branch, then validates the expected
+// improvement against exact interpreter edge counts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "opt/BlockLayout.h"
+#include "profile/Interpreter.h"
+#include "support/Format.h"
+
+#include <iostream>
+#include <map>
+
+using namespace vrp;
+
+namespace {
+
+const char *Source = R"(
+var data[1024];
+
+fn main() {
+  var n = 1000;
+  var errors = 0;
+  var sum = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    data[i] = (i * 37) % 101;
+  }
+  for (var i = 0; i < n; i = i + 1) {
+    var v = data[i];
+    if (v == 100) {          // Rare: 9 of 1000 elements.
+      errors = errors + 1;   // Cold error path.
+      v = 0;
+    }
+    sum = sum + v;
+  }
+  print(sum);
+  print(errors);
+  return errors;
+}
+)";
+
+/// Counts actual taken (non-fall-through) transfers for a layout, using
+/// exact interpreter edge counts.
+double actualTakenTransfers(const Function &F, const BlockOrder &Order,
+                            const EdgeProfile &Profile) {
+  std::map<const BasicBlock *, const BasicBlock *> FallThrough;
+  for (size_t I = 0; I + 1 < Order.size(); ++I)
+    FallThrough[Order[I]] = Order[I + 1];
+
+  double Taken = 0.0;
+  for (const auto &B : F.blocks()) {
+    const Instruction *T = B->terminator();
+    auto countEdge = [&](const BasicBlock *To, double Executions) {
+      auto It = FallThrough.find(B.get());
+      if (It == FallThrough.end() || It->second != To)
+        Taken += Executions;
+    };
+    if (const auto *Br = dyn_cast_or_null<BrInst>(T)) {
+      // Executions of the block equal executions of its single out-edge;
+      // approximate with the branch counts of the nearest profiled
+      // branches is overkill here - unconditional edges execute once per
+      // block execution, which we do not track, so count them only when
+      // a conditional sibling gives us numbers. For this demo function
+      // every interesting edge is conditional.
+      (void)Br;
+    } else if (const auto *CBr = dyn_cast_or_null<CondBrInst>(T)) {
+      const BranchCounts *C = Profile.lookup(CBr);
+      if (!C)
+        continue;
+      countEdge(CBr->trueBlock(), static_cast<double>(C->Taken));
+      countEdge(CBr->falseBlock(),
+                static_cast<double>(C->Total - C->Taken));
+    }
+  }
+  return Taken;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "==== Probability-guided code layout (paper §6) ====\n\n";
+  std::cout << Source << "\n";
+
+  DiagnosticEngine Diags;
+  auto Compiled = compileToSSA(Source, Diags);
+  if (!Compiled) {
+    Diags.printAll(std::cerr);
+    return 1;
+  }
+  const Function *Main = Compiled->IR->findFunction("main");
+  FunctionVRPResult R = propagateRanges(*Main, VRPOptions());
+  FinalPredictionMap Final = finalizePredictions(*Main, R);
+
+  EdgeFractionFn Fraction = [&](const BasicBlock *From,
+                                const BasicBlock *To) {
+    const auto *CBr = dyn_cast_or_null<CondBrInst>(From->terminator());
+    if (!CBr)
+      return 1.0;
+    auto It = Final.find(CBr);
+    double P = It == Final.end() ? 0.5 : It->second.ProbTrue;
+    return CBr->trueBlock() == To ? P : 1.0 - P;
+  };
+
+  BlockOrder Natural = naturalOrder(*Main);
+  BlockOrder Optimized = computeLayout(*Main, Fraction);
+
+  auto printOrder = [](const char *Name, const BlockOrder &Order) {
+    std::cout << Name << ":";
+    for (const BasicBlock *B : Order)
+      std::cout << " " << B->name();
+    std::cout << "\n";
+  };
+  printOrder("natural layout  ", Natural);
+  printOrder("optimized layout", Optimized);
+
+  double EstBefore = expectedTakenTransfers(*Main, Natural, Fraction);
+  double EstAfter = expectedTakenTransfers(*Main, Optimized, Fraction);
+  std::cout << "\npredicted taken transfers per run: "
+            << formatDouble(EstBefore, 1) << " -> "
+            << formatDouble(EstAfter, 1) << " ("
+            << formatPercent((EstBefore - EstAfter) /
+                             std::max(EstBefore, 1e-9))
+            << " fewer)\n";
+
+  // Validate against reality.
+  Interpreter Interp(*Compiled->IR);
+  EdgeProfile Profile;
+  ExecutionResult Run = Interp.run({}, &Profile);
+  if (!Run.Ok) {
+    std::cerr << "execution failed: " << Run.Error << "\n";
+    return 1;
+  }
+  double ActBefore = actualTakenTransfers(*Main, Natural, Profile);
+  double ActAfter = actualTakenTransfers(*Main, Optimized, Profile);
+  std::cout << "actual taken conditional transfers: "
+            << formatDouble(ActBefore, 0) << " -> "
+            << formatDouble(ActAfter, 0) << " ("
+            << formatPercent((ActBefore - ActAfter) /
+                             std::max(ActBefore, 1e-9))
+            << " fewer)\n";
+  return 0;
+}

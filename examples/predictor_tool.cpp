@@ -1,0 +1,179 @@
+//===- examples/predictor_tool.cpp - Branch prediction CLI -----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// A command-line branch predictor over VL source:
+//
+//   predictor_tool [--predictor=vrp|ball-larus|90-50|random]
+//                  [--dump-ir] [--ranges] [file.vl]
+//
+// Without a file argument it analyzes a built-in demo program. For every
+// conditional branch it prints the predicted taken-probability and, for
+// VRP, whether the prediction came from ranges or the heuristic fallback.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "ir/IRPrinter.h"
+#include "support/Format.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace vrp;
+
+namespace {
+
+const char *DemoSource = R"(
+fn classify(score) {
+  if (score < 0) {
+    return 0 - 1;
+  }
+  if (score > 100) {
+    return 101;
+  }
+  return score;
+}
+
+fn main() {
+  var total = 0;
+  for (var i = 0; i < 50; i = i + 1) {
+    var s = classify(i * 3 - 10);
+    if (s >= 0 && s <= 100) {
+      total = total + s;
+    }
+  }
+  print(total);
+  return total;
+}
+)";
+
+void printUsage() {
+  std::cerr << "usage: predictor_tool [--predictor=vrp|ball-larus|90-50|"
+               "random] [--dump-ir] [--ranges] [file.vl]\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string PredictorName = "vrp";
+  bool DumpIR = false, DumpRanges = false;
+  std::string FileName;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--predictor=", 0) == 0)
+      PredictorName = Arg.substr(12);
+    else if (Arg == "--dump-ir")
+      DumpIR = true;
+    else if (Arg == "--ranges")
+      DumpRanges = true;
+    else if (Arg == "--help") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "unknown option: " << Arg << "\n";
+      printUsage();
+      return 1;
+    } else {
+      FileName = Arg;
+    }
+  }
+
+  std::string Source;
+  if (FileName.empty()) {
+    Source = DemoSource;
+    std::cout << "(no input file; analyzing the built-in demo)\n\n";
+  } else {
+    std::ifstream In(FileName);
+    if (!In) {
+      std::cerr << "error: cannot open " << FileName << "\n";
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  DiagnosticEngine Diags;
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  auto Compiled = compileToSSA(Source, Diags, Opts);
+  if (!Compiled) {
+    Diags.printAll(std::cerr);
+    return 1;
+  }
+  Module &M = *Compiled->IR;
+
+  if (DumpIR)
+    printModule(M, std::cout);
+
+  ModuleVRPResult VRP = runModuleVRP(M, Opts);
+
+  for (const auto &F : M.functions()) {
+    const FunctionVRPResult *FR = VRP.forFunction(F.get());
+    bool Any = false;
+    for (const auto &B : F->blocks())
+      if (isa<CondBrInst>(B->terminator()))
+        Any = true;
+    if (!Any)
+      continue;
+
+    std::cout << "fn @" << F->name() << ":\n";
+    TextTable Table({"line", "branch", "P(taken)", "source"});
+
+    FinalPredictionMap Final = finalizePredictions(*F, *FR);
+    BranchProbMap Alt;
+    if (PredictorName == "ball-larus")
+      Alt = predictBallLarus(*F);
+    else if (PredictorName == "90-50")
+      Alt = predictNinetyFifty(*F);
+    else if (PredictorName == "random")
+      Alt = predictRandom(*F, 1234);
+    else if (PredictorName != "vrp") {
+      std::cerr << "unknown predictor: " << PredictorName << "\n";
+      return 1;
+    }
+
+    for (const auto &B : F->blocks()) {
+      const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator());
+      if (!CBr)
+        continue;
+      double Prob;
+      std::string SourceTag;
+      if (PredictorName == "vrp") {
+        const FinalPrediction &P = Final.at(CBr);
+        Prob = P.ProbTrue;
+        SourceTag = P.Source == PredictionSource::Range ? "ranges"
+                    : P.Source == PredictionSource::Heuristic
+                        ? "heuristic fallback"
+                        : "unreachable";
+      } else {
+        Prob = Alt.at(CBr);
+        SourceTag = PredictorName;
+      }
+      std::string Desc =
+          instructionToString(*cast<Instruction>(CBr->cond()));
+      Table.addRow({CBr->loc().str(), Desc, formatPercent(Prob),
+                    SourceTag});
+    }
+    Table.print(std::cout);
+
+    if (DumpRanges && PredictorName == "vrp") {
+      std::cout << "  value ranges:\n";
+      for (const auto &B : F->blocks())
+        for (const auto &I : B->instructions()) {
+          if (I->type() == IRType::Void)
+            continue;
+          ValueRange VR = FR->rangeOf(I.get());
+          if (VR.isTop() || VR.isBottom())
+            continue;
+          std::cout << "    " << I->displayName() << " : " << VR.str()
+                    << "\n";
+        }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

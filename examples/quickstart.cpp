@@ -1,0 +1,73 @@
+//===- examples/quickstart.cpp - Five-minute tour ---------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The smallest end-to-end use of the library: compile a VL program to SSA,
+// run value range propagation, and read off branch probabilities and value
+// ranges.
+//
+//   $ ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "support/Format.h"
+
+#include <iostream>
+
+using namespace vrp;
+
+int main() {
+  // A program whose branching behavior is statically analyzable: the loop
+  // runs 100 times; the inner test is true for 30 of 100 values.
+  const char *Source = R"(
+    fn main() {
+      var hits = 0;
+      for (var i = 0; i < 100; i = i + 1) {
+        if (i % 10 < 3) {     // True for residues 0, 1 and 2.
+          hits = hits + 1;
+        }
+      }
+      print(hits);
+      return hits;
+    }
+  )";
+
+  // 1. Compile: parse -> sema -> irgen -> SSA -> assertion insertion.
+  DiagnosticEngine Diags;
+  std::unique_ptr<CompiledProgram> Compiled = compileToSSA(Source, Diags);
+  if (!Compiled) {
+    Diags.printAll(std::cerr);
+    return 1;
+  }
+
+  // 2. Propagate weighted value ranges (the paper's algorithm).
+  const Function *Main = Compiled->IR->findFunction("main");
+  FunctionVRPResult Result = propagateRanges(*Main, VRPOptions());
+
+  // 3. Combine with the heuristic fallback and inspect predictions.
+  FinalPredictionMap Predictions = finalizePredictions(*Main, Result);
+
+  std::cout << "branch predictions for main():\n";
+  for (const auto &[Branch, Pred] : Predictions) {
+    const auto *Cmp = cast<CmpInst>(Branch->cond());
+    std::cout << "  " << Cmp->lhs()->displayName() << " "
+              << cmpPredSpelling(Cmp->pred()) << " "
+              << Cmp->rhs()->displayName() << "  ->  "
+              << formatPercent(Pred.ProbTrue) << " taken  ("
+              << (Pred.Source == PredictionSource::Range
+                      ? "from value ranges"
+                      : "heuristic fallback")
+              << ")\n";
+  }
+
+  std::cout << "\nvalue range of each branch condition's left operand:\n";
+  for (const auto &[Branch, Pred] : Predictions) {
+    const auto *Cmp = cast<CmpInst>(Branch->cond());
+    std::cout << "  " << Cmp->lhs()->displayName() << " : "
+              << Result.rangeOf(Cmp->lhs()).str() << "\n";
+  }
+  std::cout << "\nExpected: the loop test predicts ~99% taken "
+               "(100 of 101 evaluations) and the inner test 30%.\n";
+  return 0;
+}

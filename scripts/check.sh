@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Build, test and regenerate every paper figure in one shot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do "$b"; done

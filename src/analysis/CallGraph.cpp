@@ -1,0 +1,131 @@
+//===- analysis/CallGraph.cpp - Call graph and SCC order -------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vrp;
+
+unsigned CallGraph::indexOf(const Function *F) const {
+  for (unsigned I = 0; I < M.functions().size(); ++I)
+    if (M.functions()[I].get() == F)
+      return I;
+  assert(false && "function not in module");
+  return 0;
+}
+
+CallGraph::CallGraph(const Module &M) : M(M) {
+  unsigned N = M.functions().size();
+  Sites.resize(N);
+  for (unsigned I = 0; I < N; ++I) {
+    const Function *F = M.functions()[I].get();
+    for (const auto &B : F->blocks())
+      for (const auto &Inst : B->instructions())
+        if (const auto *Call = dyn_cast<CallInst>(Inst.get()))
+          Sites[I].push_back(Call);
+  }
+
+  // Tarjan SCC (iterative).
+  std::vector<unsigned> Index(N, ~0u), LowLink(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<unsigned> Stack;
+  SccOf.assign(N, ~0u);
+  unsigned NextIndex = 0;
+
+  struct Frame {
+    unsigned Node;
+    size_t NextCallee = 0;
+    std::vector<unsigned> Callees;
+  };
+
+  auto calleeIndices = [&](unsigned I) {
+    std::vector<unsigned> Result;
+    for (const CallInst *Call : Sites[I])
+      Result.push_back(indexOf(Call->callee()));
+    return Result;
+  };
+
+  for (unsigned Start = 0; Start < N; ++Start) {
+    if (Index[Start] != ~0u)
+      continue;
+    std::vector<Frame> Frames;
+    Frames.push_back({Start, 0, calleeIndices(Start)});
+    Index[Start] = LowLink[Start] = NextIndex++;
+    Stack.push_back(Start);
+    OnStack[Start] = true;
+
+    while (!Frames.empty()) {
+      Frame &Top = Frames.back();
+      if (Top.NextCallee < Top.Callees.size()) {
+        unsigned W = Top.Callees[Top.NextCallee++];
+        if (Index[W] == ~0u) {
+          Index[W] = LowLink[W] = NextIndex++;
+          Stack.push_back(W);
+          OnStack[W] = true;
+          Frames.push_back({W, 0, calleeIndices(W)});
+        } else if (OnStack[W]) {
+          LowLink[Top.Node] = std::min(LowLink[Top.Node], Index[W]);
+        }
+        continue;
+      }
+      // Finished Top.
+      unsigned V = Top.Node;
+      if (LowLink[V] == Index[V]) {
+        std::vector<const Function *> Component;
+        unsigned W;
+        do {
+          W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SccOf[W] = SCCs.size();
+          Component.push_back(M.functions()[W].get());
+        } while (W != V);
+        SCCs.push_back(std::move(Component));
+      }
+      Frames.pop_back();
+      if (!Frames.empty())
+        LowLink[Frames.back().Node] =
+            std::min(LowLink[Frames.back().Node], LowLink[V]);
+    }
+  }
+  // Tarjan emits SCCs with callees before callers already (an SCC is
+  // completed only after everything it reaches): the natural emission
+  // order is the bottom-up order we want.
+}
+
+const std::vector<const CallInst *> &
+CallGraph::callSites(const Function *F) const {
+  return Sites[indexOf(F)];
+}
+
+std::vector<const Function *> CallGraph::callees(const Function *F) const {
+  std::vector<const Function *> Result;
+  for (const CallInst *Call : Sites[indexOf(F)])
+    Result.push_back(Call->callee());
+  return Result;
+}
+
+std::vector<const CallInst *>
+CallGraph::callersOf(const Function *Callee) const {
+  std::vector<const CallInst *> Result;
+  for (const auto &SiteList : Sites)
+    for (const CallInst *Call : SiteList)
+      if (Call->callee() == Callee)
+        Result.push_back(Call);
+  return Result;
+}
+
+bool CallGraph::isRecursive(const Function *F) const {
+  unsigned I = indexOf(F);
+  if (SCCs[SccOf[I]].size() > 1)
+    return true;
+  for (const CallInst *Call : Sites[I])
+    if (Call->callee() == F)
+      return true;
+  return false;
+}

@@ -1,0 +1,58 @@
+//===- analysis/CallGraph.h - Call graph and SCC order ----------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module call graph with Tarjan SCCs. Interprocedural VRP (§3.7)
+/// walks SCCs bottom-up (callees before callers) and gives ⊥ parameter
+/// ranges to functions participating in recursion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_ANALYSIS_CALLGRAPH_H
+#define VRP_ANALYSIS_CALLGRAPH_H
+
+#include "ir/Module.h"
+
+#include <vector>
+
+namespace vrp {
+
+/// Call graph over a module's functions.
+class CallGraph {
+public:
+  explicit CallGraph(const Module &M);
+
+  /// Call sites in \p F (every CallInst, in block order).
+  const std::vector<const CallInst *> &callSites(const Function *F) const;
+
+  /// Direct callees of \p F (with duplicates for multiple sites).
+  std::vector<const Function *> callees(const Function *F) const;
+
+  /// Call sites across the whole module that target \p Callee.
+  std::vector<const CallInst *> callersOf(const Function *Callee) const;
+
+  /// SCCs in bottom-up order: every callee's SCC appears before its
+  /// callers' (reverse topological order of the condensation).
+  const std::vector<std::vector<const Function *>> &sccsBottomUp() const {
+    return SCCs;
+  }
+
+  /// True when \p F is in a nontrivial SCC or calls itself.
+  bool isRecursive(const Function *F) const;
+
+private:
+  const Module &M;
+  std::vector<std::vector<const CallInst *>> Sites; ///< By function index.
+  std::vector<unsigned> FnIndex;                    ///< Function -> index.
+  std::vector<std::vector<const Function *>> SCCs;
+  std::vector<unsigned> SccOf; ///< Function index -> SCC index.
+
+  unsigned indexOf(const Function *F) const;
+};
+
+} // namespace vrp
+
+#endif // VRP_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,58 @@
+//===- analysis/DFS.cpp - DFS numbering and back edges ---------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DFS.h"
+
+#include <cassert>
+
+using namespace vrp;
+
+DFSInfo::DFSInfo(const Function &F) {
+  unsigned N = F.numBlocks();
+  PostNum.assign(N, 0);
+  enum Color { White, Gray, Black };
+  std::vector<Color> Colors(N, White);
+  std::vector<BasicBlock *> PostOrder;
+  PostOrder.reserve(N);
+
+  // Iterative DFS keeping an explicit successor cursor per frame so we can
+  // classify edges the moment we traverse them.
+  struct Frame {
+    BasicBlock *Block;
+    std::vector<BasicBlock *> Succs;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack;
+  BasicBlock *Entry = F.entry();
+  assert(Entry && "function has no entry block");
+  Colors[Entry->id()] = Gray;
+  Stack.push_back({Entry, Entry->succs()});
+
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Next == Top.Succs.size()) {
+      Colors[Top.Block->id()] = Black;
+      PostNum[Top.Block->id()] = PostOrder.size();
+      PostOrder.push_back(Top.Block);
+      Stack.pop_back();
+      continue;
+    }
+    BasicBlock *Succ = Top.Succs[Top.Next++];
+    switch (Colors[Succ->id()]) {
+    case White:
+      Colors[Succ->id()] = Gray;
+      Stack.push_back({Succ, Succ->succs()});
+      break;
+    case Gray:
+      BackEdges.insert({Top.Block->id(), Succ->id()});
+      break;
+    case Black:
+      break;
+    }
+  }
+
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+}

@@ -1,0 +1,54 @@
+//===- analysis/DFS.h - DFS numbering and back edges ------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Depth-first traversal of a function CFG: preorder/postorder numbers,
+/// reverse postorder, and the back-edge set. The paper identifies
+/// loop-carried φs by "one or more of the node's in-edges are back edges
+/// (as identified by a depth first traversal from the start node)" — this
+/// is that traversal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_ANALYSIS_DFS_H
+#define VRP_ANALYSIS_DFS_H
+
+#include "ir/Function.h"
+
+#include <set>
+#include <vector>
+
+namespace vrp {
+
+/// DFS result over a function's CFG. Block ids index the number vectors.
+class DFSInfo {
+public:
+  explicit DFSInfo(const Function &F);
+
+  /// Blocks in reverse postorder (entry first).
+  const std::vector<BasicBlock *> &rpo() const { return RPO; }
+
+  /// True when the CFG edge From->To is a DFS back edge.
+  bool isBackEdge(const BasicBlock *From, const BasicBlock *To) const {
+    return BackEdges.count({From->id(), To->id()}) != 0;
+  }
+
+  unsigned postOrderNumber(const BasicBlock *B) const {
+    return PostNum[B->id()];
+  }
+
+  /// Number of back edges found.
+  unsigned numBackEdges() const { return BackEdges.size(); }
+
+private:
+  std::vector<BasicBlock *> RPO;
+  std::vector<unsigned> PostNum;
+  std::set<std::pair<unsigned, unsigned>> BackEdges;
+};
+
+} // namespace vrp
+
+#endif // VRP_ANALYSIS_DFS_H

@@ -1,0 +1,223 @@
+//===- analysis/Dominators.cpp - (Post)dominator trees ---------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Implements Cooper, Harvey & Kennedy, "A Simple, Fast Dominance
+// Algorithm" (2001) over an index-based graph so the same kernel serves
+// dominators and postdominators.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace vrp;
+
+namespace {
+
+/// Index-graph CHK kernel. \p Preds are predecessor lists, \p RPO a reverse
+/// postorder starting at \p Root (unreachable nodes absent). Returns the
+/// idom array (idom[Root] == Root; unreachable nodes get ~0u).
+std::vector<unsigned>
+computeIdoms(unsigned NumNodes, unsigned Root,
+             const std::vector<std::vector<unsigned>> &Preds,
+             const std::vector<unsigned> &RPO) {
+  constexpr unsigned Undef = ~0u;
+  std::vector<unsigned> Idom(NumNodes, Undef);
+  std::vector<unsigned> PostNum(NumNodes, Undef);
+  for (unsigned I = 0; I < RPO.size(); ++I)
+    PostNum[RPO[I]] = RPO.size() - 1 - I;
+
+  auto intersect = [&](unsigned A, unsigned B) {
+    while (A != B) {
+      while (PostNum[A] < PostNum[B])
+        A = Idom[A];
+      while (PostNum[B] < PostNum[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  Idom[Root] = Root;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned Node : RPO) {
+      if (Node == Root)
+        continue;
+      unsigned NewIdom = Undef;
+      for (unsigned P : Preds[Node]) {
+        if (Idom[P] == Undef)
+          continue; // Not yet processed (or unreachable).
+        NewIdom = NewIdom == Undef ? P : intersect(P, NewIdom);
+      }
+      assert(NewIdom != Undef && "reachable node with no processed pred");
+      if (Idom[Node] != NewIdom) {
+        Idom[Node] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  return Idom;
+}
+
+/// RPO over an index graph via iterative DFS.
+std::vector<unsigned>
+computeRPO(unsigned Root, const std::vector<std::vector<unsigned>> &Succs) {
+  std::vector<unsigned> PostOrder;
+  std::vector<char> Visited(Succs.size(), 0);
+  struct Frame {
+    unsigned Node;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack{{Root, 0}};
+  Visited[Root] = 1;
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Next == Succs[Top.Node].size()) {
+      PostOrder.push_back(Top.Node);
+      Stack.pop_back();
+      continue;
+    }
+    unsigned S = Succs[Top.Node][Top.Next++];
+    if (!Visited[S]) {
+      Visited[S] = 1;
+      Stack.push_back({S, 0});
+    }
+  }
+  return {PostOrder.rbegin(), PostOrder.rend()};
+}
+
+/// In/out numbering of a tree given per-node child lists.
+void numberTree(unsigned Root,
+                const std::vector<std::vector<unsigned>> &Children,
+                std::vector<unsigned> &In, std::vector<unsigned> &Out) {
+  unsigned Clock = 0;
+  struct Frame {
+    unsigned Node;
+    size_t Next = 0;
+  };
+  std::vector<Frame> Stack{{Root, 0}};
+  In[Root] = Clock++;
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    if (Top.Next == Children[Top.Node].size()) {
+      Out[Top.Node] = Clock++;
+      Stack.pop_back();
+      continue;
+    }
+    unsigned C = Children[Top.Node][Top.Next++];
+    In[C] = Clock++;
+    Stack.push_back({C, 0});
+  }
+}
+
+} // namespace
+
+DominatorTree::DominatorTree(const Function &F) {
+  unsigned N = F.numBlocks();
+  std::vector<std::vector<unsigned>> Preds(N), Succs(N);
+  for (const auto &B : F.blocks()) {
+    for (BasicBlock *P : B->preds())
+      Preds[B->id()].push_back(P->id());
+    for (BasicBlock *S : B->succs())
+      Succs[B->id()].push_back(S->id());
+  }
+  unsigned Root = F.entry()->id();
+  std::vector<unsigned> RPOIdx = computeRPO(Root, Succs);
+  std::vector<unsigned> IdomIdx = computeIdoms(N, Root, Preds, RPOIdx);
+
+  Idom.assign(N, nullptr);
+  Children.assign(N, {});
+  std::vector<std::vector<unsigned>> ChildIdx(N);
+  for (const auto &B : F.blocks()) {
+    unsigned Id = B->id();
+    if (Id == Root || IdomIdx[Id] == ~0u)
+      continue;
+    Idom[Id] = F.blocks()[IdomIdx[Id]].get();
+    Children[IdomIdx[Id]].push_back(B.get());
+    ChildIdx[IdomIdx[Id]].push_back(Id);
+  }
+
+  DfsIn.assign(N, 0);
+  DfsOut.assign(N, 0);
+  numberTree(Root, ChildIdx, DfsIn, DfsOut);
+
+  RPO.reserve(RPOIdx.size());
+  for (unsigned Id : RPOIdx)
+    RPO.push_back(F.blocks()[Id].get());
+}
+
+DominanceFrontier::DominanceFrontier(const Function &F,
+                                     const DominatorTree &DT) {
+  DF.assign(F.numBlocks(), {});
+  for (const auto &B : F.blocks()) {
+    if (B->numPreds() < 2)
+      continue;
+    for (BasicBlock *P : B->preds()) {
+      BasicBlock *Runner = P;
+      while (Runner && Runner != DT.idom(B.get())) {
+        // Avoid duplicates: frontiers are small, linear scan is fine.
+        auto &Frontier = DF[Runner->id()];
+        bool Present = false;
+        for (BasicBlock *Existing : Frontier)
+          if (Existing == B.get())
+            Present = true;
+        if (!Present)
+          Frontier.push_back(B.get());
+        Runner = DT.idom(Runner);
+      }
+    }
+  }
+}
+
+PostDominatorTree::PostDominatorTree(const Function &F) {
+  unsigned N = F.numBlocks();
+  unsigned VirtualExit = N;
+  // Reverse graph: succs(reverse) = preds(cfg); virtual exit points at all
+  // blocks without successors.
+  std::vector<std::vector<unsigned>> RevSuccs(N + 1), RevPreds(N + 1);
+  for (const auto &B : F.blocks()) {
+    for (BasicBlock *P : B->preds()) {
+      RevSuccs[B->id()].push_back(P->id());
+      RevPreds[P->id()].push_back(B->id());
+    }
+    if (B->succs().empty()) {
+      RevSuccs[VirtualExit].push_back(B->id());
+      RevPreds[B->id()].push_back(VirtualExit);
+    }
+  }
+
+  std::vector<unsigned> RPOIdx = computeRPO(VirtualExit, RevSuccs);
+  std::vector<unsigned> IdomIdx =
+      computeIdoms(N + 1, VirtualExit, RevPreds, RPOIdx);
+
+  Reached.assign(N, false);
+  for (unsigned Id : RPOIdx)
+    if (Id != VirtualExit)
+      Reached[Id] = true;
+
+  Ipdom.assign(N, nullptr);
+  std::vector<std::vector<unsigned>> ChildIdx(N + 1);
+  for (const auto &B : F.blocks()) {
+    unsigned Id = B->id();
+    if (!Reached[Id] || IdomIdx[Id] == ~0u)
+      continue;
+    ChildIdx[IdomIdx[Id]].push_back(Id);
+    if (IdomIdx[Id] != VirtualExit)
+      Ipdom[Id] = F.blocks()[IdomIdx[Id]].get();
+  }
+
+  DfsIn.assign(N + 1, 0);
+  DfsOut.assign(N + 1, 0);
+  numberTree(VirtualExit, ChildIdx, DfsIn, DfsOut);
+}
+
+bool PostDominatorTree::postDominates(const BasicBlock *A,
+                                      const BasicBlock *B) const {
+  if (!Reached[A->id()] || !Reached[B->id()])
+    return false;
+  return DfsIn[A->id()] <= DfsIn[B->id()] &&
+         DfsOut[B->id()] <= DfsOut[A->id()];
+}

@@ -1,0 +1,92 @@
+//===- analysis/Dominators.h - (Post)dominator trees ------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator and postdominator trees via the Cooper–Harvey–Kennedy "simple,
+/// fast dominance" algorithm, plus Cytron-et-al. dominance frontiers (the
+/// φ-placement driver for SSA construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_ANALYSIS_DOMINATORS_H
+#define VRP_ANALYSIS_DOMINATORS_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace vrp {
+
+/// The dominator tree of a function CFG.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Function &F);
+
+  /// Immediate dominator; null for the entry block.
+  BasicBlock *idom(const BasicBlock *B) const { return Idom[B->id()]; }
+
+  /// Reflexive dominance: a block dominates itself.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const {
+    return DfsIn[A->id()] <= DfsIn[B->id()] &&
+           DfsOut[B->id()] <= DfsOut[A->id()];
+  }
+
+  bool strictlyDominates(const BasicBlock *A, const BasicBlock *B) const {
+    return A != B && dominates(A, B);
+  }
+
+  const std::vector<BasicBlock *> &children(const BasicBlock *B) const {
+    return Children[B->id()];
+  }
+
+  /// Blocks in reverse postorder of the CFG (entry first); handy for
+  /// clients that iterate in dominance-compatible order.
+  const std::vector<BasicBlock *> &rpo() const { return RPO; }
+
+private:
+  std::vector<BasicBlock *> Idom;
+  std::vector<std::vector<BasicBlock *>> Children;
+  std::vector<unsigned> DfsIn, DfsOut;
+  std::vector<BasicBlock *> RPO;
+};
+
+/// Dominance frontiers computed from a DominatorTree.
+class DominanceFrontier {
+public:
+  DominanceFrontier(const Function &F, const DominatorTree &DT);
+
+  const std::vector<BasicBlock *> &frontier(const BasicBlock *B) const {
+    return DF[B->id()];
+  }
+
+private:
+  std::vector<std::vector<BasicBlock *>> DF;
+};
+
+/// The postdominator tree. Computed on the reverse CFG with a virtual exit
+/// that every `ret` block (and, conservatively, every block with no
+/// successors) is attached to.
+class PostDominatorTree {
+public:
+  explicit PostDominatorTree(const Function &F);
+
+  /// Reflexive postdominance. Returns false when either block cannot reach
+  /// an exit (infinite-loop blocks postdominate nothing interesting).
+  bool postDominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// Immediate postdominator; null for exit blocks and blocks whose
+  /// postdominator is the virtual exit.
+  BasicBlock *ipdom(const BasicBlock *B) const { return Ipdom[B->id()]; }
+
+private:
+  std::vector<BasicBlock *> Ipdom;
+  std::vector<unsigned> DfsIn, DfsOut;
+  std::vector<bool> Reached;
+};
+
+} // namespace vrp
+
+#endif // VRP_ANALYSIS_DOMINATORS_H

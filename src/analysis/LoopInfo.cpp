@@ -1,0 +1,109 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection ----------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace vrp;
+
+LoopInfo::LoopInfo(const Function &F, const DominatorTree &DT) {
+  BlockLoop.assign(F.numBlocks(), nullptr);
+
+  // Collect back edges (To dominates From) grouped by header.
+  std::map<BasicBlock *, std::vector<BasicBlock *>> HeaderLatches;
+  for (const auto &B : F.blocks())
+    for (BasicBlock *S : B->succs())
+      if (DT.dominates(S, B.get()))
+        HeaderLatches[S].push_back(B.get());
+
+  // Build each loop body by backward reachability from latches, stopping
+  // at the header.
+  for (auto &[Header, Latches] : HeaderLatches) {
+    auto L = std::make_unique<Loop>(Header);
+    L->Latches = Latches;
+    L->Blocks.insert(Header);
+    std::vector<BasicBlock *> Work(Latches.begin(), Latches.end());
+    while (!Work.empty()) {
+      BasicBlock *B = Work.back();
+      Work.pop_back();
+      if (!L->Blocks.insert(B).second)
+        continue;
+      for (BasicBlock *P : B->preds())
+        Work.push_back(P);
+    }
+    Loops.push_back(std::move(L));
+  }
+
+  // Nesting: loop A is inside loop B when B contains A's header and A != B.
+  // Sort by size so the innermost (smallest) loop claims blocks first.
+  std::vector<Loop *> BySize;
+  for (auto &L : Loops)
+    BySize.push_back(L.get());
+  std::sort(BySize.begin(), BySize.end(), [](Loop *A, Loop *B) {
+    return A->Blocks.size() < B->Blocks.size();
+  });
+
+  for (Loop *L : BySize)
+    for (const BasicBlock *B : L->Blocks)
+      if (!BlockLoop[B->id()])
+        BlockLoop[B->id()] = L;
+
+  // Parent: the innermost *other* loop containing the header.
+  for (Loop *L : BySize) {
+    for (Loop *Candidate : BySize) {
+      if (Candidate == L || Candidate->Blocks.size() <= L->Blocks.size())
+        continue;
+      if (Candidate->contains(L->header())) {
+        L->Parent = Candidate;
+        Candidate->SubLoops.push_back(L);
+        break;
+      }
+    }
+  }
+  for (Loop *L : BySize) {
+    unsigned Depth = 1;
+    for (Loop *P = L->Parent; P; P = P->Parent)
+      ++Depth;
+    L->Depth = Depth;
+  }
+
+  // Exits and preheaders.
+  for (auto &L : Loops) {
+    for (const BasicBlock *BConst : L->Blocks) {
+      auto *B = const_cast<BasicBlock *>(BConst);
+      for (BasicBlock *S : B->succs())
+        if (!L->contains(S))
+          L->Exits.push_back({B, S});
+    }
+    BasicBlock *Pre = nullptr;
+    bool Unique = true;
+    for (BasicBlock *P : L->header()->preds()) {
+      if (L->contains(P))
+        continue;
+      if (Pre && Pre != P)
+        Unique = false;
+      Pre = P;
+    }
+    if (Pre && Unique && Pre->succs().size() == 1)
+      L->Preheader = Pre;
+  }
+}
+
+bool LoopInfo::isBackEdge(const BasicBlock *From, const BasicBlock *To) const {
+  Loop *L = loopOf(To);
+  while (L) {
+    if (L->header() == To) {
+      for (BasicBlock *Latch : L->latches())
+        if (Latch == From)
+          return true;
+      return false;
+    }
+    L = L->parent();
+  }
+  return false;
+}

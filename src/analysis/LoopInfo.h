@@ -1,0 +1,97 @@
+//===- analysis/LoopInfo.h - Natural loop detection -------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural loops from dominator-identified back edges. Used by the
+/// Ball–Larus heuristics (loop branch / loop exit / loop header
+/// heuristics) and by the block-frequency propagation application.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_ANALYSIS_LOOPINFO_H
+#define VRP_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace vrp {
+
+/// One natural loop: a header plus the union of the natural loop bodies of
+/// every back edge targeting that header.
+class Loop {
+public:
+  Loop(BasicBlock *Header) : Header(Header) {}
+
+  BasicBlock *header() const { return Header; }
+  Loop *parent() const { return Parent; }
+  unsigned depth() const { return Depth; }
+
+  bool contains(const BasicBlock *B) const { return Blocks.count(B) != 0; }
+  const std::set<const BasicBlock *> &blocks() const { return Blocks; }
+
+  /// Latch blocks: sources of back edges into the header.
+  const std::vector<BasicBlock *> &latches() const { return Latches; }
+
+  /// Exit edges: (inside block, outside successor) pairs.
+  const std::vector<std::pair<BasicBlock *, BasicBlock *>> &exits() const {
+    return Exits;
+  }
+
+  /// The unique predecessor of the header outside the loop, or null.
+  BasicBlock *preheader() const { return Preheader; }
+
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+
+private:
+  friend class LoopInfo;
+  BasicBlock *Header;
+  Loop *Parent = nullptr;
+  unsigned Depth = 1;
+  std::set<const BasicBlock *> Blocks;
+  std::vector<BasicBlock *> Latches;
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> Exits;
+  BasicBlock *Preheader = nullptr;
+  std::vector<Loop *> SubLoops;
+};
+
+/// All natural loops of a function, with nesting.
+class LoopInfo {
+public:
+  LoopInfo(const Function &F, const DominatorTree &DT);
+
+  /// The innermost loop containing \p B, or null.
+  Loop *loopOf(const BasicBlock *B) const {
+    return B->id() < BlockLoop.size() ? BlockLoop[B->id()] : nullptr;
+  }
+
+  unsigned loopDepth(const BasicBlock *B) const {
+    Loop *L = loopOf(B);
+    return L ? L->depth() : 0;
+  }
+
+  bool isLoopHeader(const BasicBlock *B) const {
+    Loop *L = loopOf(B);
+    return L && L->header() == B;
+  }
+
+  /// True when the CFG edge From->To is a loop back edge (To is a header
+  /// dominating From).
+  bool isBackEdge(const BasicBlock *From, const BasicBlock *To) const;
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+  unsigned numLoops() const { return Loops.size(); }
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<Loop *> BlockLoop; ///< Innermost loop per block id.
+};
+
+} // namespace vrp
+
+#endif // VRP_ANALYSIS_LOOPINFO_H

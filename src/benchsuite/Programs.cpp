@@ -1,0 +1,25 @@
+//===- benchsuite/Programs.cpp - Suite registry ----------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+
+using namespace vrp;
+
+std::vector<const BenchmarkProgram *> vrp::allPrograms() {
+  std::vector<const BenchmarkProgram *> All;
+  for (const BenchmarkProgram &P : integerSuite())
+    All.push_back(&P);
+  for (const BenchmarkProgram &P : numericSuite())
+    All.push_back(&P);
+  return All;
+}
+
+const BenchmarkProgram *vrp::findProgram(const std::string &Name) {
+  for (const BenchmarkProgram *P : allPrograms())
+    if (P->Name == Name)
+      return P;
+  return nullptr;
+}

@@ -1,0 +1,56 @@
+//===- benchsuite/Programs.h - The VL benchmark suite -----------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark programs standing in for SPEC92 (see DESIGN.md §2). Two
+/// suites mirror the paper's split:
+///
+///  * the integer suite (SPECint92 analog): sorting, searching, hashing,
+///    string matching, compression, graph traversal, backtracking — many
+///    data-dependent branches, so the heuristic fallback is common;
+///  * the numeric suite (SPECfp92 analog): dense linear algebra, stencils,
+///    integration — loop-dominated control flow where VRP's derived loop
+///    ranges predict nearly every branch.
+///
+/// Each program carries *short* (training) and *ref* (evaluation) inputs,
+/// reproducing the SPEC input.short / input.ref protocol the paper uses
+/// for the execution-profiling baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_BENCHSUITE_PROGRAMS_H
+#define VRP_BENCHSUITE_PROGRAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+/// One benchmark: VL source plus its two input sets.
+struct BenchmarkProgram {
+  std::string Name;
+  bool Numeric = false; ///< True: numeric (SPECfp92-analog) suite member.
+  std::string Source;
+  std::vector<int64_t> ShortInput; ///< Profile-training input.
+  std::vector<int64_t> RefInput;   ///< Reference (evaluation) input.
+};
+
+/// The integer/pointer-style suite.
+const std::vector<BenchmarkProgram> &integerSuite();
+
+/// The numeric suite.
+const std::vector<BenchmarkProgram> &numericSuite();
+
+/// Both suites concatenated (integer first).
+std::vector<const BenchmarkProgram *> allPrograms();
+
+/// Looks up a program by name across both suites; null when absent.
+const BenchmarkProgram *findProgram(const std::string &Name);
+
+} // namespace vrp
+
+#endif // VRP_BENCHSUITE_PROGRAMS_H

@@ -1,0 +1,487 @@
+//===- benchsuite/ProgramsInt.cpp - Integer suite (SPECint92 analog) ------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Ten integer/pointer-style programs: heavy on data-dependent branches,
+// searching, hashing and recursion. Each uses an internal LCG seeded from
+// input() so the short and ref runs see genuinely different data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+
+using namespace vrp;
+
+namespace {
+
+std::vector<BenchmarkProgram> buildIntegerSuite() {
+  std::vector<BenchmarkProgram> Suite;
+
+  // Shared LCG preamble (each program embeds its own copy so programs stay
+  // self-contained translation units).
+  const std::string Rng = R"(
+var seed = 1;
+fn rnd() {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  return seed;
+}
+)";
+
+  //===------------------------------------------------------------------===//
+  // sort: insertion sort with a sortedness check.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"sort", false, Rng + R"(
+var data[512];
+fn main() {
+  seed = input();
+  var n = input();
+  for (var i = 0; i < n; i = i + 1) {
+    data[i] = rnd() % 10000;
+  }
+  for (var i = 1; i < n; i = i + 1) {
+    var key = data[i];
+    var j = i - 1;
+    while (j >= 0 && data[j] > key) {
+      data[j + 1] = data[j];
+      j = j - 1;
+    }
+    data[j + 1] = key;
+  }
+  var bad = 0;
+  for (var i = 1; i < n; i = i + 1) {
+    if (data[i - 1] > data[i]) {
+      bad = bad + 1;
+    }
+  }
+  print(bad);
+  print(data[0]);
+  print(data[n - 1]);
+  return bad;
+}
+)",
+                   {7, 60},
+                   {1234577, 280}});
+
+  //===------------------------------------------------------------------===//
+  // binsearch: sorted table, repeated binary searches.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"binsearch", false, Rng + R"(
+var table[4096];
+fn search(n, key) {
+  var lo = 0;
+  var hi = n - 1;
+  while (lo <= hi) {
+    var mid = (lo + hi) / 2;
+    if (table[mid] == key) {
+      return mid;
+    }
+    if (table[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return 0 - 1;
+}
+fn main() {
+  seed = input();
+  var n = input();
+  var queries = input();
+  for (var i = 0; i < n; i = i + 1) {
+    table[i] = i * 3 + (i % 7);
+  }
+  var hits = 0;
+  for (var q = 0; q < queries; q = q + 1) {
+    var key = rnd() % (n * 3);
+    if (search(n, key) >= 0) {
+      hits = hits + 1;
+    }
+  }
+  print(hits);
+  return hits;
+}
+)",
+                   {11, 128, 200},
+                   {987653, 4096, 3000}});
+
+  //===------------------------------------------------------------------===//
+  // sieve: Eratosthenes with a twist of counting twin primes.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"sieve", false, R"(
+var flags[8192];
+fn main() {
+  var limit = input();
+  for (var i = 0; i < limit; i = i + 1) {
+    flags[i] = 1;
+  }
+  flags[0] = 0;
+  flags[1] = 0;
+  for (var p = 2; p * p < limit; p = p + 1) {
+    if (flags[p] == 1) {
+      for (var k = p * p; k < limit; k = k + p) {
+        flags[k] = 0;
+      }
+    }
+  }
+  var primes = 0;
+  var twins = 0;
+  for (var i = 2; i < limit; i = i + 1) {
+    if (flags[i] == 1) {
+      primes = primes + 1;
+      if (i + 2 < limit && flags[i + 2] == 1) {
+        twins = twins + 1;
+      }
+    }
+  }
+  print(primes);
+  print(twins);
+  return primes;
+}
+)",
+                   {500},
+                   {8000}});
+
+  //===------------------------------------------------------------------===//
+  // qsort: recursive quicksort over a global array.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"qsort", false, Rng + R"(
+var arr[2048];
+fn swap(i, j) {
+  var t = arr[i];
+  arr[i] = arr[j];
+  arr[j] = t;
+  return 0;
+}
+fn quicksort(lo, hi) {
+  if (lo >= hi) {
+    return 0;
+  }
+  var pivot = arr[(lo + hi) / 2];
+  var i = lo;
+  var j = hi;
+  while (i <= j) {
+    while (arr[i] < pivot) {
+      i = i + 1;
+    }
+    while (arr[j] > pivot) {
+      j = j - 1;
+    }
+    if (i <= j) {
+      swap(i, j);
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  quicksort(lo, j);
+  quicksort(i, hi);
+  return 0;
+}
+fn main() {
+  seed = input();
+  var n = input();
+  for (var i = 0; i < n; i = i + 1) {
+    arr[i] = rnd() % 100000;
+  }
+  quicksort(0, n - 1);
+  var bad = 0;
+  for (var i = 1; i < n; i = i + 1) {
+    if (arr[i - 1] > arr[i]) {
+      bad = bad + 1;
+    }
+  }
+  print(bad);
+  print(arr[0]);
+  print(arr[n - 1]);
+  return bad;
+}
+)",
+                   {3, 80},
+                   {424243, 1200}});
+
+  //===------------------------------------------------------------------===//
+  // rle: run-length encoding of bursty data.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"rle", false, Rng + R"(
+var raw[8192];
+var runs[8192];
+fn main() {
+  seed = input();
+  var n = input();
+  var value = rnd() % 16;
+  for (var i = 0; i < n; i = i + 1) {
+    if (rnd() % 8 == 0) {
+      value = rnd() % 16;
+    }
+    raw[i] = value;
+  }
+  var count = 0;
+  var i = 0;
+  while (i < n) {
+    var v = raw[i];
+    var length = 1;
+    while (i + length < n && raw[i + length] == v) {
+      length = length + 1;
+    }
+    runs[count] = length;
+    count = count + 1;
+    i = i + length;
+  }
+  var longest = 0;
+  for (var r = 0; r < count; r = r + 1) {
+    longest = max(longest, runs[r]);
+  }
+  print(count);
+  print(longest);
+  return count;
+}
+)",
+                   {99, 500},
+                   {777777, 8000}});
+
+  //===------------------------------------------------------------------===//
+  // hash: open-addressing hash table with different load factors per
+  // input, so collision-probe branches behave differently on short/ref.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"hash", false, Rng + R"(
+var keys[1024];
+var used[1024];
+fn insert(key) {
+  var h = (key * 2654435761) % 1024;
+  if (h < 0) {
+    h = h + 1024;
+  }
+  var probes = 0;
+  while (used[h] == 1) {
+    if (keys[h] == key) {
+      return 0;
+    }
+    h = (h + 1) % 1024;
+    probes = probes + 1;
+    if (probes > 1024) {
+      return 0 - 1;
+    }
+  }
+  used[h] = 1;
+  keys[h] = key;
+  return 1;
+}
+fn contains(key) {
+  var h = (key * 2654435761) % 1024;
+  if (h < 0) {
+    h = h + 1024;
+  }
+  var probes = 0;
+  while (used[h] == 1) {
+    if (keys[h] == key) {
+      return 1;
+    }
+    h = (h + 1) % 1024;
+    probes = probes + 1;
+    if (probes > 1024) {
+      return 0;
+    }
+  }
+  return 0;
+}
+fn main() {
+  seed = input();
+  var inserts = input();
+  var lookups = input();
+  var added = 0;
+  for (var i = 0; i < inserts; i = i + 1) {
+    added = added + insert(rnd() % 50021);
+  }
+  var hits = 0;
+  for (var i = 0; i < lookups; i = i + 1) {
+    hits = hits + contains(rnd() % 50021);
+  }
+  print(added);
+  print(hits);
+  return hits;
+}
+)",
+                   {5, 150, 300},
+                   {31337, 600, 1800}});
+
+  //===------------------------------------------------------------------===//
+  // match: naive substring search over a small alphabet.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"match", false, Rng + R"(
+var text[8192];
+var pattern[8];
+fn main() {
+  seed = input();
+  var n = input();
+  for (var i = 0; i < n; i = i + 1) {
+    text[i] = rnd() % 4;
+  }
+  for (var i = 0; i < 6; i = i + 1) {
+    pattern[i] = rnd() % 4;
+  }
+  var found = 0;
+  for (var i = 0; i + 6 <= n; i = i + 1) {
+    var ok = 1;
+    for (var j = 0; j < 6; j = j + 1) {
+      if (text[i + j] != pattern[j]) {
+        ok = 0;
+        break;
+      }
+    }
+    if (ok == 1) {
+      found = found + 1;
+    }
+  }
+  print(found);
+  return found;
+}
+)",
+                   {21, 400},
+                   {55555, 6000}});
+
+  //===------------------------------------------------------------------===//
+  // queens: N-queens backtracking (recursion-heavy, unpredictable
+  // pruning branches).
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"queens", false, R"(
+var cols[16];
+var diag1[32];
+var diag2[32];
+var n = 0;
+fn solve(row) {
+  if (row == n) {
+    return 1;
+  }
+  var count = 0;
+  for (var c = 0; c < n; c = c + 1) {
+    if (cols[c] == 0 && diag1[row + c] == 0 && diag2[row - c + n] == 0) {
+      cols[c] = 1;
+      diag1[row + c] = 1;
+      diag2[row - c + n] = 1;
+      count = count + solve(row + 1);
+      cols[c] = 0;
+      diag1[row + c] = 0;
+      diag2[row - c + n] = 0;
+    }
+  }
+  return count;
+}
+fn main() {
+  n = input();
+  var solutions = solve(0);
+  print(solutions);
+  return solutions;
+}
+)",
+                   {5},
+                   {7}});
+
+  //===------------------------------------------------------------------===//
+  // paths: BFS over a random grid with obstacles.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"paths", false, Rng + R"(
+var grid[1600];
+var dist[1600];
+var queue[1600];
+fn main() {
+  seed = input();
+  var w = input();
+  var h = input();
+  var cells = w * h;
+  for (var i = 0; i < cells; i = i + 1) {
+    if (rnd() % 5 == 0) {
+      grid[i] = 1;
+    } else {
+      grid[i] = 0;
+    }
+    dist[i] = 0 - 1;
+  }
+  grid[0] = 0;
+  grid[cells - 1] = 0;
+  dist[0] = 0;
+  queue[0] = 0;
+  var head = 0;
+  var tail = 1;
+  while (head < tail) {
+    var cur = queue[head];
+    head = head + 1;
+    var x = cur % w;
+    var y = cur / w;
+    var d = dist[cur];
+    if (x > 0 && grid[cur - 1] == 0 && dist[cur - 1] < 0) {
+      dist[cur - 1] = d + 1;
+      queue[tail] = cur - 1;
+      tail = tail + 1;
+    }
+    if (x < w - 1 && grid[cur + 1] == 0 && dist[cur + 1] < 0) {
+      dist[cur + 1] = d + 1;
+      queue[tail] = cur + 1;
+      tail = tail + 1;
+    }
+    if (y > 0 && grid[cur - w] == 0 && dist[cur - w] < 0) {
+      dist[cur - w] = d + 1;
+      queue[tail] = cur - w;
+      tail = tail + 1;
+    }
+    if (y < h - 1 && grid[cur + w] == 0 && dist[cur + w] < 0) {
+      dist[cur + w] = d + 1;
+      queue[tail] = cur + w;
+      tail = tail + 1;
+    }
+  }
+  print(dist[cells - 1]);
+  print(tail);
+  return dist[cells - 1];
+}
+)",
+                   {2, 12, 12},
+                   {90001, 40, 40}});
+
+  //===------------------------------------------------------------------===//
+  // bits: popcounts and parity over pseudo-random words.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"bits", false, Rng + R"(
+fn popcount(x) {
+  var count = 0;
+  while (x > 0) {
+    if (x % 2 == 1) {
+      count = count + 1;
+    }
+    x = x / 2;
+  }
+  return count;
+}
+fn main() {
+  seed = input();
+  var n = input();
+  var totalBits = 0;
+  var evenParity = 0;
+  var heavy = 0;
+  for (var i = 0; i < n; i = i + 1) {
+    var word = rnd();
+    var bits = popcount(word);
+    totalBits = totalBits + bits;
+    if (bits % 2 == 0) {
+      evenParity = evenParity + 1;
+    }
+    if (bits > 15) {
+      heavy = heavy + 1;
+    }
+  }
+  print(totalBits);
+  print(evenParity);
+  print(heavy);
+  return evenParity;
+}
+)",
+                   {17, 300},
+                   {246813, 5000}});
+
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProgram> &vrp::integerSuite() {
+  static const std::vector<BenchmarkProgram> Suite = buildIntegerSuite();
+  return Suite;
+}

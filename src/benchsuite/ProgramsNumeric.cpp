@@ -1,0 +1,405 @@
+//===- benchsuite/ProgramsNumeric.cpp - Numeric suite (SPECfp92 analog) ---===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Eight numeric programs: dense linear algebra, stencils, integration and
+// escape-time iteration. Control flow is dominated by integer loop
+// counters — the structure behind the paper's observation that VRP is
+// "significantly more accurate for numeric code".
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+
+using namespace vrp;
+
+namespace {
+
+std::vector<BenchmarkProgram> buildNumericSuite() {
+  std::vector<BenchmarkProgram> Suite;
+
+  const std::string Rng = R"(
+var seed = 1;
+fn rnd() {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  return seed;
+}
+fn frnd(): float {
+  return float(rnd() % 1000) / 1000.0;
+}
+)";
+
+  //===------------------------------------------------------------------===//
+  // matmul: dense float matrix multiply.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"matmul", true, Rng + R"(
+var a[400]: float;
+var b[400]: float;
+var c[400]: float;
+fn main() {
+  seed = input();
+  var n = input();
+  for (var i = 0; i < n * n; i = i + 1) {
+    a[i] = frnd();
+    b[i] = frnd();
+  }
+  for (var i = 0; i < n; i = i + 1) {
+    for (var j = 0; j < n; j = j + 1) {
+      var sum = 0.0;
+      for (var k = 0; k < n; k = k + 1) {
+        sum = sum + a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = sum;
+    }
+  }
+  var trace = 0.0;
+  for (var i = 0; i < n; i = i + 1) {
+    trace = trace + c[i * n + i];
+  }
+  print(trace);
+  return int(trace);
+}
+)",
+                   {3, 8},
+                   {919191, 20}});
+
+  //===------------------------------------------------------------------===//
+  // jacobi: iterative 5-point stencil smoothing.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"jacobi", true, Rng + R"(
+var u[1024]: float;
+var v[1024]: float;
+fn main() {
+  seed = input();
+  var n = input();
+  var steps = input();
+  for (var i = 0; i < n * n; i = i + 1) {
+    u[i] = frnd();
+  }
+  for (var t = 0; t < steps; t = t + 1) {
+    for (var y = 1; y < n - 1; y = y + 1) {
+      for (var x = 1; x < n - 1; x = x + 1) {
+        var idx = y * n + x;
+        v[idx] = 0.25 * (u[idx - 1] + u[idx + 1] + u[idx - n] + u[idx + n]);
+      }
+    }
+    for (var y = 1; y < n - 1; y = y + 1) {
+      for (var x = 1; x < n - 1; x = x + 1) {
+        u[y * n + x] = v[y * n + x];
+      }
+    }
+  }
+  var norm = 0.0;
+  for (var i = 0; i < n * n; i = i + 1) {
+    norm = norm + u[i] * u[i];
+  }
+  print(norm);
+  return int(norm * 1000.0);
+}
+)",
+                   {13, 10, 8},
+                   {808080, 30, 20}});
+
+  //===------------------------------------------------------------------===//
+  // gauss: gaussian elimination with partial pivoting.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"gauss", true, Rng + R"(
+var m[700]: float;
+var rhs[28]: float;
+var x[28]: float;
+fn main() {
+  seed = input();
+  var n = input();
+  for (var i = 0; i < n; i = i + 1) {
+    for (var j = 0; j < n; j = j + 1) {
+      m[i * n + j] = frnd() + 0.01;
+    }
+    m[i * n + i] = m[i * n + i] + float(n);
+    rhs[i] = frnd();
+  }
+  for (var col = 0; col < n; col = col + 1) {
+    var best = col;
+    for (var r = col + 1; r < n; r = r + 1) {
+      if (abs(m[r * n + col]) > abs(m[best * n + col])) {
+        best = r;
+      }
+    }
+    if (best != col) {
+      for (var j = 0; j < n; j = j + 1) {
+        var t = m[col * n + j];
+        m[col * n + j] = m[best * n + j];
+        m[best * n + j] = t;
+      }
+      var t2 = rhs[col];
+      rhs[col] = rhs[best];
+      rhs[best] = t2;
+    }
+    for (var r = col + 1; r < n; r = r + 1) {
+      var factor = m[r * n + col] / m[col * n + col];
+      for (var j = col; j < n; j = j + 1) {
+        m[r * n + j] = m[r * n + j] - factor * m[col * n + j];
+      }
+      rhs[r] = rhs[r] - factor * rhs[col];
+    }
+  }
+  for (var i = n - 1; i >= 0; i = i - 1) {
+    var sum = rhs[i];
+    for (var j = i + 1; j < n; j = j + 1) {
+      sum = sum - m[i * n + j] * x[j];
+    }
+    x[i] = sum / m[i * n + i];
+  }
+  var checksum = 0.0;
+  for (var i = 0; i < n; i = i + 1) {
+    checksum = checksum + x[i];
+  }
+  print(checksum);
+  return int(checksum * 1000.0);
+}
+)",
+                   {29, 8},
+                   {515151, 24}});
+
+  //===------------------------------------------------------------------===//
+  // poly: Horner evaluation of a fixed-degree polynomial over a grid.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"poly", true, Rng + R"(
+var coeff[12]: float;
+fn horner(x: float): float {
+  var acc = 0.0;
+  for (var i = 0; i < 12; i = i + 1) {
+    acc = acc * x + coeff[i];
+  }
+  return acc;
+}
+fn main() {
+  seed = input();
+  var points = input();
+  for (var i = 0; i < 12; i = i + 1) {
+    coeff[i] = frnd() - 0.5;
+  }
+  var total = 0.0;
+  var positive = 0;
+  var crossings = 0;
+  var peak = 0.0;
+  var prev = horner(0.0);
+  for (var p = 0; p < points; p = p + 1) {
+    var x = float(p) / float(points);
+    var y = horner(x);
+    total = total + y;
+    if (y > 0.0) {
+      positive = positive + 1;
+    }
+    if ((prev > 0.0 && y <= 0.0) || (prev <= 0.0 && y > 0.0)) {
+      crossings = crossings + 1;
+    }
+    if (abs(y) > peak) {
+      peak = abs(y);
+    }
+    prev = y;
+  }
+  print(total);
+  print(positive);
+  print(crossings);
+  print(peak);
+  return positive;
+}
+)",
+                   {41, 200},
+                   {626262, 4000}});
+
+  //===------------------------------------------------------------------===//
+  // nbody: O(n^2) gravitational-style force accumulation.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"nbody", true, Rng + R"(
+var px[32]: float;
+var py[32]: float;
+var vx[32]: float;
+var vy[32]: float;
+fn main() {
+  seed = input();
+  var n = input();
+  var steps = input();
+  for (var i = 0; i < n; i = i + 1) {
+    px[i] = frnd() * 10.0;
+    py[i] = frnd() * 10.0;
+    vx[i] = 0.0;
+    vy[i] = 0.0;
+  }
+  for (var t = 0; t < steps; t = t + 1) {
+    for (var i = 0; i < n; i = i + 1) {
+      var fx = 0.0;
+      var fy = 0.0;
+      for (var j = 0; j < n; j = j + 1) {
+        if (j != i) {
+          var dx = px[j] - px[i];
+          var dy = py[j] - py[i];
+          var d2 = dx * dx + dy * dy + 0.01;
+          fx = fx + dx / d2;
+          fy = fy + dy / d2;
+        }
+      }
+      vx[i] = vx[i] + 0.001 * fx;
+      vy[i] = vy[i] + 0.001 * fy;
+    }
+    for (var i = 0; i < n; i = i + 1) {
+      px[i] = px[i] + vx[i];
+      py[i] = py[i] + vy[i];
+    }
+  }
+  var energy = 0.0;
+  for (var i = 0; i < n; i = i + 1) {
+    energy = energy + vx[i] * vx[i] + vy[i] * vy[i];
+  }
+  print(energy);
+  return int(energy * 100000.0);
+}
+)",
+                   {53, 10, 5},
+                   {737373, 28, 10}});
+
+  //===------------------------------------------------------------------===//
+  // mandel: escape-time iteration (data-dependent inner loop bound).
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"mandel", true, R"(
+fn main() {
+  var w = input();
+  var h = input();
+  var maxit = input();
+  var inside = 0;
+  var totaliters = 0;
+  for (var py = 0; py < h; py = py + 1) {
+    for (var px = 0; px < w; px = px + 1) {
+      var cr = float(px) * 3.0 / float(w) - 2.0;
+      var ci = float(py) * 2.0 / float(h) - 1.0;
+      var zr = 0.0;
+      var zi = 0.0;
+      var it = 0;
+      while (it < maxit && zr * zr + zi * zi <= 4.0) {
+        var nzr = zr * zr - zi * zi + cr;
+        zi = 2.0 * zr * zi + ci;
+        zr = nzr;
+        it = it + 1;
+      }
+      totaliters = totaliters + it;
+      if (it == maxit) {
+        inside = inside + 1;
+      }
+    }
+  }
+  print(inside);
+  print(totaliters);
+  return inside;
+}
+)",
+                   {24, 16, 30},
+                   {60, 40, 60}});
+
+  //===------------------------------------------------------------------===//
+  // simpson: composite Simpson integration of a rational polynomial.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"simpson", true, R"(
+fn f(x: float): float {
+  return (x * x * x - 2.0 * x + 1.0) / (x * x + 1.0);
+}
+fn main() {
+  var n = input();
+  if (n % 2 == 1) {
+    n = n + 1;
+  }
+  var a = 0.0;
+  var b = 2.0;
+  var hstep = (b - a) / float(n);
+  var sum = f(a) + f(b);
+  var negative = 0;
+  var biggest = 0.0;
+  for (var i = 1; i < n; i = i + 1) {
+    var x = a + float(i) * hstep;
+    var y = f(x);
+    if (i % 2 == 1) {
+      sum = sum + 4.0 * y;
+    } else {
+      sum = sum + 2.0 * y;
+    }
+    if (y < 0.0) {
+      negative = negative + 1;
+    }
+    if (abs(y) > biggest) {
+      biggest = abs(y);
+    }
+  }
+  // Compare against a coarse trapezoid estimate on a second pass.
+  var trap = (f(a) + f(b)) / 2.0;
+  for (var i = 1; i < n; i = i + 1) {
+    trap = trap + f(a + float(i) * hstep);
+  }
+  trap = trap * hstep;
+  var result = sum * hstep / 3.0;
+  var gap = abs(result - trap);
+  if (gap > 0.001) {
+    print(1);
+  } else {
+    print(0);
+  }
+  print(result);
+  print(negative);
+  print(biggest);
+  return int(result * 1000000.0);
+}
+)",
+                   {500},
+                   {10000}});
+
+  //===------------------------------------------------------------------===//
+  // spectral: FFT-style strided butterfly passes over a float array.
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"spectral", true, Rng + R"(
+var re[512]: float;
+var im[512]: float;
+fn main() {
+  seed = input();
+  var n = input();
+  for (var i = 0; i < n; i = i + 1) {
+    re[i] = frnd() - 0.5;
+    im[i] = 0.0;
+  }
+  var span = 1;
+  while (span < n) {
+    var stride = span * 2;
+    for (var start = 0; start < n; start = start + stride) {
+      for (var k = 0; k < span; k = k + 1) {
+        var i = start + k;
+        var j = i + span;
+        var w = float(k) / float(span);
+        var tr = re[j] * (1.0 - w) - im[j] * w;
+        var ti = re[j] * w + im[j] * (1.0 - w);
+        var ur = re[i];
+        var ui = im[i];
+        re[i] = ur + tr;
+        im[i] = ui + ti;
+        re[j] = ur - tr;
+        im[j] = ui - ti;
+      }
+    }
+    span = stride;
+  }
+  var power = 0.0;
+  for (var i = 0; i < n; i = i + 1) {
+    power = power + re[i] * re[i] + im[i] * im[i];
+  }
+  print(power);
+  return int(power);
+}
+)",
+                   {67, 64},
+                   {848484, 512}});
+
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProgram> &vrp::numericSuite() {
+  static const std::vector<BenchmarkProgram> Suite = buildNumericSuite();
+  return Suite;
+}

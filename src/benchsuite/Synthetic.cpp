@@ -1,0 +1,143 @@
+//===- benchsuite/Synthetic.cpp - Synthetic program generator --------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Synthetic.h"
+
+#include "support/RNG.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace vrp;
+
+namespace {
+
+/// Emits one function body. All scalar variables live in a pool declared
+/// at the top of the function, so nested scopes never leak declarations.
+class BodyEmitter {
+public:
+  BodyEmitter(std::string &Out, RNG &Rng, unsigned PoolSize)
+      : Out(Out), Rng(Rng), PoolSize(PoolSize) {}
+
+  void emitPoolDeclarations() {
+    Out += "  var v0 = n + 1;\n  var v1 = m * 2;\n  var v2 = n - m;\n";
+    for (unsigned I = 3; I < PoolSize; ++I)
+      Out += "  var v" + std::to_string(I) + " = " +
+             std::to_string(Rng.nextInRange(-20, 40)) + ";\n";
+  }
+
+  void emitStatements(unsigned Budget, unsigned Depth) {
+    while (Budget > 0) {
+      uint64_t Kind = Rng.nextBelow(10);
+      if (Kind < 4 || Depth >= 3 || Budget < 3) {
+        emitArithmetic(Depth);
+        Budget -= 1;
+      } else if (Kind < 7) {
+        unsigned Inner =
+            std::min(Budget - 1, 3u + static_cast<unsigned>(Rng.nextBelow(4)));
+        emitLoop(Inner, Depth);
+        Budget -= Inner + 1;
+      } else {
+        unsigned Inner =
+            std::min(Budget - 1, 2u + static_cast<unsigned>(Rng.nextBelow(3)));
+        emitBranch(Inner, Depth);
+        Budget -= Inner + 1;
+      }
+    }
+  }
+
+private:
+  void indent(unsigned Depth) { Out.append(2 * (Depth + 1), ' '); }
+
+  std::string poolVar() {
+    return "v" + std::to_string(Rng.nextBelow(PoolSize));
+  }
+
+  std::string scalarExpr() {
+    static const char *Ops[] = {"+", "-", "*", "%"};
+    std::string A = poolVar();
+    const char *Op = Ops[Rng.nextBelow(4)];
+    std::string B;
+    if (Op == std::string("%"))
+      B = std::to_string(2 + Rng.nextBelow(17)); // Keep divisors nonzero.
+    else
+      B = Rng.nextBelow(2) == 0 ? poolVar()
+                                : std::to_string(1 + Rng.nextBelow(9));
+    return A + " " + Op + " " + B;
+  }
+
+  void emitArithmetic(unsigned Depth) {
+    indent(Depth);
+    Out += poolVar() + " = " + scalarExpr() + ";\n";
+  }
+
+  void emitLoop(unsigned Budget, unsigned Depth) {
+    std::string I = "i" + std::to_string(NextLoop++);
+    std::string Bound = Rng.nextBelow(2) == 0
+                            ? std::to_string(4 + Rng.nextBelow(60))
+                            : "n";
+    indent(Depth);
+    Out += "for (var " + I + " = 0; " + I + " < " + Bound + "; " + I +
+           " = " + I + " + " + std::to_string(1 + Rng.nextBelow(3)) +
+           ") {\n";
+    indent(Depth + 1);
+    Out += poolVar() + " = " + poolVar() + " + " + I + ";\n";
+    emitStatements(Budget, Depth + 1);
+    indent(Depth);
+    Out += "}\n";
+  }
+
+  void emitBranch(unsigned Budget, unsigned Depth) {
+    static const char *Cmps[] = {"<", "<=", ">", ">=", "==", "!="};
+    indent(Depth);
+    Out += "if (" + poolVar() + " " + Cmps[Rng.nextBelow(6)] + " " +
+           std::to_string(Rng.nextBelow(50)) + ") {\n";
+    unsigned ThenBudget = Budget / 2 + 1;
+    emitStatements(std::min(ThenBudget, Budget), Depth + 1);
+    if (Budget > ThenBudget) {
+      indent(Depth);
+      Out += "} else {\n";
+      emitStatements(Budget - ThenBudget, Depth + 1);
+    }
+    indent(Depth);
+    Out += "}\n";
+  }
+
+  std::string &Out;
+  RNG &Rng;
+  unsigned PoolSize;
+  unsigned NextLoop = 0;
+};
+
+} // namespace
+
+std::string vrp::makeSyntheticProgram(unsigned SizeClass, uint64_t Seed) {
+  RNG Rng(Seed * 0x9e3779b97f4a7c15ull + SizeClass);
+  std::string Out;
+  Out += "var shared[64];\n";
+
+  unsigned NumFunctions = 1 + SizeClass / 3;
+  for (unsigned F = 0; F < NumFunctions; ++F) {
+    Out += "fn work" + std::to_string(F) + "(n, m) {\n";
+    BodyEmitter Emitter(Out, Rng, 6 + SizeClass / 4);
+    Emitter.emitPoolDeclarations();
+    Emitter.emitStatements(6 + SizeClass * 2, 0);
+    if (F > 0)
+      Out += "  v0 = v0 + work" + std::to_string(Rng.nextBelow(F)) +
+             "(v1 % 97, v2 % 89);\n";
+    Out += "  shared[v0 % 64 + (v0 % 64 < 0) * 64] = v1;\n";
+    Out += "  return v0 + shared[v2 % 64 + (v2 % 64 < 0) * 64];\n";
+    Out += "}\n";
+  }
+
+  Out += "fn main() {\n  var acc = 0;\n";
+  for (unsigned F = 0; F < NumFunctions; ++F)
+    Out += "  acc = acc + work" + std::to_string(F) + "(" +
+           std::to_string(3 + Rng.nextBelow(40)) + ", " +
+           std::to_string(2 + Rng.nextBelow(20)) + ");\n";
+  Out += "  print(acc);\n  return acc;\n}\n";
+  return Out;
+}

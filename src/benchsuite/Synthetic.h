@@ -1,0 +1,30 @@
+//===- benchsuite/Synthetic.h - Synthetic program generator -----*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic generator of structurally varied VL programs, used to
+/// populate the size axis of the paper's Figures 5 and 6 (expression
+/// evaluations / sub-operations versus program size). Generated programs
+/// are only analyzed, never executed, so they favor structural variety
+/// (loop nests, branch trees, call chains) over meaningful semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_BENCHSUITE_SYNTHETIC_H
+#define VRP_BENCHSUITE_SYNTHETIC_H
+
+#include <cstdint>
+#include <string>
+
+namespace vrp {
+
+/// Generates a VL program with roughly `SizeClass` * a few dozen IR
+/// instructions. Deterministic in (SizeClass, Seed).
+std::string makeSyntheticProgram(unsigned SizeClass, uint64_t Seed);
+
+} // namespace vrp
+
+#endif // VRP_BENCHSUITE_SYNTHETIC_H

@@ -1,0 +1,75 @@
+//===- driver/Pipeline.cpp - End-to-end VRP pipeline -----------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "ir/Verifier.h"
+#include "irgen/IRGen.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "ssa/SSAVerifier.h"
+
+using namespace vrp;
+
+std::unique_ptr<CompiledProgram>
+vrp::compileToSSA(std::string_view Source, DiagnosticEngine &Diags,
+                  const VRPOptions &Opts) {
+  auto Result = std::make_unique<CompiledProgram>();
+  Result->AST = parseVL(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  if (!runSema(*Result->AST, Diags))
+    return nullptr;
+  Result->IR = generateIR(*Result->AST, Diags);
+  if (!Result->IR)
+    return nullptr;
+
+  Result->SSA = constructSSA(*Result->IR);
+  if (Opts.EnableAssertions)
+    Result->Assertions = insertAssertions(*Result->IR);
+
+  // Internal consistency: the whole pipeline must leave verifiable IR.
+  std::vector<std::string> Problems;
+  if (!verifyModule(*Result->IR, Problems, /*ExpectPhis=*/true) ||
+      !verifySSA(*Result->IR, Problems)) {
+    for (const std::string &P : Problems)
+      Diags.error(SourceLoc(), "internal error: " + P);
+    return nullptr;
+  }
+  return Result;
+}
+
+FinalPredictionMap vrp::finalizePredictions(const Function &F,
+                                            const FunctionVRPResult &VRP) {
+  FinalPredictionMap Result;
+  BranchProbMap Fallback = predictBallLarus(F);
+  for (const auto &[Branch, Pred] : VRP.Branches) {
+    FinalPrediction Final;
+    if (!Pred.Reachable) {
+      Final.ProbTrue = Pred.ProbTrue;
+      Final.Source = PredictionSource::Unreachable;
+    } else if (Pred.FromRanges) {
+      Final.ProbTrue = Pred.ProbTrue;
+      Final.Source = PredictionSource::Range;
+    } else {
+      auto It = Fallback.find(Branch);
+      Final.ProbTrue = It == Fallback.end() ? 0.5 : It->second;
+      Final.Source = PredictionSource::Heuristic;
+    }
+    Result[Branch] = Final;
+  }
+  return Result;
+}
+
+double vrp::rangePredictedFraction(const FinalPredictionMap &Predictions) {
+  if (Predictions.empty())
+    return 0.0;
+  unsigned FromRanges = 0;
+  for (const auto &[Branch, Pred] : Predictions)
+    if (Pred.Source == PredictionSource::Range)
+      ++FromRanges;
+  return static_cast<double>(FromRanges) / Predictions.size();
+}

@@ -1,0 +1,79 @@
+//===- driver/Pipeline.h - End-to-end VRP pipeline --------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's front door: VL source -> SSA IR -> value range
+/// propagation -> final branch predictions with heuristic fallback. This
+/// is the API the examples, benches and evaluation harness build on.
+///
+/// \code
+///   DiagnosticEngine Diags;
+///   auto Compiled = compileToSSA(Source, Diags);          // parse..SSA
+///   ModuleVRPResult VRP = runModuleVRP(*Compiled->IR, {});// propagate
+///   FinalPredictionMap P = finalizePredictions(
+///       *Compiled->IR->findFunction("main"),
+///       *VRP.forFunction(...));                           // + fallback
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_DRIVER_PIPELINE_H
+#define VRP_DRIVER_PIPELINE_H
+
+#include "interproc/InterproceduralVRP.h"
+#include "heuristics/Heuristics.h"
+#include "lang/AST.h"
+#include "ssa/AssertionInsertion.h"
+#include "ssa/SSAConstruction.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace vrp {
+
+/// A compiled VL program: the decorated AST (owning the symbol arena) and
+/// the SSA-form IR module.
+struct CompiledProgram {
+  std::unique_ptr<Program> AST;
+  std::unique_ptr<Module> IR;
+  SSAStats SSA;
+  AssertionStats Assertions;
+};
+
+/// Compiles \p Source through parse, sema, irgen, SSA construction and
+/// (unless disabled in \p Opts) assertion insertion. Returns null on any
+/// diagnosed error.
+std::unique_ptr<CompiledProgram>
+compileToSSA(std::string_view Source, DiagnosticEngine &Diags,
+             const VRPOptions &Opts = {});
+
+/// Where a final branch prediction came from.
+enum class PredictionSource {
+  Range,       ///< VRP consulted the tested value's range.
+  Heuristic,   ///< Range was ⊥; Ball–Larus fallback (paper §3.5).
+  Unreachable, ///< Propagation proved the branch unreachable.
+};
+
+struct FinalPrediction {
+  double ProbTrue = 0.5;
+  PredictionSource Source = PredictionSource::Heuristic;
+};
+
+using FinalPredictionMap = std::map<const CondBrInst *, FinalPrediction>;
+
+/// Combines VRP results with the Ball–Larus heuristic fallback exactly as
+/// the paper's evaluation does: range-predicted branches keep their range
+/// probability; ⊥ branches take the combined-heuristic probability.
+FinalPredictionMap finalizePredictions(const Function &F,
+                                       const FunctionVRPResult &VRP);
+
+/// Fraction of branches in \p Predictions predicted from ranges.
+double rangePredictedFraction(const FinalPredictionMap &Predictions);
+
+} // namespace vrp
+
+#endif // VRP_DRIVER_PIPELINE_H

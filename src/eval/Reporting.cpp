@@ -1,0 +1,70 @@
+//===- eval/Reporting.cpp - Figure-style table rendering --------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/Reporting.h"
+
+#include "support/Format.h"
+
+using namespace vrp;
+
+void vrp::printCdfTable(const std::map<PredictorKind, ErrorCdf> &Curves,
+                        const std::string &Caption, std::ostream &OS) {
+  OS << Caption << "\n";
+  std::vector<std::string> Header{"Error <"};
+  for (PredictorKind Kind : allPredictors())
+    Header.push_back(predictorName(Kind));
+  TextTable Table(std::move(Header));
+
+  for (unsigned I = 0; I < ErrorCdf::NumBuckets; ++I) {
+    std::vector<std::string> Row{
+        formatDouble(ErrorCdf::bucketEdge(I), 0) + " pp"};
+    for (PredictorKind Kind : allPredictors()) {
+      auto It = Curves.find(Kind);
+      Row.push_back(It == Curves.end()
+                        ? "-"
+                        : formatPercent(It->second.fractionWithin(I)));
+    }
+    Table.addRow(std::move(Row));
+  }
+  std::vector<std::string> MeanRow{"mean err"};
+  for (PredictorKind Kind : allPredictors()) {
+    auto It = Curves.find(Kind);
+    MeanRow.push_back(
+        It == Curves.end()
+            ? "-"
+            : formatDouble(It->second.meanError(), 2) + " pp");
+  }
+  Table.addRow(std::move(MeanRow));
+  Table.print(OS);
+  OS << "\n";
+}
+
+void vrp::printSuiteReport(const SuiteEvaluation &Suite,
+                           const std::string &Title, std::ostream &OS) {
+  OS << "==== " << Title << " ====\n\n";
+
+  TextTable Summary({"benchmark", "ref steps", "branches", "executed",
+                     "VRP range-predicted"});
+  for (const BenchmarkEvaluation &B : Suite.Benchmarks) {
+    if (!B.Ok) {
+      Summary.addRow({B.Name, "FAILED: " + B.Error});
+      continue;
+    }
+    Summary.addRow({B.Name, std::to_string(B.RefSteps),
+                    std::to_string(B.StaticBranches),
+                    std::to_string(B.ExecutedBranches),
+                    formatPercent(B.VRPRangeFraction)});
+  }
+  Summary.print(OS);
+  OS << "\n";
+
+  printCdfTable(Suite.AveragedUnweighted,
+                Title + " — unweighted (each branch equal), % of branches "
+                        "predicted within the given error",
+                OS);
+  printCdfTable(Suite.AveragedWeighted,
+                Title + " — weighted by branch execution count", OS);
+}

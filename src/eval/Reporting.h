@@ -1,0 +1,34 @@
+//===- eval/Reporting.h - Figure-style table rendering ----------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders SuiteEvaluation results as the textual equivalent of the
+/// paper's Figures 7/8: cumulative "% of branches predicted to within ±N
+/// percentage points" tables per predictor, plus a per-benchmark summary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_EVAL_REPORTING_H
+#define VRP_EVAL_REPORTING_H
+
+#include "eval/SuiteRunner.h"
+
+#include <ostream>
+
+namespace vrp {
+
+/// Prints the averaged unweighted and weighted CDF tables plus the
+/// per-benchmark summary for \p Suite under \p Title.
+void printSuiteReport(const SuiteEvaluation &Suite, const std::string &Title,
+                      std::ostream &OS);
+
+/// Prints one CDF table (rows: error buckets; columns: predictors).
+void printCdfTable(const std::map<PredictorKind, ErrorCdf> &Curves,
+                   const std::string &Caption, std::ostream &OS);
+
+} // namespace vrp
+
+#endif // VRP_EVAL_REPORTING_H

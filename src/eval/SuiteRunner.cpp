@@ -1,0 +1,197 @@
+//===- eval/SuiteRunner.cpp - Figure 7/8 evaluation orchestration ----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/SuiteRunner.h"
+
+#include "profile/ProfilePredictor.h"
+
+using namespace vrp;
+
+const char *vrp::predictorName(PredictorKind Kind) {
+  switch (Kind) {
+  case PredictorKind::Profiling:
+    return "Execution Profiling";
+  case PredictorKind::BallLarus:
+    return "Ball & Larus Heuristics";
+  case PredictorKind::VRP:
+    return "Value Range Propagation";
+  case PredictorKind::VRPNumeric:
+    return "VRP (numeric ranges only)";
+  case PredictorKind::NinetyFifty:
+    return "90/50 Rule";
+  case PredictorKind::Random:
+    return "Random Predictions";
+  }
+  return "?";
+}
+
+std::vector<PredictorKind> vrp::allPredictors() {
+  return {PredictorKind::Profiling,  PredictorKind::BallLarus,
+          PredictorKind::VRP,        PredictorKind::VRPNumeric,
+          PredictorKind::NinetyFifty, PredictorKind::Random};
+}
+
+namespace {
+
+/// Collects VRP+fallback probabilities over a whole module.
+BranchProbMap vrpModulePredictions(Module &M, const VRPOptions &Opts,
+                                   double *RangeFraction) {
+  ModuleVRPResult R = runModuleVRP(M, Opts);
+  BranchProbMap Probs;
+  unsigned Total = 0, FromRanges = 0;
+  for (const auto &F : M.functions()) {
+    const FunctionVRPResult *FR = R.forFunction(F.get());
+    if (!FR)
+      continue;
+    FinalPredictionMap Final = finalizePredictions(*F, *FR);
+    for (const auto &[Branch, Pred] : Final) {
+      Probs[Branch] = Pred.ProbTrue;
+      ++Total;
+      if (Pred.Source == PredictionSource::Range)
+        ++FromRanges;
+    }
+  }
+  if (RangeFraction)
+    *RangeFraction =
+        Total == 0 ? 0.0 : static_cast<double>(FromRanges) / Total;
+  return Probs;
+}
+
+} // namespace
+
+BranchProbMap vrp::predictModule(PredictorKind Kind, Module &M,
+                                 const EdgeProfile &TrainingProfile,
+                                 const VRPOptions &Opts,
+                                 uint64_t RandomSeed) {
+  BranchProbMap Probs;
+  switch (Kind) {
+  case PredictorKind::Profiling:
+    for (const auto &F : M.functions()) {
+      BranchProbMap Per = predictFromProfile(*F, TrainingProfile);
+      Probs.insert(Per.begin(), Per.end());
+    }
+    return Probs;
+  case PredictorKind::BallLarus:
+    for (const auto &F : M.functions()) {
+      BranchProbMap Per = predictBallLarus(*F);
+      Probs.insert(Per.begin(), Per.end());
+    }
+    return Probs;
+  case PredictorKind::VRP:
+    // Uses Opts as configured (the ablation bench relies on this); the
+    // default configuration has symbolic ranges enabled.
+    return vrpModulePredictions(M, Opts, nullptr);
+  case PredictorKind::VRPNumeric: {
+    VRPOptions Numeric = Opts;
+    Numeric.EnableSymbolicRanges = false;
+    return vrpModulePredictions(M, Numeric, nullptr);
+  }
+  case PredictorKind::NinetyFifty:
+    for (const auto &F : M.functions()) {
+      BranchProbMap Per = predictNinetyFifty(*F);
+      Probs.insert(Per.begin(), Per.end());
+    }
+    return Probs;
+  case PredictorKind::Random: {
+    uint64_t Seed = RandomSeed;
+    for (const auto &F : M.functions()) {
+      BranchProbMap Per = predictRandom(*F, Seed++);
+      Probs.insert(Per.begin(), Per.end());
+    }
+    return Probs;
+  }
+  }
+  return Probs;
+}
+
+BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
+                                         const VRPOptions &Opts) {
+  BenchmarkEvaluation Eval;
+  Eval.Name = Program.Name;
+
+  if (Opts.EnableCloning) {
+    // Cloning transforms the module, so predictions would describe
+    // different static branches than the reference profile collected
+    // here. Callers wanting to evaluate cloning must re-profile the
+    // transformed module (see bench/ablation.cpp's showcase).
+    Eval.Error = "evaluateProgram cannot score EnableCloning runs; "
+                 "profile the transformed module instead";
+    return Eval;
+  }
+
+  DiagnosticEngine Diags;
+  auto Compiled = compileToSSA(Program.Source, Diags, Opts);
+  if (!Compiled) {
+    Eval.Error = "compile error: " + Diags.firstError();
+    return Eval;
+  }
+  Module &M = *Compiled->IR;
+
+  // Ground truth from the reference input.
+  Interpreter Interp(M);
+  EdgeProfile RefProfile;
+  ExecutionResult RefRun = Interp.run(Program.RefInput, &RefProfile);
+  if (!RefRun.Ok) {
+    Eval.Error = "reference run failed: " + RefRun.Error;
+    return Eval;
+  }
+  Eval.RefSteps = RefRun.Steps;
+
+  // Training profile from the (different) short input.
+  EdgeProfile TrainProfile;
+  ExecutionResult TrainRun = Interp.run(Program.ShortInput, &TrainProfile);
+  if (!TrainRun.Ok) {
+    Eval.Error = "training run failed: " + TrainRun.Error;
+    return Eval;
+  }
+
+  for (const auto &F : M.functions())
+    for (const auto &B : F->blocks())
+      if (isa<CondBrInst>(B->terminator()))
+        ++Eval.StaticBranches;
+  Eval.ExecutedBranches = RefProfile.counts().size();
+
+  // Range-predicted share (reported for the §5 discussion).
+  vrpModulePredictions(M, Opts, &Eval.VRPRangeFraction);
+
+  uint64_t Seed = 0xC0FFEE ^ std::hash<std::string>{}(Program.Name);
+  for (PredictorKind Kind : allPredictors()) {
+    BranchProbMap Probs =
+        predictModule(Kind, M, TrainProfile, Opts, Seed);
+    std::vector<BranchErrorSample> Samples =
+        computeErrors(Probs, RefProfile);
+    ErrorCdf Unweighted, Weighted;
+    Unweighted.addSamples(Samples, /*Weighted=*/false);
+    Weighted.addSamples(Samples, /*Weighted=*/true);
+    Eval.Curves[Kind] = {Unweighted, Weighted};
+  }
+  Eval.Ok = true;
+  return Eval;
+}
+
+SuiteEvaluation vrp::evaluateSuite(
+    const std::vector<const BenchmarkProgram *> &Programs,
+    const VRPOptions &Opts) {
+  SuiteEvaluation Suite;
+  for (const BenchmarkProgram *P : Programs)
+    Suite.Benchmarks.push_back(evaluateProgram(*P, Opts));
+
+  for (PredictorKind Kind : allPredictors()) {
+    std::vector<ErrorCdf> Unweighted, Weighted;
+    for (const BenchmarkEvaluation &B : Suite.Benchmarks) {
+      if (!B.Ok)
+        continue;
+      auto It = B.Curves.find(Kind);
+      if (It == B.Curves.end())
+        continue;
+      Unweighted.push_back(It->second.first);
+      Weighted.push_back(It->second.second);
+    }
+    Suite.AveragedUnweighted[Kind] = ErrorCdf::average(Unweighted);
+    Suite.AveragedWeighted[Kind] = ErrorCdf::average(Weighted);
+  }
+  return Suite;
+}

@@ -1,0 +1,85 @@
+//===- eval/SuiteRunner.h - Figure 7/8 evaluation orchestration -*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Orchestrates the paper's §5 evaluation protocol over a benchmark suite:
+/// compile, run the reference input for ground truth, run the short input
+/// to train the profiling baseline, produce per-predictor branch
+/// probabilities, and aggregate error CDFs (unweighted and weighted by
+/// execution count) with each benchmark weighted equally — everything the
+/// Figure 7/8 benches need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_EVAL_SUITERUNNER_H
+#define VRP_EVAL_SUITERUNNER_H
+
+#include "benchsuite/Programs.h"
+#include "driver/Pipeline.h"
+#include "eval/ErrorMetrics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+/// The predictors evaluated against each other, in the paper's order.
+enum class PredictorKind {
+  Profiling,    ///< Trained on the short input (input.short protocol).
+  BallLarus,    ///< Combined heuristics [BallLarus93] + [WuLarus94].
+  VRP,          ///< Value range propagation (full, symbolic ranges on).
+  VRPNumeric,   ///< VRP with numeric ranges only.
+  NinetyFifty,  ///< The 90/50 rule.
+  Random,       ///< Random probabilities.
+};
+
+const char *predictorName(PredictorKind Kind);
+
+/// All kinds, in display order.
+std::vector<PredictorKind> allPredictors();
+
+/// Evaluation of one benchmark program.
+struct BenchmarkEvaluation {
+  std::string Name;
+  bool Ok = false;
+  std::string Error;
+  uint64_t RefSteps = 0;
+  unsigned StaticBranches = 0;   ///< Conditional branches in the module.
+  unsigned ExecutedBranches = 0; ///< Executed by the reference run.
+  double VRPRangeFraction = 0.0; ///< Share of branches VRP predicted from
+                                 ///< ranges (rest fell back to heuristics).
+  /// Per predictor: {unweighted CDF, weighted CDF}.
+  std::map<PredictorKind, std::pair<ErrorCdf, ErrorCdf>> Curves;
+};
+
+/// Whole-suite evaluation: per-benchmark detail plus equal-weight averages.
+struct SuiteEvaluation {
+  std::vector<BenchmarkEvaluation> Benchmarks;
+  std::map<PredictorKind, ErrorCdf> AveragedUnweighted;
+  std::map<PredictorKind, ErrorCdf> AveragedWeighted;
+};
+
+/// Computes module-wide branch probabilities for one predictor.
+/// For the VRP kinds, \p Opts controls the engine (symbolic ranges are
+/// forced off for VRPNumeric) and predictions include the heuristic
+/// fallback, exactly as in the paper's experiment.
+BranchProbMap predictModule(PredictorKind Kind, Module &M,
+                            const EdgeProfile &TrainingProfile,
+                            const VRPOptions &Opts, uint64_t RandomSeed);
+
+/// Runs the full §5 protocol over \p Programs.
+SuiteEvaluation evaluateSuite(
+    const std::vector<const BenchmarkProgram *> &Programs,
+    const VRPOptions &Opts);
+
+/// Evaluates a single program (used by tests and the ablation bench).
+BenchmarkEvaluation evaluateProgram(const BenchmarkProgram &Program,
+                                    const VRPOptions &Opts);
+
+} // namespace vrp
+
+#endif // VRP_EVAL_SUITERUNNER_H

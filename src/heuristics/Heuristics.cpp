@@ -1,0 +1,271 @@
+//===- heuristics/Heuristics.cpp - Baseline branch predictors --------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heuristics/Heuristics.h"
+
+#include "analysis/DFS.h"
+
+#include <cmath>
+#include <optional>
+
+using namespace vrp;
+
+double vrp::dempsterShafer(double P1, double P2) {
+  double Num = P1 * P2;
+  double Den = Num + (1.0 - P1) * (1.0 - P2);
+  if (Den <= 0.0)
+    return 0.5;
+  return Num / Den;
+}
+
+BranchProbMap vrp::predictNinetyFifty(const Function &F) {
+  BranchProbMap Result;
+  DFSInfo DFS(F);
+  for (const auto &B : F.blocks()) {
+    const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator());
+    if (!CBr)
+      continue;
+    bool TrueBack = DFS.isBackEdge(B.get(), CBr->trueBlock());
+    bool FalseBack = DFS.isBackEdge(B.get(), CBr->falseBlock());
+    double P = 0.5;
+    if (TrueBack && !FalseBack)
+      P = 0.9;
+    else if (FalseBack && !TrueBack)
+      P = 0.1;
+    Result[CBr] = P;
+  }
+  return Result;
+}
+
+BranchProbMap vrp::predictRandom(const Function &F, uint64_t Seed) {
+  BranchProbMap Result;
+  RNG Rng(Seed);
+  for (const auto &B : F.blocks())
+    if (const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
+      Result[CBr] = Rng.nextDouble();
+  return Result;
+}
+
+namespace {
+
+/// Per-branch context shared by the individual heuristics.
+struct BranchContext {
+  const CondBrInst *Branch;
+  const BasicBlock *Block;
+  const BasicBlock *TrueSucc;
+  const BasicBlock *FalseSucc;
+  const LoopInfo &LI;
+  const PostDominatorTree &PDT;
+  const DFSInfo &DFS;
+};
+
+/// Blocks reachable "immediately" along a successor: the successor itself
+/// plus following single-pred/single-succ chain blocks (covers the split
+/// blocks assertion insertion creates).
+std::vector<const BasicBlock *> successorRegion(const BasicBlock *S) {
+  std::vector<const BasicBlock *> Region{S};
+  const BasicBlock *Cur = S;
+  for (int Hops = 0; Hops < 4; ++Hops) {
+    auto Succs = Cur->succs();
+    if (Succs.size() != 1 || Succs[0]->numPreds() != 1)
+      break;
+    Cur = Succs[0];
+    Region.push_back(Cur);
+  }
+  return Region;
+}
+
+bool regionHasOpcode(const BasicBlock *S, Opcode Op) {
+  for (const BasicBlock *B : successorRegion(S))
+    for (const auto &I : B->instructions())
+      if (I->opcode() == Op)
+        return true;
+  return false;
+}
+
+/// Loop branch heuristic: predict the back edge taken.
+std::optional<double> loopBranchHeuristic(const BranchContext &C,
+                                          double Rate) {
+  bool TrueBack = C.DFS.isBackEdge(C.Block, C.TrueSucc);
+  bool FalseBack = C.DFS.isBackEdge(C.Block, C.FalseSucc);
+  if (TrueBack == FalseBack)
+    return std::nullopt;
+  return TrueBack ? Rate : 1.0 - Rate;
+}
+
+/// Loop exit heuristic: predict the edge leaving the loop not taken.
+std::optional<double> loopExitHeuristic(const BranchContext &C,
+                                        double Rate) {
+  Loop *L = C.LI.loopOf(C.Block);
+  if (!L)
+    return std::nullopt;
+  // Does not apply to the latch branch (loop branch heuristic's domain).
+  if (C.DFS.isBackEdge(C.Block, C.TrueSucc) ||
+      C.DFS.isBackEdge(C.Block, C.FalseSucc))
+    return std::nullopt;
+  bool TrueExits = !L->contains(C.TrueSucc);
+  bool FalseExits = !L->contains(C.FalseSucc);
+  if (TrueExits == FalseExits)
+    return std::nullopt;
+  return TrueExits ? 1.0 - Rate : Rate;
+}
+
+/// Loop header heuristic: predict a successor that is a loop header (or
+/// preheader) and not a postdominator as taken.
+std::optional<double> loopHeaderHeuristic(const BranchContext &C,
+                                          double Rate) {
+  auto qualifies = [&](const BasicBlock *S) {
+    if (C.PDT.postDominates(S, C.Block))
+      return false;
+    for (const BasicBlock *B : successorRegion(S)) {
+      if (C.LI.isLoopHeader(B))
+        return true;
+      for (const auto &L : C.LI.loops())
+        if (L->preheader() == B)
+          return true;
+    }
+    return false;
+  };
+  bool TrueQ = qualifies(C.TrueSucc);
+  bool FalseQ = qualifies(C.FalseSucc);
+  if (TrueQ == FalseQ)
+    return std::nullopt;
+  return TrueQ ? Rate : 1.0 - Rate;
+}
+
+/// Call heuristic: a successor containing a call that does not
+/// postdominate is predicted not taken.
+std::optional<double> callHeuristic(const BranchContext &C, double Rate) {
+  auto qualifies = [&](const BasicBlock *S) {
+    return regionHasOpcode(S, Opcode::Call) &&
+           !C.PDT.postDominates(S, C.Block);
+  };
+  bool TrueQ = qualifies(C.TrueSucc);
+  bool FalseQ = qualifies(C.FalseSucc);
+  if (TrueQ == FalseQ)
+    return std::nullopt;
+  return TrueQ ? 1.0 - Rate : Rate;
+}
+
+/// Store heuristic: a successor containing a store that does not
+/// postdominate is predicted not taken.
+std::optional<double> storeHeuristic(const BranchContext &C, double Rate) {
+  auto qualifies = [&](const BasicBlock *S) {
+    return regionHasOpcode(S, Opcode::Store) &&
+           !C.PDT.postDominates(S, C.Block);
+  };
+  bool TrueQ = qualifies(C.TrueSucc);
+  bool FalseQ = qualifies(C.FalseSucc);
+  if (TrueQ == FalseQ)
+    return std::nullopt;
+  return TrueQ ? 1.0 - Rate : Rate;
+}
+
+/// Return heuristic: a successor containing a return is predicted not
+/// taken.
+std::optional<double> returnHeuristic(const BranchContext &C, double Rate) {
+  auto qualifies = [&](const BasicBlock *S) {
+    return regionHasOpcode(S, Opcode::Ret);
+  };
+  bool TrueQ = qualifies(C.TrueSucc);
+  bool FalseQ = qualifies(C.FalseSucc);
+  if (TrueQ == FalseQ)
+    return std::nullopt;
+  return TrueQ ? 1.0 - Rate : Rate;
+}
+
+/// Opcode heuristic: comparisons against zero / negative constants and
+/// equality tests have biased outcomes.
+std::optional<double> opcodeHeuristic(const BranchContext &C, double Rate) {
+  const auto *Cmp = dyn_cast<CmpInst>(C.Branch->cond());
+  if (!Cmp)
+    return std::nullopt;
+  const auto *RC = dyn_cast<Constant>(Cmp->rhs());
+  bool RhsNonPositive = RC && RC->isInt() && RC->intValue() <= 0;
+  switch (Cmp->pred()) {
+  case CmpPred::EQ:
+    return 1.0 - Rate; // x == y is unlikely.
+  case CmpPred::NE:
+    return Rate;
+  case CmpPred::LT:
+  case CmpPred::LE:
+    if (RhsNonPositive)
+      return 1.0 - Rate; // x < 0 is unlikely.
+    return std::nullopt;
+  case CmpPred::GT:
+  case CmpPred::GE:
+    if (RhsNonPositive)
+      return Rate; // x > 0 is likely.
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Guard heuristic: a successor that uses an operand of the comparison and
+/// does not postdominate is predicted taken.
+std::optional<double> guardHeuristic(const BranchContext &C, double Rate) {
+  const auto *Cmp = dyn_cast<CmpInst>(C.Branch->cond());
+  if (!Cmp)
+    return std::nullopt;
+  auto usesOperand = [&](const BasicBlock *S) {
+    if (C.PDT.postDominates(S, C.Block))
+      return false;
+    for (const BasicBlock *B : successorRegion(S))
+      for (const auto &I : B->instructions())
+        for (unsigned OpIdx = 0; OpIdx < I->numOperands(); ++OpIdx) {
+          const Value *Op = I->operand(OpIdx);
+          // Look through the assertion copies the π-insertion created.
+          if (const auto *A = dyn_cast<AssertInst>(Op))
+            Op = A->parentValue();
+          if (Op == Cmp->lhs() || Op == Cmp->rhs())
+            return true;
+        }
+    return false;
+  };
+  bool TrueQ = usesOperand(C.TrueSucc);
+  bool FalseQ = usesOperand(C.FalseSucc);
+  if (TrueQ == FalseQ)
+    return std::nullopt;
+  return TrueQ ? Rate : 1.0 - Rate;
+}
+
+} // namespace
+
+BranchProbMap vrp::predictBallLarus(const Function &F,
+                                    const BallLarusRates &Rates) {
+  BranchProbMap Result;
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  PostDominatorTree PDT(F);
+  DFSInfo DFS(F);
+
+  for (const auto &B : F.blocks()) {
+    const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator());
+    if (!CBr)
+      continue;
+    BranchContext C{CBr,    B.get(), CBr->trueBlock(), CBr->falseBlock(),
+                    LI,     PDT,     DFS};
+
+    double P = 0.5;
+    bool Applied = false;
+    auto combine = [&](std::optional<double> H) {
+      if (!H)
+        return;
+      P = Applied ? dempsterShafer(P, *H) : *H;
+      Applied = true;
+    };
+    combine(loopBranchHeuristic(C, Rates.LoopBranch));
+    combine(loopExitHeuristic(C, Rates.LoopExit));
+    combine(loopHeaderHeuristic(C, Rates.LoopHeader));
+    combine(callHeuristic(C, Rates.Call));
+    combine(opcodeHeuristic(C, Rates.Opcode));
+    combine(guardHeuristic(C, Rates.Guard));
+    combine(storeHeuristic(C, Rates.Store));
+    combine(returnHeuristic(C, Rates.Return));
+    Result[CBr] = P;
+  }
+  return Result;
+}

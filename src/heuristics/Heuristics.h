@@ -1,0 +1,66 @@
+//===- heuristics/Heuristics.h - Baseline branch predictors -----*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline predictors the paper compares against, and the fallback it
+/// uses for ⊥-range branches (§3.5, §5):
+///
+///  * the 90/50 rule — backward branches taken 90%, forward branches 50%;
+///  * the Ball–Larus heuristics [BallLarus93] combined into probabilities
+///    with Dempster–Shafer evidence combination as in [WuLarus94];
+///  * seeded random prediction.
+///
+/// Every predictor returns P(true-edge taken) per conditional branch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_HEURISTICS_HEURISTICS_H
+#define VRP_HEURISTICS_HEURISTICS_H
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "support/RNG.h"
+
+#include <map>
+
+namespace vrp {
+
+/// Branch probabilities for one function: CondBr -> P(true edge).
+using BranchProbMap = std::map<const CondBrInst *, double>;
+
+/// The 90/50 rule: a back edge is taken with probability 0.9; branches
+/// with no back-edge successor split 50/50.
+BranchProbMap predictNinetyFifty(const Function &F);
+
+/// Taken-probabilities used by the Ball-Larus heuristics (hit rates from
+/// [WuLarus94] Table 1). Exposed for tests and the ablation bench.
+struct BallLarusRates {
+  double LoopBranch = 0.88;
+  double LoopExit = 0.80;
+  double LoopHeader = 0.75;
+  double Call = 0.78;
+  double Opcode = 0.84;
+  double Guard = 0.62;
+  double Store = 0.55;
+  double Return = 0.72;
+};
+
+/// Ball–Larus heuristics combined with Dempster–Shafer into a single
+/// probability per branch.
+BranchProbMap predictBallLarus(const Function &F,
+                               const BallLarusRates &Rates = {});
+
+/// Uniform random probabilities (deterministic under \p Seed).
+BranchProbMap predictRandom(const Function &F, uint64_t Seed);
+
+/// Dempster–Shafer combination of two probability estimates for the same
+/// event: m = p1*p2 / (p1*p2 + (1-p1)*(1-p2)).
+double dempsterShafer(double P1, double P2);
+
+} // namespace vrp
+
+#endif // VRP_HEURISTICS_HEURISTICS_H

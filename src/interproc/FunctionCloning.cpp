@@ -1,0 +1,171 @@
+//===- interproc/FunctionCloning.cpp - Procedure cloning -------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interproc/FunctionCloning.h"
+
+#include "analysis/Dominators.h"
+#include "ir/CFGUtils.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace vrp;
+
+Function *vrp::cloneFunction(Module &M, const Function &Source,
+                             const std::string &CloneName) {
+  Function *Clone = M.makeFunction(CloneName, Source.returnType());
+
+  std::unordered_map<const Value *, Value *> ValueMap;
+  std::unordered_map<const BasicBlock *, BasicBlock *> BlockMap;
+  std::unordered_map<const MemoryObject *, MemoryObject *> ObjectMap;
+
+  for (unsigned I = 0; I < Source.numParams(); ++I) {
+    const Param *P = Source.param(I);
+    ValueMap[P] = Clone->addParam(P->type(), P->name());
+  }
+  for (const MemoryObject *Obj : Source.localObjects()) {
+    MemoryObject *NewObj = M.makeMemoryObject(
+        CloneName + "." + Obj->name(), Obj->elemType(), Obj->size(),
+        /*IsGlobal=*/false);
+    Clone->addLocalObject(NewObj);
+    ObjectMap[Obj] = NewObj;
+  }
+  for (const auto &B : Source.blocks())
+    BlockMap[B.get()] = Clone->makeBlock(B->name());
+
+  auto mapValue = [&](const Value *V) -> Value * {
+    if (isa<Constant>(V))
+      return const_cast<Value *>(V); // Constants are interned and shared.
+    auto It = ValueMap.find(V);
+    assert(It != ValueMap.end() && "operand not yet cloned (defs must "
+                                   "precede uses per block order)");
+    return It->second;
+  };
+  auto mapObject = [&](const MemoryObject *Obj) {
+    auto It = ObjectMap.find(Obj);
+    return It == ObjectMap.end() ? const_cast<MemoryObject *>(Obj)
+                                 : It->second;
+  };
+
+  // First pass: clone instructions in reverse postorder — every non-φ use
+  // is dominated by its definition, and dominators precede their subtree
+  // in RPO, so operands are always mapped before they are needed. φ
+  // operands can come via back edges; their incoming lists are filled in a
+  // second pass.
+  std::vector<std::pair<const PhiInst *, PhiInst *>> Phis;
+  DominatorTree DT(Source);
+  for (BasicBlock *B : DT.rpo()) {
+    BasicBlock *NewB = BlockMap[B];
+    for (const auto &IPtr : B->instructions()) {
+      const Instruction *I = IPtr.get();
+      std::unique_ptr<Instruction> NewI;
+      switch (I->opcode()) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Min:
+      case Opcode::Max:
+        NewI = std::make_unique<BinaryInst>(I->opcode(), I->type(),
+                                            mapValue(I->operand(0)),
+                                            mapValue(I->operand(1)));
+        break;
+      case Opcode::Cmp: {
+        const auto *Cmp = cast<CmpInst>(I);
+        NewI = std::make_unique<CmpInst>(Cmp->pred(),
+                                         mapValue(Cmp->lhs()),
+                                         mapValue(Cmp->rhs()));
+        break;
+      }
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::Abs:
+      case Opcode::Copy:
+      case Opcode::IntToFloat:
+      case Opcode::FloatToInt:
+        NewI = std::make_unique<UnaryInst>(I->opcode(), I->type(),
+                                           mapValue(I->operand(0)));
+        break;
+      case Opcode::Phi: {
+        auto NewPhi = std::make_unique<PhiInst>(I->type());
+        PhiInst *Raw = NewPhi.get();
+        Phis.push_back({cast<PhiInst>(I), Raw});
+        ValueMap[I] = Raw;
+        NewB->insertPhi(std::move(NewPhi));
+        continue;
+      }
+      case Opcode::Assert: {
+        const auto *A = cast<AssertInst>(I);
+        NewI = std::make_unique<AssertInst>(mapValue(A->source()),
+                                            A->pred(),
+                                            mapValue(A->bound()));
+        break;
+      }
+      case Opcode::Load: {
+        const auto *L = cast<LoadInst>(I);
+        NewI = std::make_unique<LoadInst>(mapObject(L->object()),
+                                          mapValue(L->index()));
+        break;
+      }
+      case Opcode::Store: {
+        const auto *St = cast<StoreInst>(I);
+        NewI = std::make_unique<StoreInst>(mapObject(St->object()),
+                                           mapValue(St->index()),
+                                           mapValue(St->storedValue()));
+        break;
+      }
+      case Opcode::Call: {
+        const auto *Call = cast<CallInst>(I);
+        std::vector<Value *> Args;
+        for (unsigned A = 0; A < Call->numArgs(); ++A)
+          Args.push_back(mapValue(Call->arg(A)));
+        // Self-recursive calls retarget to the clone.
+        Function *Callee = Call->callee() == &Source
+                               ? Clone
+                               : Call->callee();
+        NewI = std::make_unique<CallInst>(Callee, I->type(),
+                                          std::move(Args));
+        break;
+      }
+      case Opcode::Input:
+        NewI = std::make_unique<InputInst>();
+        break;
+      case Opcode::Print:
+        NewI = std::make_unique<PrintInst>(mapValue(I->operand(0)));
+        break;
+      case Opcode::Br:
+        createBr(NewB, BlockMap[cast<BrInst>(I)->target()]);
+        continue;
+      case Opcode::CondBr: {
+        const auto *CBr = cast<CondBrInst>(I);
+        createCondBr(NewB, mapValue(CBr->cond()),
+                     BlockMap[CBr->trueBlock()],
+                     BlockMap[CBr->falseBlock()]);
+        continue;
+      }
+      case Opcode::Ret: {
+        const auto *Ret = cast<RetInst>(I);
+        createRet(NewB, Ret->hasValue() ? mapValue(Ret->value()) : nullptr);
+        continue;
+      }
+      case Opcode::ReadVar:
+      case Opcode::WriteVar:
+        assert(false && "cloning pre-SSA IR is not supported");
+        continue;
+      }
+      NewI->setLoc(I->loc());
+      ValueMap[I] = NewB->append(std::move(NewI));
+    }
+  }
+
+  // Second pass: φ incoming lists (all values exist now).
+  for (auto &[OldPhi, NewPhi] : Phis)
+    for (unsigned I = 0; I < OldPhi->numIncoming(); ++I)
+      NewPhi->addIncoming(mapValue(OldPhi->incomingValue(I)),
+                          BlockMap[OldPhi->incomingBlock(I)]);
+  return Clone;
+}

@@ -1,0 +1,30 @@
+//===- interproc/FunctionCloning.h - Procedure cloning ----------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Procedure cloning (paper §3.7, after [CooperHallKennedy92]): duplicates
+/// a function so distinct call sites with significantly different argument
+/// contexts each get their own copy, letting VRP specialize branch
+/// predictions per context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_INTERPROC_FUNCTIONCLONING_H
+#define VRP_INTERPROC_FUNCTIONCLONING_H
+
+#include "ir/Module.h"
+
+namespace vrp {
+
+/// Deep-copies \p Source into a new function named \p CloneName within the
+/// same module. Local memory objects are duplicated; globals are shared.
+/// Returns the clone.
+Function *cloneFunction(Module &M, const Function &Source,
+                        const std::string &CloneName);
+
+} // namespace vrp
+
+#endif // VRP_INTERPROC_FUNCTIONCLONING_H

@@ -1,0 +1,230 @@
+//===- interproc/InterproceduralVRP.cpp - Whole-program VRP ----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interproc/InterproceduralVRP.h"
+
+#include "analysis/CallGraph.h"
+#include "interproc/FunctionCloning.h"
+
+#include <cassert>
+
+using namespace vrp;
+
+namespace {
+
+/// Strips caller-scope symbolic bounds from a range crossing a call
+/// boundary: a bound like `n+2` is meaningless inside the callee.
+ValueRange sanitizeForCallee(const ValueRange &VR) {
+  if (!VR.isRanges() || !VR.hasSymbolicBounds())
+    return VR;
+  return ValueRange::bottom();
+}
+
+/// Interprocedural driver state: parameter and return range tables,
+/// refined over rounds.
+class InterprocDriver {
+public:
+  InterprocDriver(Module &M, const VRPOptions &Opts) : M(M), Opts(Opts) {}
+
+  ModuleVRPResult run();
+
+private:
+  void analyzeAll(ModuleVRPResult &Result);
+  bool refreshTables(const ModuleVRPResult &Result, const CallGraph &CG);
+  unsigned cloneDivergentCallees(ModuleVRPResult &Result);
+
+  Module &M;
+  const VRPOptions &Opts;
+  /// Param value -> merged jump-function range.
+  std::map<const Param *, ValueRange> ParamTable;
+  /// Function -> merged return range.
+  std::map<const Function *, ValueRange> ReturnTable;
+};
+
+} // namespace
+
+void InterprocDriver::analyzeAll(ModuleVRPResult &Result) {
+  PropagationContext Ctx;
+  Ctx.ParamRange = [this](const Param *P) {
+    auto It = ParamTable.find(P);
+    return It == ParamTable.end() ? ValueRange::bottom() : It->second;
+  };
+  Ctx.CallResultRange = [this](const CallInst *Call) {
+    auto It = ReturnTable.find(Call->callee());
+    return It == ReturnTable.end() ? ValueRange::bottom() : It->second;
+  };
+
+  Result.PerFunction.clear();
+  Result.Total = RangeStats();
+  for (const auto &F : M.functions()) {
+    FunctionVRPResult R = propagateRanges(*F, Opts, Ctx);
+    Result.Total += R.Stats;
+    Result.PerFunction.emplace(F.get(), std::move(R));
+  }
+}
+
+bool InterprocDriver::refreshTables(const ModuleVRPResult &Result,
+                                    const CallGraph &CG) {
+  bool Changed = false;
+  VRPOptions LocalOpts = Opts;
+  RangeStats Scratch;
+  RangeOps Ops(LocalOpts, Scratch);
+
+  // Jump functions: merge argument ranges across call sites, weighted by
+  // the call block's reach probability in the caller.
+  for (const auto &F : M.functions()) {
+    bool Recursive = CG.isRecursive(F.get());
+    for (unsigned PI = 0; PI < F->numParams(); ++PI) {
+      const Param *P = F->param(PI);
+      ValueRange Merged = ValueRange::bottom();
+      if (!Recursive) {
+        std::vector<std::pair<ValueRange, double>> Entries;
+        for (const CallInst *Call : CG.callersOf(F.get())) {
+          const FunctionVRPResult *CallerResult =
+              Result.forFunction(Call->function());
+          if (!CallerResult)
+            continue;
+          double Weight =
+              CallerResult->BlockProb[Call->parent()->id()];
+          ValueRange Arg = sanitizeForCallee(
+              CallerResult->rangeOf(Call->arg(PI)));
+          Entries.push_back({Arg, std::max(Weight, 1e-6)});
+        }
+        if (Entries.empty()) {
+          // No callers: entry point or dead function; parameters unknown.
+          Merged = ValueRange::bottom();
+        } else {
+          Merged = Ops.meetWeighted(Entries);
+          if (Merged.isTop())
+            Merged = ValueRange::bottom();
+        }
+      }
+      auto It = ParamTable.find(P);
+      if (It == ParamTable.end() || !It->second.equals(Merged)) {
+        ParamTable[P] = Merged;
+        Changed = true;
+      }
+    }
+  }
+
+  // Return functions: merge `ret` operand ranges weighted by reach
+  // probability of the returning block.
+  for (const auto &F : M.functions()) {
+    const FunctionVRPResult *FR = Result.forFunction(F.get());
+    if (!FR || F->returnType() == IRType::Void)
+      continue;
+    std::vector<std::pair<ValueRange, double>> Entries;
+    for (const auto &B : F->blocks()) {
+      const auto *Ret = dyn_cast_or_null<RetInst>(B->terminator());
+      if (!Ret || !Ret->hasValue())
+        continue;
+      ValueRange VR = sanitizeForCallee(FR->rangeOf(Ret->value()));
+      Entries.push_back({VR, std::max(FR->BlockProb[B->id()], 1e-6)});
+    }
+    ValueRange Merged =
+        Entries.empty() ? ValueRange::bottom() : Ops.meetWeighted(Entries);
+    if (Merged.isTop())
+      Merged = ValueRange::bottom();
+    auto It = ReturnTable.find(F.get());
+    if (It == ReturnTable.end() || !It->second.equals(Merged)) {
+      ReturnTable[F.get()] = Merged;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+unsigned InterprocDriver::cloneDivergentCallees(ModuleVRPResult &Result) {
+  CallGraph CG(M);
+  struct CloneJob {
+    const Function *Callee;
+    std::vector<const CallInst *> Sites;
+  };
+  std::vector<CloneJob> Jobs;
+
+  for (const auto &F : M.functions()) {
+    if (F->numParams() == 0 || CG.isRecursive(F.get()))
+      continue;
+    std::vector<const CallInst *> Sites = CG.callersOf(F.get());
+    if (Sites.size() < 2 || Sites.size() > 4)
+      continue;
+    // Divergent when some parameter's argument ranges differ between two
+    // sites and both are informative (non-⊥).
+    bool Divergent = false;
+    for (unsigned PI = 0; PI < F->numParams() && !Divergent; ++PI) {
+      ValueRange FirstSeen;
+      bool Any = false;
+      for (const CallInst *Call : Sites) {
+        const FunctionVRPResult *CallerResult =
+            Result.forFunction(Call->function());
+        if (!CallerResult)
+          continue;
+        ValueRange Arg =
+            sanitizeForCallee(CallerResult->rangeOf(Call->arg(PI)));
+        if (Arg.isBottom())
+          continue;
+        if (!Any) {
+          FirstSeen = Arg;
+          Any = true;
+        } else if (!FirstSeen.equals(Arg)) {
+          Divergent = true;
+        }
+      }
+    }
+    if (Divergent)
+      Jobs.push_back({F.get(), std::move(Sites)});
+  }
+
+  unsigned NumClones = 0;
+  for (const CloneJob &Job : Jobs) {
+    // One clone per extra call site; the first site keeps the original.
+    for (size_t S = 1; S < Job.Sites.size(); ++S) {
+      Function *Clone =
+          cloneFunction(M, *Job.Callee,
+                        Job.Callee->name() + ".clone" +
+                            std::to_string(NumClones));
+      // Retarget this call site. CallInst stores the callee outside the
+      // operand list, so a targeted mutation is required.
+      const_cast<CallInst *>(Job.Sites[S])->setCallee(Clone);
+      ++NumClones;
+    }
+  }
+  return NumClones;
+}
+
+ModuleVRPResult InterprocDriver::run() {
+  ModuleVRPResult Result;
+  analyzeAll(Result);
+  Result.Rounds = 1;
+  if (!Opts.Interprocedural)
+    return Result;
+
+  if (Opts.EnableCloning) {
+    Result.FunctionsCloned = cloneDivergentCallees(Result);
+    if (Result.FunctionsCloned > 0)
+      analyzeAll(Result);
+  }
+
+  const unsigned MaxRounds = 4;
+  CallGraph CG(M);
+  for (unsigned Round = 1; Round < MaxRounds; ++Round) {
+    if (!refreshTables(Result, CG))
+      break;
+    analyzeAll(Result);
+    ++Result.Rounds;
+  }
+  return Result;
+}
+
+ModuleVRPResult vrp::runModuleVRP(Module &M, const VRPOptions &Opts) {
+  return InterprocDriver(M, Opts).run();
+}
+
+ModuleVRPResult vrp::runModuleVRP(const Module &M, const VRPOptions &Opts) {
+  assert(!(Opts.Interprocedural && Opts.EnableCloning) &&
+         "cloning mutates the module; use the non-const overload");
+  return InterprocDriver(const_cast<Module &>(M), Opts).run();
+}

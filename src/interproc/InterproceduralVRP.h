@@ -1,0 +1,54 @@
+//===- interproc/InterproceduralVRP.h - Whole-program VRP -------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural value range propagation (paper §3.7). Jump functions —
+/// the evaluated actual-argument ranges at each call site — feed callee
+/// parameter ranges; return functions feed call-result ranges back. The
+/// whole program is iterated "almost as if it were one huge control flow
+/// graph" until the cross-function tables stabilize (bounded rounds).
+/// Functions on call-graph cycles (recursion) receive ⊥ parameters.
+/// Optional procedure cloning specializes callees whose call-site contexts
+/// diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_INTERPROC_INTERPROCEDURALVRP_H
+#define VRP_INTERPROC_INTERPROCEDURALVRP_H
+
+#include "ir/Module.h"
+#include "vrp/Propagation.h"
+
+#include <map>
+
+namespace vrp {
+
+/// Whole-module propagation result.
+struct ModuleVRPResult {
+  std::map<const Function *, FunctionVRPResult> PerFunction;
+  RangeStats Total;
+  unsigned Rounds = 0;
+  unsigned FunctionsCloned = 0;
+
+  const FunctionVRPResult *forFunction(const Function *F) const {
+    auto It = PerFunction.find(F);
+    return It == PerFunction.end() ? nullptr : &It->second;
+  }
+};
+
+/// Runs VRP over every function of \p M. With Opts.Interprocedural set,
+/// parameter and return ranges flow across call edges; otherwise each
+/// function is analyzed with ⊥ context. With Opts.EnableCloning set (and
+/// interprocedural analysis on), divergent-context callees are cloned
+/// first — note this MUTATES the module.
+ModuleVRPResult runModuleVRP(Module &M, const VRPOptions &Opts);
+
+/// Const overload for intraprocedural-only analysis (never mutates).
+ModuleVRPResult runModuleVRP(const Module &M, const VRPOptions &Opts);
+
+} // namespace vrp
+
+#endif // VRP_INTERPROC_INTERPROCEDURALVRP_H

@@ -1,0 +1,104 @@
+//===- ir/BasicBlock.cpp - CFG basic blocks --------------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/BasicBlock.h"
+
+#include "ir/Function.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vrp;
+
+Instruction *BasicBlock::append(std::unique_ptr<Instruction> I) {
+  assert(!hasTerminator() && "appending past a terminator");
+  I->Parent = this;
+  I->Id = Parent->takeNextInstId();
+  Instrs.push_back(std::move(I));
+  return Instrs.back().get();
+}
+
+PhiInst *BasicBlock::insertPhi(std::unique_ptr<PhiInst> Phi) {
+  Phi->Parent = this;
+  Phi->Id = Parent->takeNextInstId();
+  auto It = Instrs.begin();
+  while (It != Instrs.end() && (*It)->opcode() == Opcode::Phi)
+    ++It;
+  PhiInst *Raw = Phi.get();
+  Instrs.insert(It, std::move(Phi));
+  return Raw;
+}
+
+Instruction *BasicBlock::insertBeforeTerminator(
+    std::unique_ptr<Instruction> I) {
+  I->Parent = this;
+  I->Id = Parent->takeNextInstId();
+  Instruction *Raw = I.get();
+  if (hasTerminator())
+    Instrs.insert(Instrs.end() - 1, std::move(I));
+  else
+    Instrs.push_back(std::move(I));
+  return Raw;
+}
+
+Instruction *BasicBlock::insertAtHead(std::unique_ptr<Instruction> I) {
+  I->Parent = this;
+  I->Id = Parent->takeNextInstId();
+  auto It = Instrs.begin();
+  while (It != Instrs.end() && ((*It)->opcode() == Opcode::Phi ||
+                                (*It)->opcode() == Opcode::Assert))
+    ++It;
+  Instruction *Raw = I.get();
+  Instrs.insert(It, std::move(I));
+  return Raw;
+}
+
+std::vector<PhiInst *> BasicBlock::phis() const {
+  std::vector<PhiInst *> Result;
+  for (const auto &I : Instrs) {
+    auto *Phi = dyn_cast<PhiInst>(I.get());
+    if (!Phi)
+      break;
+    Result.push_back(Phi);
+  }
+  return Result;
+}
+
+std::vector<BasicBlock *> BasicBlock::succs() const {
+  Instruction *T = terminator();
+  if (!T)
+    return {};
+  if (auto *Br = dyn_cast<BrInst>(T))
+    return {Br->target()};
+  if (auto *CBr = dyn_cast<CondBrInst>(T))
+    return {CBr->trueBlock(), CBr->falseBlock()};
+  return {};
+}
+
+void BasicBlock::removePred(BasicBlock *Pred) {
+  auto It = std::find(Preds.begin(), Preds.end(), Pred);
+  assert(It != Preds.end() && "predecessor not found");
+  Preds.erase(It);
+}
+
+void BasicBlock::replacePred(BasicBlock *Old, BasicBlock *New) {
+  auto It = std::find(Preds.begin(), Preds.end(), Old);
+  assert(It != Preds.end() && "predecessor not found");
+  *It = New;
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(Instruction *I) {
+  for (auto It = Instrs.begin(); It != Instrs.end(); ++It) {
+    if (It->get() == I) {
+      std::unique_ptr<Instruction> Owned = std::move(*It);
+      Instrs.erase(It);
+      Owned->Parent = nullptr;
+      return Owned;
+    }
+  }
+  assert(false && "instruction not in this block");
+  return nullptr;
+}

@@ -1,0 +1,105 @@
+//===- ir/BasicBlock.h - CFG basic blocks -----------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks: an instruction sequence ending in one terminator, with
+/// explicit predecessor lists. Successors are derived from the terminator,
+/// so the two views can never diverge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IR_BASICBLOCK_H
+#define VRP_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+class Function;
+
+/// A CFG node. Blocks own their instructions.
+class BasicBlock {
+public:
+  BasicBlock(Function *Parent, std::string Name, unsigned Id)
+      : Parent(Parent), Name(std::move(Name)), Id(Id) {}
+
+  Function *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  unsigned id() const { return Id; }
+  void setId(unsigned NewId) { Id = NewId; }
+
+  //===--------------------------------------------------------------------===
+  // Instructions
+  //===--------------------------------------------------------------------===
+
+  const std::vector<std::unique_ptr<Instruction>> &instructions() const {
+    return Instrs;
+  }
+  bool empty() const { return Instrs.empty(); }
+  Instruction *front() const { return Instrs.front().get(); }
+  Instruction *back() const { return Instrs.back().get(); }
+
+  /// Appends \p I (takes ownership). Must not already have a terminator.
+  Instruction *append(std::unique_ptr<Instruction> I);
+
+  /// Inserts a φ at the end of the existing φ prefix.
+  PhiInst *insertPhi(std::unique_ptr<PhiInst> Phi);
+
+  /// Inserts \p I immediately before the terminator (or appends when the
+  /// block is still open).
+  Instruction *insertBeforeTerminator(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I after the φ prefix and after any existing Assert
+  /// instructions at the block head (used for edge assertions).
+  Instruction *insertAtHead(std::unique_ptr<Instruction> I);
+
+  /// The terminator, or null while the block is still being built.
+  Instruction *terminator() const {
+    return !Instrs.empty() && Instrs.back()->isTerminator()
+               ? Instrs.back().get()
+               : nullptr;
+  }
+  bool hasTerminator() const { return terminator() != nullptr; }
+
+  /// All φ instructions (the block's leading φ prefix).
+  std::vector<PhiInst *> phis() const;
+
+  //===--------------------------------------------------------------------===
+  // CFG edges
+  //===--------------------------------------------------------------------===
+
+  const std::vector<BasicBlock *> &preds() const { return Preds; }
+  unsigned numPreds() const { return Preds.size(); }
+
+  /// Successors derived from the terminator: {} for Ret, {target} for Br,
+  /// {true, false} for CondBr.
+  std::vector<BasicBlock *> succs() const;
+  unsigned numSuccs() const { return succs().size(); }
+
+  void addPred(BasicBlock *Pred) { Preds.push_back(Pred); }
+  void removePred(BasicBlock *Pred);
+  /// Replaces a predecessor entry (keeping φ incoming lists in sync is the
+  /// caller's job; see splitEdge in ir/CFGUtils.h).
+  void replacePred(BasicBlock *Old, BasicBlock *New);
+
+private:
+  friend class Instruction;
+  std::unique_ptr<Instruction> detach(Instruction *I);
+
+  Function *Parent;
+  std::string Name;
+  unsigned Id;
+  std::vector<std::unique_ptr<Instruction>> Instrs;
+  std::vector<BasicBlock *> Preds;
+};
+
+} // namespace vrp
+
+#endif // VRP_IR_BASICBLOCK_H

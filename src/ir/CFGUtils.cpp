@@ -1,0 +1,128 @@
+//===- ir/CFGUtils.cpp - CFG construction and editing utilities -----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFGUtils.h"
+
+#include <cassert>
+#include <memory>
+#include <set>
+#include <vector>
+
+using namespace vrp;
+
+BrInst *vrp::createBr(BasicBlock *From, BasicBlock *To) {
+  assert(!From->hasTerminator() && "block already terminated");
+  auto *Br = cast<BrInst>(From->append(std::make_unique<BrInst>(To)));
+  To->addPred(From);
+  return Br;
+}
+
+CondBrInst *vrp::createCondBr(BasicBlock *From, Value *Cond,
+                              BasicBlock *TrueTo, BasicBlock *FalseTo) {
+  assert(!From->hasTerminator() && "block already terminated");
+  auto *CBr = cast<CondBrInst>(
+      From->append(std::make_unique<CondBrInst>(Cond, TrueTo, FalseTo)));
+  TrueTo->addPred(From);
+  FalseTo->addPred(From);
+  return CBr;
+}
+
+RetInst *vrp::createRet(BasicBlock *From, Value *V) {
+  assert(!From->hasTerminator() && "block already terminated");
+  return cast<RetInst>(From->append(std::make_unique<RetInst>(V)));
+}
+
+BasicBlock *vrp::splitEdge(BasicBlock *From, BasicBlock *To, bool TrueEdge) {
+  Instruction *T = From->terminator();
+  assert(T && "unterminated block");
+
+  BasicBlock *Mid =
+      From->parent()->makeBlock(From->name() + "." + To->name() + ".split");
+
+  if (auto *Br = dyn_cast<BrInst>(T)) {
+    assert(Br->target() == To && "edge does not exist");
+    Br->setTarget(Mid);
+  } else {
+    auto *CBr = cast<CondBrInst>(T);
+    if (TrueEdge) {
+      assert(CBr->trueBlock() == To && "true edge does not lead to To");
+      CBr->setTrueBlock(Mid);
+    } else {
+      assert(CBr->falseBlock() == To && "false edge does not lead to To");
+      CBr->setFalseBlock(Mid);
+    }
+  }
+
+  Mid->addPred(From);
+  createBr(Mid, To); // Adds Mid to To->preds.
+  To->removePred(From);
+
+  // Retarget φ incoming entries: the value now flows in from Mid. When the
+  // CondBr had both edges to To there are two incoming entries for From;
+  // retarget exactly one.
+  for (PhiInst *Phi : To->phis()) {
+    int Index = Phi->indexOfIncoming(From);
+    if (Index >= 0)
+      Phi->retargetIncoming(static_cast<unsigned>(Index), Mid);
+  }
+  return Mid;
+}
+
+BrInst *vrp::replaceTerminatorWithBr(BasicBlock *From, BasicBlock *To) {
+  Instruction *T = From->terminator();
+  assert(T && "unterminated block");
+  T->eraseFromParent();
+  return createBr(From, To);
+}
+
+unsigned vrp::removeUnreachableBlocks(Function &F) {
+  std::set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Work{F.entry()};
+  while (!Work.empty()) {
+    BasicBlock *B = Work.back();
+    Work.pop_back();
+    if (!Reachable.insert(B).second)
+      continue;
+    for (BasicBlock *S : B->succs())
+      Work.push_back(S);
+  }
+  if (Reachable.size() == F.numBlocks())
+    return 0;
+
+  // Disconnect dead blocks from live ones: drop dead preds (and matching φ
+  // incoming entries) in reachable successors.
+  for (const auto &B : F.blocks()) {
+    if (!Reachable.count(B.get()))
+      continue;
+    std::vector<BasicBlock *> DeadPreds;
+    for (BasicBlock *P : B->preds())
+      if (!Reachable.count(P))
+        DeadPreds.push_back(P);
+    for (BasicBlock *P : DeadPreds) {
+      for (PhiInst *Phi : B->phis()) {
+        int Index = Phi->indexOfIncoming(P);
+        if (Index >= 0)
+          Phi->removeIncoming(static_cast<unsigned>(Index));
+      }
+      B->removePred(P);
+    }
+  }
+
+  // Dead instructions may use live values (and each other, in any order):
+  // drop all their operand uses first, then erase the blocks wholesale.
+  // Live code cannot use a dead definition (defs dominate uses, and a dead
+  // block dominates nothing live), so no live use lists are left dangling.
+  for (const auto &B : F.blocks()) {
+    if (Reachable.count(B.get()))
+      continue;
+    for (const auto &I : B->instructions())
+      I->dropAllOperands();
+  }
+  unsigned Before = F.numBlocks();
+  F.eraseBlocksIf(
+      [&](BasicBlock *B) { return Reachable.count(B) == 0; });
+  return Before - F.numBlocks();
+}

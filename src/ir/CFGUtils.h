@@ -1,0 +1,51 @@
+//===- ir/CFGUtils.h - CFG construction and editing utilities ---*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers that create terminators while keeping predecessor lists
+/// consistent, plus edge splitting (needed to give every conditional
+/// out-edge a dedicated block for the paper's assertion instructions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IR_CFGUTILS_H
+#define VRP_IR_CFGUTILS_H
+
+#include "ir/Function.h"
+
+namespace vrp {
+
+/// Appends `br To` to \p From and records the CFG edge.
+BrInst *createBr(BasicBlock *From, BasicBlock *To);
+
+/// Appends `condbr Cond, TrueTo, FalseTo` to \p From and records both edges.
+CondBrInst *createCondBr(BasicBlock *From, Value *Cond, BasicBlock *TrueTo,
+                         BasicBlock *FalseTo);
+
+/// Appends `ret [V]` to \p From.
+RetInst *createRet(BasicBlock *From, Value *V);
+
+/// Splits the edge From->To by inserting a fresh block containing only a
+/// `br To`. Updates the terminator of \p From, predecessor lists, and any
+/// φ incoming entries in \p To. Returns the new block.
+///
+/// When From->To is a CondBr edge present on *both* out-edges, only the
+/// occurrence selected by \p TrueEdge is split.
+BasicBlock *splitEdge(BasicBlock *From, BasicBlock *To, bool TrueEdge);
+
+/// Replaces the terminator of \p From with `br To`, updating predecessor
+/// lists (and φs in abandoned successors are the caller's concern; used by
+/// opt passes after rewriting φs).
+BrInst *replaceTerminatorWithBr(BasicBlock *From, BasicBlock *To);
+
+/// Deletes every block not reachable from the entry, fixing predecessor
+/// lists and φ incoming entries of surviving blocks. Returns the number of
+/// blocks removed. Block ids are renumbered densely.
+unsigned removeUnreachableBlocks(Function &F);
+
+} // namespace vrp
+
+#endif // VRP_IR_CFGUTILS_H

@@ -1,0 +1,148 @@
+//===- ir/Function.h - IR functions -----------------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Function owns its basic blocks and parameters and hands out dense
+/// instruction ids (used by analyses for side tables).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IR_FUNCTION_H
+#define VRP_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+class Module;
+
+/// A mutable scalar variable before SSA construction. Each VL local or
+/// parameter gets one slot; ReadVar/WriteVar reference it; SSA construction
+/// (ssa/SSAConstruction.h) eliminates all slots.
+class VarSlot {
+public:
+  VarSlot(std::string Name, IRType Type, unsigned Id)
+      : Name(std::move(Name)), Type(Type), Id(Id) {}
+
+  const std::string &name() const { return Name; }
+  IRType type() const { return Type; }
+  unsigned id() const { return Id; }
+
+private:
+  std::string Name;
+  IRType Type;
+  unsigned Id;
+};
+
+/// One IR function: parameters, blocks, and references to its local memory
+/// objects (owned by the Module).
+class Function {
+public:
+  Function(Module *Parent, std::string Name, IRType ReturnType)
+      : Parent(Parent), Name(std::move(Name)), ReturnType(ReturnType) {}
+
+  Module *parent() const { return Parent; }
+  const std::string &name() const { return Name; }
+  IRType returnType() const { return ReturnType; }
+
+  //===--------------------------------------------------------------------===
+  // Parameters
+  //===--------------------------------------------------------------------===
+
+  Param *addParam(IRType Type, std::string ParamName) {
+    Params.push_back(
+        std::make_unique<Param>(Type, std::move(ParamName), Params.size(),
+                                this));
+    return Params.back().get();
+  }
+  unsigned numParams() const { return Params.size(); }
+  Param *param(unsigned I) const { return Params[I].get(); }
+
+  //===--------------------------------------------------------------------===
+  // Blocks
+  //===--------------------------------------------------------------------===
+
+  BasicBlock *makeBlock(std::string BlockName) {
+    Blocks.push_back(std::make_unique<BasicBlock>(
+        this, std::move(BlockName), Blocks.size()));
+    return Blocks.back().get();
+  }
+
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+  unsigned numBlocks() const { return Blocks.size(); }
+  BasicBlock *entry() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+
+  /// Reassigns dense block ids in storage order (after CFG edits).
+  void renumberBlocks() {
+    for (unsigned I = 0; I < Blocks.size(); ++I)
+      Blocks[I]->setId(I);
+  }
+
+  /// Removes every block for which \p ShouldErase returns true. The caller
+  /// must already have disconnected those blocks from the CFG.
+  template <typename Pred> void eraseBlocksIf(Pred ShouldErase) {
+    std::vector<std::unique_ptr<BasicBlock>> Kept;
+    for (auto &B : Blocks)
+      if (!ShouldErase(B.get()))
+        Kept.push_back(std::move(B));
+    Blocks = std::move(Kept);
+    renumberBlocks();
+  }
+
+  /// Total instruction count across all blocks.
+  unsigned numInstructions() const {
+    unsigned N = 0;
+    for (const auto &B : Blocks)
+      N += B->instructions().size();
+    return N;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Local memory objects
+  //===--------------------------------------------------------------------===
+
+  void addLocalObject(MemoryObject *Obj) { LocalObjects.push_back(Obj); }
+  const std::vector<MemoryObject *> &localObjects() const {
+    return LocalObjects;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Pre-SSA variable slots
+  //===--------------------------------------------------------------------===
+
+  VarSlot *makeSlot(std::string SlotName, IRType Type) {
+    Slots.push_back(std::make_unique<VarSlot>(std::move(SlotName), Type,
+                                              Slots.size()));
+    return Slots.back().get();
+  }
+  const std::vector<std::unique_ptr<VarSlot>> &slots() const { return Slots; }
+
+  /// Next dense instruction id (assigned by BasicBlock::append).
+  unsigned takeNextInstId() { return NextInstId++; }
+  unsigned numInstIds() const { return NextInstId; }
+
+private:
+  Module *Parent;
+  std::string Name;
+  IRType ReturnType;
+  std::vector<std::unique_ptr<Param>> Params;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  std::vector<MemoryObject *> LocalObjects;
+  std::vector<std::unique_ptr<VarSlot>> Slots;
+  unsigned NextInstId = 0;
+};
+
+} // namespace vrp
+
+#endif // VRP_IR_FUNCTION_H

@@ -1,0 +1,146 @@
+//===- ir/IRPrinter.cpp - Textual IR dumping -------------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+using namespace vrp;
+
+std::string vrp::instructionToString(const Instruction &I) {
+  std::string S;
+  auto op = [&](unsigned Idx) { return I.operand(Idx)->displayName(); };
+
+  if (I.type() != IRType::Void)
+    S += I.displayName() + " = ";
+
+  switch (I.opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Min:
+  case Opcode::Max:
+    S += std::string(opcodeName(I.opcode())) + " " + op(0) + ", " + op(1);
+    break;
+  case Opcode::Cmp: {
+    const auto &C = cast<CmpInst>(&I);
+    S += std::string("cmp ") + op(0) + " " + cmpPredSpelling(C->pred()) +
+         " " + op(1);
+    break;
+  }
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Abs:
+  case Opcode::Copy:
+  case Opcode::IntToFloat:
+  case Opcode::FloatToInt:
+    S += std::string(opcodeName(I.opcode())) + " " + op(0);
+    break;
+  case Opcode::ReadVar:
+    S += "readvar $" + cast<ReadVarInst>(&I)->slot()->name();
+    break;
+  case Opcode::WriteVar: {
+    const auto *W = cast<WriteVarInst>(&I);
+    S += "writevar $" + W->slot()->name() + " = " + op(0);
+    break;
+  }
+  case Opcode::Phi: {
+    const auto *Phi = cast<PhiInst>(&I);
+    S += "phi ";
+    for (unsigned Idx = 0; Idx < Phi->numIncoming(); ++Idx) {
+      if (Idx)
+        S += ", ";
+      S += "[" + op(Idx) + ", " + Phi->incomingBlock(Idx)->name() + "]";
+    }
+    break;
+  }
+  case Opcode::Assert: {
+    const auto *A = cast<AssertInst>(&I);
+    S += std::string("assert ") + op(0) + " " + cmpPredSpelling(A->pred()) +
+         " " + op(1);
+    break;
+  }
+  case Opcode::Load: {
+    const auto *L = cast<LoadInst>(&I);
+    S += "load @" + L->object()->name() + "[" + op(0) + "]";
+    break;
+  }
+  case Opcode::Store: {
+    const auto *St = cast<StoreInst>(&I);
+    S += "store @" + St->object()->name() + "[" + op(0) + "] = " + op(1);
+    break;
+  }
+  case Opcode::Call: {
+    const auto *C = cast<CallInst>(&I);
+    S += "call @" + C->callee()->name() + "(";
+    for (unsigned Idx = 0; Idx < C->numArgs(); ++Idx) {
+      if (Idx)
+        S += ", ";
+      S += op(Idx);
+    }
+    S += ")";
+    break;
+  }
+  case Opcode::Input:
+    S += "input";
+    break;
+  case Opcode::Print:
+    S += "print " + op(0);
+    break;
+  case Opcode::Br:
+    S += "br " + cast<BrInst>(&I)->target()->name();
+    break;
+  case Opcode::CondBr: {
+    const auto *CBr = cast<CondBrInst>(&I);
+    S += "condbr " + op(0) + ", " + CBr->trueBlock()->name() + ", " +
+         CBr->falseBlock()->name();
+    break;
+  }
+  case Opcode::Ret:
+    S += "ret";
+    if (I.numOperands() == 1)
+      S += " " + op(0);
+    break;
+  }
+  return S;
+}
+
+void vrp::printFunction(const Function &F, std::ostream &OS) {
+  OS << "fn @" << F.name() << "(";
+  for (unsigned I = 0; I < F.numParams(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << F.param(I)->displayName() << ": "
+       << irTypeName(F.param(I)->type());
+  }
+  OS << ") -> " << irTypeName(F.returnType()) << " {\n";
+  for (MemoryObject *Obj : F.localObjects())
+    OS << "  local @" << Obj->name() << ": " << irTypeName(Obj->elemType())
+       << "[" << Obj->size() << "]\n";
+  for (const auto &B : F.blocks()) {
+    OS << B->name() << ":";
+    if (!B->preds().empty()) {
+      OS << "  ; preds:";
+      for (BasicBlock *P : B->preds())
+        OS << " " << P->name();
+    }
+    OS << "\n";
+    for (const auto &I : B->instructions())
+      OS << "  " << instructionToString(*I) << "\n";
+  }
+  OS << "}\n";
+}
+
+void vrp::printModule(const Module &M, std::ostream &OS) {
+  for (const auto &Obj : M.memoryObjects())
+    if (Obj->isGlobal())
+      OS << "global @" << Obj->name() << ": " << irTypeName(Obj->elemType())
+         << "[" << Obj->size() << "]\n";
+  for (const auto &F : M.functions()) {
+    printFunction(*F, OS);
+    OS << "\n";
+  }
+}

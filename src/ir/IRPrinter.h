@@ -1,0 +1,34 @@
+//===- ir/IRPrinter.h - Textual IR dumping ----------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules, functions and instructions in a readable textual form
+/// (used by tests for golden comparisons and by the example tools).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IR_IRPRINTER_H
+#define VRP_IR_IRPRINTER_H
+
+#include "ir/Module.h"
+
+#include <ostream>
+#include <string>
+
+namespace vrp {
+
+/// Renders one instruction, e.g. "%t3 = add %t1, 4".
+std::string instructionToString(const Instruction &I);
+
+/// Prints \p F with blocks in storage order, including predecessor lists.
+void printFunction(const Function &F, std::ostream &OS);
+
+/// Prints every memory object and function in \p M.
+void printModule(const Module &M, std::ostream &OS);
+
+} // namespace vrp
+
+#endif // VRP_IR_IRPRINTER_H

@@ -1,0 +1,200 @@
+//===- ir/Instruction.cpp - IR instructions --------------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Function.h"
+
+using namespace vrp;
+
+const char *vrp::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Rem:
+    return "rem";
+  case Opcode::Min:
+    return "min";
+  case Opcode::Max:
+    return "max";
+  case Opcode::Cmp:
+    return "cmp";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::Abs:
+    return "abs";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::IntToFloat:
+    return "itof";
+  case Opcode::FloatToInt:
+    return "ftoi";
+  case Opcode::ReadVar:
+    return "readvar";
+  case Opcode::WriteVar:
+    return "writevar";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Assert:
+    return "assert";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Input:
+    return "input";
+  case Opcode::Print:
+    return "print";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+const char *vrp::cmpPredSpelling(CmpPred Pred) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return "==";
+  case CmpPred::NE:
+    return "!=";
+  case CmpPred::LT:
+    return "<";
+  case CmpPred::LE:
+    return "<=";
+  case CmpPred::GT:
+    return ">";
+  case CmpPred::GE:
+    return ">=";
+  }
+  return "?";
+}
+
+CmpPred vrp::negatePred(CmpPred Pred) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return CmpPred::NE;
+  case CmpPred::NE:
+    return CmpPred::EQ;
+  case CmpPred::LT:
+    return CmpPred::GE;
+  case CmpPred::LE:
+    return CmpPred::GT;
+  case CmpPred::GT:
+    return CmpPred::LE;
+  case CmpPred::GE:
+    return CmpPred::LT;
+  }
+  return Pred;
+}
+
+CmpPred vrp::swapPred(CmpPred Pred) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return CmpPred::EQ;
+  case CmpPred::NE:
+    return CmpPred::NE;
+  case CmpPred::LT:
+    return CmpPred::GT;
+  case CmpPred::LE:
+    return CmpPred::GE;
+  case CmpPred::GT:
+    return CmpPred::LT;
+  case CmpPred::GE:
+    return CmpPred::LE;
+  }
+  return Pred;
+}
+
+bool vrp::evalPred(CmpPred Pred, int64_t A, int64_t B) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return A == B;
+  case CmpPred::NE:
+    return A != B;
+  case CmpPred::LT:
+    return A < B;
+  case CmpPred::LE:
+    return A <= B;
+  case CmpPred::GT:
+    return A > B;
+  case CmpPred::GE:
+    return A >= B;
+  }
+  return false;
+}
+
+Function *Instruction::function() const {
+  return Parent ? Parent->parent() : nullptr;
+}
+
+void Instruction::setOperand(unsigned I, Value *V) {
+  assert(I < Operands.size() && "operand index out of range");
+  assert(V && "null operand");
+  Operands[I]->removeUse(this, I);
+  Operands[I] = V;
+  V->addUse(this, I);
+}
+
+void Instruction::removeOperand(unsigned I) {
+  assert(I < Operands.size() && "operand index out of range");
+  Operands[I]->removeUse(this, I);
+  // Later operands shift down; fix their recorded use indices.
+  for (unsigned J = I + 1; J < Operands.size(); ++J) {
+    Operands[J]->removeUse(this, J);
+    Operands[J]->addUse(this, J - 1);
+  }
+  Operands.erase(Operands.begin() + I);
+}
+
+void Instruction::replaceAllUsesWith(Value *V) {
+  assert(V != this && "RAUW with self");
+  // Copy the use list: setOperand mutates it.
+  std::vector<Use> Snapshot = uses();
+  for (const Use &U : Snapshot)
+    U.User->setOperand(U.OperandIndex, V);
+}
+
+void Instruction::dropAllOperandUses() {
+  for (unsigned I = 0; I < Operands.size(); ++I)
+    Operands[I]->removeUse(this, I);
+  Operands.clear();
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction not in a block");
+  assert(!hasUses() && "erasing an instruction that still has uses");
+  if (isTerminator()) {
+    // Keep the successor predecessor lists consistent.
+    if (auto *Br = dyn_cast<BrInst>(this)) {
+      Br->target()->removePred(Parent);
+    } else if (auto *CBr = dyn_cast<CondBrInst>(this)) {
+      CBr->trueBlock()->removePred(Parent);
+      CBr->falseBlock()->removePred(Parent);
+    }
+  }
+  dropAllOperandUses();
+  // detach() destroys *this; nothing may run afterwards.
+  Parent->detach(this);
+}
+
+std::string Instruction::displayName() const {
+  return "%t" + std::to_string(Id);
+}

@@ -1,0 +1,492 @@
+//===- ir/Instruction.h - IR instructions -----------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR instruction set: three-address arithmetic over virtual registers,
+/// φ-functions, the paper's post-branch `assert` instructions (π-nodes),
+/// array loads/stores, calls, the input/print intrinsics and the
+/// terminators. Instructions are Values; operand def-use edges are the "SSA
+/// edges" the propagation engine walks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IR_INSTRUCTION_H
+#define VRP_IR_INSTRUCTION_H
+
+#include "ir/MemoryObject.h"
+#include "ir/Value.h"
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <vector>
+
+namespace vrp {
+
+class BasicBlock;
+class Function;
+
+enum class Opcode {
+  // Binary arithmetic (typed by the result type).
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Min,
+  Max,
+  // Comparisons (always produce int 0/1).
+  Cmp,
+  // Unary.
+  Neg,
+  Not,
+  Abs,
+  Copy,
+  IntToFloat,
+  FloatToInt,
+  // Pre-SSA mutable scalar variables (removed by SSA construction).
+  ReadVar,
+  WriteVar,
+  // SSA constructs.
+  Phi,
+  Assert,
+  // Memory.
+  Load,
+  Store,
+  // Calls and intrinsics.
+  Call,
+  Input,
+  Print,
+  // Terminators.
+  Br,
+  CondBr,
+  Ret,
+};
+
+const char *opcodeName(Opcode Op);
+
+/// Comparison predicates shared by Cmp and Assert instructions.
+enum class CmpPred { EQ, NE, LT, LE, GT, GE };
+
+const char *cmpPredSpelling(CmpPred Pred);
+
+/// Returns the predicate that holds on the *false* edge of a branch testing
+/// \p Pred (its logical negation).
+CmpPred negatePred(CmpPred Pred);
+
+/// Returns the predicate with its operands swapped (e.g. LT -> GT).
+CmpPred swapPred(CmpPred Pred);
+
+/// Evaluates `A Pred B` on concrete integers.
+bool evalPred(CmpPred Pred, int64_t A, int64_t B);
+
+/// Base instruction class. Owns nothing; operands are borrowed Value
+/// pointers with automatically maintained use lists.
+class Instruction : public Value {
+public:
+  Opcode opcode() const { return Op; }
+  BasicBlock *parent() const { return Parent; }
+  Function *function() const;
+  unsigned id() const { return Id; }
+  SourceLoc loc() const { return Loc; }
+  void setLoc(SourceLoc L) { Loc = L; }
+
+  unsigned numOperands() const { return Operands.size(); }
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V);
+
+  /// Removes operand \p I, shifting later operands down (their recorded use
+  /// indices are fixed up). Only φs and erased instructions shrink.
+  void removeOperand(unsigned I);
+
+  /// Drops every operand use (leaves the instruction with zero operands).
+  /// Used when tearing down unreachable code.
+  void dropAllOperands() { dropAllOperandUses(); }
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+  }
+
+  /// Replaces every use of this instruction's result with \p V.
+  void replaceAllUsesWith(Value *V);
+
+  /// Unlinks from the parent block and drops operand uses. The instruction
+  /// is destroyed (blocks own their instructions).
+  void eraseFromParent();
+
+  std::string displayName() const override;
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::Instruction;
+  }
+
+protected:
+  Instruction(Opcode Op, IRType Type, std::vector<Value *> Ops)
+      : Value(Kind::Instruction, Type), Op(Op) {
+    for (Value *V : Ops)
+      addOperand(V);
+  }
+
+  void addOperand(Value *V) {
+    assert(V && "null operand");
+    V->addUse(this, Operands.size());
+    Operands.push_back(V);
+  }
+
+private:
+  friend class BasicBlock;
+  void dropAllOperandUses();
+
+  Opcode Op;
+  BasicBlock *Parent = nullptr;
+  unsigned Id = 0;
+  SourceLoc Loc;
+  std::vector<Value *> Operands;
+};
+
+/// Binary arithmetic: Add/Sub/Mul/Div/Rem/Min/Max.
+class BinaryInst : public Instruction {
+public:
+  BinaryInst(Opcode Op, IRType Type, Value *LHS, Value *RHS)
+      : Instruction(Op, Type, {LHS, RHS}) {
+    assert(Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::Mul ||
+           Op == Opcode::Div || Op == Opcode::Rem || Op == Opcode::Min ||
+           Op == Opcode::Max);
+  }
+
+  Value *lhs() const { return operand(0); }
+  Value *rhs() const { return operand(1); }
+
+  static bool classof(const Value *V) {
+    if (auto *I = dyn_cast<Instruction>(V))
+      switch (I->opcode()) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Min:
+      case Opcode::Max:
+        return true;
+      default:
+        return false;
+      }
+    return false;
+  }
+};
+
+/// A comparison producing int 0/1.
+class CmpInst : public Instruction {
+public:
+  CmpInst(CmpPred Pred, Value *LHS, Value *RHS)
+      : Instruction(Opcode::Cmp, IRType::Int, {LHS, RHS}), Pred(Pred) {}
+
+  CmpPred pred() const { return Pred; }
+  Value *lhs() const { return operand(0); }
+  Value *rhs() const { return operand(1); }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Cmp;
+  }
+
+private:
+  CmpPred Pred;
+};
+
+/// Unary ops: Neg/Not/Abs/Copy/IntToFloat/FloatToInt.
+class UnaryInst : public Instruction {
+public:
+  UnaryInst(Opcode Op, IRType Type, Value *Sub)
+      : Instruction(Op, Type, {Sub}) {
+    assert(Op == Opcode::Neg || Op == Opcode::Not || Op == Opcode::Abs ||
+           Op == Opcode::Copy || Op == Opcode::IntToFloat ||
+           Op == Opcode::FloatToInt);
+  }
+
+  Value *sub() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    if (auto *I = dyn_cast<Instruction>(V))
+      switch (I->opcode()) {
+      case Opcode::Neg:
+      case Opcode::Not:
+      case Opcode::Abs:
+      case Opcode::Copy:
+      case Opcode::IntToFloat:
+      case Opcode::FloatToInt:
+        return true;
+      default:
+        return false;
+      }
+    return false;
+  }
+};
+
+class VarSlot;
+
+/// Pre-SSA read of a mutable scalar variable. SSA construction replaces
+/// every ReadVar with the reaching SSA value.
+class ReadVarInst : public Instruction {
+public:
+  ReadVarInst(VarSlot *Slot, IRType Type)
+      : Instruction(Opcode::ReadVar, Type, {}), Slot(Slot) {}
+
+  VarSlot *slot() const { return Slot; }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::ReadVar;
+  }
+
+private:
+  VarSlot *Slot;
+};
+
+/// Pre-SSA write of a mutable scalar variable; erased by SSA construction.
+class WriteVarInst : public Instruction {
+public:
+  WriteVarInst(VarSlot *Slot, Value *V)
+      : Instruction(Opcode::WriteVar, IRType::Void, {V}), Slot(Slot) {}
+
+  VarSlot *slot() const { return Slot; }
+  Value *storedValue() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::WriteVar;
+  }
+
+private:
+  VarSlot *Slot;
+};
+
+/// A φ-function. Operand I flows in from incomingBlock(I).
+class PhiInst : public Instruction {
+public:
+  explicit PhiInst(IRType Type) : Instruction(Opcode::Phi, Type, {}) {}
+
+  /// During SSA construction: the variable slot this φ merges (null after).
+  VarSlot *slot() const { return Slot; }
+  void setSlot(VarSlot *S) { Slot = S; }
+
+  void addIncoming(Value *V, BasicBlock *Pred) {
+    addOperand(V);
+    Incoming.push_back(Pred);
+  }
+
+  unsigned numIncoming() const { return Incoming.size(); }
+  BasicBlock *incomingBlock(unsigned I) const { return Incoming[I]; }
+  Value *incomingValue(unsigned I) const { return operand(I); }
+
+  /// Returns the operand index for \p Pred, or -1 if absent.
+  int indexOfIncoming(const BasicBlock *Pred) const {
+    for (unsigned I = 0; I < Incoming.size(); ++I)
+      if (Incoming[I] == Pred)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Points incoming entry \p I at a different predecessor (used when an
+  /// edge is split).
+  void retargetIncoming(unsigned I, BasicBlock *NewPred) {
+    assert(I < Incoming.size() && "incoming index out of range");
+    Incoming[I] = NewPred;
+  }
+
+  /// Removes incoming entry \p I (operand and block).
+  void removeIncoming(unsigned I) {
+    assert(I < Incoming.size() && "incoming index out of range");
+    removeOperand(I);
+    Incoming.erase(Incoming.begin() + I);
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Phi;
+  }
+
+private:
+  std::vector<BasicBlock *> Incoming;
+  VarSlot *Slot = nullptr;
+};
+
+/// The paper's post-branch assertion: `%r = assert %src PRED %bound`.
+/// The result is %src refined by the knowledge that the predicate held on
+/// the edge this assertion lives on. Footnote 4's merge rule (assertion ⊓
+/// parent = parent) uses parentValue().
+class AssertInst : public Instruction {
+public:
+  AssertInst(Value *Src, CmpPred Pred, Value *Bound)
+      : Instruction(Opcode::Assert, Src->type(), {Src, Bound}), Pred(Pred) {}
+
+  Value *source() const { return operand(0); }
+  Value *bound() const { return operand(1); }
+  CmpPred pred() const { return Pred; }
+
+  /// The ultimate non-assert value this assertion chain refines.
+  Value *parentValue() const {
+    Value *V = source();
+    while (auto *A = dyn_cast<AssertInst>(V))
+      V = A->source();
+    return V;
+  }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Assert;
+  }
+
+private:
+  CmpPred Pred;
+};
+
+/// `%r = load OBJ[%idx]`.
+class LoadInst : public Instruction {
+public:
+  LoadInst(MemoryObject *Object, Value *Index)
+      : Instruction(Opcode::Load, Object->elemType(), {Index}),
+        Object(Object) {}
+
+  MemoryObject *object() const { return Object; }
+  Value *index() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Load;
+  }
+
+private:
+  MemoryObject *Object;
+};
+
+/// `store OBJ[%idx] = %v`.
+class StoreInst : public Instruction {
+public:
+  StoreInst(MemoryObject *Object, Value *Index, Value *StoredValue)
+      : Instruction(Opcode::Store, IRType::Void, {Index, StoredValue}),
+        Object(Object) {}
+
+  MemoryObject *object() const { return Object; }
+  Value *index() const { return operand(0); }
+  Value *storedValue() const { return operand(1); }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Store;
+  }
+
+private:
+  MemoryObject *Object;
+};
+
+/// A direct call to another function in the module.
+class CallInst : public Instruction {
+public:
+  CallInst(Function *Callee, IRType Type, std::vector<Value *> Args)
+      : Instruction(Opcode::Call, Type, std::move(Args)), Callee(Callee) {}
+
+  Function *callee() const { return Callee; }
+  /// Retargets the call (used by procedure cloning).
+  void setCallee(Function *NewCallee) { Callee = NewCallee; }
+  unsigned numArgs() const { return numOperands(); }
+  Value *arg(unsigned I) const { return operand(I); }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Call;
+  }
+
+private:
+  Function *Callee;
+};
+
+/// `%r = input()`: reads the next int from the program input stream.
+class InputInst : public Instruction {
+public:
+  InputInst() : Instruction(Opcode::Input, IRType::Int, {}) {}
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Input;
+  }
+};
+
+/// `print %v`: appends a value to the program output stream.
+class PrintInst : public Instruction {
+public:
+  explicit PrintInst(Value *V) : Instruction(Opcode::Print, IRType::Void, {V}) {}
+
+  Value *value() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Print;
+  }
+};
+
+/// Unconditional branch.
+class BrInst : public Instruction {
+public:
+  explicit BrInst(BasicBlock *Target)
+      : Instruction(Opcode::Br, IRType::Void, {}), Target(Target) {}
+
+  BasicBlock *target() const { return Target; }
+  void setTarget(BasicBlock *B) { Target = B; }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Br;
+  }
+
+private:
+  BasicBlock *Target;
+};
+
+/// Conditional branch on an int condition (nonzero = true).
+class CondBrInst : public Instruction {
+public:
+  CondBrInst(Value *Cond, BasicBlock *TrueBlock, BasicBlock *FalseBlock)
+      : Instruction(Opcode::CondBr, IRType::Void, {Cond}),
+        TrueBlock(TrueBlock), FalseBlock(FalseBlock) {}
+
+  Value *cond() const { return operand(0); }
+  BasicBlock *trueBlock() const { return TrueBlock; }
+  BasicBlock *falseBlock() const { return FalseBlock; }
+  void setTrueBlock(BasicBlock *B) { TrueBlock = B; }
+  void setFalseBlock(BasicBlock *B) { FalseBlock = B; }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::CondBr;
+  }
+
+private:
+  BasicBlock *TrueBlock;
+  BasicBlock *FalseBlock;
+};
+
+/// Function return (value optional; absent for void functions).
+class RetInst : public Instruction {
+public:
+  explicit RetInst(Value *V)
+      : Instruction(Opcode::Ret, IRType::Void,
+                    V ? std::vector<Value *>{V} : std::vector<Value *>{}) {}
+
+  bool hasValue() const { return numOperands() == 1; }
+  Value *value() const { return hasValue() ? operand(0) : nullptr; }
+
+  static bool classof(const Value *V) {
+    auto *I = dyn_cast<Instruction>(V);
+    return I && I->opcode() == Opcode::Ret;
+  }
+};
+
+} // namespace vrp
+
+#endif // VRP_IR_INSTRUCTION_H

@@ -1,0 +1,57 @@
+//===- ir/MemoryObject.h - Arrays and global scalars ------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A MemoryObject is a fixed-size array of int or float cells accessed via
+/// Load/Store instructions. VL global scalars lower to size-1 memory
+/// objects, so all mutable cross-function state is memory — exactly the
+/// situation where the paper says ranges become bottom and heuristics take
+/// over (§3.5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IR_MEMORYOBJECT_H
+#define VRP_IR_MEMORYOBJECT_H
+
+#include "ir/Type.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vrp {
+
+class Function;
+
+/// One statically sized array (or size-1 global scalar cell).
+class MemoryObject {
+public:
+  MemoryObject(std::string Name, IRType ElemType, int64_t Size, bool IsGlobal,
+               unsigned Id)
+      : Name(std::move(Name)), ElemType(ElemType), Size(Size),
+        IsGlobal(IsGlobal), Id(Id) {}
+
+  const std::string &name() const { return Name; }
+  IRType elemType() const { return ElemType; }
+  int64_t size() const { return Size; }
+  bool isGlobal() const { return IsGlobal; }
+  unsigned id() const { return Id; }
+
+  /// True for the size-1 objects backing VL global scalars.
+  bool isScalarCell() const { return Size == 1 && ScalarCell; }
+  void setScalarCell(bool V) { ScalarCell = V; }
+
+private:
+  std::string Name;
+  IRType ElemType;
+  int64_t Size;
+  bool IsGlobal;
+  unsigned Id;
+  bool ScalarCell = false;
+};
+
+} // namespace vrp
+
+#endif // VRP_IR_MEMORYOBJECT_H

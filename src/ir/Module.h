@@ -1,0 +1,82 @@
+//===- ir/Module.h - IR modules ---------------------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module is one whole VL program lowered to IR: functions plus all
+/// memory objects (arrays, and size-1 cells backing global scalars).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IR_MODULE_H
+#define VRP_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+/// A whole-program IR container.
+class Module {
+public:
+  Function *makeFunction(std::string Name, IRType ReturnType) {
+    Functions.push_back(
+        std::make_unique<Function>(this, std::move(Name), ReturnType));
+    return Functions.back().get();
+  }
+
+  MemoryObject *makeMemoryObject(std::string Name, IRType ElemType,
+                                 int64_t Size, bool IsGlobal) {
+    Objects.push_back(std::make_unique<MemoryObject>(
+        std::move(Name), ElemType, Size, IsGlobal, Objects.size()));
+    return Objects.back().get();
+  }
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+  const std::vector<std::unique_ptr<MemoryObject>> &memoryObjects() const {
+    return Objects;
+  }
+
+  Function *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  /// Initial value for a global scalar cell (index = MemoryObject id).
+  /// Cells without an entry start at zero.
+  void setScalarInit(const MemoryObject *Obj, double Value) {
+    if (ScalarInits.size() <= Obj->id())
+      ScalarInits.resize(Obj->id() + 1, 0.0);
+    ScalarInits[Obj->id()] = Value;
+  }
+  double scalarInit(const MemoryObject *Obj) const {
+    return Obj->id() < ScalarInits.size() ? ScalarInits[Obj->id()] : 0.0;
+  }
+
+  /// Total instruction count across all functions (paper Figures 5/6 use
+  /// this as the program-size axis).
+  unsigned numInstructions() const {
+    unsigned N = 0;
+    for (const auto &F : Functions)
+      N += F->numInstructions();
+    return N;
+  }
+
+private:
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<MemoryObject>> Objects;
+  std::vector<double> ScalarInits;
+};
+
+} // namespace vrp
+
+#endif // VRP_IR_MODULE_H

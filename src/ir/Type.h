@@ -1,0 +1,34 @@
+//===- ir/Type.h - IR value types -------------------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar types in the VRP IR: 64-bit integers and IEEE doubles. Arrays are
+/// memory objects (ir/MemoryObject.h), not first-class values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IR_TYPE_H
+#define VRP_IR_TYPE_H
+
+namespace vrp {
+
+enum class IRType { Int, Float, Void };
+
+inline const char *irTypeName(IRType T) {
+  switch (T) {
+  case IRType::Int:
+    return "int";
+  case IRType::Float:
+    return "float";
+  case IRType::Void:
+    return "void";
+  }
+  return "?";
+}
+
+} // namespace vrp
+
+#endif // VRP_IR_TYPE_H

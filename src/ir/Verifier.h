@@ -1,0 +1,38 @@
+//===- ir/Verifier.h - IR structural invariants -----------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural IR checks run after irgen and after every transforming pass
+/// in tests: terminator placement, predecessor/successor symmetry, operand
+/// type sanity and φ/predecessor agreement. SSA dominance is checked
+/// separately (ssa/SSAVerifier.h) because it needs the dominator tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IR_VERIFIER_H
+#define VRP_IR_VERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+/// Checks structural invariants of \p F. Appends human-readable problem
+/// descriptions to \p Problems; returns true when none were found.
+/// \p ExpectPhis controls whether φ incoming lists must match predecessor
+/// lists exactly (true after SSA construction).
+bool verifyFunction(const Function &F, std::vector<std::string> &Problems,
+                    bool ExpectPhis);
+
+/// Verifies every function in \p M.
+bool verifyModule(const Module &M, std::vector<std::string> &Problems,
+                  bool ExpectPhis);
+
+} // namespace vrp
+
+#endif // VRP_IR_VERIFIER_H

@@ -1,0 +1,34 @@
+//===- irgen/IRGen.h - AST to IR lowering -----------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a semantically checked VL Program to the pre-SSA IR: locals and
+/// parameters become mutable VarSlots (ReadVar/WriteVar), arrays and global
+/// scalars become MemoryObjects with Load/Store, short-circuit logical
+/// operators and all control flow lower to branches, and every unterminated
+/// path receives an implicit `return 0`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_IRGEN_IRGEN_H
+#define VRP_IRGEN_IRGEN_H
+
+#include "ir/Module.h"
+#include "lang/AST.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace vrp {
+
+/// Lowers \p P to IR. \p P must have passed Sema. Returns null (with
+/// diagnostics) only for errors Sema cannot see, e.g. non-constant global
+/// initializers.
+std::unique_ptr<Module> generateIR(const Program &P, DiagnosticEngine &Diags);
+
+} // namespace vrp
+
+#endif // VRP_IRGEN_IRGEN_H

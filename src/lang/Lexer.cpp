@@ -1,0 +1,298 @@
+//===- lang/Lexer.cpp - VL lexer -------------------------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace vrp;
+
+const char *vrp::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Bang:
+    return "'!'";
+  }
+  return "token";
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = loc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, SourceLoc Loc, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = Loc;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Start) {
+  size_t Begin = Pos;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  bool IsFloat = false;
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char Sign = peek(1);
+    unsigned DigitAt = (Sign == '+' || Sign == '-') ? 2 : 1;
+    if (std::isdigit(static_cast<unsigned char>(peek(DigitAt)))) {
+      IsFloat = true;
+      advance();
+      if (Sign == '+' || Sign == '-')
+        advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+  }
+  std::string Text(Source.substr(Begin, Pos - Begin));
+  Token T = makeToken(IsFloat ? TokenKind::FloatLiteral : TokenKind::IntLiteral,
+                      Start, Text);
+  if (IsFloat) {
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+  } else {
+    errno = 0;
+    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+      Diags.error(Start, "integer literal out of 64-bit range: " + Text);
+  }
+  return T;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Start) {
+  size_t Begin = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text(Source.substr(Begin, Pos - Begin));
+
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"fn", TokenKind::KwFn},         {"var", TokenKind::KwVar},
+      {"if", TokenKind::KwIf},         {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},   {"for", TokenKind::KwFor},
+      {"break", TokenKind::KwBreak},   {"continue", TokenKind::KwContinue},
+      {"return", TokenKind::KwReturn}, {"int", TokenKind::KwInt},
+      {"float", TokenKind::KwFloat},   {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+  };
+  auto It = Keywords.find(Text);
+  TokenKind Kind = It == Keywords.end() ? TokenKind::Identifier : It->second;
+  Token T = makeToken(Kind, Start, std::move(Text));
+  if (Kind == TokenKind::KwTrue)
+    T.IntValue = 1;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc Start = loc();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Start, "");
+
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Start);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifier(Start);
+
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Start, "(");
+  case ')':
+    return makeToken(TokenKind::RParen, Start, ")");
+  case '{':
+    return makeToken(TokenKind::LBrace, Start, "{");
+  case '}':
+    return makeToken(TokenKind::RBrace, Start, "}");
+  case '[':
+    return makeToken(TokenKind::LBracket, Start, "[");
+  case ']':
+    return makeToken(TokenKind::RBracket, Start, "]");
+  case ',':
+    return makeToken(TokenKind::Comma, Start, ",");
+  case ';':
+    return makeToken(TokenKind::Semicolon, Start, ";");
+  case ':':
+    return makeToken(TokenKind::Colon, Start, ":");
+  case '+':
+    return makeToken(TokenKind::Plus, Start, "+");
+  case '-':
+    return makeToken(TokenKind::Minus, Start, "-");
+  case '*':
+    return makeToken(TokenKind::Star, Start, "*");
+  case '/':
+    return makeToken(TokenKind::Slash, Start, "/");
+  case '%':
+    return makeToken(TokenKind::Percent, Start, "%");
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::EqualEqual, Start, "==");
+    }
+    return makeToken(TokenKind::Assign, Start, "=");
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::BangEqual, Start, "!=");
+    }
+    return makeToken(TokenKind::Bang, Start, "!");
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::LessEqual, Start, "<=");
+    }
+    return makeToken(TokenKind::Less, Start, "<");
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return makeToken(TokenKind::GreaterEqual, Start, ">=");
+    }
+    return makeToken(TokenKind::Greater, Start, ">");
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return makeToken(TokenKind::AmpAmp, Start, "&&");
+    }
+    break;
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return makeToken(TokenKind::PipePipe, Start, "||");
+    }
+    break;
+  default:
+    break;
+  }
+  Diags.error(Start, std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Error, Start, std::string(1, C));
+}

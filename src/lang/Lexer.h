@@ -1,0 +1,53 @@
+//===- lang/Lexer.h - VL lexer ----------------------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for VL. Supports `//` and `/* */` comments, decimal
+/// integer and floating literals, and the operators in lang/Token.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_LANG_LEXER_H
+#define VRP_LANG_LEXER_H
+
+#include "lang/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string_view>
+
+namespace vrp {
+
+/// Turns a VL source buffer into a token stream, one token per call.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes and returns the next token; returns Eof forever at end of input.
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipTrivia();
+  SourceLoc loc() const { return SourceLoc(Line, Col); }
+
+  Token makeToken(TokenKind Kind, SourceLoc Loc, std::string Text);
+  Token lexNumber(SourceLoc Start);
+  Token lexIdentifier(SourceLoc Start);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace vrp
+
+#endif // VRP_LANG_LEXER_H

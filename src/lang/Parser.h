@@ -1,0 +1,79 @@
+//===- lang/Parser.h - VL recursive-descent parser --------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing a lang/AST.h Program. On syntax
+/// errors it reports a diagnostic and attempts statement-level recovery so
+/// multiple errors surface in one pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_LANG_PARSER_H
+#define VRP_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Lexer.h"
+
+#include <memory>
+
+namespace vrp {
+
+/// Parses one VL source buffer into a Program (no semantic checks).
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticEngine &Diags)
+      : Lex(Source, Diags), Diags(Diags) {
+    Tok = Lex.next();
+  }
+
+  /// Parses the whole buffer. Returns a Program even when errors occurred;
+  /// check the DiagnosticEngine before using the result.
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  // Token plumbing.
+  void consume() { Tok = Lex.next(); }
+  bool at(TokenKind K) const { return Tok.is(K); }
+  bool accept(TokenKind K);
+  bool expect(TokenKind K, const char *Context);
+  void skipToStatementBoundary();
+
+  // Declarations.
+  std::unique_ptr<FunctionDecl> parseFunction();
+  std::unique_ptr<DeclStmt> parseVarDecl();
+  ScalarType parseTypeAnnotation(ScalarType Default);
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+  StmtPtr parseSimpleStmt(bool RequireSemi);
+
+  // Expressions (precedence climbing).
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseComparison();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  Lexer Lex;
+  DiagnosticEngine &Diags;
+  Token Tok;
+};
+
+/// Convenience wrapper: lex + parse a buffer.
+std::unique_ptr<Program> parseVL(std::string_view Source,
+                                 DiagnosticEngine &Diags);
+
+} // namespace vrp
+
+#endif // VRP_LANG_PARSER_H

@@ -1,0 +1,33 @@
+//===- lang/Sema.h - VL semantic analysis -----------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for VL: name resolution against lexical scopes, type
+/// checking with int->float promotion, intrinsic recognition and arity
+/// checks, and structural checks (break/continue placement, return types).
+/// On success every VarRef/ArrayIndex/Decl node is bound to a VarSymbol and
+/// every expression carries its ScalarType.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_LANG_SEMA_H
+#define VRP_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "support/Diagnostics.h"
+
+namespace vrp {
+
+/// Runs all semantic checks over \p P. Returns true when no errors were
+/// reported into \p Diags.
+bool runSema(Program &P, DiagnosticEngine &Diags);
+
+/// Maps a callee name to an intrinsic, or Intrinsic::NotIntrinsic.
+Intrinsic lookupIntrinsic(const std::string &Name);
+
+} // namespace vrp
+
+#endif // VRP_LANG_SEMA_H

@@ -1,0 +1,90 @@
+//===- lang/Token.h - VL tokens ---------------------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for VL, the small C-like language used as the front-end
+/// substrate for the value range propagation pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_LANG_TOKEN_H
+#define VRP_LANG_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vrp {
+
+enum class TokenKind {
+  // Sentinels.
+  Eof,
+  Error,
+  // Literals and identifiers.
+  IntLiteral,
+  FloatLiteral,
+  Identifier,
+  // Keywords.
+  KwFn,
+  KwVar,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwBreak,
+  KwContinue,
+  KwReturn,
+  KwInt,
+  KwFloat,
+  KwTrue,
+  KwFalse,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  // Operators.
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  EqualEqual,
+  BangEqual,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  AmpAmp,
+  PipePipe,
+  Bang,
+};
+
+/// Returns a human-readable spelling for \p Kind (for diagnostics).
+const char *tokenKindName(TokenKind Kind);
+
+/// One lexed token. Literal payloads are stored decoded.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;   ///< Identifier spelling or raw literal text.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+};
+
+} // namespace vrp
+
+#endif // VRP_LANG_TOKEN_H

@@ -1,0 +1,107 @@
+//===- opt/BlockFrequency.cpp - Frequency propagation ----------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/BlockFrequency.h"
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vrp;
+
+namespace {
+
+/// Propagates relative frequencies through one loop (or the whole
+/// function) treating \p Head as receiving frequency 1. Back edges into
+/// Head are not followed; their combined returning probability is the
+/// loop's cyclic probability.
+///
+/// \returns the cyclic probability.
+double propagateRegion(const Function &F, const LoopInfo &LI, Loop *Region,
+                       BasicBlock *Head, const EdgeFractionFn &Fraction,
+                       const std::vector<double> &LoopMultiplier,
+                       std::vector<double> &LocalFreq,
+                       const std::vector<BasicBlock *> &RPO) {
+  std::vector<double> Freq(F.numBlocks(), 0.0);
+  Freq[Head->id()] = 1.0;
+  double Cyclic = 0.0;
+
+  for (BasicBlock *B : RPO) {
+    if (Region && !Region->contains(B))
+      continue;
+    if (B != Head) {
+      double In = 0.0;
+      for (BasicBlock *P : B->preds()) {
+        if (Region && !Region->contains(P))
+          continue;
+        // Skip back edges of *this* region's header (handled via the
+        // multiplier); inner-loop back edges were already collapsed.
+        if (LI.isBackEdge(P, B))
+          continue;
+        In += Freq[P->id()] * Fraction(P, B);
+      }
+      Freq[B->id()] = In;
+    }
+    // Inner loop headers amplify by their trip multiplier.
+    Loop *L = LI.loopOf(B);
+    if (L && L->header() == B && (!Region || L != Region))
+      Freq[B->id()] *= LoopMultiplier[B->id()];
+  }
+
+  for (BasicBlock *B : RPO) {
+    if (Region && !Region->contains(B))
+      continue;
+    for (BasicBlock *S : B->succs())
+      if (S == Head && LI.isBackEdge(B, S))
+        Cyclic += Freq[B->id()] * Fraction(B, S);
+  }
+  LocalFreq = std::move(Freq);
+  return Cyclic;
+}
+
+} // namespace
+
+std::vector<double>
+vrp::computeBlockFrequencies(const Function &F,
+                             const EdgeFractionFn &Fraction,
+                             double MaxCyclicProb) {
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  const std::vector<BasicBlock *> &RPO = DT.rpo();
+
+  // Trip multiplier per loop header (1 for non-headers), innermost first
+  // so outer loops see inner loops already collapsed.
+  std::vector<double> LoopMultiplier(F.numBlocks(), 1.0);
+  std::vector<Loop *> BySize;
+  for (const auto &L : LI.loops())
+    BySize.push_back(L.get());
+  std::sort(BySize.begin(), BySize.end(), [](Loop *A, Loop *B) {
+    return A->blocks().size() < B->blocks().size();
+  });
+  for (Loop *L : BySize) {
+    std::vector<double> Scratch;
+    double Cyclic = propagateRegion(F, LI, L, L->header(), Fraction,
+                                    LoopMultiplier, Scratch, RPO);
+    Cyclic = std::clamp(Cyclic, 0.0, MaxCyclicProb);
+    LoopMultiplier[L->header()->id()] = 1.0 / (1.0 - Cyclic);
+  }
+
+  std::vector<double> Freq;
+  propagateRegion(F, LI, /*Region=*/nullptr, F.entry(), Fraction,
+                  LoopMultiplier, Freq, RPO);
+
+  // Top-level pass does not multiply outermost headers (Region==nullptr
+  // compares L != Region, so they were multiplied already). Nothing more
+  // to do.
+  return Freq;
+}
+
+double vrp::edgeFrequency(const std::vector<double> &Freqs,
+                          const BasicBlock *From, const BasicBlock *To,
+                          const EdgeFractionFn &Fraction) {
+  return Freqs[From->id()] * Fraction(From, To);
+}

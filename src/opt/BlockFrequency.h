@@ -1,0 +1,44 @@
+//===- opt/BlockFrequency.h - Frequency propagation -------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block execution frequency estimation from branch probabilities, in the
+/// style of [WuLarus94] (paper §6: "propagating frequencies around the
+/// control flow graph until a fixed point is reached"). Loops are handled
+/// innermost-first: the cyclic probability r of a loop turns into the
+/// 1/(1-r) trip multiplier, capped to keep pathological loops finite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_OPT_BLOCKFREQUENCY_H
+#define VRP_OPT_BLOCKFREQUENCY_H
+
+#include "ir/Function.h"
+
+#include <functional>
+#include <vector>
+
+namespace vrp {
+
+/// Probability that control leaving \p From takes the edge to \p To
+/// (conditional-branch fraction; 1.0 for unconditional edges).
+using EdgeFractionFn =
+    std::function<double(const BasicBlock *From, const BasicBlock *To)>;
+
+/// Estimated executions per function invocation, indexed by block id.
+/// Entry has frequency 1.0.
+std::vector<double> computeBlockFrequencies(const Function &F,
+                                            const EdgeFractionFn &Fraction,
+                                            double MaxCyclicProb = 0.98);
+
+/// Frequency of the CFG edge From->To under \p Freqs.
+double edgeFrequency(const std::vector<double> &Freqs,
+                     const BasicBlock *From, const BasicBlock *To,
+                     const EdgeFractionFn &Fraction);
+
+} // namespace vrp
+
+#endif // VRP_OPT_BLOCKFREQUENCY_H

@@ -1,0 +1,112 @@
+//===- opt/BlockLayout.cpp - Probability-guided code layout ----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/BlockLayout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace vrp;
+
+BlockOrder vrp::naturalOrder(const Function &F) {
+  BlockOrder Order;
+  for (const auto &B : F.blocks())
+    Order.push_back(B.get());
+  return Order;
+}
+
+BlockOrder vrp::computeLayout(const Function &F,
+                              const EdgeFractionFn &Fraction) {
+  std::vector<double> Freq = computeBlockFrequencies(F, Fraction);
+
+  // Collect edges sorted by frequency, hottest first.
+  struct Edge {
+    const BasicBlock *From;
+    const BasicBlock *To;
+    double Freq;
+  };
+  std::vector<Edge> Edges;
+  for (const auto &B : F.blocks())
+    for (const BasicBlock *S : B->succs())
+      Edges.push_back(
+          {B.get(), S, edgeFrequency(Freq, B.get(), S, Fraction)});
+  std::stable_sort(Edges.begin(), Edges.end(),
+                   [](const Edge &A, const Edge &B) {
+                     return A.Freq > B.Freq;
+                   });
+
+  // Chain formation: every block starts as its own chain; a hot edge
+  // merges two chains when From is a chain tail and To a chain head.
+  unsigned N = F.numBlocks();
+  std::vector<unsigned> ChainOf(N), NextIn(N, ~0u), PrevIn(N, ~0u);
+  std::vector<unsigned> HeadOf(N), TailOf(N);
+  for (unsigned I = 0; I < N; ++I) {
+    ChainOf[I] = I;
+    HeadOf[I] = TailOf[I] = I;
+  }
+  auto chainRoot = [&](unsigned B) { return ChainOf[B]; };
+
+  for (const Edge &E : Edges) {
+    unsigned From = E.From->id(), To = E.To->id();
+    unsigned CF = chainRoot(From), CT = chainRoot(To);
+    if (CF == CT)
+      continue; // Same chain (would create a cycle).
+    if (TailOf[CF] != From || HeadOf[CT] != To)
+      continue; // Only tail->head concatenation keeps chains linear.
+    if (To == F.entry()->id())
+      continue; // The entry must stay a chain head.
+    // Concatenate CT after CF.
+    NextIn[From] = To;
+    PrevIn[To] = From;
+    TailOf[CF] = TailOf[CT];
+    // Relabel CT's members.
+    for (unsigned B = To; B != ~0u; B = NextIn[B])
+      ChainOf[B] = CF;
+  }
+
+  // Order chains: entry's chain first, then by hottest chain-head
+  // frequency.
+  std::vector<unsigned> ChainHeads;
+  for (unsigned I = 0; I < N; ++I)
+    if (PrevIn[I] == ~0u)
+      ChainHeads.push_back(I);
+  std::stable_sort(ChainHeads.begin(), ChainHeads.end(),
+                   [&](unsigned A, unsigned B) {
+                     if (A == F.entry()->id())
+                       return true;
+                     if (B == F.entry()->id())
+                       return false;
+                     return Freq[A] > Freq[B];
+                   });
+
+  BlockOrder Order;
+  for (unsigned Head : ChainHeads)
+    for (unsigned B = Head; B != ~0u; B = NextIn[B])
+      Order.push_back(F.blocks()[B].get());
+  assert(Order.size() == N && "layout lost blocks");
+  return Order;
+}
+
+double vrp::expectedTakenTransfers(const Function &F,
+                                   const BlockOrder &Order,
+                                   const EdgeFractionFn &Fraction) {
+  std::vector<double> Freq = computeBlockFrequencies(F, Fraction);
+  std::map<const BasicBlock *, const BasicBlock *> FallThrough;
+  for (size_t I = 0; I + 1 < Order.size(); ++I)
+    FallThrough[Order[I]] = Order[I + 1];
+
+  double Taken = 0.0;
+  for (const auto &B : F.blocks()) {
+    for (const BasicBlock *S : B->succs()) {
+      auto It = FallThrough.find(B.get());
+      bool IsFallThrough = It != FallThrough.end() && It->second == S;
+      if (!IsFallThrough)
+        Taken += edgeFrequency(Freq, B.get(), S, Fraction);
+    }
+  }
+  return Taken;
+}

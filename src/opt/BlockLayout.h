@@ -1,0 +1,42 @@
+//===- opt/BlockLayout.h - Probability-guided code layout -------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §6 "Code Layout, Cache Optimization & Inlining": uses branch
+/// probabilities to straighten likely paths. Bottom-up Pettis–Hansen-style
+/// chain formation: hot edges merge chains so likely successors become
+/// fall-throughs; chains order by first-touch frequency. The quality
+/// metric is the expected number of taken (non-fall-through) control
+/// transfers per invocation — lower is better for I-cache behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_OPT_BLOCKLAYOUT_H
+#define VRP_OPT_BLOCKLAYOUT_H
+
+#include "opt/BlockFrequency.h"
+
+#include <vector>
+
+namespace vrp {
+
+/// A block order for emission (entry first).
+using BlockOrder = std::vector<const BasicBlock *>;
+
+/// Computes a probability-guided layout for \p F.
+BlockOrder computeLayout(const Function &F, const EdgeFractionFn &Fraction);
+
+/// The function's natural (creation) order, the unoptimized baseline.
+BlockOrder naturalOrder(const Function &F);
+
+/// Expected taken-branch (non-fall-through transfer) count per invocation
+/// for the given order.
+double expectedTakenTransfers(const Function &F, const BlockOrder &Order,
+                              const EdgeFractionFn &Fraction);
+
+} // namespace vrp
+
+#endif // VRP_OPT_BLOCKLAYOUT_H

@@ -1,0 +1,95 @@
+//===- opt/BoundsCheckElim.cpp - Array bounds check elimination -----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/BoundsCheckElim.h"
+
+#include "ir/Function.h"
+
+using namespace vrp;
+
+BoundsCheckStatus vrp::classifyBoundsCheck(const ValueRange &IndexRange,
+                                           int64_t ArraySize) {
+  if (!IndexRange.isRanges())
+    return BoundsCheckStatus::Required;
+
+  bool LowerOk = true, UpperOk = true;
+  for (const SubRange &S : IndexRange.subRanges()) {
+    // Lower check: every possible value >= 0. A numeric lower bound
+    // decides it; a symbolic lower bound does not.
+    if (!S.Lo.isNumeric() || S.Lo.Offset < 0)
+      LowerOk = false;
+    // Upper check: every possible value < size.
+    if (!S.Hi.isNumeric() || S.Hi.Offset >= ArraySize)
+      UpperOk = false;
+  }
+  if (LowerOk && UpperOk)
+    return BoundsCheckStatus::FullyRedundant;
+  if (LowerOk)
+    return BoundsCheckStatus::LowerRedundant;
+  if (UpperOk)
+    return BoundsCheckStatus::UpperRedundant;
+  return BoundsCheckStatus::Required;
+}
+
+BoundsCheckReport vrp::analyzeBoundsChecks(const Function &F,
+                                           const FunctionVRPResult &VRP) {
+  BoundsCheckReport Report;
+  auto classify = [&](const MemoryObject *Obj, const Value *Index) {
+    ++Report.Total;
+    switch (classifyBoundsCheck(VRP.rangeOf(Index), Obj->size())) {
+    case BoundsCheckStatus::FullyRedundant:
+      ++Report.FullyRedundant;
+      break;
+    case BoundsCheckStatus::LowerRedundant:
+      ++Report.LowerRedundant;
+      break;
+    case BoundsCheckStatus::UpperRedundant:
+      ++Report.UpperRedundant;
+      break;
+    case BoundsCheckStatus::Required:
+      ++Report.Required;
+      break;
+    }
+  };
+  for (const auto &B : F.blocks()) {
+    for (const auto &I : B->instructions()) {
+      if (const auto *L = dyn_cast<LoadInst>(I.get()))
+        classify(L->object(), L->index());
+      else if (const auto *S = dyn_cast<StoreInst>(I.get()))
+        classify(S->object(), S->index());
+    }
+  }
+  return Report;
+}
+
+bool vrp::rangesCannotOverlap(const ValueRange &A, const ValueRange &B) {
+  if (!A.isRanges() || !B.isRanges())
+    return false;
+  for (const SubRange &SA : A.subRanges()) {
+    for (const SubRange &SB : B.subRanges()) {
+      // Numeric separation.
+      if (SA.isNumeric() && SB.isNumeric()) {
+        if (SA.Hi.Offset < SB.Lo.Offset || SB.Hi.Offset < SA.Lo.Offset)
+          continue;
+        // Hulls overlap; disjoint lattices could still be proven via
+        // stride reasoning, but we only claim the conservative cases.
+        return false;
+      }
+      // Symbolic separation relative to one common ancestor, e.g.
+      // a[i] vs a[i+1]: [v+1 : v+1] vs [v : v].
+      const Value *SymA = SA.Lo.Sym ? SA.Lo.Sym : SA.Hi.Sym;
+      const Value *SymB = SB.Lo.Sym ? SB.Lo.Sym : SB.Hi.Sym;
+      if (SymA && SymA == SymB && !SA.Lo.isNumeric() &&
+          !SA.Hi.isNumeric() && !SB.Lo.isNumeric() &&
+          !SB.Hi.isNumeric()) {
+        if (SA.Hi.Offset < SB.Lo.Offset || SB.Hi.Offset < SA.Lo.Offset)
+          continue;
+      }
+      return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,62 @@
+//===- opt/BoundsCheckElim.h - Array bounds check elimination ---*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §6: "many array bounds checks can be shown to be redundant by
+/// value range propagation." Every Load/Store conceptually carries the
+/// check `0 <= index < size`; this analysis classifies each access by how
+/// much of that check the index's value range discharges. It also provides
+/// the §6 array-access alias test: two accesses whose index ranges cannot
+/// overlap cannot alias.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_OPT_BOUNDSCHECKELIM_H
+#define VRP_OPT_BOUNDSCHECKELIM_H
+
+#include "vrp/Propagation.h"
+
+namespace vrp {
+
+/// How much of an access's bounds check the ranges discharge.
+enum class BoundsCheckStatus {
+  FullyRedundant, ///< 0 <= idx < size proven; both checks removable.
+  LowerRedundant, ///< Only idx >= 0 proven.
+  UpperRedundant, ///< Only idx < size proven.
+  Required,       ///< Neither side proven.
+};
+
+struct BoundsCheckReport {
+  unsigned Total = 0;
+  unsigned FullyRedundant = 0;
+  unsigned LowerRedundant = 0;
+  unsigned UpperRedundant = 0;
+  unsigned Required = 0;
+
+  /// Fraction of individual checks (2 per access) eliminated.
+  double eliminatedFraction() const {
+    if (Total == 0)
+      return 0.0;
+    return (2.0 * FullyRedundant + LowerRedundant + UpperRedundant) /
+           (2.0 * Total);
+  }
+};
+
+/// Classifies one access's check given the index range and array size.
+BoundsCheckStatus classifyBoundsCheck(const ValueRange &IndexRange,
+                                      int64_t ArraySize);
+
+/// Analyzes every Load/Store in \p F under \p VRP.
+BoundsCheckReport analyzeBoundsChecks(const Function &F,
+                                      const FunctionVRPResult &VRP);
+
+/// Paper §6 alias test: true when the two index ranges provably cannot
+/// produce the same element index (so the accesses cannot alias).
+bool rangesCannotOverlap(const ValueRange &A, const ValueRange &B);
+
+} // namespace vrp
+
+#endif // VRP_OPT_BOUNDSCHECKELIM_H

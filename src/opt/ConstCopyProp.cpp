@@ -1,0 +1,134 @@
+//===- opt/ConstCopyProp.cpp - VRP-subsumed optimizations ------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/ConstCopyProp.h"
+
+#include "ir/CFGUtils.h"
+
+#include <vector>
+
+using namespace vrp;
+
+namespace {
+
+/// True for instructions with a result and no side effects (candidates
+/// for folding and dead-code removal).
+bool isPure(const Instruction &I) {
+  switch (I.opcode()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::Min:
+  case Opcode::Max:
+  case Opcode::Cmp:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::Abs:
+  case Opcode::Copy:
+  case Opcode::IntToFloat:
+  case Opcode::FloatToInt:
+  case Opcode::Phi:
+  case Opcode::Assert:
+  case Opcode::Load: // Loads have no side effects (they may be removed
+                     // when unused, but are never folded to constants).
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+ConstCopyStats vrp::applyConstCopyProp(Function &F,
+                                       const FunctionVRPResult &VRP) {
+  ConstCopyStats Stats;
+  constexpr double CertaintyEps = 1e-12;
+
+  // 1. Fold branches that ranges prove one-sided, then drop unreachable
+  //    code.
+  for (const auto &[Branch, Pred] : VRP.Branches) {
+    if (!Pred.FromRanges || !Pred.Reachable)
+      continue;
+    bool AlwaysTrue = Pred.ProbTrue >= 1.0 - CertaintyEps;
+    bool AlwaysFalse = Pred.ProbTrue <= CertaintyEps;
+    if (!AlwaysTrue && !AlwaysFalse)
+      continue;
+    auto *CBr = const_cast<CondBrInst *>(Branch);
+    BasicBlock *From = CBr->parent();
+    BasicBlock *Live = AlwaysTrue ? CBr->trueBlock() : CBr->falseBlock();
+    BasicBlock *Dead = AlwaysTrue ? CBr->falseBlock() : CBr->trueBlock();
+    // Keep the dead successor's φs consistent before the edge goes away.
+    for (PhiInst *Phi : Dead->phis()) {
+      int Index = Phi->indexOfIncoming(From);
+      if (Index >= 0)
+        Phi->removeIncoming(static_cast<unsigned>(Index));
+    }
+    replaceTerminatorWithBr(From, Live);
+    ++Stats.BranchesFolded;
+  }
+  Stats.BlocksRemoved += removeUnreachableBlocks(F);
+
+  // 2. Constants and copies, from the final output assignments.
+  for (const auto &B : F.blocks()) {
+    std::vector<Instruction *> Worklist;
+    for (const auto &I : B->instructions())
+      Worklist.push_back(I.get());
+    for (Instruction *I : Worklist) {
+      if (!isPure(*I) || I->type() == IRType::Void)
+        continue;
+      if (I->opcode() != Opcode::Load) {
+        ValueRange VR = VRP.rangeOf(I);
+        if (auto C = VR.asIntConstant()) {
+          if (I->hasUses()) {
+            I->replaceAllUsesWith(Constant::getInt(*C));
+            ++Stats.ConstantsFolded;
+          }
+          continue;
+        }
+        if (VR.isFloatConst() && I->hasUses()) {
+          I->replaceAllUsesWith(Constant::getFloat(VR.floatValue()));
+          ++Stats.ConstantsFolded;
+          continue;
+        }
+        if (const Value *Original = VR.asCopyOf()) {
+          // A pure copy of another SSA variable: all uses retarget.
+          // Dominance holds because the symbolic range can only name a
+          // value whose definition dominates this one.
+          if (I->hasUses() && Original != I) {
+            I->replaceAllUsesWith(const_cast<Value *>(Original));
+            ++Stats.CopiesPropagated;
+            continue;
+          }
+        }
+      }
+      if (I->opcode() == Opcode::Copy && I->hasUses()) {
+        I->replaceAllUsesWith(I->operand(0));
+        ++Stats.CopiesPropagated;
+      }
+    }
+  }
+
+  // 3. Dead-code elimination to a fixpoint: pure, unused results go away
+  //    (including the now-unused folded instructions).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &B : F.blocks()) {
+      std::vector<Instruction *> Dead;
+      for (const auto &I : B->instructions())
+        if (isPure(*I) && !I->hasUses())
+          Dead.push_back(I.get());
+      for (Instruction *I : Dead) {
+        I->eraseFromParent();
+        ++Stats.DeadInstructionsRemoved;
+        Changed = true;
+      }
+    }
+  }
+  return Stats;
+}

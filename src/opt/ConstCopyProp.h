@@ -1,0 +1,51 @@
+//===- opt/ConstCopyProp.h - VRP-subsumed optimizations ---------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §6 observation that "value range propagation subsumes both
+/// constant propagation and copy propagation", made operational:
+///
+///  * a variable whose final range is a single constant `1[c:c:0]` is
+///    replaced by that constant;
+///  * a variable whose range is the single symbolic range of another
+///    variable `1[y:y:0]` (and plain Copy instructions) is replaced by y;
+///  * branches whose probability is exactly 0 or 1 *from ranges* fold to
+///    unconditional branches, and the unreachable code is deleted ("just
+///    as constant and copy propagation identify unreachable code, so does
+///    value range propagation — branches to unreachable code have a
+///    probability of 0").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_OPT_CONSTCOPYPROP_H
+#define VRP_OPT_CONSTCOPYPROP_H
+
+#include "vrp/Propagation.h"
+
+namespace vrp {
+
+struct ConstCopyStats {
+  unsigned ConstantsFolded = 0;
+  unsigned CopiesPropagated = 0;
+  unsigned BranchesFolded = 0;
+  unsigned BlocksRemoved = 0;
+  unsigned DeadInstructionsRemoved = 0;
+
+  unsigned total() const {
+    return ConstantsFolded + CopiesPropagated + BranchesFolded +
+           BlocksRemoved + DeadInstructionsRemoved;
+  }
+};
+
+/// Applies VRP-derived constant folding, copy propagation and
+/// unreachable-code elimination to \p F using a finished propagation
+/// result. The IR is left verified-valid SSA.
+ConstCopyStats applyConstCopyProp(Function &F,
+                                  const FunctionVRPResult &VRP);
+
+} // namespace vrp
+
+#endif // VRP_OPT_CONSTCOPYPROP_H

@@ -1,0 +1,105 @@
+//===- opt/HotOrdering.cpp - Frequency-ordered optimization ----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/HotOrdering.h"
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+
+using namespace vrp;
+
+namespace {
+
+/// Per-invocation block frequencies of \p F under its VRP result.
+std::vector<double> blockFrequencies(const Function &F,
+                                     const FunctionVRPResult &R) {
+  EdgeFractionFn Fraction = [&R](const BasicBlock *From,
+                                 const BasicBlock *To) {
+    return R.edgeFraction(From, To);
+  };
+  return computeBlockFrequencies(F, Fraction);
+}
+
+} // namespace
+
+std::map<const Function *, double>
+vrp::estimateFunctionFrequencies(const Module &M,
+                                 const ModuleVRPResult &VRP,
+                                 double RecursionFactor) {
+  std::map<const Function *, double> Freq;
+  for (const auto &F : M.functions())
+    Freq[F.get()] = 0.0;
+  const Function *Main = M.findFunction("main");
+  if (!Main)
+    return Freq;
+  Freq[Main] = 1.0;
+
+  // Per-invocation call counts: callee -> Σ freq(call block).
+  std::map<const Function *, std::map<const Function *, double>> CallRate;
+  for (const auto &F : M.functions()) {
+    const FunctionVRPResult *R = VRP.forFunction(F.get());
+    if (!R)
+      continue;
+    std::vector<double> BF = blockFrequencies(*F, *R);
+    for (const auto &B : F->blocks())
+      for (const auto &I : B->instructions())
+        if (const auto *Call = dyn_cast<CallInst>(I.get()))
+          CallRate[F.get()][Call->callee()] += BF[B->id()];
+  }
+
+  // Top-down propagation over the call graph. Acyclic programs converge
+  // in one pass per SCC level; recursive cycles are cut by attributing
+  // each function RecursionFactor activations per external entry.
+  CallGraph CG(M);
+  const auto &SCCs = CG.sccsBottomUp();
+  for (auto It = SCCs.rbegin(); It != SCCs.rend(); ++It) { // Top-down.
+    const auto &SCC = *It;
+    bool Cyclic = SCC.size() > 1 ||
+                  (SCC.size() == 1 && CG.isRecursive(SCC.front()));
+    if (Cyclic) {
+      // External inflow only, then amplify within the cycle and pass the
+      // amplified frequency on to callees outside the cycle.
+      double Inflow = 0.0;
+      for (const Function *F : SCC)
+        Inflow += Freq[F];
+      for (const Function *F : SCC)
+        Freq[F] = std::max(Freq[F], Inflow * RecursionFactor /
+                                        static_cast<double>(SCC.size()));
+      for (const Function *F : SCC)
+        for (const auto &[Callee, Rate] : CallRate[F])
+          if (std::find(SCC.begin(), SCC.end(), Callee) == SCC.end())
+            Freq[Callee] += Freq[F] * Rate;
+      continue;
+    }
+    const Function *F = SCC.front();
+    for (const auto &[Callee, Rate] : CallRate[F])
+      if (Callee != F)
+        Freq[Callee] += Freq[F] * Rate;
+  }
+  return Freq;
+}
+
+std::vector<HotBlock>
+vrp::rankBlocksByFrequency(const Module &M, const ModuleVRPResult &VRP) {
+  std::map<const Function *, double> FnFreq =
+      estimateFunctionFrequencies(M, VRP);
+  std::vector<HotBlock> Blocks;
+  for (const auto &F : M.functions()) {
+    const FunctionVRPResult *R = VRP.forFunction(F.get());
+    if (!R)
+      continue;
+    std::vector<double> BF = blockFrequencies(*F, *R);
+    for (const auto &B : F->blocks())
+      Blocks.push_back(
+          {F.get(), B.get(), BF[B->id()] * FnFreq[F.get()]});
+  }
+  std::stable_sort(Blocks.begin(), Blocks.end(),
+                   [](const HotBlock &A, const HotBlock &B) {
+                     return A.Frequency > B.Frequency;
+                   });
+  return Blocks;
+}

@@ -1,0 +1,57 @@
+//===- opt/HotOrdering.h - Frequency-ordered optimization ------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper §6: "Branch probabilities can also be used to control the order
+/// of applying other optimization phases, as is done in coagulation …
+/// what we want to know is the execution frequencies of functions and
+/// basic blocks … Optimizations can then be applied in descending order of
+/// execution frequency", which "is particularly effective for
+/// optimizations which allocate a limited resource".
+///
+/// This module estimates per-invocation block frequencies (Wu–Larus
+/// propagation, opt/BlockFrequency.h) and combines them with call-site
+/// frequencies over the call graph to rank every function and block of a
+/// module by estimated absolute execution frequency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_OPT_HOTORDERING_H
+#define VRP_OPT_HOTORDERING_H
+
+#include "interproc/InterproceduralVRP.h"
+#include "opt/BlockFrequency.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+/// Estimated invocation frequency per function (entry = `main` at 1.0),
+/// derived from call-site block frequencies propagated top-down over the
+/// call graph. Recursive cycles are damped by \p RecursionFactor per
+/// round (bounded rounds).
+std::map<const Function *, double>
+estimateFunctionFrequencies(const Module &M, const ModuleVRPResult &VRP,
+                            double RecursionFactor = 8.0);
+
+/// One block with its estimated absolute frequency.
+struct HotBlock {
+  const Function *F = nullptr;
+  const BasicBlock *Block = nullptr;
+  double Frequency = 0.0;
+};
+
+/// Every block of the module, hottest first: per-invocation block
+/// frequency × function invocation frequency. The order optimizations
+/// allocating limited resources should process.
+std::vector<HotBlock> rankBlocksByFrequency(const Module &M,
+                                            const ModuleVRPResult &VRP);
+
+} // namespace vrp
+
+#endif // VRP_OPT_HOTORDERING_H

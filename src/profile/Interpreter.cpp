@@ -1,0 +1,416 @@
+//===- profile/Interpreter.cpp - SSA IR interpreter ------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Interpreter.h"
+
+#include "support/MathUtil.h"
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+using namespace vrp;
+
+namespace {
+
+/// One runtime scalar. The static type of the producing Value selects the
+/// active member.
+struct RuntimeValue {
+  int64_t I = 0;
+  double F = 0.0;
+
+  static RuntimeValue ofInt(int64_t V) {
+    RuntimeValue R;
+    R.I = V;
+    return R;
+  }
+  static RuntimeValue ofFloat(double V) {
+    RuntimeValue R;
+    R.F = V;
+    return R;
+  }
+};
+
+/// Backing store for one memory object.
+struct ObjectState {
+  std::vector<int64_t> Ints;
+  std::vector<double> Floats;
+
+  explicit ObjectState(const MemoryObject &Obj) {
+    if (Obj.elemType() == IRType::Float)
+      Floats.assign(Obj.size(), 0.0);
+    else
+      Ints.assign(Obj.size(), 0);
+  }
+};
+
+struct RuntimeError {
+  std::string Message;
+};
+
+class Machine {
+public:
+  Machine(const Module &M, const std::vector<int64_t> &Input,
+          EdgeProfile *Profile, uint64_t MaxSteps)
+      : M(M), Input(Input), Profile(Profile), MaxSteps(MaxSteps) {
+    for (const auto &Obj : M.memoryObjects()) {
+      if (!Obj->isGlobal())
+        continue;
+      Globals.emplace(Obj.get(), ObjectState(*Obj));
+      if (Obj->isScalarCell()) {
+        double Init = M.scalarInit(Obj.get());
+        ObjectState &S = Globals.at(Obj.get());
+        if (Obj->elemType() == IRType::Float)
+          S.Floats[0] = Init;
+        else
+          S.Ints[0] = static_cast<int64_t>(Init);
+      }
+    }
+  }
+
+  ExecutionResult run();
+
+private:
+  RuntimeValue callFunction(const Function &F,
+                            const std::vector<RuntimeValue> &Args,
+                            unsigned Depth);
+
+  const Module &M;
+  const std::vector<int64_t> &Input;
+  EdgeProfile *Profile;
+  uint64_t MaxSteps;
+  uint64_t Steps = 0;
+  size_t InputPos = 0;
+  std::unordered_map<const MemoryObject *, ObjectState> Globals;
+  std::vector<std::string> Output;
+
+  ExecutionResult makeResult(int64_t Exit) {
+    ExecutionResult R;
+    R.Ok = true;
+    R.Steps = Steps;
+    R.ExitValue = Exit;
+    R.Output = std::move(Output);
+    return R;
+  }
+};
+
+/// One activation record.
+struct Frame {
+  const Function *F;
+  std::vector<RuntimeValue> Regs;   ///< Indexed by instruction id.
+  std::vector<RuntimeValue> Params; ///< Indexed by param index.
+  std::unordered_map<const MemoryObject *, ObjectState> Locals;
+
+  explicit Frame(const Function &Fn)
+      : F(&Fn), Regs(Fn.numInstIds()), Params(Fn.numParams()) {
+    for (const MemoryObject *Obj : Fn.localObjects())
+      Locals.emplace(Obj, ObjectState(*Obj));
+  }
+};
+
+} // namespace
+
+RuntimeValue Machine::callFunction(const Function &F,
+                                   const std::vector<RuntimeValue> &Args,
+                                   unsigned Depth) {
+  if (Depth > 2000)
+    throw RuntimeError{"call depth limit exceeded in @" + F.name()};
+
+  Frame Fr(F);
+  for (unsigned I = 0; I < Args.size() && I < Fr.Params.size(); ++I)
+    Fr.Params[I] = Args[I];
+
+  auto value = [&](const Value *V) -> RuntimeValue {
+    if (const auto *C = dyn_cast<Constant>(V))
+      return C->isInt() ? RuntimeValue::ofInt(C->intValue())
+                        : RuntimeValue::ofFloat(C->floatValue());
+    if (const auto *P = dyn_cast<Param>(V))
+      return Fr.Params[P->index()];
+    return Fr.Regs[cast<Instruction>(V)->id()];
+  };
+
+  auto objectState = [&](const MemoryObject *Obj) -> ObjectState & {
+    auto It = Fr.Locals.find(Obj);
+    if (It != Fr.Locals.end())
+      return It->second;
+    return Globals.at(Obj);
+  };
+
+  auto checkIndex = [&](const MemoryObject *Obj, int64_t Index) {
+    if (Index < 0 || Index >= Obj->size())
+      throw RuntimeError{"array index " + std::to_string(Index) +
+                         " out of bounds for @" + Obj->name() + "[" +
+                         std::to_string(Obj->size()) + "] in @" + F.name()};
+  };
+
+  const BasicBlock *Block = F.entry();
+  const BasicBlock *PrevBlock = nullptr;
+
+  while (true) {
+    // Evaluate the φ prefix simultaneously.
+    std::vector<std::pair<const PhiInst *, RuntimeValue>> PhiValues;
+    for (const PhiInst *Phi : Block->phis()) {
+      int Index = Phi->indexOfIncoming(PrevBlock);
+      if (Index < 0)
+        throw RuntimeError{"φ without incoming for edge into " +
+                           Block->name()};
+      PhiValues.push_back({Phi, value(Phi->incomingValue(Index))});
+    }
+    for (const auto &[Phi, V] : PhiValues)
+      Fr.Regs[Phi->id()] = V;
+
+    for (const auto &IPtr : Block->instructions()) {
+      const Instruction *I = IPtr.get();
+      if (++Steps > MaxSteps)
+        throw RuntimeError{"step limit exceeded"};
+
+      switch (I->opcode()) {
+      case Opcode::Phi:
+        continue; // Handled above.
+
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::Min:
+      case Opcode::Max: {
+        RuntimeValue L = value(I->operand(0));
+        RuntimeValue R = value(I->operand(1));
+        RuntimeValue &Out = Fr.Regs[I->id()];
+        if (I->type() == IRType::Float) {
+          switch (I->opcode()) {
+          case Opcode::Add:
+            Out.F = L.F + R.F;
+            break;
+          case Opcode::Sub:
+            Out.F = L.F - R.F;
+            break;
+          case Opcode::Mul:
+            Out.F = L.F * R.F;
+            break;
+          case Opcode::Div:
+            Out.F = R.F == 0.0 ? 0.0 : L.F / R.F;
+            break;
+          case Opcode::Min:
+            Out.F = std::min(L.F, R.F);
+            break;
+          case Opcode::Max:
+            Out.F = std::max(L.F, R.F);
+            break;
+          default:
+            throw RuntimeError{"float rem"};
+          }
+        } else {
+          switch (I->opcode()) {
+          case Opcode::Add:
+            Out.I = static_cast<int64_t>(static_cast<uint64_t>(L.I) +
+                                         static_cast<uint64_t>(R.I));
+            break;
+          case Opcode::Sub:
+            Out.I = static_cast<int64_t>(static_cast<uint64_t>(L.I) -
+                                         static_cast<uint64_t>(R.I));
+            break;
+          case Opcode::Mul:
+            Out.I = static_cast<int64_t>(static_cast<uint64_t>(L.I) *
+                                         static_cast<uint64_t>(R.I));
+            break;
+          case Opcode::Div:
+            Out.I = (R.I == 0 || (L.I == Int64Min && R.I == -1))
+                        ? 0
+                        : L.I / R.I;
+            break;
+          case Opcode::Rem:
+            Out.I = (R.I == 0 || (L.I == Int64Min && R.I == -1))
+                        ? 0
+                        : L.I % R.I;
+            break;
+          case Opcode::Min:
+            Out.I = std::min(L.I, R.I);
+            break;
+          case Opcode::Max:
+            Out.I = std::max(L.I, R.I);
+            break;
+          default:
+            break;
+          }
+        }
+        continue;
+      }
+
+      case Opcode::Cmp: {
+        const auto *Cmp = cast<CmpInst>(I);
+        RuntimeValue L = value(Cmp->lhs());
+        RuntimeValue R = value(Cmp->rhs());
+        bool Result;
+        if (Cmp->lhs()->type() == IRType::Float) {
+          switch (Cmp->pred()) {
+          case CmpPred::EQ:
+            Result = L.F == R.F;
+            break;
+          case CmpPred::NE:
+            Result = L.F != R.F;
+            break;
+          case CmpPred::LT:
+            Result = L.F < R.F;
+            break;
+          case CmpPred::LE:
+            Result = L.F <= R.F;
+            break;
+          case CmpPred::GT:
+            Result = L.F > R.F;
+            break;
+          default:
+            Result = L.F >= R.F;
+            break;
+          }
+        } else {
+          Result = evalPred(Cmp->pred(), L.I, R.I);
+        }
+        Fr.Regs[I->id()].I = Result ? 1 : 0;
+        continue;
+      }
+
+      case Opcode::Neg: {
+        RuntimeValue V = value(I->operand(0));
+        if (I->type() == IRType::Float)
+          Fr.Regs[I->id()].F = -V.F;
+        else
+          Fr.Regs[I->id()].I =
+              static_cast<int64_t>(0 - static_cast<uint64_t>(V.I));
+        continue;
+      }
+      case Opcode::Not:
+        Fr.Regs[I->id()].I = value(I->operand(0)).I == 0 ? 1 : 0;
+        continue;
+      case Opcode::Abs: {
+        RuntimeValue V = value(I->operand(0));
+        if (I->type() == IRType::Float)
+          Fr.Regs[I->id()].F = std::abs(V.F);
+        else
+          Fr.Regs[I->id()].I = V.I < 0 ? -V.I : V.I;
+        continue;
+      }
+      case Opcode::Copy:
+      case Opcode::Assert:
+        Fr.Regs[I->id()] = value(I->operand(0));
+        continue;
+      case Opcode::IntToFloat:
+        Fr.Regs[I->id()].F =
+            static_cast<double>(value(I->operand(0)).I);
+        continue;
+      case Opcode::FloatToInt: {
+        double D = value(I->operand(0)).F;
+        Fr.Regs[I->id()].I =
+            std::isfinite(D) && D >= static_cast<double>(Int64Min) &&
+                    D <= static_cast<double>(Int64Max)
+                ? static_cast<int64_t>(D)
+                : 0;
+        continue;
+      }
+
+      case Opcode::Load: {
+        const auto *L = cast<LoadInst>(I);
+        int64_t Index = value(L->index()).I;
+        checkIndex(L->object(), Index);
+        ObjectState &S = objectState(L->object());
+        if (L->object()->elemType() == IRType::Float)
+          Fr.Regs[I->id()].F = S.Floats[Index];
+        else
+          Fr.Regs[I->id()].I = S.Ints[Index];
+        continue;
+      }
+      case Opcode::Store: {
+        const auto *St = cast<StoreInst>(I);
+        int64_t Index = value(St->index()).I;
+        checkIndex(St->object(), Index);
+        ObjectState &S = objectState(St->object());
+        RuntimeValue V = value(St->storedValue());
+        if (St->object()->elemType() == IRType::Float)
+          S.Floats[Index] = V.F;
+        else
+          S.Ints[Index] = V.I;
+        continue;
+      }
+
+      case Opcode::Call: {
+        const auto *Call = cast<CallInst>(I);
+        std::vector<RuntimeValue> Args;
+        Args.reserve(Call->numArgs());
+        for (unsigned A = 0; A < Call->numArgs(); ++A)
+          Args.push_back(value(Call->arg(A)));
+        Fr.Regs[I->id()] =
+            callFunction(*Call->callee(), Args, Depth + 1);
+        continue;
+      }
+      case Opcode::Input:
+        Fr.Regs[I->id()].I =
+            InputPos < Input.size() ? Input[InputPos++] : 0;
+        continue;
+      case Opcode::Print: {
+        RuntimeValue V = value(I->operand(0));
+        char Buf[64];
+        if (I->operand(0)->type() == IRType::Float)
+          std::snprintf(Buf, sizeof(Buf), "%.6g", V.F);
+        else
+          std::snprintf(Buf, sizeof(Buf), "%lld",
+                        static_cast<long long>(V.I));
+        Output.push_back(Buf);
+        continue;
+      }
+
+      case Opcode::Br:
+        PrevBlock = Block;
+        Block = cast<BrInst>(I)->target();
+        break;
+      case Opcode::CondBr: {
+        const auto *CBr = cast<CondBrInst>(I);
+        bool Taken = value(CBr->cond()).I != 0;
+        if (Profile)
+          Profile->recordBranch(CBr, Taken);
+        PrevBlock = Block;
+        Block = Taken ? CBr->trueBlock() : CBr->falseBlock();
+        break;
+      }
+      case Opcode::Ret: {
+        const auto *Ret = cast<RetInst>(I);
+        return Ret->hasValue() ? value(Ret->value()) : RuntimeValue();
+      }
+
+      case Opcode::ReadVar:
+      case Opcode::WriteVar:
+        throw RuntimeError{"pre-SSA instruction reached the interpreter"};
+      }
+      break; // Terminator executed; proceed to the next block.
+    }
+  }
+}
+
+ExecutionResult Machine::run() {
+  const Function *Main = M.findFunction("main");
+  ExecutionResult R;
+  if (!Main) {
+    R.Error = "program has no main() function";
+    return R;
+  }
+  try {
+    RuntimeValue Exit = callFunction(*Main, {}, 0);
+    return makeResult(Main->returnType() == IRType::Float
+                          ? static_cast<int64_t>(Exit.F)
+                          : Exit.I);
+  } catch (const RuntimeError &E) {
+    R.Error = E.Message;
+    R.Steps = Steps;
+    R.Output = std::move(Output);
+    return R;
+  }
+}
+
+ExecutionResult Interpreter::run(const std::vector<int64_t> &Input,
+                                 EdgeProfile *Profile, uint64_t MaxSteps) {
+  Machine Mach(M, Input, Profile, MaxSteps);
+  return Mach.run();
+}

@@ -1,0 +1,100 @@
+//===- profile/Interpreter.h - SSA IR interpreter ---------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic interpreter for SSA-form IR modules. It plays two roles
+/// the paper's evaluation needs:
+///
+///  * ground truth — running the benchmark with its *reference* input and
+///    recording exact per-branch taken/total counts ("actual behavior");
+///  * the execution-profiling baseline — running with *training* inputs
+///    (the SPEC input.short protocol) and predicting from those counts.
+///
+/// φ instructions are evaluated simultaneously on block entry using the
+/// incoming edge, as SSA semantics require.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_PROFILE_INTERPRETER_H
+#define VRP_PROFILE_INTERPRETER_H
+
+#include "ir/Module.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+/// Per-branch execution counts.
+struct BranchCounts {
+  uint64_t Taken = 0;
+  uint64_t Total = 0;
+
+  double takenFraction() const {
+    return Total == 0 ? 0.5 : static_cast<double>(Taken) / Total;
+  }
+};
+
+/// Accumulated edge profile over one or more runs.
+class EdgeProfile {
+public:
+  void recordBranch(const CondBrInst *Branch, bool Taken) {
+    BranchCounts &C = Counts[Branch];
+    C.Taken += Taken ? 1 : 0;
+    ++C.Total;
+  }
+
+  const BranchCounts *lookup(const CondBrInst *Branch) const {
+    auto It = Counts.find(Branch);
+    return It == Counts.end() ? nullptr : &It->second;
+  }
+
+  const std::map<const CondBrInst *, BranchCounts> &counts() const {
+    return Counts;
+  }
+
+  /// Merges another profile into this one.
+  void merge(const EdgeProfile &Other) {
+    for (const auto &[Branch, C] : Other.Counts) {
+      Counts[Branch].Taken += C.Taken;
+      Counts[Branch].Total += C.Total;
+    }
+  }
+
+private:
+  std::map<const CondBrInst *, BranchCounts> Counts;
+};
+
+/// Outcome of one interpreted execution.
+struct ExecutionResult {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Steps = 0;
+  int64_t ExitValue = 0;
+  std::vector<std::string> Output; ///< One entry per print().
+};
+
+/// Interprets a module starting at `main()`.
+class Interpreter {
+public:
+  explicit Interpreter(const Module &M) : M(M) {}
+
+  /// Runs the program on \p Input. Branch counts are recorded into
+  /// \p Profile when non-null. Execution aborts with an error after
+  /// \p MaxSteps instructions (runaway guard).
+  ExecutionResult run(const std::vector<int64_t> &Input,
+                      EdgeProfile *Profile = nullptr,
+                      uint64_t MaxSteps = 200'000'000);
+
+private:
+  const Module &M;
+};
+
+} // namespace vrp
+
+#endif // VRP_PROFILE_INTERPRETER_H

@@ -1,0 +1,22 @@
+//===- profile/ProfilePredictor.cpp - Profile-based prediction -------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfilePredictor.h"
+
+using namespace vrp;
+
+BranchProbMap vrp::predictFromProfile(const Function &F,
+                                      const EdgeProfile &Profile) {
+  BranchProbMap Result;
+  for (const auto &B : F.blocks()) {
+    const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator());
+    if (!CBr)
+      continue;
+    const BranchCounts *C = Profile.lookup(CBr);
+    Result[CBr] = C ? C->takenFraction() : 0.5;
+  }
+  return Result;
+}

@@ -1,0 +1,30 @@
+//===- profile/ProfilePredictor.h - Profile-based prediction ----*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns an EdgeProfile into branch probabilities — the execution-profiling
+/// predictor of the paper's §5. Trained on *different* inputs than the
+/// evaluation run ("reflecting the normal use of execution profiles found
+/// in practice"); branches never executed during training fall back to
+/// 50/50.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_PROFILE_PROFILEPREDICTOR_H
+#define VRP_PROFILE_PROFILEPREDICTOR_H
+
+#include "heuristics/Heuristics.h"
+#include "profile/Interpreter.h"
+
+namespace vrp {
+
+/// Predicts every conditional branch of \p F from \p Profile.
+BranchProbMap predictFromProfile(const Function &F,
+                                 const EdgeProfile &Profile);
+
+} // namespace vrp
+
+#endif // VRP_PROFILE_PROFILEPREDICTOR_H

@@ -1,0 +1,148 @@
+//===- ssa/AssertionInsertion.cpp - Post-branch assertions -----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/AssertionInsertion.h"
+
+#include "analysis/Dominators.h"
+#include "ir/CFGUtils.h"
+
+#include <memory>
+#include <vector>
+
+using namespace vrp;
+
+namespace {
+
+class AssertionInserter {
+public:
+  explicit AssertionInserter(Function &F) : F(F) {}
+
+  AssertionStats run();
+
+private:
+  void splitConditionalEdges();
+  void processBranch(CondBrInst *Branch);
+  void insertOnEdge(BasicBlock *Target, Value *Source, CmpPred Pred,
+                    Value *Bound);
+  void rewriteDominatedUses(Value *Old, AssertInst *New, BasicBlock *Home);
+
+  Function &F;
+  AssertionStats Stats;
+  std::unique_ptr<DominatorTree> DT;
+};
+
+} // namespace
+
+void AssertionInserter::splitConditionalEdges() {
+  // Collect first: splitting adds blocks.
+  std::vector<CondBrInst *> Branches;
+  for (const auto &B : F.blocks())
+    if (auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
+      Branches.push_back(CBr);
+  for (CondBrInst *CBr : Branches) {
+    BasicBlock *From = CBr->parent();
+    if (CBr->trueBlock()->numPreds() > 1 ||
+        CBr->trueBlock() == CBr->falseBlock()) {
+      splitEdge(From, CBr->trueBlock(), /*TrueEdge=*/true);
+      ++Stats.EdgesSplit;
+    }
+    if (CBr->falseBlock()->numPreds() > 1) {
+      splitEdge(From, CBr->falseBlock(), /*TrueEdge=*/false);
+      ++Stats.EdgesSplit;
+    }
+  }
+  F.renumberBlocks();
+}
+
+void AssertionInserter::rewriteDominatedUses(Value *Old, AssertInst *New,
+                                             BasicBlock *Home) {
+  // Snapshot: rewriting mutates the use list.
+  std::vector<Use> Snapshot = Old->uses();
+  for (const Use &U : Snapshot) {
+    Instruction *User = U.User;
+    if (User == New)
+      continue;
+    // A φ use "occurs" at the end of the incoming predecessor.
+    BasicBlock *UseBlock;
+    if (auto *Phi = dyn_cast<PhiInst>(User))
+      UseBlock = Phi->incomingBlock(U.OperandIndex);
+    else
+      UseBlock = User->parent();
+    if (!DT->dominates(Home, UseBlock))
+      continue;
+    if (User->parent() == Home && !isa<PhiInst>(User)) {
+      // Same-block users: only those after the assertion head may be
+      // rewritten. Assertions live at the head (after φs/asserts), so any
+      // non-φ, non-assert user in Home is after it; assert users are
+      // chained intentionally and skipped here.
+      if (isa<AssertInst>(User))
+        continue;
+    }
+    User->setOperand(U.OperandIndex, New);
+    ++Stats.UsesRewritten;
+  }
+}
+
+void AssertionInserter::insertOnEdge(BasicBlock *Target, Value *Source,
+                                     CmpPred Pred, Value *Bound) {
+  // Only assert on SSA variables (instructions/params); constants carry no
+  // refinable information. Float asserts are skipped: the range lattice
+  // tracks ints (see DESIGN.md).
+  if (isa<Constant>(Source) || Source->type() != IRType::Int)
+    return;
+  auto Assertion = std::make_unique<AssertInst>(Source, Pred, Bound);
+  auto *A = cast<AssertInst>(Target->insertAtHead(std::move(Assertion)));
+  ++Stats.AssertsInserted;
+  rewriteDominatedUses(Source, A, Target);
+}
+
+void AssertionInserter::processBranch(CondBrInst *Branch) {
+  auto *Cmp = dyn_cast<CmpInst>(Branch->cond());
+  if (!Cmp)
+    return;
+  Value *L = Cmp->lhs();
+  Value *R = Cmp->rhs();
+  if (L->type() != IRType::Int)
+    return;
+
+  BasicBlock *TrueTarget = Branch->trueBlock();
+  BasicBlock *FalseTarget = Branch->falseBlock();
+  CmpPred Pred = Cmp->pred();
+
+  // True edge: L PRED R holds (and symmetrically R swap(PRED) L).
+  insertOnEdge(TrueTarget, L, Pred, R);
+  insertOnEdge(TrueTarget, R, swapPred(Pred), L);
+  // False edge: the negation holds.
+  insertOnEdge(FalseTarget, L, negatePred(Pred), R);
+  insertOnEdge(FalseTarget, R, swapPred(negatePred(Pred)), L);
+}
+
+AssertionStats AssertionInserter::run() {
+  splitConditionalEdges();
+  DT = std::make_unique<DominatorTree>(F);
+
+  // Process branches in reverse postorder so outer refinements are visible
+  // to (and chained through) inner branches.
+  for (BasicBlock *B : DT->rpo())
+    if (auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
+      processBranch(CBr);
+  return Stats;
+}
+
+AssertionStats vrp::insertAssertions(Function &F) {
+  return AssertionInserter(F).run();
+}
+
+AssertionStats vrp::insertAssertions(Module &M) {
+  AssertionStats Total;
+  for (const auto &F : M.functions()) {
+    AssertionStats S = insertAssertions(*F);
+    Total.EdgesSplit += S.EdgesSplit;
+    Total.AssertsInserted += S.AssertsInserted;
+    Total.UsesRewritten += S.UsesRewritten;
+  }
+  return Total;
+}

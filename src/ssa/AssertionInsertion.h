@@ -1,0 +1,41 @@
+//===- ssa/AssertionInsertion.h - Post-branch assertions --------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inserts the paper's post-branch assertion instructions (π-nodes): after
+/// a conditional branch on `x PRED y`, the true-edge target gains
+/// `x' = assert x PRED y` (and `y' = assert y PRED' x` when y is a
+/// variable), the false edge the negated predicate. Uses dominated by the
+/// assertion are rewritten to the refined value, so "valuable information
+/// can often be derived from the equality tests controlling branches".
+///
+/// Edges into blocks with multiple predecessors are split first so every
+/// assertion has an unambiguous home.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SSA_ASSERTIONINSERTION_H
+#define VRP_SSA_ASSERTIONINSERTION_H
+
+#include "ir/Module.h"
+
+namespace vrp {
+
+struct AssertionStats {
+  unsigned EdgesSplit = 0;
+  unsigned AssertsInserted = 0;
+  unsigned UsesRewritten = 0;
+};
+
+/// Inserts assertions into \p F (must already be in SSA form).
+AssertionStats insertAssertions(Function &F);
+
+/// Inserts assertions into every function of \p M.
+AssertionStats insertAssertions(Module &M);
+
+} // namespace vrp
+
+#endif // VRP_SSA_ASSERTIONINSERTION_H

@@ -1,0 +1,201 @@
+//===- ssa/SSAConstruction.cpp - Cytron et al. SSA construction ------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSAConstruction.h"
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+#include <set>
+#include <vector>
+
+using namespace vrp;
+
+namespace {
+
+class SSABuilder {
+public:
+  explicit SSABuilder(Function &F) : F(F), DT(F), DF(F, DT) {}
+
+  SSAStats run();
+
+private:
+  void placePhis();
+  void rename(BasicBlock *B);
+  void removeDeadPhis();
+
+  Value *currentDef(const VarSlot *Slot) {
+    auto &Stack = DefStacks[Slot->id()];
+    if (!Stack.empty())
+      return Stack.back();
+    // A read on a path that never defined the slot (possible only for φs
+    // speculatively placed outside the variable's VL scope): default zero.
+    return Slot->type() == IRType::Float
+               ? static_cast<Value *>(Constant::getFloat(0.0))
+               : static_cast<Value *>(Constant::getInt(0));
+  }
+
+  Function &F;
+  DominatorTree DT;
+  DominanceFrontier DF;
+  SSAStats Stats;
+  std::vector<std::vector<Value *>> DefStacks; ///< By slot id.
+};
+
+} // namespace
+
+void SSABuilder::placePhis() {
+  unsigned NumSlots = F.slots().size();
+
+  // Semi-pruned placement: only slots live across block boundaries
+  // ("globals" in Briggs' terms) need φs at all.
+  std::vector<bool> CrossBlock(NumSlots, false);
+  std::vector<std::vector<BasicBlock *>> DefBlocks(NumSlots);
+  for (const auto &B : F.blocks()) {
+    std::set<unsigned> WrittenHere;
+    for (const auto &I : B->instructions()) {
+      if (auto *R = dyn_cast<ReadVarInst>(I.get())) {
+        if (!WrittenHere.count(R->slot()->id()))
+          CrossBlock[R->slot()->id()] = true;
+      } else if (auto *W = dyn_cast<WriteVarInst>(I.get())) {
+        unsigned Id = W->slot()->id();
+        if (WrittenHere.insert(Id).second)
+          DefBlocks[Id].push_back(B.get());
+      }
+    }
+  }
+
+  for (unsigned SlotId = 0; SlotId < NumSlots; ++SlotId) {
+    if (!CrossBlock[SlotId] || DefBlocks[SlotId].empty())
+      continue;
+    VarSlot *Slot = F.slots()[SlotId].get();
+
+    // Iterated dominance frontier via worklist.
+    std::set<BasicBlock *> HasPhi;
+    std::vector<BasicBlock *> Work = DefBlocks[SlotId];
+    while (!Work.empty()) {
+      BasicBlock *B = Work.back();
+      Work.pop_back();
+      for (BasicBlock *Frontier : DF.frontier(B)) {
+        if (!HasPhi.insert(Frontier).second)
+          continue;
+        auto Phi = std::make_unique<PhiInst>(Slot->type());
+        Phi->setSlot(Slot);
+        Frontier->insertPhi(std::move(Phi));
+        ++Stats.PhisInserted;
+        Work.push_back(Frontier);
+      }
+    }
+  }
+}
+
+void SSABuilder::rename(BasicBlock *B) {
+  std::vector<size_t> PushCounts(F.slots().size(), 0);
+
+  // Process instructions; collect first because reads/writes get erased.
+  std::vector<Instruction *> Order;
+  Order.reserve(B->instructions().size());
+  for (const auto &I : B->instructions())
+    Order.push_back(I.get());
+
+  for (Instruction *I : Order) {
+    if (auto *Phi = dyn_cast<PhiInst>(I)) {
+      if (VarSlot *Slot = Phi->slot()) {
+        DefStacks[Slot->id()].push_back(Phi);
+        ++PushCounts[Slot->id()];
+      }
+      continue;
+    }
+    if (auto *R = dyn_cast<ReadVarInst>(I)) {
+      R->replaceAllUsesWith(currentDef(R->slot()));
+      R->eraseFromParent();
+      ++Stats.ReadsReplaced;
+      continue;
+    }
+    if (auto *W = dyn_cast<WriteVarInst>(I)) {
+      unsigned Id = W->slot()->id();
+      DefStacks[Id].push_back(W->storedValue());
+      ++PushCounts[Id];
+      W->eraseFromParent();
+      ++Stats.WritesErased;
+      continue;
+    }
+  }
+
+  // Fill φ operands of successors for the edges leaving B.
+  for (BasicBlock *S : B->succs())
+    for (PhiInst *Phi : S->phis())
+      if (VarSlot *Slot = Phi->slot())
+        Phi->addIncoming(currentDef(Slot), B);
+
+  for (BasicBlock *Child : DT.children(B))
+    rename(Child);
+
+  for (unsigned Id = 0; Id < PushCounts.size(); ++Id)
+    for (size_t I = 0; I < PushCounts[Id]; ++I)
+      DefStacks[Id].pop_back();
+}
+
+void SSABuilder::removeDeadPhis() {
+  // A φ is live iff it is (transitively) used by any non-φ instruction.
+  std::set<PhiInst *> Live;
+  std::vector<PhiInst *> All, Work;
+  for (const auto &B : F.blocks())
+    for (PhiInst *Phi : B->phis())
+      All.push_back(Phi);
+
+  for (PhiInst *Phi : All)
+    for (const Use &U : Phi->uses())
+      if (!isa<PhiInst>(U.User) && Live.insert(Phi).second)
+        Work.push_back(Phi);
+
+  while (!Work.empty()) {
+    PhiInst *Phi = Work.back();
+    Work.pop_back();
+    for (unsigned I = 0; I < Phi->numOperands(); ++I)
+      if (auto *OpPhi = dyn_cast<PhiInst>(Phi->operand(I)))
+        if (Live.insert(OpPhi).second)
+          Work.push_back(OpPhi);
+  }
+
+  std::vector<PhiInst *> Dead;
+  for (PhiInst *Phi : All)
+    if (!Live.count(Phi))
+      Dead.push_back(Phi);
+  for (PhiInst *Phi : Dead)
+    Phi->dropAllOperands();
+  for (PhiInst *Phi : Dead) {
+    Phi->eraseFromParent();
+    ++Stats.PhisRemovedDead;
+  }
+}
+
+SSAStats SSABuilder::run() {
+  placePhis();
+  DefStacks.assign(F.slots().size(), {});
+  rename(F.entry());
+  removeDeadPhis();
+  // Slots are now fully out of the instruction stream; clear φ slot tags so
+  // later passes cannot depend on them.
+  for (const auto &B : F.blocks())
+    for (PhiInst *Phi : B->phis())
+      Phi->setSlot(nullptr);
+  return Stats;
+}
+
+SSAStats vrp::constructSSA(Function &F) { return SSABuilder(F).run(); }
+
+SSAStats vrp::constructSSA(Module &M) {
+  SSAStats Total;
+  for (const auto &F : M.functions()) {
+    SSAStats S = constructSSA(*F);
+    Total.PhisInserted += S.PhisInserted;
+    Total.PhisRemovedDead += S.PhisRemovedDead;
+    Total.ReadsReplaced += S.ReadsReplaced;
+    Total.WritesErased += S.WritesErased;
+  }
+  return Total;
+}

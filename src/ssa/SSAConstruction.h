@@ -1,0 +1,41 @@
+//===- ssa/SSAConstruction.h - Cytron et al. SSA construction ---*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts the pre-SSA IR (mutable VarSlots with ReadVar/WriteVar) into
+/// SSA form: semi-pruned φ placement on iterated dominance frontiers
+/// [Cytron et al. 1991], dominator-tree renaming, and dead-φ cleanup.
+/// After this pass no ReadVar/WriteVar instructions remain and every value
+/// has exactly one definition — the representation Patterson's propagation
+/// algorithm requires.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SSA_SSACONSTRUCTION_H
+#define VRP_SSA_SSACONSTRUCTION_H
+
+#include "ir/Module.h"
+
+namespace vrp {
+
+/// Statistics reported by SSA construction (tested, and interesting for the
+/// linearity measurements).
+struct SSAStats {
+  unsigned PhisInserted = 0;
+  unsigned PhisRemovedDead = 0;
+  unsigned ReadsReplaced = 0;
+  unsigned WritesErased = 0;
+};
+
+/// Puts \p F into SSA form. Returns statistics.
+SSAStats constructSSA(Function &F);
+
+/// Puts every function of \p M into SSA form.
+SSAStats constructSSA(Module &M);
+
+} // namespace vrp
+
+#endif // VRP_SSA_SSACONSTRUCTION_H

@@ -1,0 +1,71 @@
+//===- ssa/SSAVerifier.cpp - SSA dominance checks --------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ssa/SSAVerifier.h"
+
+#include "analysis/Dominators.h"
+
+#include <map>
+
+using namespace vrp;
+
+bool vrp::verifySSA(const Function &F, std::vector<std::string> &Problems) {
+  size_t Before = Problems.size();
+  auto problem = [&](const std::string &Msg) {
+    Problems.push_back("@" + F.name() + ": " + Msg);
+  };
+
+  DominatorTree DT(F);
+
+  // Positions of instructions within their block, for same-block ordering.
+  std::map<const Instruction *, unsigned> Position;
+  for (const auto &B : F.blocks()) {
+    unsigned Pos = 0;
+    for (const auto &I : B->instructions())
+      Position[I.get()] = Pos++;
+  }
+
+  for (const auto &B : F.blocks()) {
+    for (const auto &I : B->instructions()) {
+      if (I->opcode() == Opcode::ReadVar || I->opcode() == Opcode::WriteVar) {
+        problem("pre-SSA instruction survived SSA construction: " +
+                I->displayName());
+        continue;
+      }
+      for (unsigned OpIdx = 0; OpIdx < I->numOperands(); ++OpIdx) {
+        auto *Def = dyn_cast<Instruction>(I->operand(OpIdx));
+        if (!Def)
+          continue; // Constants and params dominate everything.
+        if (auto *Phi = dyn_cast<PhiInst>(I.get())) {
+          // φ use must be available at the end of the incoming pred.
+          BasicBlock *In = Phi->incomingBlock(OpIdx);
+          if (!DT.dominates(Def->parent(), In))
+            problem("φ " + I->displayName() + " operand " +
+                    Def->displayName() + " does not dominate incoming edge "
+                    "from " + In->name());
+          continue;
+        }
+        if (Def->parent() == I->parent()) {
+          if (Position[Def] >= Position[I.get()])
+            problem("use of " + Def->displayName() + " before its "
+                    "definition in " + B->name());
+        } else if (!DT.strictlyDominates(Def->parent(), I->parent())) {
+          problem("definition " + Def->displayName() + " in " +
+                  Def->parent()->name() + " does not dominate use in " +
+                  B->name());
+        }
+      }
+    }
+  }
+  return Problems.size() == Before;
+}
+
+bool vrp::verifySSA(const Module &M, std::vector<std::string> &Problems) {
+  bool Ok = true;
+  for (const auto &F : M.functions())
+    Ok &= verifySSA(*F, Problems);
+  return Ok;
+}

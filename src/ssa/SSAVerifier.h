@@ -1,0 +1,32 @@
+//===- ssa/SSAVerifier.h - SSA dominance checks -----------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSA-form invariants on top of ir/Verifier.h: no pre-SSA ReadVar/WriteVar
+/// instructions remain, and every definition dominates all of its uses
+/// (φ uses checked at the end of the incoming predecessor).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SSA_SSAVERIFIER_H
+#define VRP_SSA_SSAVERIFIER_H
+
+#include "ir/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+/// Verifies SSA invariants of \p F; appends problems, returns true if none.
+bool verifySSA(const Function &F, std::vector<std::string> &Problems);
+
+/// Verifies SSA invariants of every function in \p M.
+bool verifySSA(const Module &M, std::vector<std::string> &Problems);
+
+} // namespace vrp
+
+#endif // VRP_SSA_SSAVERIFIER_H

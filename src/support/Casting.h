@@ -1,0 +1,60 @@
+//===- support/Casting.h - isa/cast/dyn_cast --------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-rolled LLVM-style RTTI kit. A class opts in by providing
+/// `static bool classof(const Base *)`; clients then use `isa<T>(V)`,
+/// `cast<T>(V)` and `dyn_cast<T>(V)` exactly as in LLVM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SUPPORT_CASTING_H
+#define VRP_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace vrp {
+
+/// Returns true if \p Val dynamically is a \p To (never null-tolerant).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Null-tolerant variant of dyn_cast.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace vrp
+
+#endif // VRP_SUPPORT_CASTING_H

@@ -1,0 +1,34 @@
+//===- support/Diagnostics.cpp - Error reporting --------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace vrp;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "diag";
+}
+
+void DiagnosticEngine::printAll(std::ostream &OS) const {
+  for (const Diagnostic &D : Diags)
+    OS << D.Loc.str() << ": " << kindName(D.Kind) << ": " << D.Message
+       << "\n";
+}
+
+std::string DiagnosticEngine::firstError() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == DiagKind::Error)
+      return D.Message;
+  return "";
+}

@@ -1,0 +1,72 @@
+//===- support/Diagnostics.h - Error reporting ------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine used by the VL lexer, parser and semantic
+/// checks. Diagnostics are collected rather than printed so library clients
+/// (and tests) can inspect them; tools render them with \c printAll.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SUPPORT_DIAGNOSTICS_H
+#define VRP_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+/// Severity of a diagnostic. Errors make compilation fail; warnings do not.
+enum class DiagKind { Error, Warning, Note };
+
+/// One collected diagnostic message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one source buffer.
+class DiagnosticEngine {
+public:
+  /// Records an error diagnostic at \p Loc.
+  void error(SourceLoc Loc, std::string Message) {
+    ++NumErrors;
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+  }
+
+  /// Records a warning diagnostic at \p Loc.
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+
+  /// Records a note attached to the previous diagnostic.
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders every collected diagnostic to \p OS, one per line, in the
+  /// conventional "line:col: severity: message" format.
+  void printAll(std::ostream &OS) const;
+
+  /// Returns the first error message, or an empty string if none.
+  std::string firstError() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace vrp
+
+#endif // VRP_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,85 @@
+//===- support/MathUtil.h - Saturating arithmetic helpers -------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Overflow-safe 64-bit arithmetic used by the range-arithmetic kernel.
+/// Range bounds saturate at int64 min/max instead of wrapping, which keeps
+/// the analysis sound (a saturated bound only ever widens a range).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SUPPORT_MATHUTIL_H
+#define VRP_SUPPORT_MATHUTIL_H
+
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+namespace vrp {
+
+constexpr int64_t Int64Min = std::numeric_limits<int64_t>::min();
+constexpr int64_t Int64Max = std::numeric_limits<int64_t>::max();
+
+/// Saturating addition: clamps to [Int64Min, Int64Max] on overflow.
+inline int64_t saturatingAdd(int64_t A, int64_t B) {
+  int64_t R;
+  if (!__builtin_add_overflow(A, B, &R))
+    return R;
+  return B > 0 ? Int64Max : Int64Min;
+}
+
+/// Saturating subtraction: clamps to [Int64Min, Int64Max] on overflow.
+inline int64_t saturatingSub(int64_t A, int64_t B) {
+  int64_t R;
+  if (!__builtin_sub_overflow(A, B, &R))
+    return R;
+  return B < 0 ? Int64Max : Int64Min;
+}
+
+/// Saturating multiplication: clamps to [Int64Min, Int64Max] on overflow.
+inline int64_t saturatingMul(int64_t A, int64_t B) {
+  int64_t R;
+  if (!__builtin_mul_overflow(A, B, &R))
+    return R;
+  bool Negative = (A < 0) != (B < 0);
+  return Negative ? Int64Min : Int64Max;
+}
+
+/// Saturating negation (negating Int64Min yields Int64Max).
+inline int64_t saturatingNeg(int64_t A) {
+  return A == Int64Min ? Int64Max : -A;
+}
+
+/// Saturating absolute value (|Int64Min| yields Int64Max); std::abs on
+/// Int64Min is undefined behavior.
+inline int64_t saturatingAbs(int64_t A) {
+  return A < 0 ? saturatingNeg(A) : A;
+}
+
+/// Floor division (rounds toward negative infinity). \p B must be nonzero.
+inline int64_t floorDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Q;
+  return Q;
+}
+
+/// Ceiling division (rounds toward positive infinity). \p B must be nonzero.
+inline int64_t ceilDiv(int64_t A, int64_t B) {
+  int64_t Q = A / B;
+  if ((A % B != 0) && ((A < 0) == (B < 0)))
+    ++Q;
+  return Q;
+}
+
+/// Greatest common divisor of two non-negative strides; gcd(0, X) == X.
+inline int64_t strideGcd(int64_t A, int64_t B) {
+  return std::gcd(A, B);
+}
+
+} // namespace vrp
+
+#endif // VRP_SUPPORT_MATHUTIL_H

@@ -1,0 +1,68 @@
+//===- support/RNG.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded SplitMix64 generator. Used by the random-prediction baseline,
+/// the synthetic workload generators and the property tests; deterministic
+/// across platforms so every experiment is exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SUPPORT_RNG_H
+#define VRP_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace vrp {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG with a 64-bit state.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t V = next();
+      if (V >= Threshold)
+        return V % Bound;
+    }
+  }
+
+  /// Returns a uniform integer in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    // Span == 0 means the full 64-bit range.
+    uint64_t V = Span == 0 ? next() : nextBelow(Span);
+    return static_cast<int64_t>(static_cast<uint64_t>(Lo) + V);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace vrp
+
+#endif // VRP_SUPPORT_RNG_H

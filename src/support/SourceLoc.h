@@ -1,0 +1,47 @@
+//===- support/SourceLoc.h - Source locations -------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, "Accurate Static Branch
+// Prediction by Value Range Propagation", PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source locations for the VL front end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SUPPORT_SOURCELOC_H
+#define VRP_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace vrp {
+
+/// A position in a VL source buffer. Lines and columns are 1-based; a
+/// default-constructed location is "unknown" (line 0).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Col == RHS.Col;
+  }
+  bool operator!=(const SourceLoc &RHS) const { return !(*this == RHS); }
+
+  /// Renders the location as "line:col" (or "<unknown>").
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace vrp
+
+#endif // VRP_SUPPORT_SOURCELOC_H

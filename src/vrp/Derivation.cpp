@@ -1,0 +1,329 @@
+//===- vrp/Derivation.cpp - Loop-carried range derivation ------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vrp/Derivation.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace vrp;
+
+bool vrp::isLoopCarried(const PhiInst *Phi, const DFSInfo &DFS) {
+  for (unsigned I = 0; I < Phi->numIncoming(); ++I)
+    if (DFS.isBackEdge(Phi->incomingBlock(I), Phi->parent()))
+      return true;
+  return false;
+}
+
+namespace {
+
+/// One assert constraint met along a back-edge chain: the chain value at
+/// accumulated offset \p Offset (relative to the φ) satisfied
+/// `value PRED Bound`.
+struct ChainConstraint {
+  CmpPred Pred;
+  const Value *Bound;
+  int64_t Offset; ///< Chain value = φ + Offset at the assert point.
+};
+
+/// One matched chain from a back-edge operand to the φ.
+struct Chain {
+  int64_t Delta = 0; ///< Total increment per iteration.
+  std::vector<ChainConstraint> Constraints;
+};
+
+/// Walks from \p Latch back to \p Phi through copies, constant add/sub,
+/// asserts and inner (conditional-increment) φs. Appends one Chain per
+/// distinct path. Returns false on template mismatch.
+bool walkChains(const Value *V, const PhiInst *Phi, int64_t Offset,
+                std::vector<ChainConstraint> Constraints,
+                std::vector<Chain> &Out, std::set<const Value *> &Visiting,
+                unsigned Depth) {
+  if (Depth > 16 || Out.size() > 8)
+    return false;
+
+  while (true) {
+    if (V == Phi) {
+      // Reached the φ: the latch value exceeds it by -Offset accumulated
+      // walking down, i.e. latch = φ + (-Offset)... Offset bookkeeping:
+      // we maintain "latch = V + Offset", so latch = φ + Offset here.
+      Chain C;
+      C.Delta = Offset;
+      C.Constraints = std::move(Constraints);
+      Out.push_back(std::move(C));
+      return true;
+    }
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I)
+      return false;
+    if (!Visiting.insert(V).second)
+      return false; // Unexpected cycle not through the header φ.
+
+    switch (I->opcode()) {
+    case Opcode::Copy:
+      V = cast<UnaryInst>(I)->sub();
+      continue;
+    case Opcode::Assert: {
+      const auto *A = cast<AssertInst>(I);
+      // The asserted value equals latch - Offset = φ + (Delta - Offset)
+      // once the chain completes; record with the current offset and fix
+      // up against the final delta later.
+      Constraints.push_back({A->pred(), A->bound(), Offset});
+      V = A->source();
+      continue;
+    }
+    case Opcode::Add:
+    case Opcode::Sub: {
+      const auto *B = cast<BinaryInst>(I);
+      const Constant *C = dyn_cast<Constant>(B->rhs());
+      const Value *Next = B->lhs();
+      if (!C && I->opcode() == Opcode::Add) {
+        // Commute: c + x.
+        C = dyn_cast<Constant>(B->lhs());
+        Next = B->rhs();
+      }
+      if (!C || !C->isInt())
+        return false;
+      int64_t Step = C->intValue();
+      if (I->opcode() == Opcode::Sub)
+        Step = -Step;
+      // latch = V + Offset and V = Next + Step => latch = Next + Offset+Step.
+      Offset = saturatingAdd(Offset, Step);
+      V = Next;
+      continue;
+    }
+    case Opcode::Phi: {
+      // Conditional increments: every incoming path must itself match.
+      const auto *Inner = cast<PhiInst>(I);
+      for (unsigned Idx = 0; Idx < Inner->numIncoming(); ++Idx) {
+        std::set<const Value *> Branch = Visiting;
+        if (!walkChains(Inner->incomingValue(Idx), Phi, Offset, Constraints,
+                        Out, Branch, Depth + 1))
+          return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+    }
+  }
+}
+
+} // namespace
+
+DerivationResult vrp::deriveLoopCarriedRange(
+    const PhiInst *Phi, const DFSInfo &DFS, const VRPOptions &Opts,
+    RangeStats &Stats,
+    const std::function<ValueRange(const Value *)> &RangeOf) {
+  ++Stats.DerivationsTried;
+  DerivationResult Fail{DerivationOutcome::Impossible, ValueRange::bottom()};
+
+  // Split incoming edges into loop-entry and back edges.
+  std::vector<const Value *> EntryValues, BackValues;
+  for (unsigned I = 0; I < Phi->numIncoming(); ++I) {
+    if (DFS.isBackEdge(Phi->incomingBlock(I), Phi->parent()))
+      BackValues.push_back(Phi->incomingValue(I));
+    else
+      EntryValues.push_back(Phi->incomingValue(I));
+  }
+  if (BackValues.empty() || EntryValues.empty())
+    return Fail;
+
+  // Initial value: meet of the entry operands. Fully numeric entries
+  // aggregate into a hull; a single symbolic entry (e.g. `j = i - 1`
+  // inside an outer loop) keeps its bounds.
+  Bound InitLoB(Int64Max), InitHiB(Int64Min);
+  int64_t InitStride = 0;
+  bool First = true;
+  bool InitNumeric = true;
+  for (const Value *V : EntryValues) {
+    ValueRange VR = RangeOf(V);
+    if (VR.isTop())
+      return {DerivationOutcome::NotYet, ValueRange::top()};
+    if (!VR.isRanges())
+      return Fail;
+    if (VR.hasSymbolicBounds()) {
+      if (EntryValues.size() != 1 || VR.subRanges().size() != 1)
+        return Fail;
+      const SubRange &S = VR.subRanges().front();
+      InitLoB = S.Lo;
+      InitHiB = S.Hi;
+      InitStride = S.Stride;
+      InitNumeric = false;
+      break;
+    }
+    for (const SubRange &S : VR.subRanges()) {
+      InitLoB.Offset = std::min(InitLoB.Offset, S.Lo.Offset);
+      InitHiB.Offset = std::max(InitHiB.Offset, S.Hi.Offset);
+      InitStride = First ? S.Stride : 1;
+      First = false;
+    }
+  }
+  const int64_t InitLo = InitLoB.Offset, InitHi = InitHiB.Offset;
+
+  // Match every back edge against the induction template.
+  std::vector<Chain> Chains;
+  for (const Value *V : BackValues) {
+    std::set<const Value *> Visiting;
+    if (!walkChains(V, Phi, 0, {}, Chains, Visiting, 0))
+      return Fail;
+  }
+  if (Chains.empty())
+    return Fail;
+
+  // Increments must share a sign; zero deltas (iterations that leave the
+  // variable unchanged, e.g. conditional counters) are permitted as long
+  // as at least one chain makes progress.
+  bool AnyProgress = false;
+  bool Positive = false;
+  for (const Chain &C : Chains)
+    if (C.Delta != 0) {
+      AnyProgress = true;
+      Positive = C.Delta > 0;
+      break;
+    }
+  if (!AnyProgress)
+    return Fail;
+  int64_t StrideGcdAll = 0, MaxAbsDelta = 0;
+  for (const Chain &C : Chains) {
+    if (C.Delta != 0 && (C.Delta > 0) != Positive)
+      return Fail;
+    StrideGcdAll = strideGcd(StrideGcdAll, saturatingAbs(C.Delta));
+    MaxAbsDelta = std::max(MaxAbsDelta, saturatingAbs(C.Delta));
+  }
+  // A zero-delta chain breaks stride uniformity.
+  for (const Chain &C : Chains)
+    if (C.Delta == 0)
+      StrideGcdAll = 1;
+
+  // Find the tightest termination bound among the chains' asserts. For a
+  // positive delta we need an upper bound (LT/LE/NE), for a negative delta
+  // a lower bound (GT/GE/NE). The walk maintains `latch = value + Offset`
+  // and `latch = φ + Delta`, so the asserted value is φ + (Delta - Offset)
+  // and `asserted PRED bound` gives
+  //     φ <= bound + adjust - (Delta - Offset)   (upper-bound case).
+  std::optional<int64_t> NumericLimit;
+  const Value *SymbolicLimit = nullptr;
+  int64_t SymbolicLimitOff = 0;
+
+  for (const Chain &C : Chains) {
+    for (const ChainConstraint &K : C.Constraints) {
+      // Normalize to "asserted <= X" (positive) or "asserted >= X" (neg).
+      int64_t Adjust = 0;
+      bool Usable = false;
+      if (Positive) {
+        if (K.Pred == CmpPred::LT || K.Pred == CmpPred::NE) {
+          Adjust = -1;
+          Usable = true;
+        } else if (K.Pred == CmpPred::LE) {
+          Usable = true;
+        }
+      } else {
+        if (K.Pred == CmpPred::GT || K.Pred == CmpPred::NE) {
+          Adjust = 1;
+          Usable = true;
+        } else if (K.Pred == CmpPred::GE) {
+          Usable = true;
+        }
+      }
+      if (!Usable)
+        continue;
+      // Asserted value = φ + Rel.
+      int64_t Rel = saturatingSub(C.Delta, K.Offset);
+
+      auto recordNumeric = [&](int64_t BoundConst) {
+        int64_t Limit =
+            saturatingSub(saturatingAdd(BoundConst, Adjust), Rel);
+        if (!NumericLimit)
+          NumericLimit = Limit;
+        else
+          NumericLimit = Positive ? std::min(*NumericLimit, Limit)
+                                  : std::max(*NumericLimit, Limit);
+      };
+
+      if (const auto *CB = dyn_cast<Constant>(K.Bound)) {
+        if (CB->isInt())
+          recordNumeric(CB->intValue());
+        continue;
+      }
+      // Bound variable: usable when its own range is a constant, or kept
+      // symbolically.
+      ValueRange BoundVR = RangeOf(K.Bound);
+      if (auto BC = BoundVR.asIntConstant()) {
+        recordNumeric(*BC);
+        continue;
+      }
+      if (Opts.EnableSymbolicRanges && !SymbolicLimit) {
+        SymbolicLimit = K.Bound;
+        SymbolicLimitOff = saturatingSub(Adjust, Rel);
+      }
+    }
+  }
+  if (!NumericLimit && !SymbolicLimit)
+    return Fail;
+
+  // Assemble the final range. The φ takes the initial values plus every
+  // continued value advanced by one increment, so the far bound is the
+  // termination limit plus the (largest) increment.
+  int64_t Stride = (InitLoB == InitHiB)
+                       ? StrideGcdAll
+                       : strideGcd(StrideGcdAll, InitStride);
+  if (Stride == 0)
+    Stride = 1;
+
+  Bound Lo, Hi;
+  if (Positive) {
+    Lo = InitLoB;
+    if (NumericLimit) {
+      int64_t HiVal = saturatingAdd(*NumericLimit, MaxAbsDelta);
+      if (InitNumeric) {
+        HiVal = std::max(HiVal, InitHi);
+        if (HiVal < InitLo)
+          return Fail; // Body provably never taken; leave to propagation.
+        // Align onto the lattice anchored at the numeric lower bound.
+        __int128 Span = static_cast<__int128>(HiVal) - InitLo;
+        if (Span % Stride != 0)
+          HiVal = static_cast<int64_t>(static_cast<__int128>(InitLo) +
+                                       (Span / Stride) * Stride);
+      }
+      Hi = Bound(HiVal);
+    } else {
+      Hi = Bound(SymbolicLimit,
+                 saturatingAdd(SymbolicLimitOff, MaxAbsDelta));
+    }
+  } else {
+    Hi = InitHiB;
+    if (NumericLimit) {
+      int64_t LoVal = saturatingSub(*NumericLimit, MaxAbsDelta);
+      if (InitNumeric) {
+        LoVal = std::min(LoVal, InitLo);
+        if (LoVal > InitHi)
+          return Fail;
+        __int128 Span = static_cast<__int128>(InitHi) - LoVal;
+        if (Span % Stride != 0)
+          LoVal = static_cast<int64_t>(static_cast<__int128>(InitHi) -
+                                       (Span / Stride) * Stride);
+      }
+      Lo = Bound(LoVal);
+    } else {
+      Lo = Bound(SymbolicLimit,
+                 saturatingSub(SymbolicLimitOff, MaxAbsDelta));
+    }
+  }
+  // Bounds relative to two different ancestors are unrepresentable.
+  if (Lo.Sym && Hi.Sym && Lo.Sym != Hi.Sym)
+    return Fail;
+  if (Lo.isNumeric() && Hi.isNumeric() && Lo.Offset > Hi.Offset)
+    return Fail;
+  if (Lo == Hi)
+    Stride = 0;
+
+  std::vector<SubRange> Subs{SubRange(1.0, Lo, Hi, Stride)};
+  ++Stats.DerivationsMatched;
+  return {DerivationOutcome::Derived,
+          ValueRange::ranges(std::move(Subs), Opts.MaxSubRanges)};
+}

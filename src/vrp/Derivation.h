@@ -1,0 +1,61 @@
+//===- vrp/Derivation.h - Loop-carried range derivation ---------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derivation of loop-carried variables (paper §3.6). A φ whose in-edges
+/// include a back edge is loop-carried; instead of executing the loop
+/// during propagation, its derivation (the operations performed on it
+/// around the loop) is matched against the induction template
+///
+///     new value = old value ± {set of increments}
+///     assert (value between specific bounds)
+///
+/// and combined with the initial value to produce the final range. Chains
+/// that do not match are left to brute-force propagation (bounded by the
+/// widening guard), exactly as the paper prescribes: "one should view
+/// derivation matching as an efficiency optimization".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_VRP_DERIVATION_H
+#define VRP_VRP_DERIVATION_H
+
+#include "analysis/DFS.h"
+#include "ir/Instruction.h"
+#include "vrp/Options.h"
+#include "vrp/ValueRange.h"
+
+#include <functional>
+#include <optional>
+
+namespace vrp {
+
+/// Outcome of a derivation attempt.
+enum class DerivationOutcome {
+  Derived,    ///< Range determined; do not re-evaluate this φ.
+  Impossible, ///< Template mismatch; fall back to propagation.
+  NotYet,     ///< Initial value still ⊤; retry after more propagation.
+};
+
+struct DerivationResult {
+  DerivationOutcome Outcome = DerivationOutcome::Impossible;
+  ValueRange Range; ///< Valid when Outcome == Derived.
+};
+
+/// Attempts to derive the range of loop-carried φ \p Phi. \p DFS classifies
+/// back edges; \p RangeOf supplies current value ranges (for the initial
+/// value and assert bounds).
+DerivationResult
+deriveLoopCarriedRange(const PhiInst *Phi, const DFSInfo &DFS,
+                       const VRPOptions &Opts, RangeStats &Stats,
+                       const std::function<ValueRange(const Value *)> &RangeOf);
+
+/// True when \p Phi has at least one back-edge in-edge (is loop-carried).
+bool isLoopCarried(const PhiInst *Phi, const DFSInfo &DFS);
+
+} // namespace vrp
+
+#endif // VRP_VRP_DERIVATION_H

@@ -1,0 +1,96 @@
+//===- vrp/Options.h - VRP configuration knobs ------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tunables for the propagation engine. Defaults follow the paper: four
+/// subranges per variable ("a set of four ranges per variable is adequate
+/// for most programs with typical control flow"), symbolic ranges and loop
+/// derivation enabled. The ablation bench sweeps these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_VRP_OPTIONS_H
+#define VRP_VRP_OPTIONS_H
+
+#include <cstdint>
+
+namespace vrp {
+
+struct VRPOptions {
+  /// Upper limit on subranges per variable (the "give-up point", §3.4).
+  unsigned MaxSubRanges = 4;
+
+  /// Track symbolic (variable-relative) bounds (§3.4). The paper reports
+  /// results both with and without these.
+  bool EnableSymbolicRanges = true;
+
+  /// Match loop-carried φs against induction templates (§3.6). When off,
+  /// loops are brute-force propagated under the widening guard.
+  bool EnableDerivation = true;
+
+  /// Insert post-branch assertions before propagation (π-nodes).
+  bool EnableAssertions = true;
+
+  /// Re-evaluations of one expression before its result is widened to ⊥
+  /// (termination guard for non-derivable loop-carried expressions).
+  unsigned WidenThreshold = 24;
+
+  /// Updates of one branch's probability before it is frozen (termination
+  /// guard for probability oscillation through loops).
+  unsigned BranchUpdateLimit = 48;
+
+  /// Flow-worklist revisits of one block before its φs stop being
+  /// re-merged for edge-probability refinements. Loop feedback converges
+  /// geometrically, so a handful of rounds captures the weights to well
+  /// under a percentage point; this keeps evaluation counts linear in
+  /// program size (Figures 5/6).
+  unsigned FlowVisitLimit = 16;
+
+  /// Assumed number of lattice points in a subrange whose extent is only
+  /// known symbolically (e.g. a derived loop range [0:n:1] with n unknown).
+  /// Models the typical loop trip count; the loop-exit test of such a
+  /// range predicts at (C-1)/C taken. Ablatable.
+  double AssumedSymbolicCount = 100.0;
+
+  /// Analyze across calls via jump functions (§3.7).
+  bool Interprocedural = false;
+
+  /// Clone procedures whose call-site contexts diverge (§3.7).
+  bool EnableCloning = false;
+
+  /// Probability tolerance for fixpoint detection. Probabilities feed
+  /// back through loop edges with geometric convergence; demanding more
+  /// precision than this multiplies evaluation counts without measurably
+  /// changing predictions (the paper's linearity claim depends on the
+  /// propagation winding down quickly).
+  double ProbTolerance = 1e-6;
+};
+
+/// Counters behind the paper's Figures 5 and 6 (algorithm efficiency).
+struct RangeStats {
+  uint64_t ExprEvaluations = 0; ///< Figure 5's y-axis.
+  uint64_t SubOps = 0;          ///< Figure 6's y-axis (subrange pair ops).
+  uint64_t PhiEvaluations = 0;
+  uint64_t BranchEvaluations = 0;
+  uint64_t DerivationsTried = 0;
+  uint64_t DerivationsMatched = 0;
+  uint64_t Widenings = 0;
+
+  RangeStats &operator+=(const RangeStats &R) {
+    ExprEvaluations += R.ExprEvaluations;
+    SubOps += R.SubOps;
+    PhiEvaluations += R.PhiEvaluations;
+    BranchEvaluations += R.BranchEvaluations;
+    DerivationsTried += R.DerivationsTried;
+    DerivationsMatched += R.DerivationsMatched;
+    Widenings += R.Widenings;
+    return *this;
+  }
+};
+
+} // namespace vrp
+
+#endif // VRP_VRP_OPTIONS_H

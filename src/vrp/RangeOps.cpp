@@ -1,0 +1,1144 @@
+//===- vrp/RangeOps.cpp - Arithmetic on weighted value ranges --------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vrp/RangeOps.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace vrp;
+
+//===----------------------------------------------------------------------===//
+// Small numeric helpers
+//===----------------------------------------------------------------------===//
+
+int64_t vrp::pointsBelow(const SubRange &S, int64_t C) {
+  assert(S.isNumeric() && "pointsBelow needs a numeric subrange");
+  if (C <= S.Lo.Offset)
+    return 0;
+  int64_t Count = *S.count();
+  if (C > S.Hi.Offset)
+    return Count;
+  if (S.Stride == 0)
+    return S.Lo.Offset < C ? 1 : 0;
+  // Points Lo + i*Stride < C  <=>  i <= (C - Lo - 1) / Stride.
+  __int128 Span = static_cast<__int128>(C) - 1 - S.Lo.Offset;
+  __int128 N = Span / S.Stride + 1;
+  return N > Count ? Count : static_cast<int64_t>(N);
+}
+
+namespace {
+
+/// Extended gcd: returns g and x,y with a*x + b*y == g.
+int64_t extendedGcd(int64_t A, int64_t B, int64_t &X, int64_t &Y) {
+  if (B == 0) {
+    X = 1;
+    Y = 0;
+    return A;
+  }
+  int64_t X1, Y1;
+  int64_t G = extendedGcd(B, A % B, X1, Y1);
+  X = Y1;
+  Y = X1 - (A / B) * Y1;
+  return G;
+}
+
+/// Aligns \p Hi down onto the lattice Lo + k*Stride (Stride > 0). All
+/// arithmetic in 128 bits: spans over near-full int64 ranges overflow the
+/// intermediate otherwise (the result itself always fits).
+int64_t alignDown(int64_t Lo, int64_t Stride, int64_t Hi) {
+  __int128 Span = static_cast<__int128>(Hi) - Lo;
+  __int128 Aligned = static_cast<__int128>(Lo) + (Span / Stride) * Stride;
+  return static_cast<int64_t>(Aligned);
+}
+
+/// Aligns \p Lo up onto the lattice with anchor Hi - k*Stride (Stride > 0).
+int64_t alignUp(int64_t Hi, int64_t Stride, int64_t Lo) {
+  __int128 Span = static_cast<__int128>(Hi) - Lo;
+  __int128 Aligned = static_cast<__int128>(Hi) - (Span / Stride) * Stride;
+  return static_cast<int64_t>(Aligned);
+}
+
+/// Builds a numeric subrange after clamping/validating the stride.
+SubRange makePiece(double Prob, int64_t Lo, int64_t Hi, int64_t Stride) {
+  if (Lo == Hi)
+    return SubRange::numeric(Prob, Lo, Hi, 0);
+  if (Stride <= 0)
+    Stride = 1;
+  __int128 Span = static_cast<__int128>(Hi) - Lo;
+  if (Span % Stride != 0)
+    Stride = 1;
+  return SubRange::numeric(Prob, Lo, Hi, Stride);
+}
+
+/// Combines two bounds for addition; fails when both are symbolic.
+bool addBounds(const Bound &A, const Bound &B, Bound &Out) {
+  if (A.Sym && B.Sym)
+    return false;
+  Out = Bound(A.Sym ? A.Sym : B.Sym, saturatingAdd(A.Offset, B.Offset));
+  return true;
+}
+
+/// Combines bounds for subtraction A - B; same-symbol bounds cancel.
+bool subBounds(const Bound &A, const Bound &B, Bound &Out) {
+  if (B.Sym) {
+    if (A.Sym != B.Sym)
+      return false;
+    Out = Bound(saturatingSub(A.Offset, B.Offset)); // Symbols cancel.
+    return true;
+  }
+  Out = Bound(A.Sym, saturatingSub(A.Offset, B.Offset));
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Pairwise arithmetic kernels
+//===----------------------------------------------------------------------===//
+
+bool RangeOps::pairAdd(const SubRange &A, const SubRange &B,
+                       std::vector<SubRange> &Out) {
+  Bound Lo, Hi;
+  if (!addBounds(A.Lo, B.Lo, Lo) || !addBounds(A.Hi, B.Hi, Hi))
+    return false;
+  int64_t Stride = strideGcd(A.Stride, B.Stride);
+  if (Lo.isNumeric() && Hi.isNumeric()) {
+    Out.push_back(makePiece(A.Prob * B.Prob, Lo.Offset, Hi.Offset, Stride));
+  } else {
+    if (Lo == Hi)
+      Stride = 0;
+    else if (Stride == 0)
+      Stride = 1;
+    Out.push_back(SubRange(A.Prob * B.Prob, Lo, Hi, Stride));
+  }
+  return true;
+}
+
+bool RangeOps::pairSub(const SubRange &A, const SubRange &B,
+                       std::vector<SubRange> &Out) {
+  Bound Lo, Hi;
+  if (!subBounds(A.Lo, B.Hi, Lo) || !subBounds(A.Hi, B.Lo, Hi))
+    return false;
+  int64_t Stride = strideGcd(A.Stride, B.Stride);
+  if (Lo.isNumeric() && Hi.isNumeric()) {
+    if (Lo.Offset > Hi.Offset)
+      return false; // Mixed symbolic cancellation produced nonsense.
+    Out.push_back(makePiece(A.Prob * B.Prob, Lo.Offset, Hi.Offset, Stride));
+  } else {
+    if (Lo == Hi)
+      Stride = 0;
+    else if (Stride == 0)
+      Stride = 1;
+    Out.push_back(SubRange(A.Prob * B.Prob, Lo, Hi, Stride));
+  }
+  return true;
+}
+
+bool RangeOps::pairMul(const SubRange &A, const SubRange &B,
+                       std::vector<SubRange> &Out) {
+  double Prob = A.Prob * B.Prob;
+  // Symbolic operands only survive multiplication by 0 or 1.
+  if (!A.isNumeric() || !B.isNumeric()) {
+    const SubRange &Sym = A.isNumeric() ? B : A;
+    const SubRange &Num = A.isNumeric() ? A : B;
+    if (!Num.isNumeric() || !Num.isSingleton())
+      return false;
+    if (Num.Lo.Offset == 0) {
+      Out.push_back(SubRange::singleton(Prob, 0));
+      return true;
+    }
+    if (Num.Lo.Offset == 1) {
+      SubRange Copy = Sym;
+      Copy.Prob = Prob;
+      Out.push_back(Copy);
+      return true;
+    }
+    return false;
+  }
+
+  int64_t Corners[4] = {
+      saturatingMul(A.Lo.Offset, B.Lo.Offset),
+      saturatingMul(A.Lo.Offset, B.Hi.Offset),
+      saturatingMul(A.Hi.Offset, B.Lo.Offset),
+      saturatingMul(A.Hi.Offset, B.Hi.Offset),
+  };
+  int64_t Lo = *std::min_element(Corners, Corners + 4);
+  int64_t Hi = *std::max_element(Corners, Corners + 4);
+
+  int64_t Stride = 1;
+  if (B.isSingleton())
+    Stride = saturatingMul(A.Stride, saturatingAbs(B.Lo.Offset));
+  else if (A.isSingleton())
+    Stride = saturatingMul(B.Stride, saturatingAbs(A.Lo.Offset));
+  Out.push_back(makePiece(Prob, Lo, Hi, Stride));
+  return true;
+}
+
+bool RangeOps::pairDiv(const SubRange &A, const SubRange &B,
+                       std::vector<SubRange> &Out) {
+  if (!A.isNumeric() || !B.isNumeric())
+    return false;
+  double Prob = A.Prob * B.Prob;
+
+  // Divisor candidates: extremes plus the smallest-magnitude nonzero
+  // values; zero divisors are undefined and force ⊥ (singleton zero) or
+  // are excluded (ranges straddling zero).
+  std::vector<int64_t> Divisors;
+  auto addDivisor = [&](int64_t D) {
+    if (D != 0 && D >= B.Lo.Offset && D <= B.Hi.Offset)
+      Divisors.push_back(D);
+  };
+  addDivisor(B.Lo.Offset);
+  addDivisor(B.Hi.Offset);
+  addDivisor(-1);
+  addDivisor(1);
+  if (Divisors.empty())
+    return false; // Only zero available: division undefined.
+
+  // Exact fast path: positive singleton divisor that preserves the lattice.
+  if (B.isSingleton()) {
+    int64_t C = B.Lo.Offset;
+    if (C > 0 && A.Lo.Offset >= 0 && A.Stride % C == 0 &&
+        A.Lo.Offset % C == 0) {
+      Out.push_back(makePiece(Prob, A.Lo.Offset / C, A.Hi.Offset / C,
+                              A.Stride / C));
+      return true;
+    }
+  }
+
+  int64_t Lo = Int64Max, Hi = Int64Min;
+  for (int64_t Dividend : {A.Lo.Offset, A.Hi.Offset}) {
+    for (int64_t Divisor : Divisors) {
+      // C++ trunc division; Int64Min / -1 overflows.
+      int64_t Q = (Dividend == Int64Min && Divisor == -1)
+                      ? Int64Max
+                      : Dividend / Divisor;
+      Lo = std::min(Lo, Q);
+      Hi = std::max(Hi, Q);
+    }
+  }
+  // Trunc division can also produce 0 whenever |dividend| < |divisor|.
+  if (A.Lo.Offset <= 0 && A.Hi.Offset >= 0) {
+    Lo = std::min<int64_t>(Lo, 0);
+    Hi = std::max<int64_t>(Hi, 0);
+  }
+  Out.push_back(makePiece(Prob, Lo, Hi, 1));
+  return true;
+}
+
+bool RangeOps::pairRem(const SubRange &A, const SubRange &B,
+                       std::vector<SubRange> &Out) {
+  if (!A.isNumeric() || !B.isNumeric())
+    return false;
+  double Prob = A.Prob * B.Prob;
+  // Divisor must exclude zero.
+  if (B.Lo.Offset <= 0 && B.Hi.Offset >= 0) {
+    if (B.isSingleton())
+      return false; // x % 0.
+    return false;   // May be zero at runtime; undefined.
+  }
+  int64_t M =
+      std::max(saturatingAbs(B.Lo.Offset), saturatingAbs(B.Hi.Offset));
+  if (M == Int64Min)
+    return false;
+  // C semantics: result sign follows the dividend; |result| < M.
+  if (A.Lo.Offset >= 0 && A.Hi.Offset < M && B.isSingleton()) {
+    // Entirely within one period: identity.
+    Out.push_back(A.withProb(Prob));
+    return true;
+  }
+  if (B.isSingleton() && A.Lo.Offset >= 0) {
+    int64_t C = saturatingAbs(B.Lo.Offset);
+    if (A.Stride > 0 && A.Stride % C == 0) {
+      // All lattice points congruent: single value.
+      Out.push_back(SubRange::singleton(Prob, A.Lo.Offset % C));
+      return true;
+    }
+    int64_t G = A.Stride > 0 ? strideGcd(A.Stride, C) : 0;
+    if (G > 1) {
+      // Residues stay congruent to Lo modulo gcd(stride, modulus).
+      int64_t First = A.Lo.Offset % G;
+      int64_t Last = First + ((C - 1 - First) / G) * G;
+      Out.push_back(makePiece(Prob, First, std::min(Last, C - 1), G));
+      return true;
+    }
+    Out.push_back(
+        makePiece(Prob, 0, std::min(A.Hi.Offset, C - 1), 1));
+    return true;
+  }
+  // General case: |result| < M, result sign follows the dividend, and the
+  // result magnitude never exceeds the dividend magnitude.
+  int64_t Lo = A.Lo.Offset >= 0 ? 0 : std::max(A.Lo.Offset, -(M - 1));
+  int64_t Hi = A.Hi.Offset <= 0 ? 0 : std::min(A.Hi.Offset, M - 1);
+  Out.push_back(makePiece(Prob, Lo, Hi, 1));
+  return true;
+}
+
+namespace {
+
+/// Stride of a lattice containing the points of both subranges: the two
+/// lattices must agree modulo the result, which also requires their
+/// anchors' separation to be a multiple.
+int64_t unionStride(const SubRange &A, const SubRange &B) {
+  __int128 Sep = static_cast<__int128>(A.Lo.Offset) - B.Lo.Offset;
+  if (Sep < 0)
+    Sep = -Sep;
+  int64_t SepG = Sep > Int64Max ? 1 : static_cast<int64_t>(Sep);
+  return strideGcd(strideGcd(A.Stride, B.Stride), SepG);
+}
+
+} // namespace
+
+bool RangeOps::pairMin(const SubRange &A, const SubRange &B,
+                       std::vector<SubRange> &Out) {
+  if (!A.isNumeric() || !B.isNumeric())
+    return false;
+  // min(a, b) is always one of a's or b's values, so the result lattice
+  // must cover the union of both lattices.
+  int64_t Lo = std::min(A.Lo.Offset, B.Lo.Offset);
+  int64_t Hi = std::min(A.Hi.Offset, B.Hi.Offset);
+  Out.push_back(makePiece(A.Prob * B.Prob, Lo, Hi, unionStride(A, B)));
+  return true;
+}
+
+bool RangeOps::pairMax(const SubRange &A, const SubRange &B,
+                       std::vector<SubRange> &Out) {
+  if (!A.isNumeric() || !B.isNumeric())
+    return false;
+  int64_t Lo = std::max(A.Lo.Offset, B.Lo.Offset);
+  int64_t Hi = std::max(A.Hi.Offset, B.Hi.Offset);
+  Out.push_back(makePiece(A.Prob * B.Prob, Lo, Hi, unionStride(A, B)));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Binary operation framework
+//===----------------------------------------------------------------------===//
+
+ValueRange RangeOps::binaryNumeric(
+    const ValueRange &L, const ValueRange &R,
+    bool (RangeOps::*PairOp)(const SubRange &, const SubRange &,
+                             std::vector<SubRange> &)) {
+  if (L.isBottom() || R.isBottom())
+    return ValueRange::bottom();
+  if (L.isTop() || R.isTop())
+    return ValueRange::top();
+  if (!L.isRanges() || !R.isRanges())
+    return ValueRange::bottom();
+  std::vector<SubRange> Out;
+  for (const SubRange &A : L.subRanges()) {
+    for (const SubRange &B : R.subRanges()) {
+      ++Stats.SubOps;
+      if (!(this->*PairOp)(A, B, Out))
+        return ValueRange::bottom();
+    }
+  }
+  ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
+  Result.setDistributionKnown(L.distributionKnown() &&
+                              R.distributionKnown());
+  return Result;
+}
+
+namespace {
+
+/// Folds a float binary op when both sides are known constants.
+ValueRange foldFloat(const ValueRange &L, const ValueRange &R,
+                     double (*Fold)(double, double)) {
+  if (L.isTop() || R.isTop())
+    return ValueRange::top();
+  if (L.isFloatConst() && R.isFloatConst())
+    return ValueRange::floatConstant(Fold(L.floatValue(), R.floatValue()));
+  return ValueRange::bottom();
+}
+
+} // namespace
+
+ValueRange RangeOps::add(const ValueRange &L, const ValueRange &R) {
+  if (L.isFloatConst() || R.isFloatConst())
+    return foldFloat(L, R, [](double A, double B) { return A + B; });
+  return binaryNumeric(L, R, &RangeOps::pairAdd);
+}
+
+ValueRange RangeOps::sub(const ValueRange &L, const ValueRange &R) {
+  if (L.isFloatConst() || R.isFloatConst())
+    return foldFloat(L, R, [](double A, double B) { return A - B; });
+  return binaryNumeric(L, R, &RangeOps::pairSub);
+}
+
+ValueRange RangeOps::mul(const ValueRange &L, const ValueRange &R) {
+  if (L.isFloatConst() || R.isFloatConst())
+    return foldFloat(L, R, [](double A, double B) { return A * B; });
+  return binaryNumeric(L, R, &RangeOps::pairMul);
+}
+
+ValueRange RangeOps::div(const ValueRange &L, const ValueRange &R) {
+  if (L.isFloatConst() || R.isFloatConst())
+    return foldFloat(L, R, [](double A, double B) {
+      return B == 0.0 ? 0.0 : A / B;
+    });
+  return binaryNumeric(L, R, &RangeOps::pairDiv);
+}
+
+ValueRange RangeOps::rem(const ValueRange &L, const ValueRange &R) {
+  // Even a statically unknown dividend has a known result *set*:
+  // |x % c| < |c| (C semantics). The distribution stays unknown.
+  if (L.isBottom() && R.isRanges()) {
+    if (auto C = R.asIntConstant()) {
+      if (*C != 0 && *C != Int64Min) {
+        int64_t M = *C < 0 ? -*C : *C;
+        ValueRange Result = ValueRange::ranges(
+            {SubRange::numeric(1.0, -(M - 1), M - 1, M == 1 ? 0 : 1)},
+            Opts.MaxSubRanges);
+        Result.setDistributionKnown(false);
+        return Result;
+      }
+    }
+  }
+  return binaryNumeric(L, R, &RangeOps::pairRem);
+}
+
+ValueRange RangeOps::minOp(const ValueRange &L, const ValueRange &R) {
+  if (L.isFloatConst() || R.isFloatConst())
+    return foldFloat(L, R,
+                     [](double A, double B) { return std::min(A, B); });
+  return binaryNumeric(L, R, &RangeOps::pairMin);
+}
+
+ValueRange RangeOps::maxOp(const ValueRange &L, const ValueRange &R) {
+  if (L.isFloatConst() || R.isFloatConst())
+    return foldFloat(L, R,
+                     [](double A, double B) { return std::max(A, B); });
+  return binaryNumeric(L, R, &RangeOps::pairMax);
+}
+
+ValueRange RangeOps::neg(const ValueRange &V) {
+  if (V.isTop() || V.isBottom())
+    return V;
+  if (V.isFloatConst())
+    return ValueRange::floatConstant(-V.floatValue());
+  std::vector<SubRange> Out;
+  for (const SubRange &S : V.subRanges()) {
+    ++Stats.SubOps;
+    if (!S.isNumeric())
+      return ValueRange::bottom(); // -(x+c) is not representable.
+    Out.push_back(makePiece(S.Prob, saturatingNeg(S.Hi.Offset),
+                            saturatingNeg(S.Lo.Offset), S.Stride));
+  }
+  ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
+  Result.setDistributionKnown(V.distributionKnown());
+  return Result;
+}
+
+ValueRange RangeOps::absOp(const ValueRange &V) {
+  if (V.isTop() || V.isBottom())
+    return V;
+  if (V.isFloatConst())
+    return ValueRange::floatConstant(std::abs(V.floatValue()));
+  std::vector<SubRange> Out;
+  for (const SubRange &S : V.subRanges()) {
+    ++Stats.SubOps;
+    if (!S.isNumeric())
+      return ValueRange::bottom();
+    if (S.Lo.Offset >= 0) {
+      Out.push_back(S);
+    } else if (S.Hi.Offset <= 0) {
+      Out.push_back(makePiece(S.Prob, saturatingNeg(S.Hi.Offset),
+                              saturatingNeg(S.Lo.Offset), S.Stride));
+    } else {
+      int64_t Hi = std::max(saturatingNeg(S.Lo.Offset), S.Hi.Offset);
+      Out.push_back(makePiece(S.Prob, 0, Hi, 1));
+    }
+  }
+  ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
+  Result.setDistributionKnown(V.distributionKnown());
+  return Result;
+}
+
+ValueRange RangeOps::notOp(const ValueRange &V) {
+  if (V.isTop())
+    return ValueRange::top();
+  std::optional<double> P = V.probNonZero();
+  if (!P)
+    return ValueRange::bottom();
+  if (!V.distributionKnown() && *P != 0.0 && *P != 1.0)
+    return ValueRange::bottom(); // Only certainty survives unknown dist.
+  return ValueRange::weightedBool(1.0 - *P);
+}
+
+ValueRange RangeOps::intToFloat(const ValueRange &V) {
+  if (V.isTop())
+    return ValueRange::top();
+  if (auto C = V.asIntConstant())
+    return ValueRange::floatConstant(static_cast<double>(*C));
+  return ValueRange::bottom();
+}
+
+ValueRange RangeOps::floatToInt(const ValueRange &V) {
+  if (V.isTop())
+    return ValueRange::top();
+  if (V.isFloatConst()) {
+    double D = V.floatValue();
+    if (D >= static_cast<double>(Int64Min) &&
+        D <= static_cast<double>(Int64Max))
+      return ValueRange::intConstant(static_cast<int64_t>(D));
+  }
+  return ValueRange::bottom();
+}
+
+//===----------------------------------------------------------------------===//
+// Meet
+//===----------------------------------------------------------------------===//
+
+ValueRange RangeOps::meetWeighted(
+    const std::vector<std::pair<ValueRange, double>> &Entries) {
+  double TotalWeight = 0.0;
+  bool SawFloat = false, SawRanges = false;
+  double FloatVal = 0.0;
+  bool FloatConsistent = true;
+
+  for (const auto &[VR, W] : Entries) {
+    if (W <= 0.0 || VR.isTop())
+      continue;
+    if (VR.isBottom())
+      return ValueRange::bottom();
+    if (VR.isFloatConst()) {
+      if (SawFloat && VR.floatValue() != FloatVal)
+        FloatConsistent = false;
+      FloatVal = VR.floatValue();
+      SawFloat = true;
+    } else {
+      SawRanges = true;
+    }
+    TotalWeight += W;
+  }
+  if (TotalWeight <= 0.0)
+    return ValueRange::top(); // Nothing known yet.
+  if (SawFloat) {
+    if (SawRanges || !FloatConsistent)
+      return ValueRange::bottom();
+    return ValueRange::floatConstant(FloatVal);
+  }
+
+  std::vector<SubRange> Out;
+  bool DistKnown = true;
+  for (const auto &[VR, W] : Entries) {
+    if (W <= 0.0 || !VR.isRanges())
+      continue;
+    DistKnown &= VR.distributionKnown();
+    double Scale = W / TotalWeight;
+    for (const SubRange &S : VR.subRanges()) {
+      ++Stats.SubOps;
+      SubRange Scaled = S;
+      Scaled.Prob *= Scale;
+      Out.push_back(Scaled);
+    }
+  }
+  ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
+  Result.setDistributionKnown(DistKnown);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Assertions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Clips one numeric subrange against `value PRED C`; appends surviving
+/// pieces with probability scaled by the surviving point fraction.
+void clipNumeric(const SubRange &S, CmpPred Pred, int64_t C,
+                 std::vector<SubRange> &Out) {
+  int64_t Count = *S.count();
+  auto keepUpTo = [&](int64_t U) { // Values <= U survive.
+    if (U >= S.Hi.Offset) {
+      Out.push_back(S);
+      return;
+    }
+    if (U < S.Lo.Offset)
+      return; // Nothing survives.
+    int64_t NewHi = S.Stride == 0 ? S.Lo.Offset
+                                  : alignDown(S.Lo.Offset, S.Stride, U);
+    SubRange Piece = makePiece(S.Prob, S.Lo.Offset, NewHi, S.Stride);
+    Piece.Prob = S.Prob * (static_cast<double>(*Piece.count()) / Count);
+    Out.push_back(Piece);
+  };
+  auto keepFrom = [&](int64_t L) { // Values >= L survive.
+    if (L <= S.Lo.Offset) {
+      Out.push_back(S);
+      return;
+    }
+    if (L > S.Hi.Offset)
+      return;
+    int64_t NewLo = S.Stride == 0 ? S.Hi.Offset
+                                  : alignUp(S.Hi.Offset, S.Stride, L);
+    SubRange Piece = makePiece(S.Prob, NewLo, S.Hi.Offset, S.Stride);
+    Piece.Prob = S.Prob * (static_cast<double>(*Piece.count()) / Count);
+    Out.push_back(Piece);
+  };
+
+  switch (Pred) {
+  case CmpPred::LT:
+    if (C == Int64Min)
+      return; // x < INT64_MIN is impossible; nothing survives.
+    keepUpTo(C - 1);
+    return;
+  case CmpPred::LE:
+    keepUpTo(C);
+    return;
+  case CmpPred::GT:
+    if (C == Int64Max)
+      return;
+    keepFrom(C + 1);
+    return;
+  case CmpPred::GE:
+    keepFrom(C);
+    return;
+  case CmpPred::EQ: {
+    bool Contains = C >= S.Lo.Offset && C <= S.Hi.Offset &&
+                    onLattice(S.Lo.Offset, S.Stride, C);
+    if (Contains)
+      Out.push_back(SubRange::singleton(S.Prob / Count, C));
+    return;
+  }
+  case CmpPred::NE: {
+    bool Contains = C >= S.Lo.Offset && C <= S.Hi.Offset &&
+                    onLattice(S.Lo.Offset, S.Stride, C);
+    if (!Contains) {
+      Out.push_back(S);
+      return;
+    }
+    double Keep = S.Prob * (static_cast<double>(Count - 1) / Count);
+    if (Count == 1)
+      return; // The whole subrange was that one value.
+    if (C == S.Lo.Offset) {
+      SubRange Piece = makePiece(Keep, S.Lo.Offset + S.Stride, S.Hi.Offset,
+                                 S.Stride);
+      Out.push_back(Piece);
+    } else if (C == S.Hi.Offset) {
+      Out.push_back(
+          makePiece(Keep, S.Lo.Offset, S.Hi.Offset - S.Stride, S.Stride));
+    } else {
+      // Interior removal: split proportionally to the two sides.
+      int64_t Below = pointsBelow(S, C);
+      int64_t Above = Count - Below - 1;
+      Out.push_back(makePiece(S.Prob * Below / Count, S.Lo.Offset,
+                              C - S.Stride, S.Stride));
+      Out.push_back(makePiece(S.Prob * Above / Count, C + S.Stride,
+                              S.Hi.Offset, S.Stride));
+    }
+    return;
+  }
+  }
+}
+
+/// Clips one subrange against a symbolic bound `value PRED (Sym)`; keeps
+/// probability unchanged (the surviving fraction is unknown).
+void clipSymbolic(const SubRange &S, CmpPred Pred, const Value *Sym,
+                  std::vector<SubRange> &Out) {
+  SubRange Piece = S;
+  switch (Pred) {
+  case CmpPred::LT:
+    Piece.Hi = Bound(Sym, -1);
+    break;
+  case CmpPred::LE:
+    Piece.Hi = Bound(Sym, 0);
+    break;
+  case CmpPred::GT:
+    Piece.Lo = Bound(Sym, 1);
+    break;
+  case CmpPred::GE:
+    Piece.Lo = Bound(Sym, 0);
+    break;
+  case CmpPred::EQ:
+    // assert x == y: x becomes an exact copy of y.
+    Out.push_back(SubRange(S.Prob, Bound(Sym, 0), Bound(Sym, 0), 0));
+    return;
+  case CmpPred::NE:
+    Out.push_back(S); // No representable refinement.
+    return;
+  }
+  // Bounds relative to two different ancestors are unrepresentable; fall
+  // back to the assert side only (the controlling test is the most
+  // predictive information available).
+  if (Piece.Lo.Sym && Piece.Hi.Sym && Piece.Lo.Sym != Piece.Hi.Sym) {
+    if (Pred == CmpPred::LT || Pred == CmpPred::LE)
+      Piece.Lo = Bound(Int64Min);
+    else
+      Piece.Hi = Bound(Int64Max);
+    Piece.Stride = 1;
+  }
+  // Symbolic clipping can invert numeric-looking bounds only at runtime;
+  // statically we keep the piece as-is.
+  if (Piece.Lo.isNumeric() && Piece.Hi.isNumeric() &&
+      Piece.Lo.Offset > Piece.Hi.Offset) {
+    Out.push_back(S);
+    return;
+  }
+  if (Piece.Lo == Piece.Hi)
+    Piece.Stride = 0;
+  else if (Piece.Stride == 0)
+    Piece.Stride = 1;
+  Out.push_back(Piece);
+}
+
+} // namespace
+
+ValueRange RangeOps::applyAssert(const ValueRange &Src, CmpPred Pred,
+                                 const ValueRange &BoundRange,
+                                 const Value *BoundVal) {
+  // An assert on a statically unknown value still pins down the *set* of
+  // surviving values ("valuable information can often be derived from the
+  // equality tests controlling branches") — but not their distribution.
+  ValueRange Effective = Src;
+  if (Src.isBottom()) {
+    Effective = ValueRange::fullIntRange();
+    Effective.setDistributionKnown(false);
+  }
+  if (!Effective.isRanges())
+    return Effective;
+  const ValueRange &SrcR = Effective;
+
+  std::optional<int64_t> C = BoundRange.asIntConstant();
+  const Value *Sym = nullptr;
+  if (!C && Opts.EnableSymbolicRanges && BoundVal &&
+      !isa<Constant>(BoundVal))
+    Sym = BoundVal;
+
+  std::vector<SubRange> Out;
+  for (const SubRange &S : SrcR.subRanges()) {
+    ++Stats.SubOps;
+    if (C && S.isNumeric()) {
+      clipNumeric(S, Pred, *C, Out);
+    } else if (C) {
+      // Symbolic subrange, numeric bound: adopt the numeric bound on the
+      // constrained side (prefer the assert's information).
+      SubRange Piece = S;
+      switch (Pred) {
+      case CmpPred::LT:
+        Piece.Hi = Bound(*C == Int64Min ? Int64Min : *C - 1);
+        break;
+      case CmpPred::LE:
+        Piece.Hi = Bound(*C);
+        break;
+      case CmpPred::GT:
+        Piece.Lo = Bound(*C == Int64Max ? Int64Max : *C + 1);
+        break;
+      case CmpPred::GE:
+        Piece.Lo = Bound(*C);
+        break;
+      case CmpPred::EQ:
+        Piece = SubRange::singleton(S.Prob, *C);
+        break;
+      case CmpPred::NE:
+        break;
+      }
+      if (Piece.Lo.isNumeric() && Piece.Hi.isNumeric() &&
+          Piece.Lo.Offset > Piece.Hi.Offset) {
+        continue; // Contradiction: nothing survives from this piece.
+      }
+      if (Piece.Lo == Piece.Hi)
+        Piece.Stride = 0;
+      else if (Piece.Stride == 0)
+        Piece.Stride = 1;
+      Out.push_back(Piece);
+    } else if (Sym) {
+      clipSymbolic(S, Pred, Sym, Out);
+    } else {
+      Out.push_back(S); // No usable bound information.
+    }
+  }
+  if (Out.empty())
+    return ValueRange::bottom(); // Contradicted assert: edge unreachable.
+  ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
+  Result.setDistributionKnown(SrcR.distributionKnown());
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Probabilistic comparison
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Exact point count as a double (int64-capped SubRange::count() would
+/// collapse probabilities over near-full ranges into fake certainty).
+double countPointsD(const SubRange &S) {
+  if (S.Stride == 0 || S.Lo.Offset == S.Hi.Offset)
+    return 1.0;
+  __int128 Span = static_cast<__int128>(S.Hi.Offset) - S.Lo.Offset;
+  return static_cast<double>(Span / S.Stride) + 1.0;
+}
+
+/// pointsBelow in double precision, capped at the true count.
+double pointsBelowD(const SubRange &S, int64_t C) {
+  if (C <= S.Lo.Offset)
+    return 0.0;
+  double Count = countPointsD(S);
+  if (C > S.Hi.Offset)
+    return Count;
+  if (S.Stride == 0)
+    return S.Lo.Offset < C ? 1.0 : 0.0;
+  __int128 Span = static_cast<__int128>(C) - 1 - S.Lo.Offset;
+  double N = static_cast<double>(Span / S.Stride) + 1.0;
+  return std::min(N, Count);
+}
+
+} // namespace
+
+double RangeOps::numericEqProb(const SubRange &A, const SubRange &B) {
+  double Na = countPointsD(A), Nb = countPointsD(B);
+  int64_t Lo = std::max(A.Lo.Offset, B.Lo.Offset);
+  int64_t Hi = std::min(A.Hi.Offset, B.Hi.Offset);
+  if (Lo > Hi)
+    return 0.0;
+  double Common;
+  if (A.Stride == 0 && B.Stride == 0) {
+    Common = A.Lo.Offset == B.Lo.Offset ? 1 : 0;
+  } else if (A.Stride == 0 || B.Stride == 0) {
+    const SubRange &Point = A.Stride == 0 ? A : B;
+    const SubRange &Range = A.Stride == 0 ? B : A;
+    int64_t P = Point.Lo.Offset;
+    bool In = P >= Range.Lo.Offset && P <= Range.Hi.Offset &&
+              onLattice(Range.Lo.Offset, Range.Stride, P);
+    Common = In ? 1 : 0;
+  } else {
+    // Solve x ≡ aLo (mod sa), x ≡ bLo (mod sb) within [Lo, Hi].
+    int64_t X, Y;
+    int64_t G = extendedGcd(A.Stride, B.Stride, X, Y);
+    __int128 Diff = static_cast<__int128>(B.Lo.Offset) - A.Lo.Offset;
+    if (Diff % G != 0) {
+      Common = 0;
+    } else {
+      __int128 Lcm = static_cast<__int128>(A.Stride) / G * B.Stride;
+      // First solution: aLo + (Diff/G * X mod (sb/G)) * sa.
+      __int128 Step = B.Stride / G;
+      __int128 K = (Diff / G) % Step * X % Step;
+      if (K < 0)
+        K += Step;
+      __int128 First = static_cast<__int128>(A.Lo.Offset) + K * A.Stride;
+      // Move First into [Lo, Hi].
+      if (First < Lo)
+        First += ((Lo - First + Lcm - 1) / Lcm) * Lcm;
+      if (First > Hi) {
+        Common = 0;
+      } else {
+        Common = static_cast<double>((Hi - First) / Lcm) + 1.0;
+      }
+    }
+  }
+  return Common / (Na * Nb);
+}
+
+double RangeOps::numericLtProb(const SubRange &A, const SubRange &B) {
+  if (A.Hi.Offset < B.Lo.Offset)
+    return 1.0;
+  if (A.Lo.Offset >= B.Hi.Offset)
+    return 0.0;
+  double Na = countPointsD(A), Nb = countPointsD(B);
+  if (Nb == 1.0)
+    return pointsBelowD(A, B.Lo.Offset) / Na;
+  if (Na == 1.0) {
+    // P(c < B) = points of B above c / Nb.
+    double NotAbove =
+        pointsBelowD(B, saturatingAdd(A.Lo.Offset, 1));
+    return (Nb - NotAbove) / Nb;
+  }
+  // Continuous approximation: A ~ U[a1,a2], B ~ U[b1,b2].
+  double A1 = static_cast<double>(A.Lo.Offset);
+  double A2 = static_cast<double>(A.Hi.Offset);
+  double B1 = static_cast<double>(B.Lo.Offset);
+  double B2 = static_cast<double>(B.Hi.Offset);
+  // P(A < y) integrated over y ~ U[B1,B2]:
+  //   F(y) = clamp((y - A1) / (A2 - A1), 0, 1).
+  auto integralF = [&](double Y) { // ∫_{A1}^{Y} F between A1..A2 pieces.
+    if (Y <= A1)
+      return 0.0;
+    if (Y >= A2)
+      return (A2 - A1) / 2.0 + (Y - A2);
+    return (Y - A1) * (Y - A1) / (2.0 * (A2 - A1));
+  };
+  double P = (integralF(B2) - integralF(B1)) / (B2 - B1);
+  return std::clamp(P, 0.0, 1.0);
+}
+
+namespace {
+
+/// Fraction of an arithmetic progression satisfying a predicate against a
+/// fixed anchor. The progression has \p Count points
+///     p_j = anchor + Off + j*Step   for j = 0 .. Count-1
+/// with Step signed (negative for descending); the predicate compares p_j
+/// against the anchor itself, i.e. tests `Off + j*Step PRED 0`.
+int64_t anchoredSatisfied(CmpPred Pred, int64_t Off, int64_t Step,
+                          int64_t Count) {
+  // Count j in [0, Count) with Off + j*Step PRED 0.
+  switch (Pred) {
+  case CmpPred::EQ: {
+    if (Off % Step != 0)
+      return 0;
+    int64_t J = -Off / Step;
+    return (J >= 0 && J < Count) ? 1 : 0;
+  }
+  case CmpPred::NE:
+    return Count - anchoredSatisfied(CmpPred::EQ, Off, Step, Count);
+  case CmpPred::LT: {
+    // Off + j*Step < 0.
+    if (Step > 0) {
+      // Satisfied exactly for j < -Off/Step.
+      int64_t Limit = ceilDiv(-Off, Step); // First j with p_j >= 0.
+      return std::clamp<int64_t>(Limit, 0, Count);
+    }
+    // Descending: satisfied for j > Off/(-Step).
+    int64_t First = floorDiv(Off, -Step) + 1; // First j with p_j < 0.
+    return Count - std::clamp<int64_t>(First, 0, Count);
+  }
+  case CmpPred::LE:
+    return anchoredSatisfied(CmpPred::LT, Off, Step, Count) +
+           anchoredSatisfied(CmpPred::EQ, Off, Step, Count);
+  case CmpPred::GT:
+    return Count - anchoredSatisfied(CmpPred::LE, Off, Step, Count);
+  case CmpPred::GE:
+    return Count - anchoredSatisfied(CmpPred::LT, Off, Step, Count);
+  }
+  return 0;
+}
+
+double anchoredFraction(CmpPred Pred, int64_t Off, int64_t Step,
+                        int64_t Count) {
+  assert(Count >= 1 && Step != 0);
+  // anchoredSatisfied negates Off internally; keep it off INT64_MIN
+  // (saturated symbolic offsets can reach it).
+  if (Off == Int64Min)
+    Off = Int64Min + 1;
+  return static_cast<double>(anchoredSatisfied(Pred, Off, Step, Count)) /
+         static_cast<double>(Count);
+}
+
+} // namespace
+
+std::optional<double> RangeOps::pairCmpProb(CmpPred Pred, const SubRange &A,
+                                            const SubRange &B,
+                                            const Value *LVal,
+                                            const Value *RVal,
+                                            bool LDistKnown,
+                                            bool RDistKnown) {
+  ++Stats.SubOps;
+
+  // Per-case distribution trust: a result computed from an untrusted
+  // distribution may only be believed when it is set-level certain.
+  auto gate = [](std::optional<double> P,
+                 bool Trusted) -> std::optional<double> {
+    if (!P || Trusted || *P == 0.0 || *P == 1.0)
+      return P;
+    return std::nullopt;
+  };
+
+  // Normalize symbolic situations down to numeric comparisons.
+  auto offsets = [](const SubRange &S) {
+    if (S.Lo == S.Hi)
+      return SubRange::singleton(S.Prob, S.Lo.Offset);
+    return makePiece(S.Prob, std::min(S.Lo.Offset, S.Hi.Offset),
+                     std::max(S.Lo.Offset, S.Hi.Offset),
+                     std::max<int64_t>(S.Stride, 1));
+  };
+
+  const bool ASym = !A.isNumeric(), BSym = !B.isNumeric();
+  if (!ASym && !BSym) {
+    std::optional<double> P;
+    switch (Pred) {
+    case CmpPred::EQ:
+      P = numericEqProb(A, B);
+      break;
+    case CmpPred::NE:
+      P = 1.0 - numericEqProb(A, B);
+      break;
+    case CmpPred::LT:
+      P = numericLtProb(A, B);
+      break;
+    case CmpPred::LE:
+      P = std::min(1.0, numericLtProb(A, B) + numericEqProb(A, B));
+      break;
+    case CmpPred::GT:
+      P = std::max(0.0, 1.0 - numericLtProb(A, B) - numericEqProb(A, B));
+      break;
+    case CmpPred::GE:
+      P = 1.0 - numericLtProb(A, B);
+      break;
+    }
+    return gate(P, LDistKnown && RDistKnown);
+  }
+
+  if (!Opts.EnableSymbolicRanges)
+    return std::nullopt;
+
+  // Fully-symbolic bounds on one common ancestor.
+  auto symOf = [](const SubRange &S) -> const Value * {
+    if (S.Lo.Sym && (S.Hi.Sym == S.Lo.Sym))
+      return S.Lo.Sym;
+    return nullptr;
+  };
+  const Value *SA = symOf(A), *SB = symOf(B);
+
+  if (ASym && BSym && SA && SA == SB) {
+    // Both relative to the same ancestor: compare offsets.
+    return pairCmpProb(Pred, offsets(A), offsets(B), nullptr, nullptr,
+                       LDistKnown, RDistKnown);
+  }
+  if (ASym && SA && SA == RVal) {
+    // A's bounds are relative to the right operand itself: A PRED RVal
+    // reduces to offsets PRED 0 regardless of RVal's distribution.
+    return pairCmpProb(Pred, offsets(A), SubRange::singleton(1.0, 0),
+                       nullptr, nullptr, LDistKnown, true);
+  }
+  if (BSym && SB && SB == LVal) {
+    // Symmetric: 0 PRED offsets.
+    return pairCmpProb(Pred, SubRange::singleton(1.0, 0), offsets(B),
+                       nullptr, nullptr, true, RDistKnown);
+  }
+
+  // Partially symbolic subranges (one numeric bound, one symbolic): model
+  // the unknown extent as AssumedSymbolicCount lattice points anchored at
+  // the known end. This is how the loop-exit test of a derived range like
+  // [0:n:1] predicts at (C-1)/C without knowing n. Saturated sentinel
+  // offsets (INT64_MIN/MAX from symbolic-clip fallbacks) are not real
+  // anchors and must not be modeled.
+  int64_t C = std::max<int64_t>(
+      2, static_cast<int64_t>(Opts.AssumedSymbolicCount));
+  auto realAnchor = [](const Bound &B) {
+    return B.isNumeric() && B.Offset > Int64Min + 1 &&
+           B.Offset < Int64Max - 1;
+  };
+
+  // A anchored against the right operand's own variable.
+  if (A.Hi.Sym && A.Hi.Sym == RVal && realAnchor(A.Lo))
+    return gate(anchoredFraction(Pred, A.Hi.Offset,
+                                 -std::max<int64_t>(A.Stride, 1), C),
+                LDistKnown);
+  if (A.Lo.Sym && A.Lo.Sym == RVal && realAnchor(A.Hi))
+    return gate(anchoredFraction(Pred, A.Lo.Offset,
+                                 std::max<int64_t>(A.Stride, 1), C),
+                LDistKnown);
+  // B anchored against the left operand's variable (swap the predicate).
+  if (B.Hi.Sym && B.Hi.Sym == LVal && realAnchor(B.Lo))
+    return gate(anchoredFraction(swapPred(Pred), B.Hi.Offset,
+                                 -std::max<int64_t>(B.Stride, 1), C),
+                RDistKnown);
+  if (B.Lo.Sym && B.Lo.Sym == LVal && realAnchor(B.Hi))
+    return gate(anchoredFraction(swapPred(Pred), B.Lo.Offset,
+                                 std::max<int64_t>(B.Stride, 1), C),
+                RDistKnown);
+
+  // Mixed-bound subrange against a numeric constant: anchor at the
+  // numeric end.
+  if (ASym && !BSym && B.isSingleton()) {
+    int64_t Target = B.Lo.Offset;
+    if (realAnchor(A.Lo))
+      return gate(anchoredFraction(Pred,
+                                   saturatingSub(A.Lo.Offset, Target),
+                                   std::max<int64_t>(A.Stride, 1), C),
+                  LDistKnown);
+    if (realAnchor(A.Hi))
+      return gate(anchoredFraction(Pred,
+                                   saturatingSub(A.Hi.Offset, Target),
+                                   -std::max<int64_t>(A.Stride, 1), C),
+                  LDistKnown);
+  }
+  if (BSym && !ASym && A.isSingleton()) {
+    int64_t Target = A.Lo.Offset;
+    if (realAnchor(B.Lo))
+      return gate(anchoredFraction(swapPred(Pred),
+                                   saturatingSub(B.Lo.Offset, Target),
+                                   std::max<int64_t>(B.Stride, 1), C),
+                  RDistKnown);
+    if (realAnchor(B.Hi))
+      return gate(anchoredFraction(swapPred(Pred),
+                                   saturatingSub(B.Hi.Offset, Target),
+                                   -std::max<int64_t>(B.Stride, 1), C),
+                  RDistKnown);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+double evalPredOnDoubles(CmpPred Pred, double A, double B) {
+  bool Result = false;
+  switch (Pred) {
+  case CmpPred::EQ:
+    Result = A == B;
+    break;
+  case CmpPred::NE:
+    Result = A != B;
+    break;
+  case CmpPred::LT:
+    Result = A < B;
+    break;
+  case CmpPred::LE:
+    Result = A <= B;
+    break;
+  case CmpPred::GT:
+    Result = A > B;
+    break;
+  case CmpPred::GE:
+    Result = A >= B;
+    break;
+  }
+  return Result ? 1.0 : 0.0;
+}
+
+} // namespace
+
+std::optional<double> RangeOps::cmpProb(CmpPred Pred, const ValueRange &L,
+                                        const ValueRange &R,
+                                        const Value *LVal,
+                                        const Value *RVal) {
+  if (L.isFloatConst() && R.isFloatConst())
+    return evalPredOnDoubles(Pred, L.floatValue(), R.floatValue());
+
+  // A ⊥ operand may still be decidable when the other side's bounds are
+  // relative to it (e.g. the loop test i < n with i in [0:n:1] and n
+  // unknown): substitute the symbolic singleton [v:v].
+  ValueRange LSub = L, RSub = R;
+  auto symSingleton = [](const Value *V) {
+    ValueRange VR;
+    std::vector<SubRange> Subs{SubRange(1.0, Bound(V, 0), Bound(V, 0), 0)};
+    return ValueRange::ranges(std::move(Subs), 1);
+  };
+  if (Opts.EnableSymbolicRanges) {
+    if (!LSub.isRanges() && RSub.isRanges() && LVal &&
+        !isa<Constant>(LVal))
+      LSub = symSingleton(LVal);
+    if (!RSub.isRanges() && LSub.isRanges() && RVal &&
+        !isa<Constant>(RVal))
+      RSub = symSingleton(RVal);
+  }
+  const ValueRange &LR = LSub, &RR = RSub;
+  if (!LR.isRanges() || !RR.isRanges())
+    return std::nullopt;
+  double P = 0.0;
+  for (const SubRange &A : LR.subRanges()) {
+    for (const SubRange &B : RR.subRanges()) {
+      std::optional<double> F =
+          pairCmpProb(Pred, A, B, LVal, RVal, LR.distributionKnown(),
+                      RR.distributionKnown());
+      if (!F)
+        return std::nullopt;
+      P += A.Prob * B.Prob * *F;
+    }
+  }
+  // Subrange probabilities of an untrusted distribution can still skew
+  // the aggregate; with multiple subranges on an untrusted side only a
+  // unanimous 0/1 outcome survives (each pair was individually gated, so
+  // a non-0/1 aggregate can only arise from mixing certain 0s and 1s).
+  P = std::clamp(P, 0.0, 1.0);
+  if (!LR.distributionKnown() || !RR.distributionKnown()) {
+    bool Mixed = P != 0.0 && P != 1.0;
+    if (Mixed && (LR.subRanges().size() > 1 || RR.subRanges().size() > 1))
+      return std::nullopt;
+  }
+  return P;
+}

@@ -1,0 +1,127 @@
+//===- vrp/RangeOps.h - Arithmetic on weighted value ranges -----*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "symbolic execution" kernel (paper §3.5): arithmetic, meets,
+/// assertion intersections and probabilistic comparisons over weighted
+/// range sets. Operations are pairwise over subranges (up to R² suboperations
+/// per expression evaluation, counted in RangeStats::SubOps for Figure 6).
+/// Unrepresentable results degrade to ⊥ — the paper's observation that
+/// "many problematic ranges cannot be represented and quickly become ⊥".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_VRP_RANGEOPS_H
+#define VRP_VRP_RANGEOPS_H
+
+#include "ir/Instruction.h"
+#include "vrp/Options.h"
+#include "vrp/ValueRange.h"
+
+namespace vrp {
+
+/// Stateless-per-call range operators parameterized by options; counts
+/// suboperations into the shared RangeStats.
+class RangeOps {
+public:
+  RangeOps(const VRPOptions &Opts, RangeStats &Stats)
+      : Opts(Opts), Stats(Stats) {}
+
+  //===--------------------------------------------------------------------===
+  // Arithmetic
+  //===--------------------------------------------------------------------===
+
+  ValueRange add(const ValueRange &L, const ValueRange &R);
+  ValueRange sub(const ValueRange &L, const ValueRange &R);
+  ValueRange mul(const ValueRange &L, const ValueRange &R);
+  ValueRange div(const ValueRange &L, const ValueRange &R);
+  ValueRange rem(const ValueRange &L, const ValueRange &R);
+  ValueRange minOp(const ValueRange &L, const ValueRange &R);
+  ValueRange maxOp(const ValueRange &L, const ValueRange &R);
+  ValueRange neg(const ValueRange &V);
+  ValueRange absOp(const ValueRange &V);
+  /// Logical not over an int value: weightedBool(P(v == 0)).
+  ValueRange notOp(const ValueRange &V);
+  ValueRange intToFloat(const ValueRange &V);
+  ValueRange floatToInt(const ValueRange &V);
+
+  //===--------------------------------------------------------------------===
+  // Lattice
+  //===--------------------------------------------------------------------===
+
+  /// The φ meet: merges incoming ranges weighted by in-edge probabilities.
+  /// Entries with ⊤ or non-positive weight are skipped (optimistic, as in
+  /// SCCP); any ⊥ entry forces ⊥.
+  ValueRange meetWeighted(
+      const std::vector<std::pair<ValueRange, double>> &Entries);
+
+  /// Conditions \p Src on `Src PRED Bound` holding (an assertion edge):
+  /// clips subranges, rescales surviving probability mass. \p BoundVal is
+  /// the bound's SSA identity for symbolic clipping (may be null).
+  ValueRange applyAssert(const ValueRange &Src, CmpPred Pred,
+                         const ValueRange &BoundRange,
+                         const Value *BoundVal);
+
+  //===--------------------------------------------------------------------===
+  // Probabilistic comparison
+  //===--------------------------------------------------------------------===
+
+  /// P(L PRED R) under independence and intra-range uniformity. \p LVal /
+  /// \p RVal are the operand SSA identities, enabling the symbolic cases
+  /// (bounds of one side relative to the other side's variable). Returns
+  /// nullopt when the ranges cannot decide the comparison.
+  std::optional<double> cmpProb(CmpPred Pred, const ValueRange &L,
+                                const ValueRange &R, const Value *LVal,
+                                const Value *RVal);
+
+private:
+  ValueRange binaryNumeric(
+      const ValueRange &L, const ValueRange &R,
+      bool (RangeOps::*PairOp)(const SubRange &, const SubRange &,
+                               std::vector<SubRange> &));
+
+  // Pairwise kernels; append result pieces, return false when the pair is
+  // unrepresentable (whole result becomes ⊥).
+  bool pairAdd(const SubRange &A, const SubRange &B,
+               std::vector<SubRange> &Out);
+  bool pairSub(const SubRange &A, const SubRange &B,
+               std::vector<SubRange> &Out);
+  bool pairMul(const SubRange &A, const SubRange &B,
+               std::vector<SubRange> &Out);
+  bool pairDiv(const SubRange &A, const SubRange &B,
+               std::vector<SubRange> &Out);
+  bool pairRem(const SubRange &A, const SubRange &B,
+               std::vector<SubRange> &Out);
+  bool pairMin(const SubRange &A, const SubRange &B,
+               std::vector<SubRange> &Out);
+  bool pairMax(const SubRange &A, const SubRange &B,
+               std::vector<SubRange> &Out);
+
+  /// P(a PRED b) for one subrange pair; nullopt when undecidable.
+  /// \p LDistKnown / \p RDistKnown say whether each side's probabilities
+  /// are trustworthy; a case that consults an untrusted distribution may
+  /// only return set-level certainty (exactly 0 or 1).
+  std::optional<double> pairCmpProb(CmpPred Pred, const SubRange &A,
+                                    const SubRange &B, const Value *LVal,
+                                    const Value *RVal, bool LDistKnown,
+                                    bool RDistKnown);
+
+  /// Exact P(A == B) for numeric subranges (strided intersection count).
+  double numericEqProb(const SubRange &A, const SubRange &B);
+  /// P(A < B) for numeric subranges; exact when either side is a
+  /// singleton, continuous approximation otherwise.
+  double numericLtProb(const SubRange &A, const SubRange &B);
+
+  const VRPOptions &Opts;
+  RangeStats &Stats;
+};
+
+/// Number of lattice points of numeric subrange \p S strictly below \p C.
+int64_t pointsBelow(const SubRange &S, int64_t C);
+
+} // namespace vrp
+
+#endif // VRP_VRP_RANGEOPS_H

@@ -1,0 +1,299 @@
+//===- vrp/ValueRange.cpp - Weighted value range lattice -------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vrp/ValueRange.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <tuple>
+
+using namespace vrp;
+
+std::string Bound::str() const {
+  if (isNumeric())
+    return std::to_string(Offset);
+  std::string S = Sym->displayName();
+  if (Offset > 0)
+    S += "+" + std::to_string(Offset);
+  else if (Offset < 0)
+    S += std::to_string(Offset);
+  return S;
+}
+
+std::string SubRange::str() const {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.4g", Prob);
+  return std::string(Buf) + "[" + Lo.str() + ":" + Hi.str() + ":" +
+         std::to_string(Stride) + "]";
+}
+
+double vrp::totalProb(const std::vector<SubRange> &Subs) {
+  double Total = 0.0;
+  for (const SubRange &S : Subs)
+    Total += S.Prob;
+  return Total;
+}
+
+namespace {
+
+/// Deterministic subrange ordering for canonical form.
+bool subRangeLess(const SubRange &A, const SubRange &B) {
+  auto Key = [](const SubRange &S) {
+    return std::tuple(reinterpret_cast<uintptr_t>(S.Lo.Sym), S.Lo.Offset,
+                      reinterpret_cast<uintptr_t>(S.Hi.Sym), S.Hi.Offset,
+                      S.Stride);
+  };
+  return Key(A) < Key(B);
+}
+
+/// True when the numeric subrange is internally consistent.
+bool isValidNumeric(const SubRange &S) {
+  if (S.Lo.Offset > S.Hi.Offset)
+    return false;
+  if (S.Stride == 0)
+    return S.Lo.Offset == S.Hi.Offset;
+  if (S.Stride < 0)
+    return false;
+  __int128 Span = static_cast<__int128>(S.Hi.Offset) - S.Lo.Offset;
+  return Span % S.Stride == 0;
+}
+
+/// Merges two numeric subranges into their strided convex hull.
+SubRange hullMerge(const SubRange &A, const SubRange &B) {
+  int64_t Lo = std::min(A.Lo.Offset, B.Lo.Offset);
+  int64_t Hi = std::max(A.Hi.Offset, B.Hi.Offset);
+  int64_t Stride = 0;
+  if (Lo != Hi) {
+    // Points of both ranges must lie on the new lattice Lo + k*Stride;
+    // the bound separation and both strides must all be multiples.
+    __int128 Sep = static_cast<__int128>(A.Lo.Offset) - B.Lo.Offset;
+    if (Sep < 0)
+      Sep = -Sep;
+    int64_t SepGcd = Sep > Int64Max ? 1 : static_cast<int64_t>(Sep);
+    Stride = strideGcd(strideGcd(A.Stride, B.Stride), SepGcd);
+    __int128 Span = static_cast<__int128>(Hi) - Lo;
+    if (Stride == 0 || Span % Stride != 0)
+      Stride = 1;
+  }
+  return SubRange::numeric(A.Prob + B.Prob, Lo, Hi, Stride);
+}
+
+} // namespace
+
+ValueRange ValueRange::ranges(std::vector<SubRange> Subs,
+                              unsigned MaxSubRanges) {
+  assert(MaxSubRanges >= 1 && "need at least one subrange");
+  // Drop empty/invalid pieces.
+  std::vector<SubRange> Clean;
+  for (SubRange &S : Subs) {
+    if (S.Prob <= 0.0)
+      continue;
+    if (S.isNumeric()) {
+      if (S.Lo.Offset == S.Hi.Offset)
+        S.Stride = 0;
+      if (!isValidNumeric(S))
+        return bottom(); // Caller produced an inconsistent range.
+    } else if (S.Lo.Sym && S.Hi.Sym && S.Lo.Sym != S.Hi.Sym) {
+      // Bounds relative to two different ancestors are unrepresentable.
+      return bottom();
+    }
+    Clean.push_back(S);
+  }
+  if (Clean.empty())
+    return bottom();
+
+  // Canonical order, then merge identical shapes.
+  std::sort(Clean.begin(), Clean.end(), subRangeLess);
+  std::vector<SubRange> Merged;
+  for (const SubRange &S : Clean) {
+    if (!Merged.empty() && Merged.back().sameShape(S))
+      Merged.back().Prob += S.Prob;
+    else
+      Merged.push_back(S);
+  }
+
+  // Renormalize to total probability 1.
+  double Total = totalProb(Merged);
+  if (Total <= 0.0)
+    return bottom();
+  if (std::abs(Total - 1.0) > 1e-12)
+    for (SubRange &S : Merged)
+      S.Prob /= Total;
+
+  // Coalesce down to the cap: repeatedly merge the numeric pair with the
+  // smallest combined span increase. Symbolic subranges only merge with an
+  // identical-symbol partner (handled by sameShape above); if symbolic
+  // variety alone exceeds the cap the range degrades to ⊥ — the paper's
+  // "give-up point".
+  while (Merged.size() > MaxSubRanges) {
+    int BestA = -1, BestB = -1;
+    double BestCost = 0.0;
+    for (size_t I = 0; I < Merged.size(); ++I) {
+      if (!Merged[I].isNumeric())
+        continue;
+      for (size_t J = I + 1; J < Merged.size(); ++J) {
+        if (!Merged[J].isNumeric())
+          continue;
+        double SpanI = static_cast<double>(Merged[I].Hi.Offset) -
+                       static_cast<double>(Merged[I].Lo.Offset);
+        double SpanJ = static_cast<double>(Merged[J].Hi.Offset) -
+                       static_cast<double>(Merged[J].Lo.Offset);
+        double Lo = std::min(static_cast<double>(Merged[I].Lo.Offset),
+                             static_cast<double>(Merged[J].Lo.Offset));
+        double Hi = std::max(static_cast<double>(Merged[I].Hi.Offset),
+                             static_cast<double>(Merged[J].Hi.Offset));
+        double Cost = (Hi - Lo) - SpanI - SpanJ;
+        if (BestA < 0 || Cost < BestCost) {
+          BestA = static_cast<int>(I);
+          BestB = static_cast<int>(J);
+          BestCost = Cost;
+        }
+      }
+    }
+    if (BestA < 0)
+      return bottom(); // Only unmergeable symbolic pieces remain.
+    SubRange Combined = hullMerge(Merged[BestA], Merged[BestB]);
+    Merged.erase(Merged.begin() + BestB);
+    Merged[BestA] = Combined;
+    std::sort(Merged.begin(), Merged.end(), subRangeLess);
+  }
+
+  ValueRange R;
+  R.TheKind = Kind::Ranges;
+  R.Subs = std::move(Merged);
+  return R;
+}
+
+ValueRange ValueRange::weightedBool(double ProbTrue) {
+  ProbTrue = std::clamp(ProbTrue, 0.0, 1.0);
+  std::vector<SubRange> Subs;
+  if (ProbTrue < 1.0)
+    Subs.push_back(SubRange::singleton(1.0 - ProbTrue, 0));
+  if (ProbTrue > 0.0)
+    Subs.push_back(SubRange::singleton(ProbTrue, 1));
+  return ranges(std::move(Subs), 2);
+}
+
+std::optional<int64_t> ValueRange::asIntConstant() const {
+  if (TheKind != Kind::Ranges || Subs.size() != 1)
+    return std::nullopt;
+  const SubRange &S = Subs.front();
+  if (!S.isNumeric() || !S.isSingleton())
+    return std::nullopt;
+  return S.Lo.Offset;
+}
+
+const Value *ValueRange::asCopyOf() const {
+  if (TheKind != Kind::Ranges || Subs.size() != 1)
+    return nullptr;
+  const SubRange &S = Subs.front();
+  if (S.Lo.Sym && S.Lo == S.Hi && S.Lo.Offset == 0)
+    return S.Lo.Sym;
+  return nullptr;
+}
+
+bool ValueRange::hasSymbolicBounds() const {
+  for (const SubRange &S : Subs)
+    if (!S.isNumeric())
+      return true;
+  return false;
+}
+
+bool ValueRange::equals(const ValueRange &RHS, double Tolerance) const {
+  if (TheKind != RHS.TheKind || DistKnown != RHS.DistKnown)
+    return false;
+  switch (TheKind) {
+  case Kind::Top:
+  case Kind::Bottom:
+    return true;
+  case Kind::FloatConst:
+    return FloatVal == RHS.FloatVal;
+  case Kind::Ranges:
+    break;
+  }
+  if (Subs.size() != RHS.Subs.size())
+    return false;
+  for (size_t I = 0; I < Subs.size(); ++I) {
+    if (!Subs[I].sameShape(RHS.Subs[I]))
+      return false;
+    if (std::abs(Subs[I].Prob - RHS.Subs[I].Prob) > Tolerance)
+      return false;
+  }
+  return true;
+}
+
+bool ValueRange::sameSupport(const ValueRange &RHS) const {
+  if (TheKind != RHS.TheKind || DistKnown != RHS.DistKnown)
+    return false;
+  if (TheKind == Kind::FloatConst)
+    return FloatVal == RHS.FloatVal;
+  if (TheKind != Kind::Ranges)
+    return true;
+  if (Subs.size() != RHS.Subs.size())
+    return false;
+  for (size_t I = 0; I < Subs.size(); ++I)
+    if (!Subs[I].sameShape(RHS.Subs[I]))
+      return false;
+  return true;
+}
+
+std::optional<double> ValueRange::probNonZero() const {
+  switch (TheKind) {
+  case Kind::Top:
+  case Kind::Bottom:
+    return std::nullopt;
+  case Kind::FloatConst:
+    return FloatVal != 0.0 ? 1.0 : 0.0;
+  case Kind::Ranges:
+    break;
+  }
+  double P = 0.0;
+  for (const SubRange &S : Subs) {
+    if (!S.isNumeric()) {
+      // A symbolic subrange may or may not contain zero; unknown overall.
+      return std::nullopt;
+    }
+    if (S.Lo.Offset > 0 || S.Hi.Offset < 0) {
+      P += S.Prob;
+      continue;
+    }
+    // Zero lies within the numeric hull; check lattice membership.
+    int64_t Count = *S.count();
+    bool ContainsZero = onLattice(S.Lo.Offset, S.Stride, 0);
+    if (ContainsZero)
+      P += S.Prob * (static_cast<double>(Count - 1) / Count);
+    else
+      P += S.Prob;
+  }
+  return P;
+}
+
+std::string ValueRange::str() const {
+  switch (TheKind) {
+  case Kind::Top:
+    return "T";
+  case Kind::Bottom:
+    return "_|_";
+  case Kind::FloatConst: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%g", FloatVal);
+    return std::string("fconst ") + Buf;
+  }
+  case Kind::Ranges:
+    break;
+  }
+  std::string S = "{ ";
+  for (size_t I = 0; I < Subs.size(); ++I) {
+    if (I)
+      S += ", ";
+    S += Subs[I].str();
+  }
+  S += " }";
+  if (!DistKnown)
+    S += "?"; // Set valid, distribution unknown.
+  return S;
+}

@@ -1,0 +1,232 @@
+//===- vrp/ValueRange.h - Weighted value range lattice ----------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's range representation (§3.4): a variable's value is a set of
+/// weighted subranges `{ P[L:U:S], ... }` — probability P, lower bound L,
+/// upper bound U and stride S — where each bound is either numeric or
+/// symbolic (`SSA-variable + constant`, the "single common ancestor" form).
+/// An even distribution is assumed within each subrange; uneven
+/// distributions use multiple subranges. The lattice adds ⊤ (undetermined)
+/// above and ⊥ (statically unknown) below, plus an exact float-constant
+/// level so value range propagation subsumes constant propagation for
+/// floats too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_VRP_VALUERANGE_H
+#define VRP_VRP_VALUERANGE_H
+
+#include "ir/Value.h"
+#include "support/MathUtil.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+/// A range bound: `Sym + Offset` where Sym is null for numeric bounds.
+/// Purely symbolic values are `Sym + 0`; only a single ancestor variable is
+/// representable (paper §3.4), which keeps range operations simple.
+struct Bound {
+  const Value *Sym = nullptr;
+  int64_t Offset = 0;
+
+  Bound() = default;
+  Bound(int64_t Offset) : Offset(Offset) {}
+  Bound(const Value *Sym, int64_t Offset) : Sym(Sym), Offset(Offset) {}
+
+  bool isNumeric() const { return Sym == nullptr; }
+
+  bool operator==(const Bound &RHS) const {
+    return Sym == RHS.Sym && Offset == RHS.Offset;
+  }
+  bool operator!=(const Bound &RHS) const { return !(*this == RHS); }
+
+  /// Adds a numeric delta (saturating).
+  Bound plus(int64_t Delta) const {
+    return Bound(Sym, saturatingAdd(Offset, Delta));
+  }
+
+  std::string str() const;
+};
+
+/// One weighted subrange `P[L:U:S]`. Values are L, L+S, ..., U; S == 0
+/// denotes a single value (L == U). Invariants (numeric case): L <= U, U-L
+/// divisible by S when S > 0.
+struct SubRange {
+  double Prob = 0.0;
+  Bound Lo, Hi;
+  int64_t Stride = 0;
+
+  SubRange() = default;
+  SubRange(double Prob, Bound Lo, Bound Hi, int64_t Stride)
+      : Prob(Prob), Lo(Lo), Hi(Hi), Stride(Stride) {}
+
+  /// Convenience: a numeric subrange.
+  static SubRange numeric(double Prob, int64_t Lo, int64_t Hi,
+                          int64_t Stride) {
+    return SubRange(Prob, Bound(Lo), Bound(Hi), Stride);
+  }
+
+  /// Convenience: a single-value subrange.
+  static SubRange singleton(double Prob, int64_t V) {
+    return numeric(Prob, V, V, 0);
+  }
+
+  bool isNumeric() const { return Lo.isNumeric() && Hi.isNumeric(); }
+  bool isSingleton() const { return Lo == Hi; }
+
+  /// True when either bound references \p V.
+  bool mentions(const Value *V) const { return Lo.Sym == V || Hi.Sym == V; }
+
+  /// Number of representable values (capped at Int64Max); nullopt for
+  /// symbolic bounds.
+  std::optional<int64_t> count() const {
+    if (!isNumeric())
+      return std::nullopt;
+    if (Stride == 0 || Lo.Offset == Hi.Offset)
+      return 1;
+    __int128 Span = static_cast<__int128>(Hi.Offset) - Lo.Offset;
+    __int128 N = Span / Stride + 1;
+    return N > Int64Max ? Int64Max : static_cast<int64_t>(N);
+  }
+
+  /// Exact equality of the geometric part (probability compared with
+  /// tolerance by ValueRange::equals).
+  bool sameShape(const SubRange &RHS) const {
+    return Lo == RHS.Lo && Hi == RHS.Hi && Stride == RHS.Stride;
+  }
+
+  /// A copy with a different probability.
+  SubRange withProb(double NewProb) const {
+    SubRange S = *this;
+    S.Prob = NewProb;
+    return S;
+  }
+
+  std::string str() const;
+};
+
+/// The lattice value attached to every SSA variable during propagation.
+class ValueRange {
+public:
+  enum class Kind {
+    Top,        ///< ⊤: not yet determined (optimistic initial value).
+    Ranges,     ///< A weighted set of integer subranges.
+    FloatConst, ///< A known IEEE double constant.
+    Bottom,     ///< ⊥: cannot be determined statically.
+  };
+
+  ValueRange() : TheKind(Kind::Top) {}
+
+  static ValueRange top() { return ValueRange(); }
+  static ValueRange bottom() {
+    ValueRange R;
+    R.TheKind = Kind::Bottom;
+    return R;
+  }
+  static ValueRange floatConstant(double V) {
+    ValueRange R;
+    R.TheKind = Kind::FloatConst;
+    R.FloatVal = V;
+    return R;
+  }
+  /// Builds a range set; normalizes (sorts, merges identical shapes) and
+  /// coalesces down to \p MaxSubRanges. An empty set yields ⊥.
+  static ValueRange ranges(std::vector<SubRange> Subs, unsigned MaxSubRanges);
+
+  /// A single-constant integer range {1[c:c:0]}.
+  static ValueRange intConstant(int64_t V) {
+    ValueRange R;
+    R.TheKind = Kind::Ranges;
+    R.Subs.push_back(SubRange::singleton(1.0, V));
+    return R;
+  }
+
+  /// The full int64 range (used for values known to exist but unbounded —
+  /// weaker than ⊥ only in that it is still a range).
+  static ValueRange fullIntRange() {
+    ValueRange R;
+    R.TheKind = Kind::Ranges;
+    R.Subs.push_back(SubRange::numeric(1.0, Int64Min, Int64Max, 1));
+    return R;
+  }
+
+  /// A weighted boolean {P(true)[1:1:0], P(false)[0:0:0]} — the natural
+  /// result range of a comparison, from which branch probabilities read
+  /// off directly.
+  static ValueRange weightedBool(double ProbTrue);
+
+  Kind kind() const { return TheKind; }
+  bool isTop() const { return TheKind == Kind::Top; }
+  bool isBottom() const { return TheKind == Kind::Bottom; }
+  bool isRanges() const { return TheKind == Kind::Ranges; }
+  bool isFloatConst() const { return TheKind == Kind::FloatConst; }
+
+  /// When false, the *set* of possible values is valid but the per-point
+  /// probabilities are not (the range descends from an assertion on a ⊥
+  /// value, e.g. a guarded load). Such ranges prove bounds checks and
+  /// decide comparisons that are certain either way, but uncertain
+  /// comparison probabilities fall back to heuristics rather than trust a
+  /// fabricated uniform distribution.
+  bool distributionKnown() const { return DistKnown; }
+  void setDistributionKnown(bool Known) { DistKnown = Known; }
+
+  double floatValue() const { return FloatVal; }
+  const std::vector<SubRange> &subRanges() const { return Subs; }
+
+  /// If the range is a single integer constant {1[c:c:0]}, returns it.
+  std::optional<int64_t> asIntConstant() const;
+
+  /// If the range is exactly one purely symbolic singleton {1[v:v:0]},
+  /// returns v — the "copy of v" case that subsumes copy propagation.
+  const Value *asCopyOf() const;
+
+  /// True when any subrange bound is symbolic.
+  bool hasSymbolicBounds() const;
+
+  /// Probability-tolerant equality (fixpoint detection).
+  bool equals(const ValueRange &RHS, double Tolerance = 1e-9) const;
+
+  /// True when both ranges have the same *support* (kind, distribution
+  /// flag and subrange shapes), i.e. they differ at most in probabilities.
+  /// Support growth is the signal the widening guard counts; probability
+  /// refinement is not.
+  bool sameSupport(const ValueRange &RHS) const;
+
+  /// P(value != 0); nullopt when unknown (⊤/⊥/symbolic bounds straddling 0
+  /// in ways we cannot count).
+  std::optional<double> probNonZero() const;
+
+  std::string str() const;
+
+private:
+  Kind TheKind;
+  double FloatVal = 0.0;
+  bool DistKnown = true;
+  std::vector<SubRange> Subs;
+
+  friend class RangeOps;
+};
+
+/// Total probability mass of a subrange vector (should be ~1 after
+/// normalization).
+double totalProb(const std::vector<SubRange> &Subs);
+
+/// True when \p V lies on the lattice Lo + k*Stride (overflow-safe; a
+/// zero stride means the single point Lo).
+inline bool onLattice(int64_t Lo, int64_t Stride, int64_t V) {
+  if (Stride == 0)
+    return V == Lo;
+  __int128 Span = static_cast<__int128>(V) - Lo;
+  return Span % Stride == 0;
+}
+
+} // namespace vrp
+
+#endif // VRP_VRP_VALUERANGE_H

@@ -1,0 +1,257 @@
+//===- tests/analysis/AnalysisTest.cpp - CFG analysis tests ---------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Dominators, dominance frontiers, postdominators, DFS back edges, loop
+// detection (with nesting) and the call graph SCC order — checked on
+// hand-built CFGs and on CFGs from compiled VL programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/DFS.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "driver/Pipeline.h"
+#include "ir/CFGUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace vrp;
+
+namespace {
+
+/// Builds the classic diamond: entry -> {a, b} -> join.
+struct Diamond {
+  Module M;
+  Function *F;
+  BasicBlock *Entry, *A, *B, *Join;
+
+  Diamond() {
+    F = M.makeFunction("f", IRType::Int);
+    Param *X = F->addParam(IRType::Int, "x");
+    Entry = F->makeBlock("entry");
+    A = F->makeBlock("a");
+    B = F->makeBlock("b");
+    Join = F->makeBlock("join");
+    auto *Cmp = cast<CmpInst>(Entry->append(
+        std::make_unique<CmpInst>(CmpPred::GT, X, Constant::getInt(0))));
+    createCondBr(Entry, Cmp, A, B);
+    createBr(A, Join);
+    createBr(B, Join);
+    createRet(Join, Constant::getInt(0));
+  }
+};
+
+TEST(DominatorsTest, Diamond) {
+  Diamond D;
+  DominatorTree DT(*D.F);
+  EXPECT_EQ(DT.idom(D.Entry), nullptr);
+  EXPECT_EQ(DT.idom(D.A), D.Entry);
+  EXPECT_EQ(DT.idom(D.B), D.Entry);
+  EXPECT_EQ(DT.idom(D.Join), D.Entry);
+  EXPECT_TRUE(DT.dominates(D.Entry, D.Join));
+  EXPECT_TRUE(DT.dominates(D.A, D.A)); // Reflexive.
+  EXPECT_FALSE(DT.strictlyDominates(D.A, D.A));
+  EXPECT_FALSE(DT.dominates(D.A, D.Join));
+  EXPECT_FALSE(DT.dominates(D.A, D.B));
+}
+
+TEST(DominatorsTest, DominanceFrontiers) {
+  Diamond D;
+  DominatorTree DT(*D.F);
+  DominanceFrontier DF(*D.F, DT);
+  // A and B have Join in their frontier; Entry has nothing.
+  ASSERT_EQ(DF.frontier(D.A).size(), 1u);
+  EXPECT_EQ(DF.frontier(D.A)[0], D.Join);
+  ASSERT_EQ(DF.frontier(D.B).size(), 1u);
+  EXPECT_EQ(DF.frontier(D.B)[0], D.Join);
+  EXPECT_TRUE(DF.frontier(D.Entry).empty());
+  EXPECT_TRUE(DF.frontier(D.Join).empty());
+}
+
+TEST(DominatorsTest, PostDominators) {
+  Diamond D;
+  PostDominatorTree PDT(*D.F);
+  EXPECT_TRUE(PDT.postDominates(D.Join, D.Entry));
+  EXPECT_TRUE(PDT.postDominates(D.Join, D.A));
+  EXPECT_FALSE(PDT.postDominates(D.A, D.Entry));
+  EXPECT_TRUE(PDT.postDominates(D.A, D.A));
+  EXPECT_EQ(PDT.ipdom(D.Entry), D.Join);
+  EXPECT_EQ(PDT.ipdom(D.A), D.Join);
+  EXPECT_EQ(PDT.ipdom(D.Join), nullptr); // Virtual exit above it.
+}
+
+TEST(DominatorsTest, RPOStartsAtEntryAndRespectsDominance) {
+  Diamond D;
+  DominatorTree DT(*D.F);
+  const auto &RPO = DT.rpo();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), D.Entry);
+  // Dominators precede their subtree.
+  auto pos = [&](BasicBlock *B) {
+    return std::find(RPO.begin(), RPO.end(), B) - RPO.begin();
+  };
+  EXPECT_LT(pos(D.Entry), pos(D.Join));
+  EXPECT_LT(pos(D.Entry), pos(D.A));
+}
+
+/// Compiles VL and returns the IR for `main` plus the module.
+std::unique_ptr<CompiledProgram> compile(const char *Source) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA(Source, Diags);
+  EXPECT_TRUE(C) << Diags.firstError();
+  return C;
+}
+
+TEST(DFSTest, LoopBackEdge) {
+  auto C = compile(
+      "fn main() { var s = 0; for (var i = 0; i < 9; i = i + 1) "
+      "{ s = s + i; } return s; }");
+  const Function *Main = C->IR->findFunction("main");
+  DFSInfo DFS(*Main);
+  EXPECT_EQ(DFS.numBackEdges(), 1u);
+  // The back edge targets the loop header, which dominates its source.
+  DominatorTree DT(*Main);
+  unsigned Found = 0;
+  for (const auto &B : Main->blocks())
+    for (BasicBlock *S : B->succs())
+      if (DFS.isBackEdge(B.get(), S)) {
+        ++Found;
+        EXPECT_TRUE(DT.dominates(S, B.get()));
+      }
+  EXPECT_EQ(Found, 1u);
+}
+
+TEST(DFSTest, AcyclicCFGHasNoBackEdges) {
+  Diamond D;
+  DFSInfo DFS(*D.F);
+  EXPECT_EQ(DFS.numBackEdges(), 0u);
+}
+
+TEST(LoopInfoTest, SimpleLoopStructure) {
+  auto C = compile(
+      "fn main() { var s = 0; while (s < 100) { s = s + 3; } return s; }");
+  const Function *Main = C->IR->findFunction("main");
+  DominatorTree DT(*Main);
+  LoopInfo LI(*Main, DT);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  const Loop &L = *LI.loops()[0];
+  EXPECT_EQ(L.depth(), 1u);
+  EXPECT_EQ(L.parent(), nullptr);
+  EXPECT_TRUE(LI.isLoopHeader(L.header()));
+  EXPECT_EQ(L.latches().size(), 1u);
+  EXPECT_GE(L.exits().size(), 1u);
+  EXPECT_NE(L.preheader(), nullptr);
+  for (const auto &[Inside, Outside] : L.exits()) {
+    EXPECT_TRUE(L.contains(Inside));
+    EXPECT_FALSE(L.contains(Outside));
+  }
+}
+
+TEST(LoopInfoTest, NestedLoops) {
+  auto C = compile(R"(
+    fn main() {
+      var s = 0;
+      for (var i = 0; i < 10; i = i + 1) {
+        for (var j = 0; j < 10; j = j + 1) {
+          s = s + 1;
+        }
+      }
+      return s;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  DominatorTree DT(*Main);
+  LoopInfo LI(*Main, DT);
+  ASSERT_EQ(LI.numLoops(), 2u);
+  const Loop *Outer = nullptr, *Inner = nullptr;
+  for (const auto &L : LI.loops())
+    (L->depth() == 1 ? Outer : Inner) = L.get();
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->parent(), Outer);
+  EXPECT_EQ(Inner->depth(), 2u);
+  EXPECT_TRUE(Outer->contains(Inner->header()));
+  EXPECT_FALSE(Inner->contains(Outer->header()));
+  ASSERT_EQ(Outer->subLoops().size(), 1u);
+  EXPECT_EQ(Outer->subLoops()[0], Inner);
+  // Block -> innermost loop mapping.
+  EXPECT_EQ(LI.loopOf(Inner->header()), Inner);
+  EXPECT_EQ(LI.loopOf(Outer->header()), Outer);
+  EXPECT_EQ(LI.loopDepth(Inner->header()), 2u);
+}
+
+TEST(LoopInfoTest, LoopWithBreakHasMultipleExits) {
+  auto C = compile(R"(
+    fn main(n) {
+      var i = 0;
+      while (i < 100) {
+        if (i == n) {
+          break;
+        }
+        i = i + 1;
+      }
+      return i;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  DominatorTree DT(*Main);
+  LoopInfo LI(*Main, DT);
+  ASSERT_EQ(LI.numLoops(), 1u);
+  EXPECT_GE(LI.loops()[0]->exits().size(), 2u);
+}
+
+TEST(CallGraphTest, SCCBottomUpOrder) {
+  auto C = compile(R"(
+    fn leaf() { return 1; }
+    fn mid() { return leaf() + 1; }
+    fn main() { return mid() + leaf(); }
+  )");
+  CallGraph CG(*C->IR);
+  const auto &SCCs = CG.sccsBottomUp();
+  ASSERT_EQ(SCCs.size(), 3u);
+  auto sccIndex = [&](const char *Name) {
+    for (size_t I = 0; I < SCCs.size(); ++I)
+      for (const Function *F : SCCs[I])
+        if (F->name() == Name)
+          return I;
+    return SCCs.size();
+  };
+  EXPECT_LT(sccIndex("leaf"), sccIndex("mid"));
+  EXPECT_LT(sccIndex("mid"), sccIndex("main"));
+
+  const Function *Leaf = C->IR->findFunction("leaf");
+  EXPECT_FALSE(CG.isRecursive(Leaf));
+  EXPECT_EQ(CG.callersOf(Leaf).size(), 2u);
+  EXPECT_EQ(CG.callees(C->IR->findFunction("main")).size(), 2u);
+}
+
+TEST(CallGraphTest, RecursionDetection) {
+  auto C = compile(R"(
+    fn odd(n) { if (n == 0) { return 0; } return even(n - 1); }
+    fn even(n) { if (n == 0) { return 1; } return odd(n - 1); }
+    fn self(n) { if (n <= 0) { return 0; } return self(n - 1); }
+    fn main() { return odd(5) + self(3); }
+  )");
+  CallGraph CG(*C->IR);
+  EXPECT_TRUE(CG.isRecursive(C->IR->findFunction("odd")));
+  EXPECT_TRUE(CG.isRecursive(C->IR->findFunction("even")));
+  EXPECT_TRUE(CG.isRecursive(C->IR->findFunction("self")));
+  EXPECT_FALSE(CG.isRecursive(C->IR->findFunction("main")));
+  // odd and even share one SCC.
+  for (const auto &SCC : CG.sccsBottomUp())
+    if (SCC.size() == 2) {
+      std::set<std::string> Names;
+      for (const Function *F : SCC)
+        Names.insert(F->name());
+      EXPECT_EQ(Names, (std::set<std::string>{"even", "odd"}));
+      return;
+    }
+  FAIL() << "mutual-recursion SCC not found";
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- tests/benchsuite/BenchSuiteTest.cpp - Suite program validation -----===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Every benchmark program must compile cleanly, run on both inputs, and
+// give short/ref runs that actually exercise different behavior (otherwise
+// the input.short-vs-input.ref protocol would be vacuous).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "driver/Pipeline.h"
+#include "profile/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+
+namespace {
+
+class SuiteProgramTest : public ::testing::TestWithParam<std::string> {};
+
+const BenchmarkProgram &currentProgram(const std::string &Name) {
+  const BenchmarkProgram *P = findProgram(Name);
+  EXPECT_NE(P, nullptr);
+  return *P;
+}
+
+TEST_P(SuiteProgramTest, CompilesToVerifiedSSA) {
+  const BenchmarkProgram &P = currentProgram(GetParam());
+  DiagnosticEngine Diags;
+  auto Compiled = compileToSSA(P.Source, Diags);
+  ASSERT_TRUE(Compiled) << P.Name << ": " << Diags.firstError();
+  EXPECT_GT(Compiled->IR->numInstructions(), 20u);
+}
+
+TEST_P(SuiteProgramTest, RunsOnBothInputs) {
+  const BenchmarkProgram &P = currentProgram(GetParam());
+  DiagnosticEngine Diags;
+  auto Compiled = compileToSSA(P.Source, Diags);
+  ASSERT_TRUE(Compiled) << Diags.firstError();
+
+  Interpreter Interp(*Compiled->IR);
+  EdgeProfile Short, Ref;
+  ExecutionResult ShortRun = Interp.run(P.ShortInput, &Short);
+  ASSERT_TRUE(ShortRun.Ok) << P.Name << " short: " << ShortRun.Error;
+  ExecutionResult RefRun = Interp.run(P.RefInput, &Ref);
+  ASSERT_TRUE(RefRun.Ok) << P.Name << " ref: " << RefRun.Error;
+
+  // The reference run must be substantially larger than training.
+  EXPECT_GT(RefRun.Steps, ShortRun.Steps) << P.Name;
+  EXPECT_GT(RefRun.Steps, 1000u) << P.Name;
+  EXPECT_LT(RefRun.Steps, 50'000'000u) << P.Name << " is too slow";
+  // And it must exercise a healthy number of branches.
+  EXPECT_GE(Ref.counts().size(), 5u) << P.Name;
+}
+
+TEST_P(SuiteProgramTest, DeterministicOutput) {
+  const BenchmarkProgram &P = currentProgram(GetParam());
+  DiagnosticEngine Diags;
+  auto Compiled = compileToSSA(P.Source, Diags);
+  ASSERT_TRUE(Compiled) << Diags.firstError();
+  Interpreter Interp(*Compiled->IR);
+  ExecutionResult A = Interp.run(P.RefInput);
+  ExecutionResult B = Interp.run(P.RefInput);
+  ASSERT_TRUE(A.Ok && B.Ok);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.ExitValue, B.ExitValue);
+  EXPECT_EQ(A.Steps, B.Steps);
+}
+
+std::vector<std::string> allProgramNames() {
+  std::vector<std::string> Names;
+  for (const BenchmarkProgram *P : allPrograms())
+    Names.push_back(P->Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, SuiteProgramTest,
+                         ::testing::ValuesIn(allProgramNames()));
+
+TEST(BenchSuiteTest, SuiteComposition) {
+  EXPECT_EQ(integerSuite().size(), 10u);
+  EXPECT_EQ(numericSuite().size(), 8u);
+  for (const BenchmarkProgram &P : integerSuite())
+    EXPECT_FALSE(P.Numeric);
+  for (const BenchmarkProgram &P : numericSuite())
+    EXPECT_TRUE(P.Numeric);
+  EXPECT_EQ(findProgram("no-such-program"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+//===- tests/eval/EvalTest.cpp - Evaluation harness tests -----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The §5 error metric, the CDF buckets, the equal-weight benchmark
+// averaging and the suite runner protocol.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "benchsuite/Synthetic.h"
+#include "eval/Reporting.h"
+#include "eval/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace vrp;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// ErrorCdf
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorCdfTest, BucketEdgesMatchThePaper) {
+  // Figures 7/8 plot <1, <3, ..., <39 percentage points.
+  EXPECT_EQ(ErrorCdf::NumBuckets, 20u);
+  EXPECT_DOUBLE_EQ(ErrorCdf::bucketEdge(0), 1.0);
+  EXPECT_DOUBLE_EQ(ErrorCdf::bucketEdge(1), 3.0);
+  EXPECT_DOUBLE_EQ(ErrorCdf::bucketEdge(19), 39.0);
+}
+
+TEST(ErrorCdfTest, CumulativeFractions) {
+  ErrorCdf Cdf;
+  Cdf.addSample(0.5, 1);  // < 1
+  Cdf.addSample(2.0, 1);  // < 3
+  Cdf.addSample(10.0, 1); // < 11
+  Cdf.addSample(50.0, 1); // Beyond every bucket.
+  EXPECT_NEAR(Cdf.fractionWithin(0), 0.25, 1e-12);
+  EXPECT_NEAR(Cdf.fractionWithin(1), 0.50, 1e-12);
+  EXPECT_NEAR(Cdf.fractionWithin(4), 0.50, 1e-12);  // < 9
+  EXPECT_NEAR(Cdf.fractionWithin(5), 0.75, 1e-12);  // < 11
+  EXPECT_NEAR(Cdf.fractionWithin(19), 0.75, 1e-12); // 50pp never enters.
+  EXPECT_NEAR(Cdf.meanError(), (0.5 + 2.0 + 10.0 + 50.0) / 4.0, 1e-12);
+}
+
+TEST(ErrorCdfTest, WeightingChangesFractions) {
+  ErrorCdf Cdf;
+  Cdf.addSample(0.5, 99); // A hot branch predicted well.
+  Cdf.addSample(30.0, 1); // A cold one predicted badly.
+  EXPECT_NEAR(Cdf.fractionWithin(0), 0.99, 1e-12);
+  EXPECT_NEAR(Cdf.meanError(), (0.5 * 99 + 30.0) / 100.0, 1e-12);
+}
+
+TEST(ErrorCdfTest, AverageWeighsBenchmarksEqually) {
+  ErrorCdf Big; // Many samples, all within 1pp.
+  for (int I = 0; I < 1000; ++I)
+    Big.addSample(0.1, 1);
+  ErrorCdf Small; // One sample, terrible.
+  Small.addSample(35.0, 1);
+
+  ErrorCdf Avg = ErrorCdf::average({Big, Small});
+  // Equal weighting: (100% + 0%) / 2 at the first bucket.
+  EXPECT_NEAR(Avg.fractionWithin(0), 0.5, 1e-12);
+  EXPECT_NEAR(Avg.meanError(), (0.1 + 35.0) / 2.0, 1e-12);
+  // Empty CDFs are skipped rather than dragging the average down.
+  ErrorCdf Empty;
+  ErrorCdf Avg2 = ErrorCdf::average({Big, Empty});
+  EXPECT_NEAR(Avg2.fractionWithin(0), 1.0, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// computeErrors
+//===----------------------------------------------------------------------===//
+
+TEST(ComputeErrorsTest, ComparesAgainstReference) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA(R"(
+    fn main() {
+      var hits = 0;
+      for (var i = 0; i < 20; i = i + 1) {
+        if (i % 4 == 0) { hits = hits + 1; }
+      }
+      return hits;
+    }
+  )", Diags);
+  ASSERT_TRUE(C);
+  Interpreter Interp(*C->IR);
+  EdgeProfile Ref;
+  Interp.run({}, &Ref);
+
+  // A predictor that is exactly right everywhere has zero error.
+  BranchProbMap Perfect;
+  for (const auto &[Branch, Counts] : Ref.counts())
+    Perfect[Branch] = Counts.takenFraction();
+  for (const BranchErrorSample &S : computeErrors(Perfect, Ref))
+    EXPECT_NEAR(S.ErrorPP, 0.0, 1e-9);
+
+  // A constant-0.5 predictor's error equals |0.5 - actual| * 100.
+  BranchProbMap Half;
+  for (const auto &[Branch, Counts] : Ref.counts())
+    Half[Branch] = 0.5;
+  std::vector<BranchErrorSample> Samples = computeErrors(Half, Ref);
+  ASSERT_EQ(Samples.size(), Ref.counts().size());
+  for (size_t I = 0; I < Samples.size(); ++I)
+    EXPECT_GT(Samples[I].Weight, 0u);
+
+  // Missing predictions default to 0.5.
+  BranchProbMap Empty;
+  std::vector<BranchErrorSample> Defaulted = computeErrors(Empty, Ref);
+  ASSERT_EQ(Defaulted.size(), Samples.size());
+  for (size_t I = 0; I < Samples.size(); ++I)
+    EXPECT_NEAR(Defaulted[I].ErrorPP, Samples[I].ErrorPP, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Suite runner protocol
+//===----------------------------------------------------------------------===//
+
+TEST(SuiteRunnerTest, EvaluatesOneProgramEndToEnd) {
+  const BenchmarkProgram *P = findProgram("sieve");
+  ASSERT_NE(P, nullptr);
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  BenchmarkEvaluation Eval = evaluateProgram(*P, Opts);
+  ASSERT_TRUE(Eval.Ok) << Eval.Error;
+  EXPECT_GT(Eval.RefSteps, 1000u);
+  EXPECT_GT(Eval.ExecutedBranches, 0u);
+  EXPECT_EQ(Eval.Curves.size(), allPredictors().size());
+  // Every curve accumulated exactly the executed branches (unweighted).
+  for (const auto &[Kind, Curves] : Eval.Curves)
+    EXPECT_DOUBLE_EQ(Curves.first.totalWeight(), Eval.ExecutedBranches)
+        << predictorName(Kind);
+}
+
+TEST(SuiteRunnerTest, ProfilingBeatsRandomOnAverage) {
+  // A structural sanity check of the whole protocol on two programs.
+  std::vector<const BenchmarkProgram *> Programs{findProgram("sieve"),
+                                                 findProgram("matmul")};
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  SuiteEvaluation Suite = evaluateSuite(Programs, Opts);
+  ASSERT_EQ(Suite.Benchmarks.size(), 2u);
+  double ProfErr =
+      Suite.AveragedUnweighted.at(PredictorKind::Profiling).meanError();
+  double RandErr =
+      Suite.AveragedUnweighted.at(PredictorKind::Random).meanError();
+  double VrpErr =
+      Suite.AveragedUnweighted.at(PredictorKind::VRP).meanError();
+  EXPECT_LT(ProfErr, RandErr);
+  EXPECT_LT(VrpErr, RandErr);
+}
+
+TEST(SuiteRunnerTest, ReportRendersWithoutCrashing) {
+  std::vector<const BenchmarkProgram *> Programs{findProgram("bits")};
+  VRPOptions Opts;
+  SuiteEvaluation Suite = evaluateSuite(Programs, Opts);
+  std::ostringstream OS;
+  printSuiteReport(Suite, "smoke", OS);
+  EXPECT_NE(OS.str().find("Execution Profiling"), std::string::npos);
+  EXPECT_NE(OS.str().find("Value Range Propagation"), std::string::npos);
+  EXPECT_NE(OS.str().find("mean err"), std::string::npos);
+}
+
+
+TEST(SuiteRunnerTest, RefusesToScoreCloningRuns) {
+  // Cloning transforms the module; scoring it against a pre-transform
+  // profile would compare different static branches (see the ablation
+  // bench's hand-rolled showcase protocol).
+  const BenchmarkProgram *P = findProgram("bits");
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  Opts.EnableCloning = true;
+  BenchmarkEvaluation Eval = evaluateProgram(*P, Opts);
+  EXPECT_FALSE(Eval.Ok);
+  EXPECT_NE(Eval.Error.find("EnableCloning"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic generator (Figure 5/6 inputs)
+//===----------------------------------------------------------------------===//
+
+class SyntheticGenerator : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SyntheticGenerator, CompilesAtEverySize) {
+  std::string Source = makeSyntheticProgram(GetParam(), 0x1234);
+  DiagnosticEngine Diags;
+  auto C = compileToSSA(Source, Diags);
+  ASSERT_TRUE(C) << "size " << GetParam() << ": " << Diags.firstError();
+  EXPECT_GT(C->IR->numInstructions(), 10u);
+}
+
+TEST_P(SyntheticGenerator, DeterministicInSeed) {
+  EXPECT_EQ(makeSyntheticProgram(GetParam(), 7),
+            makeSyntheticProgram(GetParam(), 7));
+  EXPECT_NE(makeSyntheticProgram(GetParam(), 7),
+            makeSyntheticProgram(GetParam(), 8));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyntheticGenerator,
+                         ::testing::Values(1, 3, 8, 15, 25, 40));
+
+TEST(SyntheticGeneratorTest, SizesGrowWithClass) {
+  DiagnosticEngine D1, D2;
+  auto Small = compileToSSA(makeSyntheticProgram(2, 1), D1);
+  auto Large = compileToSSA(makeSyntheticProgram(30, 1), D2);
+  ASSERT_TRUE(Small);
+  ASSERT_TRUE(Large);
+  EXPECT_GT(Large->IR->numInstructions(),
+            2 * Small->IR->numInstructions());
+}
+
+} // namespace

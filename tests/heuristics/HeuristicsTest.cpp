@@ -1,0 +1,245 @@
+//===- tests/heuristics/HeuristicsTest.cpp - Baseline predictor tests -----===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The 90/50 rule, each Ball–Larus heuristic on a CFG shaped to trigger it,
+// Dempster–Shafer combination, and the random baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "analysis/DFS.h"
+#include "heuristics/Heuristics.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compile(const char *Source) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA(Source, Diags);
+  EXPECT_TRUE(C) << Diags.firstError();
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Dempster–Shafer
+//===----------------------------------------------------------------------===//
+
+TEST(DempsterShaferTest, CombinationProperties) {
+  // Neutral element: 0.5 changes nothing.
+  EXPECT_NEAR(dempsterShafer(0.7, 0.5), 0.7, 1e-12);
+  EXPECT_NEAR(dempsterShafer(0.5, 0.3), 0.3, 1e-12);
+  // Agreement strengthens: two 0.7 estimates beat one.
+  EXPECT_GT(dempsterShafer(0.7, 0.7), 0.7);
+  // Symmetry.
+  EXPECT_NEAR(dempsterShafer(0.8, 0.3), dempsterShafer(0.3, 0.8), 1e-12);
+  // Certainty dominates.
+  EXPECT_NEAR(dempsterShafer(1.0, 0.4), 1.0, 1e-12);
+  EXPECT_NEAR(dempsterShafer(0.0, 0.4), 0.0, 1e-12);
+  // The contradictory singular case falls back to 0.5.
+  EXPECT_NEAR(dempsterShafer(1.0, 0.0), 0.5, 1e-12);
+  // The published example: 0.88 combined with 0.72.
+  EXPECT_NEAR(dempsterShafer(0.88, 0.72),
+              (0.88 * 0.72) / (0.88 * 0.72 + 0.12 * 0.28), 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// 90/50 rule
+//===----------------------------------------------------------------------===//
+
+TEST(NinetyFiftyTest, BackwardTakenForwardEven) {
+  auto C = compile(R"(
+    fn main(n) {
+      var s = 0;
+      while (s < n) {       // Loop branch: taken edge continues the loop.
+        s = s + 1;
+      }
+      if (n > 5) {          // Forward branch: 50/50.
+        s = s + 100;
+      }
+      return s;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  BranchProbMap Probs = predictNinetyFifty(*Main);
+  DFSInfo DFS(*Main);
+  unsigned Backward = 0, Forward = 0;
+  for (const auto &[Branch, P] : Probs) {
+    bool TrueBack = DFS.isBackEdge(Branch->parent(), Branch->trueBlock());
+    bool FalseBack =
+        DFS.isBackEdge(Branch->parent(), Branch->falseBlock());
+    if (TrueBack) {
+      EXPECT_NEAR(P, 0.9, 1e-12);
+      ++Backward;
+    } else if (FalseBack) {
+      EXPECT_NEAR(P, 0.1, 1e-12);
+      ++Backward;
+    } else {
+      EXPECT_NEAR(P, 0.5, 1e-12);
+      ++Forward;
+    }
+  }
+  EXPECT_GE(Forward, 1u);
+  // The while-loop continue edge goes header->body (forward) with the
+  // back edge on the latch; at least the forward branch count holds.
+  EXPECT_EQ(Probs.size(), Forward + Backward);
+}
+
+//===----------------------------------------------------------------------===//
+// Ball–Larus heuristics
+//===----------------------------------------------------------------------===//
+
+TEST(BallLarusTest, OpcodeHeuristicEquality) {
+  // Branch on x == 1 with no other signals: EQ predicted unlikely.
+  auto C = compile(R"(
+    fn main(x) {
+      var r = 0;
+      if (x == 12345) { r = 1; } else { r = 2; }
+      return r;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  BranchProbMap Probs = predictBallLarus(*Main);
+  ASSERT_EQ(Probs.size(), 1u);
+  EXPECT_LT(Probs.begin()->second, 0.5);
+}
+
+TEST(BallLarusTest, OpcodeHeuristicNegativeComparison) {
+  auto C = compile(R"(
+    fn main(x) {
+      var r = 0;
+      if (x < 0) { r = 1; } else { r = 2; }
+      return r;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  BranchProbMap Probs = predictBallLarus(*Main);
+  ASSERT_EQ(Probs.size(), 1u);
+  EXPECT_LT(Probs.begin()->second, 0.5) << "x < 0 should be unlikely";
+}
+
+TEST(BallLarusTest, ReturnHeuristic) {
+  // The true successor returns immediately (early-exit error pattern);
+  // the false path continues to a loop. GT-with-nonconstant-rhs avoids
+  // the opcode heuristic, isolating return/loop-header signals.
+  auto C = compile(R"(
+    fn main(x, y) {
+      if (x > y) {
+        return 0 - 1;
+      }
+      var s = 0;
+      for (var i = 0; i < 10; i = i + 1) { s = s + 1; }
+      return s;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  BranchProbMap Probs = predictBallLarus(*Main);
+  // Find the x > y branch.
+  for (const auto &[Branch, P] : Probs) {
+    const auto *Cmp = dyn_cast<CmpInst>(Branch->cond());
+    if (Cmp && Cmp->pred() == CmpPred::GT &&
+        !isa<Constant>(Cmp->rhs())) {
+      EXPECT_LT(P, 0.5) << "early-return edge should be unlikely";
+      return;
+    }
+  }
+  FAIL() << "guard branch not found";
+}
+
+TEST(BallLarusTest, LoopBranchHeuristic) {
+  auto C = compile(R"(
+    fn main(n) {
+      var s = 0;
+      var i = 0;
+      while (i < n) {
+        s = s + i;
+        i = i + 1;
+      }
+      return s;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  BranchProbMap Probs = predictBallLarus(*Main);
+  // The header branch keeps control in the loop with high probability
+  // (loop-exit/loop-header heuristics, since VL loops branch at the top).
+  DominatorTree DT(*Main);
+  LoopInfo LI(*Main, DT);
+  for (const auto &[Branch, P] : Probs) {
+    if (!LI.isLoopHeader(Branch->parent()))
+      continue;
+    Loop *L = LI.loopOf(Branch->parent());
+    double StayProb =
+        L->contains(Branch->trueBlock()) ? P : 1.0 - P;
+    EXPECT_GT(StayProb, 0.6) << "loop continuation should be likely";
+    return;
+  }
+  FAIL() << "loop header branch not found";
+}
+
+TEST(BallLarusTest, CallHeuristicAvoidsCallPath) {
+  auto C = compile(R"(
+    fn expensive(v) { return v * 2; }
+    fn main(x, y) {
+      var r = 0;
+      if (x > y) {
+        r = expensive(x);
+      } else {
+        r = x;
+      }
+      print(r);
+      return 0;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  BranchProbMap Probs = predictBallLarus(*Main);
+  ASSERT_EQ(Probs.size(), 1u);
+  EXPECT_LT(Probs.begin()->second, 0.5)
+      << "the call-containing successor should be avoided";
+}
+
+TEST(BallLarusTest, CustomRatesAreRespected) {
+  auto C = compile(R"(
+    fn main(x) {
+      var r = 0;
+      if (x == 9) { r = 1; } else { r = 2; }
+      return r;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  BallLarusRates Extreme;
+  Extreme.Opcode = 0.99;
+  BranchProbMap Probs = predictBallLarus(*Main, Extreme);
+  BranchProbMap Default = predictBallLarus(*Main);
+  EXPECT_LT(Probs.begin()->second, Default.begin()->second);
+}
+
+//===----------------------------------------------------------------------===//
+// Random baseline
+//===----------------------------------------------------------------------===//
+
+TEST(RandomPredictorTest, DeterministicUnderSeed) {
+  auto C = compile(R"(
+    fn main(a, b) {
+      var r = 0;
+      if (a > b) { r = 1; }
+      if (a < b) { r = 2; }
+      if (a == b) { r = 3; }
+      return r;
+    }
+  )");
+  const Function *Main = C->IR->findFunction("main");
+  BranchProbMap P1 = predictRandom(*Main, 99);
+  BranchProbMap P2 = predictRandom(*Main, 99);
+  BranchProbMap P3 = predictRandom(*Main, 100);
+  EXPECT_EQ(P1, P2);
+  EXPECT_NE(P1, P3);
+  for (const auto &[Branch, P] : P1) {
+    EXPECT_GE(P, 0.0);
+    EXPECT_LE(P, 1.0);
+  }
+}
+
+} // namespace

@@ -1,0 +1,179 @@
+//===- tests/ir/CFGUtilsTest.cpp - CFG editing tests ----------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFGUtils.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+
+namespace {
+
+class CFGUtilsTest : public ::testing::Test {
+protected:
+  CFGUtilsTest() {
+    F = M.makeFunction("f", IRType::Int);
+    X = F->addParam(IRType::Int, "x");
+  }
+
+  bool verify(bool ExpectPhis = true) {
+    std::vector<std::string> Problems;
+    bool Ok = verifyFunction(*F, Problems, ExpectPhis);
+    for (const std::string &P : Problems)
+      ADD_FAILURE() << P;
+    return Ok;
+  }
+
+  Module M;
+  Function *F;
+  Param *X;
+};
+
+TEST_F(CFGUtilsTest, SplitEdgeOnConditional) {
+  // entry -> (join, join-like target with 2 preds) forces a split.
+  BasicBlock *Entry = F->makeBlock("entry");
+  BasicBlock *Other = F->makeBlock("other");
+  BasicBlock *Join = F->makeBlock("join");
+  auto *Cmp = cast<CmpInst>(Entry->append(
+      std::make_unique<CmpInst>(CmpPred::GT, X, Constant::getInt(0))));
+  createCondBr(Entry, Cmp, Other, Join);
+  createBr(Other, Join);
+  auto *Phi = Join->insertPhi(std::make_unique<PhiInst>(IRType::Int));
+  Phi->addIncoming(Constant::getInt(1), Entry);
+  Phi->addIncoming(Constant::getInt(2), Other);
+  createRet(Join, Phi);
+
+  ASSERT_TRUE(verify());
+  unsigned Before = F->numBlocks();
+  BasicBlock *Mid = splitEdge(Entry, Join, /*TrueEdge=*/false);
+  F->renumberBlocks();
+  EXPECT_EQ(F->numBlocks(), Before + 1);
+
+  // Edge rewired: entry's false successor is Mid; Mid branches to Join;
+  // the φ incoming that used to come from Entry now comes from Mid.
+  const auto *CBr = cast<CondBrInst>(Entry->terminator());
+  EXPECT_EQ(CBr->falseBlock(), Mid);
+  EXPECT_EQ(Mid->succs().at(0), Join);
+  EXPECT_GE(Phi->indexOfIncoming(Mid), 0);
+  EXPECT_LT(Phi->indexOfIncoming(Entry), 0);
+  EXPECT_TRUE(verify());
+}
+
+TEST_F(CFGUtilsTest, SplitEdgeWhenBothTargetsSame) {
+  BasicBlock *Entry = F->makeBlock("entry");
+  BasicBlock *Join = F->makeBlock("join");
+  auto *Cmp = cast<CmpInst>(Entry->append(
+      std::make_unique<CmpInst>(CmpPred::GT, X, Constant::getInt(0))));
+  createCondBr(Entry, Cmp, Join, Join);
+  createRet(Join, Constant::getInt(0));
+  EXPECT_EQ(Join->numPreds(), 2u);
+
+  BasicBlock *Mid = splitEdge(Entry, Join, /*TrueEdge=*/true);
+  F->renumberBlocks();
+  const auto *CBr = cast<CondBrInst>(Entry->terminator());
+  EXPECT_EQ(CBr->trueBlock(), Mid);
+  EXPECT_EQ(CBr->falseBlock(), Join);
+  EXPECT_EQ(Join->numPreds(), 2u); // Mid and Entry(false edge).
+  EXPECT_TRUE(verify());
+}
+
+TEST_F(CFGUtilsTest, ReplaceTerminatorWithBr) {
+  BasicBlock *Entry = F->makeBlock("entry");
+  BasicBlock *A = F->makeBlock("a");
+  BasicBlock *B = F->makeBlock("b");
+  auto *Cmp = cast<CmpInst>(Entry->append(
+      std::make_unique<CmpInst>(CmpPred::GT, X, Constant::getInt(0))));
+  createCondBr(Entry, Cmp, A, B);
+  createRet(A, Constant::getInt(1));
+  createRet(B, Constant::getInt(2));
+
+  replaceTerminatorWithBr(Entry, A);
+  EXPECT_EQ(A->numPreds(), 1u);
+  EXPECT_EQ(B->numPreds(), 0u);
+  EXPECT_TRUE(isa<BrInst>(Entry->terminator()));
+  // The Cmp's use by the erased CondBr must be gone.
+  EXPECT_FALSE(Cmp->hasUses());
+}
+
+TEST_F(CFGUtilsTest, RemoveUnreachableBlocks) {
+  BasicBlock *Entry = F->makeBlock("entry");
+  BasicBlock *Live = F->makeBlock("live");
+  BasicBlock *Dead1 = F->makeBlock("dead1");
+  BasicBlock *Dead2 = F->makeBlock("dead2");
+  createBr(Entry, Live);
+  createRet(Live, X);
+  // Dead blocks form their own mini CFG referencing live values.
+  auto *DeadAdd = Dead1->append(std::make_unique<BinaryInst>(
+      Opcode::Add, IRType::Int, X, Constant::getInt(1)));
+  createBr(Dead1, Dead2);
+  auto *DeadMul = Dead2->append(std::make_unique<BinaryInst>(
+      Opcode::Mul, IRType::Int, DeadAdd, DeadAdd));
+  (void)DeadMul;
+  createBr(Dead2, Dead1); // Dead cycle.
+
+  unsigned XUses = X->numUses();
+  unsigned Removed = removeUnreachableBlocks(*F);
+  EXPECT_EQ(Removed, 2u);
+  EXPECT_EQ(F->numBlocks(), 2u);
+  EXPECT_EQ(X->numUses(), XUses - 1); // Dead use of X dropped.
+  EXPECT_TRUE(verify());
+}
+
+TEST_F(CFGUtilsTest, RemoveUnreachablePreservesLivePhis) {
+  BasicBlock *Entry = F->makeBlock("entry");
+  BasicBlock *Dead = F->makeBlock("dead");
+  BasicBlock *Join = F->makeBlock("join");
+  createBr(Entry, Join);
+  createBr(Dead, Join); // Dead predecessor of a live join.
+  auto *Phi = Join->insertPhi(std::make_unique<PhiInst>(IRType::Int));
+  Phi->addIncoming(Constant::getInt(1), Entry);
+  Phi->addIncoming(Constant::getInt(2), Dead);
+  createRet(Join, Phi);
+
+  EXPECT_EQ(removeUnreachableBlocks(*F), 1u);
+  ASSERT_EQ(Phi->numIncoming(), 1u);
+  EXPECT_EQ(Phi->incomingBlock(0), Entry);
+  EXPECT_TRUE(verify());
+}
+
+TEST_F(CFGUtilsTest, VerifierCatchesBrokenCFGs) {
+  BasicBlock *Entry = F->makeBlock("entry");
+  std::vector<std::string> Problems;
+  // No terminator.
+  EXPECT_FALSE(verifyFunction(*F, Problems, true));
+  Problems.clear();
+  createRet(Entry, X);
+  EXPECT_TRUE(verifyFunction(*F, Problems, true));
+
+  // Manually corrupt the pred list.
+  BasicBlock *Ghost = F->makeBlock("ghost");
+  createRet(Ghost, X);
+  Entry->addPred(Ghost); // Ghost does not actually branch to Entry.
+  Problems.clear();
+  EXPECT_FALSE(verifyFunction(*F, Problems, true));
+}
+
+TEST_F(CFGUtilsTest, VerifierChecksPhiAgreement) {
+  BasicBlock *Entry = F->makeBlock("entry");
+  BasicBlock *A = F->makeBlock("a");
+  BasicBlock *Join = F->makeBlock("join");
+  auto *Cmp = cast<CmpInst>(Entry->append(
+      std::make_unique<CmpInst>(CmpPred::GT, X, Constant::getInt(0))));
+  createCondBr(Entry, Cmp, A, Join);
+  createBr(A, Join);
+  auto *Phi = Join->insertPhi(std::make_unique<PhiInst>(IRType::Int));
+  Phi->addIncoming(Constant::getInt(1), Entry);
+  // Missing the incoming for A.
+  createRet(Join, Phi);
+  std::vector<std::string> Problems;
+  EXPECT_FALSE(verifyFunction(*F, Problems, /*ExpectPhis=*/true));
+  // But the pre-SSA relaxed mode does not check φ counts.
+  Problems.clear();
+  EXPECT_TRUE(verifyFunction(*F, Problems, /*ExpectPhis=*/false));
+}
+
+} // namespace

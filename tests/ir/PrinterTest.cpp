@@ -1,0 +1,99 @@
+//===- tests/ir/PrinterTest.cpp - Textual IR golden tests -----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CFGUtils.h"
+#include "ir/IRPrinter.h"
+#include "support/Casting.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace vrp;
+
+namespace {
+
+TEST(PrinterTest, FunctionGolden) {
+  Module M;
+  MemoryObject *Arr = M.makeMemoryObject("data", IRType::Int, 16, true);
+  Function *F = M.makeFunction("demo", IRType::Int);
+  Param *X = F->addParam(IRType::Int, "x");
+  BasicBlock *Entry = F->makeBlock("entry");
+  BasicBlock *Then = F->makeBlock("then");
+  BasicBlock *Exit = F->makeBlock("exit");
+
+  auto *Cmp = cast<CmpInst>(Entry->append(
+      std::make_unique<CmpInst>(CmpPred::LT, X, Constant::getInt(16))));
+  createCondBr(Entry, Cmp, Then, Exit);
+  auto *Load = cast<LoadInst>(
+      Then->append(std::make_unique<LoadInst>(Arr, X)));
+  Then->append(std::make_unique<StoreInst>(Arr, X, Load));
+  createBr(Then, Exit);
+  auto *Phi = Exit->insertPhi(std::make_unique<PhiInst>(IRType::Int));
+  Phi->addIncoming(Constant::getInt(0), Entry);
+  Phi->addIncoming(Load, Then);
+  createRet(Exit, Phi);
+
+  std::ostringstream OS;
+  printFunction(*F, OS);
+  std::string Expected =
+      "fn @demo(%x: int) -> int {\n"
+      "entry:\n"
+      "  " + Cmp->displayName() + " = cmp %x < 16\n"
+      "  condbr " + Cmp->displayName() + ", then, exit\n"
+      "then:  ; preds: entry\n"
+      "  " + Load->displayName() + " = load @data[%x]\n"
+      "  store @data[%x] = " + Load->displayName() + "\n"
+      "  br exit\n"
+      "exit:  ; preds: entry then\n"
+      "  " + Phi->displayName() + " = phi [0, entry], [" +
+      Load->displayName() + ", then]\n"
+      "  ret " + Phi->displayName() + "\n"
+      "}\n";
+  EXPECT_EQ(OS.str(), Expected);
+}
+
+TEST(PrinterTest, ModuleHeaderListsGlobals) {
+  Module M;
+  M.makeMemoryObject("g", IRType::Float, 8, true);
+  M.makeMemoryObject("local", IRType::Int, 4, false); // Not printed.
+  Function *F = M.makeFunction("main", IRType::Int);
+  createRet(F->makeBlock("entry"), Constant::getInt(0));
+
+  std::ostringstream OS;
+  printModule(M, OS);
+  EXPECT_NE(OS.str().find("global @g: float[8]"), std::string::npos);
+  EXPECT_EQ(OS.str().find("global @local"), std::string::npos);
+  EXPECT_NE(OS.str().find("fn @main() -> int"), std::string::npos);
+}
+
+TEST(CastingTest, ValueHierarchy) {
+  Module M;
+  Function *F = M.makeFunction("f", IRType::Int);
+  Param *P = F->addParam(IRType::Int, "p");
+  BasicBlock *B = F->makeBlock("entry");
+  Instruction *Add = B->append(std::make_unique<BinaryInst>(
+      Opcode::Add, IRType::Int, P, Constant::getInt(1)));
+
+  Value *V = Add;
+  EXPECT_TRUE(isa<Instruction>(V));
+  EXPECT_TRUE(isa<BinaryInst>(V));
+  EXPECT_FALSE(isa<CmpInst>(V));
+  EXPECT_FALSE(isa<Constant>(V));
+  EXPECT_EQ(dyn_cast<BinaryInst>(V), Add);
+  EXPECT_EQ(dyn_cast<PhiInst>(V), nullptr);
+  EXPECT_EQ(cast<BinaryInst>(V)->lhs(), P);
+
+  const Value *CP = Constant::getInt(1);
+  EXPECT_TRUE(isa<Constant>(CP));
+  EXPECT_FALSE(isa<Instruction>(CP));
+
+  Value *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<Constant>(Null), nullptr);
+  EXPECT_NE(dyn_cast_or_null<Param>(static_cast<Value *>(P)), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+//===- tests/irgen/IRGenTest.cpp - AST lowering structure tests -----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Structural properties of the AST -> IR lowering: CFG shapes for each
+// control construct, short-circuit expansion, memory lowering for arrays
+// and global scalars, implicit returns and unreachable-code cleanup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+#include "irgen/IRGen.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+
+namespace {
+
+std::unique_ptr<Module> lower(const char *Source) {
+  DiagnosticEngine Diags;
+  auto AST = parseVL(Source, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.firstError();
+  EXPECT_TRUE(runSema(*AST, Diags)) << Diags.firstError();
+  auto M = generateIR(*AST, Diags);
+  EXPECT_TRUE(M) << Diags.firstError();
+  if (M) {
+    std::vector<std::string> Problems;
+    EXPECT_TRUE(verifyModule(*M, Problems, /*ExpectPhis=*/false))
+        << Problems.front();
+  }
+  return M;
+}
+
+unsigned countOpcode(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (const auto &B : F.blocks())
+    for (const auto &I : B->instructions())
+      if (I->opcode() == Op)
+        ++N;
+  return N;
+}
+
+TEST(IRGenTest, StraightLineIsOneBlock) {
+  auto M = lower("fn main() { var a = 1; var b = a + 2; return b; }");
+  EXPECT_EQ(M->findFunction("main")->numBlocks(), 1u);
+}
+
+TEST(IRGenTest, IfElseMakesDiamond) {
+  auto M = lower(
+      "fn main(x) { var r = 0; if (x > 0) { r = 1; } else { r = 2; } "
+      "return r; }");
+  const Function *Main = M->findFunction("main");
+  // entry, then, else, join.
+  EXPECT_EQ(Main->numBlocks(), 4u);
+  EXPECT_EQ(countOpcode(*Main, Opcode::CondBr), 1u);
+}
+
+TEST(IRGenTest, WhileMakesHeaderBodyExit) {
+  auto M = lower(
+      "fn main() { var i = 0; while (i < 3) { i = i + 1; } return i; }");
+  const Function *Main = M->findFunction("main");
+  EXPECT_EQ(Main->numBlocks(), 4u); // entry, header, body, exit.
+  // The header has two predecessors: entry and the body (latch).
+  unsigned TwoPredBlocks = 0;
+  for (const auto &B : Main->blocks())
+    if (B->numPreds() == 2)
+      ++TwoPredBlocks;
+  EXPECT_EQ(TwoPredBlocks, 1u);
+}
+
+TEST(IRGenTest, BranchOnComparisonSkipsBooleanMaterialization) {
+  // `if (a < b)` must branch directly on the cmp, not on `cmp != 0`.
+  auto M = lower("fn main(a, b) { if (a < b) { return 1; } return 0; }");
+  const Function *Main = M->findFunction("main");
+  EXPECT_EQ(countOpcode(*Main, Opcode::Cmp), 1u);
+}
+
+TEST(IRGenTest, ShortCircuitAndMakesTwoBranches) {
+  auto M = lower(
+      "fn main(a, b) { if (a > 0 && b > 0) { return 1; } return 0; }");
+  const Function *Main = M->findFunction("main");
+  EXPECT_EQ(countOpcode(*Main, Opcode::CondBr), 2u);
+}
+
+TEST(IRGenTest, NotConditionSwapsTargets) {
+  auto M = lower("fn main(a) { if (!(a > 0)) { return 1; } return 0; }");
+  const Function *Main = M->findFunction("main");
+  // Negation lowers by swapping edges: still exactly one compare, no
+  // explicit Not instruction.
+  EXPECT_EQ(countOpcode(*Main, Opcode::Cmp), 1u);
+  EXPECT_EQ(countOpcode(*Main, Opcode::Not), 0u);
+}
+
+TEST(IRGenTest, LogicalOpAsValueMaterializes) {
+  auto M = lower("fn main(a, b) { var c = a > 0 || b > 0; return c; }");
+  const Function *Main = M->findFunction("main");
+  // Value position: control flow into a dedicated temp slot, read back.
+  unsigned BoolTmpReads = 0;
+  for (const auto &B : Main->blocks())
+    for (const auto &I : B->instructions())
+      if (const auto *R = dyn_cast<ReadVarInst>(I.get()))
+        if (R->slot()->name() == "bool.tmp")
+          ++BoolTmpReads;
+  EXPECT_EQ(BoolTmpReads, 1u);
+  EXPECT_GE(countOpcode(*Main, Opcode::CondBr), 2u);
+}
+
+TEST(IRGenTest, GlobalScalarsBecomeLoadsAndStores) {
+  auto M = lower(R"(
+    var g = 41;
+    fn main() {
+      g = g + 1;
+      return g;
+    }
+  )");
+  const Function *Main = M->findFunction("main");
+  EXPECT_EQ(countOpcode(*Main, Opcode::Load), 2u);
+  EXPECT_EQ(countOpcode(*Main, Opcode::Store), 1u);
+  // The backing object is a global scalar cell with its initializer.
+  ASSERT_EQ(M->memoryObjects().size(), 1u);
+  const MemoryObject *G = M->memoryObjects()[0].get();
+  EXPECT_TRUE(G->isScalarCell());
+  EXPECT_EQ(G->size(), 1);
+  EXPECT_DOUBLE_EQ(M->scalarInit(G), 41.0);
+}
+
+TEST(IRGenTest, NonConstantGlobalInitializerIsRejected) {
+  DiagnosticEngine Diags;
+  auto AST = parseVL("var g = input(); fn main() { return g; }", Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_TRUE(runSema(*AST, Diags));
+  EXPECT_EQ(generateIR(*AST, Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(IRGenTest, ConstantFoldedGlobalInitializer) {
+  auto M = lower("var g = 6 * 7 - 2; fn main() { return g; }");
+  EXPECT_DOUBLE_EQ(M->scalarInit(M->memoryObjects()[0].get()), 40.0);
+}
+
+TEST(IRGenTest, LocalArrayIsPerFunctionObject) {
+  auto M = lower(R"(
+    fn main() {
+      var a[8];
+      a[0] = 1;
+      return a[0];
+    }
+  )");
+  const Function *Main = M->findFunction("main");
+  ASSERT_EQ(Main->localObjects().size(), 1u);
+  EXPECT_FALSE(Main->localObjects()[0]->isGlobal());
+  EXPECT_EQ(Main->localObjects()[0]->size(), 8);
+}
+
+TEST(IRGenTest, ImplicitReturnZeroOnFallOff) {
+  auto M = lower("fn main() { print(1); }");
+  const Function *Main = M->findFunction("main");
+  const auto *Ret = dyn_cast<RetInst>(Main->blocks().back()->terminator());
+  ASSERT_NE(Ret, nullptr);
+  const auto *C = dyn_cast<Constant>(Ret->value());
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->intValue(), 0);
+}
+
+TEST(IRGenTest, CodeAfterReturnIsRemoved) {
+  auto M = lower(R"(
+    fn main() {
+      return 1;
+      print(999);
+    }
+  )");
+  const Function *Main = M->findFunction("main");
+  EXPECT_EQ(Main->numBlocks(), 1u);
+  EXPECT_EQ(countOpcode(*Main, Opcode::Print), 0u);
+}
+
+TEST(IRGenTest, BreakAndContinueTargetLoopEdges) {
+  auto M = lower(R"(
+    fn main() {
+      var s = 0;
+      for (var i = 0; i < 10; i = i + 1) {
+        if (i == 3) { continue; }
+        if (i == 7) { break; }
+        s = s + 1;
+      }
+      return s;
+    }
+  )");
+  const Function *Main = M->findFunction("main");
+  std::vector<std::string> Problems;
+  EXPECT_TRUE(verifyFunction(*Main, Problems, false)) << Problems.front();
+  // break and continue produce extra in-edges: the for-step block gets
+  // one from the body tail and one from continue; the exit gets header
+  // and break edges.
+  unsigned MultiPred = 0;
+  for (const auto &B : Main->blocks())
+    if (B->numPreds() >= 2)
+      ++MultiPred;
+  EXPECT_GE(MultiPred, 3u);
+}
+
+TEST(IRGenTest, MixedArithmeticInsertsConversions) {
+  auto M = lower("fn main(): float { var x = 3; return x + 1.5; }");
+  const Function *Main = M->findFunction("main");
+  EXPECT_EQ(countOpcode(*Main, Opcode::IntToFloat), 1u);
+}
+
+TEST(IRGenTest, IntCastOnIntIsNoOp) {
+  auto M = lower("fn main(x) { return int(x); }");
+  const Function *Main = M->findFunction("main");
+  EXPECT_EQ(countOpcode(*Main, Opcode::FloatToInt), 0u);
+}
+
+TEST(IRGenTest, LenLowersToConstant) {
+  auto M = lower("var a[37]; fn main() { return len(a); }");
+  const Function *Main = M->findFunction("main");
+  const auto *Ret = cast<RetInst>(Main->entry()->terminator());
+  const auto *C = dyn_cast<Constant>(Ret->value());
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->intValue(), 37);
+}
+
+TEST(IRGenTest, CallsResolveAcrossDeclarationOrder) {
+  auto M = lower(R"(
+    fn main() { return late(2); }
+    fn late(v) { return v * 2; }
+  )");
+  const Function *Main = M->findFunction("main");
+  for (const auto &B : Main->blocks()) {
+    for (const auto &I : B->instructions()) {
+      if (const auto *Call = dyn_cast<CallInst>(I.get())) {
+        EXPECT_EQ(Call->callee()->name(), "late");
+      }
+    }
+  }
+}
+
+TEST(IRGenTest, SourceLocationsAttachToBranches) {
+  auto M = lower("fn main(x) {\n  if (x > 0) {\n    return 1;\n  }\n"
+                 "  return 0;\n}");
+  const Function *Main = M->findFunction("main");
+  for (const auto &B : Main->blocks()) {
+    if (const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator())) {
+      EXPECT_EQ(CBr->loc().Line, 2u);
+    }
+  }
+}
+
+} // namespace

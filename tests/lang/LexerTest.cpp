@@ -1,0 +1,169 @@
+//===- tests/lang/LexerTest.cpp - VL lexer tests ---------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Source, DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = Lex.next();
+    if (T.is(TokenKind::Eof))
+      break;
+    Tokens.push_back(T);
+  }
+  return Tokens;
+}
+
+std::vector<TokenKind> kindsOf(std::string_view Source) {
+  DiagnosticEngine Diags;
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : lexAll(Source, Diags))
+    Kinds.push_back(T.Kind);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.firstError();
+  return Kinds;
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(kindsOf("fn var if else while for break continue return"),
+            (std::vector<TokenKind>{
+                TokenKind::KwFn, TokenKind::KwVar, TokenKind::KwIf,
+                TokenKind::KwElse, TokenKind::KwWhile, TokenKind::KwFor,
+                TokenKind::KwBreak, TokenKind::KwContinue,
+                TokenKind::KwReturn}));
+  EXPECT_EQ(kindsOf("int float true false"),
+            (std::vector<TokenKind>{TokenKind::KwInt, TokenKind::KwFloat,
+                                    TokenKind::KwTrue,
+                                    TokenKind::KwFalse}));
+}
+
+TEST(LexerTest, IdentifiersVersusKeywords) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("form variable ifx _x x_1 fnord", Diags);
+  ASSERT_EQ(Tokens.size(), 6u);
+  for (const Token &T : Tokens)
+    EXPECT_EQ(T.Kind, TokenKind::Identifier) << T.Text;
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(kindsOf("+ - * / % = == != < <= > >= && || !"),
+            (std::vector<TokenKind>{
+                TokenKind::Plus, TokenKind::Minus, TokenKind::Star,
+                TokenKind::Slash, TokenKind::Percent, TokenKind::Assign,
+                TokenKind::EqualEqual, TokenKind::BangEqual,
+                TokenKind::Less, TokenKind::LessEqual, TokenKind::Greater,
+                TokenKind::GreaterEqual, TokenKind::AmpAmp,
+                TokenKind::PipePipe, TokenKind::Bang}));
+}
+
+TEST(LexerTest, AdjacentOperatorsSplitCorrectly) {
+  // `<=` vs `<` `=` disambiguation and friends.
+  EXPECT_EQ(kindsOf("<== >== !=="),
+            (std::vector<TokenKind>{
+                TokenKind::LessEqual, TokenKind::Assign,
+                TokenKind::GreaterEqual, TokenKind::Assign,
+                TokenKind::BangEqual, TokenKind::Assign}));
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("0 7 123456789 9223372036854775807", Diags);
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 7);
+  EXPECT_EQ(Tokens[2].IntValue, 123456789);
+  EXPECT_EQ(Tokens[3].IntValue, 9223372036854775807LL);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, IntegerOverflowIsDiagnosed) {
+  DiagnosticEngine Diags;
+  lexAll("99999999999999999999999", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, FloatLiterals) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("1.5 0.25 2e3 1.5e-2 7E+1", Diags);
+  ASSERT_EQ(Tokens.size(), 5u);
+  for (const Token &T : Tokens)
+    EXPECT_EQ(T.Kind, TokenKind::FloatLiteral) << T.Text;
+  EXPECT_DOUBLE_EQ(Tokens[0].FloatValue, 1.5);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 0.25);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 2000.0);
+  EXPECT_DOUBLE_EQ(Tokens[3].FloatValue, 0.015);
+  EXPECT_DOUBLE_EQ(Tokens[4].FloatValue, 70.0);
+}
+
+TEST(LexerTest, DotWithoutDigitsIsNotAFloat) {
+  // `1.x` lexes as int 1 then error on '.'; `e` without digits stays
+  // part of the identifier/number split.
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("12e", Diags);
+  ASSERT_EQ(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, LineComments) {
+  EXPECT_EQ(kindsOf("a // comment with + - * tokens\n b"),
+            (std::vector<TokenKind>{TokenKind::Identifier,
+                                    TokenKind::Identifier}));
+}
+
+TEST(LexerTest, BlockComments) {
+  EXPECT_EQ(kindsOf("a /* multi\nline\ncomment */ b"),
+            (std::vector<TokenKind>{TokenKind::Identifier,
+                                    TokenKind::Identifier}));
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsDiagnosed) {
+  DiagnosticEngine Diags;
+  lexAll("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, SourceLocations) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("a\n  b\n    c", Diags);
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Line, 3u);
+  EXPECT_EQ(Tokens[2].Loc.Col, 5u);
+}
+
+TEST(LexerTest, UnknownCharacterIsDiagnosed) {
+  DiagnosticEngine Diags;
+  auto Tokens = lexAll("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_EQ(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, LoneAmpersandIsDiagnosed) {
+  DiagnosticEngine Diags;
+  lexAll("a & b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, EofIsSticky) {
+  DiagnosticEngine Diags;
+  Lexer Lex("x", Diags);
+  EXPECT_EQ(Lex.next().Kind, TokenKind::Identifier);
+  EXPECT_EQ(Lex.next().Kind, TokenKind::Eof);
+  EXPECT_EQ(Lex.next().Kind, TokenKind::Eof);
+}
+
+} // namespace

@@ -1,0 +1,350 @@
+//===- tests/profile/InterpreterTest.cpp - Interpreter semantics ----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Executable semantics of VL through the full pipeline: arithmetic, control
+// flow, arrays, globals, recursion, intrinsics, error handling, and the
+// edge-profile collection the evaluation relies on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "profile/Interpreter.h"
+#include "profile/ProfilePredictor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace vrp;
+
+namespace {
+
+ExecutionResult run(const char *Source, std::vector<int64_t> Input = {},
+                    EdgeProfile *Profile = nullptr) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA(Source, Diags);
+  EXPECT_TRUE(C) << Diags.firstError();
+  if (!C)
+    return {};
+  Interpreter Interp(*C->IR);
+  return Interp.run(Input, Profile);
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic semantics
+//===----------------------------------------------------------------------===//
+
+struct ExprCase {
+  const char *Name;
+  const char *Expr;
+  int64_t Expected;
+};
+
+const ExprCase ExprCases[] = {
+    {"Add", "17 + 25", 42},
+    {"SubNegative", "10 - 17", -7},
+    {"MulPrecedence", "2 + 3 * 4", 14},
+    {"DivTruncatesTowardZero", "(0 - 7) / 2", -3},
+    {"RemFollowsDividendSign", "(0 - 7) % 3", -1},
+    {"RemPositive", "7 % 3", 1},
+    {"DivByZeroIsZero", "5 / 0", 0},
+    {"RemByZeroIsZero", "5 % 0", 0},
+    {"UnaryNeg", "-(3 + 4)", -7},
+    {"NotZero", "!0", 1},
+    {"NotNonZero", "!42", 0},
+    {"CmpTrue", "3 < 4", 1},
+    {"CmpFalse", "4 < 3", 0},
+    {"LogicalAndValue", "1 && 2", 1},
+    {"LogicalAndShortCircuit", "0 && 1", 0},
+    {"LogicalOrValue", "0 || 7", 1},
+    {"MinMax", "min(3, 9) + max(3, 9)", 12},
+    {"Abs", "abs(0 - 5) + abs(5)", 10},
+    {"FloatToInt", "int(3.99)", 3},
+    {"FloatToIntNegative", "int(-3.99)", -3},
+    {"FloatArithmetic", "int(float(7) / 2.0 * 2.0)", 7},
+    {"NestedCalls", "min(max(1, 2), max(3, 4))", 2},
+};
+
+class ExprSemantics : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ExprSemantics, EvaluatesCorrectly) {
+  const ExprCase &Case = ExprCases[GetParam()];
+  std::string Source =
+      std::string("fn main() { return ") + Case.Expr + "; }";
+  ExecutionResult R = run(Source.c_str());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, Case.Expected) << Case.Expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExprs, ExprSemantics,
+                         ::testing::Range<size_t>(0, std::size(ExprCases)),
+                         [](const auto &Info) {
+                           return ExprCases[Info.param].Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Control flow and state
+//===----------------------------------------------------------------------===//
+
+TEST(InterpreterTest, LoopsAndBreakContinue) {
+  ExecutionResult R = run(R"(
+    fn main() {
+      var sum = 0;
+      for (var i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 1) { continue; }
+        if (i >= 20) { break; }
+        sum = sum + i;
+      }
+      return sum; // 0+2+...+18 = 90
+    }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 90);
+}
+
+TEST(InterpreterTest, GlobalScalarsPersistAcrossCalls) {
+  ExecutionResult R = run(R"(
+    var counter = 100;
+    fn bump() { counter = counter + 1; return counter; }
+    fn main() {
+      bump();
+      bump();
+      return bump();
+    }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 103); // Initializer applies once.
+}
+
+TEST(InterpreterTest, LocalArraysArePerActivation) {
+  ExecutionResult R = run(R"(
+    fn leafy(depth) {
+      var scratch[4];
+      scratch[0] = depth;
+      if (depth > 0) {
+        leafy(depth - 1);
+      }
+      return scratch[0]; // Must not be clobbered by the recursion.
+    }
+    fn main() { return leafy(5); }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 5);
+}
+
+TEST(InterpreterTest, GlobalArraysAreShared) {
+  ExecutionResult R = run(R"(
+    var buf[8];
+    fn fill(v) {
+      for (var i = 0; i < 8; i = i + 1) { buf[i] = v; }
+      return 0;
+    }
+    fn main() {
+      fill(9);
+      return buf[3] + buf[7];
+    }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 18);
+}
+
+TEST(InterpreterTest, RecursionFibonacci) {
+  ExecutionResult R = run(R"(
+    fn fib(n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    fn main() { return fib(15); }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 610);
+}
+
+TEST(InterpreterTest, InputStreamAndExhaustion) {
+  ExecutionResult R = run(R"(
+    fn main() {
+      var a = input();
+      var b = input();
+      var c = input(); // Exhausted: 0.
+      return a * 100 + b * 10 + c;
+    }
+  )",
+                          {4, 2});
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 420);
+}
+
+TEST(InterpreterTest, PrintFormatsIntAndFloat) {
+  ExecutionResult R = run(R"(
+    fn main() {
+      print(42);
+      print(0 - 7);
+      print(1.5);
+      return 0;
+    }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Output.size(), 3u);
+  EXPECT_EQ(R.Output[0], "42");
+  EXPECT_EQ(R.Output[1], "-7");
+  EXPECT_EQ(R.Output[2], "1.5");
+}
+
+TEST(InterpreterTest, ImplicitReturnZero) {
+  ExecutionResult R = run("fn main() { print(1); }");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 0);
+}
+
+
+TEST(InterpreterTest, FloatComparisonsInBranches) {
+  ExecutionResult R = run(R"(
+    fn main() {
+      var x = 1.5;
+      var hits = 0;
+      if (x < 2.0) { hits = hits + 1; }
+      if (x > 1.0) { hits = hits + 10; }
+      if (x == 1.5) { hits = hits + 100; }
+      if (x != 1.5) { hits = hits + 1000; }
+      while (x < 10.0) { x = x * 2.0; }
+      print(x);
+      return hits;
+    }
+  )");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 111);
+  EXPECT_EQ(R.Output[0], "12"); // 1.5 * 2^3.
+}
+
+//===----------------------------------------------------------------------===//
+// Error handling
+//===----------------------------------------------------------------------===//
+
+TEST(InterpreterTest, OutOfBoundsReadIsTrapped) {
+  ExecutionResult R = run(R"(
+    var a[4];
+    fn main() { return a[9]; }
+  )");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpreterTest, NegativeIndexIsTrapped) {
+  ExecutionResult R = run(R"(
+    var a[4];
+    fn main() { a[0 - 1] = 3; return 0; }
+  )");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpreterTest, StepLimitStopsInfiniteLoops) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA("fn main() { while (true) { } return 0; }", Diags);
+  ASSERT_TRUE(C) << Diags.firstError();
+  Interpreter Interp(*C->IR);
+  ExecutionResult R = Interp.run({}, nullptr, /*MaxSteps=*/10000);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(InterpreterTest, DeepRecursionIsTrapped) {
+  ExecutionResult R = run(R"(
+    fn down(n) { return down(n + 1); }
+    fn main() { return down(0); }
+  )");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("depth"), std::string::npos);
+}
+
+TEST(InterpreterTest, MissingMainIsReported) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA("fn helper() { return 1; }", Diags);
+  ASSERT_TRUE(C) << Diags.firstError();
+  Interpreter Interp(*C->IR);
+  ExecutionResult R = Interp.run({});
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("main"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Profiling
+//===----------------------------------------------------------------------===//
+
+TEST(InterpreterTest, EdgeProfileCountsAreExact) {
+  EdgeProfile Profile;
+  ExecutionResult R = run(R"(
+    fn main() {
+      var hits = 0;
+      for (var i = 0; i < 10; i = i + 1) {
+        if (i >= 7) { hits = hits + 1; }
+      }
+      return hits;
+    }
+  )",
+                          {}, &Profile);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.ExitValue, 3);
+  // Two static branches: loop (10/11) and the if (3/10).
+  ASSERT_EQ(Profile.counts().size(), 2u);
+  std::vector<std::pair<uint64_t, uint64_t>> Counts;
+  for (const auto &[Branch, C] : Profile.counts())
+    Counts.push_back({C.Taken, C.Total});
+  std::sort(Counts.begin(), Counts.end());
+  EXPECT_EQ(Counts[0], (std::pair<uint64_t, uint64_t>{3, 10}));
+  EXPECT_EQ(Counts[1], (std::pair<uint64_t, uint64_t>{10, 11}));
+}
+
+TEST(InterpreterTest, ProfileMergeAccumulates) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA(
+      "fn main() { var s = 0; for (var i = 0; i < 5; i = i + 1) "
+      "{ s = s + i; } return s; }",
+      Diags);
+  ASSERT_TRUE(C);
+  Interpreter Interp(*C->IR);
+  EdgeProfile P1, P2;
+  Interp.run({}, &P1);
+  Interp.run({}, &P2);
+  P1.merge(P2);
+  for (const auto &[Branch, Counts] : P1.counts()) {
+    EXPECT_EQ(Counts.Total, 12u); // 6 tests per run.
+    EXPECT_EQ(Counts.Taken, 10u);
+  }
+}
+
+TEST(ProfilePredictorTest, PredictsFromCountsWithNeutralFallback) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA(R"(
+    fn main(n) {
+      if (n > 0) {
+        if (n > 100) { return 2; }  // Never executed under training.
+        return 1;
+      }
+      return 0;
+    }
+  )", Diags);
+  ASSERT_TRUE(C);
+  const Function *Main = C->IR->findFunction("main");
+  // Fabricate a training profile covering only the outer branch.
+  EdgeProfile Training;
+  const CondBrInst *Outer = nullptr;
+  for (const auto &B : Main->blocks())
+    if (const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
+      if (!Outer)
+        Outer = CBr;
+  ASSERT_NE(Outer, nullptr);
+  for (int I = 0; I < 4; ++I)
+    Training.recordBranch(Outer, I < 3); // 75% taken.
+
+  BranchProbMap Probs = predictFromProfile(*Main, Training);
+  EXPECT_NEAR(Probs.at(Outer), 0.75, 1e-12);
+  for (const auto &[Branch, P] : Probs) {
+    if (Branch != Outer) {
+      EXPECT_EQ(P, 0.5); // Unexecuted branches fall back to 50/50.
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- tests/support/SupportTest.cpp - Support utility tests --------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+#include "support/MathUtil.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace vrp;
+
+namespace {
+
+TEST(MathUtilTest, SaturatingAddClampsAtExtremes) {
+  EXPECT_EQ(saturatingAdd(1, 2), 3);
+  EXPECT_EQ(saturatingAdd(Int64Max, 1), Int64Max);
+  EXPECT_EQ(saturatingAdd(Int64Min, -1), Int64Min);
+  EXPECT_EQ(saturatingAdd(Int64Max, Int64Max), Int64Max);
+  EXPECT_EQ(saturatingAdd(Int64Min, Int64Max), -1);
+}
+
+TEST(MathUtilTest, SaturatingSubClampsAtExtremes) {
+  EXPECT_EQ(saturatingSub(5, 3), 2);
+  EXPECT_EQ(saturatingSub(Int64Min, 1), Int64Min);
+  EXPECT_EQ(saturatingSub(Int64Max, -1), Int64Max);
+  EXPECT_EQ(saturatingSub(0, Int64Min), Int64Max);
+}
+
+TEST(MathUtilTest, SaturatingMulClampsWithCorrectSign) {
+  EXPECT_EQ(saturatingMul(6, 7), 42);
+  EXPECT_EQ(saturatingMul(Int64Max, 2), Int64Max);
+  EXPECT_EQ(saturatingMul(Int64Max, -2), Int64Min);
+  EXPECT_EQ(saturatingMul(Int64Min, -1), Int64Max);
+  EXPECT_EQ(saturatingMul(-3, 5), -15);
+}
+
+TEST(MathUtilTest, SaturatingNeg) {
+  EXPECT_EQ(saturatingNeg(5), -5);
+  EXPECT_EQ(saturatingNeg(Int64Min), Int64Max);
+}
+
+TEST(MathUtilTest, FloorAndCeilDivProperties) {
+  // Exhaustive over a window: results must match the mathematical floor
+  // and ceiling of the real quotient for either divisor sign.
+  for (int64_t A = -24; A <= 24; ++A) {
+    for (int64_t B = -5; B <= 5; ++B) {
+      if (B == 0)
+        continue;
+      double Q = static_cast<double>(A) / static_cast<double>(B);
+      EXPECT_EQ(floorDiv(A, B), static_cast<int64_t>(std::floor(Q)))
+          << A << " / " << B;
+      EXPECT_EQ(ceilDiv(A, B), static_cast<int64_t>(std::ceil(Q)))
+          << A << " / " << B;
+      EXPECT_EQ(floorDiv(A, B) + (A % B != 0 ? 1 : 0), ceilDiv(A, B));
+    }
+  }
+}
+
+TEST(RNGTest, DeterministicAndSeedSensitive) {
+  RNG A(1), B(1), C(2);
+  for (int I = 0; I < 10; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C;
+  }
+  RNG D(2);
+  EXPECT_NE(RNG(1).next(), D.next());
+}
+
+TEST(RNGTest, RangesAreRespected) {
+  RNG Rng(42);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(Rng.nextBelow(10), 10u);
+    int64_t V = Rng.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RNGTest, RoughUniformity) {
+  RNG Rng(123);
+  int Counts[4] = {};
+  for (int I = 0; I < 40000; ++I)
+    ++Counts[Rng.nextBelow(4)];
+  for (int C : Counts)
+    EXPECT_NEAR(C, 10000, 500);
+}
+
+TEST(FormatTest, Numbers) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+  EXPECT_EQ(formatPercent(0.914), "91.4%");
+  EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, TableAlignment) {
+  TextTable T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer-name", "222"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  // Every body line starts where the header starts and columns align.
+  EXPECT_NE(Out.find("name         value"), std::string::npos);
+  EXPECT_NE(Out.find("longer-name  222"), std::string::npos);
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(DiagnosticsTest, CollectsAndPrints) {
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning(SourceLoc(1, 2), "watch out");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(3, 4), "boom");
+  Diags.note(SourceLoc(3, 5), "because");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.firstError(), "boom");
+
+  std::ostringstream OS;
+  Diags.printAll(OS);
+  EXPECT_NE(OS.str().find("1:2: warning: watch out"), std::string::npos);
+  EXPECT_NE(OS.str().find("3:4: error: boom"), std::string::npos);
+  EXPECT_NE(OS.str().find("3:5: note: because"), std::string::npos);
+}
+
+TEST(SourceLocTest, Formatting) {
+  EXPECT_EQ(SourceLoc(7, 3).str(), "7:3");
+  EXPECT_EQ(SourceLoc().str(), "<unknown>");
+  EXPECT_FALSE(SourceLoc().isValid());
+  EXPECT_TRUE(SourceLoc(1, 1).isValid());
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===- tests/vrp/CertaintySoundnessTest.cpp - Certainty vs reality --------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The strongest property the analysis offers: when VRP predicts a branch
+// with *certainty* (probability exactly 0 or 1, from ranges), the
+// interpreter must agree on every execution. Checked across the benchmark
+// suite and a population of generated programs — any violation is a
+// soundness bug in range arithmetic, derivation or the engine.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "benchsuite/Synthetic.h"
+#include "driver/Pipeline.h"
+#include "ir/IRPrinter.h"
+#include "profile/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+
+namespace {
+
+/// Checks every certainty claim of \p Opts-configured VRP on \p Source
+/// against an interpreter run with \p Input.
+void checkCertainty(const std::string &Name, const std::string &Source,
+                    const std::vector<int64_t> &Input,
+                    const VRPOptions &Opts) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA(Source, Diags, Opts);
+  ASSERT_TRUE(C) << Name << ": " << Diags.firstError();
+
+  Interpreter Interp(*C->IR);
+  EdgeProfile Profile;
+  ExecutionResult Run = Interp.run(Input, &Profile);
+  ASSERT_TRUE(Run.Ok) << Name << ": " << Run.Error;
+
+  ModuleVRPResult R = runModuleVRP(*C->IR, Opts);
+  for (const auto &F : C->IR->functions()) {
+    const FunctionVRPResult *FR = R.forFunction(F.get());
+    ASSERT_NE(FR, nullptr);
+    for (const auto &[Branch, Pred] : FR->Branches) {
+      if (!Pred.FromRanges)
+        continue;
+      const BranchCounts *Counts = Profile.lookup(Branch);
+      if (!Counts || Counts->Total == 0)
+        continue;
+      if (Pred.ProbTrue == 1.0) {
+        EXPECT_EQ(Counts->Taken, Counts->Total)
+            << Name << " @" << F->name() << ": branch "
+            << instructionToString(*cast<Instruction>(Branch->cond()))
+            << " predicted always-taken but ran " << Counts->Taken << "/"
+            << Counts->Total;
+      } else if (Pred.ProbTrue == 0.0) {
+        EXPECT_EQ(Counts->Taken, 0u)
+            << Name << " @" << F->name() << ": branch "
+            << instructionToString(*cast<Instruction>(Branch->cond()))
+            << " predicted never-taken but ran " << Counts->Taken << "/"
+            << Counts->Total;
+      }
+      // Unreachability claims are certainty claims too.
+      EXPECT_TRUE(Pred.Reachable)
+          << Name << ": executed branch claimed unreachable";
+    }
+  }
+}
+
+TEST(CertaintySoundness, BenchmarkSuiteRefInputs) {
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  for (const BenchmarkProgram *P : allPrograms())
+    checkCertainty(P->Name, P->Source, P->RefInput, Opts);
+}
+
+class SyntheticCertainty
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(SyntheticCertainty, GeneratedProgramsNeverContradictCertainty) {
+  auto [SizeClass, Seed] = GetParam();
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  checkCertainty("synthetic(" + std::to_string(SizeClass) + "," +
+                     std::to_string(Seed) + ")",
+                 makeSyntheticProgram(SizeClass, Seed), {}, Opts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Population, SyntheticCertainty,
+    ::testing::Combine(::testing::Values(2u, 5u, 9u, 14u, 20u),
+                       ::testing::Values(11u, 22u, 33u, 44u)));
+
+TEST(CertaintySoundness, HoldsUnderEveryAblationConfig) {
+  // The soundness property must survive every configuration the ablation
+  // bench sweeps — certainty may become rarer, never wrong.
+  std::vector<VRPOptions> Configs;
+  {
+    VRPOptions O;
+    O.EnableSymbolicRanges = false;
+    Configs.push_back(O);
+  }
+  {
+    VRPOptions O;
+    O.EnableDerivation = false;
+    Configs.push_back(O);
+  }
+  {
+    VRPOptions O;
+    O.EnableAssertions = false;
+    Configs.push_back(O);
+  }
+  {
+    VRPOptions O;
+    O.MaxSubRanges = 1;
+    O.WidenThreshold = 4;
+    O.FlowVisitLimit = 4;
+    Configs.push_back(O);
+  }
+  const char *Names[] = {"sort", "sieve", "gauss", "mandel"};
+  for (const VRPOptions &Opts : Configs)
+    for (const char *Name : Names) {
+      const BenchmarkProgram *P = findProgram(Name);
+      checkCertainty(Name, P->Source, P->RefInput, Opts);
+    }
+}
+
+} // namespace

@@ -1,0 +1,418 @@
+//===- tests/vrp/RangeOpsPropertyTest.cpp - Arithmetic soundness ----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Property tests for the range-arithmetic kernel: for randomly generated
+// small numeric ranges, every concrete value pair's result must be covered
+// by the computed range (set soundness), probabilities must be conserved,
+// and exact comparison probabilities must equal brute-force enumeration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+#include "vrp/RangeOps.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+using namespace vrp;
+
+namespace {
+
+/// Enumerates the concrete values of a numeric subrange.
+std::vector<int64_t> enumerate(const SubRange &S) {
+  std::vector<int64_t> Values;
+  if (S.Stride == 0)
+    return {S.Lo.Offset};
+  for (int64_t V = S.Lo.Offset; V <= S.Hi.Offset; V += S.Stride)
+    Values.push_back(V);
+  return Values;
+}
+
+std::vector<int64_t> enumerate(const ValueRange &VR) {
+  std::vector<int64_t> Values;
+  for (const SubRange &S : VR.subRanges()) {
+    std::vector<int64_t> Part = enumerate(S);
+    Values.insert(Values.end(), Part.begin(), Part.end());
+  }
+  return Values;
+}
+
+/// True when \p V lies on some subrange's lattice.
+bool covers(const ValueRange &VR, int64_t V) {
+  if (!VR.isRanges())
+    return VR.isBottom(); // ⊥ covers everything by convention here.
+  for (const SubRange &S : VR.subRanges()) {
+    if (!S.isNumeric())
+      return true; // Symbolic pieces cover unknown values conservatively.
+    if (V < S.Lo.Offset || V > S.Hi.Offset)
+      continue;
+    if (S.Stride == 0) {
+      if (V == S.Lo.Offset)
+        return true;
+    } else if ((V - S.Lo.Offset) % S.Stride == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Builds a random small numeric range with 1-3 subranges.
+ValueRange randomRange(RNG &Rng, unsigned MaxSubRanges) {
+  unsigned NumSubs = 1 + Rng.nextBelow(3);
+  std::vector<SubRange> Subs;
+  for (unsigned I = 0; I < NumSubs; ++I) {
+    int64_t Lo = Rng.nextInRange(-40, 40);
+    int64_t Stride = Rng.nextInRange(0, 4);
+    int64_t Count = Stride == 0 ? 1 : Rng.nextInRange(1, 8);
+    int64_t Hi = Stride == 0 ? Lo : Lo + Stride * (Count - 1);
+    Subs.push_back(SubRange::numeric(1.0 / NumSubs, Lo, Hi,
+                                     Count == 1 ? 0 : Stride));
+  }
+  return ValueRange::ranges(std::move(Subs), MaxSubRanges);
+}
+
+struct OpCase {
+  const char *Name;
+  ValueRange (RangeOps::*Fn)(const ValueRange &, const ValueRange &);
+  int64_t (*Concrete)(int64_t, int64_t);
+  bool (*Defined)(int64_t, int64_t);
+};
+
+int64_t concAdd(int64_t A, int64_t B) { return A + B; }
+int64_t concSub(int64_t A, int64_t B) { return A - B; }
+int64_t concMul(int64_t A, int64_t B) { return A * B; }
+int64_t concDiv(int64_t A, int64_t B) { return A / B; }
+int64_t concRem(int64_t A, int64_t B) { return A % B; }
+int64_t concMin(int64_t A, int64_t B) { return std::min(A, B); }
+int64_t concMax(int64_t A, int64_t B) { return std::max(A, B); }
+bool alwaysDefined(int64_t, int64_t) { return true; }
+bool divisorNonZero(int64_t, int64_t B) { return B != 0; }
+
+const OpCase OpCases[] = {
+    {"add", &RangeOps::add, concAdd, alwaysDefined},
+    {"sub", &RangeOps::sub, concSub, alwaysDefined},
+    {"mul", &RangeOps::mul, concMul, alwaysDefined},
+    {"div", &RangeOps::div, concDiv, divisorNonZero},
+    {"rem", &RangeOps::rem, concRem, divisorNonZero},
+    {"min", &RangeOps::minOp, concMin, alwaysDefined},
+    {"max", &RangeOps::maxOp, concMax, alwaysDefined},
+};
+
+class BinaryOpSoundness : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BinaryOpSoundness, ResultCoversEveryConcretePair) {
+  const OpCase &Case = OpCases[GetParam()];
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(0x5EED0 + GetParam());
+
+  for (unsigned Trial = 0; Trial < 300; ++Trial) {
+    ValueRange L = randomRange(Rng, Opts.MaxSubRanges);
+    ValueRange R = randomRange(Rng, Opts.MaxSubRanges);
+    ValueRange Result = (Ops.*Case.Fn)(L, R);
+    if (Result.isBottom())
+      continue; // ⊥ is trivially sound.
+    ASSERT_TRUE(Result.isRanges());
+
+    for (int64_t A : enumerate(L)) {
+      for (int64_t B : enumerate(R)) {
+        if (!Case.Defined(A, B))
+          continue;
+        int64_t C = Case.Concrete(A, B);
+        EXPECT_TRUE(covers(Result, C))
+            << Case.Name << "(" << A << ", " << B << ") = " << C
+            << " not covered by " << Result.str() << "\n  L = " << L.str()
+            << "\n  R = " << R.str();
+      }
+    }
+  }
+}
+
+TEST_P(BinaryOpSoundness, ProbabilityMassIsConserved) {
+  const OpCase &Case = OpCases[GetParam()];
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(0xFACE + GetParam());
+
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    ValueRange L = randomRange(Rng, Opts.MaxSubRanges);
+    ValueRange R = randomRange(Rng, Opts.MaxSubRanges);
+    ValueRange Result = (Ops.*Case.Fn)(L, R);
+    if (!Result.isRanges())
+      continue;
+    EXPECT_NEAR(totalProb(Result.subRanges()), 1.0, 1e-9)
+        << Case.Name << " lost probability mass: " << Result.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, BinaryOpSoundness,
+                         ::testing::Range<size_t>(0, std::size(OpCases)),
+                         [](const auto &Info) {
+                           return OpCases[Info.param].Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Unary operations
+//===----------------------------------------------------------------------===//
+
+TEST(UnaryOpSoundness, NegationCoversAllValues) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(7);
+  for (unsigned Trial = 0; Trial < 300; ++Trial) {
+    ValueRange V = randomRange(Rng, Opts.MaxSubRanges);
+    ValueRange Result = Ops.neg(V);
+    ASSERT_TRUE(Result.isRanges());
+    for (int64_t A : enumerate(V))
+      EXPECT_TRUE(covers(Result, -A))
+          << "-(" << A << ") missing from " << Result.str();
+  }
+}
+
+TEST(UnaryOpSoundness, AbsCoversAllValues) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(8);
+  for (unsigned Trial = 0; Trial < 300; ++Trial) {
+    ValueRange V = randomRange(Rng, Opts.MaxSubRanges);
+    ValueRange Result = Ops.absOp(V);
+    ASSERT_TRUE(Result.isRanges());
+    for (int64_t A : enumerate(V))
+      EXPECT_TRUE(covers(Result, A < 0 ? -A : A))
+          << "abs(" << A << ") missing from " << Result.str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Comparison probabilities vs brute force
+//===----------------------------------------------------------------------===//
+
+double bruteForceProb(CmpPred Pred, const ValueRange &L,
+                      const ValueRange &R) {
+  // Weighted enumeration: P(subrange) uniform over its points.
+  double P = 0.0;
+  for (const SubRange &A : L.subRanges()) {
+    std::vector<int64_t> As = enumerate(A);
+    for (const SubRange &B : R.subRanges()) {
+      std::vector<int64_t> Bs = enumerate(B);
+      int64_t Hits = 0;
+      for (int64_t X : As)
+        for (int64_t Y : Bs)
+          if (evalPred(Pred, X, Y))
+            ++Hits;
+      P += A.Prob * B.Prob * Hits /
+           (static_cast<double>(As.size()) * Bs.size());
+    }
+  }
+  return P;
+}
+
+class CmpProbExactness : public ::testing::TestWithParam<CmpPred> {};
+
+TEST_P(CmpProbExactness, SingletonComparisonsAreExact) {
+  CmpPred Pred = GetParam();
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(0xBEEF + static_cast<unsigned>(Pred));
+
+  for (unsigned Trial = 0; Trial < 400; ++Trial) {
+    ValueRange L = randomRange(Rng, Opts.MaxSubRanges);
+    ValueRange R = ValueRange::intConstant(Rng.nextInRange(-50, 50));
+    auto P = Ops.cmpProb(Pred, L, R, nullptr, nullptr);
+    ASSERT_TRUE(P.has_value());
+    EXPECT_NEAR(*P, bruteForceProb(Pred, L, R), 1e-9)
+        << cmpPredSpelling(Pred) << " on " << L.str() << " vs "
+        << R.str();
+  }
+}
+
+class EqCmpProbExactness : public ::testing::TestWithParam<CmpPred> {};
+
+TEST_P(EqCmpProbExactness, EqualityOnStridedRangesIsExact) {
+  CmpPred Pred = GetParam();
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(0xD00D);
+
+  for (unsigned Trial = 0; Trial < 400; ++Trial) {
+    ValueRange L = randomRange(Rng, Opts.MaxSubRanges);
+    ValueRange R = randomRange(Rng, Opts.MaxSubRanges);
+    auto P = Ops.cmpProb(Pred, L, R, nullptr, nullptr);
+    ASSERT_TRUE(P.has_value());
+    EXPECT_NEAR(*P, bruteForceProb(Pred, L, R), 1e-9)
+        << cmpPredSpelling(Pred) << " on " << L.str() << " vs " << R.str();
+  }
+}
+
+TEST_P(CmpProbExactness, GeneralComparisonWithinApproximationBound) {
+  CmpPred Pred = GetParam();
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(0xCAFE + static_cast<unsigned>(Pred));
+
+  for (unsigned Trial = 0; Trial < 300; ++Trial) {
+    ValueRange L = randomRange(Rng, Opts.MaxSubRanges);
+    ValueRange R = randomRange(Rng, Opts.MaxSubRanges);
+    auto P = Ops.cmpProb(Pred, L, R, nullptr, nullptr);
+    ASSERT_TRUE(P.has_value());
+    // Range-vs-range inequalities use a continuous approximation; the
+    // paper accepts exactly this kind of accuracy/efficiency tradeoff
+    // (§3.5). A loose bound still catches real logic errors.
+    EXPECT_NEAR(*P, bruteForceProb(Pred, L, R), 0.2)
+        << cmpPredSpelling(Pred) << " on " << L.str() << " vs " << R.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EqualityPreds, EqCmpProbExactness,
+                         ::testing::Values(CmpPred::EQ, CmpPred::NE),
+                         [](const auto &Info) {
+                           return Info.param == CmpPred::EQ ? "EQ" : "NE";
+                         });
+
+INSTANTIATE_TEST_SUITE_P(AllPreds, CmpProbExactness,
+                         ::testing::Values(CmpPred::EQ, CmpPred::NE,
+                                           CmpPred::LT, CmpPred::LE,
+                                           CmpPred::GT, CmpPred::GE),
+                         [](const auto &Info) {
+                           switch (Info.param) {
+                           case CmpPred::EQ:
+                             return "EQ";
+                           case CmpPred::NE:
+                             return "NE";
+                           case CmpPred::LT:
+                             return "LT";
+                           case CmpPred::LE:
+                             return "LE";
+                           case CmpPred::GT:
+                             return "GT";
+                           case CmpPred::GE:
+                             return "GE";
+                           }
+                           return "?";
+                         });
+
+//===----------------------------------------------------------------------===//
+// Assertions as conditional distributions
+//===----------------------------------------------------------------------===//
+
+class AssertConditioning : public ::testing::TestWithParam<CmpPred> {};
+
+TEST_P(AssertConditioning, MatchesBruteForceConditionalDistribution) {
+  CmpPred Pred = GetParam();
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(0xA55E47 + static_cast<unsigned>(Pred));
+
+  for (unsigned Trial = 0; Trial < 400; ++Trial) {
+    ValueRange Src = randomRange(Rng, Opts.MaxSubRanges);
+    int64_t C = Rng.nextInRange(-50, 50);
+    ValueRange Result =
+        Ops.applyAssert(Src, Pred, ValueRange::intConstant(C), nullptr);
+
+    // Brute-force conditional point probabilities.
+    std::map<int64_t, double> PointProb;
+    double Surviving = 0.0;
+    for (const SubRange &S : Src.subRanges()) {
+      std::vector<int64_t> Vals = enumerate(S);
+      for (int64_t V : Vals) {
+        if (evalPred(Pred, V, C)) {
+          PointProb[V] += S.Prob / Vals.size();
+          Surviving += S.Prob / Vals.size();
+        }
+      }
+    }
+
+    if (Surviving == 0.0) {
+      EXPECT_TRUE(Result.isBottom())
+          << "contradicted assert should be ⊥: " << Src.str() << " "
+          << cmpPredSpelling(Pred) << " " << C;
+      continue;
+    }
+    ASSERT_TRUE(Result.isRanges()) << Result.str();
+    EXPECT_NEAR(totalProb(Result.subRanges()), 1.0, 1e-9);
+
+    // Every surviving point must be covered; no excluded point may be.
+    for (const auto &[V, P] : PointProb)
+      EXPECT_TRUE(covers(Result, V))
+          << "surviving " << V << " missing from " << Result.str();
+    for (const SubRange &S : Src.subRanges()) {
+      for (int64_t V : enumerate(S)) {
+        if (!evalPred(Pred, V, C)) {
+          EXPECT_FALSE(covers(Result, V))
+              << "excluded " << V << " still in " << Result.str()
+              << " (src " << Src.str() << " " << cmpPredSpelling(Pred)
+              << " " << C << ")";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPreds, AssertConditioning,
+                         ::testing::Values(CmpPred::EQ, CmpPred::NE,
+                                           CmpPred::LT, CmpPred::LE,
+                                           CmpPred::GT, CmpPred::GE));
+
+//===----------------------------------------------------------------------===//
+// Weighted meet
+//===----------------------------------------------------------------------===//
+
+TEST(MeetWeighted, PointMassMatchesBruteForce) {
+  VRPOptions Opts;
+  Opts.MaxSubRanges = 8; // Avoid coalescing noise for this check.
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  RNG Rng(0x3E37);
+
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    ValueRange A = randomRange(Rng, 2);
+    ValueRange B = randomRange(Rng, 2);
+    double WA = 0.1 + Rng.nextDouble(), WB = 0.1 + Rng.nextDouble();
+    ValueRange Met = Ops.meetWeighted({{A, WA}, {B, WB}});
+    ASSERT_TRUE(Met.isRanges());
+    EXPECT_NEAR(totalProb(Met.subRanges()), 1.0, 1e-9);
+    for (int64_t V : enumerate(A))
+      EXPECT_TRUE(covers(Met, V)) << V << " from A lost in meet";
+    for (int64_t V : enumerate(B))
+      EXPECT_TRUE(covers(Met, V)) << V << " from B lost in meet";
+  }
+}
+
+TEST(MeetWeighted, LatticeRules) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  ValueRange C5 = ValueRange::intConstant(5);
+
+  // Meet with ⊥ is ⊥ (paper Figure 1: any ⊓ ⊥ = ⊥).
+  EXPECT_TRUE(
+      Ops.meetWeighted({{C5, 0.5}, {ValueRange::bottom(), 0.5}}).isBottom());
+  // ⊤ entries are skipped (optimistic).
+  ValueRange M = Ops.meetWeighted({{C5, 0.5}, {ValueRange::top(), 0.5}});
+  EXPECT_EQ(M.asIntConstant(), 5);
+  // All-⊤ stays ⊤.
+  EXPECT_TRUE(Ops.meetWeighted({{ValueRange::top(), 1.0}}).isTop());
+  // Equal float constants survive; different ones do not.
+  ValueRange F1 = ValueRange::floatConstant(1.5);
+  EXPECT_TRUE(Ops.meetWeighted({{F1, 0.5}, {F1, 0.5}}).isFloatConst());
+  EXPECT_TRUE(Ops.meetWeighted(
+                     {{F1, 0.5}, {ValueRange::floatConstant(2.5), 0.5}})
+                  .isBottom());
+  // Identical constants merge into one subrange.
+  ValueRange Same = Ops.meetWeighted({{C5, 0.3}, {C5, 0.7}});
+  EXPECT_EQ(Same.asIntConstant(), 5);
+}
+
+} // namespace

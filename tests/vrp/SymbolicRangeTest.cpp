@@ -1,0 +1,235 @@
+//===- tests/vrp/SymbolicRangeTest.cpp - Symbolic bound tests -------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Tests of the §3.4 symbolic range machinery: variable-relative bounds,
+// same-ancestor comparisons, cancellation in subtraction, the anchored
+// assumed-trip-count model, and the unknown-distribution gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vrp/RangeOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+
+namespace {
+
+class SymbolicRangeTest : public ::testing::Test {
+protected:
+  SymbolicRangeTest()
+      : N(IRType::Int, "n", 0, nullptr), M(IRType::Int, "m", 1, nullptr),
+        Ops(Opts, Stats) {}
+
+  ValueRange symRange(const Value *Sym, int64_t LoOff, int64_t HiOff,
+                      int64_t Stride = 1) {
+    return ValueRange::ranges(
+        {SubRange(1.0, Bound(Sym, LoOff), Bound(Sym, HiOff),
+                  LoOff == HiOff ? 0 : Stride)},
+        Opts.MaxSubRanges);
+  }
+
+  ValueRange mixedRange(int64_t Lo, const Value *Sym, int64_t HiOff) {
+    return ValueRange::ranges(
+        {SubRange(1.0, Bound(Lo), Bound(Sym, HiOff), 1)},
+        Opts.MaxSubRanges);
+  }
+
+  Param N, M;
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops;
+};
+
+//===----------------------------------------------------------------------===//
+// Arithmetic with symbolic bounds
+//===----------------------------------------------------------------------===//
+
+TEST_F(SymbolicRangeTest, AddConstantShiftsBounds) {
+  ValueRange R = Ops.add(symRange(&N, 0, 5), ValueRange::intConstant(3));
+  ASSERT_TRUE(R.isRanges());
+  const SubRange &S = R.subRanges().front();
+  EXPECT_EQ(S.Lo.Sym, &N);
+  EXPECT_EQ(S.Lo.Offset, 3);
+  EXPECT_EQ(S.Hi.Sym, &N);
+  EXPECT_EQ(S.Hi.Offset, 8);
+}
+
+TEST_F(SymbolicRangeTest, SubtractSameSymbolCancels) {
+  // (n+[2..5]) - (n+[0..1]) = [1..5].
+  ValueRange R = Ops.sub(symRange(&N, 2, 5), symRange(&N, 0, 1));
+  ASSERT_TRUE(R.isRanges()) << R.str();
+  const SubRange &S = R.subRanges().front();
+  EXPECT_TRUE(S.isNumeric());
+  EXPECT_EQ(S.Lo.Offset, 1);
+  EXPECT_EQ(S.Hi.Offset, 5);
+}
+
+TEST_F(SymbolicRangeTest, AddTwoSymbolsIsUnrepresentable) {
+  EXPECT_TRUE(Ops.add(symRange(&N, 0, 1), symRange(&M, 0, 1)).isBottom());
+  EXPECT_TRUE(Ops.add(symRange(&N, 0, 1), symRange(&N, 0, 1)).isBottom());
+}
+
+TEST_F(SymbolicRangeTest, MulSymbolicOnlyByZeroOrOne) {
+  ValueRange Sym = symRange(&N, 0, 4);
+  EXPECT_EQ(Ops.mul(Sym, ValueRange::intConstant(0)).asIntConstant(), 0);
+  ValueRange ByOne = Ops.mul(Sym, ValueRange::intConstant(1));
+  ASSERT_TRUE(ByOne.isRanges());
+  EXPECT_EQ(ByOne.subRanges().front().Lo.Sym, &N);
+  EXPECT_TRUE(Ops.mul(Sym, ValueRange::intConstant(2)).isBottom());
+}
+
+TEST_F(SymbolicRangeTest, NegationOfSymbolicIsBottom) {
+  EXPECT_TRUE(Ops.neg(symRange(&N, 0, 4)).isBottom());
+}
+
+//===----------------------------------------------------------------------===//
+// Same-ancestor comparisons (the "single common ancestor" rule)
+//===----------------------------------------------------------------------===//
+
+TEST_F(SymbolicRangeTest, SameAncestorComparisonIsExact) {
+  // n+[1..5] vs n+[6..8]: always less.
+  auto P = Ops.cmpProb(CmpPred::LT, symRange(&N, 1, 5), symRange(&N, 6, 8),
+                       nullptr, nullptr);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(*P, 1.0);
+  // Overlapping offsets give a fractional probability.
+  auto P2 = Ops.cmpProb(CmpPred::LT, symRange(&N, 0, 3),
+                        symRange(&N, 2, 5), nullptr, nullptr);
+  ASSERT_TRUE(P2.has_value());
+  EXPECT_GT(*P2, 0.0);
+  EXPECT_LT(*P2, 1.0);
+}
+
+TEST_F(SymbolicRangeTest, DifferentAncestorsAreUndecidable) {
+  EXPECT_FALSE(Ops.cmpProb(CmpPred::LT, symRange(&N, 0, 3),
+                           symRange(&M, 0, 3), nullptr, nullptr)
+                   .has_value());
+}
+
+TEST_F(SymbolicRangeTest, CompareAgainstOwnAncestor) {
+  // x in [n-5 : n-1] vs n itself: always less, regardless of n's range.
+  auto P = Ops.cmpProb(CmpPred::LT, symRange(&N, -5, -1),
+                       ValueRange::bottom(), nullptr, &N);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(*P, 1.0);
+  // x in [n : n+3] vs n: never less.
+  auto P2 = Ops.cmpProb(CmpPred::LT, symRange(&N, 0, 3),
+                        ValueRange::bottom(), nullptr, &N);
+  ASSERT_TRUE(P2.has_value());
+  EXPECT_EQ(*P2, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// The anchored assumed-trip-count model
+//===----------------------------------------------------------------------===//
+
+TEST_F(SymbolicRangeTest, LoopExitTestPredictsAtAssumedCount) {
+  // i in [0 : n : 1] vs n: P(i < n) = (C-1)/C under the assumed count.
+  ValueRange I = mixedRange(0, &N, 0);
+  auto P = Ops.cmpProb(CmpPred::LT, I, ValueRange::bottom(), nullptr, &N);
+  ASSERT_TRUE(P.has_value());
+  double C = Opts.AssumedSymbolicCount;
+  EXPECT_NEAR(*P, (C - 1.0) / C, 1e-12);
+
+  // i in [0 : n-1 : 1] vs n: certain.
+  auto P2 = Ops.cmpProb(CmpPred::LT, mixedRange(0, &N, -1),
+                        ValueRange::bottom(), nullptr, &N);
+  ASSERT_TRUE(P2.has_value());
+  EXPECT_EQ(*P2, 1.0);
+
+  // Equality with the top anchor: exactly one lattice point matches.
+  auto P3 = Ops.cmpProb(CmpPred::EQ, I, ValueRange::bottom(), nullptr, &N);
+  ASSERT_TRUE(P3.has_value());
+  EXPECT_NEAR(*P3, 1.0 / C, 1e-12);
+}
+
+TEST_F(SymbolicRangeTest, MixedBoundVsConstantAnchorsAtNumericEnd) {
+  // i in [0 : n : 1] vs 0: P(i >= 0) anchored at the numeric low end = 1.
+  ValueRange I = mixedRange(0, &N, 0);
+  auto P = Ops.cmpProb(CmpPred::GE, I, ValueRange::intConstant(0), nullptr,
+                       nullptr);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(*P, 1.0);
+  // P(i < 0) = 0.
+  auto P2 = Ops.cmpProb(CmpPred::LT, I, ValueRange::intConstant(0),
+                        nullptr, nullptr);
+  ASSERT_TRUE(P2.has_value());
+  EXPECT_EQ(*P2, 0.0);
+  // P(i == 3): one of the assumed C points.
+  auto P3 = Ops.cmpProb(CmpPred::EQ, I, ValueRange::intConstant(3),
+                        nullptr, nullptr);
+  ASSERT_TRUE(P3.has_value());
+  EXPECT_NEAR(*P3, 1.0 / Opts.AssumedSymbolicCount, 1e-12);
+}
+
+//===----------------------------------------------------------------------===//
+// Assert clipping with symbolic bounds
+//===----------------------------------------------------------------------===//
+
+TEST_F(SymbolicRangeTest, AssertLessThanVariableSetsSymbolicUpperBound) {
+  ValueRange Src =
+      ValueRange::ranges({SubRange::numeric(1.0, 0, 1000, 1)}, 4);
+  ValueRange R = Ops.applyAssert(Src, CmpPred::LT, ValueRange::bottom(), &N);
+  ASSERT_TRUE(R.isRanges());
+  const SubRange &S = R.subRanges().front();
+  EXPECT_EQ(S.Hi.Sym, &N);
+  EXPECT_EQ(S.Hi.Offset, -1);
+}
+
+TEST_F(SymbolicRangeTest, AssertEqualityMakesCopy) {
+  ValueRange Src =
+      ValueRange::ranges({SubRange::numeric(1.0, 0, 1000, 1)}, 4);
+  ValueRange R = Ops.applyAssert(Src, CmpPred::EQ, ValueRange::bottom(), &N);
+  EXPECT_EQ(R.asCopyOf(), &N);
+}
+
+TEST_F(SymbolicRangeTest, AssertOnBottomKeepsSetInfoOnly) {
+  ValueRange R = Ops.applyAssert(ValueRange::bottom(), CmpPred::GE,
+                                 ValueRange::intConstant(0), nullptr);
+  ASSERT_TRUE(R.isRanges());
+  EXPECT_FALSE(R.distributionKnown());
+  EXPECT_EQ(R.subRanges().front().Lo.Offset, 0);
+  // Chained clipping narrows further.
+  ValueRange R2 =
+      Ops.applyAssert(R, CmpPred::LT, ValueRange::intConstant(100), nullptr);
+  ASSERT_TRUE(R2.isRanges());
+  EXPECT_FALSE(R2.distributionKnown());
+  EXPECT_EQ(R2.subRanges().front().Lo.Offset, 0);
+  EXPECT_EQ(R2.subRanges().front().Hi.Offset, 99);
+}
+
+TEST_F(SymbolicRangeTest, UnknownDistributionOnlyDecidesCertainty) {
+  ValueRange Clipped = Ops.applyAssert(
+      ValueRange::bottom(), CmpPred::GE, ValueRange::intConstant(0),
+      nullptr); // [0 : MAX]?
+  // Certain: every value >= -5.
+  auto P = Ops.cmpProb(CmpPred::GE, Clipped, ValueRange::intConstant(-5),
+                       nullptr, nullptr);
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(*P, 1.0);
+  // Uncertain: the fabricated uniform distribution must NOT leak out.
+  EXPECT_FALSE(Ops.cmpProb(CmpPred::LT, Clipped,
+                           ValueRange::intConstant(100), nullptr, nullptr)
+                   .has_value());
+}
+
+TEST_F(SymbolicRangeTest, SymbolicDisabledSuppressesEverything) {
+  VRPOptions Plain;
+  Plain.EnableSymbolicRanges = false;
+  RangeStats S2;
+  RangeOps PlainOps(Plain, S2);
+  EXPECT_FALSE(PlainOps
+                   .cmpProb(CmpPred::LT, symRange(&N, -5, -1),
+                            ValueRange::bottom(), nullptr, &N)
+                   .has_value());
+  ValueRange Src =
+      ValueRange::ranges({SubRange::numeric(1.0, 0, 1000, 1)}, 4);
+  ValueRange R =
+      PlainOps.applyAssert(Src, CmpPred::LT, ValueRange::bottom(), &N);
+  ASSERT_TRUE(R.isRanges());
+  EXPECT_TRUE(R.subRanges().front().Hi.isNumeric()); // No symbolic clip.
+}
+
+} // namespace

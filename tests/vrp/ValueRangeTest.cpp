@@ -1,0 +1,197 @@
+//===- tests/vrp/ValueRangeTest.cpp - Range representation tests ----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Unit tests for the weighted range representation: normalization,
+// coalescing at the subrange cap, lattice queries, point counting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vrp/RangeOps.h"
+#include "vrp/ValueRange.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+
+namespace {
+
+TEST(SubRangeTest, CountsPoints) {
+  EXPECT_EQ(SubRange::numeric(1.0, 0, 10, 1).count(), 11);
+  EXPECT_EQ(SubRange::numeric(1.0, 3, 21, 3).count(), 7);
+  EXPECT_EQ(SubRange::singleton(1.0, 5).count(), 1);
+  EXPECT_EQ(SubRange::numeric(1.0, -10, 10, 5).count(), 5);
+  // Full int64 range must not overflow.
+  EXPECT_EQ(SubRange::numeric(1.0, Int64Min, Int64Max, 1).count(),
+            Int64Max);
+}
+
+TEST(BoundTest, PlusSaturatesAndKeepsSymbol) {
+  Param P(IRType::Int, "n", 0, nullptr);
+  Bound B(&P, 3);
+  Bound Shifted = B.plus(4);
+  EXPECT_EQ(Shifted.Sym, &P);
+  EXPECT_EQ(Shifted.Offset, 7);
+  Bound Saturated = Bound(Int64Max).plus(10);
+  EXPECT_EQ(Saturated.Offset, Int64Max);
+  EXPECT_EQ(Bound(5).plus(-8).Offset, -3);
+}
+
+TEST(SubRangeTest, SymbolicCountIsUnknown) {
+  Param P(IRType::Int, "n", 0, nullptr);
+  SubRange S(1.0, Bound(0), Bound(&P, -1), 1);
+  EXPECT_FALSE(S.count().has_value());
+  EXPECT_FALSE(S.isNumeric());
+  EXPECT_TRUE(S.mentions(&P));
+}
+
+TEST(PointsBelowTest, StridedCounting) {
+  SubRange S = SubRange::numeric(1.0, 0, 20, 5); // {0,5,10,15,20}
+  EXPECT_EQ(pointsBelow(S, 0), 0);
+  EXPECT_EQ(pointsBelow(S, 1), 1);
+  EXPECT_EQ(pointsBelow(S, 5), 1);
+  EXPECT_EQ(pointsBelow(S, 6), 2);
+  EXPECT_EQ(pointsBelow(S, 20), 4);
+  EXPECT_EQ(pointsBelow(S, 21), 5);
+  EXPECT_EQ(pointsBelow(S, 1000), 5);
+  EXPECT_EQ(pointsBelow(S, -5), 0);
+}
+
+TEST(ValueRangeTest, NormalizationMergesIdenticalShapes) {
+  ValueRange R = ValueRange::ranges(
+      {SubRange::numeric(0.25, 0, 10, 1), SubRange::numeric(0.25, 0, 10, 1),
+       SubRange::singleton(0.5, 42)},
+      4);
+  ASSERT_TRUE(R.isRanges());
+  EXPECT_EQ(R.subRanges().size(), 2u);
+  EXPECT_NEAR(totalProb(R.subRanges()), 1.0, 1e-12);
+}
+
+TEST(ValueRangeTest, NormalizationRescalesProbabilities) {
+  ValueRange R = ValueRange::ranges({SubRange::singleton(0.2, 1),
+                                     SubRange::singleton(0.2, 2)},
+                                    4);
+  ASSERT_TRUE(R.isRanges());
+  EXPECT_NEAR(R.subRanges()[0].Prob, 0.5, 1e-12);
+  EXPECT_NEAR(R.subRanges()[1].Prob, 0.5, 1e-12);
+}
+
+TEST(ValueRangeTest, EmptyAndInvalidInputsBecomeBottom) {
+  EXPECT_TRUE(ValueRange::ranges({}, 4).isBottom());
+  EXPECT_TRUE(ValueRange::ranges({SubRange::numeric(1.0, 10, 0, 1)}, 4)
+                  .isBottom()); // Lo > Hi.
+  // Span not divisible by stride.
+  EXPECT_TRUE(
+      ValueRange::ranges({SubRange::numeric(1.0, 0, 10, 3)}, 4).isBottom());
+  // Zero-probability pieces drop out entirely.
+  EXPECT_TRUE(
+      ValueRange::ranges({SubRange::numeric(0.0, 0, 10, 1)}, 4).isBottom());
+}
+
+TEST(ValueRangeTest, CoalescesDownToCap) {
+  std::vector<SubRange> Subs;
+  for (int I = 0; I < 10; ++I)
+    Subs.push_back(SubRange::singleton(0.1, I * 100));
+  ValueRange R = ValueRange::ranges(Subs, 4);
+  ASSERT_TRUE(R.isRanges());
+  EXPECT_LE(R.subRanges().size(), 4u);
+  EXPECT_NEAR(totalProb(R.subRanges()), 1.0, 1e-9);
+  // Every original point stays covered after hull merging.
+  for (int I = 0; I < 10; ++I) {
+    bool Covered = false;
+    for (const SubRange &S : R.subRanges())
+      if (I * 100 >= S.Lo.Offset && I * 100 <= S.Hi.Offset &&
+          (S.Stride == 0 || (I * 100 - S.Lo.Offset) % S.Stride == 0))
+        Covered = true;
+    EXPECT_TRUE(Covered) << "lost point " << I * 100;
+  }
+}
+
+TEST(ValueRangeTest, CoalescingPrefersCheapMerges) {
+  // Two tight clusters: coalescing to 2 subranges should keep the
+  // clusters apart rather than spanning the gap.
+  ValueRange R = ValueRange::ranges(
+      {SubRange::singleton(0.25, 0), SubRange::singleton(0.25, 1),
+       SubRange::singleton(0.25, 1000), SubRange::singleton(0.25, 1001)},
+      2);
+  ASSERT_TRUE(R.isRanges());
+  ASSERT_EQ(R.subRanges().size(), 2u);
+  EXPECT_EQ(R.subRanges()[0].Hi.Offset, 1);
+  EXPECT_EQ(R.subRanges()[1].Lo.Offset, 1000);
+}
+
+TEST(ValueRangeTest, ConstantsAndCopies) {
+  EXPECT_EQ(ValueRange::intConstant(7).asIntConstant(), 7);
+  EXPECT_FALSE(ValueRange::fullIntRange().asIntConstant().has_value());
+  EXPECT_EQ(ValueRange::intConstant(7).asCopyOf(), nullptr);
+
+  Param P(IRType::Int, "y", 0, nullptr);
+  ValueRange Copy =
+      ValueRange::ranges({SubRange(1.0, Bound(&P, 0), Bound(&P, 0), 0)}, 4);
+  EXPECT_EQ(Copy.asCopyOf(), &P);
+  // An offset copy is not a plain copy.
+  ValueRange Shifted =
+      ValueRange::ranges({SubRange(1.0, Bound(&P, 2), Bound(&P, 2), 0)}, 4);
+  EXPECT_EQ(Shifted.asCopyOf(), nullptr);
+}
+
+TEST(ValueRangeTest, WeightedBool) {
+  ValueRange B = ValueRange::weightedBool(0.3);
+  ASSERT_TRUE(B.isRanges());
+  EXPECT_NEAR(*B.probNonZero(), 0.3, 1e-12);
+  EXPECT_EQ(ValueRange::weightedBool(0.0).asIntConstant(), 0);
+  EXPECT_EQ(ValueRange::weightedBool(1.0).asIntConstant(), 1);
+}
+
+TEST(ValueRangeTest, ProbNonZero) {
+  EXPECT_FALSE(ValueRange::top().probNonZero().has_value());
+  EXPECT_FALSE(ValueRange::bottom().probNonZero().has_value());
+  EXPECT_EQ(*ValueRange::intConstant(0).probNonZero(), 0.0);
+  EXPECT_EQ(*ValueRange::intConstant(3).probNonZero(), 1.0);
+  EXPECT_EQ(*ValueRange::floatConstant(0.0).probNonZero(), 0.0);
+  EXPECT_EQ(*ValueRange::floatConstant(0.5).probNonZero(), 1.0);
+
+  // {-2..2}: 4 of 5 values nonzero.
+  ValueRange R =
+      ValueRange::ranges({SubRange::numeric(1.0, -2, 2, 1)}, 4);
+  EXPECT_NEAR(*R.probNonZero(), 0.8, 1e-12);
+  // {1,3,5}: zero not on lattice.
+  ValueRange Odd = ValueRange::ranges({SubRange::numeric(1.0, 1, 5, 2)}, 4);
+  EXPECT_EQ(*Odd.probNonZero(), 1.0);
+  // {-4,-2,0,2,4}: zero on lattice.
+  ValueRange Even =
+      ValueRange::ranges({SubRange::numeric(1.0, -4, 4, 2)}, 4);
+  EXPECT_NEAR(*Even.probNonZero(), 0.8, 1e-12);
+}
+
+TEST(ValueRangeTest, EqualsTolerance) {
+  ValueRange A = ValueRange::weightedBool(0.5);
+  ValueRange B = ValueRange::weightedBool(0.5 + 1e-10);
+  ValueRange C = ValueRange::weightedBool(0.6);
+  EXPECT_TRUE(A.equals(B, 1e-6));
+  EXPECT_FALSE(A.equals(C, 1e-6));
+  EXPECT_TRUE(ValueRange::top().equals(ValueRange::top()));
+  EXPECT_FALSE(ValueRange::top().equals(ValueRange::bottom()));
+  // Distribution flag is part of equality.
+  ValueRange D = A;
+  D.setDistributionKnown(false);
+  EXPECT_FALSE(A.equals(D));
+}
+
+TEST(ValueRangeTest, Printing) {
+  EXPECT_EQ(ValueRange::top().str(), "T");
+  EXPECT_EQ(ValueRange::bottom().str(), "_|_");
+  EXPECT_EQ(ValueRange::intConstant(7).str(), "{ 1[7:7:0] }");
+  ValueRange Unknown = ValueRange::fullIntRange();
+  Unknown.setDistributionKnown(false);
+  EXPECT_EQ(Unknown.str().back(), '?');
+}
+
+TEST(ValueRangeTest, MixedSymbolBoundsAreUnrepresentable) {
+  Param P(IRType::Int, "a", 0, nullptr), Q(IRType::Int, "b", 1, nullptr);
+  EXPECT_TRUE(ValueRange::ranges(
+                  {SubRange(1.0, Bound(&P, 0), Bound(&Q, 0), 1)}, 4)
+                  .isBottom());
+}
+
+} // namespace
