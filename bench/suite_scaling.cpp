@@ -1,0 +1,156 @@
+//===- bench/suite_scaling.cpp - Parallel evaluation scaling ---------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Measures the parallel evaluation engine: wall-clock for the full
+// ProgramsInt + ProgramsNumeric suite at 1/2/4/N threads, serial-vs-
+// parallel speedup, analysis-cache hit rates, and a bitwise comparison of
+// the prediction curves against the serial run (parallelism must never
+// change results). Emits BENCH_suite_scaling.json so future PRs have a
+// perf trajectory to defend.
+//
+//===----------------------------------------------------------------------===//
+
+#include "eval/SuiteRunner.h"
+#include "support/Format.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+using namespace vrp;
+
+namespace {
+
+double wallSeconds(std::chrono::steady_clock::time_point Start,
+                   std::chrono::steady_clock::time_point End) {
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Bitwise curve comparison: the parallel engine promises results
+/// identical to the serial run, so exact double equality is required.
+bool curvesIdentical(const SuiteEvaluation &A, const SuiteEvaluation &B) {
+  if (A.Benchmarks.size() != B.Benchmarks.size())
+    return false;
+  for (size_t I = 0; I < A.Benchmarks.size(); ++I) {
+    const BenchmarkEvaluation &X = A.Benchmarks[I];
+    const BenchmarkEvaluation &Y = B.Benchmarks[I];
+    if (X.Ok != Y.Ok || X.Name != Y.Name ||
+        X.VRPRangeFraction != Y.VRPRangeFraction)
+      return false;
+  }
+  for (PredictorKind Kind : allPredictors()) {
+    const ErrorCdf &CA = A.AveragedUnweighted.at(Kind);
+    const ErrorCdf &CB = B.AveragedUnweighted.at(Kind);
+    const ErrorCdf &WA = A.AveragedWeighted.at(Kind);
+    const ErrorCdf &WB = B.AveragedWeighted.at(Kind);
+    if (CA.meanError() != CB.meanError() ||
+        WA.meanError() != WB.meanError())
+      return false;
+    for (unsigned Bucket = 0; Bucket < ErrorCdf::NumBuckets; ++Bucket)
+      if (CA.fractionWithin(Bucket) != CB.fractionWithin(Bucket) ||
+          WA.fractionWithin(Bucket) != WB.fractionWithin(Bucket))
+        return false;
+  }
+  return true;
+}
+
+struct Run {
+  unsigned Threads = 1;
+  double Seconds = 0.0;
+  double Speedup = 1.0;
+  double CacheHitRate = 0.0;
+  bool Identical = true;
+};
+
+} // namespace
+
+int main() {
+  std::vector<const BenchmarkProgram *> Programs = allPrograms();
+  unsigned HW = std::thread::hardware_concurrency();
+
+  std::cout << "==== Suite evaluation scaling ====\n\n"
+            << "programs: " << Programs.size()
+            << ", hardware_concurrency: " << HW << "\n\n";
+
+  std::vector<unsigned> ThreadCounts{1, 2, 4};
+  if (HW > 4)
+    ThreadCounts.push_back(HW);
+
+  // Warm the interned-constant pool and suite tables outside the timings.
+  (void)evaluateSuite({Programs.front()}, VRPOptions());
+
+  std::vector<Run> Runs;
+  SuiteEvaluation Serial;
+  for (unsigned Threads : ThreadCounts) {
+    VRPOptions Opts;
+    Opts.Interprocedural = true;
+    Opts.Threads = Threads;
+
+    auto Start = std::chrono::steady_clock::now();
+    SuiteEvaluation Suite = evaluateSuite(Programs, Opts);
+    auto End = std::chrono::steady_clock::now();
+
+    Run R;
+    R.Threads = Threads;
+    R.Seconds = wallSeconds(Start, End);
+    R.CacheHitRate = Suite.CacheTotals.hitRate();
+    if (Threads == 1) {
+      Serial = Suite;
+      R.Speedup = 1.0;
+      R.Identical = true;
+    } else {
+      R.Speedup = Runs.front().Seconds / R.Seconds;
+      R.Identical = curvesIdentical(Serial, Suite);
+    }
+    Runs.push_back(R);
+  }
+
+  TextTable Table(
+      {"threads", "seconds", "speedup", "cache hit rate", "curves"});
+  for (const Run &R : Runs)
+    Table.addRow({std::to_string(R.Threads), formatDouble(R.Seconds, 3),
+                  formatDouble(R.Speedup, 2) + "x",
+                  formatPercent(R.CacheHitRate),
+                  R.Identical ? "identical" : "DIVERGED"});
+  Table.print(std::cout);
+
+  bool AllIdentical = true;
+  for (const Run &R : Runs)
+    AllIdentical = AllIdentical && R.Identical;
+  std::cout << "\nparallel curves "
+            << (AllIdentical ? "match the serial run bit-for-bit"
+                             : "DIVERGED from the serial run (BUG)")
+            << "\n";
+  if (HW < 2)
+    std::cout << "note: this host exposes " << (HW == 0 ? 1 : HW)
+              << " core(s); speedups above are what the hardware allows, "
+                 "not what the engine caps at\n";
+
+  std::ofstream Json("BENCH_suite_scaling.json");
+  Json << "{\n"
+       << "  \"bench\": \"suite_scaling\",\n"
+       << "  \"suite_programs\": " << Programs.size() << ",\n"
+       << "  \"hardware_concurrency\": " << HW << ",\n"
+       << "  \"curves_identical\": " << (AllIdentical ? "true" : "false")
+       << ",\n"
+       << "  \"cache\": {\"hits\": " << Serial.CacheTotals.Hits
+       << ", \"misses\": " << Serial.CacheTotals.Misses
+       << ", \"hit_rate\": " << formatDouble(Serial.CacheTotals.hitRate(), 4)
+       << "},\n"
+       << "  \"runs\": [\n";
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const Run &R = Runs[I];
+    Json << "    {\"threads\": " << R.Threads
+         << ", \"seconds\": " << formatDouble(R.Seconds, 6)
+         << ", \"speedup_vs_serial\": " << formatDouble(R.Speedup, 4)
+         << ", \"cache_hit_rate\": " << formatDouble(R.CacheHitRate, 4)
+         << ", \"curves_identical\": " << (R.Identical ? "true" : "false")
+         << "}" << (I + 1 < Runs.size() ? "," : "") << "\n";
+  }
+  Json << "  ]\n}\n";
+  std::cout << "\nwrote BENCH_suite_scaling.json\n";
+  return AllIdentical ? 0 : 1;
+}

@@ -5,7 +5,7 @@
 // A command-line branch predictor over VL source:
 //
 //   predictor_tool [--predictor=vrp|ball-larus|90-50|random]
-//                  [--dump-ir] [--ranges] [file.vl]
+//                  [--threads=N] [--dump-ir] [--ranges] [file.vl]
 //
 // Without a file argument it analyzes a built-in demo program. For every
 // conditional branch it prints the predicted taken-probability and, for
@@ -13,9 +13,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AnalysisCache.h"
 #include "driver/Pipeline.h"
 #include "ir/IRPrinter.h"
 #include "support/Format.h"
+#include "support/ThreadPool.h"
 
 #include <fstream>
 #include <iostream>
@@ -51,7 +53,10 @@ fn main() {
 
 void printUsage() {
   std::cerr << "usage: predictor_tool [--predictor=vrp|ball-larus|90-50|"
-               "random] [--dump-ir] [--ranges] [file.vl]\n";
+               "random] [--threads=N] [--dump-ir] [--ranges] [file.vl]\n"
+               "  --threads=N   fan functions out over N workers during "
+               "propagation\n                (0 = all hardware threads; "
+               "results are identical at any N)\n";
 }
 
 } // namespace
@@ -59,13 +64,34 @@ void printUsage() {
 int main(int argc, char **argv) {
   std::string PredictorName = "vrp";
   bool DumpIR = false, DumpRanges = false;
+  unsigned Threads = 1;
   std::string FileName;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--predictor=", 0) == 0)
       PredictorName = Arg.substr(12);
-    else if (Arg == "--dump-ir")
+    else if (Arg.rfind("--threads=", 0) == 0) {
+      // Digits only: stoul would accept "-2" (wrapping to a huge unsigned)
+      // and "12abc" (silently dropping the suffix).
+      std::string V = Arg.substr(10);
+      bool Valid =
+          !V.empty() && V.find_first_not_of("0123456789") == std::string::npos;
+      unsigned long Parsed = 0;
+      if (Valid) {
+        try {
+          Parsed = std::stoul(V);
+        } catch (...) {
+          Valid = false;
+        }
+      }
+      if (!Valid || Parsed > ThreadPool::MaxThreads) {
+        std::cerr << "invalid --threads value: " << Arg << " (expected 0-"
+                  << ThreadPool::MaxThreads << ")\n";
+        return 1;
+      }
+      Threads = static_cast<unsigned>(Parsed);
+    } else if (Arg == "--dump-ir")
       DumpIR = true;
     else if (Arg == "--ranges")
       DumpRanges = true;
@@ -99,6 +125,7 @@ int main(int argc, char **argv) {
   DiagnosticEngine Diags;
   VRPOptions Opts;
   Opts.Interprocedural = true;
+  Opts.Threads = Threads;
   auto Compiled = compileToSSA(Source, Diags, Opts);
   if (!Compiled) {
     Diags.printAll(std::cerr);
@@ -109,7 +136,8 @@ int main(int argc, char **argv) {
   if (DumpIR)
     printModule(M, std::cout);
 
-  ModuleVRPResult VRP = runModuleVRP(M, Opts);
+  AnalysisCache Cache;
+  ModuleVRPResult VRP = runModuleVRP(M, Opts, &Cache);
 
   for (const auto &F : M.functions()) {
     const FunctionVRPResult *FR = VRP.forFunction(F.get());
@@ -123,7 +151,7 @@ int main(int argc, char **argv) {
     std::cout << "fn @" << F->name() << ":\n";
     TextTable Table({"line", "branch", "P(taken)", "source"});
 
-    FinalPredictionMap Final = finalizePredictions(*F, *FR);
+    FinalPredictionMap Final = finalizePredictions(*F, *FR, &Cache);
     BranchProbMap Alt;
     if (PredictorName == "ball-larus")
       Alt = predictBallLarus(*F);

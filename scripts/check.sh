@@ -6,3 +6,10 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 for b in build/bench/*; do "$b"; done
+
+# Parallel-engine checks under ThreadSanitizer: a separate build dir so
+# instrumented objects never mix with the main build. Covers the worker
+# pool itself and the Threads=1-vs-Threads=4 determinism contract.
+cmake -B build-tsan -G Ninja -DVRP_SANITIZE=thread
+cmake --build build-tsan --target SupportTest ParallelDeterminismTest
+ctest --test-dir build-tsan --output-on-failure -R 'ThreadPool|ParallelDeterminism'

@@ -6,6 +6,7 @@
 
 #include "driver/Pipeline.h"
 
+#include "analysis/AnalysisCache.h"
 #include "ir/Verifier.h"
 #include "irgen/IRGen.h"
 #include "lang/Parser.h"
@@ -43,9 +44,29 @@ vrp::compileToSSA(std::string_view Source, DiagnosticEngine &Diags,
 }
 
 FinalPredictionMap vrp::finalizePredictions(const Function &F,
-                                            const FunctionVRPResult &VRP) {
+                                            const FunctionVRPResult &VRP,
+                                            AnalysisCache *Cache) {
   FinalPredictionMap Result;
-  BranchProbMap Fallback = predictBallLarus(F);
+  // The heuristic pass (dominators, loops, postdominators, DFS, eight
+  // heuristics) only runs if some branch actually needs the fallback.
+  const BranchProbMap *Fallback = nullptr;
+  BranchProbMap Local;
+  auto fallbackProbs = [&]() -> const BranchProbMap & {
+    if (!Fallback) {
+      if (Cache)
+        Fallback = &Cache->branchProbs(
+            F, [](const Function &Fn, const LoopInfo &LI,
+                  const PostDominatorTree &PDT, const DFSInfo &DFS) {
+              return predictBallLarus(Fn, LI, PDT, DFS);
+            });
+      else {
+        Local = predictBallLarus(F);
+        Fallback = &Local;
+      }
+    }
+    return *Fallback;
+  };
+
   for (const auto &[Branch, Pred] : VRP.Branches) {
     FinalPrediction Final;
     if (!Pred.Reachable) {
@@ -55,8 +76,9 @@ FinalPredictionMap vrp::finalizePredictions(const Function &F,
       Final.ProbTrue = Pred.ProbTrue;
       Final.Source = PredictionSource::Range;
     } else {
-      auto It = Fallback.find(Branch);
-      Final.ProbTrue = It == Fallback.end() ? 0.5 : It->second;
+      const BranchProbMap &Probs = fallbackProbs();
+      auto It = Probs.find(Branch);
+      Final.ProbTrue = It == Probs.end() ? 0.5 : It->second;
       Final.Source = PredictionSource::Heuristic;
     }
     Result[Branch] = Final;

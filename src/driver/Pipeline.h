@@ -65,11 +65,20 @@ struct FinalPrediction {
 
 using FinalPredictionMap = std::map<const CondBrInst *, FinalPrediction>;
 
+class AnalysisCache;
+
 /// Combines VRP results with the Ball–Larus heuristic fallback exactly as
 /// the paper's evaluation does: range-predicted branches keep their range
 /// probability; ⊥ branches take the combined-heuristic probability.
+///
+/// The heuristic pass is computed lazily — when every branch was range
+/// predicted (common in the numeric suite), it never runs at all. With a
+/// \p Cache, the fallback map and its CFG analyses are additionally
+/// memoized per function, so repeated finalization (one call per predictor
+/// per function in the evaluation harness) computes them once.
 FinalPredictionMap finalizePredictions(const Function &F,
-                                       const FunctionVRPResult &VRP);
+                                       const FunctionVRPResult &VRP,
+                                       AnalysisCache *Cache = nullptr);
 
 /// Fraction of branches in \p Predictions predicted from ranges.
 double rangePredictedFraction(const FinalPredictionMap &Predictions);

@@ -6,6 +6,7 @@
 
 #include "eval/ErrorMetrics.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -25,6 +26,17 @@ vrp::computeErrors(const BranchProbMap &Pred, const EdgeProfile &Reference) {
     Samples.push_back(
         {std::abs(P - Actual) * 100.0, Counts.Total});
   }
+  // The profile map is keyed by branch pointer, so its iteration order
+  // follows heap addresses and varies run to run. Canonicalize by value:
+  // ErrorCdf accumulates ErrorSum in sample order, and floating-point
+  // addition is not associative, so a stable order is what makes repeated
+  // evaluations (and the parallel engine vs. the serial one) bitwise
+  // reproducible. Tie order is irrelevant — equal terms sum identically.
+  std::sort(Samples.begin(), Samples.end(),
+            [](const BranchErrorSample &A, const BranchErrorSample &B) {
+              return A.ErrorPP != B.ErrorPP ? A.ErrorPP < B.ErrorPP
+                                            : A.Weight < B.Weight;
+            });
   return Samples;
 }
 

@@ -7,6 +7,7 @@
 #include "eval/SuiteRunner.h"
 
 #include "profile/ProfilePredictor.h"
+#include "support/ThreadPool.h"
 
 using namespace vrp;
 
@@ -38,15 +39,16 @@ namespace {
 
 /// Collects VRP+fallback probabilities over a whole module.
 BranchProbMap vrpModulePredictions(Module &M, const VRPOptions &Opts,
-                                   double *RangeFraction) {
-  ModuleVRPResult R = runModuleVRP(M, Opts);
+                                   double *RangeFraction,
+                                   AnalysisCache *Cache = nullptr) {
+  ModuleVRPResult R = runModuleVRP(M, Opts, Cache);
   BranchProbMap Probs;
   unsigned Total = 0, FromRanges = 0;
   for (const auto &F : M.functions()) {
     const FunctionVRPResult *FR = R.forFunction(F.get());
     if (!FR)
       continue;
-    FinalPredictionMap Final = finalizePredictions(*F, *FR);
+    FinalPredictionMap Final = finalizePredictions(*F, *FR, Cache);
     for (const auto &[Branch, Pred] : Final) {
       Probs[Branch] = Pred.ProbTrue;
       ++Total;
@@ -65,7 +67,8 @@ BranchProbMap vrpModulePredictions(Module &M, const VRPOptions &Opts,
 BranchProbMap vrp::predictModule(PredictorKind Kind, Module &M,
                                  const EdgeProfile &TrainingProfile,
                                  const VRPOptions &Opts,
-                                 uint64_t RandomSeed) {
+                                 uint64_t RandomSeed,
+                                 AnalysisCache *Cache) {
   BranchProbMap Probs;
   switch (Kind) {
   case PredictorKind::Profiling:
@@ -76,18 +79,27 @@ BranchProbMap vrp::predictModule(PredictorKind Kind, Module &M,
     return Probs;
   case PredictorKind::BallLarus:
     for (const auto &F : M.functions()) {
-      BranchProbMap Per = predictBallLarus(*F);
-      Probs.insert(Per.begin(), Per.end());
+      if (Cache) {
+        const BranchProbMap &Per = Cache->branchProbs(
+            *F, [](const Function &Fn, const LoopInfo &LI,
+                   const PostDominatorTree &PDT, const DFSInfo &DFS) {
+              return predictBallLarus(Fn, LI, PDT, DFS);
+            });
+        Probs.insert(Per.begin(), Per.end());
+      } else {
+        BranchProbMap Per = predictBallLarus(*F);
+        Probs.insert(Per.begin(), Per.end());
+      }
     }
     return Probs;
   case PredictorKind::VRP:
     // Uses Opts as configured (the ablation bench relies on this); the
     // default configuration has symbolic ranges enabled.
-    return vrpModulePredictions(M, Opts, nullptr);
+    return vrpModulePredictions(M, Opts, nullptr, Cache);
   case PredictorKind::VRPNumeric: {
     VRPOptions Numeric = Opts;
     Numeric.EnableSymbolicRanges = false;
-    return vrpModulePredictions(M, Numeric, nullptr);
+    return vrpModulePredictions(M, Numeric, nullptr, Cache);
   }
   case PredictorKind::NinetyFifty:
     for (const auto &F : M.functions()) {
@@ -154,13 +166,23 @@ BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
         ++Eval.StaticBranches;
   Eval.ExecutedBranches = RefProfile.counts().size();
 
-  // Range-predicted share (reported for the §5 discussion).
-  vrpModulePredictions(M, Opts, &Eval.VRPRangeFraction);
+  // One analysis memo spans the whole evaluation of this module: the
+  // Ball–Larus fallback and the CFG analyses behind it are computed once
+  // per function here instead of once per predictor per function.
+  AnalysisCache Cache;
+
+  // Full VRP propagation runs exactly once; the same run yields both the
+  // range-predicted share (reported for the §5 discussion) and the
+  // PredictorKind::VRP probability map scored below.
+  BranchProbMap VRPProbs =
+      vrpModulePredictions(M, Opts, &Eval.VRPRangeFraction, &Cache);
 
   uint64_t Seed = 0xC0FFEE ^ std::hash<std::string>{}(Program.Name);
   for (PredictorKind Kind : allPredictors()) {
     BranchProbMap Probs =
-        predictModule(Kind, M, TrainProfile, Opts, Seed);
+        Kind == PredictorKind::VRP
+            ? VRPProbs
+            : predictModule(Kind, M, TrainProfile, Opts, Seed, &Cache);
     std::vector<BranchErrorSample> Samples =
         computeErrors(Probs, RefProfile);
     ErrorCdf Unweighted, Weighted;
@@ -168,6 +190,7 @@ BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
     Weighted.addSamples(Samples, /*Weighted=*/true);
     Eval.Curves[Kind] = {Unweighted, Weighted};
   }
+  Eval.Cache = Cache.stats();
   Eval.Ok = true;
   return Eval;
 }
@@ -176,8 +199,27 @@ SuiteEvaluation vrp::evaluateSuite(
     const std::vector<const BenchmarkProgram *> &Programs,
     const VRPOptions &Opts) {
   SuiteEvaluation Suite;
-  for (const BenchmarkProgram *P : Programs)
-    Suite.Benchmarks.push_back(evaluateProgram(*P, Opts));
+  unsigned Threads = ThreadPool::resolveThreadCount(Opts.Threads);
+  if (Threads > 1 && Programs.size() > 1) {
+    // Benchmarks fan out across the pool (each evaluateProgram compiles,
+    // profiles and predicts its own module — fully independent). The
+    // per-program evaluation runs serially inside each worker: the outer
+    // fan-out already saturates the pool, and ThreadPool jobs must not
+    // nest. parallelMap writes slot I for program I, so the result order
+    // (and every curve) is identical to the serial loop.
+    VRPOptions Inner = Opts;
+    Inner.Threads = 1;
+    ThreadPool Pool(Threads);
+    Suite.Benchmarks = Pool.parallelMap<BenchmarkEvaluation>(
+        Programs.size(),
+        [&](size_t I) { return evaluateProgram(*Programs[I], Inner); });
+  } else {
+    for (const BenchmarkProgram *P : Programs)
+      Suite.Benchmarks.push_back(evaluateProgram(*P, Opts));
+  }
+
+  for (const BenchmarkEvaluation &B : Suite.Benchmarks)
+    Suite.CacheTotals += B.Cache;
 
   for (PredictorKind Kind : allPredictors()) {
     std::vector<ErrorCdf> Unweighted, Weighted;

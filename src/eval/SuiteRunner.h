@@ -17,6 +17,7 @@
 #ifndef VRP_EVAL_SUITERUNNER_H
 #define VRP_EVAL_SUITERUNNER_H
 
+#include "analysis/AnalysisCache.h"
 #include "benchsuite/Programs.h"
 #include "driver/Pipeline.h"
 #include "eval/ErrorMetrics.h"
@@ -52,6 +53,8 @@ struct BenchmarkEvaluation {
   unsigned ExecutedBranches = 0; ///< Executed by the reference run.
   double VRPRangeFraction = 0.0; ///< Share of branches VRP predicted from
                                  ///< ranges (rest fell back to heuristics).
+  /// Analysis-cache efficiency over this benchmark's evaluation.
+  AnalysisCacheStats Cache;
   /// Per predictor: {unweighted CDF, weighted CDF}.
   std::map<PredictorKind, std::pair<ErrorCdf, ErrorCdf>> Curves;
 };
@@ -61,17 +64,25 @@ struct SuiteEvaluation {
   std::vector<BenchmarkEvaluation> Benchmarks;
   std::map<PredictorKind, ErrorCdf> AveragedUnweighted;
   std::map<PredictorKind, ErrorCdf> AveragedWeighted;
+  /// Summed analysis-cache counters across benchmarks.
+  AnalysisCacheStats CacheTotals;
 };
 
 /// Computes module-wide branch probabilities for one predictor.
 /// For the VRP kinds, \p Opts controls the engine (symbolic ranges are
 /// forced off for VRPNumeric) and predictions include the heuristic
-/// fallback, exactly as in the paper's experiment.
+/// fallback, exactly as in the paper's experiment. \p Cache optionally
+/// memoizes per-function CFG analyses and the Ball–Larus map across
+/// predictors evaluating the same module.
 BranchProbMap predictModule(PredictorKind Kind, Module &M,
                             const EdgeProfile &TrainingProfile,
-                            const VRPOptions &Opts, uint64_t RandomSeed);
+                            const VRPOptions &Opts, uint64_t RandomSeed,
+                            AnalysisCache *Cache = nullptr);
 
-/// Runs the full §5 protocol over \p Programs.
+/// Runs the full §5 protocol over \p Programs. With Opts.Threads > 1 (or
+/// 0 = auto), benchmarks are fanned out across a worker pool — each
+/// evaluateProgram is independent — and results are merged in benchmark
+/// order, so the outcome is identical to a serial run at any thread count.
 SuiteEvaluation evaluateSuite(
     const std::vector<const BenchmarkProgram *> &Programs,
     const VRPOptions &Opts);

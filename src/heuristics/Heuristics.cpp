@@ -236,12 +236,18 @@ std::optional<double> guardHeuristic(const BranchContext &C, double Rate) {
 
 BranchProbMap vrp::predictBallLarus(const Function &F,
                                     const BallLarusRates &Rates) {
-  BranchProbMap Result;
   DominatorTree DT(F);
   LoopInfo LI(F, DT);
   PostDominatorTree PDT(F);
   DFSInfo DFS(F);
+  return predictBallLarus(F, LI, PDT, DFS, Rates);
+}
 
+BranchProbMap vrp::predictBallLarus(const Function &F, const LoopInfo &LI,
+                                    const PostDominatorTree &PDT,
+                                    const DFSInfo &DFS,
+                                    const BallLarusRates &Rates) {
+  BranchProbMap Result;
   for (const auto &B : F.blocks()) {
     const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator());
     if (!CBr)

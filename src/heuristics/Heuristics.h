@@ -20,6 +20,7 @@
 #ifndef VRP_HEURISTICS_HEURISTICS_H
 #define VRP_HEURISTICS_HEURISTICS_H
 
+#include "analysis/DFS.h"
 #include "analysis/Dominators.h"
 #include "analysis/LoopInfo.h"
 #include "ir/Function.h"
@@ -50,8 +51,15 @@ struct BallLarusRates {
 };
 
 /// Ball–Larus heuristics combined with Dempster–Shafer into a single
-/// probability per branch.
+/// probability per branch. Computes the CFG analyses itself.
 BranchProbMap predictBallLarus(const Function &F,
+                               const BallLarusRates &Rates = {});
+
+/// Overload for callers that already hold the CFG analyses (e.g. an
+/// analysis/AnalysisCache.h memo), so they are not recomputed per call.
+BranchProbMap predictBallLarus(const Function &F, const LoopInfo &LI,
+                               const PostDominatorTree &PDT,
+                               const DFSInfo &DFS,
                                const BallLarusRates &Rates = {});
 
 /// Uniform random probabilities (deterministic under \p Seed).

@@ -6,8 +6,10 @@
 
 #include "interproc/InterproceduralVRP.h"
 
+#include "analysis/AnalysisCache.h"
 #include "analysis/CallGraph.h"
 #include "interproc/FunctionCloning.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 
@@ -27,7 +29,9 @@ ValueRange sanitizeForCallee(const ValueRange &VR) {
 /// refined over rounds.
 class InterprocDriver {
 public:
-  InterprocDriver(Module &M, const VRPOptions &Opts) : M(M), Opts(Opts) {}
+  InterprocDriver(Module &M, const VRPOptions &Opts, AnalysisCache *Cache,
+                  ThreadPool *Pool)
+      : M(M), Opts(Opts), Cache(Cache), Pool(Pool) {}
 
   ModuleVRPResult run();
 
@@ -38,6 +42,8 @@ private:
 
   Module &M;
   const VRPOptions &Opts;
+  AnalysisCache *Cache; ///< May be null (no memoization).
+  ThreadPool *Pool;     ///< May be null (serial per-function phase).
   /// Param value -> merged jump-function range.
   std::map<const Param *, ValueRange> ParamTable;
   /// Function -> merged return range.
@@ -56,13 +62,32 @@ void InterprocDriver::analyzeAll(ModuleVRPResult &Result) {
     auto It = ReturnTable.find(Call->callee());
     return It == ReturnTable.end() ? ValueRange::bottom() : It->second;
   };
+  Ctx.Cache = Cache;
+
+  // The intraprocedural phase: every function is independent given the
+  // (frozen-for-this-round) Param/Return tables, so it fans out across the
+  // pool. Results are merged in function order afterwards, making the
+  // outcome identical to the serial loop.
+  std::vector<const Function *> Fns;
+  Fns.reserve(M.functions().size());
+  for (const auto &F : M.functions())
+    Fns.push_back(F.get());
+
+  std::vector<FunctionVRPResult> Results;
+  if (Pool && Pool->threadCount() > 1) {
+    Results = Pool->parallelMap<FunctionVRPResult>(
+        Fns.size(), [&](size_t I) { return propagateRanges(*Fns[I], Opts, Ctx); });
+  } else {
+    Results.reserve(Fns.size());
+    for (const Function *F : Fns)
+      Results.push_back(propagateRanges(*F, Opts, Ctx));
+  }
 
   Result.PerFunction.clear();
   Result.Total = RangeStats();
-  for (const auto &F : M.functions()) {
-    FunctionVRPResult R = propagateRanges(*F, Opts, Ctx);
-    Result.Total += R.Stats;
-    Result.PerFunction.emplace(F.get(), std::move(R));
+  for (size_t I = 0; I < Fns.size(); ++I) {
+    Result.Total += Results[I].Stats;
+    Result.PerFunction.emplace(Fns[I], std::move(Results[I]));
   }
 }
 
@@ -189,6 +214,9 @@ unsigned InterprocDriver::cloneDivergentCallees(ModuleVRPResult &Result) {
       // Retarget this call site. CallInst stores the callee outside the
       // operand list, so a targeted mutation is required.
       const_cast<CallInst *>(Job.Sites[S])->setCallee(Clone);
+      // The caller's body changed; its memoized analyses are stale.
+      if (Cache)
+        Cache->invalidate(Job.Sites[S]->function());
       ++NumClones;
     }
   }
@@ -219,12 +247,19 @@ ModuleVRPResult InterprocDriver::run() {
   return Result;
 }
 
-ModuleVRPResult vrp::runModuleVRP(Module &M, const VRPOptions &Opts) {
-  return InterprocDriver(M, Opts).run();
+ModuleVRPResult vrp::runModuleVRP(Module &M, const VRPOptions &Opts,
+                                  AnalysisCache *Cache) {
+  unsigned Threads = ThreadPool::resolveThreadCount(Opts.Threads);
+  if (Threads > 1 && M.functions().size() > 1) {
+    ThreadPool Pool(Threads);
+    return InterprocDriver(M, Opts, Cache, &Pool).run();
+  }
+  return InterprocDriver(M, Opts, Cache, nullptr).run();
 }
 
-ModuleVRPResult vrp::runModuleVRP(const Module &M, const VRPOptions &Opts) {
+ModuleVRPResult vrp::runModuleVRP(const Module &M, const VRPOptions &Opts,
+                                  AnalysisCache *Cache) {
   assert(!(Opts.Interprocedural && Opts.EnableCloning) &&
          "cloning mutates the module; use the non-const overload");
-  return InterprocDriver(const_cast<Module &>(M), Opts).run();
+  return runModuleVRP(const_cast<Module &>(M), Opts, Cache);
 }

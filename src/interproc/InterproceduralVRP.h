@@ -39,15 +39,28 @@ struct ModuleVRPResult {
   }
 };
 
+class AnalysisCache;
+
 /// Runs VRP over every function of \p M. With Opts.Interprocedural set,
 /// parameter and return ranges flow across call edges; otherwise each
 /// function is analyzed with ⊥ context. With Opts.EnableCloning set (and
 /// interprocedural analysis on), divergent-context callees are cloned
 /// first — note this MUTATES the module.
-ModuleVRPResult runModuleVRP(Module &M, const VRPOptions &Opts);
+///
+/// With Opts.Threads > 1 (or 0 = auto) the per-function intraprocedural
+/// phase fans functions out across a worker pool; the interprocedural
+/// jump/return-table fixup stays on the coordinating thread and results
+/// are merged in function order, so output is identical to a serial run.
+///
+/// \p Cache optionally memoizes per-function CFG analyses across rounds
+/// and across predictors (see analysis/AnalysisCache.h). Cloning
+/// invalidates the entries of callers whose call sites were retargeted.
+ModuleVRPResult runModuleVRP(Module &M, const VRPOptions &Opts,
+                             AnalysisCache *Cache = nullptr);
 
 /// Const overload for intraprocedural-only analysis (never mutates).
-ModuleVRPResult runModuleVRP(const Module &M, const VRPOptions &Opts);
+ModuleVRPResult runModuleVRP(const Module &M, const VRPOptions &Opts,
+                             AnalysisCache *Cache = nullptr);
 
 } // namespace vrp
 

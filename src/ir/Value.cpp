@@ -9,18 +9,63 @@
 #include <cassert>
 #include <map>
 #include <memory>
+#include <mutex>
 
 using namespace vrp;
 
-void Value::removeUse(Instruction *User, unsigned Index) {
-  for (size_t I = 0; I < Uses.size(); ++I) {
-    if (Uses[I].User == User && Uses[I].OperandIndex == Index) {
-      Uses[I] = Uses.back();
-      Uses.pop_back();
-      return;
-    }
+// Constants are interned process-wide (see getInt/getFloat), so both the
+// pools and every constant's use list are shared between all modules in
+// the process. The parallel evaluation engine builds and destroys modules
+// concurrently; this lock keeps that shared state coherent. Non-constant
+// values are owned by exactly one module and stay lock-free.
+static std::mutex &sharedConstantMutex() {
+  static std::mutex M;
+  return M;
+}
+
+void Value::addUse(Instruction *User, unsigned Index) {
+  if (TheKind == Kind::Constant) {
+    std::lock_guard<std::mutex> Lock(sharedConstantMutex());
+    Uses.push_back({User, Index});
+    return;
   }
-  assert(false && "use not found");
+  Uses.push_back({User, Index});
+}
+
+void Value::removeUse(Instruction *User, unsigned Index) {
+  auto erase = [&] {
+    for (size_t I = 0; I < Uses.size(); ++I) {
+      if (Uses[I].User == User && Uses[I].OperandIndex == Index) {
+        Uses[I] = Uses.back();
+        Uses.pop_back();
+        return true;
+      }
+    }
+    return false;
+  };
+  bool Found;
+  if (TheKind == Kind::Constant) {
+    std::lock_guard<std::mutex> Lock(sharedConstantMutex());
+    Found = erase();
+  } else {
+    Found = erase();
+  }
+  assert(Found && "use not found");
+  (void)Found;
+}
+
+bool Value::hasUse(const Instruction *User, unsigned Index) const {
+  auto scan = [&] {
+    for (const Use &U : Uses)
+      if (U.User == User && U.OperandIndex == Index)
+        return true;
+    return false;
+  };
+  if (TheKind == Kind::Constant) {
+    std::lock_guard<std::mutex> Lock(sharedConstantMutex());
+    return scan();
+  }
+  return scan();
 }
 
 std::string Constant::displayName() const {
@@ -32,9 +77,12 @@ std::string Constant::displayName() const {
 
 // Constants are interned process-wide so pointer equality means value
 // equality. The pools live in function-local statics (lazy, no static
-// constructor) and are intentionally never freed.
+// constructor) and are intentionally never freed. std::map never
+// invalidates element addresses, so returned pointers stay stable while
+// the lock protects concurrent insertion.
 Constant *Constant::getInt(int64_t V) {
   static std::map<int64_t, std::unique_ptr<Constant>> Pool;
+  std::lock_guard<std::mutex> Lock(sharedConstantMutex());
   auto &Slot = Pool[V];
   if (!Slot)
     Slot.reset(new Constant(V));
@@ -43,6 +91,7 @@ Constant *Constant::getInt(int64_t V) {
 
 Constant *Constant::getFloat(double V) {
   static std::map<double, std::unique_ptr<Constant>> Pool;
+  std::lock_guard<std::mutex> Lock(sharedConstantMutex());
   auto &Slot = Pool[V];
   if (!Slot)
     Slot.reset(new Constant(V));

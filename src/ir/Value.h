@@ -51,15 +51,21 @@ public:
   bool hasUses() const { return !Uses.empty(); }
   unsigned numUses() const { return Uses.size(); }
 
+  /// Whether (\p User, \p Index) appears in the use list. Unlike iterating
+  /// uses() directly, this is safe to call on interned Constants while
+  /// other threads build or destroy modules: constants are shared
+  /// process-wide, so their use lists are guarded by a lock (Value.cpp).
+  bool hasUse(const Instruction *User, unsigned Index) const;
+
   /// A short printable name, e.g. "%t12", "7", "arg n". Computed by
   /// subclasses.
   virtual std::string displayName() const = 0;
 
 private:
   friend class Instruction;
-  void addUse(Instruction *User, unsigned Index) {
-    Uses.push_back({User, Index});
-  }
+  // Out of line: use-list edits on interned Constants take a process-wide
+  // lock so modules can be built and destroyed concurrently.
+  void addUse(Instruction *User, unsigned Index);
   void removeUse(Instruction *User, unsigned Index);
 
   const Kind TheKind;

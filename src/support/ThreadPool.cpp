@@ -1,0 +1,104 @@
+//===- support/ThreadPool.cpp - Fixed worker pool --------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace vrp;
+
+unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
+ThreadPool::ThreadPool(unsigned ThreadCount) {
+  NumThreads =
+      ThreadCount == 0 ? 1 : ThreadCount > MaxThreads ? MaxThreads : ThreadCount;
+  Workers.reserve(NumThreads - 1);
+  for (unsigned I = 1; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  uint64_t LastSeq = 0;
+  while (true) {
+    std::shared_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkCv.wait(Lock, [&] {
+        return Stopping || (Current && Current->Seq != LastSeq);
+      });
+      if (Stopping)
+        return;
+      J = Current;
+      LastSeq = J->Seq;
+    }
+    runJob(*J);
+  }
+}
+
+void ThreadPool::runJob(Job &J) {
+  while (true) {
+    size_t I = J.Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= J.N)
+      return;
+    try {
+      (*J.Body)(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(M);
+      if (!J.Error)
+        J.Error = std::current_exception();
+    }
+    if (J.Done.fetch_add(1, std::memory_order_acq_rel) + 1 == J.N) {
+      std::lock_guard<std::mutex> Lock(M);
+      DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (Workers.empty()) {
+    // Serial fallback: no shared state, no locks.
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  auto J = std::make_shared<Job>();
+  J->Body = &Body;
+  J->N = N;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    J->Seq = ++JobSeq;
+    Current = J;
+  }
+  WorkCv.notify_all();
+
+  runJob(*J); // The caller is participant number one.
+
+  std::unique_lock<std::mutex> Lock(M);
+  DoneCv.wait(Lock, [&] {
+    return J->Done.load(std::memory_order_acquire) == J->N;
+  });
+  if (Current == J)
+    Current.reset();
+  if (J->Error)
+    std::rethrow_exception(J->Error);
+}

@@ -61,6 +61,13 @@ struct VRPOptions {
   /// Clone procedures whose call-site contexts diverge (§3.7).
   bool EnableCloning = false;
 
+  /// Worker threads for the evaluation fan-outs (evaluateSuite across
+  /// benchmarks, runModuleVRP across functions). 1 = serial; 0 = auto
+  /// (hardware_concurrency, degrading to serial when unknown). Results
+  /// are byte-identical at every setting — threading only changes
+  /// wall-clock time (see support/ThreadPool.h).
+  unsigned Threads = 1;
+
   /// Probability tolerance for fixpoint detection. Probabilities feed
   /// back through loop edges with geometric convergence; demanding more
   /// precision than this multiplies evaluation counts without measurably

@@ -6,8 +6,11 @@
 
 #include "vrp/Propagation.h"
 
+#include "analysis/AnalysisCache.h"
 #include "analysis/DFS.h"
 #include "vrp/Derivation.h"
+
+#include <memory>
 
 #include <algorithm>
 #include <array>
@@ -57,7 +60,9 @@ class Engine {
 public:
   Engine(const Function &F, const VRPOptions &Opts,
          const PropagationContext &Ctx)
-      : F(F), Opts(Opts), Ctx(Ctx), Ops(Opts, Result.Stats), DFS(F) {}
+      : F(F), Opts(Opts), Ctx(Ctx), Ops(Opts, Result.Stats),
+        OwnedDFS(Ctx.Cache ? nullptr : std::make_unique<DFSInfo>(F)),
+        DFS(Ctx.Cache ? Ctx.Cache->dfs(F) : *OwnedDFS) {}
 
   FunctionVRPResult run();
 
@@ -154,7 +159,9 @@ private:
   const PropagationContext &Ctx;
   FunctionVRPResult Result;
   RangeOps Ops;
-  DFSInfo DFS;
+  /// Locally computed DFS when no cache is supplied; see the ctor.
+  std::unique_ptr<DFSInfo> OwnedDFS;
+  const DFSInfo &DFS;
 
   std::deque<std::pair<const BasicBlock *, const BasicBlock *>> FlowWorkList;
   std::deque<const Instruction *> SSAWorkList;

@@ -55,12 +55,22 @@ struct FunctionVRPResult {
   double edgeFraction(const BasicBlock *From, const BasicBlock *To) const;
 };
 
+class AnalysisCache;
+
 /// Context hooks for interprocedural analysis (§3.7): parameter ranges via
 /// jump functions and call-result ranges via return functions. The
 /// intraprocedural defaults return ⊥.
 struct PropagationContext {
   std::function<ValueRange(const Param *)> ParamRange;
   std::function<ValueRange(const CallInst *)> CallResultRange;
+
+  /// Optional per-function analysis memo. When set, the engine reads its
+  /// DFS numbering from the cache instead of recomputing it per run —
+  /// interprocedural analysis re-propagates every function each round, so
+  /// this saves one CFG walk per function per round. Must outlive the
+  /// propagation call; must be thread-safe when functions are fanned out
+  /// in parallel (analysis/AnalysisCache.h is).
+  AnalysisCache *Cache = nullptr;
 
   static PropagationContext intraprocedural();
 };

@@ -1,0 +1,193 @@
+//===- tests/analysis/AnalysisCacheTest.cpp - Analysis memo tests ---------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The per-function analysis cache: memoization identity, hit/miss
+// accounting, explicit invalidation, and the FunctionCloning path where
+// the interprocedural driver must invalidate callers whose bodies it
+// rewrites.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AnalysisCache.h"
+#include "driver/Pipeline.h"
+#include "heuristics/Heuristics.h"
+#include "ir/CFGUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+
+namespace {
+
+/// entry -> {a, b} -> join, branching on x > 0.
+struct Diamond {
+  Module M;
+  Function *F;
+
+  Diamond(const char *Name = "f") {
+    F = M.makeFunction(Name, IRType::Int);
+    Param *X = F->addParam(IRType::Int, "x");
+    BasicBlock *Entry = F->makeBlock("entry");
+    BasicBlock *A = F->makeBlock("a");
+    BasicBlock *B = F->makeBlock("b");
+    BasicBlock *Join = F->makeBlock("join");
+    auto *Cmp = cast<CmpInst>(Entry->append(
+        std::make_unique<CmpInst>(CmpPred::GT, X, Constant::getInt(0))));
+    createCondBr(Entry, Cmp, A, B);
+    createBr(A, Join);
+    createBr(B, Join);
+    createRet(Join, Constant::getInt(0));
+  }
+};
+
+TEST(AnalysisCacheTest, MemoizesEveryAnalysisPerFunction) {
+  Diamond D;
+  AnalysisCache Cache;
+
+  const DominatorTree &DT1 = Cache.dominators(*D.F);
+  const DominatorTree &DT2 = Cache.dominators(*D.F);
+  EXPECT_EQ(&DT1, &DT2) << "second lookup must return the memoized tree";
+
+  const PostDominatorTree &PDT1 = Cache.postDominators(*D.F);
+  EXPECT_EQ(&PDT1, &Cache.postDominators(*D.F));
+  const LoopInfo &LI1 = Cache.loopInfo(*D.F);
+  EXPECT_EQ(&LI1, &Cache.loopInfo(*D.F));
+  const DFSInfo &DFS1 = Cache.dfs(*D.F);
+  EXPECT_EQ(&DFS1, &Cache.dfs(*D.F));
+
+  AnalysisCacheStats S = Cache.stats();
+  EXPECT_GT(S.Hits, 0u);
+  EXPECT_GT(S.Misses, 0u);
+  EXPECT_EQ(S.Invalidations, 0u);
+  EXPECT_GT(S.hitRate(), 0.0);
+  EXPECT_LT(S.hitRate(), 1.0);
+}
+
+TEST(AnalysisCacheTest, BranchProbsComputeRunsAtMostOnce) {
+  Diamond D;
+  AnalysisCache Cache;
+
+  int ComputeCalls = 0;
+  auto Compute = [&](const Function &F, const LoopInfo &LI,
+                     const PostDominatorTree &PDT, const DFSInfo &DFS) {
+    ++ComputeCalls;
+    return predictBallLarus(F, LI, PDT, DFS);
+  };
+
+  const BranchProbMap &P1 = Cache.branchProbs(*D.F, Compute);
+  const BranchProbMap &P2 = Cache.branchProbs(*D.F, Compute);
+  EXPECT_EQ(&P1, &P2);
+  EXPECT_EQ(ComputeCalls, 1);
+  EXPECT_EQ(P1.size(), 1u) << "the diamond has one conditional branch";
+}
+
+TEST(AnalysisCacheTest, InvalidateDropsOnlyThatFunction) {
+  Diamond D1("f"), D2("g");
+  AnalysisCache Cache;
+
+  int Computes = 0;
+  auto Compute = [&](const Function &F, const LoopInfo &LI,
+                     const PostDominatorTree &PDT, const DFSInfo &DFS) {
+    ++Computes;
+    return predictBallLarus(F, LI, PDT, DFS);
+  };
+
+  (void)Cache.branchProbs(*D1.F, Compute);
+  (void)Cache.branchProbs(*D2.F, Compute);
+  EXPECT_EQ(Computes, 2);
+
+  Cache.invalidate(D1.F);
+  EXPECT_EQ(Cache.stats().Invalidations, 1u);
+
+  // f recomputes; g is still memoized.
+  (void)Cache.branchProbs(*D1.F, Compute);
+  EXPECT_EQ(Computes, 3);
+  (void)Cache.branchProbs(*D2.F, Compute);
+  EXPECT_EQ(Computes, 3);
+
+  // Invalidating a function with no cached entry is a no-op, not a count.
+  Cache.invalidate(nullptr);
+  EXPECT_EQ(Cache.stats().Invalidations, 1u);
+}
+
+TEST(AnalysisCacheTest, ClearCountsEveryEntry) {
+  Diamond D1("f"), D2("g");
+  AnalysisCache Cache;
+  (void)Cache.dominators(*D1.F);
+  (void)Cache.dominators(*D2.F);
+  Cache.clear();
+  EXPECT_EQ(Cache.stats().Invalidations, 2u);
+  // Entries rebuild transparently after a clear.
+  (void)Cache.dominators(*D1.F);
+  EXPECT_GE(Cache.stats().Misses, 3u);
+}
+
+/// The interprocedural driver rewrites caller bodies when it clones
+/// divergent callees (call sites are retargeted at the clone), so it must
+/// invalidate those callers — and a cached run must end up with exactly
+/// the predictions of a cache-free run.
+TEST(AnalysisCacheTest, FunctionCloningInvalidatesRewrittenCallers) {
+  const char *Source = R"(
+    fn work(mode) {
+      var acc = 0;
+      for (var i = 0; i < 10; i = i + 1) {
+        if (mode == 0) { acc = acc + i; } else { acc = acc + 2 * i; }
+      }
+      return acc;
+    }
+    fn main() {
+      return work(0) + work(1);
+    }
+  )";
+
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  Opts.EnableCloning = true;
+
+  // Collects every finalized probability in deterministic (function order,
+  // block order) sequence so two independently compiled modules compare.
+  auto finalProbs = [](Module &M, const ModuleVRPResult &R,
+                       AnalysisCache *Cache) {
+    std::vector<double> Probs;
+    for (const auto &F : M.functions()) {
+      const FunctionVRPResult *FR = R.forFunction(F.get());
+      if (!FR)
+        continue;
+      FinalPredictionMap Final = finalizePredictions(*F, *FR, Cache);
+      for (const auto &B : F->blocks())
+        if (const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
+          Probs.push_back(Final.at(CBr).ProbTrue);
+    }
+    return Probs;
+  };
+
+  DiagnosticEngine DiagsCached;
+  auto Cached = compileToSSA(Source, DiagsCached, Opts);
+  ASSERT_TRUE(Cached) << DiagsCached.firstError();
+  AnalysisCache Cache;
+  // Warm the cache for every pre-cloning function so invalidation has
+  // stale entries to evict.
+  for (const auto &F : Cached->IR->functions())
+    (void)Cache.dominators(*F);
+  ModuleVRPResult CachedR = runModuleVRP(*Cached->IR, Opts, &Cache);
+  ASSERT_GT(CachedR.FunctionsCloned, 0u) << "the call sites must diverge";
+  EXPECT_GT(Cache.stats().Invalidations, 0u)
+      << "cloning rewrites caller bodies; their analyses must be evicted";
+
+  DiagnosticEngine DiagsPlain;
+  auto Plain = compileToSSA(Source, DiagsPlain, Opts);
+  ASSERT_TRUE(Plain) << DiagsPlain.firstError();
+  ModuleVRPResult PlainR = runModuleVRP(*Plain->IR, Opts);
+  ASSERT_EQ(PlainR.FunctionsCloned, CachedR.FunctionsCloned);
+
+  std::vector<double> WithCache =
+      finalProbs(*Cached->IR, CachedR, &Cache);
+  std::vector<double> WithoutCache =
+      finalProbs(*Plain->IR, PlainR, nullptr);
+  ASSERT_EQ(WithCache.size(), WithoutCache.size());
+  for (size_t I = 0; I < WithCache.size(); ++I)
+    EXPECT_EQ(WithCache[I], WithoutCache[I]) << "branch " << I;
+}
+
+} // namespace

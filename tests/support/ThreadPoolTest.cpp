@@ -1,0 +1,112 @@
+//===- tests/support/ThreadPoolTest.cpp - Worker pool tests ---------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The fixed worker pool behind the parallel evaluation engine: index
+// coverage, deterministic result ordering, serial fallback, exception
+// propagation, and reuse across jobs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+using namespace vrp;
+
+namespace {
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.threadCount(), 4u);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Counts(N);
+  Pool.parallelFor(N, [&](size_t I) { Counts[I].fetch_add(1); });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, MapPreservesSerialOrder) {
+  ThreadPool Pool(4);
+  std::vector<int> Out =
+      Pool.parallelMap<int>(100, [](size_t I) { return static_cast<int>(I) * 3; });
+  ASSERT_EQ(Out.size(), 100u);
+  for (size_t I = 0; I < Out.size(); ++I)
+    EXPECT_EQ(Out[I], static_cast<int>(I) * 3);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+  std::thread::id Caller = std::this_thread::get_id();
+  std::vector<std::thread::id> Seen(8);
+  Pool.parallelFor(8, [&](size_t I) { Seen[I] = std::this_thread::get_id(); });
+  for (const std::thread::id &Id : Seen)
+    EXPECT_EQ(Id, Caller);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsDegradesToOne) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threadCount(), 1u);
+  int Sum = 0;
+  Pool.parallelFor(5, [&](size_t I) { Sum += static_cast<int>(I); });
+  EXPECT_EQ(Sum, 10);
+}
+
+TEST(ThreadPoolTest, EmptyJobIsANoop) {
+  ThreadPool Pool(4);
+  bool Ran = false;
+  Pool.parallelFor(0, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPoolTest, PropagatesTheFirstException) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(
+      Pool.parallelFor(50,
+                       [](size_t I) {
+                         if (I == 17)
+                           throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool stays usable after a failed job.
+  std::atomic<int> Hits{0};
+  Pool.parallelFor(10, [&](size_t) { Hits.fetch_add(1); });
+  EXPECT_EQ(Hits.load(), 10);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool Pool(3);
+  for (int Job = 0; Job < 50; ++Job) {
+    std::vector<int> Out =
+        Pool.parallelMap<int>(Job + 1, [&](size_t I) {
+          return Job + static_cast<int>(I);
+        });
+    ASSERT_EQ(Out.size(), static_cast<size_t>(Job + 1));
+    EXPECT_EQ(Out.front(), Job);
+    EXPECT_EQ(Out.back(), 2 * Job);
+  }
+}
+
+TEST(ThreadPoolTest, ClampsAbsurdThreadCounts) {
+  // A wrapped-around negative (e.g. stoul("-2") upstream) must not try to
+  // spawn billions of workers.
+  ThreadPool Pool(~0u);
+  EXPECT_EQ(Pool.threadCount(), ThreadPool::MaxThreads);
+  std::atomic<int> Hits{0};
+  Pool.parallelFor(10, [&](size_t) { Hits.fetch_add(1); });
+  EXPECT_EQ(Hits.load(), 10);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountAuto) {
+  // 0 = auto: hardware_concurrency or 1; never 0.
+  EXPECT_GE(ThreadPool::resolveThreadCount(0), 1u);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(7), 7u);
+}
+
+} // namespace
