@@ -5,11 +5,15 @@
 // A command-line branch predictor over VL source:
 //
 //   predictor_tool [--predictor=vrp|ball-larus|90-50|random]
-//                  [--threads=N] [--dump-ir] [--ranges] [file.vl]
+//                  [--threads=N] [--budget=N] [--deadline=MS]
+//                  [--dump-ir] [--ranges] [file.vl]
 //
 // Without a file argument it analyzes a built-in demo program. For every
 // conditional branch it prints the predicted taken-probability and, for
 // VRP, whether the prediction came from ranges or the heuristic fallback.
+//
+// Exit codes: 0 success, 1 input rejected with diagnostics, 2 usage
+// error, 3 internal error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +23,7 @@
 #include "support/Format.h"
 #include "support/ThreadPool.h"
 
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,6 +31,14 @@
 using namespace vrp;
 
 namespace {
+
+// Exit codes, documented in README.md — scripts depend on these.
+enum ExitCode : int {
+  ExitSuccess = 0,
+  ExitDiagnostics = 1,
+  ExitUsage = 2,
+  ExitInternal = 3,
+};
 
 const char *DemoSource = R"(
 fn classify(score) {
@@ -53,18 +66,39 @@ fn main() {
 
 void printUsage() {
   std::cerr << "usage: predictor_tool [--predictor=vrp|ball-larus|90-50|"
-               "random] [--threads=N] [--dump-ir] [--ranges] [file.vl]\n"
+               "random] [--threads=N] [--budget=N] [--deadline=MS] "
+               "[--dump-ir] [--ranges] [file.vl]\n"
                "  --threads=N   fan functions out over N workers during "
                "propagation\n                (0 = all hardware threads; "
-               "results are identical at any N)\n";
+               "results are identical at any N)\n"
+               "  --budget=N    cap propagation at N worklist steps per "
+               "function;\n                exhausted functions degrade to "
+               "the heuristic fallback\n"
+               "  --deadline=MS wall-clock deadline for propagation; "
+               "functions not\n                analyzed in time degrade "
+               "to the heuristic fallback\n"
+               "exit codes: 0 success, 1 diagnostics, 2 usage error, "
+               "3 internal error\n";
 }
 
-} // namespace
+/// Parses a digits-only unsigned option value. stoul alone would accept
+/// "-2" (wrapping) and "12abc" (dropping the suffix).
+bool parseUnsigned(const std::string &V, uint64_t &Out) {
+  if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  try {
+    Out = std::stoull(V);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
 
-int main(int argc, char **argv) {
+int runTool(int argc, char **argv) {
   std::string PredictorName = "vrp";
   bool DumpIR = false, DumpRanges = false;
   unsigned Threads = 1;
+  uint64_t StepBudget = 0, DeadlineMs = 0;
   std::string FileName;
 
   for (int I = 1; I < argc; ++I) {
@@ -72,39 +106,45 @@ int main(int argc, char **argv) {
     if (Arg.rfind("--predictor=", 0) == 0)
       PredictorName = Arg.substr(12);
     else if (Arg.rfind("--threads=", 0) == 0) {
-      // Digits only: stoul would accept "-2" (wrapping to a huge unsigned)
-      // and "12abc" (silently dropping the suffix).
-      std::string V = Arg.substr(10);
-      bool Valid =
-          !V.empty() && V.find_first_not_of("0123456789") == std::string::npos;
-      unsigned long Parsed = 0;
-      if (Valid) {
-        try {
-          Parsed = std::stoul(V);
-        } catch (...) {
-          Valid = false;
-        }
-      }
-      if (!Valid || Parsed > ThreadPool::MaxThreads) {
+      uint64_t Parsed = 0;
+      if (!parseUnsigned(Arg.substr(10), Parsed) ||
+          Parsed > ThreadPool::MaxThreads) {
         std::cerr << "invalid --threads value: " << Arg << " (expected 0-"
                   << ThreadPool::MaxThreads << ")\n";
-        return 1;
+        return ExitUsage;
       }
       Threads = static_cast<unsigned>(Parsed);
+    } else if (Arg.rfind("--budget=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(9), StepBudget)) {
+        std::cerr << "invalid --budget value: " << Arg << "\n";
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--deadline=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(11), DeadlineMs)) {
+        std::cerr << "invalid --deadline value: " << Arg << "\n";
+        return ExitUsage;
+      }
     } else if (Arg == "--dump-ir")
       DumpIR = true;
     else if (Arg == "--ranges")
       DumpRanges = true;
     else if (Arg == "--help") {
       printUsage();
-      return 0;
+      return ExitSuccess;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "unknown option: " << Arg << "\n";
       printUsage();
-      return 1;
+      return ExitUsage;
     } else {
       FileName = Arg;
     }
+  }
+
+  if (PredictorName != "vrp" && PredictorName != "ball-larus" &&
+      PredictorName != "90-50" && PredictorName != "random") {
+    std::cerr << "unknown predictor: " << PredictorName << "\n";
+    printUsage();
+    return ExitUsage;
   }
 
   std::string Source;
@@ -115,7 +155,7 @@ int main(int argc, char **argv) {
     std::ifstream In(FileName);
     if (!In) {
       std::cerr << "error: cannot open " << FileName << "\n";
-      return 1;
+      return ExitUsage;
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
@@ -126,12 +166,15 @@ int main(int argc, char **argv) {
   VRPOptions Opts;
   Opts.Interprocedural = true;
   Opts.Threads = Threads;
-  auto Compiled = compileToSSA(Source, Diags, Opts);
-  if (!Compiled) {
+  Opts.Budget.PropagationStepLimit = StepBudget;
+  Opts.Budget.DeadlineMs = DeadlineMs;
+  auto Compiled = compileProgram(Source, Diags, Opts);
+  if (!Compiled.ok()) {
     Diags.printAll(std::cerr);
-    return 1;
+    std::cerr << "error: " << Compiled.error().str() << "\n";
+    return ExitDiagnostics;
   }
-  Module &M = *Compiled->IR;
+  Module &M = *Compiled.value()->IR;
 
   if (DumpIR)
     printModule(M, std::cout);
@@ -148,7 +191,10 @@ int main(int argc, char **argv) {
     if (!Any)
       continue;
 
-    std::cout << "fn @" << F->name() << ":\n";
+    std::cout << "fn @" << F->name() << ":";
+    if (FR && FR->Degraded)
+      std::cout << " (budget exhausted; heuristic fallback)";
+    std::cout << "\n";
     TextTable Table({"line", "branch", "P(taken)", "source"});
 
     FinalPredictionMap Final = finalizePredictions(*F, *FR, &Cache);
@@ -159,10 +205,6 @@ int main(int argc, char **argv) {
       Alt = predictNinetyFifty(*F);
     else if (PredictorName == "random")
       Alt = predictRandom(*F, 1234);
-    else if (PredictorName != "vrp") {
-      std::cerr << "unknown predictor: " << PredictorName << "\n";
-      return 1;
-    }
 
     for (const auto &B : F->blocks()) {
       const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator());
@@ -203,5 +245,23 @@ int main(int argc, char **argv) {
     }
     std::cout << "\n";
   }
-  return 0;
+  if (VRP.FunctionsDegraded > 0)
+    std::cout << "note: " << VRP.FunctionsDegraded
+              << " function(s) degraded to the heuristic fallback after "
+                 "exhausting the analysis budget\n";
+  return ExitSuccess;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  try {
+    return runTool(argc, argv);
+  } catch (const std::exception &E) {
+    std::cerr << "internal error: " << E.what() << "\n";
+    return ExitInternal;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return ExitInternal;
+  }
 }

@@ -13,3 +13,26 @@ for b in build/bench/*; do "$b"; done
 cmake -B build-tsan -G Ninja -DVRP_SANITIZE=thread
 cmake --build build-tsan --target SupportTest ParallelDeterminismTest
 ctest --test-dir build-tsan --output-on-failure -R 'ThreadPool|ParallelDeterminism'
+
+# Robustness checks under AddressSanitizer+UBSan: the hostile-input
+# corpus, the fault-injection suite and the structured-error paths, where
+# memory bugs would hide behind the recovery code.
+cmake -B build-asan -G Ninja -DVRP_SANITIZE=address
+cmake --build build-asan --target MalformedCorpusTest FaultToleranceTest SupportTest
+ctest --test-dir build-asan --output-on-failure \
+  -R 'MalformedCorpus|FaultTolerance|Status|FaultInjection'
+
+# Fault-injection smoke: an injected parse fault must surface as exit
+# code 1 with a rendered diagnostic, not a crash.
+if VRP_FAULT_INJECT=parse:0 build/examples/predictor_tool \
+     examples/vl/histogram.vl >/dev/null 2>&1; then
+  echo "fault-injection smoke: expected exit 1, got 0" >&2
+  exit 1
+else
+  rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "fault-injection smoke: expected exit 1, got $rc" >&2
+    exit 1
+  fi
+fi
+echo "fault-injection smoke: ok"

@@ -12,21 +12,39 @@
 #include "lang/Parser.h"
 #include "lang/Sema.h"
 #include "ssa/SSAVerifier.h"
+#include "support/FaultInjection.h"
 
 using namespace vrp;
 
-std::unique_ptr<CompiledProgram>
-vrp::compileToSSA(std::string_view Source, DiagnosticEngine &Diags,
-                  const VRPOptions &Opts) {
+StatusOr<std::unique_ptr<CompiledProgram>>
+vrp::compileProgram(std::string_view Source, DiagnosticEngine &Diags,
+                    const VRPOptions &Opts) {
+  using Ret = StatusOr<std::unique_ptr<CompiledProgram>>;
+
+  // The front-end error summary: the first collected diagnostic, which
+  // printAll renders in full for tools.
+  auto frontEndError = [&](const char *Stage) {
+    std::string First = Diags.firstError();
+    return Ret::failure(ErrorCategory::ParseError, Stage,
+                        First.empty() ? "rejected input" : First);
+  };
+
+  if (fault::shouldFail("parse")) {
+    Diags.error(SourceLoc(), "injected parse failure");
+    return frontEndError("parse");
+  }
+
   auto Result = std::make_unique<CompiledProgram>();
   Result->AST = parseVL(Source, Diags);
   if (Diags.hasErrors())
-    return nullptr;
+    return frontEndError("parse");
   if (!runSema(*Result->AST, Diags))
-    return nullptr;
+    return frontEndError("sema");
   Result->IR = generateIR(*Result->AST, Diags);
   if (!Result->IR)
-    return nullptr;
+    return Ret::failure(ErrorCategory::Internal, "irgen",
+                        Diags.firstError().empty() ? "IR generation failed"
+                                                   : Diags.firstError());
 
   Result->SSA = constructSSA(*Result->IR);
   if (Opts.EnableAssertions)
@@ -38,9 +56,18 @@ vrp::compileToSSA(std::string_view Source, DiagnosticEngine &Diags,
       !verifySSA(*Result->IR, Problems)) {
     for (const std::string &P : Problems)
       Diags.error(SourceLoc(), "internal error: " + P);
-    return nullptr;
+    return Ret::failure(ErrorCategory::VerifyError, "verify",
+                        Problems.empty() ? "verification failed"
+                                         : Problems.front());
   }
   return Result;
+}
+
+std::unique_ptr<CompiledProgram>
+vrp::compileToSSA(std::string_view Source, DiagnosticEngine &Diags,
+                  const VRPOptions &Opts) {
+  auto Result = compileProgram(Source, Diags, Opts);
+  return Result.ok() ? Result.takeValue() : nullptr;
 }
 
 FinalPredictionMap vrp::finalizePredictions(const Function &F,

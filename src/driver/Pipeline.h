@@ -29,6 +29,7 @@
 #include "ssa/AssertionInsertion.h"
 #include "ssa/SSAConstruction.h"
 #include "support/Diagnostics.h"
+#include "support/Status.h"
 
 #include <memory>
 #include <string_view>
@@ -45,8 +46,17 @@ struct CompiledProgram {
 };
 
 /// Compiles \p Source through parse, sema, irgen, SSA construction and
-/// (unless disabled in \p Opts) assertion insertion. Returns null on any
-/// diagnosed error.
+/// (unless disabled in \p Opts) assertion insertion. On failure the error
+/// names the stage that rejected the input: front-end rejections are
+/// ParseError, IR generation failures Internal, verifier failures
+/// VerifyError. Diagnostics are still collected in \p Diags either way.
+/// Honors the "parse" fault-injection site (support/FaultInjection.h).
+StatusOr<std::unique_ptr<CompiledProgram>>
+compileProgram(std::string_view Source, DiagnosticEngine &Diags,
+               const VRPOptions &Opts = {});
+
+/// Compatibility wrapper over compileProgram: returns null on any
+/// diagnosed error, dropping the structured category.
 std::unique_ptr<CompiledProgram>
 compileToSSA(std::string_view Source, DiagnosticEngine &Diags,
              const VRPOptions &Opts = {});

@@ -53,13 +53,29 @@ void vrp::printSuiteReport(const SuiteEvaluation &Suite,
       Summary.addRow({B.Name, "FAILED: " + B.Error});
       continue;
     }
-    Summary.addRow({B.Name, std::to_string(B.RefSteps),
+    std::string Name = B.Name;
+    if (B.DegradedFunctions > 0)
+      Name += " [degraded: " + std::to_string(B.DegradedFunctions) + " fn]";
+    if (B.PartialProfile)
+      Name += " [partial profile]";
+    Summary.addRow({Name, std::to_string(B.RefSteps),
                     std::to_string(B.StaticBranches),
                     std::to_string(B.ExecutedBranches),
                     formatPercent(B.VRPRangeFraction)});
   }
   Summary.print(OS);
   OS << "\n";
+
+  if (!Suite.Failures.empty()) {
+    OS << "failures (" << Suite.Failures.size() << " of "
+       << Suite.Benchmarks.size() << " benchmarks):\n";
+    for (const FailureInfo &F : Suite.Failures)
+      OS << "  " << F.str() << "\n";
+    OS << "\n";
+  }
+  if (Suite.DegradedFunctions > 0)
+    OS << "budget degradation: " << Suite.DegradedFunctions
+       << " function(s) fell back to Ball-Larus heuristics\n\n";
 
   printCdfTable(Suite.AveragedUnweighted,
                 Title + " — unweighted (each branch equal), % of branches "

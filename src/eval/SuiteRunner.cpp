@@ -7,9 +7,18 @@
 #include "eval/SuiteRunner.h"
 
 #include "profile/ProfilePredictor.h"
+#include "support/FaultInjection.h"
 #include "support/ThreadPool.h"
 
+#include <chrono>
+#include <stdexcept>
+
 using namespace vrp;
+
+std::string FailureInfo::str() const {
+  return Benchmark + " [" + Stage + "]: " +
+         errorCategoryName(Category) + ": " + Message;
+}
 
 const char *vrp::predictorName(PredictorKind Kind) {
   switch (Kind) {
@@ -40,8 +49,11 @@ namespace {
 /// Collects VRP+fallback probabilities over a whole module.
 BranchProbMap vrpModulePredictions(Module &M, const VRPOptions &Opts,
                                    double *RangeFraction,
-                                   AnalysisCache *Cache = nullptr) {
+                                   AnalysisCache *Cache = nullptr,
+                                   unsigned *DegradedFunctions = nullptr) {
   ModuleVRPResult R = runModuleVRP(M, Opts, Cache);
+  if (DegradedFunctions)
+    *DegradedFunctions = R.FunctionsDegraded;
   BranchProbMap Probs;
   unsigned Total = 0, FromRanges = 0;
   for (const auto &F : M.functions()) {
@@ -119,8 +131,40 @@ BranchProbMap vrp::predictModule(PredictorKind Kind, Module &M,
   return Probs;
 }
 
-BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
-                                         const VRPOptions &Opts) {
+namespace {
+
+/// Marks \p Eval failed with both the legacy human-readable Error and the
+/// structured FailureInfo.
+BenchmarkEvaluation &&failEvaluation(BenchmarkEvaluation &&Eval,
+                                     ErrorCategory Category,
+                                     std::string Stage, std::string Message,
+                                     std::string LegacyError = "") {
+  Eval.Ok = false;
+  Eval.Error = LegacyError.empty() ? Stage + ": " + Message
+                                   : std::move(LegacyError);
+  Eval.Failure = FailureInfo{Category, Eval.Name, std::move(Stage),
+                             std::move(Message)};
+  return std::move(Eval);
+}
+
+/// The per-benchmark wall-clock deadline, if any.
+class StageDeadline {
+public:
+  explicit StageDeadline(uint64_t Ms) : Active(Ms != 0) {
+    if (Active)
+      At = std::chrono::steady_clock::now() + std::chrono::milliseconds(Ms);
+  }
+  bool blown() const {
+    return Active && std::chrono::steady_clock::now() > At;
+  }
+
+private:
+  bool Active;
+  std::chrono::steady_clock::time_point At{};
+};
+
+BenchmarkEvaluation evaluateProgramImpl(const BenchmarkProgram &Program,
+                                        const VRPOptions &Opts) {
   BenchmarkEvaluation Eval;
   Eval.Name = Program.Name;
 
@@ -129,36 +173,68 @@ BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
     // different static branches than the reference profile collected
     // here. Callers wanting to evaluate cloning must re-profile the
     // transformed module (see bench/ablation.cpp's showcase).
-    Eval.Error = "evaluateProgram cannot score EnableCloning runs; "
-                 "profile the transformed module instead";
-    return Eval;
+    return failEvaluation(
+        std::move(Eval), ErrorCategory::Internal, "config",
+        "evaluateProgram cannot score EnableCloning runs; "
+        "profile the transformed module instead",
+        "evaluateProgram cannot score EnableCloning runs; "
+        "profile the transformed module instead");
   }
 
+  StageDeadline Deadline(Opts.Budget.DeadlineMs);
+
   DiagnosticEngine Diags;
-  auto Compiled = compileToSSA(Program.Source, Diags, Opts);
+  auto Compiled = compileProgram(Program.Source, Diags, Opts);
   if (!Compiled) {
-    Eval.Error = "compile error: " + Diags.firstError();
-    return Eval;
+    const VrpError &E = Compiled.error();
+    return failEvaluation(std::move(Eval), E.Category, E.Site, E.Message,
+                          "compile error: " + Diags.firstError());
   }
-  Module &M = *Compiled->IR;
+  Module &M = *Compiled.value()->IR;
+
+  if (Deadline.blown())
+    return failEvaluation(std::move(Eval), ErrorCategory::BudgetExceeded,
+                          "compile", "deadline exceeded after compilation");
+
+  // An explicit interpreter budget tightens (never loosens) the default
+  // runaway guard.
+  uint64_t MaxSteps = 200'000'000;
+  if (Opts.Budget.InterpreterStepLimit != 0)
+    MaxSteps = std::min(MaxSteps, Opts.Budget.InterpreterStepLimit);
 
   // Ground truth from the reference input.
   Interpreter Interp(M);
   EdgeProfile RefProfile;
-  ExecutionResult RefRun = Interp.run(Program.RefInput, &RefProfile);
+  ExecutionResult RefRun = Interp.run(Program.RefInput, &RefProfile, MaxSteps);
   if (!RefRun.Ok) {
-    Eval.Error = "reference run failed: " + RefRun.Error;
-    return Eval;
+    // A run truncated by an explicit step budget keeps its counts as a
+    // partial profile; a genuine trap (or the default runaway guard)
+    // fails the benchmark.
+    if (RefRun.StepLimit && Opts.Budget.InterpreterStepLimit != 0)
+      Eval.PartialProfile = true;
+    else
+      return failEvaluation(std::move(Eval), ErrorCategory::InterpreterTrap,
+                            "ref-run", RefRun.Error,
+                            "reference run failed: " + RefRun.Error);
   }
   Eval.RefSteps = RefRun.Steps;
 
   // Training profile from the (different) short input.
   EdgeProfile TrainProfile;
-  ExecutionResult TrainRun = Interp.run(Program.ShortInput, &TrainProfile);
+  ExecutionResult TrainRun =
+      Interp.run(Program.ShortInput, &TrainProfile, MaxSteps);
   if (!TrainRun.Ok) {
-    Eval.Error = "training run failed: " + TrainRun.Error;
-    return Eval;
+    if (TrainRun.StepLimit && Opts.Budget.InterpreterStepLimit != 0)
+      Eval.PartialProfile = true;
+    else
+      return failEvaluation(std::move(Eval), ErrorCategory::InterpreterTrap,
+                            "train-run", TrainRun.Error,
+                            "training run failed: " + TrainRun.Error);
   }
+
+  if (Deadline.blown())
+    return failEvaluation(std::move(Eval), ErrorCategory::BudgetExceeded,
+                          "profile", "deadline exceeded after profiling");
 
   for (const auto &F : M.functions())
     for (const auto &B : F->blocks())
@@ -173,9 +249,15 @@ BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
 
   // Full VRP propagation runs exactly once; the same run yields both the
   // range-predicted share (reported for the §5 discussion) and the
-  // PredictorKind::VRP probability map scored below.
-  BranchProbMap VRPProbs =
-      vrpModulePredictions(M, Opts, &Eval.VRPRangeFraction, &Cache);
+  // PredictorKind::VRP probability map scored below. Budget-degraded
+  // functions (step cap or deadline inside runModuleVRP) are counted, not
+  // failed: their branches carry Ball–Larus fallback predictions.
+  BranchProbMap VRPProbs = vrpModulePredictions(
+      M, Opts, &Eval.VRPRangeFraction, &Cache, &Eval.DegradedFunctions);
+
+  if (Deadline.blown())
+    return failEvaluation(std::move(Eval), ErrorCategory::BudgetExceeded,
+                          "vrp", "deadline exceeded after propagation");
 
   uint64_t Seed = 0xC0FFEE ^ std::hash<std::string>{}(Program.Name);
   for (PredictorKind Kind : allPredictors()) {
@@ -195,31 +277,87 @@ BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
   return Eval;
 }
 
+} // namespace
+
+BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
+                                         const VRPOptions &Opts) {
+  // Scope fault-injection counters to this benchmark so "site@name:n"
+  // specs fire deterministically regardless of thread count or schedule.
+  fault::ScopedKey Key(Program.Name);
+  try {
+    return evaluateProgramImpl(Program, Opts);
+  } catch (const std::exception &E) {
+    BenchmarkEvaluation Eval;
+    Eval.Name = Program.Name;
+    return failEvaluation(std::move(Eval), ErrorCategory::Internal,
+                          "evaluate", E.what());
+  } catch (...) {
+    BenchmarkEvaluation Eval;
+    Eval.Name = Program.Name;
+    return failEvaluation(std::move(Eval), ErrorCategory::Internal,
+                          "evaluate", "unknown exception");
+  }
+}
+
 SuiteEvaluation vrp::evaluateSuite(
     const std::vector<const BenchmarkProgram *> &Programs,
     const VRPOptions &Opts) {
   SuiteEvaluation Suite;
   unsigned Threads = ThreadPool::resolveThreadCount(Opts.Threads);
+
+  // Body of one suite slot. evaluateProgram already converts every
+  // pipeline failure into a structured result; the "worker" injection
+  // site throws *outside* it to exercise the task-failure aggregation
+  // path below.
+  auto runSlot = [](const BenchmarkProgram &P, const VRPOptions &SlotOpts) {
+    fault::ScopedKey Key(P.Name);
+    if (fault::shouldFail("worker"))
+      throw std::runtime_error("injected worker-task failure");
+    return evaluateProgram(P, SlotOpts);
+  };
+  auto workerFailure = [](const std::string &Name, std::string Message) {
+    BenchmarkEvaluation Eval;
+    Eval.Name = Name;
+    return failEvaluation(std::move(Eval), ErrorCategory::Internal,
+                          "worker-task", std::move(Message));
+  };
+
   if (Threads > 1 && Programs.size() > 1) {
     // Benchmarks fan out across the pool (each evaluateProgram compiles,
     // profiles and predicts its own module — fully independent). The
     // per-program evaluation runs serially inside each worker: the outer
     // fan-out already saturates the pool, and ThreadPool jobs must not
-    // nest. parallelMap writes slot I for program I, so the result order
-    // (and every curve) is identical to the serial loop.
+    // nest. Slot I holds program I, so the result order (and every
+    // curve) is identical to the serial loop. Escaped task exceptions
+    // are ALL collected — every other slot still completes — and each
+    // failed slot gets a structured worker-task failure.
     VRPOptions Inner = Opts;
     Inner.Threads = 1;
     ThreadPool Pool(Threads);
-    Suite.Benchmarks = Pool.parallelMap<BenchmarkEvaluation>(
+    std::vector<BenchmarkEvaluation> Out(Programs.size());
+    std::vector<TaskFailure> Failed = Pool.parallelForCollect(
         Programs.size(),
-        [&](size_t I) { return evaluateProgram(*Programs[I], Inner); });
+        [&](size_t I) { Out[I] = runSlot(*Programs[I], Inner); });
+    for (const TaskFailure &F : Failed)
+      Out[F.Index] = workerFailure(Programs[F.Index]->Name,
+                                   ParallelError::describe(F.Error));
+    Suite.Benchmarks = std::move(Out);
   } else {
-    for (const BenchmarkProgram *P : Programs)
-      Suite.Benchmarks.push_back(evaluateProgram(*P, Opts));
+    for (const BenchmarkProgram *P : Programs) {
+      try {
+        Suite.Benchmarks.push_back(runSlot(*P, Opts));
+      } catch (const std::exception &E) {
+        Suite.Benchmarks.push_back(workerFailure(P->Name, E.what()));
+      }
+    }
   }
 
-  for (const BenchmarkEvaluation &B : Suite.Benchmarks)
+  for (const BenchmarkEvaluation &B : Suite.Benchmarks) {
     Suite.CacheTotals += B.Cache;
+    Suite.DegradedFunctions += B.DegradedFunctions;
+    if (B.Failure)
+      Suite.Failures.push_back(*B.Failure);
+  }
 
   for (PredictorKind Kind : allPredictors()) {
     std::vector<ErrorCdf> Unweighted, Weighted;

@@ -21,8 +21,10 @@
 #include "benchsuite/Programs.h"
 #include "driver/Pipeline.h"
 #include "eval/ErrorMetrics.h"
+#include "support/Status.h"
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,11 +45,33 @@ const char *predictorName(PredictorKind Kind);
 /// All kinds, in display order.
 std::vector<PredictorKind> allPredictors();
 
+/// Structured record of one benchmark's failure: which benchmark, which
+/// pipeline stage, and the error category the suite report aggregates
+/// over. The suite records these and keeps going — one bad program never
+/// aborts an evaluateSuite run.
+struct FailureInfo {
+  ErrorCategory Category = ErrorCategory::Internal;
+  std::string Benchmark;
+  std::string Stage; ///< "compile", "ref-run", "train-run", "vrp", ...
+  std::string Message;
+
+  /// "benchmark [stage]: category: message" rendering for reports.
+  std::string str() const;
+};
+
 /// Evaluation of one benchmark program.
 struct BenchmarkEvaluation {
   std::string Name;
   bool Ok = false;
-  std::string Error;
+  std::string Error; ///< Human-readable; see Failure for the structure.
+  /// Set exactly when !Ok (except for default-constructed slots).
+  std::optional<FailureInfo> Failure;
+  /// Functions whose VRP analysis blew a resource budget and degraded to
+  /// the Ball–Larus fallback (whole-function ⊥, paper §3.5 writ large).
+  unsigned DegradedFunctions = 0;
+  /// True when an interpreter step budget truncated the reference or
+  /// training run and the counts collected so far were kept.
+  bool PartialProfile = false;
   uint64_t RefSteps = 0;
   unsigned StaticBranches = 0;   ///< Conditional branches in the module.
   unsigned ExecutedBranches = 0; ///< Executed by the reference run.
@@ -66,6 +90,11 @@ struct SuiteEvaluation {
   std::map<PredictorKind, ErrorCdf> AveragedWeighted;
   /// Summed analysis-cache counters across benchmarks.
   AnalysisCacheStats CacheTotals;
+  /// Every per-benchmark failure, in benchmark order. Under the parallel
+  /// fan-out this aggregates ALL failed tasks, not just the first.
+  std::vector<FailureInfo> Failures;
+  /// Summed BenchmarkEvaluation::DegradedFunctions across benchmarks.
+  unsigned DegradedFunctions = 0;
 };
 
 /// Computes module-wide branch probabilities for one predictor.

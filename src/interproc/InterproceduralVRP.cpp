@@ -12,6 +12,8 @@
 #include "support/ThreadPool.h"
 
 #include <cassert>
+#include <chrono>
+#include <optional>
 
 using namespace vrp;
 
@@ -31,7 +33,11 @@ class InterprocDriver {
 public:
   InterprocDriver(Module &M, const VRPOptions &Opts, AnalysisCache *Cache,
                   ThreadPool *Pool)
-      : M(M), Opts(Opts), Cache(Cache), Pool(Pool) {}
+      : M(M), Opts(Opts), Cache(Cache), Pool(Pool) {
+    if (Opts.Budget.DeadlineMs != 0)
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Opts.Budget.DeadlineMs);
+  }
 
   ModuleVRPResult run();
 
@@ -40,10 +46,29 @@ private:
   bool refreshTables(const ModuleVRPResult &Result, const CallGraph &CG);
   unsigned cloneDivergentCallees(ModuleVRPResult &Result);
 
+  bool pastDeadline() const {
+    return Deadline && std::chrono::steady_clock::now() > *Deadline;
+  }
+
+  /// A function-scope ⊥ result: what propagateRanges produces when its
+  /// budget runs out, manufactured here when the module deadline leaves
+  /// no time to analyze \p F at all.
+  static FunctionVRPResult degradedResult(const Function &F) {
+    FunctionVRPResult R;
+    R.F = &F;
+    R.Degraded = true;
+    R.BlockProb.assign(F.numBlocks(), 1.0);
+    for (const auto &B : F.blocks())
+      if (const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
+        R.Branches[CBr] = BranchPrediction{0.5, false, true};
+    return R;
+  }
+
   Module &M;
   const VRPOptions &Opts;
   AnalysisCache *Cache; ///< May be null (no memoization).
   ThreadPool *Pool;     ///< May be null (serial per-function phase).
+  std::optional<std::chrono::steady_clock::time_point> Deadline;
   /// Param value -> merged jump-function range.
   std::map<const Param *, ValueRange> ParamTable;
   /// Function -> merged return range.
@@ -73,20 +98,32 @@ void InterprocDriver::analyzeAll(ModuleVRPResult &Result) {
   for (const auto &F : M.functions())
     Fns.push_back(F.get());
 
+  // Deadline degradation: a function whose analysis would start past the
+  // deadline gets the same ⊥ result a blown step budget produces, so the
+  // module still yields a complete (if partly heuristic) prediction map.
+  auto analyzeOne = [&](const Function &F) {
+    if (pastDeadline())
+      return degradedResult(F);
+    return propagateRanges(F, Opts, Ctx);
+  };
+
   std::vector<FunctionVRPResult> Results;
   if (Pool && Pool->threadCount() > 1) {
     Results = Pool->parallelMap<FunctionVRPResult>(
-        Fns.size(), [&](size_t I) { return propagateRanges(*Fns[I], Opts, Ctx); });
+        Fns.size(), [&](size_t I) { return analyzeOne(*Fns[I]); });
   } else {
     Results.reserve(Fns.size());
     for (const Function *F : Fns)
-      Results.push_back(propagateRanges(*F, Opts, Ctx));
+      Results.push_back(analyzeOne(*F));
   }
 
   Result.PerFunction.clear();
   Result.Total = RangeStats();
+  Result.FunctionsDegraded = 0;
   for (size_t I = 0; I < Fns.size(); ++I) {
     Result.Total += Results[I].Stats;
+    if (Results[I].Degraded)
+      ++Result.FunctionsDegraded;
     Result.PerFunction.emplace(Fns[I], std::move(Results[I]));
   }
 }
@@ -239,6 +276,10 @@ ModuleVRPResult InterprocDriver::run() {
   const unsigned MaxRounds = 4;
   CallGraph CG(M);
   for (unsigned Round = 1; Round < MaxRounds; ++Round) {
+    // Out of time: keep the rounds already computed rather than starting
+    // a refinement pass that would only produce degraded functions.
+    if (pastDeadline())
+      break;
     if (!refreshTables(Result, CG))
       break;
     analyzeAll(Result);

@@ -32,6 +32,9 @@ struct ModuleVRPResult {
   RangeStats Total;
   unsigned Rounds = 0;
   unsigned FunctionsCloned = 0;
+  /// Functions whose propagation hit a resource budget (step cap or
+  /// deadline) and degraded to the Ball–Larus fallback.
+  unsigned FunctionsDegraded = 0;
 
   const FunctionVRPResult *forFunction(const Function *F) const {
     auto It = PerFunction.find(F);

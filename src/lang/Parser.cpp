@@ -67,6 +67,19 @@ bool Parser::expect(TokenKind K, const char *Context) {
   return false;
 }
 
+bool Parser::atDepthLimit() {
+  if (Depth <= MaxRecursionDepth)
+    return false;
+  if (!DepthReported) {
+    DepthReported = true;
+    Diags.error(Tok.Loc, "nesting too deep (more than " +
+                             std::to_string(MaxRecursionDepth) +
+                             " levels); simplify the expression or "
+                             "statement structure");
+  }
+  return true;
+}
+
 void Parser::skipToStatementBoundary() {
   while (!at(TokenKind::Eof) && !at(TokenKind::Semicolon) &&
          !at(TokenKind::RBrace))
@@ -191,6 +204,11 @@ StmtPtr Parser::parseBlock() {
 }
 
 StmtPtr Parser::parseStmt() {
+  DepthScope Scope(*this);
+  if (atDepthLimit()) {
+    skipToStatementBoundary();
+    return nullptr;
+  }
   switch (Tok.Kind) {
   case TokenKind::LBrace:
     return parseBlock();
@@ -222,6 +240,13 @@ StmtPtr Parser::parseStmt() {
 }
 
 StmtPtr Parser::parseIf() {
+  // Guarded directly as well: `else if` chains recurse here without
+  // passing through parseStmt.
+  DepthScope Scope(*this);
+  if (atDepthLimit()) {
+    skipToStatementBoundary();
+    return nullptr;
+  }
   SourceLoc Loc = Tok.Loc;
   consume(); // if
   expect(TokenKind::LParen, "after 'if'");
@@ -312,7 +337,15 @@ StmtPtr Parser::parseSimpleStmt(bool RequireSemi) {
   return Result;
 }
 
-ExprPtr Parser::parseExpr() { return parseOr(); }
+ExprPtr Parser::parseExpr() {
+  DepthScope Scope(*this);
+  if (atDepthLimit()) {
+    SourceLoc Loc = Tok.Loc;
+    skipToStatementBoundary();
+    return std::make_unique<IntLitExpr>(0, Loc);
+  }
+  return parseOr();
+}
 
 ExprPtr Parser::parseOr() {
   ExprPtr LHS = parseAnd();
@@ -400,6 +433,14 @@ ExprPtr Parser::parseMultiplicative() {
 }
 
 ExprPtr Parser::parseUnary() {
+  // Guarded directly as well: unary chains (`----x`) recurse here
+  // without passing through parseExpr.
+  DepthScope Scope(*this);
+  if (atDepthLimit()) {
+    SourceLoc Loc = Tok.Loc;
+    skipToStatementBoundary();
+    return std::make_unique<IntLitExpr>(0, Loc);
+  }
   if (at(TokenKind::Minus)) {
     SourceLoc Loc = Tok.Loc;
     consume();

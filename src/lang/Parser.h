@@ -41,6 +41,19 @@ private:
   bool expect(TokenKind K, const char *Context);
   void skipToStatementBoundary();
 
+  // Recursion-depth guard: pathologically nested input (thousands of
+  // parentheses, braces or unary operators) must produce a diagnostic,
+  // not a stack overflow. Each recursive entry point holds a DepthScope;
+  // past MaxRecursionDepth one diagnostic is emitted, recovery skips to a
+  // statement boundary and a placeholder node is produced.
+  static constexpr unsigned MaxRecursionDepth = 256;
+  struct DepthScope {
+    explicit DepthScope(Parser &P) : P(P) { ++P.Depth; }
+    ~DepthScope() { --P.Depth; }
+    Parser &P;
+  };
+  bool atDepthLimit();
+
   // Declarations.
   std::unique_ptr<FunctionDecl> parseFunction();
   std::unique_ptr<DeclStmt> parseVarDecl();
@@ -68,6 +81,8 @@ private:
   Lexer Lex;
   DiagnosticEngine &Diags;
   Token Tok;
+  unsigned Depth = 0;
+  bool DepthReported = false;
 };
 
 /// Convenience wrapper: lex + parse a buffer.

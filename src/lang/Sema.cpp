@@ -46,11 +46,25 @@ private:
   ScalarType checkCall(CallExpr &C);
   void requireInt(Expr *E, const char *What);
 
+  // Recursion-depth guard, mirroring the parser's: a left-leaning
+  // operator chain (`a+a+a+...`) nests the AST arbitrarily deep without
+  // ever deepening parser recursion, so semantic analysis needs its own
+  // stack-overflow protection.
+  static constexpr unsigned MaxCheckDepth = 512;
+  struct DepthScope {
+    explicit DepthScope(SemaVisitor &S) : S(S) { ++S.CheckDepth; }
+    ~DepthScope() { --S.CheckDepth; }
+    SemaVisitor &S;
+  };
+  bool atDepthLimit(SourceLoc Loc);
+
   Program &P;
   DiagnosticEngine &Diags;
   std::vector<std::unordered_map<std::string, VarSymbol *>> Scopes;
   FunctionDecl *CurrentFn = nullptr;
   unsigned LoopDepth = 0;
+  unsigned CheckDepth = 0;
+  bool DepthReported = false;
 };
 
 } // namespace
@@ -135,8 +149,23 @@ void SemaVisitor::requireInt(Expr *E, const char *What) {
     Diags.error(E->loc(), std::string(What) + " must have int type");
 }
 
+bool SemaVisitor::atDepthLimit(SourceLoc Loc) {
+  if (CheckDepth <= MaxCheckDepth)
+    return false;
+  if (!DepthReported) {
+    DepthReported = true;
+    Diags.error(Loc, "construct nests too deeply for semantic analysis "
+                     "(more than " +
+                         std::to_string(MaxCheckDepth) + " levels)");
+  }
+  return true;
+}
+
 void SemaVisitor::checkStmt(Stmt *S) {
   if (!S)
+    return;
+  DepthScope Scope(*this);
+  if (atDepthLimit(S->loc()))
     return;
   switch (S->kind()) {
   case Stmt::Kind::Block: {
@@ -237,6 +266,11 @@ void SemaVisitor::checkStmt(Stmt *S) {
 ScalarType SemaVisitor::checkExpr(Expr *E) {
   if (!E)
     return ScalarType::Int;
+  DepthScope Scope(*this);
+  if (atDepthLimit(E->loc())) {
+    E->setType(ScalarType::Int);
+    return ScalarType::Int;
+  }
   switch (E->kind()) {
   case Expr::Kind::IntLit:
     E->setType(ScalarType::Int);

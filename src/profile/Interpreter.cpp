@@ -6,6 +6,7 @@
 
 #include "profile/Interpreter.h"
 
+#include "support/FaultInjection.h"
 #include "support/MathUtil.h"
 
 #include <cmath>
@@ -83,6 +84,7 @@ private:
   EdgeProfile *Profile;
   uint64_t MaxSteps;
   uint64_t Steps = 0;
+  bool HitStepLimit = false;
   size_t InputPos = 0;
   std::unordered_map<const MemoryObject *, ObjectState> Globals;
   std::vector<std::string> Output;
@@ -164,8 +166,10 @@ RuntimeValue Machine::callFunction(const Function &F,
 
     for (const auto &IPtr : Block->instructions()) {
       const Instruction *I = IPtr.get();
-      if (++Steps > MaxSteps)
+      if (++Steps > MaxSteps) {
+        HitStepLimit = true;
         throw RuntimeError{"step limit exceeded"};
+      }
 
       switch (I->opcode()) {
       case Opcode::Phi:
@@ -396,6 +400,10 @@ ExecutionResult Machine::run() {
     R.Error = "program has no main() function";
     return R;
   }
+  if (fault::shouldFail("interp")) {
+    R.Error = "injected interpreter trap";
+    return R;
+  }
   try {
     RuntimeValue Exit = callFunction(*Main, {}, 0);
     return makeResult(Main->returnType() == IRType::Float
@@ -403,6 +411,7 @@ ExecutionResult Machine::run() {
                           : Exit.I);
   } catch (const RuntimeError &E) {
     R.Error = E.Message;
+    R.StepLimit = HitStepLimit;
     R.Steps = Steps;
     R.Output = std::move(Output);
     return R;

@@ -74,6 +74,10 @@ private:
 struct ExecutionResult {
   bool Ok = false;
   std::string Error;
+  /// True when the failure was the MaxSteps guard specifically: the
+  /// profile collected so far is a valid *partial* profile, which budget-
+  /// limited evaluation keeps rather than failing the benchmark.
+  bool StepLimit = false;
   uint64_t Steps = 0;
   int64_t ExitValue = 0;
   std::vector<std::string> Output; ///< One entry per print().
@@ -86,7 +90,9 @@ public:
 
   /// Runs the program on \p Input. Branch counts are recorded into
   /// \p Profile when non-null. Execution aborts with an error after
-  /// \p MaxSteps instructions (runaway guard).
+  /// \p MaxSteps instructions (runaway guard); that specific failure is
+  /// flagged on the result as StepLimit. Honors the "interp" fault-
+  /// injection site (support/FaultInjection.h).
   ExecutionResult run(const std::vector<int64_t> &Input,
                       EdgeProfile *Profile = nullptr,
                       uint64_t MaxSteps = 200'000'000);

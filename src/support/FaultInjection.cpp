@@ -1,0 +1,144 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+using namespace vrp;
+
+namespace {
+
+/// One armed "site[@key][:n]" entry.
+struct ArmedEntry {
+  std::string Site;
+  std::string Key;   ///< Empty: matches any key.
+  uint64_t Count = 0;
+  bool Every = false; ///< ":*" — fire on every matching call.
+  bool Fired = false; ///< Counted entries fire once.
+};
+
+struct InjectionState {
+  std::mutex M;
+  std::vector<ArmedEntry> Entries;
+  /// Call counters per (site, key); unkeyed entries consult ("site", "").
+  std::map<std::pair<std::string, std::string>, uint64_t> Counters;
+};
+
+InjectionState &state() {
+  static InjectionState S;
+  return S;
+}
+
+thread_local std::string CurrentKey;
+
+/// Arms from the environment once, before main() runs, so tools and the
+/// check.sh smoke stage can inject without code changes.
+struct EnvArm {
+  EnvArm() {
+    if (const char *Spec = std::getenv("VRP_FAULT_INJECT"))
+      fault::configure(Spec);
+  }
+} EnvArmAtStartup;
+
+} // namespace
+
+std::atomic<bool> fault::detail::Armed{false};
+
+bool fault::detail::shouldFailSlow(const char *Site) {
+  InjectionState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Entries.empty())
+    return false;
+
+  // Two counters advance per call: the keyed one (site, current key) and
+  // the global one (site, ""). Each armed entry reads the counter that
+  // matches its own scope, so keyed and unkeyed entries never interfere.
+  uint64_t KeyedCount = S.Counters[{Site, CurrentKey}]++;
+  uint64_t GlobalCount = CurrentKey.empty()
+                             ? KeyedCount
+                             : S.Counters[{Site, std::string()}]++;
+
+  bool Fail = false;
+  for (ArmedEntry &E : S.Entries) {
+    if (E.Site != Site)
+      continue;
+    if (!E.Key.empty() && E.Key != CurrentKey)
+      continue;
+    uint64_t Count = E.Key.empty() ? GlobalCount : KeyedCount;
+    if (E.Every || (!E.Fired && Count == E.Count)) {
+      E.Fired = true;
+      Fail = true;
+    }
+  }
+  return Fail;
+}
+
+bool fault::configure(std::string_view Spec) {
+  InjectionState &S = state();
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Entries.clear();
+  S.Counters.clear();
+
+  bool Valid = true;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string_view::npos)
+      End = Spec.size();
+    std::string_view Item = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Item.empty())
+      continue;
+
+    ArmedEntry E;
+    size_t Colon = Item.rfind(':');
+    if (Colon != std::string_view::npos) {
+      std::string_view CountStr = Item.substr(Colon + 1);
+      Item = Item.substr(0, Colon);
+      if (CountStr == "*") {
+        E.Every = true;
+      } else if (!CountStr.empty() &&
+                 CountStr.find_first_not_of("0123456789") ==
+                     std::string_view::npos) {
+        E.Count = std::stoull(std::string(CountStr));
+      } else {
+        Valid = false;
+        break;
+      }
+    }
+    size_t At = Item.find('@');
+    if (At != std::string_view::npos) {
+      E.Key = std::string(Item.substr(At + 1));
+      Item = Item.substr(0, At);
+    }
+    if (Item.empty()) {
+      Valid = false;
+      break;
+    }
+    E.Site = std::string(Item);
+    S.Entries.push_back(std::move(E));
+  }
+
+  if (!Valid)
+    S.Entries.clear();
+  detail::Armed.store(!S.Entries.empty(), std::memory_order_relaxed);
+  return Valid;
+}
+
+void fault::reset() { configure(""); }
+
+fault::ScopedKey::ScopedKey(std::string_view Key)
+    : Saved(std::move(CurrentKey)) {
+  CurrentKey = std::string(Key);
+}
+
+fault::ScopedKey::~ScopedKey() { CurrentKey = std::move(Saved); }
+
+std::string fault::currentKey() { return CurrentKey; }

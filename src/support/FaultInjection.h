@@ -1,0 +1,86 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic injection points for exercising the pipeline's fault
+/// tolerance. Injection is compiled in always but costs a single relaxed
+/// atomic load when disarmed, so the hot paths carry no measurable
+/// overhead in production builds.
+///
+/// Sites are named strings checked at fixed places in the pipeline:
+///
+///   "parse"       compileProgram fails with a ParseError
+///   "vrp-budget"  propagation degrades as if its step budget ran out
+///   "worker"      an evaluateSuite worker task throws
+///   "interp"      the interpreter traps before executing main()
+///
+/// A spec arms one or more entries, comma separated:
+///
+///   site[@key][:n]       fire on the n-th call (0-based) of the site
+///   site[@key]:*         fire on every call of the site
+///
+/// `key` scopes the entry to a dynamic context (the benchmark name):
+/// `evaluateProgram` wraps each benchmark in a ScopedKey, so
+/// "parse@quicksort:0" fails exactly that benchmark's parse no matter how
+/// the suite is fanned out across worker threads — keyed counters are
+/// per (site, key) and each benchmark runs wholly on one worker.
+/// Unkeyed entries match any context on a global per-site counter (only
+/// deterministic for serial runs).
+///
+/// The spec comes from `configure()` or, at process start, from the
+/// `VRP_FAULT_INJECT` environment variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SUPPORT_FAULTINJECTION_H
+#define VRP_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <string>
+#include <string_view>
+
+namespace vrp::fault {
+
+namespace detail {
+extern std::atomic<bool> Armed;
+bool shouldFailSlow(const char *Site);
+} // namespace detail
+
+/// True when the named site must fail now. Fast path when nothing is
+/// armed: one relaxed atomic load, no lock, no string work.
+inline bool shouldFail(const char *Site) {
+  return detail::Armed.load(std::memory_order_relaxed) &&
+         detail::shouldFailSlow(Site);
+}
+
+/// Arms the given spec (see file comment), replacing any previous one and
+/// resetting all counters. An empty spec disarms injection entirely.
+/// Returns false (and disarms) when the spec is malformed.
+bool configure(std::string_view Spec);
+
+/// Disarms injection and clears counters. Equivalent to configure("").
+void reset();
+
+/// Sets the dynamic injection key (e.g. the benchmark name) for the
+/// current thread for the lifetime of the object. Nestable; restores the
+/// previous key on destruction.
+class ScopedKey {
+public:
+  explicit ScopedKey(std::string_view Key);
+  ~ScopedKey();
+  ScopedKey(const ScopedKey &) = delete;
+  ScopedKey &operator=(const ScopedKey &) = delete;
+
+private:
+  std::string Saved;
+};
+
+/// The current thread's injection key ("" when none is active).
+std::string currentKey();
+
+} // namespace vrp::fault
+
+#endif // VRP_SUPPORT_FAULTINJECTION_H

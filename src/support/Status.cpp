@@ -1,0 +1,34 @@
+//===- support/Status.cpp - Structured pipeline errors ---------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+using namespace vrp;
+
+const char *vrp::errorCategoryName(ErrorCategory Category) {
+  switch (Category) {
+  case ErrorCategory::ParseError:
+    return "parse error";
+  case ErrorCategory::VerifyError:
+    return "verify error";
+  case ErrorCategory::BudgetExceeded:
+    return "budget exceeded";
+  case ErrorCategory::InterpreterTrap:
+    return "interpreter trap";
+  case ErrorCategory::Internal:
+    return "internal error";
+  }
+  return "?";
+}
+
+std::string VrpError::str() const {
+  std::string S = errorCategoryName(Category);
+  if (!Site.empty())
+    S += " at " + Site;
+  if (!Message.empty())
+    S += ": " + Message;
+  return S;
+}

@@ -1,0 +1,119 @@
+//===- support/Status.h - Structured pipeline errors ------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight `StatusOr<T>`-style result type for the pipeline's fault
+/// boundaries. The paper's algorithm degrades gracefully (⊥ ranges fall
+/// back to heuristics); this gives the *infrastructure* the same contract:
+/// every stage failure is a categorized, observable value instead of an
+/// abort or an escaping exception, so one bad program or one exhausted
+/// budget never takes down a whole `evaluateSuite` run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SUPPORT_STATUS_H
+#define VRP_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace vrp {
+
+/// What went wrong, at the granularity the suite report aggregates over.
+enum class ErrorCategory {
+  ParseError,      ///< Front-end rejected the input (lex/parse/sema).
+  VerifyError,     ///< IR or SSA verification failed after a transform.
+  BudgetExceeded,  ///< A resource budget (steps, deadline) ran out.
+  InterpreterTrap, ///< Execution trapped (OOB, runaway, injected trap).
+  Internal,        ///< Everything else: escaped exceptions, logic errors.
+};
+
+const char *errorCategoryName(ErrorCategory Category);
+
+/// One structured pipeline error: category + the stage/site that failed +
+/// a human-readable message.
+struct VrpError {
+  ErrorCategory Category = ErrorCategory::Internal;
+  std::string Site;    ///< Pipeline stage or injection site ("parse", ...).
+  std::string Message;
+
+  /// "category at site: message" rendering for logs and reports.
+  std::string str() const;
+};
+
+/// Success-or-VrpError for stages with no payload.
+class Status {
+public:
+  Status() = default;
+
+  static Status success() { return Status(); }
+  static Status failure(ErrorCategory Category, std::string Site,
+                        std::string Message) {
+    Status S;
+    S.Err = VrpError{Category, std::move(Site), std::move(Message)};
+    return S;
+  }
+
+  bool ok() const { return !Err.has_value(); }
+  const VrpError &error() const {
+    assert(Err && "error() on an ok Status");
+    return *Err;
+  }
+
+private:
+  std::optional<VrpError> Err;
+};
+
+/// Value-or-VrpError. Deliberately minimal: implicit construction from
+/// either side, `ok()`, `value()` (asserting), `error()` (asserting).
+template <typename T> class StatusOr {
+public:
+  StatusOr(T Value) : Val(std::move(Value)) {}
+  StatusOr(VrpError Error) : Err(std::move(Error)) {}
+
+  static StatusOr failure(ErrorCategory Category, std::string Site,
+                          std::string Message) {
+    return StatusOr(
+        VrpError{Category, std::move(Site), std::move(Message)});
+  }
+
+  bool ok() const { return Val.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &value() {
+    assert(Val && "value() on a failed StatusOr");
+    return *Val;
+  }
+  const T &value() const {
+    assert(Val && "value() on a failed StatusOr");
+    return *Val;
+  }
+  T &&takeValue() {
+    assert(Val && "takeValue() on a failed StatusOr");
+    return std::move(*Val);
+  }
+
+  const VrpError &error() const {
+    assert(Err && "error() on an ok StatusOr");
+    return *Err;
+  }
+
+  /// The status view of this result (copies the error if any).
+  Status status() const {
+    return ok() ? Status::success()
+                : Status::failure(Err->Category, Err->Site, Err->Message);
+  }
+
+private:
+  std::optional<T> Val;
+  std::optional<VrpError> Err;
+};
+
+} // namespace vrp
+
+#endif // VRP_SUPPORT_STATUS_H

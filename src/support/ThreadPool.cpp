@@ -6,7 +6,40 @@
 
 #include "support/ThreadPool.h"
 
+#include <algorithm>
+
 using namespace vrp;
+
+namespace {
+
+std::string describeFailures(const std::vector<TaskFailure> &Failures) {
+  std::string Msg =
+      std::to_string(Failures.size()) + " parallel task(s) failed:";
+  for (const TaskFailure &F : Failures)
+    Msg += " [index " + std::to_string(F.Index) + "] " +
+           ParallelError::describe(F.Error) + ";";
+  if (!Msg.empty() && Msg.back() == ';')
+    Msg.pop_back();
+  return Msg;
+}
+
+} // namespace
+
+ParallelError::ParallelError(std::vector<TaskFailure> Failures)
+    : std::runtime_error(describeFailures(Failures)),
+      Failures_(std::move(Failures)) {}
+
+std::string ParallelError::describe(const std::exception_ptr &Error) {
+  if (!Error)
+    return "<no exception captured>";
+  try {
+    std::rethrow_exception(Error);
+  } catch (const std::exception &E) {
+    return E.what();
+  } catch (...) {
+    return "<unknown exception>";
+  }
+}
 
 unsigned ThreadPool::resolveThreadCount(unsigned Requested) {
   if (Requested != 0)
@@ -59,9 +92,10 @@ void ThreadPool::runJob(Job &J) {
     try {
       (*J.Body)(I);
     } catch (...) {
+      // Collect every failure, not just the first: the suite report needs
+      // the complete per-index picture of a faulty fan-out.
       std::lock_guard<std::mutex> Lock(M);
-      if (!J.Error)
-        J.Error = std::current_exception();
+      J.Failures.push_back({I, std::current_exception()});
     }
     if (J.Done.fetch_add(1, std::memory_order_acq_rel) + 1 == J.N) {
       std::lock_guard<std::mutex> Lock(M);
@@ -70,15 +104,23 @@ void ThreadPool::runJob(Job &J) {
   }
 }
 
-void ThreadPool::parallelFor(size_t N,
-                             const std::function<void(size_t)> &Body) {
+std::vector<TaskFailure>
+ThreadPool::parallelForCollect(size_t N,
+                               const std::function<void(size_t)> &Body) {
   if (N == 0)
-    return;
+    return {};
   if (Workers.empty()) {
-    // Serial fallback: no shared state, no locks.
-    for (size_t I = 0; I < N; ++I)
-      Body(I);
-    return;
+    // Serial fallback: no shared state, no locks. A failed index never
+    // stops the remaining ones — same isolation as the parallel path.
+    std::vector<TaskFailure> Failures;
+    for (size_t I = 0; I < N; ++I) {
+      try {
+        Body(I);
+      } catch (...) {
+        Failures.push_back({I, std::current_exception()});
+      }
+    }
+    return Failures;
   }
 
   auto J = std::make_shared<Job>();
@@ -99,6 +141,18 @@ void ThreadPool::parallelFor(size_t N,
   });
   if (Current == J)
     Current.reset();
-  if (J->Error)
-    std::rethrow_exception(J->Error);
+  std::vector<TaskFailure> Failures = std::move(J->Failures);
+  Lock.unlock();
+  std::sort(Failures.begin(), Failures.end(),
+            [](const TaskFailure &A, const TaskFailure &B) {
+              return A.Index < B.Index;
+            });
+  return Failures;
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  std::vector<TaskFailure> Failures = parallelForCollect(N, Body);
+  if (!Failures.empty())
+    throw ParallelError(std::move(Failures));
 }

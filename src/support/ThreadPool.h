@@ -29,10 +29,36 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace vrp {
+
+/// One failed task of a parallel job: which index threw, and what.
+struct TaskFailure {
+  size_t Index = 0;
+  std::exception_ptr Error;
+};
+
+/// Aggregate of every task failure in one parallel job. Derives from
+/// std::runtime_error so callers that only care about "the job failed"
+/// keep working; fault-aware callers inspect failures() for the complete
+/// per-index picture instead of just the first loser.
+class ParallelError : public std::runtime_error {
+public:
+  explicit ParallelError(std::vector<TaskFailure> Failures);
+
+  /// Every failure, sorted by index.
+  const std::vector<TaskFailure> &failures() const { return Failures_; }
+
+  /// Renders one captured failure's message ("<unknown exception>" for
+  /// non-std exceptions).
+  static std::string describe(const std::exception_ptr &Error);
+
+private:
+  std::vector<TaskFailure> Failures_;
+};
 
 class ThreadPool {
 public:
@@ -60,10 +86,18 @@ public:
 
   /// Runs Body(0) .. Body(N-1), distributing indices over the pool. The
   /// caller participates and the call returns only after every index has
-  /// completed. The first exception thrown by any Body is rethrown here.
-  /// One job at a time: parallelFor must not be re-entered from inside a
-  /// Body running on the same pool.
+  /// completed. Task exceptions never abandon the job: every remaining
+  /// index still runs, and the collected failures are thrown as one
+  /// ParallelError. One job at a time: parallelFor must not be re-entered
+  /// from inside a Body running on the same pool.
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+  /// Like parallelFor, but returns the per-index failures (sorted by
+  /// index, empty on full success) instead of throwing. This is the
+  /// fault-isolation primitive: evaluateSuite uses it to record failed
+  /// benchmarks structurally while the rest of the fan-out completes.
+  std::vector<TaskFailure>
+  parallelForCollect(size_t N, const std::function<void(size_t)> &Body);
 
   /// parallelFor that collects Fn(I) into slot I of the result vector, so
   /// the output order matches the serial loop exactly.
@@ -82,7 +116,7 @@ private:
     uint64_t Seq = 0;
     std::atomic<size_t> Next{0};
     std::atomic<size_t> Done{0};
-    std::exception_ptr Error; ///< First failure; guarded by pool mutex.
+    std::vector<TaskFailure> Failures; ///< Guarded by pool mutex.
   };
 
   void workerLoop();

@@ -19,6 +19,37 @@
 
 namespace vrp {
 
+/// Resource budgets with graceful degradation. The paper's algorithm
+/// already degrades per-value (⊥ ranges fall back to heuristics, §3.5);
+/// these caps extend the same contract to whole stages: when a budget
+/// runs out, the pipeline produces a degraded-but-valid result instead
+/// of running away or failing the benchmark.
+struct ResourceBudget {
+  /// Worklist items the propagation engine may process per function;
+  /// 0 = unlimited. On exhaustion the function's analysis is abandoned,
+  /// its ranges become ⊥ and every branch takes the Ball–Larus fallback
+  /// (the result is marked Degraded and counted in suite reports).
+  uint64_t PropagationStepLimit = 0;
+
+  /// Interpreter steps per run; 0 = the interpreter's default runaway
+  /// guard only. When set and exhausted, evaluateProgram keeps the
+  /// counts collected so far as a *partial profile* (flagged on the
+  /// evaluation) instead of failing the benchmark.
+  uint64_t InterpreterStepLimit = 0;
+
+  /// Wall-clock deadline in milliseconds; 0 = none. evaluateProgram
+  /// checks it between stages and records a BudgetExceeded failure when
+  /// blown; runModuleVRP degrades not-yet-analyzed functions to the
+  /// heuristic fallback. Inherently nondeterministic — leave unset for
+  /// runs that must be reproducible.
+  uint64_t DeadlineMs = 0;
+
+  bool anySet() const {
+    return PropagationStepLimit != 0 || InterpreterStepLimit != 0 ||
+           DeadlineMs != 0;
+  }
+};
+
 struct VRPOptions {
   /// Upper limit on subranges per variable (the "give-up point", §3.4).
   unsigned MaxSubRanges = 4;
@@ -67,6 +98,10 @@ struct VRPOptions {
   /// are byte-identical at every setting — threading only changes
   /// wall-clock time (see support/ThreadPool.h).
   unsigned Threads = 1;
+
+  /// Resource budgets (step caps, deadline) with heuristic degradation.
+  /// Defaults leave every budget unlimited.
+  ResourceBudget Budget;
 
   /// Probability tolerance for fixpoint detection. Probabilities feed
   /// back through loop edges with geometric convergence; demanding more

@@ -8,6 +8,7 @@
 
 #include "analysis/AnalysisCache.h"
 #include "analysis/DFS.h"
+#include "support/FaultInjection.h"
 #include "vrp/Derivation.h"
 
 #include <memory>
@@ -417,8 +418,19 @@ FunctionVRPResult Engine::run() {
   Result.BlockProb[F.entry()->id()] = 1.0;
   FlowWorkList.push_back({nullptr, F.entry()});
 
+  // Budget guard: each worklist item processed costs one step. When the
+  // cap is hit the function degrades to the heuristic fallback instead of
+  // failing — the infrastructure mirror of the paper's ⊥-range fallback.
+  const uint64_t StepBudget = Opts.Budget.PropagationStepLimit;
+  uint64_t StepsUsed = 0;
+  bool Degraded = fault::shouldFail("vrp-budget");
+
   // Step 2: run until both lists are empty, preferring flow items.
-  while (!FlowWorkList.empty() || !SSAWorkList.empty()) {
+  while (!Degraded && (!FlowWorkList.empty() || !SSAWorkList.empty())) {
+    if (StepBudget != 0 && ++StepsUsed > StepBudget) {
+      Degraded = true;
+      break;
+    }
     if (!FlowWorkList.empty()) {
       auto [From, To] = FlowWorkList.front();
       FlowWorkList.pop_front();
@@ -462,6 +474,21 @@ FunctionVRPResult Engine::run() {
     if (!Visited[I->parent()->id()])
       continue;
     evaluateInstruction(I);
+  }
+
+  if (Degraded) {
+    // Partial lattice state is unsound to expose (a range caught
+    // mid-descent can be too narrow), so degrade the whole function to
+    // ⊥: no ranges, every block presumed reachable, every branch handed
+    // to the Ball–Larus fallback at a neutral probability.
+    Result.Degraded = true;
+    Result.Ranges.clear();
+    Result.BlockProb.assign(N, 1.0);
+    Result.Branches.clear();
+    for (const auto &B : F.blocks())
+      if (const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
+        Result.Branches[CBr] = BranchPrediction{0.5, false, true};
+    return Result;
   }
 
   // Collect the final branch predictions.

@@ -46,6 +46,10 @@ struct FunctionVRPResult {
   /// Reach probability per block id (capped in-edge probability sum).
   std::vector<double> BlockProb;
   RangeStats Stats;
+  /// True when a resource budget cut the analysis short: every range is
+  /// ⊥ and every branch is marked for the Ball–Larus fallback, mirroring
+  /// the paper's ⊥-range degradation (§3.5) at whole-function scope.
+  bool Degraded = false;
 
   /// Range lookup with constant folding (constants get exact ranges).
   ValueRange rangeOf(const Value *V) const;

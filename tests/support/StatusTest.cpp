@@ -1,0 +1,183 @@
+//===- tests/support/StatusTest.cpp - Status & fault injection tests ------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The structured-error result types behind the fault-tolerant pipeline,
+// and the deterministic fault-injection registry they are exercised with.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+#include "support/Status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+using namespace vrp;
+
+namespace {
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(StatusTest, FailureCarriesCategorySiteMessage) {
+  Status S = Status::failure(ErrorCategory::BudgetExceeded, "vrp",
+                             "step limit blown");
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.error().Category, ErrorCategory::BudgetExceeded);
+  EXPECT_EQ(S.error().Site, "vrp");
+  EXPECT_EQ(S.error().Message, "step limit blown");
+  EXPECT_EQ(S.error().str(), "budget exceeded at vrp: step limit blown");
+}
+
+TEST(StatusTest, CategoryNamesAreStable) {
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::ParseError), "parse error");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::VerifyError),
+               "verify error");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::BudgetExceeded),
+               "budget exceeded");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::InterpreterTrap),
+               "interpreter trap");
+  EXPECT_STREQ(errorCategoryName(ErrorCategory::Internal),
+               "internal error");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> R(42);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(R.value(), 42);
+  EXPECT_TRUE(R.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> R = StatusOr<int>::failure(ErrorCategory::ParseError,
+                                           "parse", "bad token");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.error().Category, ErrorCategory::ParseError);
+  ASSERT_FALSE(R.status().ok());
+  EXPECT_EQ(R.status().error().Message, "bad token");
+}
+
+TEST(StatusOrTest, MoveOnlyPayload) {
+  StatusOr<std::unique_ptr<int>> R(std::make_unique<int>(7));
+  ASSERT_TRUE(R.ok());
+  std::unique_ptr<int> P = R.takeValue();
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(*P, 7);
+}
+
+/// Resets injection around each test so specs never leak across tests.
+class FaultInjectionTest : public ::testing::Test {
+protected:
+  void TearDown() override { fault::reset(); }
+};
+
+TEST_F(FaultInjectionTest, DisarmedNeverFires) {
+  fault::reset();
+  for (int I = 0; I < 100; ++I)
+    EXPECT_FALSE(fault::shouldFail("parse"));
+}
+
+TEST_F(FaultInjectionTest, CountedEntryFiresExactlyOnce) {
+  ASSERT_TRUE(fault::configure("parse:2"));
+  EXPECT_FALSE(fault::shouldFail("parse")); // call 0
+  EXPECT_FALSE(fault::shouldFail("parse")); // call 1
+  EXPECT_TRUE(fault::shouldFail("parse"));  // call 2 fires
+  EXPECT_FALSE(fault::shouldFail("parse")); // and never again
+  EXPECT_FALSE(fault::shouldFail("parse"));
+}
+
+TEST_F(FaultInjectionTest, StarFiresEveryCall) {
+  ASSERT_TRUE(fault::configure("interp:*"));
+  for (int I = 0; I < 5; ++I)
+    EXPECT_TRUE(fault::shouldFail("interp"));
+  EXPECT_FALSE(fault::shouldFail("parse")); // other sites untouched
+}
+
+TEST_F(FaultInjectionTest, SitesHaveIndependentCounters) {
+  ASSERT_TRUE(fault::configure("parse:0,interp:1"));
+  EXPECT_FALSE(fault::shouldFail("interp"));
+  EXPECT_TRUE(fault::shouldFail("parse"));
+  EXPECT_TRUE(fault::shouldFail("interp"));
+}
+
+TEST_F(FaultInjectionTest, KeyedEntryMatchesOnlyItsKey) {
+  ASSERT_TRUE(fault::configure("parse@quicksort:0"));
+  EXPECT_FALSE(fault::shouldFail("parse")); // no key active
+  {
+    fault::ScopedKey K("bubblesort");
+    EXPECT_FALSE(fault::shouldFail("parse"));
+  }
+  {
+    fault::ScopedKey K("quicksort");
+    EXPECT_TRUE(fault::shouldFail("parse"));
+    EXPECT_FALSE(fault::shouldFail("parse")); // fired once
+  }
+}
+
+TEST_F(FaultInjectionTest, KeyedCountersAreIndependentPerKey) {
+  // The n-th call *within that key's context*, regardless of what other
+  // keys did in between — the property that makes injection deterministic
+  // under the parallel suite fan-out.
+  ASSERT_TRUE(fault::configure("interp@b:1"));
+  {
+    fault::ScopedKey K("a");
+    EXPECT_FALSE(fault::shouldFail("interp"));
+    EXPECT_FALSE(fault::shouldFail("interp"));
+    EXPECT_FALSE(fault::shouldFail("interp"));
+  }
+  {
+    fault::ScopedKey K("b");
+    EXPECT_FALSE(fault::shouldFail("interp")); // b's call 0
+    EXPECT_TRUE(fault::shouldFail("interp"));  // b's call 1 fires
+  }
+}
+
+TEST_F(FaultInjectionTest, ScopedKeyNestsAndRestores) {
+  EXPECT_EQ(fault::currentKey(), "");
+  {
+    fault::ScopedKey Outer("outer");
+    EXPECT_EQ(fault::currentKey(), "outer");
+    {
+      fault::ScopedKey Inner("inner");
+      EXPECT_EQ(fault::currentKey(), "inner");
+    }
+    EXPECT_EQ(fault::currentKey(), "outer");
+  }
+  EXPECT_EQ(fault::currentKey(), "");
+}
+
+TEST_F(FaultInjectionTest, KeyIsThreadLocal) {
+  fault::ScopedKey K("main-thread");
+  std::string SeenOnWorker = "unset";
+  std::thread T([&] { SeenOnWorker = fault::currentKey(); });
+  T.join();
+  EXPECT_EQ(SeenOnWorker, "");
+  EXPECT_EQ(fault::currentKey(), "main-thread");
+}
+
+TEST_F(FaultInjectionTest, MalformedSpecDisarms) {
+  EXPECT_FALSE(fault::configure("parse:notanumber"));
+  EXPECT_FALSE(fault::shouldFail("parse"));
+  EXPECT_FALSE(fault::configure(":0"));
+  EXPECT_FALSE(fault::configure("parse:"));
+  // A good spec after a bad one re-arms cleanly.
+  EXPECT_TRUE(fault::configure("parse:0"));
+  EXPECT_TRUE(fault::shouldFail("parse"));
+}
+
+TEST_F(FaultInjectionTest, ReconfigureResetsCounters) {
+  ASSERT_TRUE(fault::configure("parse:1"));
+  EXPECT_FALSE(fault::shouldFail("parse")); // call 0
+  ASSERT_TRUE(fault::configure("parse:1"));
+  EXPECT_FALSE(fault::shouldFail("parse")); // counter restarted: call 0
+  EXPECT_TRUE(fault::shouldFail("parse"));
+}
+
+} // namespace

@@ -79,6 +79,60 @@ TEST(ThreadPoolTest, PropagatesTheFirstException) {
   EXPECT_EQ(Hits.load(), 10);
 }
 
+TEST(ThreadPoolTest, AggregatesEveryTaskFailure) {
+  // Throwing tasks must not stop the others: every index still runs, and
+  // ALL failures are reported (sorted by index), not just the first.
+  ThreadPool Pool(4);
+  constexpr size_t N = 60;
+  std::vector<std::atomic<int>> Ran(N);
+  std::vector<TaskFailure> Failures =
+      Pool.parallelForCollect(N, [&](size_t I) {
+        Ran[I].fetch_add(1);
+        if (I % 20 == 7) // indices 7, 27, 47
+          throw std::runtime_error("task " + std::to_string(I));
+      });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Ran[I].load(), 1) << "index " << I;
+  ASSERT_EQ(Failures.size(), 3u);
+  EXPECT_EQ(Failures[0].Index, 7u);
+  EXPECT_EQ(Failures[1].Index, 27u);
+  EXPECT_EQ(Failures[2].Index, 47u);
+  EXPECT_EQ(ParallelError::describe(Failures[1].Error), "task 27");
+}
+
+TEST(ThreadPoolTest, AggregatesFailuresOnTheSerialPath) {
+  ThreadPool Pool(1);
+  std::vector<int> Order;
+  std::vector<TaskFailure> Failures =
+      Pool.parallelForCollect(5, [&](size_t I) {
+        Order.push_back(static_cast<int>(I));
+        if (I == 1 || I == 3)
+          throw std::runtime_error("serial " + std::to_string(I));
+      });
+  EXPECT_EQ(Order, (std::vector<int>{0, 1, 2, 3, 4}));
+  ASSERT_EQ(Failures.size(), 2u);
+  EXPECT_EQ(Failures[0].Index, 1u);
+  EXPECT_EQ(Failures[1].Index, 3u);
+}
+
+TEST(ThreadPoolTest, ParallelForThrowsAggregateWithAllFailures) {
+  ThreadPool Pool(4);
+  try {
+    Pool.parallelFor(30, [](size_t I) {
+      if (I == 3 || I == 23)
+        throw std::runtime_error("boom " + std::to_string(I));
+    });
+    FAIL() << "expected ParallelError";
+  } catch (const ParallelError &E) {
+    ASSERT_EQ(E.failures().size(), 2u);
+    EXPECT_EQ(E.failures()[0].Index, 3u);
+    EXPECT_EQ(E.failures()[1].Index, 23u);
+    // what() summarizes every failure for plain runtime_error catches.
+    EXPECT_NE(std::string(E.what()).find("boom 3"), std::string::npos);
+    EXPECT_NE(std::string(E.what()).find("boom 23"), std::string::npos);
+  }
+}
+
 TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
   ThreadPool Pool(3);
   for (int Job = 0; Job < 50; ++Job) {

@@ -1,0 +1,118 @@
+//===- tests/tools/PredictorToolTest.cpp - CLI exit-code contract ---------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// End-to-end checks of the predictor_tool executable's exit-code
+// contract (0 success, 1 diagnostics, 2 usage, 3 internal) and its
+// budget/fault-injection plumbing. The binary path is injected by CMake
+// as PREDICTOR_TOOL_PATH.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+/// Runs the tool with \p Args, stdout/stderr redirected to \p LogFile,
+/// and returns the process exit code (-1 if the shell invocation failed).
+int runTool(const std::string &Args, const std::string &LogFile) {
+  std::string Cmd = std::string(PREDICTOR_TOOL_PATH) + " " + Args + " > " +
+                    LogFile + " 2>&1";
+  int Raw = std::system(Cmd.c_str());
+  if (Raw == -1)
+    return -1;
+#ifdef WEXITSTATUS
+  if (WIFEXITED(Raw))
+    return WEXITSTATUS(Raw);
+  return -1;
+#else
+  return Raw;
+#endif
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  return Text;
+}
+
+/// Writes a .vl source file under the test temp dir and returns its path.
+std::string writeTemp(const std::string &Name, const std::string &Source) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::ofstream Out(Path);
+  Out << Source;
+  return Path;
+}
+
+const char *ValidSource = R"(
+fn main() {
+  var total = 0;
+  for (var i = 0; i < 10; i = i + 1) {
+    if (i > 5) {
+      total = total + i;
+    }
+  }
+  return total;
+}
+)";
+
+class PredictorToolTest : public ::testing::Test {
+protected:
+  std::string Log = ::testing::TempDir() + "predictor_tool_test.log";
+};
+
+TEST_F(PredictorToolTest, ValidProgramExitsZero) {
+  std::string File = writeTemp("ptool_valid.vl", ValidSource);
+  EXPECT_EQ(runTool(File, Log), 0) << slurp(Log);
+  EXPECT_NE(slurp(Log).find("fn @main"), std::string::npos);
+}
+
+TEST_F(PredictorToolTest, MalformedProgramExitsOneWithDiagnostics) {
+  std::string File =
+      writeTemp("ptool_bad.vl", "fn main() { return 1 + ; }");
+  EXPECT_EQ(runTool(File, Log), 1);
+  std::string Text = slurp(Log);
+  EXPECT_NE(Text.find("error"), std::string::npos) << Text;
+}
+
+TEST_F(PredictorToolTest, UsageErrorsExitTwo) {
+  EXPECT_EQ(runTool("--no-such-flag", Log), 2);
+  EXPECT_EQ(runTool("--threads=notanumber", Log), 2);
+  EXPECT_EQ(runTool("--budget=-5", Log), 2);
+  EXPECT_EQ(runTool("--deadline=10ms", Log), 2);
+  EXPECT_EQ(runTool("--predictor=psychic", Log), 2);
+  EXPECT_EQ(runTool("/nonexistent/dir/missing.vl", Log), 2);
+}
+
+TEST_F(PredictorToolTest, HelpExitsZero) {
+  EXPECT_EQ(runTool("--help", Log), 0);
+  EXPECT_NE(slurp(Log).find("exit codes"), std::string::npos);
+}
+
+TEST_F(PredictorToolTest, ExhaustedBudgetDegradesInsteadOfFailing) {
+  std::string File = writeTemp("ptool_budget.vl", ValidSource);
+  EXPECT_EQ(runTool("--budget=1 " + File, Log), 0) << slurp(Log);
+  std::string Text = slurp(Log);
+  EXPECT_NE(Text.find("heuristic fallback"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("degraded"), std::string::npos) << Text;
+}
+
+TEST_F(PredictorToolTest, InjectedParseFaultExitsOne) {
+  std::string File = writeTemp("ptool_inject.vl", ValidSource);
+  std::string Cmd = "VRP_FAULT_INJECT=parse:0 " + std::string(
+      PREDICTOR_TOOL_PATH) + " " + File + " > " + Log + " 2>&1";
+  int Raw = std::system(Cmd.c_str());
+  ASSERT_NE(Raw, -1);
+  ASSERT_TRUE(WIFEXITED(Raw));
+  EXPECT_EQ(WEXITSTATUS(Raw), 1);
+  EXPECT_NE(slurp(Log).find("injected parse failure"), std::string::npos)
+      << slurp(Log);
+}
+
+} // namespace
