@@ -6,11 +6,17 @@
 //
 //   predictor_tool [--predictor=vrp|ball-larus|90-50|random]
 //                  [--threads=N] [--budget=N] [--deadline=MS]
-//                  [--dump-ir] [--ranges] [file.vl]
+//                  [--dump-ir] [--ranges] [--stats[=json]]
+//                  [--trace=<function>] [--suite] [file.vl]
 //
 // Without a file argument it analyzes a built-in demo program. For every
 // conditional branch it prints the predicted taken-probability and, for
 // VRP, whether the prediction came from ranges or the heuristic fallback.
+// --stats prints pipeline telemetry (counters and timers) after the run;
+// --stats=json emits the machine-readable schema of docs/TELEMETRY.md.
+// --trace=<function> records that function's lattice transitions during
+// propagation. --suite evaluates the built-in benchmark suite instead of
+// a single file (the workload behind the stats-determinism check).
 //
 // Exit codes: 0 success, 1 input rejected with diagnostics, 2 usage
 // error, 3 internal error.
@@ -18,10 +24,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AnalysisCache.h"
+#include "benchsuite/Programs.h"
 #include "driver/Pipeline.h"
+#include "eval/Reporting.h"
 #include "ir/IRPrinter.h"
 #include "support/Format.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
+#include "vrp/Trace.h"
 
 #include <exception>
 #include <fstream>
@@ -67,7 +77,8 @@ fn main() {
 void printUsage() {
   std::cerr << "usage: predictor_tool [--predictor=vrp|ball-larus|90-50|"
                "random] [--threads=N] [--budget=N] [--deadline=MS] "
-               "[--dump-ir] [--ranges] [file.vl]\n"
+               "[--dump-ir] [--ranges] [--stats[=json]] "
+               "[--trace=<function>] [--suite] [file.vl]\n"
                "  --threads=N   fan functions out over N workers during "
                "propagation\n                (0 = all hardware threads; "
                "results are identical at any N)\n"
@@ -77,6 +88,16 @@ void printUsage() {
                "  --deadline=MS wall-clock deadline for propagation; "
                "functions not\n                analyzed in time degrade "
                "to the heuristic fallback\n"
+               "  --stats[=json] print pipeline telemetry (per-pass "
+               "counters and timers)\n                after the run; json "
+               "uses the docs/TELEMETRY.md schema with\n                "
+               "wall-clock under a trailing \"timings\" key\n"
+               "  --trace=<fn>  record <fn>'s lattice transitions "
+               "(old range -> new\n                range, triggering "
+               "edge) during propagation\n"
+               "  --suite       evaluate the built-in benchmark suite "
+               "instead of one\n                file (combine with "
+               "--stats=json for the determinism check)\n"
                "exit codes: 0 success, 1 diagnostics, 2 usage error, "
                "3 internal error\n";
 }
@@ -97,6 +118,8 @@ bool parseUnsigned(const std::string &V, uint64_t &Out) {
 int runTool(int argc, char **argv) {
   std::string PredictorName = "vrp";
   bool DumpIR = false, DumpRanges = false;
+  bool Stats = false, StatsJson = false, Suite = false;
+  std::string TraceFn;
   unsigned Threads = 1;
   uint64_t StepBudget = 0, DeadlineMs = 0;
   std::string FileName;
@@ -105,6 +128,23 @@ int runTool(int argc, char **argv) {
     std::string Arg = argv[I];
     if (Arg.rfind("--predictor=", 0) == 0)
       PredictorName = Arg.substr(12);
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg.rfind("--stats=", 0) == 0) {
+      if (Arg.substr(8) != "json") {
+        std::cerr << "invalid --stats value: " << Arg
+                  << " (expected --stats or --stats=json)\n";
+        return ExitUsage;
+      }
+      Stats = StatsJson = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TraceFn = Arg.substr(8);
+      if (TraceFn.empty()) {
+        std::cerr << "invalid --trace value: expected a function name\n";
+        return ExitUsage;
+      }
+    } else if (Arg == "--suite")
+      Suite = true;
     else if (Arg.rfind("--threads=", 0) == 0) {
       uint64_t Parsed = 0;
       if (!parseUnsigned(Arg.substr(10), Parsed) ||
@@ -147,6 +187,35 @@ int runTool(int argc, char **argv) {
     return ExitUsage;
   }
 
+  // Telemetry is opt-in: arm it only when something will be reported.
+  if (Stats || !TraceFn.empty()) {
+    telemetry::setEnabled(true);
+    telemetry::reset();
+  }
+
+  if (Suite) {
+    if (!FileName.empty()) {
+      std::cerr << "--suite evaluates the built-in benchmarks; drop the "
+                   "file argument\n";
+      return ExitUsage;
+    }
+    VRPOptions Opts;
+    Opts.Interprocedural = true;
+    Opts.Threads = Threads;
+    Opts.Budget.PropagationStepLimit = StepBudget;
+    Opts.Budget.DeadlineMs = DeadlineMs;
+    SuiteEvaluation SuiteEval = evaluateSuite(allPrograms(), Opts);
+    if (StatsJson) {
+      writeSuiteStatsJson(SuiteEval, telemetry::snapshot(), std::cout);
+    } else {
+      printSuiteReport(SuiteEval, "benchmark suite", std::cout);
+      if (Stats)
+        std::cout << "telemetry counters:\n"
+                  << telemetry::toText(telemetry::snapshot());
+    }
+    return SuiteEval.Failures.empty() ? ExitSuccess : ExitDiagnostics;
+  }
+
   std::string Source;
   if (FileName.empty()) {
     Source = DemoSource;
@@ -168,6 +237,9 @@ int runTool(int argc, char **argv) {
   Opts.Threads = Threads;
   Opts.Budget.PropagationStepLimit = StepBudget;
   Opts.Budget.DeadlineMs = DeadlineMs;
+  trace::TraceSink Sink(TraceFn);
+  if (!TraceFn.empty())
+    Opts.Trace = &Sink;
   auto Compiled = compileProgram(Source, Diags, Opts);
   if (!Compiled.ok()) {
     Diags.printAll(std::cerr);
@@ -249,6 +321,21 @@ int runTool(int argc, char **argv) {
     std::cout << "note: " << VRP.FunctionsDegraded
               << " function(s) degraded to the heuristic fallback after "
                  "exhausting the analysis budget\n";
+
+  if (!TraceFn.empty()) {
+    if (Sink.traces().empty())
+      std::cout << "trace: no function named '" << TraceFn
+                << "' was analyzed\n";
+    else
+      Sink.print(std::cout);
+  }
+  if (Stats) {
+    if (StatsJson)
+      std::cout << telemetry::toJson(telemetry::snapshot());
+    else
+      std::cout << "telemetry counters:\n"
+                << telemetry::toText(telemetry::snapshot());
+  }
   return ExitSuccess;
 }
 

@@ -22,6 +22,23 @@ cmake --build build-asan --target MalformedCorpusTest FaultToleranceTest Support
 ctest --test-dir build-asan --output-on-failure \
   -R 'MalformedCorpus|FaultTolerance|Status|FaultInjection'
 
+# Range-arithmetic oracle under UBSan alone: the exhaustive div/rem/mul
+# containment sweep deliberately walks the Int64Min/Int64Max boundary,
+# exactly where undefined behavior in the kernels would hide.
+cmake -B build-ubsan -G Ninja -DVRP_SANITIZE=undefined
+cmake --build build-ubsan --target RangeOpsOracleTest
+ctest --test-dir build-ubsan --output-on-failure -R 'Oracle'
+
+# Stats determinism: the non-timing half of --stats=json must be bitwise
+# identical at 1 and 4 threads ("timings" is the trailing key, so
+# everything from its line onward is stripped before comparing).
+build/examples/predictor_tool --suite --stats=json --threads=1 \
+  | sed '/"timings"/,$d' > build/stats-t1.json
+build/examples/predictor_tool --suite --stats=json --threads=4 \
+  | sed '/"timings"/,$d' > build/stats-t4.json
+diff build/stats-t1.json build/stats-t4.json
+echo "stats determinism: ok"
+
 # Fault-injection smoke: an injected parse fault must surface as exit
 # code 1 with a rendered diagnostic, not a crash.
 if VRP_FAULT_INJECT=parse:0 build/examples/predictor_tool \

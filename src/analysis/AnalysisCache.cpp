@@ -6,6 +6,8 @@
 
 #include "analysis/AnalysisCache.h"
 
+#include "support/Telemetry.h"
+
 using namespace vrp;
 
 AnalysisCache::Entry &AnalysisCache::entryFor(const Function &F) {
@@ -17,10 +19,13 @@ AnalysisCache::Entry &AnalysisCache::entryFor(const Function &F) {
 }
 
 void AnalysisCache::count(bool Hit) {
-  if (Hit)
+  if (Hit) {
     Hits.fetch_add(1, std::memory_order_relaxed);
-  else
+    telemetry::count(telemetry::Counter::AnalysisCacheHits);
+  } else {
     Misses.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::Counter::AnalysisCacheMisses);
+  }
 }
 
 const DominatorTree &AnalysisCache::ensureDominators(Entry &E,
@@ -94,13 +99,17 @@ AnalysisCache::branchProbs(const Function &F,
 
 void AnalysisCache::invalidate(const Function *F) {
   std::lock_guard<std::mutex> Lock(MapMutex);
-  if (Entries.erase(F))
+  if (Entries.erase(F)) {
     Invalidations.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count(telemetry::Counter::AnalysisCacheInvalidations);
+  }
 }
 
 void AnalysisCache::clear() {
   std::lock_guard<std::mutex> Lock(MapMutex);
   Invalidations.fetch_add(Entries.size(), std::memory_order_relaxed);
+  telemetry::count(telemetry::Counter::AnalysisCacheInvalidations,
+                   Entries.size());
   Entries.clear();
 }
 

@@ -13,8 +13,15 @@
 #include "lang/Sema.h"
 #include "ssa/SSAVerifier.h"
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 
 using namespace vrp;
+
+namespace {
+using telemetry::Counter;
+using telemetry::ScopedTimer;
+using telemetry::Timer;
+} // namespace
 
 StatusOr<std::unique_ptr<CompiledProgram>>
 vrp::compileProgram(std::string_view Source, DiagnosticEngine &Diags,
@@ -35,22 +42,43 @@ vrp::compileProgram(std::string_view Source, DiagnosticEngine &Diags,
   }
 
   auto Result = std::make_unique<CompiledProgram>();
-  Result->AST = parseVL(Source, Diags);
+  {
+    ScopedTimer T(Timer::Parse);
+    telemetry::count(Counter::ParseRuns);
+    Result->AST = parseVL(Source, Diags);
+  }
   if (Diags.hasErrors())
     return frontEndError("parse");
-  if (!runSema(*Result->AST, Diags))
-    return frontEndError("sema");
-  Result->IR = generateIR(*Result->AST, Diags);
+  {
+    ScopedTimer T(Timer::Sema);
+    telemetry::count(Counter::SemaRuns);
+    if (!runSema(*Result->AST, Diags))
+      return frontEndError("sema");
+  }
+  {
+    ScopedTimer T(Timer::IRGen);
+    telemetry::count(Counter::IRGenRuns);
+    Result->IR = generateIR(*Result->AST, Diags);
+  }
   if (!Result->IR)
     return Ret::failure(ErrorCategory::Internal, "irgen",
                         Diags.firstError().empty() ? "IR generation failed"
                                                    : Diags.firstError());
 
-  Result->SSA = constructSSA(*Result->IR);
-  if (Opts.EnableAssertions)
+  {
+    ScopedTimer T(Timer::SSAConstruction);
+    telemetry::count(Counter::SSAConstructions);
+    Result->SSA = constructSSA(*Result->IR);
+  }
+  if (Opts.EnableAssertions) {
+    ScopedTimer T(Timer::AssertionInsertion);
+    telemetry::count(Counter::AssertionInsertions);
     Result->Assertions = insertAssertions(*Result->IR);
+  }
 
   // Internal consistency: the whole pipeline must leave verifiable IR.
+  ScopedTimer T(Timer::Verify);
+  telemetry::count(Counter::VerifyRuns);
   std::vector<std::string> Problems;
   if (!verifyModule(*Result->IR, Problems, /*ExpectPhis=*/true) ||
       !verifySSA(*Result->IR, Problems)) {
@@ -73,6 +101,7 @@ vrp::compileToSSA(std::string_view Source, DiagnosticEngine &Diags,
 FinalPredictionMap vrp::finalizePredictions(const Function &F,
                                             const FunctionVRPResult &VRP,
                                             AnalysisCache *Cache) {
+  ScopedTimer T(Timer::Finalize);
   FinalPredictionMap Result;
   // The heuristic pass (dominators, loops, postdominators, DFS, eight
   // heuristics) only runs if some branch actually needs the fallback.
@@ -103,6 +132,7 @@ FinalPredictionMap vrp::finalizePredictions(const Function &F,
       Final.ProbTrue = Pred.ProbTrue;
       Final.Source = PredictionSource::Range;
     } else {
+      telemetry::count(Counter::BallLarusFallbackBranches);
       const BranchProbMap &Probs = fallbackProbs();
       auto It = Probs.find(Branch);
       Final.ProbTrue = It == Probs.end() ? 0.5 : It->second;
@@ -111,6 +141,31 @@ FinalPredictionMap vrp::finalizePredictions(const Function &F,
     Result[Branch] = Final;
   }
   return Result;
+}
+
+void vrp::accumulateModuleStats(VRPStats &Stats, const ModuleVRPResult &VRP) {
+  Stats.Ranges += VRP.Total;
+  Stats.FunctionsAnalyzed += static_cast<unsigned>(VRP.PerFunction.size());
+  Stats.FunctionsDegraded += VRP.FunctionsDegraded;
+  Stats.FunctionsCloned += VRP.FunctionsCloned;
+  Stats.Rounds += VRP.Rounds;
+}
+
+void vrp::accumulatePredictionStats(VRPStats &Stats,
+                                    const FinalPredictionMap &Predictions) {
+  for (const auto &[Branch, Pred] : Predictions) {
+    switch (Pred.Source) {
+    case PredictionSource::Range:
+      ++Stats.RangePredictedBranches;
+      break;
+    case PredictionSource::Heuristic:
+      ++Stats.HeuristicBranches;
+      break;
+    case PredictionSource::Unreachable:
+      ++Stats.UnreachableBranches;
+      break;
+    }
+  }
 }
 
 double vrp::rangePredictedFraction(const FinalPredictionMap &Predictions) {

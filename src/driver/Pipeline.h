@@ -93,6 +93,42 @@ FinalPredictionMap finalizePredictions(const Function &F,
 /// Fraction of branches in \p Predictions predicted from ranges.
 double rangePredictedFraction(const FinalPredictionMap &Predictions);
 
+/// Per-run VRP statistics, assembled from structured analysis results
+/// (ModuleVRPResult + final prediction maps) rather than the global
+/// telemetry shards, so a benchmark's numbers are attributable even when
+/// many benchmarks run concurrently. Aggregates with += per benchmark in
+/// the evaluation harness and suite-wide in SuiteEvaluation.
+struct VRPStats {
+  RangeStats Ranges;               ///< Engine work counters (Figures 5/6).
+  unsigned FunctionsAnalyzed = 0;  ///< Functions propagation covered.
+  unsigned FunctionsDegraded = 0;  ///< Budget/deadline fallbacks.
+  unsigned FunctionsCloned = 0;    ///< §3.7 cloning (when enabled).
+  unsigned Rounds = 0;             ///< Interprocedural fixpoint rounds.
+  uint64_t RangePredictedBranches = 0;
+  uint64_t HeuristicBranches = 0;  ///< Ball–Larus fallback decisions.
+  uint64_t UnreachableBranches = 0;
+
+  VRPStats &operator+=(const VRPStats &R) {
+    Ranges += R.Ranges;
+    FunctionsAnalyzed += R.FunctionsAnalyzed;
+    FunctionsDegraded += R.FunctionsDegraded;
+    FunctionsCloned += R.FunctionsCloned;
+    Rounds += R.Rounds;
+    RangePredictedBranches += R.RangePredictedBranches;
+    HeuristicBranches += R.HeuristicBranches;
+    UnreachableBranches += R.UnreachableBranches;
+    return *this;
+  }
+};
+
+/// Folds a whole-module propagation result into \p Stats.
+void accumulateModuleStats(VRPStats &Stats, const ModuleVRPResult &VRP);
+
+/// Folds one function's final predictions (the per-branch decision
+/// sources) into \p Stats.
+void accumulatePredictionStats(VRPStats &Stats,
+                               const FinalPredictionMap &Predictions);
+
 } // namespace vrp
 
 #endif // VRP_DRIVER_PIPELINE_H

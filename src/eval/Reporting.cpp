@@ -8,6 +8,8 @@
 
 #include "support/Format.h"
 
+#include <cstdio>
+
 using namespace vrp;
 
 void vrp::printCdfTable(const std::map<PredictorKind, ErrorCdf> &Curves,
@@ -40,6 +42,117 @@ void vrp::printCdfTable(const std::map<PredictorKind, ErrorCdf> &Curves,
   Table.addRow(std::move(MeanRow));
   Table.print(OS);
   OS << "\n";
+}
+
+namespace {
+
+/// Minimal JSON string escaping (benchmark names are identifiers, but a
+/// malformed-corpus name must not break the report).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+      continue;
+    }
+    Out += C;
+  }
+  return Out;
+}
+
+void writeVrpStats(const VRPStats &S, const char *Indent, std::ostream &OS) {
+  OS << "{\n";
+  auto field = [&](const char *Key, uint64_t V, bool Last = false) {
+    OS << Indent << "  \"" << Key << "\": " << V << (Last ? "\n" : ",\n");
+  };
+  field("expr_evaluations", S.Ranges.ExprEvaluations);
+  field("subrange_ops", S.Ranges.SubOps);
+  field("phi_evaluations", S.Ranges.PhiEvaluations);
+  field("branch_evaluations", S.Ranges.BranchEvaluations);
+  field("derivations_tried", S.Ranges.DerivationsTried);
+  field("derivations_matched", S.Ranges.DerivationsMatched);
+  field("widenings", S.Ranges.Widenings);
+  field("functions_analyzed", S.FunctionsAnalyzed);
+  field("functions_degraded", S.FunctionsDegraded);
+  field("functions_cloned", S.FunctionsCloned);
+  field("rounds", S.Rounds);
+  field("range_predicted_branches", S.RangePredictedBranches);
+  field("heuristic_branches", S.HeuristicBranches);
+  field("unreachable_branches", S.UnreachableBranches, /*Last=*/true);
+  OS << Indent << "}";
+}
+
+void writeCacheStats(const AnalysisCacheStats &S, const char *Indent,
+                     std::ostream &OS) {
+  OS << "{\n"
+     << Indent << "  \"hits\": " << S.Hits << ",\n"
+     << Indent << "  \"misses\": " << S.Misses << ",\n"
+     << Indent << "  \"invalidations\": " << S.Invalidations << "\n"
+     << Indent << "}";
+}
+
+} // namespace
+
+void vrp::writeSuiteStatsJson(const SuiteEvaluation &Suite,
+                              const telemetry::Snapshot &Telemetry,
+                              std::ostream &OS, bool IncludeTimings) {
+  OS << "{\n  \"benchmarks\": [\n";
+  for (size_t I = 0; I < Suite.Benchmarks.size(); ++I) {
+    const BenchmarkEvaluation &B = Suite.Benchmarks[I];
+    OS << "    {\n"
+       << "      \"name\": \"" << jsonEscape(B.Name) << "\",\n"
+       << "      \"ok\": " << (B.Ok ? "true" : "false") << ",\n"
+       << "      \"degraded_functions\": " << B.DegradedFunctions << ",\n"
+       << "      \"partial_profile\": "
+       << (B.PartialProfile ? "true" : "false") << ",\n"
+       << "      \"static_branches\": " << B.StaticBranches << ",\n"
+       << "      \"vrp\": ";
+    writeVrpStats(B.VRP, "      ", OS);
+    OS << ",\n      \"cache\": ";
+    writeCacheStats(B.Cache, "      ", OS);
+    OS << "\n    }" << (I + 1 < Suite.Benchmarks.size() ? "," : "") << "\n";
+  }
+  OS << "  ],\n";
+  OS << "  \"totals\": {\n"
+     << "    \"benchmarks\": " << Suite.Benchmarks.size() << ",\n"
+     << "    \"failures\": " << Suite.Failures.size() << ",\n"
+     << "    \"degraded_functions\": " << Suite.DegradedFunctions << ",\n"
+     << "    \"vrp\": ";
+  writeVrpStats(Suite.VRPTotals, "    ", OS);
+  OS << ",\n    \"cache\": ";
+  writeCacheStats(Suite.CacheTotals, "    ", OS);
+  OS << "\n  },\n";
+
+  // Process-wide telemetry counters, in enum order.
+  OS << "  \"counters\": {\n";
+  for (unsigned I = 0; I < telemetry::NumCounters; ++I) {
+    OS << "    \""
+       << telemetry::counterName(static_cast<telemetry::Counter>(I))
+       << "\": " << Telemetry.Counters[I]
+       << (I + 1 < telemetry::NumCounters ? ",\n" : "\n");
+  }
+  OS << "  }";
+
+  // Wall-clock is nondeterministic by nature; it must stay the LAST
+  // top-level key so determinism checks can strip everything from the
+  // "timings" line onward.
+  if (IncludeTimings) {
+    OS << ",\n  \"timings\": {\n";
+    for (unsigned I = 0; I < telemetry::NumTimers; ++I) {
+      OS << "    \""
+         << telemetry::timerName(static_cast<telemetry::Timer>(I))
+         << "\": {\"ns\": " << Telemetry.TimerNanos[I]
+         << ", \"calls\": " << Telemetry.TimerCalls[I] << "}"
+         << (I + 1 < telemetry::NumTimers ? ",\n" : "\n");
+    }
+    OS << "  }";
+  }
+  OS << "\n}\n";
 }
 
 void vrp::printSuiteReport(const SuiteEvaluation &Suite,

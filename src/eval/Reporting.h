@@ -15,6 +15,7 @@
 #define VRP_EVAL_REPORTING_H
 
 #include "eval/SuiteRunner.h"
+#include "support/Telemetry.h"
 
 #include <ostream>
 
@@ -28,6 +29,17 @@ void printSuiteReport(const SuiteEvaluation &Suite, const std::string &Title,
 /// Prints one CDF table (rows: error buckets; columns: predictors).
 void printCdfTable(const std::map<PredictorKind, ErrorCdf> &Curves,
                    const std::string &Caption, std::ostream &OS);
+
+/// Writes the machine-readable stats report (schema: docs/TELEMETRY.md):
+/// per-benchmark and suite-total VRP/cache counters from \p Suite plus
+/// the process-wide telemetry counters from \p Telemetry. Every
+/// nondeterministic field (the wall-clock timers) lives under a single
+/// "timings" key emitted LAST, so reproducibility checks can strip it
+/// with `sed '/"timings"/,$d'` and byte-compare the rest across thread
+/// counts; passing \p IncludeTimings = false omits the key entirely.
+void writeSuiteStatsJson(const SuiteEvaluation &Suite,
+                         const telemetry::Snapshot &Telemetry,
+                         std::ostream &OS, bool IncludeTimings = true);
 
 } // namespace vrp
 

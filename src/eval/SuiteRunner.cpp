@@ -50,10 +50,13 @@ namespace {
 BranchProbMap vrpModulePredictions(Module &M, const VRPOptions &Opts,
                                    double *RangeFraction,
                                    AnalysisCache *Cache = nullptr,
-                                   unsigned *DegradedFunctions = nullptr) {
+                                   unsigned *DegradedFunctions = nullptr,
+                                   VRPStats *Stats = nullptr) {
   ModuleVRPResult R = runModuleVRP(M, Opts, Cache);
   if (DegradedFunctions)
     *DegradedFunctions = R.FunctionsDegraded;
+  if (Stats)
+    accumulateModuleStats(*Stats, R);
   BranchProbMap Probs;
   unsigned Total = 0, FromRanges = 0;
   for (const auto &F : M.functions()) {
@@ -61,6 +64,8 @@ BranchProbMap vrpModulePredictions(Module &M, const VRPOptions &Opts,
     if (!FR)
       continue;
     FinalPredictionMap Final = finalizePredictions(*F, *FR, Cache);
+    if (Stats)
+      accumulatePredictionStats(*Stats, Final);
     for (const auto &[Branch, Pred] : Final) {
       Probs[Branch] = Pred.ProbTrue;
       ++Total;
@@ -252,8 +257,9 @@ BenchmarkEvaluation evaluateProgramImpl(const BenchmarkProgram &Program,
   // PredictorKind::VRP probability map scored below. Budget-degraded
   // functions (step cap or deadline inside runModuleVRP) are counted, not
   // failed: their branches carry Ball–Larus fallback predictions.
-  BranchProbMap VRPProbs = vrpModulePredictions(
-      M, Opts, &Eval.VRPRangeFraction, &Cache, &Eval.DegradedFunctions);
+  BranchProbMap VRPProbs =
+      vrpModulePredictions(M, Opts, &Eval.VRPRangeFraction, &Cache,
+                           &Eval.DegradedFunctions, &Eval.VRP);
 
   if (Deadline.blown())
     return failEvaluation(std::move(Eval), ErrorCategory::BudgetExceeded,
@@ -354,6 +360,7 @@ SuiteEvaluation vrp::evaluateSuite(
 
   for (const BenchmarkEvaluation &B : Suite.Benchmarks) {
     Suite.CacheTotals += B.Cache;
+    Suite.VRPTotals += B.VRP;
     Suite.DegradedFunctions += B.DegradedFunctions;
     if (B.Failure)
       Suite.Failures.push_back(*B.Failure);

@@ -77,6 +77,11 @@ struct BenchmarkEvaluation {
   unsigned ExecutedBranches = 0; ///< Executed by the reference run.
   double VRPRangeFraction = 0.0; ///< Share of branches VRP predicted from
                                  ///< ranges (rest fell back to heuristics).
+  /// Per-benchmark VRP work/outcome counters from the scored VRP run
+  /// (engine evaluations, degradations, per-branch decision sources).
+  /// Assembled from that run's structured results, so the numbers stay
+  /// attributable to this benchmark under the parallel suite fan-out.
+  VRPStats VRP;
   /// Analysis-cache efficiency over this benchmark's evaluation.
   AnalysisCacheStats Cache;
   /// Per predictor: {unweighted CDF, weighted CDF}.
@@ -90,6 +95,8 @@ struct SuiteEvaluation {
   std::map<PredictorKind, ErrorCdf> AveragedWeighted;
   /// Summed analysis-cache counters across benchmarks.
   AnalysisCacheStats CacheTotals;
+  /// Summed per-benchmark VRP counters (deterministic at any Threads).
+  VRPStats VRPTotals;
   /// Every per-benchmark failure, in benchmark order. Under the parallel
   /// fan-out this aggregates ALL failed tasks, not just the first.
   std::vector<FailureInfo> Failures;

@@ -9,6 +9,7 @@
 #include "analysis/AnalysisCache.h"
 #include "analysis/CallGraph.h"
 #include "interproc/FunctionCloning.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <cassert>
@@ -54,6 +55,9 @@ private:
   /// budget runs out, manufactured here when the module deadline leaves
   /// no time to analyze \p F at all.
   static FunctionVRPResult degradedResult(const Function &F) {
+    // The engine counts degradations it produces itself; this result is
+    // manufactured without ever entering the engine, so count it here.
+    telemetry::count(telemetry::Counter::BudgetDegradations);
     FunctionVRPResult R;
     R.F = &F;
     R.Degraded = true;
@@ -290,6 +294,7 @@ ModuleVRPResult InterprocDriver::run() {
 
 ModuleVRPResult vrp::runModuleVRP(Module &M, const VRPOptions &Opts,
                                   AnalysisCache *Cache) {
+  telemetry::ScopedTimer T(telemetry::Timer::Propagation);
   unsigned Threads = ThreadPool::resolveThreadCount(Opts.Threads);
   if (Threads > 1 && M.functions().size() > 1) {
     ThreadPool Pool(Threads);

@@ -19,6 +19,10 @@
 
 namespace vrp {
 
+namespace trace {
+class TraceSink;
+} // namespace trace
+
 /// Resource budgets with graceful degradation. The paper's algorithm
 /// already degrades per-value (⊥ ranges fall back to heuristics, §3.5);
 /// these caps extend the same contract to whole stages: when a budget
@@ -109,6 +113,12 @@ struct VRPOptions {
   /// changing predictions (the paper's linearity claim depends on the
   /// propagation winding down quickly).
   double ProbTolerance = 1e-6;
+
+  /// When set, the engine records lattice transitions (old range → new
+  /// range, triggering edge) for every function the sink's filter
+  /// accepts, ring-buffered per function (see vrp/Trace.h). Not owned;
+  /// must outlive the analysis. Null = no tracing.
+  trace::TraceSink *Trace = nullptr;
 };
 
 /// Counters behind the paper's Figures 5 and 6 (algorithm efficiency).

@@ -9,7 +9,9 @@
 #include "analysis/AnalysisCache.h"
 #include "analysis/DFS.h"
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 #include "vrp/Derivation.h"
+#include "vrp/Trace.h"
 
 #include <memory>
 
@@ -63,7 +65,10 @@ public:
          const PropagationContext &Ctx)
       : F(F), Opts(Opts), Ctx(Ctx), Ops(Opts, Result.Stats),
         OwnedDFS(Ctx.Cache ? nullptr : std::make_unique<DFSInfo>(F)),
-        DFS(Ctx.Cache ? Ctx.Cache->dfs(F) : *OwnedDFS) {}
+        DFS(Ctx.Cache ? Ctx.Cache->dfs(F) : *OwnedDFS) {
+    if (Opts.Trace && Opts.Trace->wants(F))
+      Ring = std::make_unique<trace::TraceRing>(Opts.Trace->capacity());
+  }
 
   FunctionVRPResult run();
 
@@ -94,6 +99,9 @@ private:
     ValueRange Old = rangeOf(I);
     if (Old.equals(VR, 1e-12))
       return false; // Exactly converged.
+    if (Ring)
+      Ring->record(trace::TraceEvent{I->displayName(), Old.str(), VR.str(),
+                                     CurrentTrigger, CurrentStep});
     bool Material =
         !Old.sameSupport(VR) || !Old.equals(VR, Opts.ProbTolerance);
     Result.Ranges[I] = VR; // Always keep the most precise result.
@@ -176,6 +184,41 @@ private:
   std::unordered_map<const CondBrInst *, unsigned> BranchUpdates;
   std::unordered_map<const CondBrInst *, double> BranchFraction;
   std::set<const CondBrInst *> BranchFromRanges;
+
+  /// Tracing state: a ring exists only when the sink wants this function.
+  std::unique_ptr<trace::TraceRing> Ring;
+  /// What caused the evaluation now in flight ("flow bbA -> bbB" or
+  /// "ssa %v"); stamped onto recorded transitions.
+  std::string CurrentTrigger = "seed";
+  /// Worklist step counter (always maintained; the budget check and the
+  /// trace both read it).
+  uint64_t CurrentStep = 0;
+
+  /// Folds the per-run RangeStats into the global telemetry counters in
+  /// one bulk add per run (no per-event cost on top of RangeStats, which
+  /// the figures need anyway).
+  void reportStats() {
+    if (!telemetry::enabled())
+      return;
+    using telemetry::Counter;
+    const RangeStats &S = Result.Stats;
+    telemetry::count(Counter::ExprEvaluations, S.ExprEvaluations);
+    telemetry::count(Counter::SubRangeOps, S.SubOps);
+    telemetry::count(Counter::PhiEvaluations, S.PhiEvaluations);
+    telemetry::count(Counter::BranchEvaluations, S.BranchEvaluations);
+    telemetry::count(Counter::DerivationsTried, S.DerivationsTried);
+    telemetry::count(Counter::DerivationsMatched, S.DerivationsMatched);
+    telemetry::count(Counter::Widenings, S.Widenings);
+  }
+
+  /// Publishes the trace ring to the sink, if tracing is live.
+  void finishTrace() {
+    if (!Ring || !Opts.Trace)
+      return;
+    telemetry::count(telemetry::Counter::TraceEventsRecorded,
+                     Ring->recorded());
+    Opts.Trace->install(Ring->finish(F.name()));
+  }
 };
 
 } // namespace
@@ -407,6 +450,7 @@ void Engine::evaluateInstruction(const Instruction *I) {
 }
 
 FunctionVRPResult Engine::run() {
+  telemetry::count(telemetry::Counter::PropagationRuns);
   Result.F = &F;
   unsigned N = F.numBlocks();
   OutProbs.assign(N, {0.0, 0.0});
@@ -422,18 +466,22 @@ FunctionVRPResult Engine::run() {
   // cap is hit the function degrades to the heuristic fallback instead of
   // failing — the infrastructure mirror of the paper's ⊥-range fallback.
   const uint64_t StepBudget = Opts.Budget.PropagationStepLimit;
-  uint64_t StepsUsed = 0;
   bool Degraded = fault::shouldFail("vrp-budget");
 
   // Step 2: run until both lists are empty, preferring flow items.
   while (!Degraded && (!FlowWorkList.empty() || !SSAWorkList.empty())) {
-    if (StepBudget != 0 && ++StepsUsed > StepBudget) {
+    ++CurrentStep;
+    if (StepBudget != 0 && CurrentStep > StepBudget) {
       Degraded = true;
       break;
     }
     if (!FlowWorkList.empty()) {
       auto [From, To] = FlowWorkList.front();
       FlowWorkList.pop_front();
+      if (Ring)
+        CurrentTrigger = "flow " +
+                         (From ? From->name() : std::string("entry")) +
+                         " -> " + To->name();
 
       // Step 3: visit the target node.
       double OldProb = Result.BlockProb[To->id()];
@@ -473,8 +521,11 @@ FunctionVRPResult Engine::run() {
     // Step 5/6 guard: only evaluate when the node can execute.
     if (!Visited[I->parent()->id()])
       continue;
+    if (Ring)
+      CurrentTrigger = "ssa " + I->displayName();
     evaluateInstruction(I);
   }
+  telemetry::count(telemetry::Counter::PropagationSteps, CurrentStep);
 
   if (Degraded) {
     // Partial lattice state is unsound to expose (a range caught
@@ -488,6 +539,9 @@ FunctionVRPResult Engine::run() {
     for (const auto &B : F.blocks())
       if (const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
         Result.Branches[CBr] = BranchPrediction{0.5, false, true};
+    telemetry::count(telemetry::Counter::BudgetDegradations);
+    reportStats();
+    finishTrace();
     return Result;
   }
 
@@ -513,6 +567,8 @@ FunctionVRPResult Engine::run() {
     }
     Result.Branches[CBr] = Pred;
   }
+  reportStats();
+  finishTrace();
   return Result;
 }
 

@@ -6,6 +6,8 @@
 
 #include "vrp/RangeOps.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -236,19 +238,25 @@ bool RangeOps::pairRem(const SubRange &A, const SubRange &B,
   if (!A.isNumeric() || !B.isNumeric())
     return false;
   double Prob = A.Prob * B.Prob;
-  // Divisor must exclude zero.
-  if (B.Lo.Offset <= 0 && B.Hi.Offset >= 0) {
-    if (B.isSingleton())
-      return false; // x % 0.
-    return false;   // May be zero at runtime; undefined.
-  }
-  int64_t M =
-      std::max(saturatingAbs(B.Lo.Offset), saturatingAbs(B.Hi.Offset));
-  if (M == Int64Min)
-    return false;
-  // C semantics: result sign follows the dividend; |result| < M.
-  if (A.Lo.Offset >= 0 && A.Hi.Offset < M && B.isSingleton()) {
-    // Entirely within one period: identity.
+  // A divisor that can only be zero is undefined: ⊥. A range that merely
+  // spans zero keeps its nonzero values — undefined executions contribute
+  // no outcomes, mirroring pairDiv's exclusion of zero divisors.
+  if (B.isSingleton() && B.Lo.Offset == 0)
+    return false; // x % 0.
+  // Largest inclusive remainder magnitude: |r| <= |b| - 1 <= MaxMag. When
+  // the divisor can be Int64Min, |b| - 1 is exactly Int64Max; computing it
+  // through saturatingAbs would silently understate the bound by one
+  // (|Int64Min| saturates to Int64Max), so that case is taken directly.
+  int64_t MaxMag =
+      B.Lo.Offset == Int64Min
+          ? Int64Max
+          : std::max(saturatingAbs(B.Lo.Offset),
+                     saturatingAbs(B.Hi.Offset)) -
+                1;
+  // C semantics: result sign follows the dividend; |result| <= MaxMag.
+  if (A.Lo.Offset >= 0 && A.Hi.Offset <= MaxMag && B.isSingleton()) {
+    // Entirely within one period: identity (also exact for b = Int64Min,
+    // where x % b == x for every representable non-negative x).
     Out.push_back(A.withProb(Prob));
     return true;
   }
@@ -271,10 +279,10 @@ bool RangeOps::pairRem(const SubRange &A, const SubRange &B,
         makePiece(Prob, 0, std::min(A.Hi.Offset, C - 1), 1));
     return true;
   }
-  // General case: |result| < M, result sign follows the dividend, and the
-  // result magnitude never exceeds the dividend magnitude.
-  int64_t Lo = A.Lo.Offset >= 0 ? 0 : std::max(A.Lo.Offset, -(M - 1));
-  int64_t Hi = A.Hi.Offset <= 0 ? 0 : std::min(A.Hi.Offset, M - 1);
+  // General case: |result| <= MaxMag, result sign follows the dividend,
+  // and the result magnitude never exceeds the dividend magnitude.
+  int64_t Lo = A.Lo.Offset >= 0 ? 0 : std::max(A.Lo.Offset, -MaxMag);
+  int64_t Hi = A.Hi.Offset <= 0 ? 0 : std::min(A.Hi.Offset, MaxMag);
   Out.push_back(makePiece(Prob, Lo, Hi, 1));
   return true;
 }
@@ -496,6 +504,7 @@ ValueRange RangeOps::floatToInt(const ValueRange &V) {
 
 ValueRange RangeOps::meetWeighted(
     const std::vector<std::pair<ValueRange, double>> &Entries) {
+  telemetry::count(telemetry::Counter::Meets);
   double TotalWeight = 0.0;
   bool SawFloat = false, SawRanges = false;
   double FloatVal = 0.0;
@@ -754,8 +763,22 @@ ValueRange RangeOps::applyAssert(const ValueRange &Src, CmpPred Pred,
   }
   if (Out.empty())
     return ValueRange::bottom(); // Contradicted assert: edge unreachable.
+  // Clipping drops the excluded values' probability mass (EQ keeps one
+  // point's worth, NE removes the interior, LT/GT shave the tails), so
+  // the surviving pieces no longer sum to 1. Renormalize here — the
+  // split site that drifts — rather than relying on the canonicalizer's
+  // silent backstop, and count the event so tests can observe it.
+  double Total = 0.0;
+  for (const SubRange &S : Out)
+    Total += S.Prob;
+  if (Total > 0.0 && std::abs(Total - 1.0) > 1e-9) {
+    telemetry::count(telemetry::Counter::RangeNormalizations);
+    for (SubRange &S : Out)
+      S.Prob /= Total;
+  }
   ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
   Result.setDistributionKnown(SrcR.distributionKnown());
+  Result.assertNormalized();
   return Result;
 }
 

@@ -1,0 +1,54 @@
+//===- vrp/Trace.cpp - Opt-in propagation tracing -------------------------===//
+
+#include "vrp/Trace.h"
+
+#include "ir/Function.h"
+
+namespace vrp {
+namespace trace {
+
+FunctionTrace TraceRing::finish(std::string FunctionName) const {
+  FunctionTrace T;
+  T.Function = std::move(FunctionName);
+  T.Recorded = Recorded;
+  T.Events.reserve(Buffer.size());
+  if (Buffer.size() < Capacity) {
+    T.Events = Buffer;
+    return T;
+  }
+  // Full ring: Next points at the oldest surviving event.
+  for (size_t I = 0; I < Buffer.size(); ++I)
+    T.Events.push_back(Buffer[(Next + I) % Buffer.size()]);
+  return T;
+}
+
+bool TraceSink::wants(const Function &F) const {
+  return Filter.empty() || F.name() == Filter;
+}
+
+void TraceSink::install(FunctionTrace T) {
+  std::lock_guard<std::mutex> L(M);
+  Traces[T.Function] = std::move(T);
+}
+
+std::map<std::string, FunctionTrace> TraceSink::traces() const {
+  std::lock_guard<std::mutex> L(M);
+  return Traces;
+}
+
+void TraceSink::print(std::ostream &OS) const {
+  std::map<std::string, FunctionTrace> Snap = traces();
+  for (const auto &[Name, T] : Snap) {
+    OS << "trace of " << Name << ": " << T.Recorded << " transition"
+       << (T.Recorded == 1 ? "" : "s");
+    if (T.Recorded > T.Events.size())
+      OS << " (showing last " << T.Events.size() << ")";
+    OS << "\n";
+    for (const TraceEvent &E : T.Events)
+      OS << "  [" << E.Step << "] " << E.Value << ": " << E.Old << " -> "
+         << E.New << "  (" << E.Trigger << ")\n";
+  }
+}
+
+} // namespace trace
+} // namespace vrp

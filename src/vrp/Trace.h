@@ -1,0 +1,119 @@
+//===- vrp/Trace.h - Opt-in propagation tracing -----------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opt-in recording of lattice transitions inside the propagation engine:
+/// each time an SSA value's range changes, the engine emits
+/// (value, old range, new range, triggering edge, step index). Events are
+/// ring-buffered per function — bounded memory no matter how long the
+/// fixpoint takes — and only functions matching the sink's filter record
+/// anything, so `--trace=<function>` costs nothing elsewhere.
+///
+/// The engine fills a private TraceRing while it runs and publishes the
+/// unrolled events to the shared TraceSink once per function, under a
+/// mutex; with the deterministic engine, a function's event list is
+/// identical at any thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_VRP_TRACE_H
+#define VRP_VRP_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+class Function;
+
+namespace trace {
+
+/// One lattice transition: \p Value went from \p Old to \p New because
+/// of \p Trigger (a flow edge "bb0 -> bb2" or an SSA push "ssa %x") at
+/// worklist step \p Step.
+struct TraceEvent {
+  std::string Value;
+  std::string Old;
+  std::string New;
+  std::string Trigger;
+  uint64_t Step = 0;
+};
+
+/// The (possibly truncated) transition history of one function.
+struct FunctionTrace {
+  std::string Function;
+  uint64_t Recorded = 0; ///< Total events seen, including evicted ones.
+  std::vector<TraceEvent> Events; ///< Last `capacity` events, in order.
+};
+
+/// Fixed-capacity event ring the engine writes into while analyzing one
+/// function. Engine-local — no locking.
+class TraceRing {
+public:
+  explicit TraceRing(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
+
+  void record(TraceEvent E) {
+    ++Recorded;
+    if (Buffer.size() < Capacity) {
+      Buffer.push_back(std::move(E));
+      return;
+    }
+    Buffer[Next] = std::move(E);
+    Next = (Next + 1) % Capacity;
+  }
+
+  uint64_t recorded() const { return Recorded; }
+
+  /// Unrolls the ring into oldest-first order.
+  FunctionTrace finish(std::string FunctionName) const;
+
+private:
+  size_t Capacity;
+  size_t Next = 0; ///< Overwrite cursor once the ring is full.
+  uint64_t Recorded = 0;
+  std::vector<TraceEvent> Buffer;
+};
+
+/// Shared collection point, installed via VRPOptions::Trace. Thread-safe;
+/// traces are keyed by function name so iteration order is deterministic.
+class TraceSink {
+public:
+  /// Records transitions only for functions named \p Filter; an empty
+  /// filter records every function.
+  explicit TraceSink(std::string Filter = "", size_t Capacity = 256)
+      : Filter(std::move(Filter)), Capacity(Capacity) {}
+
+  /// Whether the engine should bother recording \p F at all.
+  bool wants(const Function &F) const;
+
+  size_t capacity() const { return Capacity; }
+
+  /// Publishes a finished per-function trace (replaces any previous trace
+  /// for the same function — re-analysis supersedes).
+  void install(FunctionTrace T);
+
+  /// Snapshot of every collected trace, keyed by function name.
+  std::map<std::string, FunctionTrace> traces() const;
+
+  /// Human-readable dump, one block per function.
+  void print(std::ostream &OS) const;
+
+private:
+  std::string Filter;
+  size_t Capacity;
+  mutable std::mutex M;
+  std::map<std::string, FunctionTrace> Traces;
+};
+
+} // namespace trace
+} // namespace vrp
+
+#endif // VRP_VRP_TRACE_H

@@ -6,6 +6,8 @@
 
 #include "vrp/ValueRange.h"
 
+#include "support/Telemetry.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -120,9 +122,11 @@ ValueRange ValueRange::ranges(std::vector<SubRange> Subs,
   double Total = totalProb(Merged);
   if (Total <= 0.0)
     return bottom();
-  if (std::abs(Total - 1.0) > 1e-12)
+  if (std::abs(Total - 1.0) > 1e-12) {
+    telemetry::count(telemetry::Counter::RangeNormalizations);
     for (SubRange &S : Merged)
       S.Prob /= Total;
+  }
 
   // Coalesce down to the cap: repeatedly merge the numeric pair with the
   // smallest combined span increase. Symbolic subranges only merge with an
@@ -165,6 +169,7 @@ ValueRange ValueRange::ranges(std::vector<SubRange> Subs,
   ValueRange R;
   R.TheKind = Kind::Ranges;
   R.Subs = std::move(Merged);
+  R.assertNormalized();
   return R;
 }
 
@@ -270,6 +275,14 @@ std::optional<double> ValueRange::probNonZero() const {
       P += S.Prob;
   }
   return P;
+}
+
+void ValueRange::assertNormalized(double Epsilon) const {
+  if (TheKind != Kind::Ranges)
+    return;
+  assert(std::abs(totalProb(Subs) - 1.0) <= Epsilon &&
+         "probability mass not conserved");
+  (void)Epsilon;
 }
 
 std::string ValueRange::str() const {

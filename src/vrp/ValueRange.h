@@ -203,6 +203,11 @@ public:
   /// in ways we cannot count).
   std::optional<double> probNonZero() const;
 
+  /// Debug invariant: a Ranges value's piece probabilities must sum to
+  /// 1 within \p Epsilon (probability-mass conservation). No-op for
+  /// ⊤/⊥/float-constant values, which carry no distribution.
+  void assertNormalized(double Epsilon = 1e-9) const;
+
   std::string str() const;
 
 private:

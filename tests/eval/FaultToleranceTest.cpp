@@ -146,6 +146,56 @@ TEST_F(FaultToleranceTest, KOfNFailuresLeaveTheRestBitwiseIdentical) {
   }
 }
 
+TEST_F(FaultToleranceTest, FailuresReportedInBenchmarkOrderUnderThreads) {
+  // FailureInfos must come back in benchmark order, not completion order:
+  // the parallel path collects per-slot results and rebuilds Failures from
+  // the ordered benchmark list, so four faults spread over eight
+  // benchmarks on four threads — where completion order is effectively
+  // adversarial — must still report in suite order, identically to the
+  // serial run.
+  std::vector<const BenchmarkProgram *> Programs = allPrograms();
+  ASSERT_GE(Programs.size(), 8u);
+  Programs.resize(8);
+
+  // Four faults of mixed kinds, keyed to benchmarks deliberately NOT in
+  // index order (7, 1, 5, 3) so a completion-ordered implementation has
+  // every chance to get it wrong.
+  const std::vector<std::string> VictimsInSuiteOrder{
+      Programs[1]->Name, Programs[3]->Name, Programs[5]->Name,
+      Programs[7]->Name};
+  const std::string Spec = "worker@" + Programs[7]->Name + ":0,parse@" +
+                           Programs[1]->Name + ":0,interp@" +
+                           Programs[5]->Name + ":0,parse@" +
+                           Programs[3]->Name + ":0";
+
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  Opts.Threads = 4;
+  ASSERT_TRUE(fault::configure(Spec));
+  SuiteEvaluation Suite = evaluateSuite(Programs, Opts);
+  fault::reset();
+
+  ASSERT_EQ(Suite.Benchmarks.size(), 8u);
+  ASSERT_EQ(Suite.Failures.size(), 4u);
+  for (size_t I = 0; I < Suite.Failures.size(); ++I)
+    EXPECT_EQ(Suite.Failures[I].Benchmark, VictimsInSuiteOrder[I])
+        << "failure " << I << " out of benchmark order: "
+        << Suite.Failures[I].str();
+
+  // The serial run must produce the same failures in the same order.
+  ASSERT_TRUE(fault::configure(Spec));
+  VRPOptions Serial = Opts;
+  Serial.Threads = 1;
+  SuiteEvaluation Reference = evaluateSuite(Programs, Serial);
+  fault::reset();
+  ASSERT_EQ(Reference.Failures.size(), Suite.Failures.size());
+  for (size_t I = 0; I < Suite.Failures.size(); ++I) {
+    EXPECT_EQ(Suite.Failures[I].Benchmark, Reference.Failures[I].Benchmark);
+    EXPECT_EQ(Suite.Failures[I].Category, Reference.Failures[I].Category);
+    EXPECT_EQ(Suite.Failures[I].Stage, Reference.Failures[I].Stage);
+  }
+}
+
 TEST_F(FaultToleranceTest, StepBudgetDegradesToBallLarusFallback) {
   // A starved propagation budget must not fail anything: every starved
   // function falls back to the cached Ball–Larus predictions, exactly as

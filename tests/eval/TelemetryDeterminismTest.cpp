@@ -1,0 +1,74 @@
+//===- tests/eval/TelemetryDeterminismTest.cpp - Stats reproducibility ----===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The telemetry determinism contract, end to end: running the full
+// benchmark suite at 1, 2, and 4 threads must produce bitwise-identical
+// --stats=json output once the (inherently nondeterministic) "timings"
+// object is excluded. This holds because counters depend only on the work
+// performed — the parallel engine pins per-benchmark analysis to one
+// thread and merges shards commutatively — so any schedule dependence is
+// a bug in either the engine or the telemetry merge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "eval/Reporting.h"
+#include "eval/SuiteRunner.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace vrp;
+
+namespace {
+
+/// One armed suite run: reset, evaluate, snapshot, render without the
+/// timings object.
+std::string statsJsonAt(unsigned Threads) {
+  telemetry::reset();
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  Opts.Threads = Threads;
+  SuiteEvaluation Suite = evaluateSuite(allPrograms(), Opts);
+  std::ostringstream OS;
+  writeSuiteStatsJson(Suite, telemetry::snapshot(), OS,
+                      /*IncludeTimings=*/false);
+  return OS.str();
+}
+
+TEST(TelemetryDeterminism, StatsJsonIdenticalAcrossThreadCounts) {
+  telemetry::setEnabled(true);
+  std::string OneThread = statsJsonAt(1);
+  std::string TwoThreads = statsJsonAt(2);
+  std::string FourThreads = statsJsonAt(4);
+  telemetry::reset();
+  telemetry::setEnabled(false);
+
+  // Sanity: the report is substantial and includes all three sections.
+  EXPECT_GT(OneThread.size(), 1000u);
+  EXPECT_NE(OneThread.find("\"benchmarks\""), std::string::npos);
+  EXPECT_NE(OneThread.find("\"totals\""), std::string::npos);
+  EXPECT_NE(OneThread.find("\"counters\""), std::string::npos);
+  EXPECT_EQ(OneThread.find("\"timings\""), std::string::npos);
+
+  EXPECT_EQ(OneThread, TwoThreads)
+      << "stats diverged between 1 and 2 threads";
+  EXPECT_EQ(OneThread, FourThreads)
+      << "stats diverged between 1 and 4 threads";
+}
+
+TEST(TelemetryDeterminism, RepeatedRunsAreIdenticalAtSameThreadCount) {
+  // Same thread count, two runs: the workload itself must be
+  // deterministic for the cross-thread comparison above to mean anything.
+  telemetry::setEnabled(true);
+  std::string First = statsJsonAt(4);
+  std::string Second = statsJsonAt(4);
+  telemetry::reset();
+  telemetry::setEnabled(false);
+  EXPECT_EQ(First, Second);
+}
+
+} // namespace

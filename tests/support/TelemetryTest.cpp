@@ -1,0 +1,174 @@
+//===- tests/support/TelemetryTest.cpp - Counter/timer subsystem ----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Unit tests for the telemetry shards: enable/disable gating, the
+// deterministic cross-thread merge, in-place reset (owning threads cache
+// their shard pointer, so storage must survive), scoped timers, and the
+// stable snake_case naming / JSON shape the determinism checks rely on.
+// Also pins the probability-mass contract: a lossy assert-split must
+// renormalize, and must say so through the RangeNormalizations counter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+#include "vrp/RangeOps.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace vrp;
+using telemetry::Counter;
+using telemetry::Timer;
+
+namespace {
+
+/// Telemetry state is process-global; every test starts armed and clean
+/// and leaves the subsystem disarmed.
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    telemetry::setEnabled(true);
+    telemetry::reset();
+  }
+  void TearDown() override {
+    telemetry::reset();
+    telemetry::setEnabled(false);
+  }
+};
+
+TEST_F(TelemetryTest, DisabledHooksAreInert) {
+  telemetry::setEnabled(false);
+  telemetry::count(Counter::Meets, 1000);
+  { telemetry::ScopedTimer T(Timer::Parse); }
+  telemetry::setEnabled(true);
+  telemetry::Snapshot S = telemetry::snapshot();
+  EXPECT_EQ(S.counter(Counter::Meets), 0u);
+  EXPECT_EQ(S.TimerCalls[static_cast<unsigned>(Timer::Parse)], 0u);
+}
+
+TEST_F(TelemetryTest, CountsAccumulateWhileEnabled) {
+  telemetry::count(Counter::PropagationSteps);
+  telemetry::count(Counter::PropagationSteps, 41);
+  EXPECT_EQ(telemetry::snapshot().counter(Counter::PropagationSteps), 42u);
+}
+
+TEST_F(TelemetryTest, ShardsMergeDeterministicallyAcrossThreads) {
+  constexpr unsigned NumThreads = 4;
+  constexpr uint64_t PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        telemetry::count(Counter::SubRangeOps);
+      telemetry::ScopedTimer Scope(Timer::Propagation);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Exited threads fold into the retired accumulator; the merged total
+  // depends only on the work done, not on schedule or merge order.
+  telemetry::Snapshot S = telemetry::snapshot();
+  EXPECT_EQ(S.counter(Counter::SubRangeOps), NumThreads * PerThread);
+  EXPECT_EQ(S.TimerCalls[static_cast<unsigned>(Timer::Propagation)],
+            uint64_t(NumThreads));
+}
+
+TEST_F(TelemetryTest, SnapshotSeesLiveShards) {
+  // The calling thread's shard is live (not retired) and must still be
+  // part of the merge.
+  telemetry::count(Counter::Widenings, 7);
+  EXPECT_EQ(telemetry::snapshot().counter(Counter::Widenings), 7u);
+}
+
+TEST_F(TelemetryTest, ResetZeroesInPlaceAndShardsStayUsable) {
+  telemetry::count(Counter::Meets, 5);
+  telemetry::reset();
+  EXPECT_EQ(telemetry::snapshot().counter(Counter::Meets), 0u);
+  // The thread's cached shard pointer must still be valid after reset.
+  telemetry::count(Counter::Meets, 3);
+  EXPECT_EQ(telemetry::snapshot().counter(Counter::Meets), 3u);
+}
+
+TEST_F(TelemetryTest, ScopedTimerRecordsElapsedAndCalls) {
+  {
+    telemetry::ScopedTimer T(Timer::Sema);
+    // Any nonzero amount of work; the assertion is calls, not duration.
+    volatile unsigned Sink = 0;
+    for (unsigned I = 0; I < 1000; ++I)
+      Sink = Sink + I;
+  }
+  telemetry::Snapshot S = telemetry::snapshot();
+  EXPECT_EQ(S.TimerCalls[static_cast<unsigned>(Timer::Sema)], 1u);
+}
+
+TEST_F(TelemetryTest, SnapshotAdditionIsSlotWise) {
+  telemetry::count(Counter::Meets, 2);
+  telemetry::Snapshot A = telemetry::snapshot();
+  telemetry::Snapshot B = telemetry::snapshot();
+  A += B;
+  EXPECT_EQ(A.counter(Counter::Meets), 4u);
+}
+
+TEST_F(TelemetryTest, NamesAreUniqueStableSnakeCase) {
+  std::set<std::string> Seen;
+  for (unsigned I = 0; I < telemetry::NumCounters; ++I) {
+    std::string Name =
+        telemetry::counterName(static_cast<Counter>(I));
+    EXPECT_FALSE(Name.empty());
+    for (char C : Name)
+      EXPECT_TRUE((C >= 'a' && C <= 'z') || C == '_' ||
+                  (C >= '0' && C <= '9'))
+          << Name << " is not snake_case";
+    EXPECT_TRUE(Seen.insert(Name).second) << Name << " duplicated";
+  }
+  for (unsigned I = 0; I < telemetry::NumTimers; ++I)
+    EXPECT_TRUE(
+        Seen.insert(telemetry::timerName(static_cast<Timer>(I))).second);
+  EXPECT_EQ(telemetry::counterName(Counter::PropagationSteps),
+            std::string("propagation_steps"));
+}
+
+TEST_F(TelemetryTest, JsonPutsTimingsLastAndOnlyOnRequest) {
+  telemetry::count(Counter::ParseRuns);
+  { telemetry::ScopedTimer T(Timer::Parse); }
+  telemetry::Snapshot S = telemetry::snapshot();
+
+  std::string Without = telemetry::toJson(S, /*IncludeTimings=*/false);
+  EXPECT_EQ(Without.find("timings"), std::string::npos);
+  EXPECT_NE(Without.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Without.find("\"parse_runs\": 1"), std::string::npos);
+
+  std::string With = telemetry::toJson(S);
+  size_t TimingsAt = With.find("\"timings\"");
+  ASSERT_NE(TimingsAt, std::string::npos);
+  // The determinism contract: nothing after "timings" except its object.
+  EXPECT_GT(TimingsAt, With.find("\"counters\""));
+  EXPECT_EQ(With.find("\"counters\"", TimingsAt), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Probability-mass conservation (the RangeNormalizations contract)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TelemetryTest, LossyAssertSplitRenormalizesAndCountsIt) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+
+  // Asserting x != 5 on [0, 10] drops one point's probability mass; the
+  // surviving pieces must be rescaled back to total 1 (debug builds also
+  // assert this in ValueRange::assertNormalized) and the repair must be
+  // visible through the counter.
+  ValueRange Src =
+      ValueRange::ranges({SubRange::numeric(1.0, 0, 10, 1)}, 4);
+  ValueRange Out =
+      Ops.applyAssert(Src, CmpPred::NE, ValueRange::intConstant(5), nullptr);
+  ASSERT_TRUE(Out.isRanges()) << Out.str();
+  EXPECT_NEAR(totalProb(Out.subRanges()), 1.0, 1e-9);
+  EXPECT_GE(telemetry::snapshot().counter(Counter::RangeNormalizations), 1u);
+}
+
+} // namespace

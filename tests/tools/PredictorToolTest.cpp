@@ -64,7 +64,14 @@ fn main() {
 
 class PredictorToolTest : public ::testing::Test {
 protected:
-  std::string Log = ::testing::TempDir() + "predictor_tool_test.log";
+  // ctest runs each discovered case as its own process, in parallel, so
+  // the log file must be unique per test or concurrent cases clobber
+  // each other's output mid-read.
+  std::string Log = ::testing::TempDir() + "predictor_tool_" +
+                    ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+                    ".log";
 };
 
 TEST_F(PredictorToolTest, ValidProgramExitsZero) {
@@ -101,6 +108,68 @@ TEST_F(PredictorToolTest, ExhaustedBudgetDegradesInsteadOfFailing) {
   std::string Text = slurp(Log);
   EXPECT_NE(Text.find("heuristic fallback"), std::string::npos) << Text;
   EXPECT_NE(Text.find("degraded"), std::string::npos) << Text;
+}
+
+TEST_F(PredictorToolTest, StatsFlagPrintsCounters) {
+  std::string File = writeTemp("ptool_stats.vl", ValidSource);
+  EXPECT_EQ(runTool("--stats " + File, Log), 0) << slurp(Log);
+  std::string Text = slurp(Log);
+  EXPECT_NE(Text.find("propagation_steps"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("parse_runs"), std::string::npos) << Text;
+}
+
+TEST_F(PredictorToolTest, StatsJsonPutsTimingsLast) {
+  std::string File = writeTemp("ptool_stats_json.vl", ValidSource);
+  EXPECT_EQ(runTool("--stats=json " + File, Log), 0) << slurp(Log);
+  std::string Text = slurp(Log);
+  size_t Counters = Text.find("\"counters\"");
+  size_t Timings = Text.find("\"timings\"");
+  ASSERT_NE(Counters, std::string::npos) << Text;
+  ASSERT_NE(Timings, std::string::npos) << Text;
+  EXPECT_LT(Counters, Timings) << "timings must be the trailing key";
+}
+
+TEST_F(PredictorToolTest, TraceRecordsLatticeTransitions) {
+  std::string File = writeTemp("ptool_trace.vl", ValidSource);
+  EXPECT_EQ(runTool("--trace=main " + File, Log), 0) << slurp(Log);
+  std::string Text = slurp(Log);
+  EXPECT_NE(Text.find("trace of main"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("->"), std::string::npos) << Text;
+}
+
+TEST_F(PredictorToolTest, TraceOfUnknownFunctionSaysSo) {
+  std::string File = writeTemp("ptool_trace_miss.vl", ValidSource);
+  EXPECT_EQ(runTool("--trace=no_such_fn " + File, Log), 0) << slurp(Log);
+  EXPECT_NE(slurp(Log).find("no function named"), std::string::npos)
+      << slurp(Log);
+}
+
+TEST_F(PredictorToolTest, StatsUsageErrorsExitTwo) {
+  std::string File = writeTemp("ptool_stats_bad.vl", ValidSource);
+  EXPECT_EQ(runTool("--stats=xml " + File, Log), 2);
+  EXPECT_EQ(runTool("--trace= " + File, Log), 2);
+  // --suite takes no input file.
+  EXPECT_EQ(runTool("--suite " + File, Log), 2);
+}
+
+TEST_F(PredictorToolTest, SuiteStatsJsonIsDeterministicAcrossThreads) {
+  // The CLI surface of the determinism contract: non-timing stats from a
+  // full-suite run are identical at 1 and 4 threads.
+  std::string Log1 = ::testing::TempDir() + "ptool_suite_t1.json";
+  std::string Log4 = ::testing::TempDir() + "ptool_suite_t4.json";
+  EXPECT_EQ(runTool("--suite --stats=json --threads=1", Log1), 0)
+      << slurp(Log1);
+  EXPECT_EQ(runTool("--suite --stats=json --threads=4", Log4), 0)
+      << slurp(Log4);
+  auto stripTimings = [](std::string Text) {
+    size_t At = Text.find("\"timings\"");
+    return At == std::string::npos ? Text : Text.substr(0, At);
+  };
+  std::string T1 = stripTimings(slurp(Log1));
+  ASSERT_NE(T1.find("\"benchmarks\""), std::string::npos) << T1;
+  EXPECT_EQ(T1, stripTimings(slurp(Log4)));
+  std::remove(Log1.c_str());
+  std::remove(Log4.c_str());
 }
 
 TEST_F(PredictorToolTest, InjectedParseFaultExitsOne) {

@@ -1,0 +1,305 @@
+//===- tests/vrp/RangeOpsOracleTest.cpp - Exhaustive div/rem/mul oracle ---===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The property tests sample random ranges; this oracle is exhaustive over a
+// small domain instead, because the division and modulo kernels' bugs live
+// in exact corner alignments (zero-spanning divisors, trunc-toward-zero
+// asymmetry, stride/modulus congruences) that random sampling reliably
+// misses. Every subrange [lo : hi : stride] with lo, hi in [-8, 8] and
+// stride in {0, 1, 2, 3} is paired with every other, and div/rem/mul
+// results are checked for containment against brute-force enumeration.
+// Separate cases pin the saturation contract at the Int64Min/Int64Max
+// boundary (where the concrete oracle must itself be computed in 128-bit
+// to stay UB-free — this test runs under UBSan in scripts/check.sh).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MathUtil.h"
+#include "vrp/RangeOps.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace vrp;
+
+namespace {
+
+/// Concrete values of one small numeric subrange (domain values only; do
+/// not call on Int64Min/Max-adjacent ranges).
+std::vector<int64_t> enumerate(const SubRange &S) {
+  std::vector<int64_t> Values;
+  if (S.Stride == 0)
+    return {S.Lo.Offset};
+  for (int64_t V = S.Lo.Offset; V <= S.Hi.Offset; V += S.Stride)
+    Values.push_back(V);
+  return Values;
+}
+
+/// True when \p V lies on some subrange's lattice (overflow-safe via
+/// onLattice, so boundary values are fine).
+bool covers(const ValueRange &VR, int64_t V) {
+  if (!VR.isRanges())
+    return VR.isBottom(); // ⊥ claims nothing and is trivially sound.
+  for (const SubRange &S : VR.subRanges()) {
+    if (!S.isNumeric())
+      return true;
+    if (V >= S.Lo.Offset && V <= S.Hi.Offset &&
+        onLattice(S.Lo.Offset, S.Stride, V))
+      return true;
+  }
+  return false;
+}
+
+/// 64-bit-saturating 128-bit arithmetic: the oracle for what the kernels
+/// must contain. Matches the implementation's contract (Int64Min / -1
+/// saturates to Int64Max instead of trapping) without ever overflowing.
+int64_t saturate(__int128 V) {
+  if (V > Int64Max)
+    return Int64Max;
+  if (V < Int64Min)
+    return Int64Min;
+  return static_cast<int64_t>(V);
+}
+
+int64_t oracleMul(int64_t A, int64_t B) {
+  return saturate(static_cast<__int128>(A) * B);
+}
+int64_t oracleDiv(int64_t A, int64_t B) {
+  return saturate(static_cast<__int128>(A) / B);
+}
+int64_t oracleRem(int64_t A, int64_t B) {
+  return saturate(static_cast<__int128>(A) % B);
+}
+
+/// Every valid subrange shape with bounds in [-8, 8] and stride 0-3.
+std::vector<SubRange> smallDomain() {
+  std::vector<SubRange> Domain;
+  for (int64_t Lo = -8; Lo <= 8; ++Lo) {
+    Domain.push_back(SubRange::singleton(1.0, Lo));
+    for (int64_t Stride = 1; Stride <= 3; ++Stride)
+      for (int64_t Hi = Lo + Stride; Hi <= 8; Hi += Stride)
+        Domain.push_back(SubRange::numeric(1.0, Lo, Hi, Stride));
+  }
+  return Domain;
+}
+
+struct OracleOp {
+  const char *Name;
+  ValueRange (RangeOps::*Fn)(const ValueRange &, const ValueRange &);
+  int64_t (*Concrete)(int64_t, int64_t);
+  bool NeedsNonZeroDivisor;
+};
+
+const OracleOp OracleOps[] = {
+    {"mul", &RangeOps::mul, oracleMul, false},
+    {"div", &RangeOps::div, oracleDiv, true},
+    {"rem", &RangeOps::rem, oracleRem, true},
+};
+
+class SmallDomainOracle : public ::testing::TestWithParam<size_t> {};
+
+// Exhaustive containment: for every subrange pair in the small domain,
+// every defined concrete result must lie in the computed range. Checks are
+// manual (gtest macros per point would dominate the runtime); only
+// violations become failures.
+TEST_P(SmallDomainOracle, EveryConcretePairIsContained) {
+  const OracleOp &Op = OracleOps[GetParam()];
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+
+  std::vector<SubRange> Domain = smallDomain();
+  uint64_t PairsChecked = 0, BottomResults = 0;
+  for (const SubRange &SA : Domain) {
+    ValueRange L = ValueRange::ranges({SA}, Opts.MaxSubRanges);
+    std::vector<int64_t> As = enumerate(SA);
+    for (const SubRange &SB : Domain) {
+      ValueRange R = ValueRange::ranges({SB}, Opts.MaxSubRanges);
+      ValueRange Result = (Ops.*Op.Fn)(L, R);
+      ++PairsChecked;
+      if (Result.isBottom()) {
+        ++BottomResults;
+        continue; // ⊥ is trivially sound.
+      }
+      ASSERT_TRUE(Result.isRanges()) << Op.Name << " " << SA.str() << " x "
+                                     << SB.str() << " -> " << Result.str();
+      double Mass = totalProb(Result.subRanges());
+      if (Mass < 1.0 - 1e-9 || Mass > 1.0 + 1e-9)
+        ADD_FAILURE() << Op.Name << " lost probability mass (" << Mass
+                      << "): " << SA.str() << " x " << SB.str();
+      for (int64_t A : As) {
+        for (int64_t B : enumerate(SB)) {
+          if (Op.NeedsNonZeroDivisor && B == 0)
+            continue;
+          int64_t C = Op.Concrete(A, B);
+          if (!covers(Result, C))
+            ADD_FAILURE()
+                << Op.Name << "(" << A << ", " << B << ") = " << C
+                << " not covered by " << Result.str() << "\n  L = "
+                << L.str() << "\n  R = " << R.str();
+        }
+      }
+    }
+  }
+  // The domain must actually have been exhausted (17 singletons plus the
+  // strided shapes = 257 subranges, 66049 ordered pairs per operator).
+  EXPECT_EQ(PairsChecked, 257u * 257u);
+  // And ⊥ must stay the exception, not a loophole the kernels hide in:
+  // only divisor sets containing nothing but zero may degrade.
+  if (!Op.NeedsNonZeroDivisor)
+    EXPECT_EQ(BottomResults, 0u) << Op.Name << " degraded on small inputs";
+  else
+    EXPECT_LE(BottomResults, 257u)
+        << Op.Name << " degraded beyond the zero-only divisors";
+}
+
+INSTANTIATE_TEST_SUITE_P(DivRemMul, SmallDomainOracle,
+                         ::testing::Range<size_t>(0, std::size(OracleOps)),
+                         [](const auto &Info) {
+                           return OracleOps[Info.param].Name;
+                         });
+
+//===----------------------------------------------------------------------===//
+// Int64Min / Int64Max boundary: the saturation contract
+//===----------------------------------------------------------------------===//
+
+ValueRange piece(int64_t Lo, int64_t Hi, int64_t Stride) {
+  return ValueRange::ranges({SubRange::numeric(1.0, Lo, Hi, Stride)}, 4);
+}
+
+TEST(BoundaryOracle, DivInt64MinByMinusOneSaturates) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  // Int64Min / -1 is the one quotient int64 cannot represent; the kernel
+  // substitutes Int64Max, matching the 128-bit saturating oracle.
+  ValueRange Result = Ops.div(ValueRange::intConstant(Int64Min),
+                              ValueRange::intConstant(-1));
+  ASSERT_TRUE(Result.isRanges()) << Result.str();
+  EXPECT_TRUE(covers(Result, Int64Max)) << Result.str();
+}
+
+TEST(BoundaryOracle, DivStridedNearInt64MinByMinusOne) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  // [Int64Min : Int64Min+4 : 2] / -1: only the Int64Min point saturates.
+  ValueRange Result =
+      Ops.div(piece(Int64Min, Int64Min + 4, 2), ValueRange::intConstant(-1));
+  ASSERT_TRUE(Result.isRanges()) << Result.str();
+  for (int64_t A : {Int64Min, Int64Min + 2, Int64Min + 4})
+    EXPECT_TRUE(covers(Result, oracleDiv(A, -1)))
+        << "quotient of " << A << " missing from " << Result.str();
+}
+
+TEST(BoundaryOracle, DivInt64MinByZeroSpanningDivisor) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  // Divisor [-2, 2] spans zero; defined divisors are {-2, -1, 1, 2}.
+  ValueRange Result =
+      Ops.div(ValueRange::intConstant(Int64Min), piece(-2, 2, 1));
+  ASSERT_TRUE(Result.isRanges()) << Result.str();
+  for (int64_t B : {-2, -1, 1, 2})
+    EXPECT_TRUE(covers(Result, oracleDiv(Int64Min, B)))
+        << "Int64Min / " << B << " missing from " << Result.str();
+}
+
+TEST(BoundaryOracle, RemInt64MinByUnitDivisors) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  // Int64Min % 1 and Int64Min % -1 are both 0 (% -1 is UB on int64
+  // hardware, so the kernel must produce the mathematical result without
+  // evaluating it).
+  for (int64_t B : {int64_t(1), int64_t(-1)}) {
+    ValueRange Result = Ops.rem(ValueRange::intConstant(Int64Min),
+                                ValueRange::intConstant(B));
+    ASSERT_TRUE(Result.isRanges()) << Result.str();
+    EXPECT_TRUE(covers(Result, 0))
+        << "Int64Min % " << B << " missing from " << Result.str();
+  }
+}
+
+TEST(BoundaryOracle, RemByInt64MinKeepsInt64Max) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  // |Int64Min| saturates to Int64Max under saturatingAbs, which used to
+  // understate the remainder bound by one: Int64Max % Int64Min is
+  // Int64Max itself (|dividend| < |divisor|) and must stay contained.
+  ValueRange Result = Ops.rem(ValueRange::intConstant(Int64Max),
+                              ValueRange::intConstant(Int64Min));
+  ASSERT_TRUE(Result.isRanges()) << Result.str();
+  EXPECT_TRUE(covers(Result, Int64Max)) << Result.str();
+
+  // Negative dividends keep their value too: -5 % Int64Min == -5.
+  ValueRange Neg = Ops.rem(ValueRange::intConstant(-5),
+                           ValueRange::intConstant(Int64Min));
+  ASSERT_TRUE(Neg.isRanges()) << Neg.str();
+  EXPECT_TRUE(covers(Neg, -5)) << Neg.str();
+}
+
+TEST(BoundaryOracle, MulSaturatesAtBothEnds) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  struct Case {
+    int64_t ALo, AHi, AStride, B;
+    std::vector<int64_t> Points; // spelled out: ++A past Int64Max is UB
+  } Cases[] = {
+      // Negation saturates at Int64Max for the Int64Min point only.
+      {Int64Min, Int64Min + 2, 1, -1,
+       {Int64Min, Int64Min + 1, Int64Min + 2}},
+      // Overflow toward +inf.
+      {Int64Max - 2, Int64Max, 1, 2, {Int64Max - 2, Int64Max - 1, Int64Max}},
+      // Overflow toward -inf.
+      {Int64Min, Int64Min, 0, 2, {Int64Min}},
+  };
+  for (const Case &C : Cases) {
+    ValueRange Result =
+        Ops.mul(piece(C.ALo, C.AHi, C.AStride), ValueRange::intConstant(C.B));
+    ASSERT_TRUE(Result.isRanges()) << Result.str();
+    for (int64_t A : C.Points)
+      EXPECT_TRUE(covers(Result, oracleMul(A, C.B)))
+          << A << " * " << C.B << " missing from " << Result.str();
+  }
+}
+
+TEST(BoundaryOracle, DivisorExactlyZeroIsBottom) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  // x / {0} and x % {0} have no defined outcome: ⊥, never a fabricated
+  // range.
+  EXPECT_TRUE(
+      Ops.div(piece(-8, 8, 1), ValueRange::intConstant(0)).isBottom());
+  EXPECT_TRUE(
+      Ops.rem(piece(-8, 8, 1), ValueRange::intConstant(0)).isBottom());
+}
+
+TEST(BoundaryOracle, NegativeStrideIsRejectedNotMisread) {
+  // A negative stride is not a reversed range; ValueRange::ranges must
+  // refuse it (⊥) so the arithmetic kernels never see one.
+  ValueRange Bad =
+      ValueRange::ranges({SubRange::numeric(1.0, -8, 8, -2)}, 4);
+  EXPECT_TRUE(Bad.isBottom()) << Bad.str();
+
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  EXPECT_TRUE(Ops.div(Bad, ValueRange::intConstant(2)).isBottom());
+  EXPECT_TRUE(Ops.mul(Bad, ValueRange::intConstant(2)).isBottom());
+  // rem deliberately recovers from a ⊥ dividend — |x % 2| < 2 holds for
+  // any x — so the rejected range resurfaces as the full remainder set,
+  // which must still contain both residues.
+  ValueRange Rem = Ops.rem(Bad, ValueRange::intConstant(2));
+  ASSERT_TRUE(Rem.isRanges()) << Rem.str();
+  EXPECT_TRUE(covers(Rem, -1));
+  EXPECT_TRUE(covers(Rem, 0));
+  EXPECT_TRUE(covers(Rem, 1));
+}
+
+} // namespace
