@@ -7,7 +7,8 @@
 //   predictor_tool [--predictor=vrp|ball-larus|90-50|random]
 //                  [--threads=N] [--budget=N] [--deadline=MS]
 //                  [--dump-ir] [--ranges] [--stats[=json]]
-//                  [--trace=<function>] [--suite] [file.vl]
+//                  [--trace=<function>] [--audit[=json]]
+//                  [--suite] [--journal=<path>] [--resume] [file.vl]
 //
 // Without a file argument it analyzes a built-in demo program. For every
 // conditional branch it prints the predicted taken-probability and, for
@@ -17,9 +18,15 @@
 // --trace=<function> records that function's lattice transitions during
 // propagation. --suite evaluates the built-in benchmark suite instead of
 // a single file (the workload behind the stats-determinism check).
+// --audit arms the soundness sentinel (vrp/Audit.h): executions are
+// replayed with every observed branch value checked against its
+// VRP-computed range; violating functions are quarantined to the
+// heuristic fallback and reported. --journal checkpoints each completed
+// suite benchmark to an append-only JSONL file; --resume skips the
+// benchmarks already journaled there (see docs/ROBUSTNESS.md).
 //
 // Exit codes: 0 success, 1 input rejected with diagnostics, 2 usage
-// error, 3 internal error.
+// error, 3 internal error, 4 soundness violations detected by --audit.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,9 +35,11 @@
 #include "driver/Pipeline.h"
 #include "eval/Reporting.h"
 #include "ir/IRPrinter.h"
+#include "profile/Interpreter.h"
 #include "support/Format.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
+#include "vrp/Audit.h"
 #include "vrp/Trace.h"
 
 #include <exception>
@@ -48,6 +57,7 @@ enum ExitCode : int {
   ExitDiagnostics = 1,
   ExitUsage = 2,
   ExitInternal = 3,
+  ExitAudit = 4,
 };
 
 const char *DemoSource = R"(
@@ -78,7 +88,8 @@ void printUsage() {
   std::cerr << "usage: predictor_tool [--predictor=vrp|ball-larus|90-50|"
                "random] [--threads=N] [--budget=N] [--deadline=MS] "
                "[--dump-ir] [--ranges] [--stats[=json]] "
-               "[--trace=<function>] [--suite] [file.vl]\n"
+               "[--trace=<function>] [--audit[=json]] [--suite] "
+               "[--journal=<path>] [--resume] [file.vl]\n"
                "  --threads=N   fan functions out over N workers during "
                "propagation\n                (0 = all hardware threads; "
                "results are identical at any N)\n"
@@ -95,11 +106,24 @@ void printUsage() {
                "  --trace=<fn>  record <fn>'s lattice transitions "
                "(old range -> new\n                range, triggering "
                "edge) during propagation\n"
+               "  --audit[=json] replay execution under the soundness "
+               "sentinel: every\n                observed branch value is "
+               "checked against its computed\n                range, and "
+               "violating functions are quarantined to the\n"
+               "                heuristic fallback (exit 4 on any "
+               "violation)\n"
                "  --suite       evaluate the built-in benchmark suite "
                "instead of one\n                file (combine with "
                "--stats=json for the determinism check)\n"
+               "  --journal=<p> checkpoint each completed suite benchmark "
+               "to JSONL file\n                <p>, flushed as it "
+               "finishes (suite mode only)\n"
+               "  --resume      reuse results already in the --journal "
+               "file instead of\n                re-evaluating those "
+               "benchmarks\n"
                "exit codes: 0 success, 1 diagnostics, 2 usage error, "
-               "3 internal error\n";
+               "3 internal error,\n            4 soundness violations "
+               "detected by --audit\n";
 }
 
 /// Parses a digits-only unsigned option value. stoul alone would accept
@@ -119,6 +143,8 @@ int runTool(int argc, char **argv) {
   std::string PredictorName = "vrp";
   bool DumpIR = false, DumpRanges = false;
   bool Stats = false, StatsJson = false, Suite = false;
+  bool Audit = false, AuditJson = false, Resume = false;
+  std::string JournalPath;
   std::string TraceFn;
   unsigned Threads = 1;
   uint64_t StepBudget = 0, DeadlineMs = 0;
@@ -145,6 +171,23 @@ int runTool(int argc, char **argv) {
       }
     } else if (Arg == "--suite")
       Suite = true;
+    else if (Arg == "--audit")
+      Audit = true;
+    else if (Arg.rfind("--audit=", 0) == 0) {
+      if (Arg.substr(8) != "json") {
+        std::cerr << "invalid --audit value: " << Arg
+                  << " (expected --audit or --audit=json)\n";
+        return ExitUsage;
+      }
+      Audit = AuditJson = true;
+    } else if (Arg.rfind("--journal=", 0) == 0) {
+      JournalPath = Arg.substr(10);
+      if (JournalPath.empty()) {
+        std::cerr << "invalid --journal value: expected a file path\n";
+        return ExitUsage;
+      }
+    } else if (Arg == "--resume")
+      Resume = true;
     else if (Arg.rfind("--threads=", 0) == 0) {
       uint64_t Parsed = 0;
       if (!parseUnsigned(Arg.substr(10), Parsed) ||
@@ -193,6 +236,11 @@ int runTool(int argc, char **argv) {
     telemetry::reset();
   }
 
+  if (!Suite && (!JournalPath.empty() || Resume)) {
+    std::cerr << "--journal/--resume checkpoint suite runs; add --suite\n";
+    return ExitUsage;
+  }
+
   if (Suite) {
     if (!FileName.empty()) {
       std::cerr << "--suite evaluates the built-in benchmarks; drop the "
@@ -204,7 +252,12 @@ int runTool(int argc, char **argv) {
     Opts.Threads = Threads;
     Opts.Budget.PropagationStepLimit = StepBudget;
     Opts.Budget.DeadlineMs = DeadlineMs;
-    SuiteEvaluation SuiteEval = evaluateSuite(allPrograms(), Opts);
+    Opts.Audit = Audit;
+    SuiteRunConfig Config;
+    Config.JournalPath = JournalPath;
+    Config.Resume = Resume;
+    Config.SupervisorRetry = true;
+    SuiteEvaluation SuiteEval = evaluateSuite(allPrograms(), Opts, Config);
     if (StatsJson) {
       writeSuiteStatsJson(SuiteEval, telemetry::snapshot(), std::cout);
     } else {
@@ -213,6 +266,8 @@ int runTool(int argc, char **argv) {
         std::cout << "telemetry counters:\n"
                   << telemetry::toText(telemetry::snapshot());
     }
+    if (Audit && SuiteEval.SoundnessViolations > 0)
+      return ExitAudit;
     return SuiteEval.Failures.empty() ? ExitSuccess : ExitDiagnostics;
   }
 
@@ -322,6 +377,43 @@ int runTool(int argc, char **argv) {
               << " function(s) degraded to the heuristic fallback after "
                  "exhausting the analysis budget\n";
 
+  bool AuditViolated = false;
+  if (Audit) {
+    // Single-file sentinel run: execute the program (no inputs) with the
+    // auditor attached and print its verdict. The suite path audits
+    // against the reference inputs instead (eval/SuiteRunner.cpp).
+    audit::RangeAuditor Auditor;
+    for (const auto &F : M.functions())
+      if (const FunctionVRPResult *FR = VRP.forFunction(F.get()))
+        Auditor.addFunction(*F, *FR);
+    Interpreter AuditInterp(M);
+    ExecutionResult AuditRun =
+        AuditInterp.run({}, nullptr, 200'000'000, &Auditor);
+    audit::AuditReport Report = Auditor.takeReport();
+    AuditViolated = Report.totalViolations() > 0;
+    if (AuditJson) {
+      std::cout << "{\n  \"audit\": {\n    \"checks\": "
+                << Report.totalChecks()
+                << ",\n    \"violations\": " << Report.totalViolations()
+                << ",\n    \"functions\": [";
+      bool First = true;
+      for (const auto &FA : Report.Functions) {
+        if (FA.Violations == 0)
+          continue;
+        std::cout << (First ? "" : ",") << "\n      {\"function\": \""
+                  << FA.Function << "\", \"violations\": " << FA.Violations
+                  << ", \"checked\": " << FA.Checked << "}";
+        First = false;
+      }
+      std::cout << (First ? "]" : "\n    ]") << "\n  }\n}\n";
+    } else {
+      std::cout << Report.str();
+      if (!AuditRun.Ok)
+        std::cout << "audit note: execution stopped early (" << AuditRun.Error
+                  << "); the verdict covers the branches that did run\n";
+    }
+  }
+
   if (!TraceFn.empty()) {
     if (Sink.traces().empty())
       std::cout << "trace: no function named '" << TraceFn
@@ -336,7 +428,7 @@ int runTool(int argc, char **argv) {
       std::cout << "telemetry counters:\n"
                 << telemetry::toText(telemetry::snapshot());
   }
-  return ExitSuccess;
+  return AuditViolated ? ExitAudit : ExitSuccess;
 }
 
 } // namespace

@@ -15,12 +15,36 @@ cmake --build build-tsan --target SupportTest ParallelDeterminismTest
 ctest --test-dir build-tsan --output-on-failure -R 'ThreadPool|ParallelDeterminism'
 
 # Robustness checks under AddressSanitizer+UBSan: the hostile-input
-# corpus, the fault-injection suite and the structured-error paths, where
-# memory bugs would hide behind the recovery code.
+# corpus, the fault-injection suite, the structured-error paths, and the
+# soundness sentinel + journal, where memory bugs would hide behind the
+# recovery code.
 cmake -B build-asan -G Ninja -DVRP_SANITIZE=address
-cmake --build build-asan --target MalformedCorpusTest FaultToleranceTest SupportTest
+cmake --build build-asan --target MalformedCorpusTest FaultToleranceTest \
+  SupportTest AuditTest QuarantineResumeTest predictor_tool
 ctest --test-dir build-asan --output-on-failure \
-  -R 'MalformedCorpus|FaultTolerance|Status|FaultInjection'
+  -R 'MalformedCorpus|FaultTolerance|Status|FaultInjection|Audit|QuarantineResume'
+
+# Soundness audit under ASan: the full benchmark suite replayed against
+# the computed ranges must produce ZERO violations (exit 0). Any nonzero
+# exit here is a live soundness bug in range arithmetic or derivation.
+build-asan/examples/predictor_tool --suite --audit >/dev/null
+echo "soundness audit: ok"
+
+# Sentinel end-to-end: a silently corrupted range must be caught,
+# quarantined and reported via exit code 4 — not 0 (missed) and not a
+# crash.
+if VRP_FAULT_INJECT='unsound-range@sort:0' \
+     build-asan/examples/predictor_tool --suite --audit >/dev/null 2>&1; then
+  echo "sentinel smoke: injected unsound range was NOT detected" >&2
+  exit 1
+else
+  rc=$?
+  if [ "$rc" -ne 4 ]; then
+    echo "sentinel smoke: expected exit 4, got $rc" >&2
+    exit 1
+  fi
+fi
+echo "sentinel smoke: ok"
 
 # Range-arithmetic oracle under UBSan alone: the exhaustive div/rem/mul
 # containment sweep deliberately walks the Int64Min/Int64Max boundary,
@@ -53,3 +77,22 @@ else
   fi
 fi
 echo "fault-injection smoke: ok"
+
+# Kill-and-resume smoke: journal a full run, truncate it to the header
+# plus three entries with a torn fourth line (as a killed writer leaves
+# it), resume, and require the suite stats to be bitwise identical to
+# the uninterrupted run. Comparison stops at the "counters" key: the
+# per-benchmark results, totals and quarantine list above it are the
+# deterministic contract; the process-global telemetry below it counts
+# journal writes/reuses, which legitimately differ between a fresh and a
+# resumed run.
+build/examples/predictor_tool --suite --stats=json \
+  --journal=build/journal-full.jsonl \
+  | sed '/"counters"/,$d' > build/stats-full.json
+head -n 4 build/journal-full.jsonl > build/journal-cut.jsonl
+printf '{"name": "torn", "ok": tr' >> build/journal-cut.jsonl
+build/examples/predictor_tool --suite --stats=json \
+  --journal=build/journal-cut.jsonl --resume \
+  | sed '/"counters"/,$d' > build/stats-resumed.json
+diff build/stats-full.json build/stats-resumed.json
+echo "kill-and-resume smoke: ok"

@@ -21,6 +21,7 @@
 #include "heuristics/Heuristics.h"
 #include "profile/Interpreter.h"
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,16 @@ public:
   /// Equal-weight average of per-benchmark CDFs ("each benchmark is
   /// weighted equally within its suite").
   static ErrorCdf average(const std::vector<ErrorCdf> &Cdfs);
+
+  /// The exact accumulator state — BucketWeight[0..19], TotalWeight,
+  /// ErrorSum — for the suite journal (eval/Journal.h), which must
+  /// round-trip curves bit-for-bit across a crash and resume. Only valid
+  /// for accumulated (non-averaged) CDFs, which is all the journal ever
+  /// stores.
+  std::array<double, NumBuckets + 2> rawState() const;
+
+  /// Rebuilds a CDF from rawState() output.
+  static ErrorCdf fromRawState(const std::array<double, NumBuckets + 2> &S);
 
 private:
   double BucketWeight[NumBuckets] = {};

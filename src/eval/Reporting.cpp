@@ -110,7 +110,13 @@ void vrp::writeSuiteStatsJson(const SuiteEvaluation &Suite,
        << "      \"degraded_functions\": " << B.DegradedFunctions << ",\n"
        << "      \"partial_profile\": "
        << (B.PartialProfile ? "true" : "false") << ",\n"
+       << "      \"retried\": " << (B.Retried ? "true" : "false") << ",\n"
        << "      \"static_branches\": " << B.StaticBranches << ",\n"
+       << "      \"audit_checks\": " << B.AuditChecks << ",\n"
+       << "      \"soundness_violations\": " << B.SoundnessViolations
+       << ",\n"
+       << "      \"quarantined_functions\": " << B.QuarantinedFunctions
+       << ",\n"
        << "      \"vrp\": ";
     writeVrpStats(B.VRP, "      ", OS);
     OS << ",\n      \"cache\": ";
@@ -122,11 +128,29 @@ void vrp::writeSuiteStatsJson(const SuiteEvaluation &Suite,
      << "    \"benchmarks\": " << Suite.Benchmarks.size() << ",\n"
      << "    \"failures\": " << Suite.Failures.size() << ",\n"
      << "    \"degraded_functions\": " << Suite.DegradedFunctions << ",\n"
+     << "    \"audit_checks\": " << Suite.AuditChecks << ",\n"
+     << "    \"soundness_violations\": " << Suite.SoundnessViolations << ",\n"
+     << "    \"quarantined_functions\": " << Suite.QuarantinedFunctions
+     << ",\n"
+     << "    \"supervisor_retries\": " << Suite.SupervisorRetries << ",\n"
      << "    \"vrp\": ";
   writeVrpStats(Suite.VRPTotals, "    ", OS);
   OS << ",\n    \"cache\": ";
   writeCacheStats(Suite.CacheTotals, "    ", OS);
   OS << "\n  },\n";
+
+  // Quarantined functions, in (benchmark, function) order. Empty on a
+  // healthy run, so determinism diffs surface any quarantine loudly.
+  OS << "  \"quarantines\": [";
+  for (size_t I = 0; I < Suite.Quarantines.size(); ++I) {
+    const quarantine::Record &Q = Suite.Quarantines[I];
+    OS << (I == 0 ? "\n" : ",\n") << "    {\"benchmark\": \""
+       << jsonEscape(Q.Context) << "\", \"function\": \""
+       << jsonEscape(Q.Function) << "\", \"reason\": \""
+       << quarantine::reasonName(Q.Why)
+       << "\", \"violations\": " << Q.Violations << "}";
+  }
+  OS << (Suite.Quarantines.empty() ? "],\n" : "\n  ],\n");
 
   // Process-wide telemetry counters, in enum order.
   OS << "  \"counters\": {\n";
@@ -169,8 +193,13 @@ void vrp::printSuiteReport(const SuiteEvaluation &Suite,
     std::string Name = B.Name;
     if (B.DegradedFunctions > 0)
       Name += " [degraded: " + std::to_string(B.DegradedFunctions) + " fn]";
+    if (B.QuarantinedFunctions > 0)
+      Name +=
+          " [quarantined: " + std::to_string(B.QuarantinedFunctions) + " fn]";
     if (B.PartialProfile)
       Name += " [partial profile]";
+    if (B.Retried)
+      Name += " [retried]";
     Summary.addRow({Name, std::to_string(B.RefSteps),
                     std::to_string(B.StaticBranches),
                     std::to_string(B.ExecutedBranches),
@@ -189,6 +218,17 @@ void vrp::printSuiteReport(const SuiteEvaluation &Suite,
   if (Suite.DegradedFunctions > 0)
     OS << "budget degradation: " << Suite.DegradedFunctions
        << " function(s) fell back to Ball-Larus heuristics\n\n";
+
+  if (!Suite.Quarantines.empty()) {
+    OS << "soundness quarantine (" << Suite.SoundnessViolations
+       << " violation(s) in " << Suite.AuditChecks << " audit checks):\n";
+    for (const quarantine::Record &Q : Suite.Quarantines)
+      OS << "  " << Q.str() << "\n";
+    OS << "\n";
+  }
+  if (Suite.SupervisorRetries > 0)
+    OS << "supervisor: " << Suite.SupervisorRetries
+       << " benchmark(s) recovered by retry\n\n";
 
   printCdfTable(Suite.AveragedUnweighted,
                 Title + " — unweighted (each branch equal), % of branches "

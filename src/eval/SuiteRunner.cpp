@@ -6,9 +6,12 @@
 
 #include "eval/SuiteRunner.h"
 
+#include "eval/Journal.h"
 #include "profile/ProfilePredictor.h"
 #include "support/FaultInjection.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
+#include "vrp/Audit.h"
 
 #include <chrono>
 #include <stdexcept>
@@ -168,6 +171,26 @@ private:
   std::chrono::steady_clock::time_point At{};
 };
 
+/// The whole-function ⊥ result a quarantined function is rescored with:
+/// the same shape as budget degradation (every branch takes the
+/// Ball–Larus fallback) but attributed to the audit — and deliberately
+/// NOT counted as a budget degradation.
+FunctionVRPResult quarantinedResult(const Function &F, uint64_t Violations) {
+  FunctionVRPResult R;
+  R.F = &F;
+  R.Degraded = true;
+  R.DegradeCause = Status::failure(
+      ErrorCategory::Internal, "audit",
+      "@" + F.name() + " quarantined after " + std::to_string(Violations) +
+          (Violations == 1 ? " runtime soundness violation"
+                           : " runtime soundness violations"));
+  R.BlockProb.assign(F.numBlocks(), 1.0);
+  for (const auto &B : F.blocks())
+    if (const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
+      R.Branches[CBr] = BranchPrediction{0.5, false, true};
+  return R;
+}
+
 BenchmarkEvaluation evaluateProgramImpl(const BenchmarkProgram &Program,
                                         const VRPOptions &Opts) {
   BenchmarkEvaluation Eval;
@@ -257,13 +280,85 @@ BenchmarkEvaluation evaluateProgramImpl(const BenchmarkProgram &Program,
   // PredictorKind::VRP probability map scored below. Budget-degraded
   // functions (step cap or deadline inside runModuleVRP) are counted, not
   // failed: their branches carry Ball–Larus fallback predictions.
-  BranchProbMap VRPProbs =
-      vrpModulePredictions(M, Opts, &Eval.VRPRangeFraction, &Cache,
-                           &Eval.DegradedFunctions, &Eval.VRP);
+  ModuleVRPResult VRPResult = runModuleVRP(M, Opts, &Cache);
+  Eval.DegradedFunctions = VRPResult.FunctionsDegraded;
+  accumulateModuleStats(Eval.VRP, VRPResult);
 
   if (Deadline.blown())
     return failEvaluation(std::move(Eval), ErrorCategory::BudgetExceeded,
                           "vrp", "deadline exceeded after propagation");
+
+  // Per-function final predictions, kept apart so the audit below can
+  // rebuild a quarantined function's map before anything is scored.
+  std::vector<std::pair<const Function *, FinalPredictionMap>> Finals;
+  for (const auto &F : M.functions())
+    if (const FunctionVRPResult *FR = VRPResult.forFunction(F.get()))
+      Finals.emplace_back(F.get(), finalizePredictions(*F, *FR, &Cache));
+
+  if (Opts.Audit) {
+    // Soundness sentinel (vrp/Audit.h): replay the reference input with
+    // the auditor watching every executed conditional branch. Only this
+    // scored VRP run is audited — VRPNumeric re-propagates separately
+    // inside predictModule and shares the engine, so auditing one
+    // configuration is the bug-detection contract. The replay mirrors
+    // the reference run above, so its outcome needs no new handling.
+    audit::RangeAuditor Auditor;
+    std::vector<const Function *> Audited;
+    for (const auto &F : M.functions())
+      if (const FunctionVRPResult *FR = VRPResult.forFunction(F.get())) {
+        Auditor.addFunction(*F, *FR);
+        Audited.push_back(F.get());
+      }
+    Interp.run(Program.RefInput, nullptr, MaxSteps, &Auditor);
+    audit::AuditReport Report = Auditor.takeReport();
+    Eval.AuditChecks = Report.totalChecks();
+    Eval.SoundnessViolations = Report.totalViolations();
+    for (size_t I = 0; I < Report.Functions.size(); ++I) {
+      const audit::FunctionAudit &FA = Report.Functions[I];
+      if (FA.Violations == 0)
+        continue;
+      // Quarantine: the function's analysis lied at least once, so none
+      // of its range predictions can be trusted. Rescore every one of
+      // its branches from the whole-function ⊥ fallback — the same
+      // degradation shape a blown budget produces, but attributed to
+      // the audit and counted separately.
+      const Function *F = Audited[I];
+      FunctionVRPResult Q = quarantinedResult(*F, FA.Violations);
+      for (auto &[Fn, Final] : Finals)
+        if (Fn == F)
+          Final = finalizePredictions(*F, Q, &Cache);
+      ++Eval.QuarantinedFunctions;
+      telemetry::count(telemetry::Counter::FunctionsQuarantined);
+      quarantine::Record R;
+      R.Why = quarantine::Reason::SoundnessViolation;
+      R.Context = Program.Name;
+      R.Function = F->name();
+      R.Violations = FA.Violations;
+      if (!FA.Details.empty())
+        R.Detail = FA.Details.front().str();
+      Eval.Quarantines.push_back(std::move(R));
+    }
+    if (Deadline.blown())
+      return failEvaluation(std::move(Eval), ErrorCategory::BudgetExceeded,
+                            "audit", "deadline exceeded after range audit");
+  }
+
+  // Scored VRP probabilities and the range-predicted share, from the
+  // (possibly quarantine-rebuilt) final maps.
+  BranchProbMap VRPProbs;
+  unsigned TotalBranches = 0, FromRanges = 0;
+  for (const auto &[F, Final] : Finals) {
+    accumulatePredictionStats(Eval.VRP, Final);
+    for (const auto &[Branch, Pred] : Final) {
+      VRPProbs[Branch] = Pred.ProbTrue;
+      ++TotalBranches;
+      if (Pred.Source == PredictionSource::Range)
+        ++FromRanges;
+    }
+  }
+  Eval.VRPRangeFraction =
+      TotalBranches == 0 ? 0.0
+                         : static_cast<double>(FromRanges) / TotalBranches;
 
   uint64_t Seed = 0xC0FFEE ^ std::hash<std::string>{}(Program.Name);
   for (PredictorKind Kind : allPredictors()) {
@@ -308,8 +403,35 @@ BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
 SuiteEvaluation vrp::evaluateSuite(
     const std::vector<const BenchmarkProgram *> &Programs,
     const VRPOptions &Opts) {
+  return evaluateSuite(Programs, Opts, SuiteRunConfig());
+}
+
+SuiteEvaluation vrp::evaluateSuite(
+    const std::vector<const BenchmarkProgram *> &Programs,
+    const VRPOptions &Opts, const SuiteRunConfig &Config) {
   SuiteEvaluation Suite;
   unsigned Threads = ThreadPool::resolveThreadCount(Opts.Threads);
+
+  // Journal setup: load reusable entries (resume) and open the append
+  // side. A fingerprint mismatch — different programs or options —
+  // silently invalidates the old journal: reuse would merge results of a
+  // different experiment.
+  std::unique_ptr<journal::SuiteJournal> Journal;
+  std::map<std::string, BenchmarkEvaluation> Reused;
+  if (!Config.JournalPath.empty()) {
+    std::string Fingerprint = journal::fingerprint(Programs, Opts);
+    bool Append = false;
+    if (Config.Resume) {
+      journal::LoadResult Loaded =
+          journal::SuiteJournal::load(Config.JournalPath, Fingerprint);
+      if (Loaded.HeaderMatched) {
+        Reused = std::move(Loaded.Entries);
+        Append = true;
+      }
+    }
+    Journal = journal::SuiteJournal::open(Config.JournalPath, Fingerprint,
+                                          Append);
+  }
 
   // Body of one suite slot. evaluateProgram already converts every
   // pipeline failure into a structured result; the "worker" injection
@@ -328,6 +450,55 @@ SuiteEvaluation vrp::evaluateSuite(
                           "worker-task", std::move(Message));
   };
 
+  // A transient failure is worth one retry: injected faults are counted
+  // (the spec's trigger has fired, so the retry runs clean) and budget
+  // blowouts are frequently load-dependent.
+  auto transient = [](const FailureInfo &F) {
+    return F.Category == ErrorCategory::BudgetExceeded ||
+           F.Message.find("injected") != std::string::npos;
+  };
+
+  // The supervisor wrapper: no exception escapes a slot (so one bad
+  // benchmark can never abort the fan-out), and a transient first
+  // failure gets exactly one more attempt.
+  auto runSupervised = [&](const BenchmarkProgram &P,
+                           const VRPOptions &SlotOpts) {
+    auto attempt = [&]() -> BenchmarkEvaluation {
+      try {
+        return runSlot(P, SlotOpts);
+      } catch (const std::exception &E) {
+        return workerFailure(P.Name, E.what());
+      } catch (...) {
+        return workerFailure(P.Name, "unknown exception");
+      }
+    };
+    BenchmarkEvaluation Eval = attempt();
+    if (Eval.Ok || !Eval.Failure || !transient(*Eval.Failure))
+      return Eval;
+    telemetry::count(telemetry::Counter::SupervisorRetries);
+    BenchmarkEvaluation Second = attempt();
+    Second.Retried = true;
+    return Second;
+  };
+
+  // One slot under journaling: reuse a checkpointed result outright, or
+  // evaluate and checkpoint. Journaled failures are reused too — resume
+  // must reproduce the uninterrupted run, not improve on it.
+  auto evalSlot = [&](const BenchmarkProgram &P,
+                      const VRPOptions &SlotOpts) -> BenchmarkEvaluation {
+    auto It = Reused.find(P.Name);
+    if (It != Reused.end()) {
+      telemetry::count(telemetry::Counter::JournalEntriesReused);
+      return It->second;
+    }
+    BenchmarkEvaluation Eval = Config.SupervisorRetry
+                                   ? runSupervised(P, SlotOpts)
+                                   : runSlot(P, SlotOpts);
+    if (Journal)
+      Journal->append(Eval);
+    return Eval;
+  };
+
   if (Threads > 1 && Programs.size() > 1) {
     // Benchmarks fan out across the pool (each evaluateProgram compiles,
     // profiles and predicts its own module — fully independent). The
@@ -336,14 +507,15 @@ SuiteEvaluation vrp::evaluateSuite(
     // nest. Slot I holds program I, so the result order (and every
     // curve) is identical to the serial loop. Escaped task exceptions
     // are ALL collected — every other slot still completes — and each
-    // failed slot gets a structured worker-task failure.
+    // failed slot gets a structured worker-task failure. (Under the
+    // supervisor no exception escapes, so Failed stays empty.)
     VRPOptions Inner = Opts;
     Inner.Threads = 1;
     ThreadPool Pool(Threads);
     std::vector<BenchmarkEvaluation> Out(Programs.size());
     std::vector<TaskFailure> Failed = Pool.parallelForCollect(
         Programs.size(),
-        [&](size_t I) { Out[I] = runSlot(*Programs[I], Inner); });
+        [&](size_t I) { Out[I] = evalSlot(*Programs[I], Inner); });
     for (const TaskFailure &F : Failed)
       Out[F.Index] = workerFailure(Programs[F.Index]->Name,
                                    ParallelError::describe(F.Error));
@@ -351,17 +523,28 @@ SuiteEvaluation vrp::evaluateSuite(
   } else {
     for (const BenchmarkProgram *P : Programs) {
       try {
-        Suite.Benchmarks.push_back(runSlot(*P, Opts));
+        Suite.Benchmarks.push_back(evalSlot(*P, Opts));
       } catch (const std::exception &E) {
         Suite.Benchmarks.push_back(workerFailure(P->Name, E.what()));
       }
     }
   }
 
+  for (const BenchmarkProgram *P : Programs)
+    if (Reused.count(P->Name))
+      ++Suite.JournalReused;
+
   for (const BenchmarkEvaluation &B : Suite.Benchmarks) {
     Suite.CacheTotals += B.Cache;
     Suite.VRPTotals += B.VRP;
     Suite.DegradedFunctions += B.DegradedFunctions;
+    Suite.AuditChecks += B.AuditChecks;
+    Suite.SoundnessViolations += B.SoundnessViolations;
+    Suite.QuarantinedFunctions += B.QuarantinedFunctions;
+    if (B.Retried)
+      ++Suite.SupervisorRetries;
+    for (const quarantine::Record &R : B.Quarantines)
+      Suite.Quarantines.push_back(R);
     if (B.Failure)
       Suite.Failures.push_back(*B.Failure);
   }

@@ -21,6 +21,7 @@
 #include "benchsuite/Programs.h"
 #include "driver/Pipeline.h"
 #include "eval/ErrorMetrics.h"
+#include "support/Quarantine.h"
 #include "support/Status.h"
 
 #include <map>
@@ -84,6 +85,20 @@ struct BenchmarkEvaluation {
   VRPStats VRP;
   /// Analysis-cache efficiency over this benchmark's evaluation.
   AnalysisCacheStats Cache;
+  /// Individual range-membership checks the soundness sentinel ran
+  /// (Opts.Audit only; see vrp/Audit.h).
+  uint64_t AuditChecks = 0;
+  /// Checks whose observed value fell outside its computed range.
+  uint64_t SoundnessViolations = 0;
+  /// Functions whose VRP predictions the audit discarded: each was
+  /// rebuilt from the Ball–Larus fallback before scoring, so the VRP
+  /// curves of a quarantined function are its fallback curves.
+  unsigned QuarantinedFunctions = 0;
+  /// One record per quarantined function (audit verdicts with witness).
+  std::vector<quarantine::Record> Quarantines;
+  /// True when the supervisor retried this benchmark after a transient
+  /// failure and this evaluation is the second attempt.
+  bool Retried = false;
   /// Per predictor: {unweighted CDF, weighted CDF}.
   std::map<PredictorKind, std::pair<ErrorCdf, ErrorCdf>> Curves;
 };
@@ -102,6 +117,36 @@ struct SuiteEvaluation {
   std::vector<FailureInfo> Failures;
   /// Summed BenchmarkEvaluation::DegradedFunctions across benchmarks.
   unsigned DegradedFunctions = 0;
+  /// Summed audit totals across benchmarks (Opts.Audit only).
+  uint64_t AuditChecks = 0;
+  uint64_t SoundnessViolations = 0;
+  unsigned QuarantinedFunctions = 0;
+  /// Every quarantine record, in benchmark order.
+  std::vector<quarantine::Record> Quarantines;
+  /// Benchmarks the supervisor re-ran after a transient failure.
+  unsigned SupervisorRetries = 0;
+  /// Benchmarks reused from the journal instead of re-evaluated
+  /// (--resume). Deliberately absent from the stats JSON: a resumed run
+  /// must produce output identical to an uninterrupted one.
+  unsigned JournalReused = 0;
+};
+
+/// Suite-run mechanics orthogonal to the analysis options: crash
+/// journaling and the fault supervisor. Defaults reproduce the plain
+/// evaluateSuite behavior exactly.
+struct SuiteRunConfig {
+  /// Append-only JSONL checkpoint: a header line binding the program
+  /// list and options, then one line per completed benchmark, flushed as
+  /// each finishes (any completion order under the parallel fan-out).
+  std::string JournalPath; ///< Empty: no journal.
+  /// Reuse journaled results: benchmarks already present (under a
+  /// matching header) are not re-evaluated; the rest run and are
+  /// appended. A header mismatch discards the journal and recomputes.
+  bool Resume = false;
+  /// Supervise benchmark slots: an escaped worker exception becomes a
+  /// structured failure instead of a pool task failure, and a *transient*
+  /// failure (budget/deadline or injected fault) is retried once.
+  bool SupervisorRetry = false;
 };
 
 /// Computes module-wide branch probabilities for one predictor.
@@ -122,6 +167,11 @@ BranchProbMap predictModule(PredictorKind Kind, Module &M,
 SuiteEvaluation evaluateSuite(
     const std::vector<const BenchmarkProgram *> &Programs,
     const VRPOptions &Opts);
+
+/// As above, with journaling / resume / supervision (see SuiteRunConfig).
+SuiteEvaluation evaluateSuite(
+    const std::vector<const BenchmarkProgram *> &Programs,
+    const VRPOptions &Opts, const SuiteRunConfig &Config);
 
 /// Evaluates a single program (used by tests and the ablation bench).
 BenchmarkEvaluation evaluateProgram(const BenchmarkProgram &Program,

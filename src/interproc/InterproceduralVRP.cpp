@@ -9,8 +9,10 @@
 #include "analysis/AnalysisCache.h"
 #include "analysis/CallGraph.h"
 #include "interproc/FunctionCloning.h"
+#include "support/FaultInjection.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
+#include "vrp/Audit.h"
 
 #include <cassert>
 #include <chrono>
@@ -61,6 +63,9 @@ private:
     FunctionVRPResult R;
     R.F = &F;
     R.Degraded = true;
+    R.DegradeCause = Status::failure(
+        ErrorCategory::BudgetExceeded, "deadline",
+        "module deadline expired before @" + F.name() + " was analyzed");
     R.BlockProb.assign(F.numBlocks(), 1.0);
     for (const auto &B : F.blocks())
       if (const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator()))
@@ -296,11 +301,30 @@ ModuleVRPResult vrp::runModuleVRP(Module &M, const VRPOptions &Opts,
                                   AnalysisCache *Cache) {
   telemetry::ScopedTimer T(telemetry::Timer::Propagation);
   unsigned Threads = ThreadPool::resolveThreadCount(Opts.Threads);
+  ModuleVRPResult Result;
   if (Threads > 1 && M.functions().size() > 1) {
     ThreadPool Pool(Threads);
-    return InterprocDriver(M, Opts, Cache, &Pool).run();
+    Result = InterprocDriver(M, Opts, Cache, &Pool).run();
+  } else {
+    Result = InterprocDriver(M, Opts, Cache, nullptr).run();
   }
-  return InterprocDriver(M, Opts, Cache, nullptr).run();
+  // Fault site "unsound-range": one shouldFail probe per function that
+  // HAS a corruptible range, on the coordinating thread in module order,
+  // so a spec like "unsound-range@bench:0" corrupts the same function at
+  // any thread count — and never no-ops on a branch-free helper. The
+  // corruption leaves predictions intact — only the soundness sentinel
+  // can tell.
+  if (fault::armed()) {
+    for (const auto &F : M.functions()) {
+      auto It = Result.PerFunction.find(F.get());
+      if (It == Result.PerFunction.end() ||
+          !audit::canCorruptRange(*F, It->second))
+        continue;
+      if (fault::shouldFail("unsound-range"))
+        audit::corruptRangeForTesting(*F, It->second);
+    }
+  }
+  return Result;
 }
 
 ModuleVRPResult vrp::runModuleVRP(const Module &M, const VRPOptions &Opts,

@@ -55,8 +55,9 @@ struct RuntimeError {
 class Machine {
 public:
   Machine(const Module &M, const std::vector<int64_t> &Input,
-          EdgeProfile *Profile, uint64_t MaxSteps)
-      : M(M), Input(Input), Profile(Profile), MaxSteps(MaxSteps) {
+          EdgeProfile *Profile, uint64_t MaxSteps, BranchObserver *Observer)
+      : M(M), Input(Input), Profile(Profile), MaxSteps(MaxSteps),
+        Observer(Observer) {
     for (const auto &Obj : M.memoryObjects()) {
       if (!Obj->isGlobal())
         continue;
@@ -83,6 +84,7 @@ private:
   const std::vector<int64_t> &Input;
   EdgeProfile *Profile;
   uint64_t MaxSteps;
+  BranchObserver *Observer;
   uint64_t Steps = 0;
   bool HitStepLimit = false;
   size_t InputPos = 0;
@@ -111,6 +113,28 @@ struct Frame {
     for (const MemoryObject *Obj : Fn.localObjects())
       Locals.emplace(Obj, ObjectState(*Obj));
   }
+};
+
+/// FrameValues view over one activation record.
+class FrameReader final : public FrameValues {
+public:
+  explicit FrameReader(const Frame &Fr) : Fr(Fr) {}
+
+  std::optional<int64_t> intValue(const Value *V) const override {
+    if (const auto *C = dyn_cast<Constant>(V))
+      return C->isInt() ? std::optional<int64_t>(C->intValue())
+                        : std::nullopt;
+    if (V->type() != IRType::Int)
+      return std::nullopt;
+    if (const auto *P = dyn_cast<Param>(V))
+      return Fr.Params[P->index()].I;
+    if (const auto *I = dyn_cast<Instruction>(V))
+      return Fr.Regs[I->id()].I;
+    return std::nullopt;
+  }
+
+private:
+  const Frame &Fr;
 };
 
 } // namespace
@@ -375,6 +399,8 @@ RuntimeValue Machine::callFunction(const Function &F,
         bool Taken = value(CBr->cond()).I != 0;
         if (Profile)
           Profile->recordBranch(CBr, Taken);
+        if (Observer)
+          Observer->branchExecuted(F, CBr, Taken, FrameReader(Fr));
         PrevBlock = Block;
         Block = Taken ? CBr->trueBlock() : CBr->falseBlock();
         break;
@@ -419,7 +445,8 @@ ExecutionResult Machine::run() {
 }
 
 ExecutionResult Interpreter::run(const std::vector<int64_t> &Input,
-                                 EdgeProfile *Profile, uint64_t MaxSteps) {
-  Machine Mach(M, Input, Profile, MaxSteps);
+                                 EdgeProfile *Profile, uint64_t MaxSteps,
+                                 BranchObserver *Observer) {
+  Machine Mach(M, Input, Profile, MaxSteps, Observer);
   return Mach.run();
 }

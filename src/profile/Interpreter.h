@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,33 @@ private:
   std::map<const CondBrInst *, BranchCounts> Counts;
 };
 
+/// Read-only view of the executing activation, handed to branch
+/// observers. Only values defined before the observed branch in its own
+/// activation are meaningful — the branch condition and its comparison
+/// operands always are (they dominate the branch); reading anything else
+/// returns whatever the register currently holds, including the default
+/// zero of a never-executed instruction.
+class FrameValues {
+public:
+  virtual ~FrameValues() = default;
+  /// The current activation's value of an int-typed SSA value; nullopt
+  /// for float-typed values (observers audit integer ranges only).
+  virtual std::optional<int64_t> intValue(const Value *V) const = 0;
+};
+
+/// Hook invoked at every *executed* conditional branch, after the
+/// condition is evaluated and the edge profile updated. The soundness
+/// sentinel (vrp/Audit.h) implements this to compare observed values
+/// against VRP-computed ranges; \p Values reads from the activation that
+/// executed the branch, so recursion and multiple calls attribute
+/// correctly.
+class BranchObserver {
+public:
+  virtual ~BranchObserver() = default;
+  virtual void branchExecuted(const Function &F, const CondBrInst *Branch,
+                              bool Taken, const FrameValues &Values) = 0;
+};
+
 /// Outcome of one interpreted execution.
 struct ExecutionResult {
   bool Ok = false;
@@ -92,10 +120,12 @@ public:
   /// \p Profile when non-null. Execution aborts with an error after
   /// \p MaxSteps instructions (runaway guard); that specific failure is
   /// flagged on the result as StepLimit. Honors the "interp" fault-
-  /// injection site (support/FaultInjection.h).
+  /// injection site (support/FaultInjection.h). \p Observer, when
+  /// non-null, is invoked at every executed conditional branch.
   ExecutionResult run(const std::vector<int64_t> &Input,
                       EdgeProfile *Profile = nullptr,
-                      uint64_t MaxSteps = 200'000'000);
+                      uint64_t MaxSteps = 200'000'000,
+                      BranchObserver *Observer = nullptr);
 
 private:
   const Module &M;

@@ -12,10 +12,15 @@
 ///
 /// Sites are named strings checked at fixed places in the pipeline:
 ///
-///   "parse"       compileProgram fails with a ParseError
-///   "vrp-budget"  propagation degrades as if its step budget ran out
-///   "worker"      an evaluateSuite worker task throws
-///   "interp"      the interpreter traps before executing main()
+///   "parse"          compileProgram fails with a ParseError
+///   "vrp-budget"     propagation degrades as if its step budget ran out
+///   "worker"         an evaluateSuite worker task throws
+///   "interp"         the interpreter traps before executing main()
+///   "unsound-range"  runModuleVRP silently shrinks one computed range
+///                    (checked once per function with an auditable
+///                    range, in module order) — invisible until the
+///                    soundness sentinel (vrp/Audit.h) replays an
+///                    execution against it
 ///
 /// A spec arms one or more entries, comma separated:
 ///
@@ -48,6 +53,12 @@ namespace detail {
 extern std::atomic<bool> Armed;
 bool shouldFailSlow(const char *Site);
 } // namespace detail
+
+/// True when any spec is armed at all — a cheap pre-gate for code that
+/// would otherwise loop over many shouldFail() probes.
+inline bool armed() {
+  return detail::Armed.load(std::memory_order_relaxed);
+}
 
 /// True when the named site must fail now. Fast path when nothing is
 /// armed: one relaxed atomic load, no lock, no string work.

@@ -1,0 +1,80 @@
+//===- support/Quarantine.cpp - Per-function quarantine records -----------===//
+
+#include "support/Quarantine.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace vrp {
+namespace quarantine {
+
+const char *reasonName(Reason R) {
+  switch (R) {
+  case Reason::SoundnessViolation:
+    return "soundness-violation";
+  case Reason::InjectedFault:
+    return "injected-fault";
+  case Reason::BudgetExhausted:
+    return "budget-exhausted";
+  case Reason::DerivationStall:
+    return "derivation-stall";
+  case Reason::WorkerFailure:
+    return "worker-failure";
+  }
+  return "unknown";
+}
+
+std::string Record::str() const {
+  std::string S = "@" + Function;
+  if (!Context.empty())
+    S += " in " + Context;
+  S += ": ";
+  S += reasonName(Why);
+  if (Why == Reason::SoundnessViolation)
+    S += " (" + std::to_string(Violations) +
+         (Violations == 1 ? " violation" : " violations") + ")";
+  if (!Detail.empty())
+    S += ": " + Detail;
+  return S;
+}
+
+void Registry::add(Record R) {
+  std::lock_guard<std::mutex> L(M);
+  Records.push_back(std::move(R));
+}
+
+bool Registry::isQuarantined(const std::string &Context,
+                             const std::string &Function) const {
+  std::lock_guard<std::mutex> L(M);
+  for (const Record &R : Records)
+    if (R.Context == Context && R.Function == Function)
+      return true;
+  return false;
+}
+
+std::vector<Record> Registry::records() const {
+  std::vector<Record> Out;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Out = Records;
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const Record &A, const Record &B) {
+                     return std::tie(A.Context, A.Function, A.Why) <
+                            std::tie(B.Context, B.Function, B.Why);
+                   });
+  return Out;
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> L(M);
+  return Records.size();
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> L(M);
+  Records.clear();
+}
+
+} // namespace quarantine
+} // namespace vrp

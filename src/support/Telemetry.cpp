@@ -53,10 +53,24 @@ const char *counterName(Counter C) {
     return "ball_larus_fallback_branches";
   case Counter::BudgetDegradations:
     return "budget_degradations";
+  case Counter::DerivationStalls:
+    return "derivation_stalls";
   case Counter::RangeNormalizations:
     return "range_normalizations";
   case Counter::TraceEventsRecorded:
     return "trace_events_recorded";
+  case Counter::AuditChecks:
+    return "audit_checks";
+  case Counter::SoundnessViolations:
+    return "soundness_violations";
+  case Counter::FunctionsQuarantined:
+    return "functions_quarantined";
+  case Counter::SupervisorRetries:
+    return "supervisor_retries";
+  case Counter::JournalEntriesWritten:
+    return "journal_entries_written";
+  case Counter::JournalEntriesReused:
+    return "journal_entries_reused";
   case Counter::NumCounters:
     break;
   }

@@ -71,9 +71,18 @@ enum class Counter : unsigned {
   // Fallback / degradation events.
   BallLarusFallbackBranches,
   BudgetDegradations,
+  DerivationStalls,
   // Lattice bookkeeping.
   RangeNormalizations,
   TraceEventsRecorded,
+  // Soundness sentinel (vrp/Audit.h) and quarantine.
+  AuditChecks,
+  SoundnessViolations,
+  FunctionsQuarantined,
+  // Suite supervision and crash-resilient resume (eval/SuiteRunner.h).
+  SupervisorRetries,
+  JournalEntriesWritten,
+  JournalEntriesReused,
 
   NumCounters ///< Sentinel; keep last.
 };

@@ -1,0 +1,147 @@
+//===- vrp/Audit.h - Runtime soundness sentinel -----------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The soundness sentinel: a profile/Interpreter.h BranchObserver that
+/// cross-checks VRP's static claims against an actual execution. VRP's
+/// output assignment is an *over-approximation* contract — every value a
+/// variable takes at runtime must lie inside its computed range (and on
+/// its stride lattice), and a branch proved unreachable must never
+/// execute. The auditor watches every executed conditional branch and
+/// verifies the contract for the values that provably dominate the branch:
+/// the condition itself and, when the condition is a comparison, its two
+/// operands.
+///
+/// A violated contract means the analysis result is untrustworthy for
+/// that function (an engine bug, or a deliberately injected
+/// "unsound-range" fault). The response is *quarantine*, not abort: the
+/// caller discards the function's VRP predictions and rebuilds them from
+/// the Ball–Larus heuristic fallback (see eval/SuiteRunner.cpp), records
+/// a support/Quarantine.h record, and keeps going.
+///
+/// Only numeric, non-symbolic ranges are audited: ⊤ and ⊥ claim nothing,
+/// float-constant ranges have no branch-dominating integer witness, and
+/// symbolic bounds would need the bound variable's concurrent value,
+/// which only the range *lattice* — not the activation frame — relates
+/// to the audited value. Each skip is a deliberate loss of audit
+/// coverage, never a soundness loss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_VRP_AUDIT_H
+#define VRP_VRP_AUDIT_H
+
+#include "profile/Interpreter.h"
+#include "vrp/Propagation.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vrp {
+namespace audit {
+
+/// One distinct violated (branch, value) contract, with its first
+/// observed witness.
+struct AuditViolation {
+  std::string Value;  ///< SSA display name of the violating value.
+  std::string Branch; ///< Source location of the branch ("file:line").
+  std::string Range;  ///< The range the value was claimed to lie in.
+  int64_t Witness = 0; ///< First observed out-of-range value.
+  uint64_t Count = 0;  ///< Executions that violated this contract.
+  /// True for the "propagation proved this branch unreachable, yet it
+  /// executed" violation; Witness is meaningless then.
+  bool UnreachableExecuted = false;
+
+  std::string str() const;
+};
+
+/// Audit outcome for one function.
+struct FunctionAudit {
+  std::string Function;
+  uint64_t Checked = 0;    ///< Individual range-membership checks run.
+  uint64_t Violations = 0; ///< Checks that failed (all, not just kept).
+  /// Distinct violated contracts, capped at
+  /// RangeAuditor::MaxDetailsPerFunction; Violations keeps the true
+  /// total beyond the cap.
+  std::vector<AuditViolation> Details;
+};
+
+/// Whole-module audit outcome, functions in the order they were added.
+struct AuditReport {
+  std::vector<FunctionAudit> Functions;
+
+  uint64_t totalChecks() const;
+  uint64_t totalViolations() const;
+  /// The functions with at least one violation.
+  std::vector<const FunctionAudit *> violated() const;
+  /// Multi-line human-readable rendering (one line per detail).
+  std::string str() const;
+};
+
+/// The sentinel itself. Register each analyzed function with
+/// addFunction(), then pass the auditor as the BranchObserver of an
+/// Interpreter::run(); afterwards takeReport() yields the verdict.
+/// Not thread-safe — the interpreter is serial, and so is this.
+class RangeAuditor final : public BranchObserver {
+public:
+  static constexpr unsigned MaxDetailsPerFunction = 16;
+
+  /// Registers \p F's contracts. Degraded results claim nothing (every
+  /// range is ⊥) and add only an empty FunctionAudit. The ranges are
+  /// copied, so \p VRP need not outlive the auditor.
+  void addFunction(const Function &F, const FunctionVRPResult &VRP);
+
+  void branchExecuted(const Function &F, const CondBrInst *Branch,
+                      bool Taken, const FrameValues &Values) override;
+
+  /// Finalizes and returns the report; flushes the audit_checks /
+  /// soundness_violations telemetry counters. The auditor is spent
+  /// afterwards.
+  AuditReport takeReport();
+
+private:
+  struct ValuePlan {
+    const Value *V = nullptr;
+    std::string Name;
+    std::string RangeStr;
+    std::vector<SubRange> Subs; ///< All numeric, non-symbolic.
+  };
+  struct BranchPlan {
+    size_t FnIdx = 0;
+    std::string Loc;
+    bool PredictedUnreachable = false;
+    std::vector<ValuePlan> Values;
+  };
+
+  void recordViolation(FunctionAudit &FA, const ValuePlan *VP,
+                       const BranchPlan &BP, int64_t Witness,
+                       bool Unreachable);
+
+  std::vector<FunctionAudit> Functions;
+  std::unordered_map<const CondBrInst *, BranchPlan> Plans;
+};
+
+/// True when \p F has at least one range corruptRangeForTesting() could
+/// corrupt. The "unsound-range" fault site probes only such functions,
+/// so a counted spec like "unsound-range@bench:0" always lands on a
+/// function whose corruption is observable.
+bool canCorruptRange(const Function &F, const FunctionVRPResult &VRP);
+
+/// Testing back door for the "unsound-range" fault-injection site
+/// (support/FaultInjection.h): shrinks the first auditable range of \p F
+/// in \p VRP to a singleton outside its original bounds, so that any
+/// execution reaching that branch with an in-range value trips the
+/// sentinel. Branch *predictions* are left untouched — exactly like a
+/// real propagation bug, the corruption is invisible until audited.
+/// Returns false when the function has no auditable range to corrupt.
+bool corruptRangeForTesting(const Function &F, FunctionVRPResult &VRP);
+
+} // namespace audit
+} // namespace vrp
+
+#endif // VRP_VRP_AUDIT_H

@@ -84,6 +84,17 @@ struct VRPOptions {
   /// program size (Figures 5/6).
   unsigned FlowVisitLimit = 16;
 
+  /// "Not yet" derivation attempts allowed per loop-carried φ before the
+  /// function is declared stalled and degrades to the heuristic fallback
+  /// with a structured Status naming the variable (0 = unlimited). A φ
+  /// whose entry value never leaves ⊤ (e.g. it flows in from a block
+  /// propagation proved unreachable) re-derives on every visit without
+  /// ever stabilizing; this guard turns that silent spin into the same
+  /// observable degradation a blown step budget produces. Converging
+  /// functions retry a handful of times, so the default is far above
+  /// anything a real benchmark reaches.
+  unsigned DerivationRetryLimit = 512;
+
   /// Assumed number of lattice points in a subrange whose extent is only
   /// known symbolically (e.g. a derived loop range [0:n:1] with n unknown).
   /// Models the typical loop trip count; the loop-exit test of such a
@@ -106,6 +117,14 @@ struct VRPOptions {
   /// Resource budgets (step caps, deadline) with heuristic degradation.
   /// Defaults leave every budget unlimited.
   ResourceBudget Budget;
+
+  /// Soundness sentinel: when set, evaluation harnesses replay the
+  /// reference run with a range auditor attached (vrp/Audit.h) that
+  /// checks every value observed at a conditional branch against its
+  /// VRP-computed range. Functions with violations are quarantined —
+  /// their range predictions are discarded in favor of the Ball–Larus
+  /// fallback — and reported rather than trusted.
+  bool Audit = false;
 
   /// Probability tolerance for fixpoint detection. Probabilities feed
   /// back through loop edges with geometric convergence; demanding more

@@ -180,6 +180,10 @@ private:
   std::vector<unsigned> FlowVisits;
   std::set<const PhiInst *> Derived;
   std::set<const PhiInst *> DerivationImpossible;
+  /// NotYet outcomes per loop-carried φ; see tryDerivation.
+  std::unordered_map<const PhiInst *, unsigned> DerivationRetries;
+  bool Stalled = false;
+  Status StallCause;
   std::unordered_map<const Instruction *, unsigned> EvalCounts;
   std::unordered_map<const CondBrInst *, unsigned> BranchUpdates;
   std::unordered_map<const CondBrInst *, double> BranchFraction;
@@ -278,7 +282,22 @@ void Engine::tryDerivation(const PhiInst *Phi) {
     Derived.erase(Phi);
     return;
   case DerivationOutcome::NotYet:
-    return; // Retry on a later visit.
+    // Retry on a later visit — but count the retries. A φ whose entry
+    // value never leaves ⊤ (unreachable entry path, frozen upstream
+    // value) re-derives forever without stabilizing; after the limit,
+    // declare the function stalled so it degrades observably instead of
+    // spinning until the global step cap.
+    if (Opts.DerivationRetryLimit != 0 &&
+        ++DerivationRetries[Phi] > Opts.DerivationRetryLimit && !Stalled) {
+      Stalled = true;
+      StallCause = Status::failure(
+          ErrorCategory::BudgetExceeded, "derivation",
+          "loop-carried phi " + Phi->displayName() + " in @" + F.name() +
+              " never stabilized (" +
+              std::to_string(Opts.DerivationRetryLimit) +
+              " derivation retries); degrading to the heuristic fallback");
+    }
+    return;
   }
 }
 
@@ -467,12 +486,21 @@ FunctionVRPResult Engine::run() {
   // failing — the infrastructure mirror of the paper's ⊥-range fallback.
   const uint64_t StepBudget = Opts.Budget.PropagationStepLimit;
   bool Degraded = fault::shouldFail("vrp-budget");
+  Status Cause =
+      Degraded ? Status::failure(ErrorCategory::BudgetExceeded, "propagation",
+                                 "injected budget exhaustion in @" + F.name())
+               : Status::success();
 
   // Step 2: run until both lists are empty, preferring flow items.
-  while (!Degraded && (!FlowWorkList.empty() || !SSAWorkList.empty())) {
+  while (!Degraded && !Stalled &&
+         (!FlowWorkList.empty() || !SSAWorkList.empty())) {
     ++CurrentStep;
     if (StepBudget != 0 && CurrentStep > StepBudget) {
       Degraded = true;
+      Cause = Status::failure(
+          ErrorCategory::BudgetExceeded, "propagation",
+          "step budget (" + std::to_string(StepBudget) + ") exhausted in @" +
+              F.name());
       break;
     }
     if (!FlowWorkList.empty()) {
@@ -527,12 +555,19 @@ FunctionVRPResult Engine::run() {
   }
   telemetry::count(telemetry::Counter::PropagationSteps, CurrentStep);
 
+  if (Stalled) {
+    Degraded = true;
+    Cause = StallCause;
+    telemetry::count(telemetry::Counter::DerivationStalls);
+  }
+
   if (Degraded) {
     // Partial lattice state is unsound to expose (a range caught
     // mid-descent can be too narrow), so degrade the whole function to
     // ⊥: no ranges, every block presumed reachable, every branch handed
     // to the Ball–Larus fallback at a neutral probability.
     Result.Degraded = true;
+    Result.DegradeCause = Cause;
     Result.Ranges.clear();
     Result.BlockProb.assign(N, 1.0);
     Result.Branches.clear();

@@ -20,6 +20,7 @@
 #ifndef VRP_VRP_PROPAGATION_H
 #define VRP_VRP_PROPAGATION_H
 
+#include "support/Status.h"
 #include "vrp/Options.h"
 #include "vrp/RangeOps.h"
 #include "vrp/ValueRange.h"
@@ -50,6 +51,10 @@ struct FunctionVRPResult {
   /// ⊥ and every branch is marked for the Ball–Larus fallback, mirroring
   /// the paper's ⊥-range degradation (§3.5) at whole-function scope.
   bool Degraded = false;
+  /// Exactly when Degraded: the structured cause (BudgetExceeded with a
+  /// site of "propagation" for a blown step budget, "derivation" for a
+  /// φ that never stabilized — the message names function and variable).
+  Status DegradeCause;
 
   /// Range lookup with constant folding (constants get exact ranges).
   ValueRange rangeOf(const Value *V) const;

@@ -172,6 +172,64 @@ TEST_F(PredictorToolTest, SuiteStatsJsonIsDeterministicAcrossThreads) {
   std::remove(Log4.c_str());
 }
 
+TEST_F(PredictorToolTest, AuditCleanProgramExitsZero) {
+  std::string File = writeTemp("ptool_audit.vl", ValidSource);
+  EXPECT_EQ(runTool("--audit " + File, Log), 0) << slurp(Log);
+  std::string Text = slurp(Log);
+  EXPECT_NE(Text.find("audit: 0 violations"), std::string::npos) << Text;
+}
+
+TEST_F(PredictorToolTest, AuditJsonReportsChecks) {
+  std::string File = writeTemp("ptool_audit_json.vl", ValidSource);
+  EXPECT_EQ(runTool("--audit=json " + File, Log), 0) << slurp(Log);
+  std::string Text = slurp(Log);
+  EXPECT_NE(Text.find("\"violations\": 0"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("\"checks\""), std::string::npos) << Text;
+}
+
+TEST_F(PredictorToolTest, InjectedUnsoundRangeExitsFour) {
+  // The full sentinel path through the CLI: a silently corrupted range
+  // is caught by the audit, the suite quarantines the function instead
+  // of aborting, and the audit-violation exit code distinguishes the
+  // outcome from ordinary failures.
+  std::string Cmd = "VRP_FAULT_INJECT='unsound-range@sort:0' " +
+                    std::string(PREDICTOR_TOOL_PATH) +
+                    " --suite --audit > " + Log + " 2>&1";
+  int Raw = std::system(Cmd.c_str());
+  ASSERT_NE(Raw, -1);
+  ASSERT_TRUE(WIFEXITED(Raw));
+  EXPECT_EQ(WEXITSTATUS(Raw), 4);
+  std::string Text = slurp(Log);
+  EXPECT_NE(Text.find("quarantined"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("@main in sort"), std::string::npos) << Text;
+}
+
+TEST_F(PredictorToolTest, JournalAndResumeSmoke) {
+  std::string Journal = ::testing::TempDir() + "ptool_journal.jsonl";
+  std::remove(Journal.c_str());
+  EXPECT_EQ(runTool("--suite --journal=" + Journal, Log), 0) << slurp(Log);
+  std::ifstream In(Journal);
+  ASSERT_TRUE(In.good()) << "journal file not written";
+  std::string Header;
+  std::getline(In, Header);
+  EXPECT_NE(Header.find("\"journal\":\"vrp-suite\""), std::string::npos)
+      << Header;
+  // Resuming against the complete journal recomputes nothing and still
+  // prints the full report.
+  EXPECT_EQ(
+      runTool("--suite --journal=" + Journal + " --resume", Log), 0)
+      << slurp(Log);
+  EXPECT_NE(slurp(Log).find("benchmark suite"), std::string::npos);
+  std::remove(Journal.c_str());
+}
+
+TEST_F(PredictorToolTest, JournalUsageErrorsExitTwo) {
+  std::string File = writeTemp("ptool_journal_bad.vl", ValidSource);
+  EXPECT_EQ(runTool("--journal=/tmp/j.jsonl " + File, Log), 2);
+  EXPECT_EQ(runTool("--resume " + File, Log), 2);
+  EXPECT_EQ(runTool("--suite --journal=", Log), 2);
+}
+
 TEST_F(PredictorToolTest, InjectedParseFaultExitsOne) {
   std::string File = writeTemp("ptool_inject.vl", ValidSource);
   std::string Cmd = "VRP_FAULT_INJECT=parse:0 " + std::string(

@@ -1,0 +1,263 @@
+//===- tests/vrp/AuditTest.cpp - Soundness sentinel unit tests ------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The runtime range audit is only useful if it is *quiet on sound
+// analyses* and *loud on corrupted ones*. These tests pin both halves:
+// a clean sweep over the full benchmark suite must produce zero
+// violations (the analysis over-approximates, so every observed value
+// lies inside its range), while a deliberately shrunk range, a stride
+// lattice the execution steps off, or an executed branch claimed
+// unreachable must each be detected and attributed to the right
+// function, branch, and witness value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "driver/Pipeline.h"
+#include "profile/Interpreter.h"
+#include "vrp/Audit.h"
+
+#include <gtest/gtest.h>
+
+using namespace vrp;
+using namespace vrp::audit;
+
+namespace {
+
+struct AuditRun {
+  std::unique_ptr<CompiledProgram> C;
+  ModuleVRPResult VRP;
+
+  /// Mutable access to one function's result, for corruption.
+  FunctionVRPResult *resultFor(const std::string &Name) {
+    for (const auto &F : C->IR->functions())
+      if (F->name() == Name) {
+        auto It = VRP.PerFunction.find(F.get());
+        return It == VRP.PerFunction.end() ? nullptr : &It->second;
+      }
+    return nullptr;
+  }
+
+  const Function *function(const std::string &Name) const {
+    for (const auto &F : C->IR->functions())
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+/// Compiles \p Source and runs module VRP over it; nullopt on failure.
+std::optional<AuditRun> analyze(const std::string &Source,
+                                const VRPOptions &Opts) {
+  DiagnosticEngine Diags;
+  AuditRun R;
+  R.C = compileToSSA(Source, Diags, Opts);
+  if (!R.C)
+    return std::nullopt;
+  R.VRP = runModuleVRP(*R.C->IR, Opts);
+  return R;
+}
+
+/// Audits \p Run's module against one interpretation with \p Input.
+AuditReport audited(const AuditRun &Run, const std::vector<int64_t> &Input) {
+  RangeAuditor Auditor;
+  for (const auto &F : Run.C->IR->functions()) {
+    const FunctionVRPResult *FR = Run.VRP.forFunction(F.get());
+    EXPECT_NE(FR, nullptr);
+    if (FR)
+      Auditor.addFunction(*F, *FR);
+  }
+  Interpreter Interp(*Run.C->IR);
+  ExecutionResult Exec =
+      Interp.run(Input, nullptr, 200'000'000, &Auditor);
+  EXPECT_TRUE(Exec.Ok) << Exec.Error;
+  return Auditor.takeReport();
+}
+
+const char *LoopSource = R"(
+fn main() {
+  var total = 0;
+  for (var i = 0; i < 40; i = i + 1) {
+    if (i > 7) {
+      total = total + i;
+    }
+  }
+  return total;
+}
+)";
+
+TEST(Audit, BenchmarkSuiteIsViolationFree) {
+  // The sentinel's baseline contract: on an unfaulted analysis the audit
+  // runs a nontrivial number of checks and every one passes. A single
+  // violation here is a soundness bug in propagation or derivation.
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  for (const BenchmarkProgram *P : allPrograms()) {
+    auto Run = analyze(P->Source, Opts);
+    ASSERT_TRUE(Run.has_value()) << P->Name;
+    AuditReport R = audited(*Run, P->ShortInput);
+    EXPECT_GT(R.totalChecks(), 0u) << P->Name;
+    EXPECT_EQ(R.totalViolations(), 0u) << P->Name << "\n" << R.str();
+    EXPECT_TRUE(R.violated().empty()) << P->Name;
+  }
+}
+
+TEST(Audit, CorruptedRangeIsDetectedAndAttributed) {
+  VRPOptions Opts;
+  auto Run = analyze(LoopSource, Opts);
+  ASSERT_TRUE(Run.has_value());
+
+  const Function *Main = Run->function("main");
+  ASSERT_NE(Main, nullptr);
+  FunctionVRPResult *FR = Run->resultFor("main");
+  ASSERT_NE(FR, nullptr);
+
+  ASSERT_TRUE(canCorruptRange(*Main, *FR));
+  ASSERT_TRUE(corruptRangeForTesting(*Main, *FR));
+
+  AuditReport R = audited(*Run, {});
+  EXPECT_GT(R.totalViolations(), 0u);
+  ASSERT_EQ(R.violated().size(), 1u);
+  const FunctionAudit *FA = R.violated().front();
+  EXPECT_EQ(FA->Function, "main");
+  ASSERT_FALSE(FA->Details.empty());
+  // The detail names the branch and carries a real witness: rendering
+  // must mention the observed value and the violated range.
+  const AuditViolation &V = FA->Details.front();
+  EXPECT_FALSE(V.UnreachableExecuted);
+  EXPECT_NE(V.str().find("observed"), std::string::npos) << V.str();
+  EXPECT_NE(V.str().find("outside"), std::string::npos) << V.str();
+}
+
+TEST(Audit, CleanRunOfSameProgramStaysQuiet) {
+  // Control for the corruption test: the identical program, uncorrupted,
+  // audits clean — so the violation above is caused by the corruption,
+  // not by the program.
+  VRPOptions Opts;
+  auto Run = analyze(LoopSource, Opts);
+  ASSERT_TRUE(Run.has_value());
+  AuditReport R = audited(*Run, {});
+  EXPECT_GT(R.totalChecks(), 0u);
+  EXPECT_EQ(R.totalViolations(), 0u) << R.str();
+}
+
+TEST(Audit, StrideLatticeViolationIsCaught) {
+  // Membership is stride-aware: a range whose hull covers every observed
+  // value but whose lattice the execution steps off must still violate.
+  // Replace each auditable range with the same hull on a stride no
+  // consecutive loop counter can satisfy.
+  VRPOptions Opts;
+  auto Run = analyze(LoopSource, Opts);
+  ASSERT_TRUE(Run.has_value());
+
+  FunctionVRPResult *FR = Run->resultFor("main");
+  ASSERT_NE(FR, nullptr);
+
+  unsigned Replaced = 0;
+  for (auto &[V, VR] : FR->Ranges) {
+    if (!VR.isRanges() || VR.hasSymbolicBounds())
+      continue;
+    // Hi − Lo must be a stride multiple or ranges() rejects the shape:
+    // −1000000 + 997·2006 = 999982.
+    VR = ValueRange::ranges(
+        {SubRange::numeric(1.0, -1000000, 999982, 997)},
+        Opts.MaxSubRanges);
+    ++Replaced;
+  }
+  ASSERT_GT(Replaced, 0u);
+
+  AuditReport R = audited(*Run, {});
+  // The loop counter walks 0,1,2,...: almost none of those sit on a
+  // stride-997 lattice anchored at -1000000, so violations must fire.
+  EXPECT_GT(R.totalViolations(), 0u) << R.str();
+}
+
+TEST(Audit, ExecutedBranchClaimedUnreachableViolates) {
+  VRPOptions Opts;
+  auto Run = analyze(LoopSource, Opts);
+  ASSERT_TRUE(Run.has_value());
+
+  FunctionVRPResult *FR = Run->resultFor("main");
+  ASSERT_NE(FR, nullptr);
+  ASSERT_FALSE(FR->Branches.empty());
+  for (auto &[Br, Pred] : FR->Branches)
+    Pred.Reachable = false;
+
+  AuditReport R = audited(*Run, {});
+  EXPECT_GT(R.totalViolations(), 0u);
+  ASSERT_EQ(R.violated().size(), 1u);
+  bool SawUnreachable = false;
+  for (const AuditViolation &V : R.violated().front()->Details)
+    if (V.UnreachableExecuted) {
+      SawUnreachable = true;
+      EXPECT_NE(V.str().find("predicted unreachable was executed"),
+                std::string::npos)
+          << V.str();
+    }
+  EXPECT_TRUE(SawUnreachable);
+}
+
+TEST(Audit, DegradedFunctionsClaimNothing) {
+  // A degraded (⊥) result makes no range claims, so the auditor must not
+  // check — or blame — anything in it, even though the function executes.
+  VRPOptions Opts;
+  Opts.Budget.PropagationStepLimit = 1;
+  auto Run = analyze(LoopSource, Opts);
+  ASSERT_TRUE(Run.has_value());
+  bool AnyDegraded = false;
+  for (const auto &F : Run->C->IR->functions()) {
+    const FunctionVRPResult *FR = Run->VRP.forFunction(F.get());
+    ASSERT_NE(FR, nullptr);
+    AnyDegraded |= FR->Degraded;
+  }
+  ASSERT_TRUE(AnyDegraded);
+  AuditReport R = audited(*Run, {});
+  EXPECT_EQ(R.totalChecks(), 0u);
+  EXPECT_EQ(R.totalViolations(), 0u);
+}
+
+TEST(Audit, ViolationCountKeepsCountingPastDetailCap) {
+  // Details are capped per function, the Violations total is not: a
+  // violation on every iteration of a 40-trip loop dedupes into a few
+  // details whose Counts sum back to the total.
+  VRPOptions Opts;
+  auto Run = analyze(LoopSource, Opts);
+  ASSERT_TRUE(Run.has_value());
+  const Function *Main = Run->function("main");
+  ASSERT_NE(Main, nullptr);
+  FunctionVRPResult *FR = Run->resultFor("main");
+  ASSERT_NE(FR, nullptr);
+  ASSERT_TRUE(corruptRangeForTesting(*Main, *FR));
+
+  AuditReport R = audited(*Run, {});
+  ASSERT_EQ(R.violated().size(), 1u);
+  const FunctionAudit *FA = R.violated().front();
+  EXPECT_LE(FA->Details.size(), RangeAuditor::MaxDetailsPerFunction);
+  uint64_t DetailSum = 0;
+  for (const AuditViolation &V : FA->Details)
+    DetailSum += V.Count;
+  EXPECT_EQ(DetailSum, FA->Violations);
+}
+
+TEST(Audit, CanCorruptMatchesCorrupt) {
+  // canCorruptRange is the fault site's probe gate; it must agree with
+  // what corruptRangeForTesting can actually do, on every benchmark
+  // function.
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  for (const BenchmarkProgram *P : allPrograms()) {
+    auto Run = analyze(P->Source, Opts);
+    ASSERT_TRUE(Run.has_value()) << P->Name;
+    for (const auto &F : Run->C->IR->functions()) {
+      FunctionVRPResult *FR = Run->resultFor(F->name());
+      ASSERT_NE(FR, nullptr);
+      FunctionVRPResult Copy = *FR;
+      EXPECT_EQ(canCorruptRange(*F, *FR),
+                corruptRangeForTesting(*F, Copy))
+          << P->Name << " @" << F->name();
+    }
+  }
+}
+
+} // namespace

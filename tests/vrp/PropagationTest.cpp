@@ -321,6 +321,86 @@ TEST(PropagationTest, DeepNestingTerminatesQuickly) {
         << "loop branch should predict from ranges";
 }
 
+//===----------------------------------------------------------------------===//
+// Derivation stall guard (VRPOptions::DerivationRetryLimit)
+//===----------------------------------------------------------------------===//
+
+// A loop-carried φ whose entry operand never leaves ⊤ re-derives NotYet
+// on every visit without stabilizing. The reproducible shape: a call
+// summary frozen at ⊤ (a context whose jump functions are not ready)
+// feeding one header φ, while a second, non-derivable counter in the
+// same header keeps refining the loop edges and re-triggering the
+// derivation. The guard must convert that spin into an observable
+// degradation with a structured cause instead of burning the global
+// step budget.
+const char *StallSource = R"(
+  fn helper() { return 0; }
+  fn main() {
+    var start = helper();
+    var j = 1;
+    var i = start;
+    var total = 0;
+    while (j < 1000000) {
+      j = j + j + 1;
+      i = i + 1;
+      total = total + i;
+    }
+    return total;
+  }
+)";
+
+FunctionVRPResult propagateWithTopCalls(const char *Source,
+                                        const VRPOptions &Opts) {
+  DiagnosticEngine Diags;
+  auto C = compileToSSA(Source, Diags, Opts);
+  EXPECT_TRUE(C) << Diags.firstError();
+  PropagationContext Ctx;
+  Ctx.ParamRange = [](const Param *) { return ValueRange::bottom(); };
+  Ctx.CallResultRange = [](const CallInst *) { return ValueRange::top(); };
+  return propagateRanges(*C->IR->findFunction("main"), Opts, Ctx);
+}
+
+TEST(PropagationTest, DerivationStallDegradesWithStructuredCause) {
+  VRPOptions Opts;
+  Opts.DerivationRetryLimit = 8;
+  FunctionVRPResult R = propagateWithTopCalls(StallSource, Opts);
+  ASSERT_TRUE(R.Degraded);
+  ASSERT_FALSE(R.DegradeCause.ok());
+  const VrpError &E = R.DegradeCause.error();
+  EXPECT_EQ(E.Category, ErrorCategory::BudgetExceeded);
+  EXPECT_EQ(E.Site, "derivation");
+  // The message names the function, the φ, and the configured limit.
+  EXPECT_NE(E.Message.find("@main"), std::string::npos) << E.Message;
+  EXPECT_NE(E.Message.find("never stabilized"), std::string::npos)
+      << E.Message;
+  EXPECT_NE(E.Message.find("8 derivation retries"), std::string::npos)
+      << E.Message;
+  // Degradation is the whole-function ⊥ contract: no ranges, every
+  // branch handed to the heuristic fallback.
+  EXPECT_TRUE(R.Ranges.empty());
+  for (const auto &[Branch, Pred] : R.Branches)
+    EXPECT_FALSE(Pred.FromRanges);
+}
+
+TEST(PropagationTest, DerivationStallGuardDisabledByZeroLimit) {
+  // Limit 0 means "never give up": the same program must still
+  // terminate (the widening and branch-update guards bound the spin)
+  // and must NOT be degraded by the retry guard.
+  VRPOptions Opts;
+  Opts.DerivationRetryLimit = 0;
+  FunctionVRPResult R = propagateWithTopCalls(StallSource, Opts);
+  EXPECT_FALSE(R.Degraded);
+}
+
+TEST(PropagationTest, DefaultRetryLimitRidesOutTransientNotYet) {
+  // The default limit is far above any transient NotYet sequence a
+  // converging analysis produces: the stall program's refinement loop
+  // settles well under 512 retries, so no degradation.
+  VRPOptions Opts;
+  FunctionVRPResult R = propagateWithTopCalls(StallSource, Opts);
+  EXPECT_FALSE(R.Degraded);
+}
+
 TEST(PropagationTest, PredictionsAgreeWithExecutionOnClosedProgram) {
   const char *Source = R"(
     fn main() {
