@@ -1,0 +1,158 @@
+//===- bench/warm_start.cpp - Persistent-cache warm start ------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Measures the persistent result cache (analysis/PersistentCache): full
+// suite wall-clock for a cold run (empty store, every function analyzed
+// and persisted) against a warm run (every function restored from disk)
+// at 1/2/4 threads, plus a bitwise comparison of the warm curves against
+// the cold run — restoring a stored result must be indistinguishable from
+// recomputing it. Emits BENCH_warm_start.json so future PRs have a perf
+// trajectory to defend.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PersistentCache.h"
+#include "eval/SuiteRunner.h"
+#include "support/Format.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+using namespace vrp;
+
+namespace {
+
+double wallSeconds(std::chrono::steady_clock::time_point Start,
+                   std::chrono::steady_clock::time_point End) {
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Bitwise curve comparison: a warm start promises results identical to a
+/// cold run, so exact double equality is required.
+bool curvesIdentical(const SuiteEvaluation &A, const SuiteEvaluation &B) {
+  if (A.Benchmarks.size() != B.Benchmarks.size())
+    return false;
+  for (size_t I = 0; I < A.Benchmarks.size(); ++I) {
+    const BenchmarkEvaluation &X = A.Benchmarks[I];
+    const BenchmarkEvaluation &Y = B.Benchmarks[I];
+    if (X.Ok != Y.Ok || X.Name != Y.Name ||
+        X.VRPRangeFraction != Y.VRPRangeFraction)
+      return false;
+  }
+  for (PredictorKind Kind : allPredictors()) {
+    const ErrorCdf &CA = A.AveragedUnweighted.at(Kind);
+    const ErrorCdf &CB = B.AveragedUnweighted.at(Kind);
+    const ErrorCdf &WA = A.AveragedWeighted.at(Kind);
+    const ErrorCdf &WB = B.AveragedWeighted.at(Kind);
+    if (CA.meanError() != CB.meanError() ||
+        WA.meanError() != WB.meanError())
+      return false;
+    for (unsigned Bucket = 0; Bucket < ErrorCdf::NumBuckets; ++Bucket)
+      if (CA.fractionWithin(Bucket) != CB.fractionWithin(Bucket) ||
+          WA.fractionWithin(Bucket) != WB.fractionWithin(Bucket))
+        return false;
+  }
+  return true;
+}
+
+struct Run {
+  unsigned Threads = 1;
+  double ColdSeconds = 0.0;
+  double WarmSeconds = 0.0;
+  double Speedup = 1.0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  bool Identical = true;
+};
+
+} // namespace
+
+int main() {
+  std::vector<const BenchmarkProgram *> Programs = allPrograms();
+  const std::string CachePath = "BENCH_warm_start.cache";
+
+  std::cout << "==== Persistent-cache warm start ====\n\n"
+            << "programs: " << Programs.size() << ", store: " << CachePath
+            << "\n\n";
+
+  // Warm the interned-constant pool and suite tables outside the timings.
+  (void)evaluateSuite({Programs.front()}, VRPOptions());
+
+  std::vector<Run> Runs;
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    VRPOptions Opts;
+    Opts.Interprocedural = true;
+    Opts.Threads = Threads;
+    SuiteRunConfig Config;
+    Config.CachePath = CachePath;
+
+    // Cold: start from an empty store so every function misses, is
+    // analyzed, and is persisted.
+    std::remove(CachePath.c_str());
+    auto ColdStart = std::chrono::steady_clock::now();
+    SuiteEvaluation Cold = evaluateSuite(Programs, Opts, Config);
+    auto ColdEnd = std::chrono::steady_clock::now();
+
+    // Warm: same store, so every function restores from disk.
+    auto WarmStart = std::chrono::steady_clock::now();
+    SuiteEvaluation Warm = evaluateSuite(Programs, Opts, Config);
+    auto WarmEnd = std::chrono::steady_clock::now();
+
+    Run R;
+    R.Threads = Threads;
+    R.ColdSeconds = wallSeconds(ColdStart, ColdEnd);
+    R.WarmSeconds = wallSeconds(WarmStart, WarmEnd);
+    R.Speedup = R.WarmSeconds > 0 ? R.ColdSeconds / R.WarmSeconds : 1.0;
+    R.Hits = Warm.PCache.Hits;
+    R.Misses = Warm.PCache.Misses;
+    R.Identical = curvesIdentical(Cold, Warm) && Warm.PCache.Hits > 0 &&
+                  Warm.PCache.Misses == 0;
+    Runs.push_back(R);
+  }
+  std::remove(CachePath.c_str());
+
+  TextTable Table({"threads", "cold s", "warm s", "speedup", "warm hits",
+                   "warm misses", "curves"});
+  for (const Run &R : Runs)
+    Table.addRow({std::to_string(R.Threads),
+                  formatDouble(R.ColdSeconds, 3),
+                  formatDouble(R.WarmSeconds, 3),
+                  formatDouble(R.Speedup, 2) + "x", std::to_string(R.Hits),
+                  std::to_string(R.Misses),
+                  R.Identical ? "identical" : "DIVERGED"});
+  Table.print(std::cout);
+
+  bool AllIdentical = true;
+  for (const Run &R : Runs)
+    AllIdentical = AllIdentical && R.Identical;
+  std::cout << "\nwarm curves "
+            << (AllIdentical ? "match the cold run bit-for-bit"
+                             : "DIVERGED from the cold run (BUG)")
+            << "\n";
+
+  std::ofstream Json("BENCH_warm_start.json");
+  Json << "{\n"
+       << "  \"bench\": \"warm_start\",\n"
+       << "  \"suite_programs\": " << Programs.size() << ",\n"
+       << "  \"curves_identical\": " << (AllIdentical ? "true" : "false")
+       << ",\n"
+       << "  \"runs\": [\n";
+  for (size_t I = 0; I < Runs.size(); ++I) {
+    const Run &R = Runs[I];
+    Json << "    {\"threads\": " << R.Threads
+         << ", \"cold_seconds\": " << formatDouble(R.ColdSeconds, 6)
+         << ", \"warm_seconds\": " << formatDouble(R.WarmSeconds, 6)
+         << ", \"speedup_warm_vs_cold\": " << formatDouble(R.Speedup, 4)
+         << ", \"warm_hits\": " << R.Hits
+         << ", \"warm_misses\": " << R.Misses
+         << ", \"curves_identical\": " << (R.Identical ? "true" : "false")
+         << "}" << (I + 1 < Runs.size() ? "," : "") << "\n";
+  }
+  Json << "  ]\n}\n";
+  std::cout << "\nwrote BENCH_warm_start.json\n";
+  return AllIdentical ? 0 : 1;
+}

@@ -8,7 +8,8 @@
 //                  [--threads=N] [--budget=N] [--deadline=MS]
 //                  [--dump-ir] [--ranges] [--stats[=json]]
 //                  [--trace=<function>] [--audit[=json]]
-//                  [--suite] [--journal=<path>] [--resume] [file.vl]
+//                  [--suite] [--journal=<path>] [--resume]
+//                  [--cache=<path>] [--cache-verify] [file.vl]
 //
 // Without a file argument it analyzes a built-in demo program. For every
 // conditional branch it prints the predicted taken-probability and, for
@@ -24,13 +25,19 @@
 // heuristic fallback and reported. --journal checkpoints each completed
 // suite benchmark to an append-only JSONL file; --resume skips the
 // benchmarks already journaled there (see docs/ROBUSTNESS.md).
+// --cache=<path> attaches the persistent result cache (docs/CACHE.md):
+// warm runs restore per-function analyses bitwise-identically from the
+// file and skip propagation. --cache-verify re-analyzes on every hit and
+// compares against the stored bytes, exiting 5 on any divergence.
 //
 // Exit codes: 0 success, 1 input rejected with diagnostics, 2 usage
-// error, 3 internal error, 4 soundness violations detected by --audit.
+// error, 3 internal error, 4 soundness violations detected by --audit,
+// 5 --cache-verify divergence.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AnalysisCache.h"
+#include "analysis/PersistentCache.h"
 #include "benchsuite/Programs.h"
 #include "driver/Pipeline.h"
 #include "eval/Reporting.h"
@@ -58,6 +65,7 @@ enum ExitCode : int {
   ExitUsage = 2,
   ExitInternal = 3,
   ExitAudit = 4,
+  ExitCacheDiverged = 5,
 };
 
 const char *DemoSource = R"(
@@ -89,7 +97,8 @@ void printUsage() {
                "random] [--threads=N] [--budget=N] [--deadline=MS] "
                "[--dump-ir] [--ranges] [--stats[=json]] "
                "[--trace=<function>] [--audit[=json]] [--suite] "
-               "[--journal=<path>] [--resume] [file.vl]\n"
+               "[--journal=<path>] [--resume] [--cache=<path>] "
+               "[--cache-verify] [file.vl]\n"
                "  --threads=N   fan functions out over N workers during "
                "propagation\n                (0 = all hardware threads; "
                "results are identical at any N)\n"
@@ -121,9 +130,16 @@ void printUsage() {
                "  --resume      reuse results already in the --journal "
                "file instead of\n                re-evaluating those "
                "benchmarks\n"
+               "  --cache=<p>   persistent result cache: warm runs "
+               "restore per-function\n                analyses "
+               "bitwise-identically from file <p> and skip\n"
+               "                propagation (see docs/CACHE.md)\n"
+               "  --cache-verify with --cache: re-analyze on every hit, "
+               "compare against\n                the stored bytes, exit 5 "
+               "on any divergence\n"
                "exit codes: 0 success, 1 diagnostics, 2 usage error, "
                "3 internal error,\n            4 soundness violations "
-               "detected by --audit\n";
+               "detected by --audit, 5 cache divergence\n";
 }
 
 /// Parses a digits-only unsigned option value. stoul alone would accept
@@ -144,7 +160,8 @@ int runTool(int argc, char **argv) {
   bool DumpIR = false, DumpRanges = false;
   bool Stats = false, StatsJson = false, Suite = false;
   bool Audit = false, AuditJson = false, Resume = false;
-  std::string JournalPath;
+  bool CacheVerify = false;
+  std::string JournalPath, CachePath;
   std::string TraceFn;
   unsigned Threads = 1;
   uint64_t StepBudget = 0, DeadlineMs = 0;
@@ -188,6 +205,14 @@ int runTool(int argc, char **argv) {
       }
     } else if (Arg == "--resume")
       Resume = true;
+    else if (Arg.rfind("--cache=", 0) == 0) {
+      CachePath = Arg.substr(8);
+      if (CachePath.empty()) {
+        std::cerr << "invalid --cache value: expected a file path\n";
+        return ExitUsage;
+      }
+    } else if (Arg == "--cache-verify")
+      CacheVerify = true;
     else if (Arg.rfind("--threads=", 0) == 0) {
       uint64_t Parsed = 0;
       if (!parseUnsigned(Arg.substr(10), Parsed) ||
@@ -240,6 +265,11 @@ int runTool(int argc, char **argv) {
     std::cerr << "--journal/--resume checkpoint suite runs; add --suite\n";
     return ExitUsage;
   }
+  if (CacheVerify && CachePath.empty()) {
+    std::cerr << "--cache-verify compares against a cache; add "
+                 "--cache=<path>\n";
+    return ExitUsage;
+  }
 
   if (Suite) {
     if (!FileName.empty()) {
@@ -257,6 +287,8 @@ int runTool(int argc, char **argv) {
     Config.JournalPath = JournalPath;
     Config.Resume = Resume;
     Config.SupervisorRetry = true;
+    Config.CachePath = CachePath;
+    Config.CacheVerify = CacheVerify;
     SuiteEvaluation SuiteEval = evaluateSuite(allPrograms(), Opts, Config);
     if (StatsJson) {
       writeSuiteStatsJson(SuiteEval, telemetry::snapshot(), std::cout);
@@ -265,6 +297,11 @@ int runTool(int argc, char **argv) {
       if (Stats)
         std::cout << "telemetry counters:\n"
                   << telemetry::toText(telemetry::snapshot());
+    }
+    if (SuiteEval.PCacheDivergences > 0) {
+      std::cerr << "cache-verify: " << SuiteEval.PCacheDivergences
+                << " stored result(s) diverged from re-analysis\n";
+      return ExitCacheDiverged;
     }
     if (Audit && SuiteEval.SoundnessViolations > 0)
       return ExitAudit;
@@ -306,8 +343,20 @@ int runTool(int argc, char **argv) {
   if (DumpIR)
     printModule(M, std::cout);
 
+  // Single-file cache attachment: lookups hit the snapshot on disk, and
+  // this run's fresh results commit below once analysis finished cleanly.
+  std::unique_ptr<PersistentCache> PCache;
+  if (!CachePath.empty()) {
+    PCache = PersistentCache::open(CachePath, CacheVerify);
+    if (!PCache)
+      std::cerr << "warning: cannot open cache " << CachePath
+                << "; running uncached\n";
+  }
+
   AnalysisCache Cache;
-  ModuleVRPResult VRP = runModuleVRP(M, Opts, &Cache);
+  ModuleVRPResult VRP = runModuleVRP(M, Opts, &Cache, PCache.get());
+  if (PCache)
+    PCache->commitScope();
 
   for (const auto &F : M.functions()) {
     const FunctionVRPResult *FR = VRP.forFunction(F.get());
@@ -427,6 +476,11 @@ int runTool(int argc, char **argv) {
     else
       std::cout << "telemetry counters:\n"
                 << telemetry::toText(telemetry::snapshot());
+  }
+  if (PCache && PCache->divergences() > 0) {
+    std::cerr << "cache-verify: " << PCache->divergences()
+              << " stored result(s) diverged from re-analysis\n";
+    return ExitCacheDiverged;
   }
   return AuditViolated ? ExitAudit : ExitSuccess;
 }

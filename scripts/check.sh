@@ -96,3 +96,49 @@ build/examples/predictor_tool --suite --stats=json \
   | sed '/"counters"/,$d' > build/stats-resumed.json
 diff build/stats-full.json build/stats-resumed.json
 echo "kill-and-resume smoke: ok"
+
+# Warm-start: a second --cache run must restore every analysis from disk
+# (pcache_hits > 0, zero misses) and reproduce the cold run's stats
+# bitwise. Comparison stops at the "pcache" key: everything above it is
+# the deterministic contract; the pcache counters themselves legitimately
+# flip from all-miss to all-hit between the two runs. A third run under
+# --cache-verify re-analyzes every hit and must find zero divergence
+# (exit 5 otherwise).
+rm -f build/pcache.bin
+build/examples/predictor_tool --suite --stats=json --cache=build/pcache.bin \
+  > build/stats-cold.json
+build/examples/predictor_tool --suite --stats=json --cache=build/pcache.bin \
+  > build/stats-warm.json
+diff <(sed '/"pcache"/,$d' build/stats-cold.json) \
+     <(sed '/"pcache"/,$d' build/stats-warm.json)
+warm_hits=$(grep -o '"pcache": {[^}]*}' build/stats-warm.json \
+  | grep -o '"hits": [0-9]*' | grep -o '[0-9]*')
+warm_misses=$(grep -o '"pcache": {[^}]*}' build/stats-warm.json \
+  | grep -o '"misses": [0-9]*' | grep -o '[0-9]*')
+if [ "${warm_hits:-0}" -eq 0 ] || [ "${warm_misses:-1}" -ne 0 ]; then
+  echo "warm-start: expected hits>0 and misses=0, got hits=$warm_hits misses=$warm_misses" >&2
+  exit 1
+fi
+build/examples/predictor_tool --suite --cache=build/pcache.bin \
+  --cache-verify >/dev/null
+echo "warm-start: ok"
+
+# Docs lint: every relative link in README.md and docs/*.md must resolve
+# to a file in the repo. Absolute URLs and #anchors are out of scope.
+docs_lint_failed=0
+for doc in README.md docs/*.md; do
+  dir=$(dirname "$doc")
+  while IFS= read -r link; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -n "$target" ] || continue
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "docs lint: $doc links to missing file: $link" >&2
+      docs_lint_failed=1
+    fi
+  done < <(grep -o '\]([^)]*)' "$doc" | sed 's/^](//; s/)$//')
+done
+[ "$docs_lint_failed" -eq 0 ] || exit 1
+echo "docs lint: ok"

@@ -1,0 +1,151 @@
+//===- analysis/PersistentCache.h - Durable per-function VRP memo -*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent, content-addressed complement to AnalysisCache: a
+/// per-function memo of complete `FunctionVRPResult`s that survives
+/// process restarts (support/ResultStore.h provides the durable file;
+/// docs/CACHE.md specifies the format). A warm run of runModuleVRP
+/// restores a hit bitwise-identically and skips propagation entirely.
+///
+/// Content addressing makes staleness structurally impossible: the key is
+/// a pure function of everything the propagation result depends on —
+///
+///   1. the function's canonical IR text (ir/IRPrinter.h's printFunction,
+///      which renders every instruction, block and predecessor edge);
+///   2. every result-affecting VRPOptions field;
+///   3. the function's interprocedural context, i.e. the RESOLVED
+///      parameter range of each formal and the RESOLVED return range of
+///      each call site, exactly as the engine would observe them through
+///      the PropagationContext hooks.
+///
+/// (3) is what makes incremental re-analysis sound in both dataflow
+/// directions: editing a callee changes its return range, which changes
+/// every caller's context fingerprint (the issue's "fold callee
+/// fingerprints into the caller's key"), and editing a caller changes the
+/// jump-function ranges flowing into its callees — either way exactly the
+/// SCC-upward/-downward dependents re-analyze, nothing else.
+///
+/// Integration contract (kept by interproc/InterproceduralVRP.cpp and
+/// eval/SuiteRunner.cpp):
+///  - degraded results are never inserted; quarantined functions are
+///    expunged before their benchmark's pending inserts commit;
+///  - fault-injected runs (fault::armed()) and traced runs (Opts.Trace)
+///    bypass the cache entirely;
+///  - inserts buffer under the current benchmark scope
+///    (fault::currentKey()) and reach disk only via commitScope() after
+///    the benchmark — including its audit — succeeded;
+///  - on a hit the engine's single AnalysisCache::dfs() touch is
+///    replayed by the caller so AnalysisCache counters stay identical
+///    cold vs. warm.
+///
+/// Determinism: lookups consult ResultStore's frozen-at-open snapshot, so
+/// the hit/miss pattern — and therefore every derived counter — is
+/// independent of thread count and schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_ANALYSIS_PERSISTENTCACHE_H
+#define VRP_ANALYSIS_PERSISTENTCACHE_H
+
+#include "support/ResultStore.h"
+#include "vrp/Propagation.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vrp {
+
+class PersistentCache {
+public:
+  /// Payload-encoding version, stored in the ResultStore header; bump on
+  /// any change to serialize()'s output or the key recipe.
+  static constexpr uint32_t FormatVersion = 1;
+
+  /// Opens (creating if absent) the cache file at \p Path. With \p Verify
+  /// set, a hit does not skip analysis: the function is re-analyzed and
+  /// the fresh serialization is compared byte-for-byte against the stored
+  /// payload, counting a divergence on mismatch (predictor_tool
+  /// --cache-verify exits 5 when any were seen). Returns null when the
+  /// file cannot be opened for writing.
+  static std::unique_ptr<PersistentCache> open(const std::string &Path,
+                                               bool Verify);
+
+  /// The content-addressed key for analyzing \p F under \p Opts in the
+  /// interprocedural context \p Ctx (whose hooks are consulted for every
+  /// formal parameter and call site).
+  static std::string makeKey(const Function &F, const VRPOptions &Opts,
+                             const PropagationContext &Ctx);
+
+  /// Exact, deterministic serialization of a result: line-oriented text
+  /// with hex-float doubles (bitwise round trips, mirroring eval/Journal)
+  /// and pointer-free value references (instructions by dense id, params
+  /// by index, constants by value), entries sorted so the bytes are
+  /// independent of heap layout and thread schedule.
+  static std::string serialize(const FunctionVRPResult &R);
+
+  /// Rebuilds a result for \p F from serialize() output. Returns false
+  /// (leaving \p Out unspecified) on any structural mismatch — the caller
+  /// treats that as a miss.
+  static bool deserialize(const std::string &Payload, const Function &F,
+                          FunctionVRPResult &Out);
+
+  /// Snapshot lookup. On a hit restores into \p Out and, when \p
+  /// RawPayload is non-null, also hands back the stored bytes (for the
+  /// verify comparison). The hit is remembered under the current scope so
+  /// a later expunge() of this function can tombstone it.
+  bool lookup(const std::string &Key, const Function &F,
+              FunctionVRPResult &Out, std::string *RawPayload = nullptr);
+
+  /// Buffers (Key -> serialize(R)) under the current benchmark scope.
+  /// Never call with a degraded result.
+  void insert(const std::string &Key, const FunctionVRPResult &R);
+
+  /// Removes any pending insert for function \p FnName in the current
+  /// scope and tombstones any snapshot hit served for it — a quarantined
+  /// function's results must not survive in the store.
+  void expunge(const std::string &FnName);
+
+  /// Appends the current scope's pending records to disk (call after the
+  /// benchmark — including its audit — succeeded).
+  void commitScope();
+
+  /// Drops the current scope's pending records (failed benchmark).
+  void discardScope();
+
+  /// Records one verify-mode divergence (stored payload != fresh bytes).
+  void noteDivergence() { Divergences.fetch_add(1); }
+  uint64_t divergences() const { return Divergences.load(); }
+  bool verifyMode() const { return Verify; }
+
+  store::ResultStoreStats stats() const { return Store->stats(); }
+
+private:
+  PersistentCache() = default;
+
+  struct Touched {
+    std::string FnName;
+    std::string Key;
+    std::string Payload;    ///< Pending insert bytes; empty for a hit.
+    bool FromSnapshot = false;
+  };
+
+  std::unique_ptr<store::ResultStore> Store;
+  bool Verify = false;
+  std::atomic<uint64_t> Divergences{0};
+  std::mutex M;
+  /// Benchmark scope (fault::currentKey()) -> hits served and inserts
+  /// pending in that scope.
+  std::map<std::string, std::vector<Touched>> Scopes;
+};
+
+} // namespace vrp
+
+#endif // VRP_ANALYSIS_PERSISTENTCACHE_H

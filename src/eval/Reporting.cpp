@@ -152,6 +152,20 @@ void vrp::writeSuiteStatsJson(const SuiteEvaluation &Suite,
   }
   OS << (Suite.Quarantines.empty() ? "],\n" : "\n  ],\n");
 
+  // Persistent result cache. "enabled" keeps the key present (and the
+  // layout stable) on uncached runs; every counter is deterministic at
+  // any thread count because lookups only consult the snapshot frozen at
+  // open. Warm-start checks strip from the "pcache" line onward, since a
+  // cold and a warm run legitimately differ here.
+  OS << "  \"pcache\": {\"enabled\": " << (Suite.PCacheEnabled ? 1 : 0)
+     << ", \"hits\": " << Suite.PCache.Hits
+     << ", \"misses\": " << Suite.PCache.Misses
+     << ", \"evictions\": " << Suite.PCache.Evictions
+     << ", \"corrupt_records\": " << Suite.PCache.CorruptRecords
+     << ", \"records\": " << Suite.PCache.Records
+     << ", \"bytes_written\": " << Suite.PCache.BytesWritten
+     << ", \"divergences\": " << Suite.PCacheDivergences << "},\n";
+
   // Process-wide telemetry counters, in enum order.
   OS << "  \"counters\": {\n";
   for (unsigned I = 0; I < telemetry::NumCounters; ++I) {

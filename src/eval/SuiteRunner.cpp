@@ -6,6 +6,7 @@
 
 #include "eval/SuiteRunner.h"
 
+#include "analysis/PersistentCache.h"
 #include "eval/Journal.h"
 #include "profile/ProfilePredictor.h"
 #include "support/FaultInjection.h"
@@ -54,8 +55,9 @@ BranchProbMap vrpModulePredictions(Module &M, const VRPOptions &Opts,
                                    double *RangeFraction,
                                    AnalysisCache *Cache = nullptr,
                                    unsigned *DegradedFunctions = nullptr,
-                                   VRPStats *Stats = nullptr) {
-  ModuleVRPResult R = runModuleVRP(M, Opts, Cache);
+                                   VRPStats *Stats = nullptr,
+                                   PersistentCache *PCache = nullptr) {
+  ModuleVRPResult R = runModuleVRP(M, Opts, Cache, PCache);
   if (DegradedFunctions)
     *DegradedFunctions = R.FunctionsDegraded;
   if (Stats)
@@ -88,7 +90,8 @@ BranchProbMap vrp::predictModule(PredictorKind Kind, Module &M,
                                  const EdgeProfile &TrainingProfile,
                                  const VRPOptions &Opts,
                                  uint64_t RandomSeed,
-                                 AnalysisCache *Cache) {
+                                 AnalysisCache *Cache,
+                                 PersistentCache *PCache) {
   BranchProbMap Probs;
   switch (Kind) {
   case PredictorKind::Profiling:
@@ -115,11 +118,16 @@ BranchProbMap vrp::predictModule(PredictorKind Kind, Module &M,
   case PredictorKind::VRP:
     // Uses Opts as configured (the ablation bench relies on this); the
     // default configuration has symbolic ranges enabled.
-    return vrpModulePredictions(M, Opts, nullptr, Cache);
+    return vrpModulePredictions(M, Opts, nullptr, Cache, nullptr, nullptr,
+                                PCache);
   case PredictorKind::VRPNumeric: {
+    // The numeric configuration shares the persistent cache: its options
+    // fingerprint differs (EnableSymbolicRanges off), so its records can
+    // never be confused with the full configuration's.
     VRPOptions Numeric = Opts;
     Numeric.EnableSymbolicRanges = false;
-    return vrpModulePredictions(M, Numeric, nullptr, Cache);
+    return vrpModulePredictions(M, Numeric, nullptr, Cache, nullptr, nullptr,
+                                PCache);
   }
   case PredictorKind::NinetyFifty:
     for (const auto &F : M.functions()) {
@@ -192,7 +200,8 @@ FunctionVRPResult quarantinedResult(const Function &F, uint64_t Violations) {
 }
 
 BenchmarkEvaluation evaluateProgramImpl(const BenchmarkProgram &Program,
-                                        const VRPOptions &Opts) {
+                                        const VRPOptions &Opts,
+                                        PersistentCache *PCache) {
   BenchmarkEvaluation Eval;
   Eval.Name = Program.Name;
 
@@ -280,7 +289,7 @@ BenchmarkEvaluation evaluateProgramImpl(const BenchmarkProgram &Program,
   // PredictorKind::VRP probability map scored below. Budget-degraded
   // functions (step cap or deadline inside runModuleVRP) are counted, not
   // failed: their branches carry Ball–Larus fallback predictions.
-  ModuleVRPResult VRPResult = runModuleVRP(M, Opts, &Cache);
+  ModuleVRPResult VRPResult = runModuleVRP(M, Opts, &Cache, PCache);
   Eval.DegradedFunctions = VRPResult.FunctionsDegraded;
   accumulateModuleStats(Eval.VRP, VRPResult);
 
@@ -365,7 +374,8 @@ BenchmarkEvaluation evaluateProgramImpl(const BenchmarkProgram &Program,
     BranchProbMap Probs =
         Kind == PredictorKind::VRP
             ? VRPProbs
-            : predictModule(Kind, M, TrainProfile, Opts, Seed, &Cache);
+            : predictModule(Kind, M, TrainProfile, Opts, Seed, &Cache,
+                            PCache);
     std::vector<BranchErrorSample> Samples =
         computeErrors(Probs, RefProfile);
     ErrorCdf Unweighted, Weighted;
@@ -382,21 +392,44 @@ BenchmarkEvaluation evaluateProgramImpl(const BenchmarkProgram &Program,
 
 BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
                                          const VRPOptions &Opts) {
+  return evaluateProgram(Program, Opts, nullptr);
+}
+
+BenchmarkEvaluation vrp::evaluateProgram(const BenchmarkProgram &Program,
+                                         const VRPOptions &Opts,
+                                         PersistentCache *PCache) {
   // Scope fault-injection counters to this benchmark so "site@name:n"
   // specs fire deterministically regardless of thread count or schedule.
+  // The same scope key buffers this benchmark's pending persistent-cache
+  // inserts until the verdict below.
   fault::ScopedKey Key(Program.Name);
+  auto fail = [&](std::string Message) {
+    if (PCache)
+      PCache->discardScope();
+    BenchmarkEvaluation Eval;
+    Eval.Name = Program.Name;
+    return failEvaluation(std::move(Eval), ErrorCategory::Internal,
+                          "evaluate", std::move(Message));
+  };
   try {
-    return evaluateProgramImpl(Program, Opts);
+    BenchmarkEvaluation Eval = evaluateProgramImpl(Program, Opts, PCache);
+    if (PCache) {
+      if (Eval.Ok) {
+        // A quarantined function's analysis lied at runtime: none of its
+        // results may persist — drop its pending inserts and tombstone
+        // any stored record that was served for it this run.
+        for (const quarantine::Record &R : Eval.Quarantines)
+          PCache->expunge(R.Function);
+        PCache->commitScope();
+      } else {
+        PCache->discardScope();
+      }
+    }
+    return Eval;
   } catch (const std::exception &E) {
-    BenchmarkEvaluation Eval;
-    Eval.Name = Program.Name;
-    return failEvaluation(std::move(Eval), ErrorCategory::Internal,
-                          "evaluate", E.what());
+    return fail(E.what());
   } catch (...) {
-    BenchmarkEvaluation Eval;
-    Eval.Name = Program.Name;
-    return failEvaluation(std::move(Eval), ErrorCategory::Internal,
-                          "evaluate", "unknown exception");
+    return fail("unknown exception");
   }
 }
 
@@ -433,15 +466,23 @@ SuiteEvaluation vrp::evaluateSuite(
                                           Append);
   }
 
+  // Persistent result store. Lookups see only the snapshot frozen here, so
+  // hit/miss patterns — and every counter derived from them — are the same
+  // at any thread count; this run's own results land on disk for the NEXT
+  // run. Open failure (unwritable path) degrades to an uncached run.
+  std::unique_ptr<PersistentCache> PCache;
+  if (!Config.CachePath.empty())
+    PCache = PersistentCache::open(Config.CachePath, Config.CacheVerify);
+
   // Body of one suite slot. evaluateProgram already converts every
   // pipeline failure into a structured result; the "worker" injection
   // site throws *outside* it to exercise the task-failure aggregation
   // path below.
-  auto runSlot = [](const BenchmarkProgram &P, const VRPOptions &SlotOpts) {
+  auto runSlot = [&](const BenchmarkProgram &P, const VRPOptions &SlotOpts) {
     fault::ScopedKey Key(P.Name);
     if (fault::shouldFail("worker"))
       throw std::runtime_error("injected worker-task failure");
-    return evaluateProgram(P, SlotOpts);
+    return evaluateProgram(P, SlotOpts, PCache.get());
   };
   auto workerFailure = [](const std::string &Name, std::string Message) {
     BenchmarkEvaluation Eval;
@@ -562,6 +603,12 @@ SuiteEvaluation vrp::evaluateSuite(
     }
     Suite.AveragedUnweighted[Kind] = ErrorCdf::average(Unweighted);
     Suite.AveragedWeighted[Kind] = ErrorCdf::average(Weighted);
+  }
+
+  if (PCache) {
+    Suite.PCacheEnabled = true;
+    Suite.PCache = PCache->stats();
+    Suite.PCacheDivergences = PCache->divergences();
   }
   return Suite;
 }

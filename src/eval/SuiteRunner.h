@@ -22,6 +22,7 @@
 #include "driver/Pipeline.h"
 #include "eval/ErrorMetrics.h"
 #include "support/Quarantine.h"
+#include "support/ResultStore.h"
 #include "support/Status.h"
 
 #include <map>
@@ -30,6 +31,8 @@
 #include <vector>
 
 namespace vrp {
+
+class PersistentCache;
 
 /// The predictors evaluated against each other, in the paper's order.
 enum class PredictorKind {
@@ -129,6 +132,17 @@ struct SuiteEvaluation {
   /// (--resume). Deliberately absent from the stats JSON: a resumed run
   /// must produce output identical to an uninterrupted one.
   unsigned JournalReused = 0;
+  /// True when the run had a persistent result cache attached
+  /// (SuiteRunConfig::CachePath); the stats JSON then carries a "pcache"
+  /// block with the counters below.
+  bool PCacheEnabled = false;
+  /// Persistent-cache efficiency/health counters for this run
+  /// (analysis/PersistentCache.h). Deterministic at any thread count:
+  /// lookups consult a snapshot frozen when the store was opened.
+  store::ResultStoreStats PCache;
+  /// Verify-mode (--cache-verify) hits whose stored bytes differed from a
+  /// fresh re-analysis. Always 0 outside verify mode.
+  uint64_t PCacheDivergences = 0;
 };
 
 /// Suite-run mechanics orthogonal to the analysis options: crash
@@ -147,6 +161,14 @@ struct SuiteRunConfig {
   /// structured failure instead of a pool task failure, and a *transient*
   /// failure (budget/deadline or injected fault) is retried once.
   bool SupervisorRetry = false;
+  /// Persistent content-addressed result cache (analysis/PersistentCache):
+  /// warm runs restore per-function VRP results bitwise-identically from
+  /// this file and skip propagation. Empty: no cache.
+  std::string CachePath;
+  /// With CachePath: do not skip on a hit — re-analyze, compare the fresh
+  /// bytes against the stored record, and count divergences (surfaced as
+  /// SuiteEvaluation::PCacheDivergences; predictor_tool exits 5 on any).
+  bool CacheVerify = false;
 };
 
 /// Computes module-wide branch probabilities for one predictor.
@@ -158,7 +180,8 @@ struct SuiteRunConfig {
 BranchProbMap predictModule(PredictorKind Kind, Module &M,
                             const EdgeProfile &TrainingProfile,
                             const VRPOptions &Opts, uint64_t RandomSeed,
-                            AnalysisCache *Cache = nullptr);
+                            AnalysisCache *Cache = nullptr,
+                            PersistentCache *PCache = nullptr);
 
 /// Runs the full §5 protocol over \p Programs. With Opts.Threads > 1 (or
 /// 0 = auto), benchmarks are fanned out across a worker pool — each
@@ -176,6 +199,14 @@ SuiteEvaluation evaluateSuite(
 /// Evaluates a single program (used by tests and the ablation bench).
 BenchmarkEvaluation evaluateProgram(const BenchmarkProgram &Program,
                                     const VRPOptions &Opts);
+
+/// As above, against a persistent result cache (may be null). Pending
+/// cache inserts commit only after the evaluation — including its audit —
+/// succeeded; quarantined functions are expunged first and a failed
+/// benchmark's pending results are discarded.
+BenchmarkEvaluation evaluateProgram(const BenchmarkProgram &Program,
+                                    const VRPOptions &Opts,
+                                    PersistentCache *PCache);
 
 } // namespace vrp
 

@@ -8,6 +8,7 @@
 
 #include "analysis/AnalysisCache.h"
 #include "analysis/CallGraph.h"
+#include "analysis/PersistentCache.h"
 #include "interproc/FunctionCloning.h"
 #include "support/FaultInjection.h"
 #include "support/Telemetry.h"
@@ -35,8 +36,8 @@ ValueRange sanitizeForCallee(const ValueRange &VR) {
 class InterprocDriver {
 public:
   InterprocDriver(Module &M, const VRPOptions &Opts, AnalysisCache *Cache,
-                  ThreadPool *Pool)
-      : M(M), Opts(Opts), Cache(Cache), Pool(Pool) {
+                  PersistentCache *PCache, ThreadPool *Pool)
+      : M(M), Opts(Opts), Cache(Cache), PCache(PCache), Pool(Pool) {
     if (Opts.Budget.DeadlineMs != 0)
       Deadline = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(Opts.Budget.DeadlineMs);
@@ -75,8 +76,9 @@ private:
 
   Module &M;
   const VRPOptions &Opts;
-  AnalysisCache *Cache; ///< May be null (no memoization).
-  ThreadPool *Pool;     ///< May be null (serial per-function phase).
+  AnalysisCache *Cache;    ///< May be null (no memoization).
+  PersistentCache *PCache; ///< May be null (no durable result cache).
+  ThreadPool *Pool;        ///< May be null (serial per-function phase).
   std::optional<std::chrono::steady_clock::time_point> Deadline;
   /// Param value -> merged jump-function range.
   std::map<const Param *, ValueRange> ParamTable;
@@ -110,10 +112,41 @@ void InterprocDriver::analyzeAll(ModuleVRPResult &Result) {
   // Deadline degradation: a function whose analysis would start past the
   // deadline gets the same ⊥ result a blown step budget produces, so the
   // module still yields a complete (if partly heuristic) prediction map.
+  //
+  // The persistent cache consults its frozen on-disk snapshot before
+  // running the engine. Fault-injected runs bypass it entirely (injected
+  // corruption must never be served back or persisted) and so do traced
+  // runs (a hit would silently skip the trace events the user asked for).
+  const bool UsePCache = PCache && !fault::armed() && !Opts.Trace;
   auto analyzeOne = [&](const Function &F) {
     if (pastDeadline())
       return degradedResult(F);
-    return propagateRanges(F, Opts, Ctx);
+    std::string Key;
+    if (UsePCache) {
+      Key = PersistentCache::makeKey(F, Opts, Ctx);
+      FunctionVRPResult Restored;
+      std::string StoredBytes;
+      if (PCache->lookup(Key, F, Restored, &StoredBytes)) {
+        if (!PCache->verifyMode()) {
+          // Replay the engine's one analysis-memo touch (Propagation.cpp
+          // reads its DFS numbering through the cache exactly once per
+          // run) so AnalysisCache counters are identical cold vs. warm.
+          if (Cache)
+            Cache->dfs(F);
+          return Restored;
+        }
+        // Verify mode: re-analyze and compare bytes; the fresh result is
+        // used either way, so a divergent store cannot taint the run.
+        FunctionVRPResult Fresh = propagateRanges(F, Opts, Ctx);
+        if (PersistentCache::serialize(Fresh) != StoredBytes)
+          PCache->noteDivergence();
+        return Fresh;
+      }
+    }
+    FunctionVRPResult R = propagateRanges(F, Opts, Ctx);
+    if (UsePCache && !R.Degraded)
+      PCache->insert(Key, R);
+    return R;
   };
 
   std::vector<FunctionVRPResult> Results;
@@ -298,15 +331,16 @@ ModuleVRPResult InterprocDriver::run() {
 }
 
 ModuleVRPResult vrp::runModuleVRP(Module &M, const VRPOptions &Opts,
-                                  AnalysisCache *Cache) {
+                                  AnalysisCache *Cache,
+                                  PersistentCache *PCache) {
   telemetry::ScopedTimer T(telemetry::Timer::Propagation);
   unsigned Threads = ThreadPool::resolveThreadCount(Opts.Threads);
   ModuleVRPResult Result;
   if (Threads > 1 && M.functions().size() > 1) {
     ThreadPool Pool(Threads);
-    Result = InterprocDriver(M, Opts, Cache, &Pool).run();
+    Result = InterprocDriver(M, Opts, Cache, PCache, &Pool).run();
   } else {
-    Result = InterprocDriver(M, Opts, Cache, nullptr).run();
+    Result = InterprocDriver(M, Opts, Cache, PCache, nullptr).run();
   }
   // Fault site "unsound-range": one shouldFail probe per function that
   // HAS a corruptible range, on the coordinating thread in module order,
@@ -328,8 +362,9 @@ ModuleVRPResult vrp::runModuleVRP(Module &M, const VRPOptions &Opts,
 }
 
 ModuleVRPResult vrp::runModuleVRP(const Module &M, const VRPOptions &Opts,
-                                  AnalysisCache *Cache) {
+                                  AnalysisCache *Cache,
+                                  PersistentCache *PCache) {
   assert(!(Opts.Interprocedural && Opts.EnableCloning) &&
          "cloning mutates the module; use the non-const overload");
-  return runModuleVRP(const_cast<Module &>(M), Opts, Cache);
+  return runModuleVRP(const_cast<Module &>(M), Opts, Cache, PCache);
 }

@@ -43,6 +43,7 @@ struct ModuleVRPResult {
 };
 
 class AnalysisCache;
+class PersistentCache;
 
 /// Runs VRP over every function of \p M. With Opts.Interprocedural set,
 /// parameter and return ranges flow across call edges; otherwise each
@@ -58,12 +59,21 @@ class AnalysisCache;
 /// \p Cache optionally memoizes per-function CFG analyses across rounds
 /// and across predictors (see analysis/AnalysisCache.h). Cloning
 /// invalidates the entries of callers whose call sites were retargeted.
+///
+/// \p PCache optionally consults the durable content-addressed result
+/// store (analysis/PersistentCache.h): a warm hit restores the function's
+/// result bitwise-identically and skips propagation; a miss analyzes and
+/// buffers the result for persistence. Fault-injected (fault::armed())
+/// and traced (Opts.Trace) runs bypass it; degraded results are never
+/// persisted.
 ModuleVRPResult runModuleVRP(Module &M, const VRPOptions &Opts,
-                             AnalysisCache *Cache = nullptr);
+                             AnalysisCache *Cache = nullptr,
+                             PersistentCache *PCache = nullptr);
 
 /// Const overload for intraprocedural-only analysis (never mutates).
 ModuleVRPResult runModuleVRP(const Module &M, const VRPOptions &Opts,
-                             AnalysisCache *Cache = nullptr);
+                             AnalysisCache *Cache = nullptr,
+                             PersistentCache *PCache = nullptr);
 
 } // namespace vrp
 

@@ -1,0 +1,248 @@
+//===- support/ResultStore.cpp - Durable content-addressed store ----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ResultStore.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+using namespace vrp;
+using namespace vrp::store;
+
+uint64_t store::fnv1a64(const std::string &Data, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+namespace {
+
+// On-disk layout (docs/CACHE.md): a 16-byte header, then length-prefixed
+// records. Everything little-endian, written byte by byte so the format
+// is identical on any host.
+constexpr char Magic[8] = {'V', 'R', 'P', 'C', 'A', 'C', 'H', 'E'};
+constexpr uint32_t LayoutVersion = 1;
+/// PayloadLen sentinel marking a tombstone record (key deleted).
+constexpr uint32_t TombstoneLen = 0xFFFFFFFFu;
+/// Sanity cap on key/payload sizes; anything larger is corruption.
+constexpr uint32_t MaxLen = 1u << 28;
+constexpr size_t HeaderSize = 16;
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+uint32_t getU32(const std::string &S, size_t At) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<unsigned char>(S[At + I]))
+         << (8 * I);
+  return V;
+}
+
+uint64_t getU64(const std::string &S, size_t At) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(S[At + I]))
+         << (8 * I);
+  return V;
+}
+
+std::string headerBytes(uint32_t FormatVersion) {
+  std::string H(Magic, sizeof(Magic));
+  putU32(H, LayoutVersion);
+  putU32(H, FormatVersion);
+  return H;
+}
+
+/// Record checksum: FNV-1a over the key, continued over the payload
+/// (tombstones hash the key alone).
+uint64_t recordChecksum(const std::string &Key, const std::string *Payload) {
+  uint64_t H = fnv1a64(Key);
+  return Payload ? fnv1a64(*Payload, H) : H;
+}
+
+std::string recordBytes(const std::string &Key, const std::string *Payload) {
+  std::string R;
+  putU32(R, static_cast<uint32_t>(Key.size()));
+  putU32(R, Payload ? static_cast<uint32_t>(Payload->size()) : TombstoneLen);
+  putU64(R, recordChecksum(Key, Payload));
+  R += Key;
+  if (Payload)
+    R += *Payload;
+  return R;
+}
+
+/// Reads the whole file (empty string when absent/unreadable).
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In.is_open())
+    return {};
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  return Data;
+}
+
+} // namespace
+
+std::unique_ptr<ResultStore> ResultStore::open(const std::string &Path,
+                                               uint32_t FormatVersion) {
+  auto S = std::unique_ptr<ResultStore>(new ResultStore());
+  S->Path = Path;
+
+  std::string Data = slurp(Path);
+  bool Reset = false;
+  size_t GoodEnd = HeaderSize;
+
+  if (Data.size() < HeaderSize) {
+    Reset = true;
+    if (!Data.empty())
+      ++S->Stats.CorruptRecords; // A torn header is corruption, not a miss.
+  } else if (std::memcmp(Data.data(), Magic, sizeof(Magic)) != 0 ||
+             getU32(Data, 8) != LayoutVersion) {
+    // Unrecognizable layout: nothing in the file can be trusted.
+    Reset = true;
+    ++S->Stats.CorruptRecords;
+  } else if (getU32(Data, 12) != FormatVersion) {
+    // Recognizable layout, stale payload encoding: count what we drop.
+    Reset = true;
+    size_t At = HeaderSize;
+    while (At + 16 <= Data.size()) {
+      uint32_t KeyLen = getU32(Data, At);
+      uint32_t PayloadLen = getU32(Data, At + 4);
+      size_t Body = static_cast<size_t>(KeyLen) +
+                    (PayloadLen == TombstoneLen ? 0 : PayloadLen);
+      if (KeyLen > MaxLen ||
+          (PayloadLen != TombstoneLen && PayloadLen > MaxLen) ||
+          At + 16 + Body > Data.size())
+        break;
+      ++S->Stats.Evictions;
+      At += 16 + Body;
+    }
+  } else {
+    // Live file: replay records until the first bad one, then truncate
+    // there — a torn tail is the normal state after a killed writer.
+    size_t At = HeaderSize;
+    while (At < Data.size()) {
+      if (At + 16 > Data.size()) {
+        ++S->Stats.CorruptRecords;
+        break;
+      }
+      uint32_t KeyLen = getU32(Data, At);
+      uint32_t PayloadLen = getU32(Data, At + 4);
+      uint64_t Checksum = getU64(Data, At + 8);
+      bool Tombstone = PayloadLen == TombstoneLen;
+      size_t Body =
+          static_cast<size_t>(KeyLen) + (Tombstone ? 0 : PayloadLen);
+      if (KeyLen > MaxLen || (!Tombstone && PayloadLen > MaxLen) ||
+          At + 16 + Body > Data.size()) {
+        ++S->Stats.CorruptRecords;
+        break;
+      }
+      std::string Key = Data.substr(At + 16, KeyLen);
+      std::string Payload =
+          Tombstone ? std::string() : Data.substr(At + 16 + KeyLen, PayloadLen);
+      if (Checksum != recordChecksum(Key, Tombstone ? nullptr : &Payload)) {
+        ++S->Stats.CorruptRecords;
+        break;
+      }
+      if (Tombstone) {
+        if (S->Snapshot.erase(Key))
+          ++S->Stats.Evictions;
+      } else {
+        if (S->Snapshot.count(Key))
+          ++S->Stats.Evictions; // Duplicate key: last occurrence wins.
+        S->Snapshot[Key] = std::move(Payload);
+      }
+      At += 16 + Body;
+      GoodEnd = At;
+    }
+  }
+
+  std::error_code EC;
+  if (Reset) {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    if (!Out.is_open())
+      return nullptr;
+    Out << headerBytes(FormatVersion);
+    Out.flush();
+    if (!Out.good())
+      return nullptr;
+    S->AppendOffset = HeaderSize;
+  } else {
+    // Drop any corrupt tail so future appends extend a clean prefix.
+    if (GoodEnd < Data.size())
+      std::filesystem::resize_file(Path, GoodEnd, EC);
+    S->AppendOffset = GoodEnd;
+  }
+  S->Stats.Records = S->Snapshot.size();
+  return S;
+}
+
+const std::string *ResultStore::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Snapshot.find(Key);
+  if (It == Snapshot.end()) {
+    ++Stats.Misses;
+    return nullptr;
+  }
+  ++Stats.Hits;
+  return &It->second;
+}
+
+uint64_t ResultStore::append(const std::string &Key,
+                             const std::string &Payload) {
+  std::lock_guard<std::mutex> L(M);
+  auto [It, Fresh] = Appended.emplace(Key, true);
+  (void)It;
+  if (!Fresh)
+    return 0; // Same content-addressed key this run: identical payload.
+  std::string R = recordBytes(Key, &Payload);
+  std::ofstream Out(Path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!Out.is_open())
+    return 0; // Lost durability, never correctness: it is recomputed.
+  Out.seekp(static_cast<std::streamoff>(AppendOffset));
+  Out << R;
+  Out.flush();
+  if (!Out.good())
+    return 0;
+  AppendOffset += R.size();
+  Stats.BytesWritten += R.size();
+  return R.size();
+}
+
+uint64_t ResultStore::appendTombstone(const std::string &Key) {
+  std::lock_guard<std::mutex> L(M);
+  std::string R = recordBytes(Key, nullptr);
+  std::ofstream Out(Path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!Out.is_open())
+    return 0;
+  Out.seekp(static_cast<std::streamoff>(AppendOffset));
+  Out << R;
+  Out.flush();
+  if (!Out.good())
+    return 0;
+  AppendOffset += R.size();
+  Stats.BytesWritten += R.size();
+  Appended.erase(Key); // A later append of this key must be written again.
+  return R.size();
+}
+
+ResultStoreStats ResultStore::stats() const {
+  std::lock_guard<std::mutex> L(M);
+  return Stats;
+}

@@ -1,0 +1,120 @@
+//===- support/ResultStore.h - Durable content-addressed store --*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-file, append-only, content-addressed result store: the durable
+/// half of the persistent analysis cache (analysis/PersistentCache.h). The
+/// file is a fixed header followed by length-prefixed binary records, each
+/// carrying its own checksum, so a torn or corrupted tail is detected and
+/// dropped rather than trusted (docs/CACHE.md specifies the format).
+///
+/// Concurrency and determinism contract: the in-memory index is FROZEN at
+/// open() — lookup() only ever sees what was on disk when the store was
+/// opened, never what this process appended since. That makes the
+/// hit/miss pattern of a run (and therefore every derived counter and
+/// every skipped analysis) a pure function of the on-disk state and the
+/// work performed, independent of thread count or schedule — the same
+/// contract the parallel evaluation engine keeps everywhere else.
+/// append() is thread-safe and flushes each record immediately, so a
+/// killed run keeps everything appended so far.
+///
+/// Corruption is never fatal: a record that fails its checksum, overruns
+/// the file, or carries an insane length ends the load at the last good
+/// offset — the file is truncated there, the loss is counted, and every
+/// dropped key simply misses (and is recomputed and re-appended).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SUPPORT_RESULTSTORE_H
+#define VRP_SUPPORT_RESULTSTORE_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace vrp {
+namespace store {
+
+/// FNV-1a 64-bit over \p Data — the per-record checksum and the hash the
+/// persistent cache builds its content fingerprints from.
+uint64_t fnv1a64(const std::string &Data, uint64_t Seed = 0xcbf29ce484222325ULL);
+
+/// Store efficiency/health counters (aggregate with +=). All counts are
+/// schedule-independent: lookups consult the frozen snapshot and appends
+/// are counted per unique key.
+struct ResultStoreStats {
+  uint64_t Hits = 0;           ///< lookup() found the key in the snapshot.
+  uint64_t Misses = 0;         ///< lookup() did not.
+  uint64_t Evictions = 0;      ///< Records superseded or dropped at open():
+                               ///< duplicate keys (last wins), tombstoned
+                               ///< keys, and a whole-file version-mismatch
+                               ///< reset.
+  uint64_t CorruptRecords = 0; ///< Torn/failed-checksum records dropped at
+                               ///< open() (the file is truncated at the
+                               ///< last good record; never fatal).
+  uint64_t Records = 0;        ///< Live keys in the snapshot after open().
+  uint64_t BytesWritten = 0;   ///< Bytes appended by this process.
+
+  ResultStoreStats &operator+=(const ResultStoreStats &R) {
+    Hits += R.Hits;
+    Misses += R.Misses;
+    Evictions += R.Evictions;
+    CorruptRecords += R.CorruptRecords;
+    Records += R.Records;
+    BytesWritten += R.BytesWritten;
+    return *this;
+  }
+};
+
+/// The durable key->payload map. Keys and payloads are opaque byte
+/// strings; content addressing (what goes into a key) is the caller's
+/// contract — see analysis/PersistentCache.h for the VRP instance.
+class ResultStore {
+public:
+  /// Opens (creating if absent) the store at \p Path. \p FormatVersion is
+  /// the CALLER's payload format version: it is stored in the file header
+  /// and a mismatch resets the file (every old record is evicted — a new
+  /// payload encoding must never be decoded by old rules or vice versa).
+  /// Returns null only when the file cannot be opened for writing.
+  static std::unique_ptr<ResultStore> open(const std::string &Path,
+                                           uint32_t FormatVersion);
+
+  /// Snapshot lookup. Returns the payload recorded on disk at open() time,
+  /// or nullptr. Appends made by this process are deliberately invisible
+  /// (see the determinism contract above). Thread-safe.
+  const std::string *lookup(const std::string &Key);
+
+  /// Appends one record and flushes it; returns the bytes written (0 when
+  /// skipped or the write failed). A key already appended by this process
+  /// is skipped silently (content-addressed keys imply an identical
+  /// payload, so the second write would be pure bloat). Thread-safe.
+  uint64_t append(const std::string &Key, const std::string &Payload);
+
+  /// Appends a tombstone for \p Key: on the next open() the key is absent
+  /// (counted as an eviction). The current snapshot is NOT modified —
+  /// within-run behavior must stay schedule-independent. Thread-safe.
+  /// Returns the bytes written.
+  uint64_t appendTombstone(const std::string &Key);
+
+  ResultStoreStats stats() const;
+
+private:
+  ResultStore() = default;
+
+  mutable std::mutex M;
+  std::string Path;
+  std::map<std::string, std::string> Snapshot;
+  std::map<std::string, bool> Appended; ///< Keys written by this process.
+  uint64_t AppendOffset = 0;            ///< Where the next record lands.
+  ResultStoreStats Stats;
+};
+
+} // namespace store
+} // namespace vrp
+
+#endif // VRP_SUPPORT_RESULTSTORE_H

@@ -71,6 +71,14 @@ const char *counterName(Counter C) {
     return "journal_entries_written";
   case Counter::JournalEntriesReused:
     return "journal_entries_reused";
+  case Counter::PersistentCacheHits:
+    return "pcache_hits";
+  case Counter::PersistentCacheMisses:
+    return "pcache_misses";
+  case Counter::PersistentCacheEvictions:
+    return "pcache_evictions";
+  case Counter::PersistentCacheBytesWritten:
+    return "pcache_bytes_written";
   case Counter::NumCounters:
     break;
   }

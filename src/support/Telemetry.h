@@ -83,6 +83,11 @@ enum class Counter : unsigned {
   SupervisorRetries,
   JournalEntriesWritten,
   JournalEntriesReused,
+  // Persistent result cache (analysis/PersistentCache.h).
+  PersistentCacheHits,
+  PersistentCacheMisses,
+  PersistentCacheEvictions,
+  PersistentCacheBytesWritten,
 
   NumCounters ///< Sentinel; keep last.
 };

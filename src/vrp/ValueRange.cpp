@@ -6,11 +6,14 @@
 
 #include "vrp/ValueRange.h"
 
+#include "ir/Instruction.h"
+#include "support/Casting.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <tuple>
 
 using namespace vrp;
@@ -42,12 +45,32 @@ double vrp::totalProb(const std::vector<SubRange> &Subs) {
 
 namespace {
 
+/// Pointer-free total order on bound symbols: numeric first, then
+/// constants by value, params by index, instructions by dense id. Heap
+/// addresses would also be a total order, but one that varies from
+/// process to process — and the canonical form must serialize identically
+/// across runs (analysis/PersistentCache round trips, journal resume).
+std::tuple<int, int64_t, uint64_t> symRank(const Value *Sym) {
+  if (!Sym)
+    return {0, 0, 0};
+  if (const auto *C = dyn_cast<Constant>(Sym)) {
+    if (C->isInt())
+      return {1, C->intValue(), 0};
+    uint64_t Bits = 0;
+    double D = C->floatValue();
+    std::memcpy(&Bits, &D, sizeof(Bits));
+    return {2, 0, Bits};
+  }
+  if (const auto *P = dyn_cast<Param>(Sym))
+    return {3, P->index(), 0};
+  return {4, cast<Instruction>(Sym)->id(), 0};
+}
+
 /// Deterministic subrange ordering for canonical form.
 bool subRangeLess(const SubRange &A, const SubRange &B) {
   auto Key = [](const SubRange &S) {
-    return std::tuple(reinterpret_cast<uintptr_t>(S.Lo.Sym), S.Lo.Offset,
-                      reinterpret_cast<uintptr_t>(S.Hi.Sym), S.Hi.Offset,
-                      S.Stride);
+    return std::tuple(symRank(S.Lo.Sym), S.Lo.Offset, symRank(S.Hi.Sym),
+                      S.Hi.Offset, S.Stride);
   };
   return Key(A) < Key(B);
 }

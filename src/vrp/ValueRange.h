@@ -162,6 +162,21 @@ public:
   /// off directly.
   static ValueRange weightedBool(double ProbTrue);
 
+  /// Reconstructs a range verbatim — no normalization, no coalescing, no
+  /// empty-set demotion. For deserializers only (analysis/PersistentCache):
+  /// a restored range must be bitwise identical to the one serialized, and
+  /// `ranges()` would re-normalize an already-normalized set, which is not
+  /// guaranteed to be the identity on its own output's field order.
+  static ValueRange restored(Kind K, double FloatVal, bool DistKnown,
+                             std::vector<SubRange> Subs) {
+    ValueRange R;
+    R.TheKind = K;
+    R.FloatVal = FloatVal;
+    R.DistKnown = DistKnown;
+    R.Subs = std::move(Subs);
+    return R;
+  }
+
   Kind kind() const { return TheKind; }
   bool isTop() const { return TheKind == Kind::Top; }
   bool isBottom() const { return TheKind == Kind::Bottom; }

@@ -1,0 +1,192 @@
+//===- tests/support/ResultStoreTest.cpp - Durable store tests ------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The content-addressed on-disk record store under the persistent result
+// cache: round-trip fidelity, the frozen-snapshot lookup contract,
+// format-version invalidation, and recovery from torn and corrupted
+// records (docs/CACHE.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ResultStore.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace vrp;
+using store::ResultStore;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  std::string Path = ::testing::TempDir() + "result_store_" + Name;
+  std::remove(Path.c_str());
+  return Path;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spew(const std::string &Path, const std::string &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+TEST(ResultStoreTest, RoundTripsRecordsBitwise) {
+  std::string Path = tempPath("roundtrip.bin");
+  // Payloads exercise embedded NULs, newlines, and high bytes — the
+  // length-prefixed format must not care.
+  std::string Binary = std::string("\x00\xff\n", 3) + "tail";
+  {
+    auto S = ResultStore::open(Path, 1);
+    ASSERT_NE(S, nullptr);
+    EXPECT_GT(S->append("alpha", "payload-a"), 0u);
+    EXPECT_GT(S->append("beta", Binary), 0u);
+  }
+  auto S = ResultStore::open(Path, 1);
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(S->lookup("alpha"), nullptr);
+  EXPECT_EQ(*S->lookup("alpha"), "payload-a");
+  ASSERT_NE(S->lookup("beta"), nullptr);
+  EXPECT_EQ(*S->lookup("beta"), Binary);
+  EXPECT_EQ(S->lookup("gamma"), nullptr);
+  EXPECT_EQ(S->stats().Records, 2u);
+  EXPECT_EQ(S->stats().CorruptRecords, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, LookupSeesOnlyTheOpenSnapshot) {
+  // The determinism contract: within one process lifetime, appends are
+  // invisible to lookups, so hit/miss patterns cannot depend on the
+  // order concurrent workers happen to insert in.
+  std::string Path = tempPath("snapshot.bin");
+  auto S = ResultStore::open(Path, 1);
+  ASSERT_NE(S, nullptr);
+  EXPECT_GT(S->append("k", "v"), 0u);
+  EXPECT_EQ(S->lookup("k"), nullptr)
+      << "an in-process append must not become visible until reopen";
+  auto Reopened = ResultStore::open(Path, 1);
+  ASSERT_NE(Reopened->lookup("k"), nullptr);
+  EXPECT_EQ(*Reopened->lookup("k"), "v");
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, DuplicateAppendsAreDeduplicated) {
+  std::string Path = tempPath("dedup.bin");
+  {
+    auto S = ResultStore::open(Path, 1);
+    EXPECT_GT(S->append("k", "v"), 0u);
+    EXPECT_EQ(S->append("k", "v"), 0u) << "second append must dedup";
+  }
+  auto S = ResultStore::open(Path, 1);
+  EXPECT_EQ(S->stats().Records, 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, TombstoneErasesARecordOnReplay) {
+  std::string Path = tempPath("tombstone.bin");
+  {
+    auto S = ResultStore::open(Path, 1);
+    S->append("doomed", "v1");
+    S->append("kept", "v2");
+  }
+  {
+    // Tombstoning in a second session: replay applies records in file
+    // order, so the tombstone wins over the earlier live record.
+    auto S = ResultStore::open(Path, 1);
+    EXPECT_GT(S->appendTombstone("doomed"), 0u);
+  }
+  auto S = ResultStore::open(Path, 1);
+  EXPECT_EQ(S->lookup("doomed"), nullptr);
+  ASSERT_NE(S->lookup("kept"), nullptr);
+  EXPECT_EQ(S->stats().Records, 1u);
+  EXPECT_EQ(S->stats().Evictions, 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, FormatVersionMismatchResetsAndCountsEvictions) {
+  std::string Path = tempPath("version.bin");
+  {
+    auto S = ResultStore::open(Path, 1);
+    S->append("a", "v");
+    S->append("b", "v");
+  }
+  auto S = ResultStore::open(Path, 2);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->lookup("a"), nullptr)
+      << "a version-2 reader must not serve version-1 records";
+  EXPECT_EQ(S->stats().Records, 0u);
+  EXPECT_EQ(S->stats().Evictions, 2u);
+  // The reset store is a working version-2 store.
+  EXPECT_GT(S->append("c", "v"), 0u);
+  auto Reopened = ResultStore::open(Path, 2);
+  ASSERT_NE(Reopened->lookup("c"), nullptr);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, TornTailIsDroppedEarlierRecordsSurvive) {
+  std::string Path = tempPath("torn.bin");
+  {
+    auto S = ResultStore::open(Path, 1);
+    S->append("first", "payload-1");
+    S->append("second", "payload-2");
+  }
+  // Simulate a crash mid-append: chop the file inside the last record.
+  std::string Bytes = slurp(Path);
+  spew(Path, Bytes.substr(0, Bytes.size() - 5));
+
+  auto S = ResultStore::open(Path, 1);
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(S->lookup("first"), nullptr);
+  EXPECT_EQ(*S->lookup("first"), "payload-1");
+  EXPECT_EQ(S->lookup("second"), nullptr);
+  EXPECT_EQ(S->stats().CorruptRecords, 1u);
+  // Recovery truncated at the last good record, so a fresh append and
+  // reopen serve all three cleanly.
+  EXPECT_GT(S->append("third", "payload-3"), 0u);
+  auto Reopened = ResultStore::open(Path, 1);
+  ASSERT_NE(Reopened->lookup("first"), nullptr);
+  ASSERT_NE(Reopened->lookup("third"), nullptr);
+  EXPECT_EQ(Reopened->stats().CorruptRecords, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, ChecksumFailureDropsTheRecord) {
+  std::string Path = tempPath("checksum.bin");
+  {
+    auto S = ResultStore::open(Path, 1);
+    S->append("first", "payload-1");
+    S->append("second", "payload-2");
+  }
+  // Flip one payload byte of the final record; its checksum no longer
+  // matches, so replay must stop before it.
+  std::string Bytes = slurp(Path);
+  Bytes.back() ^= 0x01;
+  spew(Path, Bytes);
+
+  auto S = ResultStore::open(Path, 1);
+  ASSERT_NE(S->lookup("first"), nullptr);
+  EXPECT_EQ(S->lookup("second"), nullptr);
+  EXPECT_EQ(S->stats().CorruptRecords, 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, GarbageHeaderResetsToAnEmptyStore) {
+  std::string Path = tempPath("header.bin");
+  spew(Path, "definitely not a VRPCACHE header");
+  auto S = ResultStore::open(Path, 1);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->stats().Records, 0u);
+  EXPECT_GE(S->stats().CorruptRecords, 1u);
+  EXPECT_GT(S->append("k", "v"), 0u);
+  auto Reopened = ResultStore::open(Path, 1);
+  ASSERT_NE(Reopened->lookup("k"), nullptr);
+  std::remove(Path.c_str());
+}
+
+} // namespace
