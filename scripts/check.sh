@@ -123,6 +123,14 @@ build/examples/predictor_tool --suite --cache=build/pcache.bin \
   --cache-verify >/dev/null
 echo "warm-start: ok"
 
+# Perf smoke: median kernel times from bench/micro_ranges must stay
+# within a +25% geomean of the committed BENCH_micro_ranges.json
+# baseline. Geomean (not per-benchmark) so one noisy entry cannot flake
+# the gate; regenerate the baseline with `scripts/perf_smoke.py --update`
+# after an intentional kernel change.
+python3 scripts/perf_smoke.py
+echo "perf smoke: ok"
+
 # Docs lint: every relative link in README.md and docs/*.md must resolve
 # to a file in the repo. Absolute URLs and #anchors are out of scope.
 docs_lint_failed=0

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf smoke gate for the range-kernel microbenchmarks.
+
+Runs bench/micro_ranges and compares per-benchmark median times against
+the committed BENCH_micro_ranges.json baseline. The gate fails when the
+geomean ratio (new / baseline) across all benchmarks exceeds the budget
+(default +25%), catching kernel regressions without flaking on the noise
+of any single benchmark.
+
+Usage:
+  scripts/perf_smoke.py            # gate against the committed baseline
+  scripts/perf_smoke.py --update   # re-measure and rewrite the baseline
+
+The baseline file records median wall time per benchmark from
+--benchmark_repetitions=5; absolute numbers are machine-specific, so the
+gate is only meaningful against a baseline generated on the same class of
+machine (regenerate with --update after intentional kernel changes).
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO, "BENCH_micro_ranges.json")
+BENCH = os.path.join(REPO, "build", "bench", "micro_ranges")
+BUDGET = 1.25  # fail when geomean(new/old) exceeds this
+REPETITIONS = 5
+
+
+def measure():
+    """Runs the benchmark binary and returns {name: median_real_ns}."""
+    out = subprocess.run(
+        [
+            BENCH,
+            f"--benchmark_repetitions={REPETITIONS}",
+            "--benchmark_report_aggregates_only=true",
+            "--benchmark_format=json",
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    report = json.loads(out)
+    medians = {}
+    for b in report["benchmarks"]:
+        name = b["name"]
+        if name.endswith("_median"):
+            medians[name[: -len("_median")]] = b["real_time"]
+    if not medians:
+        sys.exit("perf smoke: benchmark produced no median aggregates")
+    return medians
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the committed baseline from a fresh run")
+    args = ap.parse_args()
+
+    medians = measure()
+
+    if args.update:
+        doc = {
+            "bench": "micro_ranges",
+            "repetitions": REPETITIONS,
+            "budget_geomean_ratio": BUDGET,
+            "median_real_ns": {k: round(v, 2) for k, v in sorted(medians.items())},
+        }
+        with open(BASELINE, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print(f"perf smoke: baseline rewritten ({len(medians)} benchmarks)")
+        return
+
+    with open(BASELINE) as f:
+        baseline = json.load(f)["median_real_ns"]
+
+    common = sorted(set(baseline) & set(medians))
+    if len(common) < len(baseline):
+        missing = sorted(set(baseline) - set(medians))
+        sys.exit(f"perf smoke: baseline benchmarks missing from run: {missing}")
+
+    ratios = []
+    for name in common:
+        ratio = medians[name] / baseline[name]
+        ratios.append(ratio)
+        flag = "  <-- slow" if ratio > BUDGET else ""
+        print(f"  {name:28s} base={baseline[name]:12.1f}ns "
+              f"now={medians[name]:12.1f}ns  x{ratio:5.2f}{flag}")
+
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    print(f"perf smoke: geomean ratio x{geomean:.3f} (budget x{BUDGET})")
+    if geomean > BUDGET:
+        sys.exit(f"perf smoke: geomean kernel time regressed x{geomean:.3f} "
+                 f"> x{BUDGET} vs BENCH_micro_ranges.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -79,6 +79,18 @@ const char *counterName(Counter C) {
     return "pcache_evictions";
   case Counter::PersistentCacheBytesWritten:
     return "pcache_bytes_written";
+  case Counter::RangeInternHits:
+    return "range_intern_hits";
+  case Counter::RangeInternMisses:
+    return "range_intern_misses";
+  case Counter::RangeArenaPayloadBytes:
+    return "range_arena_payload_bytes";
+  case Counter::RangeKernelFastPath:
+    return "range_kernel_fast_path";
+  case Counter::RangeKernelSlowPath:
+    return "range_kernel_slow_path";
+  case Counter::RangeOpMemoHits:
+    return "range_op_memo_hits";
   case Counter::NumCounters:
     break;
   }
@@ -121,6 +133,7 @@ struct Registry {
   std::mutex M;
   std::vector<Shard *> Live;
   Snapshot Retired;
+  std::vector<void (*)()> ResetHooks;
 };
 
 Registry &registry() {
@@ -192,12 +205,26 @@ Snapshot snapshot() {
 
 void reset() {
   detail::Registry &R = detail::registry();
+  std::vector<void (*)()> Hooks;
+  {
+    std::lock_guard<std::mutex> L(R.M);
+    R.Retired = Snapshot{};
+    // Zero live shards in place: their owning threads cache the pointer,
+    // so the storage must stay put.
+    for (detail::Shard *S : R.Live)
+      detail::zeroShard(*S);
+    Hooks = R.ResetHooks;
+  }
+  // Outside the lock: a hook may take its own subsystem lock which is
+  // also held around telemetry::count (and hence shard registration).
+  for (void (*Hook)() : Hooks)
+    Hook();
+}
+
+void addResetHook(void (*Hook)()) {
+  detail::Registry &R = detail::registry();
   std::lock_guard<std::mutex> L(R.M);
-  R.Retired = Snapshot{};
-  // Zero live shards in place: their owning threads cache the pointer,
-  // so the storage must stay put.
-  for (detail::Shard *S : R.Live)
-    detail::zeroShard(*S);
+  R.ResetHooks.push_back(Hook);
 }
 
 std::string toText(const Snapshot &S) {

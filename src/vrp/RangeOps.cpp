@@ -7,10 +7,12 @@
 #include "vrp/RangeOps.h"
 
 #include "support/Telemetry.h"
+#include "vrp/RangeArena.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 using namespace vrp;
 
@@ -325,11 +327,105 @@ bool RangeOps::pairMax(const SubRange &A, const SubRange &B,
 }
 
 //===----------------------------------------------------------------------===//
+// Memoization over interned operand ids
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Operation tags for memo keys. Assert/cmp fold the predicate into the
+/// tag's upper bits.
+enum : uint8_t {
+  TagAdd = 1,
+  TagSub,
+  TagMul,
+  TagDiv,
+  TagRem,
+  TagMin,
+  TagMax,
+  TagNeg,
+  TagAbs,
+  TagNot,
+  TagAssert,
+  TagCmp,
+};
+
+uint64_t predTag(uint8_t Tag, CmpPred Pred) {
+  return static_cast<uint64_t>(Tag) |
+         (static_cast<uint64_t>(Pred) << 8);
+}
+
+} // namespace
+
+size_t RangeOps::MemoKeyHash::operator()(const MemoKey &K) const {
+  uint64_t H = K.Tag * 0x9e3779b97f4a7c15ull;
+  auto Mix = [&H](uint64_t W) {
+    H ^= W + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2);
+  };
+  Mix(K.L);
+  Mix(K.R);
+  Mix(static_cast<uint64_t>(reinterpret_cast<uintptr_t>(K.P1)));
+  Mix(static_cast<uint64_t>(reinterpret_cast<uintptr_t>(K.P2)));
+  return static_cast<size_t>(H);
+}
+
+size_t
+RangeOps::MeetKeyHash::operator()(const std::vector<uint64_t> &K) const {
+  uint64_t H = 14695981039346656037ull;
+  for (uint64_t W : K) {
+    H ^= W;
+    H *= 1099511628211ull;
+  }
+  return static_cast<size_t>(H);
+}
+
+uint64_t RangeOps::encodeHandle(const ValueRange &V) {
+  return (static_cast<uint64_t>(V.sliceId()) << 8) |
+         (static_cast<uint64_t>(V.kind()) << 1) |
+         (V.distributionKnown() ? 1u : 0u);
+}
+
+/// Current value of the RangeNormalizations slot in this thread's shard.
+/// Memo entries store the delta across the original computation so a hit
+/// can replay it; while telemetry is disabled both the original events
+/// and the replay are no-ops, consistently.
+uint64_t RangeOps::normalizationTicks() const {
+  if (!telemetry::enabled())
+    return 0;
+  return telemetry::detail::localShard()
+      .Counters[static_cast<unsigned>(
+          telemetry::Counter::RangeNormalizations)]
+      .load(std::memory_order_relaxed);
+}
+
+ValueRange RangeOps::replay(const MemoEntry &E) {
+  Stats.SubOps += E.SubOps;
+  if (E.Norms)
+    telemetry::count(telemetry::Counter::RangeNormalizations, E.Norms);
+  telemetry::count(telemetry::Counter::RangeOpMemoHits);
+  return E.Result;
+}
+
+template <typename Fn>
+ValueRange RangeOps::memoRange(const MemoKey &K, Fn &&Compute) {
+  auto It = Memo.find(K);
+  if (It != Memo.end())
+    return replay(It->second);
+  MemoEntry E;
+  uint64_t SubOps0 = Stats.SubOps;
+  uint64_t Norms0 = normalizationTicks();
+  E.Result = Compute();
+  E.SubOps = Stats.SubOps - SubOps0;
+  E.Norms = normalizationTicks() - Norms0;
+  Memo.emplace(K, E);
+  return E.Result;
+}
+
+//===----------------------------------------------------------------------===//
 // Binary operation framework
 //===----------------------------------------------------------------------===//
 
 ValueRange RangeOps::binaryNumeric(
-    const ValueRange &L, const ValueRange &R,
+    uint8_t Tag, const ValueRange &L, const ValueRange &R,
     bool (RangeOps::*PairOp)(const SubRange &, const SubRange &,
                              std::vector<SubRange> &)) {
   if (L.isBottom() || R.isBottom())
@@ -338,15 +434,53 @@ ValueRange RangeOps::binaryNumeric(
     return ValueRange::top();
   if (!L.isRanges() || !R.isRanges())
     return ValueRange::bottom();
-  std::vector<SubRange> Out;
-  for (const SubRange &A : L.subRanges()) {
-    for (const SubRange &B : R.subRanges()) {
-      ++Stats.SubOps;
-      if (!(this->*PairOp)(A, B, Out))
-        return ValueRange::bottom();
+  MemoKey K{Tag, encodeHandle(L), encodeHandle(R), nullptr, nullptr};
+  return memoRange(K, [&] { return binaryNumericUncached(L, R, PairOp); });
+}
+
+ValueRange RangeOps::binaryNumericUncached(
+    const ValueRange &L, const ValueRange &R,
+    bool (RangeOps::*PairOp)(const SubRange &, const SubRange &,
+                             std::vector<SubRange> &)) {
+  const RangeArena &Arena = RangeArena::global();
+  RangeArena::Rows LRows = Arena.rows(L.sliceId());
+  RangeArena::Rows RRows = Arena.rows(R.sliceId());
+  Scratch.clear();
+  const bool Fast = LRows.AllNumeric && RRows.AllNumeric;
+  telemetry::count(Fast ? telemetry::Counter::RangeKernelFastPath
+                        : telemetry::Counter::RangeKernelSlowPath);
+  if (Fast) {
+    // All-numeric batch: iterate the SoA columns directly; bounds are
+    // built numeric with no symbol-table resolution.
+    for (uint32_t I = 0; I < LRows.Count; ++I) {
+      SubRange A(LRows.Prob[I], Bound(LRows.LoOff[I]),
+                 Bound(LRows.HiOff[I]), LRows.Stride[I]);
+      for (uint32_t J = 0; J < RRows.Count; ++J) {
+        SubRange B(RRows.Prob[J], Bound(RRows.LoOff[J]),
+                   Bound(RRows.HiOff[J]), RRows.Stride[J]);
+        ++Stats.SubOps;
+        if (!(this->*PairOp)(A, B, Scratch))
+          return ValueRange::bottom();
+      }
+    }
+  } else {
+    for (uint32_t I = 0; I < LRows.Count; ++I) {
+      SubRange A(LRows.Prob[I],
+                 Bound(Arena.symValue(LRows.LoSym[I]), LRows.LoOff[I]),
+                 Bound(Arena.symValue(LRows.HiSym[I]), LRows.HiOff[I]),
+                 LRows.Stride[I]);
+      for (uint32_t J = 0; J < RRows.Count; ++J) {
+        SubRange B(RRows.Prob[J],
+                   Bound(Arena.symValue(RRows.LoSym[J]), RRows.LoOff[J]),
+                   Bound(Arena.symValue(RRows.HiSym[J]), RRows.HiOff[J]),
+                   RRows.Stride[J]);
+        ++Stats.SubOps;
+        if (!(this->*PairOp)(A, B, Scratch))
+          return ValueRange::bottom();
+      }
     }
   }
-  ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
+  ValueRange Result = ValueRange::canonicalize(Scratch, Opts.MaxSubRanges);
   Result.setDistributionKnown(L.distributionKnown() &&
                               R.distributionKnown());
   return Result;
@@ -369,19 +503,19 @@ ValueRange foldFloat(const ValueRange &L, const ValueRange &R,
 ValueRange RangeOps::add(const ValueRange &L, const ValueRange &R) {
   if (L.isFloatConst() || R.isFloatConst())
     return foldFloat(L, R, [](double A, double B) { return A + B; });
-  return binaryNumeric(L, R, &RangeOps::pairAdd);
+  return binaryNumeric(TagAdd, L, R, &RangeOps::pairAdd);
 }
 
 ValueRange RangeOps::sub(const ValueRange &L, const ValueRange &R) {
   if (L.isFloatConst() || R.isFloatConst())
     return foldFloat(L, R, [](double A, double B) { return A - B; });
-  return binaryNumeric(L, R, &RangeOps::pairSub);
+  return binaryNumeric(TagSub, L, R, &RangeOps::pairSub);
 }
 
 ValueRange RangeOps::mul(const ValueRange &L, const ValueRange &R) {
   if (L.isFloatConst() || R.isFloatConst())
     return foldFloat(L, R, [](double A, double B) { return A * B; });
-  return binaryNumeric(L, R, &RangeOps::pairMul);
+  return binaryNumeric(TagMul, L, R, &RangeOps::pairMul);
 }
 
 ValueRange RangeOps::div(const ValueRange &L, const ValueRange &R) {
@@ -389,7 +523,7 @@ ValueRange RangeOps::div(const ValueRange &L, const ValueRange &R) {
     return foldFloat(L, R, [](double A, double B) {
       return B == 0.0 ? 0.0 : A / B;
     });
-  return binaryNumeric(L, R, &RangeOps::pairDiv);
+  return binaryNumeric(TagDiv, L, R, &RangeOps::pairDiv);
 }
 
 ValueRange RangeOps::rem(const ValueRange &L, const ValueRange &R) {
@@ -407,21 +541,21 @@ ValueRange RangeOps::rem(const ValueRange &L, const ValueRange &R) {
       }
     }
   }
-  return binaryNumeric(L, R, &RangeOps::pairRem);
+  return binaryNumeric(TagRem, L, R, &RangeOps::pairRem);
 }
 
 ValueRange RangeOps::minOp(const ValueRange &L, const ValueRange &R) {
   if (L.isFloatConst() || R.isFloatConst())
     return foldFloat(L, R,
                      [](double A, double B) { return std::min(A, B); });
-  return binaryNumeric(L, R, &RangeOps::pairMin);
+  return binaryNumeric(TagMin, L, R, &RangeOps::pairMin);
 }
 
 ValueRange RangeOps::maxOp(const ValueRange &L, const ValueRange &R) {
   if (L.isFloatConst() || R.isFloatConst())
     return foldFloat(L, R,
                      [](double A, double B) { return std::max(A, B); });
-  return binaryNumeric(L, R, &RangeOps::pairMax);
+  return binaryNumeric(TagMax, L, R, &RangeOps::pairMax);
 }
 
 ValueRange RangeOps::neg(const ValueRange &V) {
@@ -429,17 +563,20 @@ ValueRange RangeOps::neg(const ValueRange &V) {
     return V;
   if (V.isFloatConst())
     return ValueRange::floatConstant(-V.floatValue());
-  std::vector<SubRange> Out;
-  for (const SubRange &S : V.subRanges()) {
-    ++Stats.SubOps;
-    if (!S.isNumeric())
-      return ValueRange::bottom(); // -(x+c) is not representable.
-    Out.push_back(makePiece(S.Prob, saturatingNeg(S.Hi.Offset),
-                            saturatingNeg(S.Lo.Offset), S.Stride));
-  }
-  ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
-  Result.setDistributionKnown(V.distributionKnown());
-  return Result;
+  MemoKey K{TagNeg, encodeHandle(V), 0, nullptr, nullptr};
+  return memoRange(K, [&] {
+    Scratch.clear();
+    for (const SubRange &S : V.subRanges()) {
+      ++Stats.SubOps;
+      if (!S.isNumeric())
+        return ValueRange::bottom(); // -(x+c) is not representable.
+      Scratch.push_back(makePiece(S.Prob, saturatingNeg(S.Hi.Offset),
+                                  saturatingNeg(S.Lo.Offset), S.Stride));
+    }
+    ValueRange Result = ValueRange::canonicalize(Scratch, Opts.MaxSubRanges);
+    Result.setDistributionKnown(V.distributionKnown());
+    return Result;
+  });
 }
 
 ValueRange RangeOps::absOp(const ValueRange &V) {
@@ -447,35 +584,48 @@ ValueRange RangeOps::absOp(const ValueRange &V) {
     return V;
   if (V.isFloatConst())
     return ValueRange::floatConstant(std::abs(V.floatValue()));
-  std::vector<SubRange> Out;
-  for (const SubRange &S : V.subRanges()) {
-    ++Stats.SubOps;
-    if (!S.isNumeric())
-      return ValueRange::bottom();
-    if (S.Lo.Offset >= 0) {
-      Out.push_back(S);
-    } else if (S.Hi.Offset <= 0) {
-      Out.push_back(makePiece(S.Prob, saturatingNeg(S.Hi.Offset),
-                              saturatingNeg(S.Lo.Offset), S.Stride));
-    } else {
-      int64_t Hi = std::max(saturatingNeg(S.Lo.Offset), S.Hi.Offset);
-      Out.push_back(makePiece(S.Prob, 0, Hi, 1));
+  MemoKey K{TagAbs, encodeHandle(V), 0, nullptr, nullptr};
+  return memoRange(K, [&] {
+    Scratch.clear();
+    for (const SubRange &S : V.subRanges()) {
+      ++Stats.SubOps;
+      if (!S.isNumeric())
+        return ValueRange::bottom();
+      if (S.Lo.Offset >= 0) {
+        Scratch.push_back(S);
+      } else if (S.Hi.Offset <= 0) {
+        Scratch.push_back(makePiece(S.Prob, saturatingNeg(S.Hi.Offset),
+                                    saturatingNeg(S.Lo.Offset), S.Stride));
+      } else {
+        int64_t Hi = std::max(saturatingNeg(S.Lo.Offset), S.Hi.Offset);
+        Scratch.push_back(makePiece(S.Prob, 0, Hi, 1));
+      }
     }
-  }
-  ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
-  Result.setDistributionKnown(V.distributionKnown());
-  return Result;
+    ValueRange Result = ValueRange::canonicalize(Scratch, Opts.MaxSubRanges);
+    Result.setDistributionKnown(V.distributionKnown());
+    return Result;
+  });
 }
 
 ValueRange RangeOps::notOp(const ValueRange &V) {
   if (V.isTop())
     return ValueRange::top();
-  std::optional<double> P = V.probNonZero();
-  if (!P)
-    return ValueRange::bottom();
-  if (!V.distributionKnown() && *P != 0.0 && *P != 1.0)
-    return ValueRange::bottom(); // Only certainty survives unknown dist.
-  return ValueRange::weightedBool(1.0 - *P);
+  if (!V.isRanges()) {
+    // ⊥ / float-const: probNonZero is O(1) here, no point memoizing.
+    std::optional<double> P = V.probNonZero();
+    if (!P)
+      return ValueRange::bottom();
+    return ValueRange::weightedBool(1.0 - *P);
+  }
+  MemoKey K{TagNot, encodeHandle(V), 0, nullptr, nullptr};
+  return memoRange(K, [&] {
+    std::optional<double> P = V.probNonZero();
+    if (!P)
+      return ValueRange::bottom();
+    if (!V.distributionKnown() && *P != 0.0 && *P != 1.0)
+      return ValueRange::bottom(); // Only certainty survives unknown dist.
+    return ValueRange::weightedBool(1.0 - *P);
+  });
 }
 
 ValueRange RangeOps::intToFloat(const ValueRange &V) {
@@ -505,6 +655,34 @@ ValueRange RangeOps::floatToInt(const ValueRange &V) {
 ValueRange RangeOps::meetWeighted(
     const std::vector<std::pair<ValueRange, double>> &Entries) {
   telemetry::count(telemetry::Counter::Meets);
+
+  // Memo key: the full entry sequence — encoded handle, float payload
+  // (float-const entries fold by value) and weight bits per entry.
+  MeetKeyScratch.clear();
+  for (const auto &[VR, W] : Entries) {
+    uint64_t FBits = 0, WBits = 0;
+    double F = VR.floatValue();
+    std::memcpy(&FBits, &F, sizeof(FBits));
+    std::memcpy(&WBits, &W, sizeof(WBits));
+    MeetKeyScratch.push_back(encodeHandle(VR));
+    MeetKeyScratch.push_back(FBits);
+    MeetKeyScratch.push_back(WBits);
+  }
+  auto MemoIt = MeetMemo.find(MeetKeyScratch);
+  if (MemoIt != MeetMemo.end())
+    return replay(MemoIt->second);
+  MemoEntry E;
+  uint64_t SubOps0 = Stats.SubOps;
+  uint64_t Norms0 = normalizationTicks();
+  E.Result = meetWeightedUncached(Entries);
+  E.SubOps = Stats.SubOps - SubOps0;
+  E.Norms = normalizationTicks() - Norms0;
+  MeetMemo.emplace(MeetKeyScratch, E);
+  return E.Result;
+}
+
+ValueRange RangeOps::meetWeightedUncached(
+    const std::vector<std::pair<ValueRange, double>> &Entries) {
   double TotalWeight = 0.0;
   bool SawFloat = false, SawRanges = false;
   double FloatVal = 0.0;
@@ -533,7 +711,7 @@ ValueRange RangeOps::meetWeighted(
     return ValueRange::floatConstant(FloatVal);
   }
 
-  std::vector<SubRange> Out;
+  Scratch.clear();
   bool DistKnown = true;
   for (const auto &[VR, W] : Entries) {
     if (W <= 0.0 || !VR.isRanges())
@@ -544,10 +722,10 @@ ValueRange RangeOps::meetWeighted(
       ++Stats.SubOps;
       SubRange Scaled = S;
       Scaled.Prob *= Scale;
-      Out.push_back(Scaled);
+      Scratch.push_back(Scaled);
     }
   }
-  ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
+  ValueRange Result = ValueRange::canonicalize(Scratch, Opts.MaxSubRanges);
   Result.setDistributionKnown(DistKnown);
   return Result;
 }
@@ -700,6 +878,19 @@ void clipSymbolic(const SubRange &S, CmpPred Pred, const Value *Sym,
 ValueRange RangeOps::applyAssert(const ValueRange &Src, CmpPred Pred,
                                  const ValueRange &BoundRange,
                                  const Value *BoundVal) {
+  if (!Src.isRanges() && !Src.isBottom())
+    return Src; // ⊤ / float-const pass through untouched (not memoized:
+                // a float-const result carries its payload verbatim).
+  MemoKey K{predTag(TagAssert, Pred), encodeHandle(Src),
+            encodeHandle(BoundRange), BoundVal, nullptr};
+  return memoRange(
+      K, [&] { return applyAssertUncached(Src, Pred, BoundRange, BoundVal); });
+}
+
+ValueRange RangeOps::applyAssertUncached(const ValueRange &Src,
+                                         CmpPred Pred,
+                                         const ValueRange &BoundRange,
+                                         const Value *BoundVal) {
   // An assert on a statically unknown value still pins down the *set* of
   // surviving values ("valuable information can often be derived from the
   // equality tests controlling branches") — but not their distribution.
@@ -708,8 +899,6 @@ ValueRange RangeOps::applyAssert(const ValueRange &Src, CmpPred Pred,
     Effective = ValueRange::fullIntRange();
     Effective.setDistributionKnown(false);
   }
-  if (!Effective.isRanges())
-    return Effective;
   const ValueRange &SrcR = Effective;
 
   std::optional<int64_t> C = BoundRange.asIntConstant();
@@ -718,7 +907,8 @@ ValueRange RangeOps::applyAssert(const ValueRange &Src, CmpPred Pred,
       !isa<Constant>(BoundVal))
     Sym = BoundVal;
 
-  std::vector<SubRange> Out;
+  std::vector<SubRange> &Out = Scratch;
+  Out.clear();
   for (const SubRange &S : SrcR.subRanges()) {
     ++Stats.SubOps;
     if (C && S.isNumeric()) {
@@ -1119,9 +1309,42 @@ std::optional<double> RangeOps::cmpProb(CmpPred Pred, const ValueRange &L,
                                         const ValueRange &R,
                                         const Value *LVal,
                                         const Value *RVal) {
+  // The only float-payload-sensitive case; everything past this point
+  // depends solely on handle kind/slice and the SSA identities, so the
+  // memo key below captures the computation exactly.
   if (L.isFloatConst() && R.isFloatConst())
     return evalPredOnDoubles(Pred, L.floatValue(), R.floatValue());
 
+  MemoKey K{predTag(TagCmp, Pred), encodeHandle(L), encodeHandle(R), LVal,
+            RVal};
+  auto It = Memo.find(K);
+  if (It != Memo.end()) {
+    const MemoEntry &E = It->second;
+    Stats.SubOps += E.SubOps;
+    if (E.Norms)
+      telemetry::count(telemetry::Counter::RangeNormalizations, E.Norms);
+    telemetry::count(telemetry::Counter::RangeOpMemoHits);
+    if (!E.CmpHas)
+      return std::nullopt;
+    return E.CmpVal;
+  }
+  uint64_t SubOps0 = Stats.SubOps;
+  uint64_t Norms0 = normalizationTicks();
+  std::optional<double> P = cmpProbUncached(Pred, L, R, LVal, RVal);
+  MemoEntry E;
+  E.CmpHas = P.has_value();
+  E.CmpVal = P.value_or(0.0);
+  E.SubOps = Stats.SubOps - SubOps0;
+  E.Norms = normalizationTicks() - Norms0;
+  Memo.emplace(K, E);
+  return P;
+}
+
+std::optional<double> RangeOps::cmpProbUncached(CmpPred Pred,
+                                                const ValueRange &L,
+                                                const ValueRange &R,
+                                                const Value *LVal,
+                                                const Value *RVal) {
   // A ⊥ operand may still be decidable when the other side's bounds are
   // relative to it (e.g. the loop test i < n with i in [0:n:1] and n
   // unknown): substitute the symbolic singleton [v:v].

@@ -12,6 +12,18 @@
 /// Unrepresentable results degrade to ⊥ — the paper's observation that
 /// "many problematic ranges cannot be represented and quickly become ⊥".
 ///
+/// Execution model: operands are arena slices (vrp/RangeArena.h). Kernels
+/// run as batched loops over the SoA columns with an all-numeric fast path
+/// (no symbol materialization, tuple-free canonical sort) separated from
+/// the symbolic slow path, accumulate into member scratch buffers (no
+/// per-call allocation at steady state), and the canonical result is
+/// interned. Because interned ids are content-addressed, whole operations
+/// memoize per RangeOps instance: re-evaluating the same expression over
+/// unchanged operand ids — the common case in fixpoint iteration — returns
+/// the cached handle while replaying the exact SubOps/normalization
+/// counter deltas of the original computation, so all determinism-checked
+/// statistics are bit-identical whether or not an op hits the memo.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VRP_VRP_RANGEOPS_H
@@ -21,10 +33,14 @@
 #include "vrp/Options.h"
 #include "vrp/ValueRange.h"
 
+#include <unordered_map>
+
 namespace vrp {
 
-/// Stateless-per-call range operators parameterized by options; counts
-/// suboperations into the shared RangeStats.
+/// Range operators parameterized by options; counts suboperations into the
+/// shared RangeStats. One instance serves one function analysis: the
+/// scratch buffers and the operation memo amortize across that function's
+/// fixpoint iteration.
 class RangeOps {
 public:
   RangeOps(const VRPOptions &Opts, RangeStats &Stats)
@@ -78,7 +94,65 @@ public:
                                 const Value *RVal);
 
 private:
+  /// Memo key: operation tag (op, predicate) plus the operand identities.
+  /// Ranges operands are captured exactly by their interned slice id (the
+  /// arena guarantees same id <=> bitwise-same content); Top/Bottom carry
+  /// no payload; FloatConst operands are either handled before
+  /// memoization or provably ignored by the memoized operation. SSA
+  /// pointers participate for assert/cmp, whose results depend on symbol
+  /// identity.
+  struct MemoKey {
+    uint64_t Tag = 0;
+    uint64_t L = 0, R = 0; // Encoded handles: kind | dist | slice id.
+    const void *P1 = nullptr;
+    const void *P2 = nullptr;
+    bool operator==(const MemoKey &K) const {
+      return Tag == K.Tag && L == K.L && R == K.R && P1 == K.P1 &&
+             P2 == K.P2;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey &K) const;
+  };
+  struct MeetKeyHash {
+    size_t operator()(const std::vector<uint64_t> &K) const;
+  };
+
+  /// A memoized result plus the statistics deltas the original
+  /// computation produced; hits replay both so counter totals never
+  /// depend on whether the memo was consulted.
+  struct MemoEntry {
+    ValueRange Result;
+    double CmpVal = 0.0;
+    bool CmpHas = false;
+    uint64_t SubOps = 0;
+    uint64_t Norms = 0;
+  };
+
+  static uint64_t encodeHandle(const ValueRange &V);
+  uint64_t normalizationTicks() const;
+  ValueRange replay(const MemoEntry &E);
+
+  /// Runs \p Compute under memoization: a hit returns the cached handle
+  /// and replays the recorded counter deltas; a miss records them.
+  template <typename Fn>
+  ValueRange memoRange(const MemoKey &K, Fn &&Compute);
+
+  std::optional<double> cmpProbUncached(CmpPred Pred, const ValueRange &L,
+                                        const ValueRange &R,
+                                        const Value *LVal,
+                                        const Value *RVal);
+  ValueRange meetWeightedUncached(
+      const std::vector<std::pair<ValueRange, double>> &Entries);
+  ValueRange applyAssertUncached(const ValueRange &Src, CmpPred Pred,
+                                 const ValueRange &BoundRange,
+                                 const Value *BoundVal);
+
   ValueRange binaryNumeric(
+      uint8_t Tag, const ValueRange &L, const ValueRange &R,
+      bool (RangeOps::*PairOp)(const SubRange &, const SubRange &,
+                               std::vector<SubRange> &));
+  ValueRange binaryNumericUncached(
       const ValueRange &L, const ValueRange &R,
       bool (RangeOps::*PairOp)(const SubRange &, const SubRange &,
                                std::vector<SubRange> &));
@@ -117,6 +191,15 @@ private:
 
   const VRPOptions &Opts;
   RangeStats &Stats;
+
+  /// Result accumulation scratch, reused across calls (operations never
+  /// nest on the same instance).
+  std::vector<SubRange> Scratch;
+
+  std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> Memo;
+  std::unordered_map<std::vector<uint64_t>, MemoEntry, MeetKeyHash>
+      MeetMemo;
+  std::vector<uint64_t> MeetKeyScratch;
 };
 
 /// Number of lattice points of numeric subrange \p S strictly below \p C.

@@ -43,6 +43,14 @@ double vrp::totalProb(const std::vector<SubRange> &Subs) {
   return Total;
 }
 
+double vrp::totalProb(const SubRangeView &Subs) {
+  const RangeArena::Rows &R = Subs.rawRows();
+  double Total = 0.0;
+  for (uint32_t I = 0; I < R.Count; ++I)
+    Total += R.Prob[I];
+  return Total;
+}
+
 namespace {
 
 /// Pointer-free total order on bound symbols: numeric first, then
@@ -73,6 +81,17 @@ bool subRangeLess(const SubRange &A, const SubRange &B) {
                       S.Hi.Offset, S.Stride);
   };
   return Key(A) < Key(B);
+}
+
+/// subRangeLess restricted to all-numeric rows: symRank(nullptr) is the
+/// constant minimum {0,0,0}, so the symbol components of the key compare
+/// equal and the order reduces to (Lo.Offset, Hi.Offset, Stride). Sorting
+/// with this comparator yields comparison outcomes identical to
+/// subRangeLess — and therefore an identical permutation — without
+/// constructing a symRank tuple per comparison.
+bool numericSubRangeLess(const SubRange &A, const SubRange &B) {
+  return std::tuple(A.Lo.Offset, A.Hi.Offset, A.Stride) <
+         std::tuple(B.Lo.Offset, B.Hi.Offset, B.Stride);
 }
 
 /// True when the numeric subrange is internally consistent.
@@ -109,12 +128,15 @@ SubRange hullMerge(const SubRange &A, const SubRange &B) {
 
 } // namespace
 
-ValueRange ValueRange::ranges(std::vector<SubRange> Subs,
-                              unsigned MaxSubRanges) {
+ValueRange ValueRange::canonicalize(std::vector<SubRange> &Subs,
+                                    unsigned MaxSubRanges) {
   assert(MaxSubRanges >= 1 && "need at least one subrange");
-  // Drop empty/invalid pieces.
-  std::vector<SubRange> Clean;
-  for (SubRange &S : Subs) {
+  // Drop empty/invalid pieces in place, tracking whether any symbolic
+  // bound survives (selects the sort comparator below).
+  size_t W = 0;
+  bool AllNumeric = true;
+  for (size_t I = 0; I < Subs.size(); ++I) {
+    SubRange S = Subs[I];
     if (S.Prob <= 0.0)
       continue;
     if (S.isNumeric()) {
@@ -122,32 +144,39 @@ ValueRange ValueRange::ranges(std::vector<SubRange> Subs,
         S.Stride = 0;
       if (!isValidNumeric(S))
         return bottom(); // Caller produced an inconsistent range.
-    } else if (S.Lo.Sym && S.Hi.Sym && S.Lo.Sym != S.Hi.Sym) {
-      // Bounds relative to two different ancestors are unrepresentable.
-      return bottom();
+    } else {
+      if (S.Lo.Sym && S.Hi.Sym && S.Lo.Sym != S.Hi.Sym) {
+        // Bounds relative to two different ancestors are unrepresentable.
+        return bottom();
+      }
+      AllNumeric = false;
     }
-    Clean.push_back(S);
+    Subs[W++] = S;
   }
-  if (Clean.empty())
+  if (W == 0)
     return bottom();
+  Subs.resize(W);
 
-  // Canonical order, then merge identical shapes.
-  std::sort(Clean.begin(), Clean.end(), subRangeLess);
-  std::vector<SubRange> Merged;
-  for (const SubRange &S : Clean) {
-    if (!Merged.empty() && Merged.back().sameShape(S))
-      Merged.back().Prob += S.Prob;
+  // Canonical order, then merge identical shapes. All-numeric sets take
+  // the tuple-free comparator (order-equivalent to subRangeLess).
+  auto Less = AllNumeric ? numericSubRangeLess : subRangeLess;
+  std::sort(Subs.begin(), Subs.end(), Less);
+  size_t M = 0;
+  for (size_t I = 0; I < Subs.size(); ++I) {
+    if (M > 0 && Subs[M - 1].sameShape(Subs[I]))
+      Subs[M - 1].Prob += Subs[I].Prob;
     else
-      Merged.push_back(S);
+      Subs[M++] = Subs[I];
   }
+  Subs.resize(M);
 
   // Renormalize to total probability 1.
-  double Total = totalProb(Merged);
+  double Total = totalProb(Subs);
   if (Total <= 0.0)
     return bottom();
   if (std::abs(Total - 1.0) > 1e-12) {
     telemetry::count(telemetry::Counter::RangeNormalizations);
-    for (SubRange &S : Merged)
+    for (SubRange &S : Subs)
       S.Prob /= Total;
   }
 
@@ -156,23 +185,23 @@ ValueRange ValueRange::ranges(std::vector<SubRange> Subs,
   // identical-symbol partner (handled by sameShape above); if symbolic
   // variety alone exceeds the cap the range degrades to ⊥ — the paper's
   // "give-up point".
-  while (Merged.size() > MaxSubRanges) {
+  while (Subs.size() > MaxSubRanges) {
     int BestA = -1, BestB = -1;
     double BestCost = 0.0;
-    for (size_t I = 0; I < Merged.size(); ++I) {
-      if (!Merged[I].isNumeric())
+    for (size_t I = 0; I < Subs.size(); ++I) {
+      if (!Subs[I].isNumeric())
         continue;
-      for (size_t J = I + 1; J < Merged.size(); ++J) {
-        if (!Merged[J].isNumeric())
+      for (size_t J = I + 1; J < Subs.size(); ++J) {
+        if (!Subs[J].isNumeric())
           continue;
-        double SpanI = static_cast<double>(Merged[I].Hi.Offset) -
-                       static_cast<double>(Merged[I].Lo.Offset);
-        double SpanJ = static_cast<double>(Merged[J].Hi.Offset) -
-                       static_cast<double>(Merged[J].Lo.Offset);
-        double Lo = std::min(static_cast<double>(Merged[I].Lo.Offset),
-                             static_cast<double>(Merged[J].Lo.Offset));
-        double Hi = std::max(static_cast<double>(Merged[I].Hi.Offset),
-                             static_cast<double>(Merged[J].Hi.Offset));
+        double SpanI = static_cast<double>(Subs[I].Hi.Offset) -
+                       static_cast<double>(Subs[I].Lo.Offset);
+        double SpanJ = static_cast<double>(Subs[J].Hi.Offset) -
+                       static_cast<double>(Subs[J].Lo.Offset);
+        double Lo = std::min(static_cast<double>(Subs[I].Lo.Offset),
+                             static_cast<double>(Subs[J].Lo.Offset));
+        double Hi = std::max(static_cast<double>(Subs[I].Hi.Offset),
+                             static_cast<double>(Subs[J].Hi.Offset));
         double Cost = (Hi - Lo) - SpanI - SpanJ;
         if (BestA < 0 || Cost < BestCost) {
           BestA = static_cast<int>(I);
@@ -183,16 +212,40 @@ ValueRange ValueRange::ranges(std::vector<SubRange> Subs,
     }
     if (BestA < 0)
       return bottom(); // Only unmergeable symbolic pieces remain.
-    SubRange Combined = hullMerge(Merged[BestA], Merged[BestB]);
-    Merged.erase(Merged.begin() + BestB);
-    Merged[BestA] = Combined;
-    std::sort(Merged.begin(), Merged.end(), subRangeLess);
+    SubRange Combined = hullMerge(Subs[BestA], Subs[BestB]);
+    Subs.erase(Subs.begin() + BestB);
+    Subs[BestA] = Combined;
+    std::sort(Subs.begin(), Subs.end(), Less);
   }
 
   ValueRange R;
   R.TheKind = Kind::Ranges;
-  R.Subs = std::move(Merged);
+  R.SliceId = RangeArena::global().intern(
+      Subs.data(), static_cast<uint32_t>(Subs.size()));
   R.assertNormalized();
+  return R;
+}
+
+ValueRange ValueRange::ranges(std::vector<SubRange> Subs,
+                              unsigned MaxSubRanges) {
+  return canonicalize(Subs, MaxSubRanges);
+}
+
+ValueRange ValueRange::intConstant(int64_t V) {
+  // Interned directly: historically this constructor bypassed ranges()'s
+  // normalization pipeline, and the canonical single row needs none.
+  ValueRange R;
+  R.TheKind = Kind::Ranges;
+  SubRange S = SubRange::singleton(1.0, V);
+  R.SliceId = RangeArena::global().intern(&S, 1);
+  return R;
+}
+
+ValueRange ValueRange::fullIntRange() {
+  ValueRange R;
+  R.TheKind = Kind::Ranges;
+  SubRange S = SubRange::numeric(1.0, Int64Min, Int64Max, 1);
+  R.SliceId = RangeArena::global().intern(&S, 1);
   return R;
 }
 
@@ -207,28 +260,26 @@ ValueRange ValueRange::weightedBool(double ProbTrue) {
 }
 
 std::optional<int64_t> ValueRange::asIntConstant() const {
-  if (TheKind != Kind::Ranges || Subs.size() != 1)
+  if (TheKind != Kind::Ranges)
     return std::nullopt;
-  const SubRange &S = Subs.front();
-  if (!S.isNumeric() || !S.isSingleton())
+  RangeArena::Rows R = RangeArena::global().rows(SliceId);
+  if (R.Count != 1 || R.LoSym[0] != 0 || R.HiSym[0] != 0)
     return std::nullopt;
-  return S.Lo.Offset;
+  if (R.LoOff[0] != R.HiOff[0])
+    return std::nullopt;
+  return R.LoOff[0];
 }
 
 const Value *ValueRange::asCopyOf() const {
-  if (TheKind != Kind::Ranges || Subs.size() != 1)
+  if (TheKind != Kind::Ranges)
     return nullptr;
-  const SubRange &S = Subs.front();
-  if (S.Lo.Sym && S.Lo == S.Hi && S.Lo.Offset == 0)
-    return S.Lo.Sym;
+  RangeArena::Rows R = RangeArena::global().rows(SliceId);
+  if (R.Count != 1)
+    return nullptr;
+  if (R.LoSym[0] != 0 && R.LoSym[0] == R.HiSym[0] && R.LoOff[0] == 0 &&
+      R.HiOff[0] == 0)
+    return RangeArena::global().symValue(R.LoSym[0]);
   return nullptr;
-}
-
-bool ValueRange::hasSymbolicBounds() const {
-  for (const SubRange &S : Subs)
-    if (!S.isNumeric())
-      return true;
-  return false;
 }
 
 bool ValueRange::equals(const ValueRange &RHS, double Tolerance) const {
@@ -243,12 +294,18 @@ bool ValueRange::equals(const ValueRange &RHS, double Tolerance) const {
   case Kind::Ranges:
     break;
   }
-  if (Subs.size() != RHS.Subs.size())
+  if (SliceId == RHS.SliceId)
+    return true; // Interned: same id, bitwise-identical content.
+  RangeArena::Rows A = RangeArena::global().rows(SliceId);
+  RangeArena::Rows B = RangeArena::global().rows(RHS.SliceId);
+  if (A.Count != B.Count)
     return false;
-  for (size_t I = 0; I < Subs.size(); ++I) {
-    if (!Subs[I].sameShape(RHS.Subs[I]))
+  for (uint32_t I = 0; I < A.Count; ++I) {
+    if (A.LoSym[I] != B.LoSym[I] || A.LoOff[I] != B.LoOff[I] ||
+        A.HiSym[I] != B.HiSym[I] || A.HiOff[I] != B.HiOff[I] ||
+        A.Stride[I] != B.Stride[I])
       return false;
-    if (std::abs(Subs[I].Prob - RHS.Subs[I].Prob) > Tolerance)
+    if (std::abs(A.Prob[I] - B.Prob[I]) > Tolerance)
       return false;
   }
   return true;
@@ -261,10 +318,16 @@ bool ValueRange::sameSupport(const ValueRange &RHS) const {
     return FloatVal == RHS.FloatVal;
   if (TheKind != Kind::Ranges)
     return true;
-  if (Subs.size() != RHS.Subs.size())
+  if (SliceId == RHS.SliceId)
+    return true;
+  RangeArena::Rows A = RangeArena::global().rows(SliceId);
+  RangeArena::Rows B = RangeArena::global().rows(RHS.SliceId);
+  if (A.Count != B.Count)
     return false;
-  for (size_t I = 0; I < Subs.size(); ++I)
-    if (!Subs[I].sameShape(RHS.Subs[I]))
+  for (uint32_t I = 0; I < A.Count; ++I)
+    if (A.LoSym[I] != B.LoSym[I] || A.LoOff[I] != B.LoOff[I] ||
+        A.HiSym[I] != B.HiSym[I] || A.HiOff[I] != B.HiOff[I] ||
+        A.Stride[I] != B.Stride[I])
       return false;
   return true;
 }
@@ -280,7 +343,7 @@ std::optional<double> ValueRange::probNonZero() const {
     break;
   }
   double P = 0.0;
-  for (const SubRange &S : Subs) {
+  for (const SubRange &S : subRanges()) {
     if (!S.isNumeric()) {
       // A symbolic subrange may or may not contain zero; unknown overall.
       return std::nullopt;
@@ -303,7 +366,7 @@ std::optional<double> ValueRange::probNonZero() const {
 void ValueRange::assertNormalized(double Epsilon) const {
   if (TheKind != Kind::Ranges)
     return;
-  assert(std::abs(totalProb(Subs) - 1.0) <= Epsilon &&
+  assert(std::abs(totalProb(subRanges()) - 1.0) <= Epsilon &&
          "probability mass not conserved");
   (void)Epsilon;
 }
@@ -323,6 +386,7 @@ std::string ValueRange::str() const {
     break;
   }
   std::string S = "{ ";
+  SubRangeView Subs = subRanges();
   for (size_t I = 0; I < Subs.size(); ++I) {
     if (I)
       S += ", ";

@@ -15,6 +15,14 @@
 /// level so value range propagation subsumes constant propagation for
 /// floats too.
 ///
+/// Storage: a ValueRange is a 16-byte handle `{kind, dist flag, arena
+/// slice id, float payload}`. The subrange rows live in the process-wide
+/// RangeArena (SoA columns, interned module-wide), so copying a range is
+/// trivial, identical canonical sets share storage, and equality has an
+/// id-comparison fast path. `subRanges()` returns a lightweight view that
+/// materializes `SubRange` values on demand and converts implicitly to
+/// `std::vector<SubRange>` for call sites that need a container.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VRP_VRP_VALUERANGE_H
@@ -22,6 +30,7 @@
 
 #include "ir/Value.h"
 #include "support/MathUtil.h"
+#include "vrp/RangeArena.h"
 
 #include <optional>
 #include <string>
@@ -112,10 +121,77 @@ struct SubRange {
   std::string str() const;
 };
 
+/// A read-only view over one arena slice's subranges. Materializes
+/// `SubRange` values on demand from the SoA columns; converts implicitly
+/// to `std::vector<SubRange>` where a container is required. The view is
+/// valid for the process lifetime (arena storage is never freed).
+class SubRangeView {
+public:
+  SubRangeView() = default;
+  explicit SubRangeView(uint32_t SliceId)
+      : R(RangeArena::global().rows(SliceId)) {}
+
+  size_t size() const { return R.Count; }
+  bool empty() const { return R.Count == 0; }
+
+  /// True when every bound in the slice is numeric (cached per slice).
+  bool allNumeric() const { return R.AllNumeric; }
+
+  SubRange operator[](size_t I) const {
+    const RangeArena &A = RangeArena::global();
+    return SubRange(R.Prob[I],
+                    Bound(A.symValue(R.LoSym[I]), R.LoOff[I]),
+                    Bound(A.symValue(R.HiSym[I]), R.HiOff[I]), R.Stride[I]);
+  }
+  SubRange front() const { return (*this)[0]; }
+  SubRange back() const { return (*this)[R.Count - 1]; }
+
+  class iterator {
+  public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = SubRange;
+    using difference_type = ptrdiff_t;
+    using pointer = const SubRange *;
+    using reference = SubRange;
+
+    iterator(const SubRangeView *V, size_t I) : V(V), I(I) {}
+    SubRange operator*() const { return (*V)[I]; }
+    iterator &operator++() {
+      ++I;
+      return *this;
+    }
+    bool operator==(const iterator &RHS) const { return I == RHS.I; }
+    bool operator!=(const iterator &RHS) const { return I != RHS.I; }
+
+  private:
+    const SubRangeView *V;
+    size_t I;
+  };
+
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, R.Count); }
+
+  operator std::vector<SubRange>() const {
+    std::vector<SubRange> Out;
+    Out.reserve(R.Count);
+    for (uint32_t I = 0; I < R.Count; ++I)
+      Out.push_back((*this)[I]);
+    return Out;
+  }
+
+  /// Raw SoA columns, for batched kernels.
+  const RangeArena::Rows &rawRows() const { return R; }
+
+private:
+  RangeArena::Rows R;
+};
+
 /// The lattice value attached to every SSA variable during propagation.
+/// A 16-byte trivially-copyable handle; subrange storage lives in the
+/// interned RangeArena.
 class ValueRange {
 public:
-  enum class Kind {
+  enum class Kind : uint8_t {
     Top,        ///< ⊤: not yet determined (optimistic initial value).
     Ranges,     ///< A weighted set of integer subranges.
     FloatConst, ///< A known IEEE double constant.
@@ -140,22 +216,19 @@ public:
   /// coalesces down to \p MaxSubRanges. An empty set yields ⊥.
   static ValueRange ranges(std::vector<SubRange> Subs, unsigned MaxSubRanges);
 
+  /// In-place canonicalization of \p Subs (clean, sort, merge, normalize,
+  /// coalesce to \p MaxSubRanges) followed by interning — the batched
+  /// back end of `ranges()`, exposed so RangeOps can feed reused scratch
+  /// buffers. \p Subs is consumed (contents unspecified afterwards).
+  static ValueRange canonicalize(std::vector<SubRange> &Subs,
+                                 unsigned MaxSubRanges);
+
   /// A single-constant integer range {1[c:c:0]}.
-  static ValueRange intConstant(int64_t V) {
-    ValueRange R;
-    R.TheKind = Kind::Ranges;
-    R.Subs.push_back(SubRange::singleton(1.0, V));
-    return R;
-  }
+  static ValueRange intConstant(int64_t V);
 
   /// The full int64 range (used for values known to exist but unbounded —
   /// weaker than ⊥ only in that it is still a range).
-  static ValueRange fullIntRange() {
-    ValueRange R;
-    R.TheKind = Kind::Ranges;
-    R.Subs.push_back(SubRange::numeric(1.0, Int64Min, Int64Max, 1));
-    return R;
-  }
+  static ValueRange fullIntRange();
 
   /// A weighted boolean {P(true)[1:1:0], P(false)[0:0:0]} — the natural
   /// result range of a comparison, from which branch probabilities read
@@ -163,17 +236,19 @@ public:
   static ValueRange weightedBool(double ProbTrue);
 
   /// Reconstructs a range verbatim — no normalization, no coalescing, no
-  /// empty-set demotion. For deserializers only (analysis/PersistentCache):
-  /// a restored range must be bitwise identical to the one serialized, and
-  /// `ranges()` would re-normalize an already-normalized set, which is not
-  /// guaranteed to be the identity on its own output's field order.
+  /// empty-set demotion (the rows are interned exactly as given). For
+  /// deserializers only (analysis/PersistentCache): a restored range must
+  /// be bitwise identical to the one serialized, and `ranges()` would
+  /// re-normalize an already-normalized set, which is not guaranteed to
+  /// be the identity on its own output's field order.
   static ValueRange restored(Kind K, double FloatVal, bool DistKnown,
                              std::vector<SubRange> Subs) {
     ValueRange R;
     R.TheKind = K;
     R.FloatVal = FloatVal;
     R.DistKnown = DistKnown;
-    R.Subs = std::move(Subs);
+    R.SliceId = RangeArena::global().intern(
+        Subs.data(), static_cast<uint32_t>(Subs.size()));
     return R;
   }
 
@@ -193,7 +268,19 @@ public:
   void setDistributionKnown(bool Known) { DistKnown = Known; }
 
   double floatValue() const { return FloatVal; }
-  const std::vector<SubRange> &subRanges() const { return Subs; }
+
+  /// The subrange set as an on-demand view over the arena slice.
+  SubRangeView subRanges() const { return SubRangeView(SliceId); }
+
+  /// The arena slice id (0 for non-Ranges kinds). Two Ranges values with
+  /// equal ids are bitwise-identical sets; unequal ids may still compare
+  /// equal under `equals()`'s probability tolerance.
+  uint32_t sliceId() const { return SliceId; }
+
+  /// True when every subrange bound is numeric (O(1), cached per slice).
+  bool allNumeric() const {
+    return RangeArena::global().sliceAllNumeric(SliceId);
+  }
 
   /// If the range is a single integer constant {1[c:c:0]}, returns it.
   std::optional<int64_t> asIntConstant() const;
@@ -203,7 +290,9 @@ public:
   const Value *asCopyOf() const;
 
   /// True when any subrange bound is symbolic.
-  bool hasSymbolicBounds() const;
+  bool hasSymbolicBounds() const {
+    return TheKind == Kind::Ranges && !allNumeric();
+  }
 
   /// Probability-tolerant equality (fixpoint detection).
   bool equals(const ValueRange &RHS, double Tolerance = 1e-9) const;
@@ -227,16 +316,17 @@ public:
 
 private:
   Kind TheKind;
-  double FloatVal = 0.0;
   bool DistKnown = true;
-  std::vector<SubRange> Subs;
-
-  friend class RangeOps;
+  uint32_t SliceId = 0;
+  double FloatVal = 0.0;
 };
+
+static_assert(sizeof(ValueRange) == 16, "ValueRange must stay a flat handle");
 
 /// Total probability mass of a subrange vector (should be ~1 after
 /// normalization).
 double totalProb(const std::vector<SubRange> &Subs);
+double totalProb(const SubRangeView &Subs);
 
 /// True when \p V lies on the lattice Lo + k*Stride (overflow-safe; a
 /// zero stride means the single point Lo).
