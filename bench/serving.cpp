@@ -1,0 +1,342 @@
+//===- bench/serving.cpp - predictord load generator -----------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Load-tests the serving stack (serve/Server.h) end to end over its real
+// Unix-domain-socket transport:
+//
+//  * throughput and p50/p95/p99 latency at 1/2/4 worker threads, with
+//    response memoization off (every request pays for analysis) and on
+//    (repeats cost a hash lookup);
+//  * an overload scenario: a single slow worker, a tiny admission queue,
+//    and a burst of concurrent clients — proving that past saturation
+//    requests are shed with a structured response, not hung (the whole
+//    burst completes under a hard wall-clock bound), and that the degrade
+//    band answers with the heuristic fallback;
+//  * a determinism check: every ok `predict` response for a given source
+//    must be byte-identical across workers, connections and runs — the
+//    same contract scripts/check.sh enforces against predictor_tool.
+//
+// Emits BENCH_serving.json so future PRs have a perf trajectory to defend.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "support/Format.h"
+#include "support/Signal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+double wallSeconds(std::chrono::steady_clock::time_point Start,
+                   std::chrono::steady_clock::time_point End) {
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  double Index = P * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Index);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Index - static_cast<double>(Lo);
+  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
+}
+
+struct LoadResult {
+  unsigned Workers = 0;
+  bool Memo = false;
+  uint64_t Requests = 0;
+  uint64_t Errors = 0;
+  double Seconds = 0.0;
+  double Throughput = 0.0; ///< Requests per second.
+  double P50Ms = 0.0, P95Ms = 0.0, P99Ms = 0.0;
+  bool Deterministic = true;
+};
+
+struct OverloadResult {
+  uint64_t Requests = 0;
+  uint64_t Ok = 0;
+  uint64_t Degraded = 0;
+  uint64_t Shed = 0;
+  uint64_t Hung = 0; ///< Calls that never returned inside the bound.
+  double Seconds = 0.0;
+  bool Bounded = false; ///< Whole burst finished under the hard bound.
+};
+
+/// The benchmark sources cycled through by the load generator: real
+/// suite programs, so each request costs a genuine compile + propagate.
+std::vector<const BenchmarkProgram *> loadSources() {
+  std::vector<const BenchmarkProgram *> All = allPrograms();
+  if (All.size() > 6)
+    All.resize(6);
+  return All;
+}
+
+/// One client thread: its own connection, \p Count sequential requests
+/// cycling through \p Sources, recording per-request latency.
+void clientLoop(const std::string &SocketPath,
+                const std::vector<const BenchmarkProgram *> &Sources,
+                unsigned Count, unsigned Offset,
+                std::vector<double> &LatenciesMs, uint64_t &Errors,
+                std::map<std::string, std::string> &PayloadBySource,
+                std::mutex &M) {
+  Status Why;
+  std::unique_ptr<Client> C = Client::connect(SocketPath, &Why);
+  if (!C) {
+    std::lock_guard<std::mutex> Lock(M);
+    Errors += Count;
+    return;
+  }
+  for (unsigned I = 0; I < Count; ++I) {
+    const BenchmarkProgram *P = Sources[(Offset + I) % Sources.size()];
+    Request Req;
+    Req.Id = I + 1;
+    Req.Method = "predict";
+    Req.Source = P->Source;
+    auto Start = std::chrono::steady_clock::now();
+    StatusOr<Response> R = C->call(Req);
+    auto End = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> Lock(M);
+    if (!R.ok() || R.value().Status != RespStatus::Ok) {
+      ++Errors;
+      continue;
+    }
+    LatenciesMs.push_back(wallSeconds(Start, End) * 1e3);
+    // Determinism ledger: the first payload seen for a source is the
+    // reference; every later one must match byte-for-byte.
+    auto It = PayloadBySource.find(P->Name);
+    if (It == PayloadBySource.end())
+      PayloadBySource.emplace(P->Name, R.value().Payload);
+    else if (It->second != R.value().Payload)
+      PayloadBySource[P->Name] = std::string(); // Poison: mismatch seen.
+  }
+}
+
+LoadResult runLoad(unsigned Workers, bool Memo, unsigned Clients,
+                   unsigned RequestsPerClient,
+                   std::map<std::string, std::string> &GlobalPayloads) {
+  const std::string SocketPath =
+      "BENCH_serving_" + std::to_string(Workers) + (Memo ? "m" : "c") +
+      ".sock";
+  ServerConfig Config;
+  Config.SocketPath = SocketPath;
+  Config.Workers = Workers;
+  Config.Service.ResponseMemo = Memo;
+  Status Why;
+  std::unique_ptr<Server> S = Server::create(Config, &Why);
+  if (!S) {
+    std::cerr << "FATAL: " << Why.error().str() << "\n";
+    std::exit(1);
+  }
+  std::thread ServerThread([&] { (void)S->serve(); });
+
+  std::vector<const BenchmarkProgram *> Sources = loadSources();
+  std::vector<double> LatenciesMs;
+  uint64_t Errors = 0;
+  std::map<std::string, std::string> PayloadBySource;
+  std::mutex M;
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> ClientThreads;
+  for (unsigned I = 0; I < Clients; ++I)
+    ClientThreads.emplace_back([&, I] {
+      clientLoop(SocketPath, Sources, RequestsPerClient, I, LatenciesMs,
+                 Errors, PayloadBySource, M);
+    });
+  for (std::thread &T : ClientThreads)
+    T.join();
+  auto End = std::chrono::steady_clock::now();
+
+  S->requestShutdown();
+  ServerThread.join();
+
+  LoadResult R;
+  R.Workers = Workers;
+  R.Memo = Memo;
+  R.Requests = static_cast<uint64_t>(Clients) * RequestsPerClient;
+  R.Errors = Errors;
+  R.Seconds = wallSeconds(Start, End);
+  R.Throughput = R.Seconds > 0
+                     ? static_cast<double>(LatenciesMs.size()) / R.Seconds
+                     : 0.0;
+  std::sort(LatenciesMs.begin(), LatenciesMs.end());
+  R.P50Ms = percentile(LatenciesMs, 0.50);
+  R.P95Ms = percentile(LatenciesMs, 0.95);
+  R.P99Ms = percentile(LatenciesMs, 0.99);
+
+  // Determinism: within this run no source may have been poisoned, and
+  // across runs (different worker counts, memo settings) each source
+  // must keep serving the very same bytes.
+  R.Deterministic = true;
+  for (const auto &[Name, Payload] : PayloadBySource) {
+    if (Payload.empty()) {
+      R.Deterministic = false;
+      continue;
+    }
+    auto It = GlobalPayloads.find(Name);
+    if (It == GlobalPayloads.end())
+      GlobalPayloads.emplace(Name, Payload);
+    else if (It->second != Payload)
+      R.Deterministic = false;
+  }
+  return R;
+}
+
+OverloadResult runOverload() {
+  const std::string SocketPath = "BENCH_serving_overload.sock";
+  ServerConfig Config;
+  Config.SocketPath = SocketPath;
+  Config.Workers = 1; // One slow lane: saturation is the point.
+  Config.MaxConnections = 128;
+  Config.Admission.MaxQueue = 8;
+  Config.Admission.DegradeDepth = 4;
+  Config.Service.ResponseMemo = false;
+  Status Why;
+  std::unique_ptr<Server> S = Server::create(Config, &Why);
+  if (!S) {
+    std::cerr << "FATAL: " << Why.error().str() << "\n";
+    std::exit(1);
+  }
+  std::thread ServerThread([&] { (void)S->serve(); });
+
+  // A burst far beyond MaxQueue: 48 concurrent clients, one request
+  // each. With a queue of 8 most of them must shed immediately.
+  constexpr unsigned Burst = 48;
+  const BenchmarkProgram *P = allPrograms().front();
+  OverloadResult R;
+  R.Requests = Burst;
+  std::mutex M;
+  std::vector<std::thread> ClientThreads;
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned I = 0; I < Burst; ++I)
+    ClientThreads.emplace_back([&] {
+      Status ConnWhy;
+      std::unique_ptr<Client> C = Client::connect(SocketPath, &ConnWhy);
+      if (!C)
+        return; // Counted as hung below via Ok+Degraded+Shed arithmetic.
+      Request Req;
+      Req.Id = 1;
+      Req.Method = "predict";
+      Req.Source = P->Source;
+      StatusOr<Response> Resp = C->call(Req);
+      std::lock_guard<std::mutex> Lock(M);
+      if (!Resp.ok())
+        return;
+      switch (Resp.value().Status) {
+      case RespStatus::Ok:
+        ++R.Ok;
+        if (Resp.value().Degraded)
+          ++R.Degraded;
+        break;
+      case RespStatus::Shed:
+        ++R.Shed;
+        break;
+      case RespStatus::Error:
+        break;
+      }
+    });
+  for (std::thread &T : ClientThreads)
+    T.join();
+  auto End = std::chrono::steady_clock::now();
+  R.Seconds = wallSeconds(Start, End);
+  // "Shed, not hung": every client thread returned (join completed) and
+  // the burst stayed well under a bound that queued-but-unshed requests
+  // would blow through. 60s is generous for 8 queued analyses plus
+  // overhead; a hang would exceed it arbitrarily.
+  R.Hung = R.Requests - (R.Ok + R.Shed);
+  R.Bounded = R.Seconds < 60.0;
+
+  S->requestShutdown();
+  ServerThread.join();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "==== predictord serving bench ====\n\n";
+
+  // Warm process-wide tables (interned constants, suite sources) outside
+  // the timings.
+  (void)allPrograms();
+
+  std::map<std::string, std::string> GlobalPayloads;
+  std::vector<LoadResult> Loads;
+  for (unsigned Workers : {1u, 2u, 4u})
+    Loads.push_back(runLoad(Workers, /*Memo=*/false, /*Clients=*/Workers * 2,
+                            /*RequestsPerClient=*/12, GlobalPayloads));
+  // Memoized scenario: same sources repeat, so after the first round
+  // each answer is a hash lookup. One worker is enough to saturate.
+  Loads.push_back(runLoad(1, /*Memo=*/true, /*Clients=*/4,
+                          /*RequestsPerClient=*/25, GlobalPayloads));
+
+  TextTable Table({"workers", "memo", "requests", "errors", "req/s",
+                   "p50 ms", "p95 ms", "p99 ms", "identical"});
+  for (const LoadResult &R : Loads)
+    Table.addRow({std::to_string(R.Workers), R.Memo ? "on" : "off",
+                  std::to_string(R.Requests), std::to_string(R.Errors),
+                  formatDouble(R.Throughput, 1), formatDouble(R.P50Ms, 2),
+                  formatDouble(R.P95Ms, 2), formatDouble(R.P99Ms, 2),
+                  R.Deterministic ? "yes" : "NO"});
+  Table.print(std::cout);
+
+  std::cout << "\n-- overload (1 worker, queue 8, degrade at 4, burst of "
+               "48) --\n";
+  OverloadResult O = runOverload();
+  TextTable OTable({"burst", "ok", "degraded", "shed", "hung", "seconds",
+                    "bounded"});
+  OTable.addRow({std::to_string(O.Requests), std::to_string(O.Ok),
+                 std::to_string(O.Degraded), std::to_string(O.Shed),
+                 std::to_string(O.Hung), formatDouble(O.Seconds, 2),
+                 O.Bounded ? "yes" : "NO"});
+  OTable.print(std::cout);
+
+  bool AllDeterministic = true;
+  for (const LoadResult &R : Loads)
+    AllDeterministic = AllDeterministic && R.Deterministic && R.Errors == 0;
+  bool ShedNotHung = O.Shed > 0 && O.Hung == 0 && O.Bounded;
+
+  std::ofstream Json("BENCH_serving.json");
+  Json << "{\n  \"load\": [\n";
+  for (size_t I = 0; I < Loads.size(); ++I) {
+    const LoadResult &R = Loads[I];
+    Json << "    {\"workers\": " << R.Workers << ", \"memo\": "
+         << (R.Memo ? "true" : "false") << ", \"requests\": " << R.Requests
+         << ", \"errors\": " << R.Errors << ", \"throughput_rps\": "
+         << formatDouble(R.Throughput, 1) << ", \"p50_ms\": "
+         << formatDouble(R.P50Ms, 3) << ", \"p95_ms\": "
+         << formatDouble(R.P95Ms, 3) << ", \"p99_ms\": "
+         << formatDouble(R.P99Ms, 3) << ", \"deterministic\": "
+         << (R.Deterministic ? "true" : "false") << "}"
+         << (I + 1 < Loads.size() ? "," : "") << "\n";
+  }
+  Json << "  ],\n  \"overload\": {\"burst\": " << O.Requests
+       << ", \"ok\": " << O.Ok << ", \"degraded\": " << O.Degraded
+       << ", \"shed\": " << O.Shed << ", \"hung\": " << O.Hung
+       << ", \"seconds\": " << formatDouble(O.Seconds, 2)
+       << ", \"shed_not_hung\": " << (ShedNotHung ? "true" : "false")
+       << "},\n  \"all_deterministic\": "
+       << (AllDeterministic ? "true" : "false") << "\n}\n";
+  Json.close();
+
+  std::cout << "\nresult: "
+            << (AllDeterministic && ShedNotHung ? "PASS" : "FAIL")
+            << " (deterministic=" << (AllDeterministic ? "yes" : "no")
+            << ", shed-not-hung=" << (ShedNotHung ? "yes" : "no")
+            << "); wrote BENCH_serving.json\n";
+  return AllDeterministic && ShedNotHung ? 0 : 1;
+}

@@ -32,7 +32,9 @@
 //
 // Exit codes: 0 success, 1 input rejected with diagnostics, 2 usage
 // error, 3 internal error, 4 soundness violations detected by --audit,
-// 5 --cache-verify divergence.
+// 5 --cache-verify divergence, 7 interrupted by SIGTERM/SIGINT after a
+// graceful flush (journal and cache commits are complete up to the
+// interruption point; rerun with --resume to continue).
 //
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +46,7 @@
 #include "ir/IRPrinter.h"
 #include "profile/Interpreter.h"
 #include "support/Format.h"
+#include "support/Signal.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "vrp/Audit.h"
@@ -66,6 +69,7 @@ enum ExitCode : int {
   ExitInternal = 3,
   ExitAudit = 4,
   ExitCacheDiverged = 5,
+  ExitInterrupted = 7,
 };
 
 const char *DemoSource = R"(
@@ -139,7 +143,9 @@ void printUsage() {
                "on any divergence\n"
                "exit codes: 0 success, 1 diagnostics, 2 usage error, "
                "3 internal error,\n            4 soundness violations "
-               "detected by --audit, 5 cache divergence\n";
+               "detected by --audit, 5 cache divergence,\n            "
+               "7 interrupted after a graceful flush (rerun with "
+               "--resume)\n";
 }
 
 /// Parses a digits-only unsigned option value. stoul alone would accept
@@ -277,6 +283,11 @@ int runTool(int argc, char **argv) {
                    "file argument\n";
       return ExitUsage;
     }
+    // A long suite run interrupted by SIGTERM/SIGINT flushes what it has
+    // — the journal and any pending cache commits — instead of dying
+    // mid-append; already-running benchmarks finish, not-yet-started
+    // ones are skipped and reported as interrupted (exit 7).
+    stopsignal::installHandlers();
     VRPOptions Opts;
     Opts.Interprocedural = true;
     Opts.Threads = Threads;
@@ -305,6 +316,13 @@ int runTool(int argc, char **argv) {
     }
     if (Audit && SuiteEval.SoundnessViolations > 0)
       return ExitAudit;
+    if (stopsignal::stopRequested()) {
+      std::cerr << "interrupted: suite stopped early; completed "
+                   "benchmarks are flushed"
+                << (JournalPath.empty() ? "" : "; rerun with --resume")
+                << "\n";
+      return ExitInterrupted;
+    }
     return SuiteEval.Failures.empty() ? ExitSuccess : ExitDiagnostics;
   }
 
@@ -347,10 +365,20 @@ int runTool(int argc, char **argv) {
   // this run's fresh results commit below once analysis finished cleanly.
   std::unique_ptr<PersistentCache> PCache;
   if (!CachePath.empty()) {
-    PCache = PersistentCache::open(CachePath, CacheVerify);
-    if (!PCache)
-      std::cerr << "warning: cannot open cache " << CachePath
+    Status CacheWhy;
+    PCache = PersistentCache::open(CachePath, CacheVerify, &CacheWhy);
+    if (!PCache) {
+      // --cache-verify exists to check the store's contents; silently
+      // verifying nothing would report success vacuously, so a cache
+      // that cannot open (e.g. locked by a resident predictord) is an
+      // error there and a degradation everywhere else.
+      if (CacheVerify) {
+        std::cerr << "error: " << CacheWhy.error().str() << "\n";
+        return ExitInternal;
+      }
+      std::cerr << "warning: " << CacheWhy.error().str()
                 << "; running uncached\n";
+    }
   }
 
   AnalysisCache Cache;
@@ -358,73 +386,10 @@ int runTool(int argc, char **argv) {
   if (PCache)
     PCache->commitScope();
 
-  for (const auto &F : M.functions()) {
-    const FunctionVRPResult *FR = VRP.forFunction(F.get());
-    bool Any = false;
-    for (const auto &B : F->blocks())
-      if (isa<CondBrInst>(B->terminator()))
-        Any = true;
-    if (!Any)
-      continue;
-
-    std::cout << "fn @" << F->name() << ":";
-    if (FR && FR->Degraded)
-      std::cout << " (budget exhausted; heuristic fallback)";
-    std::cout << "\n";
-    TextTable Table({"line", "branch", "P(taken)", "source"});
-
-    FinalPredictionMap Final = finalizePredictions(*F, *FR, &Cache);
-    BranchProbMap Alt;
-    if (PredictorName == "ball-larus")
-      Alt = predictBallLarus(*F);
-    else if (PredictorName == "90-50")
-      Alt = predictNinetyFifty(*F);
-    else if (PredictorName == "random")
-      Alt = predictRandom(*F, 1234);
-
-    for (const auto &B : F->blocks()) {
-      const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator());
-      if (!CBr)
-        continue;
-      double Prob;
-      std::string SourceTag;
-      if (PredictorName == "vrp") {
-        const FinalPrediction &P = Final.at(CBr);
-        Prob = P.ProbTrue;
-        SourceTag = P.Source == PredictionSource::Range ? "ranges"
-                    : P.Source == PredictionSource::Heuristic
-                        ? "heuristic fallback"
-                        : "unreachable";
-      } else {
-        Prob = Alt.at(CBr);
-        SourceTag = PredictorName;
-      }
-      std::string Desc =
-          instructionToString(*cast<Instruction>(CBr->cond()));
-      Table.addRow({CBr->loc().str(), Desc, formatPercent(Prob),
-                    SourceTag});
-    }
-    Table.print(std::cout);
-
-    if (DumpRanges && PredictorName == "vrp") {
-      std::cout << "  value ranges:\n";
-      for (const auto &B : F->blocks())
-        for (const auto &I : B->instructions()) {
-          if (I->type() == IRType::Void)
-            continue;
-          ValueRange VR = FR->rangeOf(I.get());
-          if (VR.isTop() || VR.isBottom())
-            continue;
-          std::cout << "    " << I->displayName() << " : " << VR.str()
-                    << "\n";
-        }
-    }
-    std::cout << "\n";
-  }
-  if (VRP.FunctionsDegraded > 0)
-    std::cout << "note: " << VRP.FunctionsDegraded
-              << " function(s) degraded to the heuristic fallback after "
-                 "exhausting the analysis budget\n";
+  // The shared renderer keeps this output byte-identical to what a
+  // resident predictord serves for the same source (docs/SERVING.md).
+  renderPredictionReport(M, VRP, &Cache, {PredictorName, DumpRanges},
+                         std::cout);
 
   bool AuditViolated = false;
   if (Audit) {

@@ -1,0 +1,275 @@
+//===- examples/predictord.cpp - Resident prediction daemon ----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// A long-lived branch-prediction service over a Unix domain socket
+// (docs/SERVING.md). Server mode keeps the analysis pipeline and the
+// persistent result cache resident and serves framed requests; client
+// mode submits one request to a running daemon and prints the result.
+//
+//   server: predictord --socket=<path> [--threads=N] [--cache=<path>]
+//                      [--max-queue=N] [--degrade-depth=N]
+//                      [--max-conns=N] [--deadline=MS] [--no-memo]
+//
+//   client: predictord --socket=<path> --send=<file.vl>
+//                      [--method=predict|analyze] [--predictor=NAME]
+//                      [--ranges] [--budget=N] [--deadline=MS]
+//           predictord --socket=<path> --ping | --stats | --shutdown
+//
+// A `predict` response is byte-for-byte the report `predictor_tool
+// <file.vl>` prints — the client writes the payload to stdout verbatim,
+// so `diff <(predictor_tool f.vl) <(predictord --socket=S --send=f.vl)`
+// is empty (scripts/check.sh enforces this).
+//
+// Exit codes: 0 success (server: clean drain; client: ok response),
+// 1 error/shed response or request failure, 2 usage error, 3 internal
+// error, 6 startup failure (socket in use, bind failure, or persistent
+// cache locked by another process).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "support/Signal.h"
+#include "support/ThreadPool.h"
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+enum ExitCode : int {
+  ExitSuccess = 0,
+  ExitRequestFailed = 1,
+  ExitUsage = 2,
+  ExitInternal = 3,
+  ExitStartup = 6,
+};
+
+void printUsage() {
+  std::cerr
+      << "usage: predictord --socket=<path> [server or client options]\n"
+         "server mode (default):\n"
+         "  --threads=N       worker threads draining the request queue "
+         "(default 1)\n"
+         "  --cache=<path>    keep the persistent result cache resident; "
+         "refuses to\n                    start when another process "
+         "holds its lock\n"
+         "  --max-queue=N     queued requests before new work is shed "
+         "(default 64)\n"
+         "  --degrade-depth=N queue depth at which admitted work "
+         "degrades to the\n                    heuristic fallback "
+         "(default 48)\n"
+         "  --max-conns=N     simultaneous client connections (default "
+         "64)\n"
+         "  --deadline=MS     default per-request analysis deadline "
+         "(0 = none)\n"
+         "  --no-memo         disable response memoization\n"
+         "client mode (any of these selects it):\n"
+         "  --send=<file.vl>  submit the file and print the response "
+         "payload\n"
+         "  --method=M        predict (default) or analyze\n"
+         "  --predictor=NAME  vrp | ball-larus | 90-50 | random\n"
+         "  --ranges          append the value-range dump (predict)\n"
+         "  --budget=N        propagation step limit for this request\n"
+         "  --deadline=MS     wall-clock deadline for this request\n"
+         "  --ping            round-trip health check\n"
+         "  --stats           print server statistics JSON\n"
+         "  --shutdown        ask the server to drain and exit\n"
+         "exit codes: 0 success, 1 error/shed response, 2 usage error, "
+         "3 internal\n            error, 6 startup/connect failure\n";
+}
+
+bool parseUnsigned(const std::string &V, uint64_t &Out) {
+  if (V.empty() || V.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  try {
+    Out = std::stoull(V);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+int runServer(const ServerConfig &Config) {
+  Status Why;
+  std::unique_ptr<Server> S = Server::create(Config, &Why);
+  if (!S) {
+    std::cerr << "error: " << Why.error().str() << "\n";
+    return ExitStartup;
+  }
+  // SIGTERM/SIGINT request a graceful drain: finish admitted work,
+  // answer waiting clients, remove the socket, exit 0.
+  stopsignal::installHandlers();
+  std::cerr << "predictord: serving on " << S->socketPath() << "\n";
+  Status Rc = S->serve();
+  if (!Rc.ok()) {
+    std::cerr << "error: " << Rc.error().str() << "\n";
+    return ExitInternal;
+  }
+  std::cerr << "predictord: drained\n";
+  return ExitSuccess;
+}
+
+int runClient(const std::string &SocketPath, const Request &Req) {
+  Status Why;
+  std::unique_ptr<Client> C = Client::connect(SocketPath, &Why);
+  if (!C) {
+    std::cerr << "error: " << Why.error().str() << "\n";
+    return ExitStartup;
+  }
+  StatusOr<Response> R = C->call(Req);
+  if (!R.ok()) {
+    std::cerr << "error: " << R.error().str() << "\n";
+    return ExitRequestFailed;
+  }
+  const Response &Resp = R.value();
+  switch (Resp.Status) {
+  case RespStatus::Ok:
+    std::cout << Resp.Payload;
+    // Reports end in a newline already; bare payloads (pong, stats
+    // JSON) get one so shell pipelines see a complete line.
+    if (!Resp.Payload.empty() && Resp.Payload.back() != '\n')
+      std::cout << "\n";
+    return ExitSuccess;
+  case RespStatus::Shed:
+    std::cerr << "shed: " << Resp.Message << "\n";
+    return ExitRequestFailed;
+  case RespStatus::Error:
+    std::cerr << "error: " << Resp.Category << " at " << Resp.Site << ": "
+              << Resp.Message << "\n";
+    return ExitRequestFailed;
+  }
+  return ExitInternal;
+}
+
+int runTool(int argc, char **argv) {
+  ServerConfig Config;
+  Request Req;
+  Req.Method = "predict";
+  std::string SendFile;
+  bool ClientMode = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto needUnsigned = [&](size_t Prefix, uint64_t &Out) {
+      if (parseUnsigned(Arg.substr(Prefix), Out))
+        return true;
+      std::cerr << "invalid value: " << Arg << "\n";
+      return false;
+    };
+    if (Arg.rfind("--socket=", 0) == 0)
+      Config.SocketPath = Arg.substr(9);
+    else if (Arg.rfind("--threads=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(10, V) || V == 0 || V > ThreadPool::MaxThreads)
+        return ExitUsage;
+      Config.Workers = static_cast<unsigned>(V);
+    } else if (Arg.rfind("--cache=", 0) == 0)
+      Config.Service.CachePath = Arg.substr(8);
+    else if (Arg.rfind("--max-queue=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(12, V) || V == 0)
+        return ExitUsage;
+      Config.Admission.MaxQueue = static_cast<size_t>(V);
+    } else if (Arg.rfind("--degrade-depth=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(16, V))
+        return ExitUsage;
+      Config.Admission.DegradeDepth = static_cast<size_t>(V);
+    } else if (Arg.rfind("--max-conns=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(12, V) || V == 0)
+        return ExitUsage;
+      Config.MaxConnections = static_cast<unsigned>(V);
+    } else if (Arg.rfind("--deadline=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(11, V))
+        return ExitUsage;
+      Config.Service.DefaultDeadlineMs = V;
+      Req.DeadlineMs = V;
+    } else if (Arg == "--no-memo")
+      Config.Service.ResponseMemo = false;
+    else if (Arg.rfind("--send=", 0) == 0) {
+      SendFile = Arg.substr(7);
+      ClientMode = true;
+      if (SendFile.empty()) {
+        std::cerr << "invalid --send value: expected a file path\n";
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--method=", 0) == 0) {
+      Req.Method = Arg.substr(9);
+      if (Req.Method != "predict" && Req.Method != "analyze") {
+        std::cerr << "invalid --method value: " << Arg
+                  << " (expected predict or analyze)\n";
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--predictor=", 0) == 0)
+      Req.Predictor = Arg.substr(12);
+    else if (Arg == "--ranges")
+      Req.DumpRanges = true;
+    else if (Arg.rfind("--budget=", 0) == 0) {
+      if (!needUnsigned(9, Req.StepLimit))
+        return ExitUsage;
+    } else if (Arg == "--ping") {
+      Req.Method = "ping";
+      ClientMode = true;
+    } else if (Arg == "--stats") {
+      Req.Method = "stats";
+      ClientMode = true;
+    } else if (Arg == "--shutdown") {
+      Req.Method = "shutdown";
+      ClientMode = true;
+    } else if (Arg == "--help") {
+      printUsage();
+      return ExitSuccess;
+    } else {
+      std::cerr << "unknown option: " << Arg << "\n";
+      printUsage();
+      return ExitUsage;
+    }
+  }
+
+  if (Config.SocketPath.empty()) {
+    std::cerr << "--socket=<path> is required\n";
+    printUsage();
+    return ExitUsage;
+  }
+  if (!ClientMode)
+    return runServer(Config);
+
+  if (!SendFile.empty()) {
+    std::ifstream In(SendFile);
+    if (!In) {
+      std::cerr << "error: cannot open " << SendFile << "\n";
+      return ExitUsage;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Req.Source = Buf.str();
+  } else if (Req.Method == "predict" || Req.Method == "analyze") {
+    std::cerr << "--method=" << Req.Method << " needs --send=<file.vl>\n";
+    return ExitUsage;
+  }
+  Req.Id = 1;
+  return runClient(Config.SocketPath, Req);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  try {
+    return runTool(argc, argv);
+  } catch (const std::exception &E) {
+    std::cerr << "internal error: " << E.what() << "\n";
+    return ExitInternal;
+  } catch (...) {
+    std::cerr << "internal error: unknown exception\n";
+    return ExitInternal;
+  }
+}

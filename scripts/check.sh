@@ -123,6 +123,63 @@ build/examples/predictor_tool --suite --cache=build/pcache.bin \
   --cache-verify >/dev/null
 echo "warm-start: ok"
 
+# Serving smoke: the resident daemon must (1) answer byte-identically to
+# the one-shot tool, (2) survive kill -9 under load — the stale socket is
+# reclaimed, the persistent cache replays its committed prefix, and the
+# restarted daemon still answers byte-identically, (3) drain cleanly on
+# SIGTERM (exit 0, socket file unlinked), and (4) leave a cache the
+# one-shot tool verifies divergence-free.
+SOCK=build/predictord.sock
+PCACHE=build/predictord.pcache
+rm -f "$SOCK" "$PCACHE"
+wait_for_socket() { # path present(1)/absent(0)
+  for _ in $(seq 1 100); do
+    if [ -S "$1" ]; then [ "$2" -eq 1 ] && return 0
+    else [ "$2" -eq 0 ] && return 0; fi
+    sleep 0.1
+  done
+  echo "serving smoke: timed out waiting on $1 (present=$2)" >&2
+  return 1
+}
+build/examples/predictord --socket="$SOCK" --cache="$PCACHE" --threads=2 \
+  2>/dev/null &
+SRV=$!
+wait_for_socket "$SOCK" 1
+build/examples/predictor_tool examples/vl/histogram.vl > build/serve-oneshot.txt
+build/examples/predictord --socket="$SOCK" --send=examples/vl/histogram.vl \
+  > build/serve-served.txt
+diff build/serve-oneshot.txt build/serve-served.txt
+# Load the daemon, then kill -9 it mid-flight.
+( for _ in 1 2 3 4 5 6 7 8; do
+    build/examples/predictord --socket="$SOCK" \
+      --send=examples/vl/triangle.vl >/dev/null 2>&1 || true
+  done ) &
+LOAD=$!
+sleep 0.3
+kill -9 "$SRV" 2>/dev/null || true
+wait "$SRV" 2>/dev/null || true
+wait "$LOAD" 2>/dev/null || true
+[ -S "$SOCK" ] || { echo "serving smoke: kill -9 should leave the socket file" >&2; exit 1; }
+# Restart over the stale socket and the torn cache: both must recover.
+build/examples/predictord --socket="$SOCK" --cache="$PCACHE" --threads=2 \
+  2>/dev/null &
+SRV=$!
+wait_for_socket "$SOCK" 1
+build/examples/predictord --socket="$SOCK" --send=examples/vl/histogram.vl \
+  > build/serve-restarted.txt
+diff build/serve-oneshot.txt build/serve-restarted.txt
+# Graceful drain: SIGTERM exits 0 and removes the socket file.
+kill -TERM "$SRV"
+if ! wait "$SRV"; then
+  echo "serving smoke: SIGTERM drain must exit 0" >&2
+  exit 1
+fi
+wait_for_socket "$SOCK" 0
+# The daemon-written cache must verify clean against fresh re-analysis.
+build/examples/predictor_tool --cache="$PCACHE" --cache-verify \
+  examples/vl/histogram.vl >/dev/null
+echo "serving smoke: ok"
+
 # Perf smoke: median kernel times from bench/micro_ranges must stay
 # within a +25% geomean of the committed BENCH_micro_ranges.json
 # baseline. Geomean (not per-benchmark) so one noisy entry cannot flake

@@ -273,8 +273,9 @@ std::string contextText(const Function &F, const PropagationContext &Ctx) {
 } // namespace
 
 std::unique_ptr<PersistentCache> PersistentCache::open(const std::string &Path,
-                                                       bool Verify) {
-  auto Store = store::ResultStore::open(Path, FormatVersion);
+                                                       bool Verify,
+                                                       Status *Why) {
+  auto Store = store::ResultStore::open(Path, FormatVersion, Why);
   if (!Store)
     return nullptr;
   auto PC = std::unique_ptr<PersistentCache>(new PersistentCache());

@@ -74,9 +74,12 @@ public:
   /// the fresh serialization is compared byte-for-byte against the stored
   /// payload, counting a divergence on mismatch (predictor_tool
   /// --cache-verify exits 5 when any were seen). Returns null when the
-  /// file cannot be opened for writing.
+  /// file cannot be opened for writing or another process holds the
+  /// store's single-writer lock (support/ResultStore.h); \p Why, if
+  /// non-null, then carries the structured reason.
   static std::unique_ptr<PersistentCache> open(const std::string &Path,
-                                               bool Verify);
+                                               bool Verify,
+                                               Status *Why = nullptr);
 
   /// The content-addressed key for analyzing \p F under \p Opts in the
   /// interprocedural context \p Ctx (whose hooks are consulted for every

@@ -7,13 +7,17 @@
 #include "driver/Pipeline.h"
 
 #include "analysis/AnalysisCache.h"
+#include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "irgen/IRGen.h"
 #include "lang/Parser.h"
 #include "lang/Sema.h"
 #include "ssa/SSAVerifier.h"
 #include "support/FaultInjection.h"
+#include "support/Format.h"
 #include "support/Telemetry.h"
+
+#include <ostream>
 
 using namespace vrp;
 
@@ -176,4 +180,78 @@ double vrp::rangePredictedFraction(const FinalPredictionMap &Predictions) {
     if (Pred.Source == PredictionSource::Range)
       ++FromRanges;
   return static_cast<double>(FromRanges) / Predictions.size();
+}
+
+void vrp::renderPredictionReport(const Module &M, const ModuleVRPResult &VRP,
+                                 AnalysisCache *Cache,
+                                 const PredictionReportOptions &Options,
+                                 std::ostream &OS) {
+  for (const auto &F : M.functions()) {
+    const FunctionVRPResult *FR = VRP.forFunction(F.get());
+    if (!FR)
+      continue;
+    bool Any = false;
+    for (const auto &B : F->blocks())
+      if (isa<CondBrInst>(B->terminator()))
+        Any = true;
+    if (!Any)
+      continue;
+
+    OS << "fn @" << F->name() << ":";
+    if (FR->Degraded)
+      OS << " (budget exhausted; heuristic fallback)";
+    OS << "\n";
+    TextTable Table({"line", "branch", "P(taken)", "source"});
+
+    FinalPredictionMap Final = finalizePredictions(*F, *FR, Cache);
+    BranchProbMap Alt;
+    if (Options.Predictor == "ball-larus")
+      Alt = predictBallLarus(*F);
+    else if (Options.Predictor == "90-50")
+      Alt = predictNinetyFifty(*F);
+    else if (Options.Predictor == "random")
+      Alt = predictRandom(*F, 1234);
+
+    for (const auto &B : F->blocks()) {
+      const auto *CBr = dyn_cast_or_null<CondBrInst>(B->terminator());
+      if (!CBr)
+        continue;
+      double Prob;
+      std::string SourceTag;
+      if (Options.Predictor == "vrp") {
+        const FinalPrediction &P = Final.at(CBr);
+        Prob = P.ProbTrue;
+        SourceTag = P.Source == PredictionSource::Range ? "ranges"
+                    : P.Source == PredictionSource::Heuristic
+                        ? "heuristic fallback"
+                        : "unreachable";
+      } else {
+        Prob = Alt.at(CBr);
+        SourceTag = Options.Predictor;
+      }
+      std::string Desc =
+          instructionToString(*cast<Instruction>(CBr->cond()));
+      Table.addRow({CBr->loc().str(), Desc, formatPercent(Prob),
+                    SourceTag});
+    }
+    Table.print(OS);
+
+    if (Options.DumpRanges && Options.Predictor == "vrp") {
+      OS << "  value ranges:\n";
+      for (const auto &B : F->blocks())
+        for (const auto &I : B->instructions()) {
+          if (I->type() == IRType::Void)
+            continue;
+          ValueRange VR = FR->rangeOf(I.get());
+          if (VR.isTop() || VR.isBottom())
+            continue;
+          OS << "    " << I->displayName() << " : " << VR.str() << "\n";
+        }
+    }
+    OS << "\n";
+  }
+  if (VRP.FunctionsDegraded > 0)
+    OS << "note: " << VRP.FunctionsDegraded
+       << " function(s) degraded to the heuristic fallback after "
+          "exhausting the analysis budget\n";
 }

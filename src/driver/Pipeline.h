@@ -31,6 +31,7 @@
 #include "support/Diagnostics.h"
 #include "support/Status.h"
 
+#include <iosfwd>
 #include <memory>
 #include <string_view>
 
@@ -128,6 +129,27 @@ void accumulateModuleStats(VRPStats &Stats, const ModuleVRPResult &VRP);
 /// sources) into \p Stats.
 void accumulatePredictionStats(VRPStats &Stats,
                                const FinalPredictionMap &Predictions);
+
+/// What renderPredictionReport annotates each branch with.
+struct PredictionReportOptions {
+  /// Which predictor's probability annotates each branch: "vrp" (the
+  /// range/fallback pipeline), "ball-larus", "90-50" or "random".
+  std::string Predictor = "vrp";
+  /// Also list each instruction's final non-trivial value range
+  /// ("vrp" only).
+  bool DumpRanges = false;
+};
+
+/// Renders the per-function branch-prediction report — `fn @name:` blocks
+/// with a line/branch/P(taken)/source table, a degradation annotation per
+/// budget-exhausted function, and a trailing note when any function
+/// degraded. This is byte-for-byte the single-file output of
+/// predictor_tool, extracted here so a resident service (serve/Service.h)
+/// answering the same source produces bitwise-identical text.
+void renderPredictionReport(const Module &M, const ModuleVRPResult &VRP,
+                            AnalysisCache *Cache,
+                            const PredictionReportOptions &Options,
+                            std::ostream &OS);
 
 } // namespace vrp
 

@@ -10,6 +10,7 @@
 #include "eval/Journal.h"
 #include "profile/ProfilePredictor.h"
 #include "support/FaultInjection.h"
+#include "support/Signal.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "vrp/Audit.h"
@@ -531,6 +532,18 @@ SuiteEvaluation vrp::evaluateSuite(
     if (It != Reused.end()) {
       telemetry::count(telemetry::Counter::JournalEntriesReused);
       return It->second;
+    }
+    // Cooperative interruption (SIGTERM/SIGINT via support/Signal.h):
+    // benchmarks already running finish and flush normally; ones that
+    // have not started yet fail structurally with stage "interrupted"
+    // and are deliberately NOT journaled — a journaled failure would be
+    // reused by --resume, turning the interruption permanent.
+    if (stopsignal::stopRequested()) {
+      BenchmarkEvaluation Eval;
+      Eval.Name = P.Name;
+      return failEvaluation(std::move(Eval), ErrorCategory::Internal,
+                            "interrupted",
+                            "stop requested before this benchmark started");
     }
     BenchmarkEvaluation Eval = Config.SupervisorRetry
                                    ? runSupervised(P, SlotOpts)

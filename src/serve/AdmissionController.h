@@ -1,0 +1,105 @@
+//===- serve/AdmissionController.h - Bounded queue + shedding ---*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server's overload policy, in one place. Every analyze/predict
+/// request passes through here before touching the pipeline:
+///
+///   depth <  DegradeDepth  ->  Admit    (full-fidelity analysis)
+///   depth >= DegradeDepth  ->  Degrade  (admitted, but analyzed under a
+///                                        one-step budget so the existing
+///                                        budget-degradation machinery
+///                                        produces the Ball–Larus answer
+///                                        at a fraction of the cost)
+///   depth >= MaxQueue      ->  Shed     (rejected immediately with a
+///                                        structured `shed` response;
+///                                        the client never blocks)
+///
+/// The queue is the *only* buffering in the server, so past saturation
+/// latency stays bounded: a request is either being worked on, waiting
+/// in a queue of at most MaxQueue entries, or already answered `shed`.
+/// close() flips the controller into drain mode — queued work still
+/// reaches the workers, new submissions shed with reason "draining" —
+/// which is exactly SIGTERM's graceful-drain semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SERVE_ADMISSIONCONTROLLER_H
+#define VRP_SERVE_ADMISSIONCONTROLLER_H
+
+#include "serve/Protocol.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+
+namespace vrp::serve {
+
+struct AdmissionConfig {
+  /// Hard cap on queued (not yet executing) requests; at this depth new
+  /// work sheds.
+  size_t MaxQueue = 64;
+  /// Depth at which admitted work is degraded. Must be <= MaxQueue;
+  /// equal values disable the degrade band.
+  size_t DegradeDepth = 48;
+};
+
+enum class AdmissionVerdict { Admit, Degrade, Shed };
+
+/// Monotonic counters, readable while the server runs (stats requests).
+struct AdmissionStats {
+  uint64_t Admitted = 0;
+  uint64_t Degraded = 0; ///< Admitted through the degrade band.
+  uint64_t Shed = 0;     ///< Includes drain-mode rejections.
+  uint64_t MaxDepthSeen = 0;
+};
+
+class AdmissionController {
+public:
+  /// One queued unit of work. The connection thread keeps the future;
+  /// a worker fulfills the promise.
+  struct Task {
+    Request Req;
+    bool Degrade = false;
+    std::chrono::steady_clock::time_point Enqueued;
+    std::promise<Response> Done;
+  };
+
+  explicit AdmissionController(const AdmissionConfig &Config);
+
+  /// Applies the policy to \p Req. On Admit/Degrade the task is queued
+  /// and \p Future is valid; on Shed nothing was queued and \p Future is
+  /// untouched.
+  AdmissionVerdict submit(Request Req, std::future<Response> &Future);
+
+  /// Worker side: blocks for the next task. Returns false when the
+  /// controller is closed and the queue is drained — the worker's signal
+  /// to exit.
+  bool pop(Task &Out);
+
+  /// Enters drain mode (idempotent): queued tasks still pop, new
+  /// submissions shed, and blocked workers wake to finish and exit.
+  void close();
+  bool closed() const;
+
+  size_t depth() const;
+  AdmissionStats stats() const;
+
+private:
+  AdmissionConfig Config;
+  mutable std::mutex M;
+  std::condition_variable NotEmpty;
+  std::deque<Task> Queue;
+  AdmissionStats Counters;
+  bool Closed = false;
+};
+
+} // namespace vrp::serve
+
+#endif // VRP_SERVE_ADMISSIONCONTROLLER_H

@@ -1,0 +1,84 @@
+//===- serve/Client.cpp - predictord client --------------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include "serve/Frame.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+std::unique_ptr<Client> Client::connect(const std::string &SocketPath,
+                                        Status *Why) {
+  auto fail = [&](std::string Message) -> std::unique_ptr<Client> {
+    if (Why)
+      *Why = Status::failure(ErrorCategory::Internal, "client",
+                             std::move(Message));
+    return nullptr;
+  };
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path))
+    return fail("socket path too long: " + SocketPath);
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return fail(std::string("socket: ") + std::strerror(errno));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    int E = errno;
+    ::close(Fd);
+    return fail(SocketPath + ": connect: " + std::strerror(E));
+  }
+  return std::unique_ptr<Client>(new Client(Fd));
+}
+
+Client::~Client() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+StatusOr<Response> Client::call(const Request &Req) {
+  using Ret = StatusOr<Response>;
+  Status W = writeFrame(Fd, serializeRequest(Req));
+  if (!W.ok())
+    return Ret::failure(W.error().Category, "client", W.error().Message);
+
+  // Block for the response; a receive timeout on the socket (none is set
+  // by default) would surface as repeated Timeout results, which for a
+  // client simply mean "keep waiting" — the server always answers or
+  // closes.
+  std::string Payload;
+  while (true) {
+    std::string Err;
+    switch (readFrame(Fd, Payload, &Err)) {
+    case FrameRead::Frame: {
+      Response R;
+      std::string ParseErr;
+      if (!parseResponse(Payload, R, &ParseErr))
+        return Ret::failure(ErrorCategory::ParseError, "client",
+                            "malformed response: " + ParseErr);
+      return R;
+    }
+    case FrameRead::Timeout:
+      continue;
+    case FrameRead::Eof:
+      return Ret::failure(ErrorCategory::Internal, "client",
+                          "connection closed before a response arrived");
+    case FrameRead::Error:
+      return Ret::failure(ErrorCategory::Internal, "client",
+                          Err.empty() ? "transport error" : Err);
+    }
+  }
+}

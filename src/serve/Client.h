@@ -1,0 +1,50 @@
+//===- serve/Client.h - predictord client -----------------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the framed protocol: connect to a predictord
+/// socket, send one request frame, wait for the matching response frame.
+/// Used by `predictord --send` and the serving bench's load generator.
+/// One Client is one connection; calls on it are serial (the protocol is
+/// strictly request/response per connection — concurrency comes from
+/// opening more connections, as the load generator does).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SERVE_CLIENT_H
+#define VRP_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "support/Status.h"
+
+#include <memory>
+#include <string>
+
+namespace vrp::serve {
+
+class Client {
+public:
+  /// Connects to \p SocketPath. Null + \p Why when nothing listens
+  /// there.
+  static std::unique_ptr<Client> connect(const std::string &SocketPath,
+                                         Status *Why = nullptr);
+  ~Client();
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Sends \p Req and blocks for the response. Fails on transport or
+  /// protocol errors; shed/error *responses* are successful calls — the
+  /// caller inspects Response::Status.
+  StatusOr<Response> call(const Request &Req);
+
+private:
+  explicit Client(int Fd) : Fd(Fd) {}
+  int Fd = -1;
+};
+
+} // namespace vrp::serve
+
+#endif // VRP_SERVE_CLIENT_H

@@ -1,0 +1,140 @@
+//===- serve/Frame.cpp - Length-prefixed socket framing --------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Frame.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+enum class ReadChunk { Done, Eof, Timeout, Error };
+
+/// Reads exactly \p Len bytes into \p Buf. \p Started tracks whether any
+/// byte of the current frame has already been consumed: a timeout before
+/// the first byte is an idle poll round (the caller's business), a
+/// timeout after it means the peer stalled mid-frame. A stalled peer gets
+/// a bounded number of extra rounds before the read is abandoned —
+/// otherwise a half-written frame from a killed client would pin the
+/// connection thread past drain.
+ReadChunk readExact(int Fd, char *Buf, size_t Len, bool &Started,
+                    std::string *Err) {
+  constexpr int MaxMidFrameStalls = 50;
+  int Stalls = 0;
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::read(Fd, Buf + Got, Len - Got);
+    if (N > 0) {
+      Started = true;
+      Got += static_cast<size_t>(N);
+      continue;
+    }
+    if (N == 0) {
+      if (!Started)
+        return ReadChunk::Eof;
+      if (Err)
+        *Err = "connection closed mid-frame";
+      return ReadChunk::Error;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!Started)
+        return ReadChunk::Timeout;
+      if (++Stalls >= MaxMidFrameStalls) {
+        if (Err)
+          *Err = "peer stalled mid-frame";
+        return ReadChunk::Error;
+      }
+      continue;
+    }
+    if (Err)
+      *Err = std::string("read: ") + std::strerror(errno);
+    return ReadChunk::Error;
+  }
+  return ReadChunk::Done;
+}
+
+} // namespace
+
+FrameRead serve::readFrame(int Fd, std::string &Payload, std::string *Err) {
+  bool Started = false;
+  unsigned char Prefix[4];
+  switch (readExact(Fd, reinterpret_cast<char *>(Prefix), 4, Started, Err)) {
+  case ReadChunk::Eof:
+    return FrameRead::Eof;
+  case ReadChunk::Timeout:
+    return FrameRead::Timeout;
+  case ReadChunk::Error:
+    return FrameRead::Error;
+  case ReadChunk::Done:
+    break;
+  }
+  uint32_t Len = static_cast<uint32_t>(Prefix[0]) |
+                 static_cast<uint32_t>(Prefix[1]) << 8 |
+                 static_cast<uint32_t>(Prefix[2]) << 16 |
+                 static_cast<uint32_t>(Prefix[3]) << 24;
+  if (Len > MaxFrameBytes) {
+    if (Err)
+      *Err = "frame length " + std::to_string(Len) + " exceeds cap";
+    return FrameRead::Error;
+  }
+  Payload.resize(Len);
+  if (Len == 0)
+    return FrameRead::Frame;
+  switch (readExact(Fd, Payload.data(), Len, Started, Err)) {
+  case ReadChunk::Done:
+    return FrameRead::Frame;
+  case ReadChunk::Eof:
+  case ReadChunk::Timeout:
+  case ReadChunk::Error:
+    // Mid-frame EOF/timeout already produce Error from readExact; a
+    // defensive catch-all keeps the switch exhaustive.
+    if (Err && Err->empty())
+      *Err = "truncated frame";
+    return FrameRead::Error;
+  }
+  return FrameRead::Error;
+}
+
+Status serve::writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.size() > MaxFrameBytes)
+    return Status::failure(ErrorCategory::Internal, "frame",
+                           "payload exceeds frame cap");
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char Prefix[4] = {
+      static_cast<unsigned char>(Len & 0xff),
+      static_cast<unsigned char>((Len >> 8) & 0xff),
+      static_cast<unsigned char>((Len >> 16) & 0xff),
+      static_cast<unsigned char>((Len >> 24) & 0xff),
+  };
+  // MSG_NOSIGNAL: a peer that vanished between our read and this write
+  // must surface as EPIPE, not a process-killing SIGPIPE.
+  auto writeAll = [&](const char *Buf, size_t N) -> bool {
+    size_t Sent = 0;
+    while (Sent < N) {
+      ssize_t W = ::send(Fd, Buf + Sent, N - Sent, MSG_NOSIGNAL);
+      if (W < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+          continue;
+        return false;
+      }
+      Sent += static_cast<size_t>(W);
+    }
+    return true;
+  };
+  if (!writeAll(reinterpret_cast<const char *>(Prefix), 4) ||
+      !writeAll(Payload.data(), Payload.size()))
+    return Status::failure(ErrorCategory::Internal, "frame",
+                           std::string("write: ") + std::strerror(errno));
+  return Status::success();
+}

@@ -1,0 +1,60 @@
+//===- serve/Frame.h - Length-prefixed socket framing -----------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire framing of the predictord protocol (docs/SERVING.md): every
+/// message — request or response — travels as one frame,
+///
+///   [u32 payload length, little-endian][payload bytes]
+///
+/// with the payload being one JSON object (serve/Protocol.h). Frames are
+/// capped at MaxFrameBytes: an oversized length prefix is treated as a
+/// protocol error and the connection is dropped, never trusted as an
+/// allocation size. Reads honor the socket's receive timeout so server
+/// loops can poll the cooperative stop flag between frames; writes retry
+/// through EINTR and short writes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SERVE_FRAME_H
+#define VRP_SERVE_FRAME_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vrp::serve {
+
+/// Sanity cap on one frame's payload; anything larger is a protocol
+/// error. Generous: the biggest legitimate payload is a VL source or a
+/// rendered report, both far below this.
+constexpr uint32_t MaxFrameBytes = 16u << 20;
+
+/// Outcome of one readFrame call.
+enum class FrameRead {
+  Frame,   ///< A complete frame was read into the output.
+  Eof,     ///< Clean end-of-stream before any byte of a new frame.
+  Timeout, ///< The receive timeout expired before a new frame started.
+  Error,   ///< Protocol violation, torn frame, or socket error.
+};
+
+/// Reads one frame from \p Fd. A receive timeout between frames yields
+/// Timeout (the caller polls its stop flag and retries); a timeout that
+/// strikes repeatedly mid-frame eventually yields Error — a peer that
+/// stalls halfway through a frame is indistinguishable from a dead one
+/// and must not wedge the connection thread forever. \p Err, when
+/// non-null, receives a human-readable reason for Error results.
+FrameRead readFrame(int Fd, std::string &Payload, std::string *Err = nullptr);
+
+/// Writes one frame (prefix + payload) to \p Fd, retrying through EINTR
+/// and short writes. Fails when the payload exceeds MaxFrameBytes or the
+/// socket errors (peer gone mid-write).
+Status writeFrame(int Fd, const std::string &Payload);
+
+} // namespace vrp::serve
+
+#endif // VRP_SERVE_FRAME_H

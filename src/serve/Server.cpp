@@ -1,0 +1,304 @@
+//===- serve/Server.cpp - predictord socket server -------------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "serve/Frame.h"
+#include "support/Signal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+/// Receive timeout on connection sockets: the granularity at which idle
+/// reader threads notice a drain.
+constexpr int RecvTimeoutMs = 200;
+/// Accept-loop poll granularity: how fast the server notices a stop.
+constexpr int AcceptPollMs = 100;
+
+Status failure(std::string Message) {
+  return Status::failure(ErrorCategory::Internal, "server",
+                         std::move(Message));
+}
+
+bool fillSockAddr(const std::string &Path, sockaddr_un &Addr,
+                  Status *Why) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Why)
+      *Why = failure("socket path too long: " + Path);
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+void setRecvTimeout(int Fd, int Ms) {
+  timeval Tv;
+  Tv.tv_sec = Ms / 1000;
+  Tv.tv_usec = (Ms % 1000) * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+}
+
+} // namespace
+
+std::unique_ptr<Server> Server::create(const ServerConfig &Config,
+                                       Status *Why) {
+  std::unique_ptr<Server> S(new Server());
+  S->Config = Config;
+  if (S->Config.Workers == 0)
+    S->Config.Workers = 1;
+
+  Status ServiceWhy;
+  S->Svc = Service::create(Config.Service, &ServiceWhy);
+  if (!S->Svc) {
+    if (Why)
+      *Why = ServiceWhy;
+    return nullptr;
+  }
+  S->Admission = std::make_unique<AdmissionController>(Config.Admission);
+
+  sockaddr_un Addr;
+  if (!fillSockAddr(Config.SocketPath, Addr, Why))
+    return nullptr;
+
+  // A socket file left by a kill -9'd predecessor would make bind() fail
+  // forever. Probe it: a refused connect proves nobody is listening, so
+  // the stale file is safe to remove; a successful connect means a live
+  // server owns this path and starting a second one is an error.
+  if (::access(Config.SocketPath.c_str(), F_OK) == 0) {
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Probe < 0) {
+      if (Why)
+        *Why = failure(std::string("socket: ") + std::strerror(errno));
+      return nullptr;
+    }
+    int Rc = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
+                       sizeof(Addr));
+    ::close(Probe);
+    if (Rc == 0) {
+      if (Why)
+        *Why = failure(Config.SocketPath +
+                       ": another server is already listening");
+      return nullptr;
+    }
+    ::unlink(Config.SocketPath.c_str());
+  }
+
+  S->ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (S->ListenFd < 0) {
+    if (Why)
+      *Why = failure(std::string("socket: ") + std::strerror(errno));
+    return nullptr;
+  }
+  if (::bind(S->ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    if (Why)
+      *Why = failure(Config.SocketPath + ": bind: " + std::strerror(errno));
+    return nullptr;
+  }
+  if (::listen(S->ListenFd, 64) != 0) {
+    if (Why)
+      *Why = failure(Config.SocketPath +
+                     ": listen: " + std::strerror(errno));
+    return nullptr;
+  }
+  S->Bound = true;
+  return S;
+}
+
+Server::~Server() {
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  // Remove the socket file only if this instance owns it — a create()
+  // that failed because another server is live must not unlink that
+  // server's socket out from under it.
+  if (Bound && !Config.SocketPath.empty())
+    ::unlink(Config.SocketPath.c_str());
+}
+
+void Server::requestShutdown() { ShutdownRequested.store(true); }
+
+Status Server::serve() {
+  std::vector<std::thread> Workers;
+  Workers.reserve(Config.Workers);
+  for (unsigned I = 0; I < Config.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+
+  pollfd Pfd;
+  Pfd.fd = ListenFd;
+  Pfd.events = POLLIN;
+  while (!ShutdownRequested.load() && !stopsignal::stopRequested()) {
+    Pfd.revents = 0;
+    int Ready = ::poll(&Pfd, 1, AcceptPollMs);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      requestShutdown();
+      break;
+    }
+    if (Ready == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      requestShutdown();
+      break;
+    }
+    if (ActiveConnections.load() >= Config.MaxConnections) {
+      RejectedConnections.fetch_add(1);
+      ::close(Fd);
+      continue;
+    }
+    Connections.fetch_add(1);
+    ActiveConnections.fetch_add(1);
+    setRecvTimeout(Fd, RecvTimeoutMs);
+    std::lock_guard<std::mutex> Lock(ThreadsM);
+    ConnectionThreads.emplace_back([this, Fd] { connectionLoop(Fd); });
+  }
+
+  // Graceful drain: no new connections or admissions, but everything
+  // already admitted is finished and answered before the threads join.
+  ShutdownRequested.store(true);
+  Admission->close();
+  for (std::thread &W : Workers)
+    W.join();
+  std::vector<std::thread> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(ThreadsM);
+    Conns.swap(ConnectionThreads);
+  }
+  for (std::thread &C : Conns)
+    C.join();
+
+  // The drain is complete: stop listening and remove the socket file so
+  // a restart (or a health check) sees a clean shutdown, not a stale
+  // socket. The destructor's unlink stays as a backstop for the
+  // serve()-never-ran path.
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (Bound && !Config.SocketPath.empty()) {
+    ::unlink(Config.SocketPath.c_str());
+    Bound = false;
+  }
+  return Status::success();
+}
+
+void Server::workerLoop() {
+  AdmissionController::Task T;
+  while (Admission->pop(T)) {
+    Response R = Svc->handle(T.Req, T.Degrade);
+    T.Done.set_value(std::move(R));
+  }
+}
+
+Response Server::dispatch(const Request &Req) {
+  // Control methods bypass admission: they answer from resident state
+  // and must stay observable under overload.
+  if (Req.Method == "ping" || Req.Method == "stats") {
+    if (Req.Method == "stats") {
+      Response R;
+      R.Id = Req.Id;
+      ServerStats S = stats();
+      std::string Json = "{\"connections\":" +
+                         std::to_string(S.Connections) +
+                         ",\"rejected_connections\":" +
+                         std::to_string(S.RejectedConnections) +
+                         ",\"protocol_errors\":" +
+                         std::to_string(S.ProtocolErrors) +
+                         ",\"admission\":{\"admitted\":" +
+                         std::to_string(S.Admission.Admitted) +
+                         ",\"degraded\":" +
+                         std::to_string(S.Admission.Degraded) +
+                         ",\"shed\":" + std::to_string(S.Admission.Shed) +
+                         ",\"max_depth\":" +
+                         std::to_string(S.Admission.MaxDepthSeen) +
+                         "},\"service\":" + Svc->statsJson() + "}";
+      R.Payload = std::move(Json);
+      return R;
+    }
+    return Svc->handle(Req);
+  }
+  if (Req.Method == "shutdown") {
+    requestShutdown();
+    Response R;
+    R.Id = Req.Id;
+    R.Payload = "draining";
+    return R;
+  }
+
+  std::future<Response> Future;
+  AdmissionVerdict Verdict = Admission->submit(Req, Future);
+  if (Verdict == AdmissionVerdict::Shed) {
+    Response R;
+    R.Id = Req.Id;
+    R.Status = RespStatus::Shed;
+    R.Site = "admission";
+    R.Message = Admission->closed() ? "draining" : "queue full";
+    return R;
+  }
+  return Future.get();
+}
+
+void Server::connectionLoop(int Fd) {
+  std::string Payload;
+  while (true) {
+    std::string Err;
+    FrameRead Rc = readFrame(Fd, Payload, &Err);
+    if (Rc == FrameRead::Timeout) {
+      if (ShutdownRequested.load() || stopsignal::stopRequested())
+        break;
+      continue;
+    }
+    if (Rc == FrameRead::Eof)
+      break;
+    if (Rc == FrameRead::Error) {
+      ProtocolErrors.fetch_add(1);
+      break;
+    }
+
+    Request Req;
+    std::string ParseErr;
+    if (!parseRequest(Payload, Req, &ParseErr)) {
+      ProtocolErrors.fetch_add(1);
+      Response R;
+      R.Status = RespStatus::Error;
+      R.Category = errorCategoryName(ErrorCategory::ParseError);
+      R.Site = "protocol";
+      R.Message = ParseErr;
+      if (!writeFrame(Fd, serializeResponse(R)).ok())
+        break;
+      continue;
+    }
+    Response R = dispatch(Req);
+    if (!writeFrame(Fd, serializeResponse(R)).ok())
+      break;
+  }
+  ::close(Fd);
+  ActiveConnections.fetch_sub(1);
+}
+
+ServerStats Server::stats() const {
+  ServerStats S;
+  S.Connections = Connections.load();
+  S.RejectedConnections = RejectedConnections.load();
+  S.ProtocolErrors = ProtocolErrors.load();
+  S.Admission = Admission->stats();
+  S.Service = Svc->counters();
+  return S;
+}

@@ -1,0 +1,107 @@
+//===- serve/Server.h - predictord socket server ----------------*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport around serve/Service.h: a Unix-domain-socket server
+/// speaking the framed protocol of serve/Frame.h. One thread accepts
+/// connections; each connection gets a reader thread that parses frames
+/// and submits requests to the AdmissionController; a fixed pool of
+/// worker threads drains the queue through Service::handle. Cheap
+/// methods (ping, stats, shutdown) bypass admission — they must answer
+/// even when the queue is saturated, or overload would be unobservable.
+///
+/// Shutdown is cooperative and graceful: a SIGTERM/SIGINT (via
+/// support/Signal.h), a `shutdown` request, or requestShutdown() stops
+/// the accept loop, sheds new work with reason "draining", finishes
+/// everything already admitted, answers the waiting clients, joins all
+/// threads, and removes the socket file. A kill -9 instead leaves at
+/// most a torn record tail in the persistent cache, which the store
+/// truncates on the next open — scripts/check.sh rehearses exactly that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SERVE_SERVER_H
+#define VRP_SERVE_SERVER_H
+
+#include "serve/AdmissionController.h"
+#include "serve/Service.h"
+#include "support/Status.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vrp::serve {
+
+struct ServerConfig {
+  std::string SocketPath;
+  /// Worker threads draining the admission queue.
+  unsigned Workers = 1;
+  /// Simultaneous client connections; excess connects are closed at
+  /// accept (a connection cap, not a request cap — admission governs
+  /// requests).
+  unsigned MaxConnections = 64;
+  AdmissionConfig Admission;
+  ServiceConfig Service;
+};
+
+struct ServerStats {
+  uint64_t Connections = 0;
+  uint64_t RejectedConnections = 0;
+  uint64_t ProtocolErrors = 0;
+  AdmissionStats Admission;
+  ServiceCounters Service;
+};
+
+class Server {
+public:
+  /// Binds the socket and builds the resident Service. A stale socket
+  /// file from a killed predecessor (connect() refuses) is removed and
+  /// rebound; a *live* one (connect() succeeds) is a configuration
+  /// error. Null + \p Why on any startup failure — including a
+  /// persistent cache locked by another process.
+  static std::unique_ptr<Server> create(const ServerConfig &Config,
+                                        Status *Why = nullptr);
+  ~Server();
+
+  /// Runs accept/worker loops until shutdown is requested (signal,
+  /// `shutdown` request, or requestShutdown()), then drains and returns.
+  Status serve();
+
+  /// Thread-safe, idempotent; serve() notices within one poll interval.
+  void requestShutdown();
+
+  const std::string &socketPath() const { return Config.SocketPath; }
+  Service &service() { return *Svc; }
+  ServerStats stats() const;
+
+private:
+  Server() = default;
+  void workerLoop();
+  void connectionLoop(int Fd);
+  Response dispatch(const Request &Req);
+
+  ServerConfig Config;
+  std::unique_ptr<Service> Svc;
+  std::unique_ptr<AdmissionController> Admission;
+  int ListenFd = -1;
+  bool Bound = false; ///< This instance owns (and unlinks) the socket file.
+  std::atomic<bool> ShutdownRequested{false};
+  std::atomic<uint64_t> Connections{0};
+  std::atomic<uint64_t> RejectedConnections{0};
+  std::atomic<uint64_t> ProtocolErrors{0};
+  std::atomic<unsigned> ActiveConnections{0};
+
+  std::mutex ThreadsM;
+  std::vector<std::thread> ConnectionThreads;
+};
+
+} // namespace vrp::serve
+
+#endif // VRP_SERVE_SERVER_H

@@ -6,10 +6,15 @@
 
 #include "support/ResultStore.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 using namespace vrp;
 using namespace vrp::store;
@@ -100,9 +105,34 @@ std::string slurp(const std::string &Path) {
 } // namespace
 
 std::unique_ptr<ResultStore> ResultStore::open(const std::string &Path,
-                                               uint32_t FormatVersion) {
+                                               uint32_t FormatVersion,
+                                               Status *Why) {
+  auto fail = [&](std::string Message) -> std::unique_ptr<ResultStore> {
+    if (Why)
+      *Why = Status::failure(ErrorCategory::Internal, "result-store",
+                             std::move(Message));
+    return nullptr;
+  };
+
+  // Single-writer lock, taken before any byte of the file is trusted: the
+  // fd both creates the file if absent and anchors the advisory flock for
+  // the store's lifetime. LOCK_NB so a held lock is a structured error,
+  // never a silent wait behind another process's appends.
+  int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (Fd < 0)
+    return fail(Path + ": cannot open for writing: " +
+                std::strerror(errno));
+  if (::flock(Fd, LOCK_EX | LOCK_NB) != 0) {
+    int E = errno;
+    ::close(Fd);
+    if (E == EWOULDBLOCK || E == EAGAIN)
+      return fail(Path + ": locked by another process");
+    return fail(Path + ": cannot lock: " + std::strerror(E));
+  }
+
   auto S = std::unique_ptr<ResultStore>(new ResultStore());
   S->Path = Path;
+  S->LockFd = Fd;
 
   std::string Data = slurp(Path);
   bool Reset = false;
@@ -177,11 +207,11 @@ std::unique_ptr<ResultStore> ResultStore::open(const std::string &Path,
   if (Reset) {
     std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
     if (!Out.is_open())
-      return nullptr;
+      return fail(Path + ": cannot open for writing");
     Out << headerBytes(FormatVersion);
     Out.flush();
     if (!Out.good())
-      return nullptr;
+      return fail(Path + ": cannot write header");
     S->AppendOffset = HeaderSize;
   } else {
     // Drop any corrupt tail so future appends extend a clean prefix.
@@ -191,6 +221,13 @@ std::unique_ptr<ResultStore> ResultStore::open(const std::string &Path,
   }
   S->Stats.Records = S->Snapshot.size();
   return S;
+}
+
+ResultStore::~ResultStore() {
+  // Closing the fd drops the flock; no explicit LOCK_UN needed (and the
+  // kernel does the same if the process dies holding it).
+  if (LockFd >= 0)
+    ::close(LockFd);
 }
 
 const std::string *ResultStore::lookup(const std::string &Key) {

@@ -31,6 +31,8 @@
 #ifndef VRP_SUPPORT_RESULTSTORE_H
 #define VRP_SUPPORT_RESULTSTORE_H
 
+#include "support/Status.h"
+
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -80,9 +82,26 @@ public:
   /// the CALLER's payload format version: it is stored in the file header
   /// and a mismatch resets the file (every old record is evicted — a new
   /// payload encoding must never be decoded by old rules or vice versa).
-  /// Returns null only when the file cannot be opened for writing.
+  ///
+  /// Single-writer contract: open() takes an advisory exclusive file lock
+  /// (flock) on the store and holds it for the store's lifetime, so two
+  /// processes — e.g. a resident predictord and a stray predictor_tool
+  /// --cache run — can never interleave appends into the same file. The
+  /// lock is advisory per open-file-description: it also excludes a second
+  /// open() within one process, and the kernel releases it automatically
+  /// when the process dies (kill -9 included), so a crashed holder never
+  /// wedges the store.
+  ///
+  /// Returns null when the file cannot be opened for writing or the lock
+  /// is held elsewhere; \p Why (if non-null) then carries the structured
+  /// reason ("result-store" site, "locked by another process" for a lock
+  /// conflict).
   static std::unique_ptr<ResultStore> open(const std::string &Path,
-                                           uint32_t FormatVersion);
+                                           uint32_t FormatVersion,
+                                           Status *Why = nullptr);
+
+  /// Releases the advisory lock.
+  ~ResultStore();
 
   /// Snapshot lookup. Returns the payload recorded on disk at open() time,
   /// or nullptr. Appends made by this process are deliberately invisible
@@ -108,6 +127,7 @@ private:
 
   mutable std::mutex M;
   std::string Path;
+  int LockFd = -1; ///< Holds the advisory flock for the store's lifetime.
   std::map<std::string, std::string> Snapshot;
   std::map<std::string, bool> Appended; ///< Keys written by this process.
   uint64_t AppendOffset = 0;            ///< Where the next record lands.

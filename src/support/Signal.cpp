@@ -1,0 +1,51 @@
+//===- support/Signal.cpp - Cooperative graceful-stop flag ----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Signal.h"
+
+#include <atomic>
+#include <csignal>
+
+using namespace vrp;
+
+namespace {
+
+std::atomic<bool> StopFlag{false};
+
+extern "C" void vrpStopHandler(int) {
+  // Async-signal-safe: a single lock-free atomic store, nothing else.
+  StopFlag.store(true, std::memory_order_relaxed);
+}
+
+} // namespace
+
+void stopsignal::installHandlers() {
+#ifdef _WIN32
+  std::signal(SIGTERM, vrpStopHandler);
+  std::signal(SIGINT, vrpStopHandler);
+#else
+  struct sigaction SA;
+  SA.sa_handler = vrpStopHandler;
+  sigemptyset(&SA.sa_mask);
+  // No SA_RESTART: blocking accept/read calls return EINTR so the server
+  // loops notice the flag promptly instead of finishing a full timeout.
+  SA.sa_flags = 0;
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+#endif
+}
+
+bool stopsignal::stopRequested() {
+  return StopFlag.load(std::memory_order_relaxed);
+}
+
+void stopsignal::requestStop() {
+  StopFlag.store(true, std::memory_order_relaxed);
+}
+
+void stopsignal::resetForTests() {
+  StopFlag.store(false, std::memory_order_relaxed);
+}

@@ -1,0 +1,128 @@
+//===- tests/serve/AdmissionTest.cpp - Admission policy tests --------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/AdmissionController.h"
+
+#include "gtest/gtest.h"
+
+#include <future>
+#include <thread>
+#include <vector>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+Request req(uint64_t Id) {
+  Request R;
+  R.Id = Id;
+  R.Method = "predict";
+  R.Source = "fn main() { return 0; }";
+  return R;
+}
+
+TEST(AdmissionTest, AdmitsBelowDegradeDepth) {
+  AdmissionController A({/*MaxQueue=*/4, /*DegradeDepth=*/2});
+  std::future<Response> F1, F2;
+  EXPECT_EQ(AdmissionVerdict::Admit, A.submit(req(1), F1));
+  EXPECT_EQ(AdmissionVerdict::Admit, A.submit(req(2), F2));
+  EXPECT_EQ(2u, A.depth());
+}
+
+TEST(AdmissionTest, DegradesInTheBandAndShedsAtCap) {
+  AdmissionController A({/*MaxQueue=*/4, /*DegradeDepth=*/2});
+  std::vector<std::future<Response>> Futures(5);
+  EXPECT_EQ(AdmissionVerdict::Admit, A.submit(req(1), Futures[0]));
+  EXPECT_EQ(AdmissionVerdict::Admit, A.submit(req(2), Futures[1]));
+  EXPECT_EQ(AdmissionVerdict::Degrade, A.submit(req(3), Futures[2]));
+  EXPECT_EQ(AdmissionVerdict::Degrade, A.submit(req(4), Futures[3]));
+  EXPECT_EQ(AdmissionVerdict::Shed, A.submit(req(5), Futures[4]));
+
+  AdmissionStats S = A.stats();
+  EXPECT_EQ(4u, S.Admitted);
+  EXPECT_EQ(2u, S.Degraded);
+  EXPECT_EQ(1u, S.Shed);
+  EXPECT_EQ(4u, S.MaxDepthSeen);
+
+  // The degrade flag rides the task to the worker.
+  AdmissionController::Task T;
+  ASSERT_TRUE(A.pop(T));
+  EXPECT_FALSE(T.Degrade);
+  EXPECT_EQ(1u, T.Req.Id);
+  ASSERT_TRUE(A.pop(T));
+  ASSERT_TRUE(A.pop(T));
+  EXPECT_TRUE(T.Degrade);
+  EXPECT_EQ(3u, T.Req.Id);
+}
+
+TEST(AdmissionTest, PopDrainsInFifoOrder) {
+  AdmissionController A({8, 8});
+  std::future<Response> F;
+  for (uint64_t I = 1; I <= 3; ++I)
+    ASSERT_EQ(AdmissionVerdict::Admit, A.submit(req(I), F));
+  AdmissionController::Task T;
+  for (uint64_t I = 1; I <= 3; ++I) {
+    ASSERT_TRUE(A.pop(T));
+    EXPECT_EQ(I, T.Req.Id);
+  }
+}
+
+TEST(AdmissionTest, WorkerFulfillsTheSubmittersFuture) {
+  AdmissionController A({8, 8});
+  std::future<Response> F;
+  ASSERT_EQ(AdmissionVerdict::Admit, A.submit(req(9), F));
+  std::thread Worker([&] {
+    AdmissionController::Task T;
+    ASSERT_TRUE(A.pop(T));
+    Response R;
+    R.Id = T.Req.Id;
+    R.Payload = "done";
+    T.Done.set_value(std::move(R));
+  });
+  Response Got = F.get();
+  Worker.join();
+  EXPECT_EQ(9u, Got.Id);
+  EXPECT_EQ("done", Got.Payload);
+}
+
+TEST(AdmissionTest, CloseShedsNewWorkButDrainsQueued) {
+  AdmissionController A({8, 8});
+  std::future<Response> Queued, Late;
+  ASSERT_EQ(AdmissionVerdict::Admit, A.submit(req(1), Queued));
+  A.close();
+  EXPECT_TRUE(A.closed());
+  EXPECT_EQ(AdmissionVerdict::Shed, A.submit(req(2), Late));
+
+  // Queued work still pops (the drain), then pop reports exhaustion.
+  AdmissionController::Task T;
+  ASSERT_TRUE(A.pop(T));
+  EXPECT_EQ(1u, T.Req.Id);
+  EXPECT_FALSE(A.pop(T));
+}
+
+TEST(AdmissionTest, CloseWakesBlockedWorkers) {
+  AdmissionController A({8, 8});
+  std::thread Worker([&] {
+    AdmissionController::Task T;
+    EXPECT_FALSE(A.pop(T)); // Blocks until close, then exits empty.
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  A.close();
+  Worker.join();
+}
+
+TEST(AdmissionTest, DegradeDepthClampedToMaxQueue) {
+  // A degrade depth past the cap would be unreachable policy; the
+  // controller clamps it so the invariant DegradeDepth <= MaxQueue holds.
+  AdmissionController A({/*MaxQueue=*/2, /*DegradeDepth=*/100});
+  std::future<Response> F;
+  EXPECT_EQ(AdmissionVerdict::Admit, A.submit(req(1), F));
+  EXPECT_EQ(AdmissionVerdict::Admit, A.submit(req(2), F));
+  EXPECT_EQ(AdmissionVerdict::Shed, A.submit(req(3), F));
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- tests/serve/FrameTest.cpp - Framing unit tests ----------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Frame.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+/// A connected socket pair; [0] is "client", [1] is "server".
+struct SocketPair {
+  int Fds[2] = {-1, -1};
+  SocketPair() {
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  }
+  ~SocketPair() {
+    if (Fds[0] >= 0)
+      ::close(Fds[0]);
+    if (Fds[1] >= 0)
+      ::close(Fds[1]);
+  }
+  void closeClient() {
+    ::close(Fds[0]);
+    Fds[0] = -1;
+  }
+};
+
+void setRecvTimeout(int Fd, int Ms) {
+  timeval Tv;
+  Tv.tv_sec = Ms / 1000;
+  Tv.tv_usec = (Ms % 1000) * 1000;
+  ASSERT_EQ(0, ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv)));
+}
+
+TEST(FrameTest, RoundTripsPayloads) {
+  SocketPair S;
+  for (const std::string &Payload :
+       {std::string(""), std::string("{}"),
+        std::string("payload with\nnewlines and \x01 bytes"),
+        std::string(100000, 'x')}) {
+    ASSERT_TRUE(writeFrame(S.Fds[0], Payload).ok());
+    std::string Got;
+    ASSERT_EQ(FrameRead::Frame, readFrame(S.Fds[1], Got));
+    EXPECT_EQ(Payload, Got);
+  }
+}
+
+TEST(FrameTest, BackToBackFramesStayDelimited) {
+  SocketPair S;
+  ASSERT_TRUE(writeFrame(S.Fds[0], "first").ok());
+  ASSERT_TRUE(writeFrame(S.Fds[0], "second").ok());
+  std::string A, B;
+  ASSERT_EQ(FrameRead::Frame, readFrame(S.Fds[1], A));
+  ASSERT_EQ(FrameRead::Frame, readFrame(S.Fds[1], B));
+  EXPECT_EQ("first", A);
+  EXPECT_EQ("second", B);
+}
+
+TEST(FrameTest, CleanEofBetweenFrames) {
+  SocketPair S;
+  ASSERT_TRUE(writeFrame(S.Fds[0], "only").ok());
+  S.closeClient();
+  std::string Got;
+  ASSERT_EQ(FrameRead::Frame, readFrame(S.Fds[1], Got));
+  EXPECT_EQ(FrameRead::Eof, readFrame(S.Fds[1], Got));
+}
+
+TEST(FrameTest, TornFrameIsAnErrorNotEof) {
+  SocketPair S;
+  // A length prefix promising 100 bytes, then only 3 before the peer
+  // dies: the reader must report a protocol error, not a clean close.
+  unsigned char Prefix[4] = {100, 0, 0, 0};
+  ASSERT_EQ(4, ::write(S.Fds[0], Prefix, 4));
+  ASSERT_EQ(3, ::write(S.Fds[0], "abc", 3));
+  S.closeClient();
+  std::string Got, Err;
+  EXPECT_EQ(FrameRead::Error, readFrame(S.Fds[1], Got, &Err));
+  EXPECT_NE(std::string::npos, Err.find("mid-frame"));
+}
+
+TEST(FrameTest, OversizedLengthPrefixRejected) {
+  SocketPair S;
+  // 0xffffffff would be a 4 GiB allocation if the length were trusted.
+  unsigned char Prefix[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(4, ::write(S.Fds[0], Prefix, 4));
+  std::string Got, Err;
+  EXPECT_EQ(FrameRead::Error, readFrame(S.Fds[1], Got, &Err));
+  EXPECT_NE(std::string::npos, Err.find("exceeds cap"));
+}
+
+TEST(FrameTest, IdleTimeoutSurfacesAsTimeout) {
+  SocketPair S;
+  setRecvTimeout(S.Fds[1], 50);
+  std::string Got;
+  EXPECT_EQ(FrameRead::Timeout, readFrame(S.Fds[1], Got));
+  // The connection is still usable afterwards.
+  ASSERT_TRUE(writeFrame(S.Fds[0], "late").ok());
+  ASSERT_EQ(FrameRead::Frame, readFrame(S.Fds[1], Got));
+  EXPECT_EQ("late", Got);
+}
+
+TEST(FrameTest, StalledMidFramePeerIsAbandoned) {
+  SocketPair S;
+  setRecvTimeout(S.Fds[1], 10);
+  // Prefix only, then silence: the reader must give up with an error
+  // after its bounded stall allowance instead of blocking forever.
+  unsigned char Prefix[4] = {16, 0, 0, 0};
+  ASSERT_EQ(4, ::write(S.Fds[0], Prefix, 4));
+  std::string Got, Err;
+  EXPECT_EQ(FrameRead::Error, readFrame(S.Fds[1], Got, &Err));
+  EXPECT_NE(std::string::npos, Err.find("stalled"));
+}
+
+TEST(FrameTest, WriteToClosedPeerFailsWithoutSignal) {
+  SocketPair S;
+  ::close(S.Fds[1]);
+  S.Fds[1] = -1;
+  // Without MSG_NOSIGNAL this would raise SIGPIPE and kill the test.
+  std::string Big(1 << 20, 'y');
+  EXPECT_FALSE(writeFrame(S.Fds[0], Big).ok());
+}
+
+TEST(FrameTest, PayloadAboveCapRefusedAtWriter) {
+  SocketPair S;
+  std::string Huge(static_cast<size_t>(MaxFrameBytes) + 1, 'z');
+  Status W = writeFrame(S.Fds[0], Huge);
+  ASSERT_FALSE(W.ok());
+  EXPECT_NE(std::string::npos, W.error().Message.find("cap"));
+}
+
+} // namespace

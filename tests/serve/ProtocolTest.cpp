@@ -1,0 +1,122 @@
+//===- tests/serve/ProtocolTest.cpp - Protocol schema tests ----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "gtest/gtest.h"
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+TEST(ProtocolTest, RequestRoundTrips) {
+  Request R;
+  R.Id = 42;
+  R.Method = "predict";
+  R.Source = "fn main() {\n  return 1;\n}\n";
+  R.Predictor = "ball-larus";
+  R.DumpRanges = true;
+  R.StepLimit = 1000;
+  R.DeadlineMs = 250;
+
+  Request Back;
+  std::string Err;
+  ASSERT_TRUE(parseRequest(serializeRequest(R), Back, &Err)) << Err;
+  EXPECT_EQ(R.Id, Back.Id);
+  EXPECT_EQ(R.Method, Back.Method);
+  EXPECT_EQ(R.Source, Back.Source);
+  EXPECT_EQ(R.Predictor, Back.Predictor);
+  EXPECT_EQ(R.DumpRanges, Back.DumpRanges);
+  EXPECT_EQ(R.StepLimit, Back.StepLimit);
+  EXPECT_EQ(R.DeadlineMs, Back.DeadlineMs);
+}
+
+TEST(ProtocolTest, ResponseRoundTripsAllStatuses) {
+  for (RespStatus S : {RespStatus::Ok, RespStatus::Error, RespStatus::Shed}) {
+    Response R;
+    R.Id = 7;
+    R.Status = S;
+    R.Degraded = true;
+    R.Payload = "fn @main:\n  table \"quoted\" and \\ backslash\n";
+    R.Category = "internal";
+    R.Site = "service";
+    R.Message = "line1\nline2\ttabbed";
+    Response Back;
+    std::string Err;
+    ASSERT_TRUE(parseResponse(serializeResponse(R), Back, &Err)) << Err;
+    EXPECT_EQ(R.Id, Back.Id);
+    EXPECT_EQ(R.Status, Back.Status);
+    EXPECT_EQ(R.Degraded, Back.Degraded);
+    EXPECT_EQ(R.Payload, Back.Payload);
+    EXPECT_EQ(R.Category, Back.Category);
+    EXPECT_EQ(R.Site, Back.Site);
+    EXPECT_EQ(R.Message, Back.Message);
+  }
+}
+
+TEST(ProtocolTest, ControlBytesSurviveTheWire) {
+  Request R;
+  R.Method = "predict";
+  R.Source = std::string("has a \x01 control byte and \x1f another");
+  Request Back;
+  ASSERT_TRUE(parseRequest(serializeRequest(R), Back));
+  EXPECT_EQ(R.Source, Back.Source);
+}
+
+TEST(ProtocolTest, DefaultsFillAbsentKeys) {
+  Request R;
+  std::string Err;
+  ASSERT_TRUE(parseRequest("{\"method\":\"ping\"}", R, &Err)) << Err;
+  EXPECT_EQ("ping", R.Method);
+  EXPECT_EQ(0u, R.Id);
+  EXPECT_EQ("vrp", R.Predictor);
+  EXPECT_FALSE(R.DumpRanges);
+  EXPECT_EQ(0u, R.StepLimit);
+  EXPECT_EQ(0u, R.DeadlineMs);
+}
+
+TEST(ProtocolTest, UnknownScalarKeysAreSkipped) {
+  Request R;
+  std::string Err;
+  ASSERT_TRUE(parseRequest("{\"method\":\"ping\",\"future_flag\":true,"
+                           "\"future_count\":12,\"future_name\":\"x\","
+                           "\"future_null\":null}",
+                           R, &Err))
+      << Err;
+  EXPECT_EQ("ping", R.Method);
+}
+
+TEST(ProtocolTest, KeysParseInAnyOrder) {
+  Request R;
+  ASSERT_TRUE(parseRequest(
+      "{\"source\":\"s\",\"id\":3,\"ranges\":true,\"method\":\"analyze\"}",
+      R));
+  EXPECT_EQ(3u, R.Id);
+  EXPECT_EQ("analyze", R.Method);
+  EXPECT_EQ("s", R.Source);
+  EXPECT_TRUE(R.DumpRanges);
+}
+
+TEST(ProtocolTest, MalformedMessagesRejected) {
+  Request R;
+  std::string Err;
+  EXPECT_FALSE(parseRequest("", R, &Err));
+  EXPECT_FALSE(parseRequest("not json", R, &Err));
+  EXPECT_FALSE(parseRequest("{\"method\":\"ping\"", R, &Err));
+  EXPECT_FALSE(parseRequest("{\"method\":\"ping\"}trailing", R, &Err));
+  EXPECT_FALSE(parseRequest("{\"method\":12}", R, &Err));
+  EXPECT_FALSE(parseRequest("{\"id\":\"nan\"}", R, &Err));
+  // A method is mandatory.
+  EXPECT_FALSE(parseRequest("{\"id\":1}", R, &Err));
+  EXPECT_NE(std::string::npos, Err.find("method"));
+
+  Response Resp;
+  EXPECT_FALSE(parseResponse("{\"status\":\"bogus\"}", Resp, &Err));
+  EXPECT_NE(std::string::npos, Err.find("status"));
+}
+
+} // namespace

@@ -1,0 +1,255 @@
+//===- tests/serve/ServiceTest.cpp - Resident service tests ----------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Service.h"
+
+#include "analysis/AnalysisCache.h"
+#include "analysis/PersistentCache.h"
+#include "driver/Pipeline.h"
+#include "support/FaultInjection.h"
+#include "support/ResultStore.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+const char *Source = R"(
+fn classify(score) {
+  if (score < 0) {
+    return 0 - 1;
+  }
+  if (score > 100) {
+    return 101;
+  }
+  return score;
+}
+
+fn main() {
+  var total = 0;
+  for (var i = 0; i < 50; i = i + 1) {
+    var s = classify(i * 3 - 10);
+    if (s >= 0 && s <= 100) {
+      total = total + s;
+    }
+  }
+  print(total);
+  return total;
+}
+)";
+
+Request predictReq(const std::string &Src = Source) {
+  Request R;
+  R.Id = 1;
+  R.Method = "predict";
+  R.Source = Src;
+  return R;
+}
+
+std::unique_ptr<Service> makeService(ServiceConfig Config = {}) {
+  Status Why;
+  std::unique_ptr<Service> S = Service::create(Config, &Why);
+  EXPECT_TRUE(S != nullptr) << (Why.ok() ? "" : Why.error().str());
+  return S;
+}
+
+TEST(ServiceTest, PredictMatchesTheSharedRendererBitwise) {
+  std::unique_ptr<Service> S = makeService();
+  Response R = S->handle(predictReq());
+  ASSERT_EQ(RespStatus::Ok, R.Status);
+  EXPECT_FALSE(R.Degraded);
+
+  // The contract behind `diff <(predictor_tool f.vl) <(predictord
+  // --send f.vl)`: the service's payload is exactly what the shared
+  // renderer produces for the same source under the same options.
+  DiagnosticEngine Diags;
+  VRPOptions Opts;
+  Opts.Interprocedural = true;
+  auto Compiled = compileProgram(Source, Diags, Opts);
+  ASSERT_TRUE(Compiled.ok());
+  AnalysisCache Cache;
+  ModuleVRPResult VRP =
+      runModuleVRP(*Compiled.value()->IR, Opts, &Cache, nullptr);
+  std::ostringstream OS;
+  renderPredictionReport(*Compiled.value()->IR, VRP, &Cache, {}, OS);
+  EXPECT_EQ(OS.str(), R.Payload);
+}
+
+TEST(ServiceTest, PingAnswersPong) {
+  std::unique_ptr<Service> S = makeService();
+  Request R;
+  R.Id = 5;
+  R.Method = "ping";
+  Response Resp = S->handle(R);
+  EXPECT_EQ(RespStatus::Ok, Resp.Status);
+  EXPECT_EQ(5u, Resp.Id);
+  EXPECT_EQ("pong", Resp.Payload);
+}
+
+ServiceConfig noMemoConfig() {
+  ServiceConfig C;
+  C.ResponseMemo = false;
+  return C;
+}
+
+ServiceConfig cachedConfig(const std::string &Path) {
+  ServiceConfig C;
+  C.CachePath = Path;
+  return C;
+}
+
+TEST(ServiceTest, AnalyzeEmitsDeterministicJson) {
+  std::unique_ptr<Service> S = makeService(noMemoConfig());
+  Request R = predictReq();
+  R.Method = "analyze";
+  Response First = S->handle(R);
+  Response Second = S->handle(R);
+  ASSERT_EQ(RespStatus::Ok, First.Status);
+  EXPECT_EQ(First.Payload, Second.Payload);
+  EXPECT_NE(std::string::npos, First.Payload.find("\"functions\""));
+  EXPECT_NE(std::string::npos, First.Payload.find("\"name\":\"classify\""));
+  EXPECT_NE(std::string::npos, First.Payload.find("\"prob\":\"0x"));
+  EXPECT_NE(std::string::npos,
+            First.Payload.find("\"degraded_functions\":0"));
+}
+
+TEST(ServiceTest, RepeatedRequestHitsTheMemo) {
+  std::unique_ptr<Service> S = makeService();
+  Response First = S->handle(predictReq());
+  Response Second = S->handle(predictReq());
+  ASSERT_EQ(RespStatus::Ok, Second.Status);
+  EXPECT_EQ(First.Payload, Second.Payload);
+  EXPECT_EQ(1u, S->counters().MemoHits);
+
+  // --no-memo semantics: every request recomputes.
+  std::unique_ptr<Service> Uncached = makeService(noMemoConfig());
+  Uncached->handle(predictReq());
+  Uncached->handle(predictReq());
+  EXPECT_EQ(0u, Uncached->counters().MemoHits);
+}
+
+TEST(ServiceTest, ForceDegradeTakesTheBudgetFallbackPath) {
+  std::unique_ptr<Service> S = makeService();
+  Response R = S->handle(predictReq(), /*ForceDegrade=*/true);
+  ASSERT_EQ(RespStatus::Ok, R.Status);
+  EXPECT_TRUE(R.Degraded);
+  // The report carries the same annotation a blown --budget produces.
+  EXPECT_NE(std::string::npos,
+            R.Payload.find("(budget exhausted; heuristic fallback)"));
+  EXPECT_NE(std::string::npos, R.Payload.find("heuristic fallback"));
+  EXPECT_EQ(1u, S->counters().DegradedResponses);
+}
+
+TEST(ServiceTest, ParseFailureIsAStructuredError) {
+  std::unique_ptr<Service> S = makeService();
+  Response R = S->handle(predictReq("fn main( {"));
+  ASSERT_EQ(RespStatus::Error, R.Status);
+  EXPECT_EQ("parse error", R.Category);
+  EXPECT_EQ("parse", R.Site);
+  EXPECT_FALSE(R.Message.empty());
+  EXPECT_EQ(1u, S->counters().Failures);
+}
+
+TEST(ServiceTest, UnknownMethodAndPredictorRejected) {
+  std::unique_ptr<Service> S = makeService();
+  Request R = predictReq();
+  R.Method = "frobnicate";
+  Response Resp = S->handle(R);
+  EXPECT_EQ(RespStatus::Error, Resp.Status);
+  EXPECT_NE(std::string::npos, Resp.Message.find("unknown method"));
+
+  R = predictReq();
+  R.Predictor = "oracle";
+  Resp = S->handle(R);
+  EXPECT_EQ(RespStatus::Error, Resp.Status);
+  EXPECT_NE(std::string::npos, Resp.Message.find("unknown predictor"));
+}
+
+TEST(ServiceTest, TransientFaultRetriedExactlyOnce) {
+  std::unique_ptr<Service> S = makeService();
+  // First worker probe fails, the retry runs clean: the caller sees
+  // success and exactly one supervised retry is counted.
+  ASSERT_TRUE(fault::configure("worker:0"));
+  Response R = S->handle(predictReq());
+  fault::reset();
+  ASSERT_EQ(RespStatus::Ok, R.Status);
+  EXPECT_EQ(1u, S->counters().Retries);
+  EXPECT_EQ(0u, S->counters().Failures);
+}
+
+TEST(ServiceTest, PersistentFaultFailsAfterOneRetry) {
+  std::unique_ptr<Service> S = makeService();
+  ASSERT_TRUE(fault::configure("worker:*"));
+  Response R = S->handle(predictReq());
+  fault::reset();
+  ASSERT_EQ(RespStatus::Error, R.Status);
+  EXPECT_NE(std::string::npos, R.Message.find("injected"));
+  // One retry, not an unbounded loop.
+  EXPECT_EQ(1u, S->counters().Retries);
+  EXPECT_EQ(1u, S->counters().Failures);
+}
+
+TEST(ServiceTest, LockedCacheFailsCreateWithStructuredReason) {
+  const std::string Path = "ServiceTest_locked.pcache";
+  std::remove(Path.c_str());
+  {
+    // Another "process" (open-file-description) holds the store lock.
+    auto Store = store::ResultStore::open(Path, 1);
+    ASSERT_TRUE(Store != nullptr);
+    Status Why;
+    std::unique_ptr<Service> S = Service::create(cachedConfig(Path), &Why);
+    EXPECT_TRUE(S == nullptr);
+    ASSERT_FALSE(Why.ok());
+    EXPECT_NE(std::string::npos, Why.error().Message.find("locked"));
+  }
+  // Lock released: the same config now works.
+  Status Why;
+  std::unique_ptr<Service> S = Service::create(cachedConfig(Path), &Why);
+  EXPECT_TRUE(S != nullptr) << (Why.ok() ? "" : Why.error().str());
+  std::remove(Path.c_str());
+}
+
+TEST(ServiceTest, CachedRunsCommitAndReuseAcrossServices) {
+  const std::string Path = "ServiceTest_commit.pcache";
+  std::remove(Path.c_str());
+  std::string ColdPayload;
+  {
+    std::unique_ptr<Service> S = makeService(cachedConfig(Path));
+    Response R = S->handle(predictReq());
+    ASSERT_EQ(RespStatus::Ok, R.Status);
+    ColdPayload = R.Payload;
+    EXPECT_GT(S->pcache()->stats().BytesWritten, 0u);
+  }
+  {
+    // A fresh service over the same store: the snapshot serves hits and
+    // the answer is byte-identical.
+    std::unique_ptr<Service> S = makeService(cachedConfig(Path));
+    Response R = S->handle(predictReq());
+    ASSERT_EQ(RespStatus::Ok, R.Status);
+    EXPECT_EQ(ColdPayload, R.Payload);
+    EXPECT_GT(S->pcache()->stats().Hits, 0u);
+    EXPECT_EQ(0u, S->pcache()->stats().Misses);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(ServiceTest, StatsJsonCarriesCounters) {
+  std::unique_ptr<Service> S = makeService();
+  S->handle(predictReq());
+  Request R;
+  R.Method = "stats";
+  Response Resp = S->handle(R);
+  ASSERT_EQ(RespStatus::Ok, Resp.Status);
+  EXPECT_NE(std::string::npos, Resp.Payload.find("\"requests\":"));
+  EXPECT_NE(std::string::npos, Resp.Payload.find("\"memo_hits\":"));
+}
+
+} // namespace

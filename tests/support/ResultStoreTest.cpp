@@ -70,7 +70,9 @@ TEST(ResultStoreTest, LookupSeesOnlyTheOpenSnapshot) {
   EXPECT_GT(S->append("k", "v"), 0u);
   EXPECT_EQ(S->lookup("k"), nullptr)
       << "an in-process append must not become visible until reopen";
+  S.reset(); // Release the writer lock before reopening.
   auto Reopened = ResultStore::open(Path, 1);
+  ASSERT_NE(Reopened, nullptr);
   ASSERT_NE(Reopened->lookup("k"), nullptr);
   EXPECT_EQ(*Reopened->lookup("k"), "v");
   std::remove(Path.c_str());
@@ -124,7 +126,9 @@ TEST(ResultStoreTest, FormatVersionMismatchResetsAndCountsEvictions) {
   EXPECT_EQ(S->stats().Evictions, 2u);
   // The reset store is a working version-2 store.
   EXPECT_GT(S->append("c", "v"), 0u);
+  S.reset(); // Release the writer lock before reopening.
   auto Reopened = ResultStore::open(Path, 2);
+  ASSERT_NE(Reopened, nullptr);
   ASSERT_NE(Reopened->lookup("c"), nullptr);
   std::remove(Path.c_str());
 }
@@ -149,7 +153,9 @@ TEST(ResultStoreTest, TornTailIsDroppedEarlierRecordsSurvive) {
   // Recovery truncated at the last good record, so a fresh append and
   // reopen serve all three cleanly.
   EXPECT_GT(S->append("third", "payload-3"), 0u);
+  S.reset(); // Release the writer lock before reopening.
   auto Reopened = ResultStore::open(Path, 1);
+  ASSERT_NE(Reopened, nullptr);
   ASSERT_NE(Reopened->lookup("first"), nullptr);
   ASSERT_NE(Reopened->lookup("third"), nullptr);
   EXPECT_EQ(Reopened->stats().CorruptRecords, 0u);
@@ -176,6 +182,29 @@ TEST(ResultStoreTest, ChecksumFailureDropsTheRecord) {
   std::remove(Path.c_str());
 }
 
+TEST(ResultStoreTest, SecondOpenerGetsAStructuredLockError) {
+  // Single-writer exclusivity: two processes appending to the same store
+  // would interleave records and corrupt the replay, so the second
+  // opener must be refused with a structured reason, not block or race.
+  std::string Path = tempPath("locked.bin");
+  auto First = ResultStore::open(Path, 1);
+  ASSERT_NE(First, nullptr);
+
+  Status Why;
+  auto Second = ResultStore::open(Path, 1, &Why);
+  EXPECT_EQ(Second, nullptr);
+  ASSERT_FALSE(Why.ok());
+  EXPECT_NE(std::string::npos,
+            Why.error().Message.find("locked by another process"))
+      << Why.error().str();
+
+  // Releasing the first handle releases the lock with it.
+  First.reset();
+  auto Third = ResultStore::open(Path, 1, &Why);
+  EXPECT_NE(Third, nullptr) << (Why.ok() ? "" : Why.error().str());
+  std::remove(Path.c_str());
+}
+
 TEST(ResultStoreTest, GarbageHeaderResetsToAnEmptyStore) {
   std::string Path = tempPath("header.bin");
   spew(Path, "definitely not a VRPCACHE header");
@@ -184,7 +213,9 @@ TEST(ResultStoreTest, GarbageHeaderResetsToAnEmptyStore) {
   EXPECT_EQ(S->stats().Records, 0u);
   EXPECT_GE(S->stats().CorruptRecords, 1u);
   EXPECT_GT(S->append("k", "v"), 0u);
+  S.reset(); // Release the writer lock before reopening.
   auto Reopened = ResultStore::open(Path, 1);
+  ASSERT_NE(Reopened, nullptr);
   ASSERT_NE(Reopened->lookup("k"), nullptr);
   std::remove(Path.c_str());
 }
