@@ -9,7 +9,9 @@
 //                  [--dump-ir] [--ranges] [--stats[=json]]
 //                  [--trace=<function>] [--audit[=json]]
 //                  [--suite] [--journal=<path>] [--resume]
-//                  [--cache=<path>] [--cache-verify] [file.vl]
+//                  [--cache=<path>] [--cache-verify]
+//                  [--module-scale=N [--module-seed=S] [--module-layers=L]
+//                   [--mutate=K] [--incremental]] [file.vl]
 //
 // Without a file argument it analyzes a built-in demo program. For every
 // conditional branch it prints the predicted taken-probability and, for
@@ -29,6 +31,12 @@
 // warm runs restore per-function analyses bitwise-identically from the
 // file and skip propagation. --cache-verify re-analyzes on every hit and
 // compares against the stored bytes, exiting 5 on any divergence.
+// --module-scale=N generates a synthetic N-function module (deep call
+// DAG with recursive SCCs, see benchsuite/Synthetic.h) and analyzes it
+// whole-module, printing a JSON summary with a bitwise result
+// fingerprint. --mutate=K perturbs K function bodies; adding
+// --incremental analyzes the unmutated module first and then re-analyzes
+// only the invalidated cone (docs/SCALING.md).
 //
 // Exit codes: 0 success, 1 input rejected with diagnostics, 2 usage
 // error, 3 internal error, 4 soundness violations detected by --audit,
@@ -41,17 +49,20 @@
 #include "analysis/AnalysisCache.h"
 #include "analysis/PersistentCache.h"
 #include "benchsuite/Programs.h"
+#include "benchsuite/Synthetic.h"
 #include "driver/Pipeline.h"
 #include "eval/Reporting.h"
 #include "ir/IRPrinter.h"
 #include "profile/Interpreter.h"
 #include "support/Format.h"
+#include "support/ResultStore.h"
 #include "support/Signal.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "vrp/Audit.h"
 #include "vrp/Trace.h"
 
+#include <cstdio>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -102,7 +113,10 @@ void printUsage() {
                "[--dump-ir] [--ranges] [--stats[=json]] "
                "[--trace=<function>] [--audit[=json]] [--suite] "
                "[--journal=<path>] [--resume] [--cache=<path>] "
-               "[--cache-verify] [file.vl]\n"
+               "[--cache-verify]\n"
+               "                      [--module-scale=N [--module-seed=S] "
+               "[--module-layers=L]\n                       [--mutate=K] "
+               "[--incremental]] [file.vl]\n"
                "  --threads=N   fan functions out over N workers during "
                "propagation\n                (0 = all hardware threads; "
                "results are identical at any N)\n"
@@ -141,6 +155,18 @@ void printUsage() {
                "  --cache-verify with --cache: re-analyze on every hit, "
                "compare against\n                the stored bytes, exit 5 "
                "on any divergence\n"
+               "  --module-scale=N analyze a generated N-function module "
+               "and print a JSON\n                summary (waves, sweeps, "
+               "re-analyzed cone, result fingerprint)\n"
+               "  --module-seed=S  generator seed (default 1)\n"
+               "  --module-layers=L bound the generated call DAG's depth "
+               "to L layers\n                (0 = unconstrained chain "
+               "depth)\n"
+               "  --mutate=K    perturb K generated function bodies "
+               "before analyzing\n"
+               "  --incremental with --module-scale: analyze the "
+               "unmutated module cold,\n                then re-analyze "
+               "only the cone the mutation invalidated\n"
                "exit codes: 0 success, 1 diagnostics, 2 usage error, "
                "3 internal error,\n            4 soundness violations "
                "detected by --audit, 5 cache divergence,\n            "
@@ -171,6 +197,8 @@ int runTool(int argc, char **argv) {
   std::string TraceFn;
   unsigned Threads = 1;
   uint64_t StepBudget = 0, DeadlineMs = 0;
+  uint64_t ModuleScale = 0, ModuleSeed = 1, ModuleLayers = 0, Mutate = 0;
+  bool Incremental = false;
   std::string FileName;
 
   for (int I = 1; I < argc; ++I) {
@@ -238,7 +266,29 @@ int runTool(int argc, char **argv) {
         std::cerr << "invalid --deadline value: " << Arg << "\n";
         return ExitUsage;
       }
-    } else if (Arg == "--dump-ir")
+    } else if (Arg.rfind("--module-scale=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(15), ModuleScale) || ModuleScale == 0) {
+        std::cerr << "invalid --module-scale value: " << Arg << "\n";
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--module-seed=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(14), ModuleSeed)) {
+        std::cerr << "invalid --module-seed value: " << Arg << "\n";
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--module-layers=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(16), ModuleLayers)) {
+        std::cerr << "invalid --module-layers value: " << Arg << "\n";
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--mutate=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(9), Mutate)) {
+        std::cerr << "invalid --mutate value: " << Arg << "\n";
+        return ExitUsage;
+      }
+    } else if (Arg == "--incremental")
+      Incremental = true;
+    else if (Arg == "--dump-ir")
       DumpIR = true;
     else if (Arg == "--ranges")
       DumpRanges = true;
@@ -275,6 +325,90 @@ int runTool(int argc, char **argv) {
     std::cerr << "--cache-verify compares against a cache; add "
                  "--cache=<path>\n";
     return ExitUsage;
+  }
+  if (ModuleScale == 0 && (Incremental || Mutate != 0)) {
+    std::cerr << "--incremental/--mutate act on a generated module; add "
+                 "--module-scale=N\n";
+    return ExitUsage;
+  }
+
+  if (ModuleScale != 0) {
+    if (Suite || !FileName.empty()) {
+      std::cerr << "--module-scale generates its own input; drop --suite "
+                   "and the file argument\n";
+      return ExitUsage;
+    }
+    SyntheticModuleConfig Base;
+    Base.NumFunctions = static_cast<unsigned>(ModuleScale);
+    Base.Seed = ModuleSeed;
+    Base.Layers = static_cast<unsigned>(ModuleLayers);
+    SyntheticModuleConfig Target = Base;
+    Target.MutateCount = static_cast<unsigned>(Mutate);
+
+    VRPOptions Opts;
+    Opts.Interprocedural = true;
+    Opts.Threads = Threads;
+    Opts.Budget.PropagationStepLimit = StepBudget;
+    Opts.Budget.DeadlineMs = DeadlineMs;
+
+    DiagnosticEngine Diags;
+    auto compileCfg = [&](const SyntheticModuleConfig &Cfg) {
+      return compileProgram(makeSyntheticModule(Cfg), Diags, Opts);
+    };
+    auto TargetProg = compileCfg(Target);
+    if (!TargetProg.ok()) {
+      std::cerr << "error: " << TargetProg.error().str() << "\n";
+      return ExitInternal;
+    }
+    const Module &TargetIR = *TargetProg.value()->IR;
+
+    ModuleVRPResult R;
+    const char *Mode = "cold";
+    std::unique_ptr<CompiledProgram> PrevProg;
+    if (Incremental) {
+      // Cold-analyze the unmutated generation, then re-analyze only the
+      // cone the mutation invalidated.
+      auto PrevOrErr = compileCfg(Base);
+      if (!PrevOrErr.ok()) {
+        std::cerr << "error: " << PrevOrErr.error().str() << "\n";
+        return ExitInternal;
+      }
+      PrevProg = std::move(PrevOrErr.value());
+      ModuleVRPResult PrevR = runModuleVRP(*PrevProg->IR, Opts);
+      R = runModuleVRPIncremental(TargetIR, Opts, *PrevProg->IR, PrevR);
+      Mode = "incremental";
+    } else {
+      R = runModuleVRP(TargetIR, Opts);
+    }
+
+    // Bitwise fingerprint: FNV-1a over every function's exact result
+    // serialization, in module order. Identical analyses => identical
+    // fingerprints, at any thread count and in either mode.
+    uint64_t H = 0xcbf29ce484222325ULL;
+    for (const auto &F : TargetIR.functions())
+      if (const FunctionVRPResult *FR = R.forFunction(F.get()))
+        H = store::fnv1a64(PersistentCache::serialize(*FR), H);
+    char Hex[17];
+    std::snprintf(Hex, sizeof(Hex), "%016llx",
+                  static_cast<unsigned long long>(H));
+
+    std::cout << "{\n  \"module_scale\": {\n"
+              << "    \"functions\": " << TargetIR.functions().size()
+              << ",\n    \"mode\": \"" << Mode << "\""
+              << ",\n    \"mutated\": " << Mutate
+              << ",\n    \"waves\": " << R.Waves
+              << ",\n    \"sweeps\": " << R.Rounds
+              << ",\n    \"functions_reanalyzed\": " << R.FunctionsReanalyzed
+              << ",\n    \"functions_degraded\": " << R.FunctionsDegraded
+              << ",\n    \"fingerprint\": \"" << Hex << "\"\n  }\n}\n";
+    if (Stats) {
+      if (StatsJson)
+        std::cout << telemetry::toJson(telemetry::snapshot());
+      else
+        std::cout << "telemetry counters:\n"
+                  << telemetry::toText(telemetry::snapshot());
+    }
+    return ExitSuccess;
   }
 
   if (Suite) {

@@ -63,6 +63,29 @@ build/examples/predictor_tool --suite --stats=json --threads=4 \
 diff build/stats-t1.json build/stats-t4.json
 echo "stats determinism: ok"
 
+# Module-scale smoke: on a small generated module (depth-bounded so the
+# refinement converges inside the per-function budget), re-analyzing
+# incrementally after mutating 3 functions must (1) visit only the
+# invalidated cone — at least the mutated functions, strictly fewer than
+# the module — and (2) reproduce the cold analysis fingerprint bitwise.
+ms_args="--module-scale=300 --module-layers=3 --module-seed=11 --mutate=3"
+build/examples/predictor_tool $ms_args > build/module-cold.json
+build/examples/predictor_tool $ms_args --incremental > build/module-inc.json
+ms_field() { grep -o "\"$2\": [0-9a-fx\"]*" "$1" | head -n1 | sed 's/.*: //; s/"//g'; }
+cold_fp=$(ms_field build/module-cold.json fingerprint)
+inc_fp=$(ms_field build/module-inc.json fingerprint)
+cone=$(ms_field build/module-inc.json functions_reanalyzed)
+nfns=$(ms_field build/module-inc.json functions)
+if [ "$cold_fp" != "$inc_fp" ]; then
+  echo "module-scale smoke: incremental fingerprint $inc_fp != cold $cold_fp" >&2
+  exit 1
+fi
+if [ "${cone:-0}" -lt 3 ] || [ "$cone" -ge "$nfns" ]; then
+  echo "module-scale smoke: cone $cone out of range [3, $nfns)" >&2
+  exit 1
+fi
+echo "module-scale smoke: ok (cone $cone of $nfns, fingerprint $inc_fp)"
+
 # Fault-injection smoke: an injected parse fault must surface as exit
 # code 1 with a rendered diagnostic, not a crash.
 if VRP_FAULT_INJECT=parse:0 build/examples/predictor_tool \

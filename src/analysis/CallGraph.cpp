@@ -12,16 +12,18 @@
 using namespace vrp;
 
 unsigned CallGraph::indexOf(const Function *F) const {
-  for (unsigned I = 0; I < M.functions().size(); ++I)
-    if (M.functions()[I].get() == F)
-      return I;
-  assert(false && "function not in module");
-  return 0;
+  auto It = FnIndex.find(F);
+  assert(It != FnIndex.end() && "function not in module");
+  return It->second;
 }
 
 CallGraph::CallGraph(const Module &M) : M(M) {
   unsigned N = M.functions().size();
   Sites.resize(N);
+  CallerSites.resize(N);
+  FnIndex.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    FnIndex.emplace(M.functions()[I].get(), I);
   for (unsigned I = 0; I < N; ++I) {
     const Function *F = M.functions()[I].get();
     for (const auto &B : F->blocks())
@@ -29,6 +31,12 @@ CallGraph::CallGraph(const Module &M) : M(M) {
         if (const auto *Call = dyn_cast<CallInst>(Inst.get()))
           Sites[I].push_back(Call);
   }
+  // Caller adjacency: iterating callers in function-index order keeps the
+  // per-callee site list in the same deterministic order the old
+  // whole-module scan produced.
+  for (unsigned I = 0; I < N; ++I)
+    for (const CallInst *Call : Sites[I])
+      CallerSites[indexOf(Call->callee())].push_back(Call);
 
   // Tarjan SCC (iterative).
   std::vector<unsigned> Index(N, ~0u), LowLink(N, 0);
@@ -96,6 +104,27 @@ CallGraph::CallGraph(const Module &M) : M(M) {
   // Tarjan emits SCCs with callees before callers already (an SCC is
   // completed only after everything it reaches): the natural emission
   // order is the bottom-up order we want.
+
+  // Wave layering over the condensation. Because SCC indices are already
+  // bottom-up, every cross-SCC edge points from a higher index to a lower
+  // one, so a single pass in index order sees callee waves before they
+  // are needed.
+  WaveOfScc.assign(SCCs.size(), 0);
+  for (unsigned S = 0; S < SCCs.size(); ++S) {
+    unsigned Wave = 0;
+    for (const Function *F : SCCs[S])
+      for (const CallInst *Call : Sites[indexOf(F)]) {
+        unsigned T = SccOf[indexOf(Call->callee())];
+        if (T == S)
+          continue;
+        assert(T < S && "bottom-up SCC order violated");
+        Wave = std::max(Wave, WaveOfScc[T] + 1);
+      }
+    WaveOfScc[S] = Wave;
+    if (Wave >= Waves.size())
+      Waves.resize(Wave + 1);
+    Waves[Wave].push_back(S);
+  }
 }
 
 const std::vector<const CallInst *> &
@@ -110,22 +139,21 @@ std::vector<const Function *> CallGraph::callees(const Function *F) const {
   return Result;
 }
 
-std::vector<const CallInst *>
-CallGraph::callersOf(const Function *Callee) const {
-  std::vector<const CallInst *> Result;
-  for (const auto &SiteList : Sites)
-    for (const CallInst *Call : SiteList)
-      if (Call->callee() == Callee)
-        Result.push_back(Call);
-  return Result;
+const std::vector<const CallInst *> &
+CallGraph::callerSitesOf(const Function *Callee) const {
+  return CallerSites[indexOf(Callee)];
 }
 
-bool CallGraph::isRecursive(const Function *F) const {
-  unsigned I = indexOf(F);
+bool CallGraph::isRecursiveIndex(unsigned I) const {
   if (SCCs[SccOf[I]].size() > 1)
     return true;
+  const Function *F = M.functions()[I].get();
   for (const CallInst *Call : Sites[I])
     if (Call->callee() == F)
       return true;
   return false;
+}
+
+bool CallGraph::isRecursive(const Function *F) const {
+  return isRecursiveIndex(indexOf(F));
 }

@@ -114,6 +114,124 @@ private:
 
 } // namespace
 
+std::string vrp::makeSyntheticModule(const SyntheticModuleConfig &Config,
+                                     std::vector<std::string> *MutatedNames) {
+  if (MutatedNames)
+    MutatedNames->clear();
+  const unsigned N = std::max(Config.NumFunctions, 1u);
+
+  // Mutated indices: evenly spread, never out of range. A set keeps the
+  // membership test cheap at 10^5 functions.
+  std::vector<bool> Mutated(N, false);
+  if (Config.MutateCount > 0) {
+    unsigned Count = std::min(Config.MutateCount, N);
+    for (unsigned K = 0; K < Count; ++K)
+      Mutated[static_cast<unsigned>(
+          (static_cast<uint64_t>(K) * N) / Count)] = true;
+  }
+
+  std::string Out;
+  // ~160 bytes per function body; reserve to avoid repeated regrowth.
+  Out.reserve(static_cast<size_t>(N) * 200 + 1024);
+
+  auto fname = [](unsigned I) { return "f" + std::to_string(I); };
+
+  // Layered mode: layerOf(I) partitions the module into contiguous
+  // blocks; cross-layer calls always target the block directly below, so
+  // the call DAG's depth is bounded by Config.Layers.
+  const unsigned Layers = std::min(Config.Layers, N);
+  auto layerOf = [&](unsigned I) {
+    return Layers == 0
+               ? 0u
+               : static_cast<unsigned>(
+                     (static_cast<uint64_t>(I) * Layers) / N);
+  };
+  auto layerBelow = [&](unsigned I, RNG &Rng) {
+    unsigned L = layerOf(I);
+    uint64_t Lo = (static_cast<uint64_t>(L - 1) * N) / Layers;
+    uint64_t Hi = (static_cast<uint64_t>(L) * N) / Layers;
+    return static_cast<unsigned>(Lo + Rng.nextBelow(Hi - Lo));
+  };
+
+  for (unsigned I = 0; I < N; ++I) {
+    // Each function draws from its own RNG stream: mutating one body
+    // cannot shift any other function's randomness, so every unmutated
+    // function's text is byte-identical across generations.
+    RNG Rng(Config.Seed * 0x9e3779b97f4a7c15ull + I * 0xbf58476d1ce4e5b9ull +
+            1);
+    const bool PairsForward =
+        Config.RecursiveEvery != 0 && I + 1 < N &&
+        (I + 1) % Config.RecursiveEvery == 0 && I + 1 >= 2 &&
+        layerOf(I) == layerOf(I + 1);
+    const bool SelfRecursive =
+        Config.SelfRecursiveEvery != 0 && I > 0 &&
+        I % Config.SelfRecursiveEvery == 0;
+
+    Out += "fn " + fname(I) + "(n, m) {\n";
+    int64_t Off = Rng.nextInRange(-9, 9);
+    Out += "  var a = n " + std::string(Off < 0 ? "- " : "+ ") +
+           std::to_string(Off < 0 ? -Off : Off) + ";\n";
+    Out += "  var b = m % " + std::to_string(2 + Rng.nextBelow(16)) + ";\n";
+    Out += "  var acc = " + std::to_string(Rng.nextBelow(6)) + ";\n";
+    Out += "  if (a < " + std::to_string(Rng.nextBelow(31)) + ") {\n";
+    Out += "    acc = acc + a;\n";
+    Out += "  } else {\n";
+    Out += "    acc = acc - " + std::to_string(1 + Rng.nextBelow(4)) + ";\n";
+    Out += "  }\n";
+    // Chain edge: call the predecessor (or, layered, a function one layer
+    // down) with 50% probability — chains reach a sizable fraction of the
+    // module, making the unlayered DAG deep.
+    const bool HasBelow = Layers == 0 ? I > 0 : layerOf(I) > 0;
+    if (HasBelow && Rng.nextBelow(2) == 0) {
+      unsigned Chain = Layers == 0 ? I - 1 : layerBelow(I, Rng);
+      Out += "  acc = acc + " + fname(Chain) + "(a % " +
+             std::to_string(20 + Rng.nextBelow(41)) + ", b);\n";
+    }
+    for (unsigned E = 0; E < Config.ExtraCallees && HasBelow; ++E) {
+      unsigned Callee = Layers == 0
+                            ? static_cast<unsigned>(Rng.nextBelow(I))
+                            : layerBelow(I, Rng);
+      Out += "  acc = acc + " + fname(Callee) + "(b, " +
+             std::to_string(Rng.nextBelow(9)) + ");\n";
+    }
+    if (PairsForward)
+      // Forward reference closing a 2-function cycle with f(I+1), whose
+      // chain edge back to f(I) is forced below.
+      Out += "  acc = acc + " + fname(I + 1) + "(n - 1, b);\n";
+    if (Config.RecursiveEvery != 0 && I >= 2 &&
+        I % Config.RecursiveEvery == 0 && layerOf(I - 1) == layerOf(I)) {
+      // The partner half of the cycle: guarantee the backward edge even
+      // when the probabilistic chain edge above was skipped.
+      Out += "  acc = acc + " + fname(I - 1) + "(n - 1, acc % 13);\n";
+    }
+    if (SelfRecursive)
+      Out += "  if (n > 0) {\n    acc = acc + " + fname(I) +
+             "(n - 1, b);\n  }\n";
+    unsigned Mod = 50 + static_cast<unsigned>(Rng.nextBelow(101));
+    if (Mutated[I]) {
+      Mod += 37;
+      if (MutatedNames)
+        MutatedNames->push_back(fname(I));
+    }
+    Out += "  return acc % " + std::to_string(Mod) + ";\n";
+    Out += "}\n";
+  }
+
+  // main(): a handful of roots so the top of the DAG has callers.
+  RNG MainRng(Config.Seed * 0x94d049bb133111ebull + 7);
+  Out += "fn main() {\n  var acc = 0;\n";
+  Out += "  acc = acc + " + fname(N - 1) + "(" +
+         std::to_string(3 + MainRng.nextBelow(40)) + ", " +
+         std::to_string(2 + MainRng.nextBelow(20)) + ");\n";
+  for (unsigned R = 0; R < 3 && N > 1; ++R)
+    Out += "  acc = acc + " + fname(static_cast<unsigned>(
+                                  MainRng.nextBelow(N))) +
+           "(" + std::to_string(3 + MainRng.nextBelow(40)) + ", " +
+           std::to_string(2 + MainRng.nextBelow(20)) + ");\n";
+  Out += "  return acc;\n}\n";
+  return Out;
+}
+
 std::string vrp::makeSyntheticProgram(unsigned SizeClass, uint64_t Seed) {
   RNG Rng(Seed * 0x9e3779b97f4a7c15ull + SizeClass);
   std::string Out;

@@ -18,12 +18,52 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace vrp {
 
 /// Generates a VL program with roughly `SizeClass` * a few dozen IR
 /// instructions. Deterministic in (SizeClass, Seed).
 std::string makeSyntheticProgram(unsigned SizeClass, uint64_t Seed);
+
+/// Shape of a generated whole module (see makeSyntheticModule). The
+/// default shape is a deep call DAG: function K calls K-1 with 50%
+/// probability (so chains reach a sizable fraction of the module depth)
+/// plus up to ExtraCallees random earlier functions, with a controllable
+/// sprinkling of 2-function recursive SCCs and self-recursive functions.
+struct SyntheticModuleConfig {
+  unsigned NumFunctions = 1000;
+  uint64_t Seed = 1;
+  /// Random earlier-function callees per function besides the chain edge.
+  unsigned ExtraCallees = 2;
+  /// Every k-th function forms a 2-node recursive SCC with its
+  /// predecessor (0 disables mutual recursion).
+  unsigned RecursiveEvery = 16;
+  /// Every k-th function additionally calls itself (0 disables).
+  unsigned SelfRecursiveEvery = 23;
+  /// 0 = unconstrained depth (the chain makes the DAG as deep as the
+  /// module). When nonzero, functions are split into this many contiguous
+  /// layers and every cross-layer call targets the layer directly below,
+  /// bounding the condensation depth by Layers — a module that converges
+  /// within the scheduler's per-function refinement budget, which is what
+  /// cold-vs-incremental bitwise-identity checks need.
+  unsigned Layers = 0;
+  /// Number of functions whose body gets a changed constant (evenly
+  /// spread over the module, never main). Each function's body is drawn
+  /// from its own RNG stream, so the *unmutated* functions' text is
+  /// byte-identical to a MutateCount=0 generation — exactly the shape an
+  /// incremental re-analysis consumes.
+  unsigned MutateCount = 0;
+};
+
+/// Generates a whole VL module per \p Config: NumFunctions small
+/// two-parameter functions wired into a deep call DAG with the requested
+/// recursive-SCC mix, plus a main() root. Deterministic in Config. When
+/// \p MutatedNames is non-null it receives the names of the mutated
+/// functions (empty for MutateCount=0).
+std::string makeSyntheticModule(const SyntheticModuleConfig &Config,
+                                std::vector<std::string> *MutatedNames =
+                                    nullptr);
 
 } // namespace vrp
 

@@ -153,6 +153,8 @@ void vrp::accumulateModuleStats(VRPStats &Stats, const ModuleVRPResult &VRP) {
   Stats.FunctionsDegraded += VRP.FunctionsDegraded;
   Stats.FunctionsCloned += VRP.FunctionsCloned;
   Stats.Rounds += VRP.Rounds;
+  Stats.Waves += VRP.Waves;
+  Stats.FunctionsReanalyzed += VRP.FunctionsReanalyzed;
 }
 
 void vrp::accumulatePredictionStats(VRPStats &Stats,

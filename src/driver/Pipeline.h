@@ -104,7 +104,9 @@ struct VRPStats {
   unsigned FunctionsAnalyzed = 0;  ///< Functions propagation covered.
   unsigned FunctionsDegraded = 0;  ///< Budget/deadline fallbacks.
   unsigned FunctionsCloned = 0;    ///< §3.7 cloning (when enabled).
-  unsigned Rounds = 0;             ///< Interprocedural fixpoint rounds.
+  unsigned Rounds = 0;             ///< Interprocedural sweeps (fixpoint).
+  unsigned Waves = 0;              ///< Call-graph condensation layers.
+  unsigned FunctionsReanalyzed = 0; ///< Scheduler's (re-)analyzed cone.
   uint64_t RangePredictedBranches = 0;
   uint64_t HeuristicBranches = 0;  ///< Ball–Larus fallback decisions.
   uint64_t UnreachableBranches = 0;
@@ -115,6 +117,8 @@ struct VRPStats {
     FunctionsDegraded += R.FunctionsDegraded;
     FunctionsCloned += R.FunctionsCloned;
     Rounds += R.Rounds;
+    Waves += R.Waves;
+    FunctionsReanalyzed += R.FunctionsReanalyzed;
     RangePredictedBranches += R.RangePredictedBranches;
     HeuristicBranches += R.HeuristicBranches;
     UnreachableBranches += R.UnreachableBranches;

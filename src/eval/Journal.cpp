@@ -15,7 +15,7 @@ using namespace vrp::journal;
 
 namespace {
 
-constexpr int FormatVersion = 1;
+constexpr int FormatVersion = 2;
 
 //===----------------------------------------------------------------------===//
 // Writing
@@ -283,7 +283,8 @@ std::string journal::serializeEvaluation(const BenchmarkEvaluation &Eval) {
      << "," << V.Ranges.DerivationsTried << "," << V.Ranges.DerivationsMatched
      << "," << V.Ranges.Widenings << "," << V.FunctionsAnalyzed << ","
      << V.FunctionsDegraded << "," << V.FunctionsCloned << "," << V.Rounds
-     << "," << V.RangePredictedBranches << "," << V.HeuristicBranches << ","
+     << "," << V.Waves << "," << V.FunctionsReanalyzed << ","
+     << V.RangePredictedBranches << "," << V.HeuristicBranches << ","
      << V.UnreachableBranches << "]";
   OS << ",\"cache\":[" << Eval.Cache.Hits << "," << Eval.Cache.Misses << ","
      << Eval.Cache.Invalidations << "]";
@@ -392,6 +393,10 @@ bool journal::deserializeEvaluation(const std::string &Line,
   C.u32(V.FunctionsCloned);
   C.lit(",");
   C.u32(V.Rounds);
+  C.lit(",");
+  C.u32(V.Waves);
+  C.lit(",");
+  C.u32(V.FunctionsReanalyzed);
   C.lit(",");
   C.u64(V.RangePredictedBranches);
   C.lit(",");

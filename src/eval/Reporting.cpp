@@ -81,6 +81,8 @@ void writeVrpStats(const VRPStats &S, const char *Indent, std::ostream &OS) {
   field("functions_degraded", S.FunctionsDegraded);
   field("functions_cloned", S.FunctionsCloned);
   field("rounds", S.Rounds);
+  field("waves", S.Waves);
+  field("functions_reanalyzed", S.FunctionsReanalyzed);
   field("range_predicted_branches", S.RangePredictedBranches);
   field("heuristic_branches", S.HeuristicBranches);
   field("unreachable_branches", S.UnreachableBranches, /*Last=*/true);

@@ -2,6 +2,25 @@
 //
 // Part of the VRP reproduction of Patterson, PLDI 1995.
 //
+// The interprocedural driver schedules per-SCC bottom-up over the call
+// graph's wave layering (analysis/CallGraph.h). One *sweep* processes the
+// dirty SCCs wave by wave: return ranges installed at a wave boundary are
+// visible to every later wave, so return information crosses the whole
+// call DAG in a single sweep; recursive SCCs iterate internally until
+// their return ranges stabilize. Between sweeps the jump functions
+// (parameter merges) are refreshed for the callees of everything just
+// analyzed; a function re-enters the dirty set only when its resolved
+// context actually changed, so per-function analysis — a pure function of
+// (IR, context) — is never repeated for an identical context and total
+// work stays linear-ish in the module.
+//
+// Determinism contract: SCCs of one wave run on worker threads, but all
+// shared state (the param/return tables, the dirty set, result slots)
+// is written only by the coordinating thread at wave boundaries, in SCC
+// index order. Deadlines are probed at those same boundaries, so the set
+// of degraded functions is a function of *which* boundary expired, never
+// of the thread schedule.
+//
 //===----------------------------------------------------------------------===//
 
 #include "interproc/InterproceduralVRP.h"
@@ -10,14 +29,19 @@
 #include "analysis/CallGraph.h"
 #include "analysis/PersistentCache.h"
 #include "interproc/FunctionCloning.h"
+#include "ir/IRPrinter.h"
 #include "support/FaultInjection.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "vrp/Audit.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <memory>
 #include <optional>
+#include <set>
+#include <sstream>
 
 using namespace vrp;
 
@@ -31,8 +55,70 @@ ValueRange sanitizeForCallee(const ValueRange &VR) {
   return ValueRange::bottom();
 }
 
-/// Interprocedural driver state: parameter and return range tables,
-/// refined over rounds.
+/// Merged return range of \p F given its propagation result: `ret`
+/// operand ranges weighted by the returning block's reach probability.
+/// Blocks proven unreachable (probability exactly 0) contribute nothing;
+/// the result is ⊥ only when every returning block is unreachable.
+ValueRange computeReturnRange(const Function &F, const FunctionVRPResult &FR,
+                              RangeOps &Ops) {
+  if (F.returnType() == IRType::Void)
+    return ValueRange::bottom();
+  std::vector<std::pair<ValueRange, double>> Entries;
+  for (const auto &B : F.blocks()) {
+    const auto *Ret = dyn_cast_or_null<RetInst>(B->terminator());
+    if (!Ret || !Ret->hasValue())
+      continue;
+    double Weight = FR.BlockProb[B->id()];
+    if (Weight <= 0.0)
+      continue;
+    ValueRange VR = sanitizeForCallee(FR.rangeOf(Ret->value()));
+    Entries.push_back({VR, std::max(Weight, 1e-6)});
+  }
+  ValueRange Merged =
+      Entries.empty() ? ValueRange::bottom() : Ops.meetWeighted(Entries);
+  if (Merged.isTop())
+    Merged = ValueRange::bottom();
+  return Merged;
+}
+
+/// Merged jump function for parameter \p PI of \p F: actual-argument
+/// ranges across all call sites, weighted by each call block's reach
+/// probability in its caller. A provably dead call site (weight exactly
+/// 0) is dropped rather than floored: its argument must not poison the
+/// merge. ⊥ when there are no callers, every site is dead, or every
+/// caller result is missing.
+ValueRange computeParamRange(const Function *F, unsigned PI,
+                             const CallGraph &CG,
+                             const std::function<const FunctionVRPResult *(
+                                 const Function *)> &ResultOf,
+                             RangeOps &Ops) {
+  std::vector<std::pair<ValueRange, double>> Entries;
+  for (const CallInst *Call : CG.callerSitesOf(F)) {
+    const FunctionVRPResult *CallerResult = ResultOf(Call->function());
+    if (!CallerResult)
+      continue;
+    double Weight = CallerResult->BlockProb[Call->parent()->id()];
+    if (Weight <= 0.0)
+      continue;
+    ValueRange Arg = sanitizeForCallee(CallerResult->rangeOf(Call->arg(PI)));
+    Entries.push_back({Arg, std::max(Weight, 1e-6)});
+  }
+  if (Entries.empty())
+    return ValueRange::bottom();
+  ValueRange Merged = Ops.meetWeighted(Entries);
+  if (Merged.isTop())
+    Merged = ValueRange::bottom();
+  return Merged;
+}
+
+std::string irText(const Function &F) {
+  std::ostringstream OS;
+  printFunction(F, OS);
+  return OS.str();
+}
+
+/// Interprocedural driver state: the wave schedule, the parameter and
+/// return tables, and the dirty set driving re-analysis.
 class InterprocDriver {
 public:
   InterprocDriver(Module &M, const VRPOptions &Opts, AnalysisCache *Cache,
@@ -41,17 +127,46 @@ public:
     if (Opts.Budget.DeadlineMs != 0)
       Deadline = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(Opts.Budget.DeadlineMs);
+    UsePCache = PCache && !fault::armed() && !Opts.Trace;
   }
 
   ModuleVRPResult run();
+  ModuleVRPResult runIncremental(const Module &PrevModule,
+                                 const ModuleVRPResult &Previous);
 
 private:
-  void analyzeAll(ModuleVRPResult &Result);
-  bool refreshTables(const ModuleVRPResult &Result, const CallGraph &CG);
-  unsigned cloneDivergentCallees(ModuleVRPResult &Result);
+  /// Result slots an SCC task hands back to the coordinator; merged at
+  /// the wave boundary in deterministic order.
+  struct SccOutcome {
+    std::vector<std::pair<unsigned, FunctionVRPResult>> FnResults;
+    std::vector<std::pair<unsigned, ValueRange>> Returns;
+  };
+
+  void initState();
+  bool markDirty(unsigned I);
+  FunctionVRPResult analyzeOne(const Function &F,
+                               const PropagationContext &Ctx);
+  SccOutcome analyzeScc(const std::vector<unsigned> &Members, bool Recursive);
+  unsigned runSweep();
+  void refreshParams();
+  void sweepLoop();
+  void degradeRemaining();
+  void runIntraprocedural();
+  unsigned cloneDivergentCallees();
+  ModuleVRPResult finalize();
 
   bool pastDeadline() const {
     return Deadline && std::chrono::steady_clock::now() > *Deadline;
+  }
+
+  /// Probes the deadline (and its deterministic fault-injected stand-in)
+  /// at a wave boundary. The fault site is probed first so the probe
+  /// count a "module-deadline:N" spec observes never depends on the wall
+  /// clock.
+  void probeDeadline() {
+    bool Injected = fault::shouldFail("module-deadline");
+    if (!DeadlineBlown && (Injected || pastDeadline()))
+      DeadlineBlown = true;
   }
 
   /// A function-scope ⊥ result: what propagateRanges produces when its
@@ -78,181 +193,380 @@ private:
   const VRPOptions &Opts;
   AnalysisCache *Cache;    ///< May be null (no memoization).
   PersistentCache *PCache; ///< May be null (no durable result cache).
-  ThreadPool *Pool;        ///< May be null (serial per-function phase).
+  ThreadPool *Pool;        ///< May be null (serial per-SCC phase).
+  bool UsePCache = false;
   std::optional<std::chrono::steady_clock::time_point> Deadline;
-  /// Param value -> merged jump-function range.
+  bool DeadlineBlown = false;
+
+  std::unique_ptr<CallGraph> CG;
+  std::vector<const Function *> Fns; ///< Module order.
+  std::vector<FunctionVRPResult> Results; ///< By function index.
+  std::vector<char> HasResult, Dirty, EverAnalyzed;
+  /// Remaining (re-)analysis budget per function; the refinement analog
+  /// of the old driver's MaxRounds=4.
+  std::vector<unsigned> AnalysesLeft;
+  /// Dirty SCCs keyed (wave, SCC index): the sweep consumes them in wave
+  /// order, the only order in which cross-SCC information flows.
+  std::set<std::pair<unsigned, unsigned>> DirtySccs;
+  std::vector<unsigned> AnalyzedThisSweep;
+  /// Param value -> merged jump-function range (absent == ⊥).
   std::map<const Param *, ValueRange> ParamTable;
-  /// Function -> merged return range.
+  /// Function -> merged return range (absent == ⊥).
   std::map<const Function *, ValueRange> ReturnTable;
+  unsigned Sweeps = 0;
+  unsigned Cloned = 0;
+
+  static constexpr unsigned MaxAnalysesPerFunction = 4;
+  static constexpr unsigned SccIterationLimit = 4;
 };
 
 } // namespace
 
-void InterprocDriver::analyzeAll(ModuleVRPResult &Result) {
+void InterprocDriver::initState() {
+  Fns.clear();
+  Fns.reserve(M.functions().size());
+  for (const auto &F : M.functions())
+    Fns.push_back(F.get());
+  unsigned N = Fns.size();
+  Results.assign(N, FunctionVRPResult());
+  HasResult.assign(N, 0);
+  Dirty.assign(N, 0);
+  EverAnalyzed.assign(N, 0);
+  AnalysesLeft.assign(N, MaxAnalysesPerFunction);
+  DirtySccs.clear();
+  AnalyzedThisSweep.clear();
+  ParamTable.clear();
+  ReturnTable.clear();
+  CG = std::make_unique<CallGraph>(M);
+}
+
+bool InterprocDriver::markDirty(unsigned I) {
+  if (Dirty[I])
+    return true;
+  if (AnalysesLeft[I] == 0)
+    return false;
+  Dirty[I] = 1;
+  unsigned S = CG->sccOfIndex(I);
+  DirtySccs.insert({CG->waveOf(S), S});
+  return true;
+}
+
+FunctionVRPResult InterprocDriver::analyzeOne(const Function &F,
+                                              const PropagationContext &Ctx) {
+  // The persistent cache consults its frozen on-disk snapshot before
+  // running the engine. Fault-injected runs bypass it entirely (injected
+  // corruption must never be served back or persisted) and so do traced
+  // runs (a hit would silently skip the trace events the user asked for).
+  std::string Key;
+  if (UsePCache) {
+    Key = PersistentCache::makeKey(F, Opts, Ctx);
+    FunctionVRPResult Restored;
+    std::string StoredBytes;
+    if (PCache->lookup(Key, F, Restored, &StoredBytes)) {
+      if (!PCache->verifyMode()) {
+        // Replay the engine's one analysis-memo touch (Propagation.cpp
+        // reads its DFS numbering through the cache exactly once per
+        // run) so AnalysisCache counters are identical cold vs. warm.
+        if (Cache)
+          Cache->dfs(F);
+        return Restored;
+      }
+      // Verify mode: re-analyze and compare bytes; the fresh result is
+      // used either way, so a divergent store cannot taint the run.
+      FunctionVRPResult Fresh = propagateRanges(F, Opts, Ctx);
+      if (PersistentCache::serialize(Fresh) != StoredBytes)
+        PCache->noteDivergence();
+      return Fresh;
+    }
+  }
+  FunctionVRPResult R = propagateRanges(F, Opts, Ctx);
+  if (UsePCache && !R.Degraded)
+    PCache->insert(Key, R);
+  return R;
+}
+
+InterprocDriver::SccOutcome
+InterprocDriver::analyzeScc(const std::vector<unsigned> &Members,
+                            bool Recursive) {
+  SccOutcome Out;
+  RangeStats Scratch;
+  RangeOps Ops(Opts, Scratch);
+
+  // Intra-SCC return overlay: recursive members read each other's
+  // current-iteration return ranges through it; everything outside the
+  // SCC resolves through the (frozen for this wave) module table.
+  std::map<const Function *, ValueRange> Overlay;
+
   PropagationContext Ctx;
   Ctx.ParamRange = [this](const Param *P) {
     auto It = ParamTable.find(P);
     return It == ParamTable.end() ? ValueRange::bottom() : It->second;
   };
-  Ctx.CallResultRange = [this](const CallInst *Call) {
+  Ctx.CallResultRange = [this, &Overlay](const CallInst *Call) {
+    auto O = Overlay.find(Call->callee());
+    if (O != Overlay.end())
+      return O->second;
     auto It = ReturnTable.find(Call->callee());
     return It == ReturnTable.end() ? ValueRange::bottom() : It->second;
   };
   Ctx.Cache = Cache;
 
-  // The intraprocedural phase: every function is independent given the
-  // (frozen-for-this-round) Param/Return tables, so it fans out across the
-  // pool. Results are merged in function order afterwards, making the
-  // outcome identical to the serial loop.
-  std::vector<const Function *> Fns;
-  Fns.reserve(M.functions().size());
-  for (const auto &F : M.functions())
-    Fns.push_back(F.get());
+  if (!Recursive) {
+    for (unsigned I : Members) {
+      FunctionVRPResult R = analyzeOne(*Fns[I], Ctx);
+      ValueRange Ret = computeReturnRange(*Fns[I], R, Ops);
+      Out.FnResults.emplace_back(I, std::move(R));
+      Out.Returns.emplace_back(I, Ret);
+    }
+    return Out;
+  }
 
-  // Deadline degradation: a function whose analysis would start past the
-  // deadline gets the same ⊥ result a blown step budget produces, so the
-  // module still yields a complete (if partly heuristic) prediction map.
-  //
-  // The persistent cache consults its frozen on-disk snapshot before
-  // running the engine. Fault-injected runs bypass it entirely (injected
-  // corruption must never be served back or persisted) and so do traced
-  // runs (a hit would silently skip the trace events the user asked for).
-  const bool UsePCache = PCache && !fault::armed() && !Opts.Trace;
-  auto analyzeOne = [&](const Function &F) {
-    if (pastDeadline())
-      return degradedResult(F);
-    std::string Key;
-    if (UsePCache) {
-      Key = PersistentCache::makeKey(F, Opts, Ctx);
-      FunctionVRPResult Restored;
-      std::string StoredBytes;
-      if (PCache->lookup(Key, F, Restored, &StoredBytes)) {
-        if (!PCache->verifyMode()) {
-          // Replay the engine's one analysis-memo touch (Propagation.cpp
-          // reads its DFS numbering through the cache exactly once per
-          // run) so AnalysisCache counters are identical cold vs. warm.
-          if (Cache)
-            Cache->dfs(F);
-          return Restored;
-        }
-        // Verify mode: re-analyze and compare bytes; the fresh result is
-        // used either way, so a divergent store cannot taint the run.
-        FunctionVRPResult Fresh = propagateRanges(F, Opts, Ctx);
-        if (PersistentCache::serialize(Fresh) != StoredBytes)
-          PCache->noteDivergence();
-        return Fresh;
+  // Recursive SCC: iterate the members (in module order) against the
+  // local overlay until their return ranges stabilize or the iteration
+  // cap. Parameters of recursive functions are pinned ⊥ (paper §3.7), so
+  // only return ranges circulate inside the cycle. The overlay always
+  // starts from ⊥ — never from the module table — so the outcome is a
+  // function of the frozen external tables alone. Seeding from the
+  // previous sweep's returns would make the (capped) iteration
+  // path-dependent, and cold vs. incremental runs would then disagree
+  // bitwise on recursive SCCs inside the re-analysis cone.
+  for (unsigned I : Members)
+    Overlay[Fns[I]] = ValueRange::bottom();
+  std::map<unsigned, FunctionVRPResult> Current;
+  for (unsigned Iter = 0; Iter < SccIterationLimit; ++Iter) {
+    for (unsigned I : Members)
+      Current[I] = analyzeOne(*Fns[I], Ctx);
+    bool Stable = true;
+    for (unsigned I : Members) {
+      ValueRange Ret = computeReturnRange(*Fns[I], Current[I], Ops);
+      // Bitwise stabilization (tolerance 0): the default 1e-9 probability
+      // tolerance would let the iteration settle on path-dependent
+      // ULP-different values, breaking cold-vs-incremental identity.
+      if (!Overlay[Fns[I]].equals(Ret, 0.0)) {
+        Overlay[Fns[I]] = Ret;
+        Stable = false;
       }
     }
-    FunctionVRPResult R = propagateRanges(F, Opts, Ctx);
-    if (UsePCache && !R.Degraded)
-      PCache->insert(Key, R);
-    return R;
-  };
-
-  std::vector<FunctionVRPResult> Results;
-  if (Pool && Pool->threadCount() > 1) {
-    Results = Pool->parallelMap<FunctionVRPResult>(
-        Fns.size(), [&](size_t I) { return analyzeOne(*Fns[I]); });
-  } else {
-    Results.reserve(Fns.size());
-    for (const Function *F : Fns)
-      Results.push_back(analyzeOne(*F));
+    if (Stable)
+      break;
   }
-
-  Result.PerFunction.clear();
-  Result.Total = RangeStats();
-  Result.FunctionsDegraded = 0;
-  for (size_t I = 0; I < Fns.size(); ++I) {
-    Result.Total += Results[I].Stats;
-    if (Results[I].Degraded)
-      ++Result.FunctionsDegraded;
-    Result.PerFunction.emplace(Fns[I], std::move(Results[I]));
+  for (unsigned I : Members) {
+    Out.Returns.emplace_back(I, Overlay[Fns[I]]);
+    Out.FnResults.emplace_back(I, std::move(Current[I]));
   }
+  return Out;
 }
 
-bool InterprocDriver::refreshTables(const ModuleVRPResult &Result,
-                                    const CallGraph &CG) {
-  bool Changed = false;
-  VRPOptions LocalOpts = Opts;
-  RangeStats Scratch;
-  RangeOps Ops(LocalOpts, Scratch);
+unsigned InterprocDriver::runSweep() {
+  AnalyzedThisSweep.clear();
+  unsigned Analyzed = 0;
+  struct Job {
+    unsigned Scc;
+    std::vector<unsigned> Members;
+    bool Recursive;
+  };
+  while (!DirtySccs.empty()) {
+    // Pop the lowest wave with dirty work. All of it is mutually
+    // independent, so it forms one parallel batch; anything the batch
+    // dirties lands in a strictly later wave of this same sweep.
+    unsigned Wave = DirtySccs.begin()->first;
+    std::vector<Job> Jobs;
+    while (!DirtySccs.empty() && DirtySccs.begin()->first == Wave) {
+      unsigned S = DirtySccs.begin()->second;
+      DirtySccs.erase(DirtySccs.begin());
+      const auto &Component = CG->sccsBottomUp()[S];
+      bool Recursive =
+          Component.size() > 1 || CG->isRecursive(Component.front());
+      std::vector<unsigned> Members;
+      Members.reserve(Component.size());
+      if (Recursive) {
+        // Members of a cycle are coupled through the overlay; a dirty
+        // one re-runs them all.
+        for (const Function *F : Component)
+          Members.push_back(CG->indexOf(F));
+        std::sort(Members.begin(), Members.end());
+      } else {
+        unsigned I = CG->indexOf(Component.front());
+        if (!Dirty[I])
+          continue;
+        Members.push_back(I);
+      }
+      Jobs.push_back({S, std::move(Members), Recursive});
+    }
+    if (Jobs.empty())
+      continue;
 
-  // Jump functions: merge argument ranges across call sites, weighted by
-  // the call block's reach probability in the caller.
-  for (const auto &F : M.functions()) {
-    bool Recursive = CG.isRecursive(F.get());
+    // Satellite fix: the deadline (and its injected fault clock) is
+    // probed only here, on the coordinating thread, so which functions
+    // degrade depends on which boundary expired — never on the schedule.
+    probeDeadline();
+    if (DeadlineBlown)
+      break;
+
+    std::vector<SccOutcome> Outcomes;
+    if (Pool && Pool->threadCount() > 1 && Jobs.size() > 1) {
+      Outcomes = Pool->parallelMap<SccOutcome>(Jobs.size(), [&](size_t J) {
+        return analyzeScc(Jobs[J].Members, Jobs[J].Recursive);
+      });
+    } else {
+      Outcomes.reserve(Jobs.size());
+      for (const Job &J : Jobs)
+        Outcomes.push_back(analyzeScc(J.Members, J.Recursive));
+    }
+
+    // Barrier merge in SCC index order (the order Jobs were popped).
+    for (size_t JI = 0; JI < Jobs.size(); ++JI) {
+      for (auto &Slot : Outcomes[JI].FnResults) {
+        unsigned I = Slot.first;
+        Results[I] = std::move(Slot.second);
+        HasResult[I] = 1;
+        Dirty[I] = 0;
+        if (AnalysesLeft[I] > 0)
+          --AnalysesLeft[I];
+        EverAnalyzed[I] = 1;
+        AnalyzedThisSweep.push_back(I);
+        ++Analyzed;
+      }
+      for (const auto &RetEntry : Outcomes[JI].Returns) {
+        const Function *F = Fns[RetEntry.first];
+        const ValueRange &Ret = RetEntry.second;
+        auto It = ReturnTable.find(F);
+        // Bitwise change detection — see the overlay stabilization note.
+        bool Changed = It == ReturnTable.end()
+                           ? !Ret.isBottom()
+                           : !It->second.equals(Ret, 0.0);
+        if (!Changed)
+          continue;
+        ReturnTable[F] = Ret;
+        // Callers sit in strictly later waves (intra-SCC edges were
+        // already iterated locally): dirty them for this same sweep.
+        for (const CallInst *Site : CG->callerSitesOf(F)) {
+          unsigned CallerIdx = CG->indexOf(Site->function());
+          if (CG->sccOfIndex(CallerIdx) == Jobs[JI].Scc)
+            continue;
+          markDirty(CallerIdx);
+        }
+      }
+    }
+  }
+  if (DeadlineBlown)
+    degradeRemaining();
+  return Analyzed;
+}
+
+void InterprocDriver::refreshParams() {
+  if (AnalyzedThisSweep.empty())
+    return;
+  RangeStats Scratch;
+  RangeOps Ops(Opts, Scratch);
+  // Only the callees of just-analyzed functions can have a changed jump
+  // function; everything else's merge inputs are untouched.
+  std::set<unsigned> Targets;
+  for (unsigned I : AnalyzedThisSweep)
+    for (const CallInst *Call : CG->callSites(Fns[I]))
+      Targets.insert(CG->indexOf(Call->callee()));
+  auto ResultOf = [this](const Function *F) -> const FunctionVRPResult * {
+    unsigned I = CG->indexOf(F);
+    return HasResult[I] ? &Results[I] : nullptr;
+  };
+  for (unsigned T : Targets) {
+    const Function *F = Fns[T];
+    if (F->numParams() == 0)
+      continue;
+    bool Recursive = CG->isRecursiveIndex(T);
+    bool FnChanged = false;
     for (unsigned PI = 0; PI < F->numParams(); ++PI) {
       const Param *P = F->param(PI);
-      ValueRange Merged = ValueRange::bottom();
-      if (!Recursive) {
-        std::vector<std::pair<ValueRange, double>> Entries;
-        for (const CallInst *Call : CG.callersOf(F.get())) {
-          const FunctionVRPResult *CallerResult =
-              Result.forFunction(Call->function());
-          if (!CallerResult)
-            continue;
-          double Weight =
-              CallerResult->BlockProb[Call->parent()->id()];
-          ValueRange Arg = sanitizeForCallee(
-              CallerResult->rangeOf(Call->arg(PI)));
-          Entries.push_back({Arg, std::max(Weight, 1e-6)});
-        }
-        if (Entries.empty()) {
-          // No callers: entry point or dead function; parameters unknown.
-          Merged = ValueRange::bottom();
-        } else {
-          Merged = Ops.meetWeighted(Entries);
-          if (Merged.isTop())
-            Merged = ValueRange::bottom();
-        }
-      }
+      ValueRange Merged = Recursive
+                              ? ValueRange::bottom()
+                              : computeParamRange(F, PI, *CG, ResultOf, Ops);
       auto It = ParamTable.find(P);
-      if (It == ParamTable.end() || !It->second.equals(Merged)) {
+      // Bitwise change detection — see the overlay stabilization note.
+      bool Changed = It == ParamTable.end()
+                         ? !Merged.isBottom()
+                         : !It->second.equals(Merged, 0.0);
+      if (Changed) {
         ParamTable[P] = Merged;
-        Changed = true;
+        FnChanged = true;
       }
     }
+    if (FnChanged)
+      markDirty(T);
   }
-
-  // Return functions: merge `ret` operand ranges weighted by reach
-  // probability of the returning block.
-  for (const auto &F : M.functions()) {
-    const FunctionVRPResult *FR = Result.forFunction(F.get());
-    if (!FR || F->returnType() == IRType::Void)
-      continue;
-    std::vector<std::pair<ValueRange, double>> Entries;
-    for (const auto &B : F->blocks()) {
-      const auto *Ret = dyn_cast_or_null<RetInst>(B->terminator());
-      if (!Ret || !Ret->hasValue())
-        continue;
-      ValueRange VR = sanitizeForCallee(FR->rangeOf(Ret->value()));
-      Entries.push_back({VR, std::max(FR->BlockProb[B->id()], 1e-6)});
-    }
-    ValueRange Merged =
-        Entries.empty() ? ValueRange::bottom() : Ops.meetWeighted(Entries);
-    if (Merged.isTop())
-      Merged = ValueRange::bottom();
-    auto It = ReturnTable.find(F.get());
-    if (It == ReturnTable.end() || !It->second.equals(Merged)) {
-      ReturnTable[F.get()] = Merged;
-      Changed = true;
-    }
-  }
-  return Changed;
 }
 
-unsigned InterprocDriver::cloneDivergentCallees(ModuleVRPResult &Result) {
-  CallGraph CG(M);
+void InterprocDriver::sweepLoop() {
+  while (!DirtySccs.empty()) {
+    runSweep();
+    ++Sweeps;
+    if (DeadlineBlown || !Opts.Interprocedural)
+      break;
+    refreshParams();
+  }
+}
+
+void InterprocDriver::degradeRemaining() {
+  // Deadline blown at a wave boundary: every function not yet analyzed
+  // this run keeps its previous result if it has one (incremental mode),
+  // else degrades to the manufactured ⊥ result — in module order, so the
+  // degraded set is reproducible for a given boundary.
+  for (unsigned I = 0; I < Fns.size(); ++I) {
+    if (!HasResult[I]) {
+      Results[I] = degradedResult(*Fns[I]);
+      HasResult[I] = 1;
+    }
+    Dirty[I] = 0;
+  }
+  DirtySccs.clear();
+}
+
+void InterprocDriver::runIntraprocedural() {
+  // No cross-function information: one flat fan-out, the whole module a
+  // single wave (the deadline is probed once at its boundary).
+  PropagationContext Ctx;
+  Ctx.ParamRange = [](const Param *) { return ValueRange::bottom(); };
+  Ctx.CallResultRange = [](const CallInst *) { return ValueRange::bottom(); };
+  Ctx.Cache = Cache;
+  probeDeadline();
+  if (DeadlineBlown) {
+    degradeRemaining();
+    Sweeps = 1;
+    return;
+  }
+  auto AnalyzeSlot = [&](size_t I) { return analyzeOne(*Fns[I], Ctx); };
+  std::vector<FunctionVRPResult> Out;
+  if (Pool && Pool->threadCount() > 1) {
+    Out = Pool->parallelMap<FunctionVRPResult>(Fns.size(), AnalyzeSlot);
+  } else {
+    Out.reserve(Fns.size());
+    for (size_t I = 0; I < Fns.size(); ++I)
+      Out.push_back(AnalyzeSlot(I));
+  }
+  for (unsigned I = 0; I < Fns.size(); ++I) {
+    Results[I] = std::move(Out[I]);
+    HasResult[I] = 1;
+    Dirty[I] = 0;
+    EverAnalyzed[I] = 1;
+  }
+  DirtySccs.clear();
+  Sweeps = 1;
+}
+
+unsigned InterprocDriver::cloneDivergentCallees() {
   struct CloneJob {
     const Function *Callee;
     std::vector<const CallInst *> Sites;
   };
   std::vector<CloneJob> Jobs;
+  auto ResultOf = [this](const Function *F) -> const FunctionVRPResult * {
+    unsigned I = CG->indexOf(F);
+    return HasResult[I] ? &Results[I] : nullptr;
+  };
 
-  for (const auto &F : M.functions()) {
-    if (F->numParams() == 0 || CG.isRecursive(F.get()))
+  for (const Function *F : Fns) {
+    if (F->numParams() == 0 || CG->isRecursive(F))
       continue;
-    std::vector<const CallInst *> Sites = CG.callersOf(F.get());
+    std::vector<const CallInst *> Sites = CG->callersOf(F);
     if (Sites.size() < 2 || Sites.size() > 4)
       continue;
     // Divergent when some parameter's argument ranges differ between two
@@ -262,8 +576,7 @@ unsigned InterprocDriver::cloneDivergentCallees(ModuleVRPResult &Result) {
       ValueRange FirstSeen;
       bool Any = false;
       for (const CallInst *Call : Sites) {
-        const FunctionVRPResult *CallerResult =
-            Result.forFunction(Call->function());
+        const FunctionVRPResult *CallerResult = ResultOf(Call->function());
         if (!CallerResult)
           continue;
         ValueRange Arg =
@@ -279,7 +592,7 @@ unsigned InterprocDriver::cloneDivergentCallees(ModuleVRPResult &Result) {
       }
     }
     if (Divergent)
-      Jobs.push_back({F.get(), std::move(Sites)});
+      Jobs.push_back({F, std::move(Sites)});
   }
 
   unsigned NumClones = 0;
@@ -302,33 +615,154 @@ unsigned InterprocDriver::cloneDivergentCallees(ModuleVRPResult &Result) {
   return NumClones;
 }
 
-ModuleVRPResult InterprocDriver::run() {
+ModuleVRPResult InterprocDriver::finalize() {
   ModuleVRPResult Result;
-  analyzeAll(Result);
-  Result.Rounds = 1;
-  if (!Opts.Interprocedural)
-    return Result;
-
-  if (Opts.EnableCloning) {
-    Result.FunctionsCloned = cloneDivergentCallees(Result);
-    if (Result.FunctionsCloned > 0)
-      analyzeAll(Result);
+  Result.Rounds = std::max(Sweeps, 1u);
+  Result.Waves = CG ? CG->numWaves() : 0;
+  Result.FunctionsCloned = Cloned;
+  for (unsigned I = 0; I < Fns.size(); ++I) {
+    assert(HasResult[I] && "scheduler left a function without a result");
+    Result.Total += Results[I].Stats;
+    if (Results[I].Degraded)
+      ++Result.FunctionsDegraded;
+    if (EverAnalyzed[I])
+      Result.Reanalyzed.push_back(Fns[I]);
+    Result.PerFunction.emplace(Fns[I], std::move(Results[I]));
   }
-
-  const unsigned MaxRounds = 4;
-  CallGraph CG(M);
-  for (unsigned Round = 1; Round < MaxRounds; ++Round) {
-    // Out of time: keep the rounds already computed rather than starting
-    // a refinement pass that would only produce degraded functions.
-    if (pastDeadline())
-      break;
-    if (!refreshTables(Result, CG))
-      break;
-    analyzeAll(Result);
-    ++Result.Rounds;
-  }
+  Result.FunctionsReanalyzed =
+      static_cast<unsigned>(Result.Reanalyzed.size());
+  telemetry::count(telemetry::Counter::InterprocSweeps, Result.Rounds);
+  telemetry::count(telemetry::Counter::InterprocWaves, Result.Waves);
+  telemetry::count(telemetry::Counter::InterprocFunctionsReanalyzed,
+                   Result.FunctionsReanalyzed);
   return Result;
 }
+
+ModuleVRPResult InterprocDriver::run() {
+  initState();
+  if (!Opts.Interprocedural) {
+    runIntraprocedural();
+    return finalize();
+  }
+  for (unsigned I = 0; I < Fns.size(); ++I)
+    markDirty(I);
+  sweepLoop();
+
+  if (Opts.EnableCloning && !DeadlineBlown) {
+    unsigned NumClones = cloneDivergentCallees();
+    if (NumClones > 0) {
+      // The module grew and call sites were retargeted: rebuild the
+      // schedule and re-run from scratch (sweep count accumulates).
+      initState();
+      Cloned = NumClones;
+      for (unsigned I = 0; I < Fns.size(); ++I)
+        markDirty(I);
+      sweepLoop();
+    }
+  }
+  return finalize();
+}
+
+ModuleVRPResult
+InterprocDriver::runIncremental(const Module &PrevModule,
+                                const ModuleVRPResult &Previous) {
+  initState();
+
+  std::map<std::string, const Function *> PrevByName;
+  for (const auto &PF : PrevModule.functions())
+    PrevByName.emplace(PF->name(), PF.get());
+
+  // Changed-function detection by canonical IR text (the same content
+  // fingerprint PersistentCache keys on): a function whose text is
+  // unchanged starts from its previous result, rebound to this module's
+  // pointers through the pointer-free serialization — a bitwise reuse.
+  unsigned Reused = 0;
+  for (unsigned I = 0; I < Fns.size(); ++I) {
+    const Function *F = Fns[I];
+    auto It = PrevByName.find(F->name());
+    const FunctionVRPResult *PR =
+        It == PrevByName.end() ? nullptr : Previous.forFunction(It->second);
+    bool Changed = true;
+    if (PR && !PR->Degraded && irText(*F) == irText(*It->second)) {
+      FunctionVRPResult Rebound;
+      if (PersistentCache::deserialize(PersistentCache::serialize(*PR), *F,
+                                       Rebound)) {
+        Results[I] = std::move(Rebound);
+        HasResult[I] = 1;
+        Changed = false;
+        ++Reused;
+      }
+    }
+    if (Changed)
+      markDirty(I);
+  }
+  telemetry::count(telemetry::Counter::IncrementalFunctionsReused, Reused);
+
+  // Seed the interprocedural tables with the previous run's converged
+  // state, translated to this module by function name and parameter
+  // index. Table entries never carry symbolic bounds (sanitizeForCallee),
+  // so the ranges themselves are safe to carry across modules.
+  if (Opts.Interprocedural) {
+    CallGraph PrevCG(PrevModule);
+    RangeStats Scratch;
+    RangeOps Ops(Opts, Scratch);
+    std::map<std::string, const Function *> NewByName;
+    for (const Function *F : Fns)
+      NewByName.emplace(F->name(), F);
+    auto PrevResultOf =
+        [&Previous](const Function *F) -> const FunctionVRPResult * {
+      return Previous.forFunction(F);
+    };
+    for (const auto &PF : PrevModule.functions()) {
+      auto NewIt = NewByName.find(PF->name());
+      if (NewIt == NewByName.end())
+        continue;
+      const Function *NewF = NewIt->second;
+      const FunctionVRPResult *PR = Previous.forFunction(PF.get());
+      if (PR) {
+        ValueRange Ret = computeReturnRange(*PF, *PR, Ops);
+        if (!Ret.isBottom())
+          ReturnTable[NewF] = Ret;
+      }
+      if (!PrevCG.isRecursive(PF.get())) {
+        unsigned NumParams =
+            std::min(PF->numParams(), NewF->numParams());
+        for (unsigned PI = 0; PI < NumParams; ++PI) {
+          ValueRange Merged =
+              computeParamRange(PF.get(), PI, PrevCG, PrevResultOf, Ops);
+          if (!Merged.isBottom())
+            ParamTable[NewF->param(PI)] = Merged;
+        }
+      }
+    }
+  }
+
+  sweepLoop();
+  return finalize();
+}
+
+namespace {
+
+/// Fault site "unsound-range": one shouldFail probe per function that
+/// HAS a corruptible range, on the coordinating thread in module order,
+/// so a spec like "unsound-range@bench:0" corrupts the same function at
+/// any thread count — and never no-ops on a branch-free helper. The
+/// corruption leaves predictions intact — only the soundness sentinel
+/// can tell.
+void applyUnsoundRangeFault(const Module &M, ModuleVRPResult &Result) {
+  if (!fault::armed())
+    return;
+  for (const auto &F : M.functions()) {
+    auto It = Result.PerFunction.find(F.get());
+    if (It == Result.PerFunction.end() ||
+        !audit::canCorruptRange(*F, It->second))
+      continue;
+    if (fault::shouldFail("unsound-range"))
+      audit::corruptRangeForTesting(*F, It->second);
+  }
+}
+
+} // namespace
 
 ModuleVRPResult vrp::runModuleVRP(Module &M, const VRPOptions &Opts,
                                   AnalysisCache *Cache,
@@ -342,22 +776,7 @@ ModuleVRPResult vrp::runModuleVRP(Module &M, const VRPOptions &Opts,
   } else {
     Result = InterprocDriver(M, Opts, Cache, PCache, nullptr).run();
   }
-  // Fault site "unsound-range": one shouldFail probe per function that
-  // HAS a corruptible range, on the coordinating thread in module order,
-  // so a spec like "unsound-range@bench:0" corrupts the same function at
-  // any thread count — and never no-ops on a branch-free helper. The
-  // corruption leaves predictions intact — only the soundness sentinel
-  // can tell.
-  if (fault::armed()) {
-    for (const auto &F : M.functions()) {
-      auto It = Result.PerFunction.find(F.get());
-      if (It == Result.PerFunction.end() ||
-          !audit::canCorruptRange(*F, It->second))
-        continue;
-      if (fault::shouldFail("unsound-range"))
-        audit::corruptRangeForTesting(*F, It->second);
-    }
-  }
+  applyUnsoundRangeFault(M, Result);
   return Result;
 }
 
@@ -367,4 +786,29 @@ ModuleVRPResult vrp::runModuleVRP(const Module &M, const VRPOptions &Opts,
   assert(!(Opts.Interprocedural && Opts.EnableCloning) &&
          "cloning mutates the module; use the non-const overload");
   return runModuleVRP(const_cast<Module &>(M), Opts, Cache, PCache);
+}
+
+ModuleVRPResult vrp::runModuleVRPIncremental(const Module &M,
+                                             const VRPOptions &Opts,
+                                             const Module &PrevModule,
+                                             const ModuleVRPResult &Previous,
+                                             AnalysisCache *Cache,
+                                             PersistentCache *PCache) {
+  assert(!Opts.EnableCloning &&
+         "incremental re-analysis never mutates the module");
+  telemetry::ScopedTimer T(telemetry::Timer::Propagation);
+  unsigned Threads = ThreadPool::resolveThreadCount(Opts.Threads);
+  // Never mutated: cloning is excluded above, and nothing else writes.
+  Module &MM = const_cast<Module &>(M);
+  ModuleVRPResult Result;
+  if (Threads > 1 && M.functions().size() > 1) {
+    ThreadPool Pool(Threads);
+    Result = InterprocDriver(MM, Opts, Cache, PCache, &Pool)
+                 .runIncremental(PrevModule, Previous);
+  } else {
+    Result = InterprocDriver(MM, Opts, Cache, PCache, nullptr)
+                 .runIncremental(PrevModule, Previous);
+  }
+  applyUnsoundRangeFault(M, Result);
+  return Result;
 }

@@ -8,11 +8,17 @@
 /// Interprocedural value range propagation (paper §3.7). Jump functions —
 /// the evaluated actual-argument ranges at each call site — feed callee
 /// parameter ranges; return functions feed call-result ranges back. The
-/// whole program is iterated "almost as if it were one huge control flow
-/// graph" until the cross-function tables stabilize (bounded rounds).
-/// Functions on call-graph cycles (recursion) receive ⊥ parameters.
-/// Optional procedure cloning specializes callees whose call-site contexts
-/// diverge.
+/// module is scheduled per-SCC bottom-up over the CallGraph's wave
+/// layering: within one sweep, return ranges propagate all the way up the
+/// call DAG (callee SCCs finish before their callers start), and only the
+/// functions whose resolved context actually changed are re-analyzed in
+/// later sweeps (parameter ranges flow one call-depth level per sweep).
+/// Functions on call-graph cycles receive ⊥ parameters and their SCCs
+/// iterate internally until their return ranges stabilize. Optional
+/// procedure cloning specializes callees whose call-site contexts diverge.
+///
+/// docs/SCALING.md describes the scheduler, its determinism contract and
+/// the incremental re-analysis mode in detail.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +29,7 @@
 #include "vrp/Propagation.h"
 
 #include <map>
+#include <vector>
 
 namespace vrp {
 
@@ -30,11 +37,22 @@ namespace vrp {
 struct ModuleVRPResult {
   std::map<const Function *, FunctionVRPResult> PerFunction;
   RangeStats Total;
+  /// Interprocedural sweeps executed (bottom-up passes over the wave
+  /// schedule; 1 when nothing needed refinement).
   unsigned Rounds = 0;
+  /// Waves in the SCC condensation's layering (0 for intraprocedural
+  /// runs, which never build the call graph).
+  unsigned Waves = 0;
   unsigned FunctionsCloned = 0;
   /// Functions whose propagation hit a resource budget (step cap or
   /// deadline) and degraded to the Ball–Larus fallback.
   unsigned FunctionsDegraded = 0;
+  /// Distinct functions the scheduler actually (re-)analyzed. Equals the
+  /// module size on a full run; on an incremental run it is exactly the
+  /// invalidated cone.
+  unsigned FunctionsReanalyzed = 0;
+  /// The cone itself, in module function order (empty ⇔ nothing dirty).
+  std::vector<const Function *> Reanalyzed;
 
   const FunctionVRPResult *forFunction(const Function *F) const {
     auto It = PerFunction.find(F);
@@ -49,14 +67,14 @@ class PersistentCache;
 /// parameter and return ranges flow across call edges; otherwise each
 /// function is analyzed with ⊥ context. With Opts.EnableCloning set (and
 /// interprocedural analysis on), divergent-context callees are cloned
-/// first — note this MUTATES the module.
+/// after the first fixpoint — note this MUTATES the module.
 ///
-/// With Opts.Threads > 1 (or 0 = auto) the per-function intraprocedural
-/// phase fans functions out across a worker pool; the interprocedural
-/// jump/return-table fixup stays on the coordinating thread and results
-/// are merged in function order, so output is identical to a serial run.
+/// With Opts.Threads > 1 (or 0 = auto) independent SCCs of the same wave
+/// fan out across a worker pool; all table updates happen on the
+/// coordinating thread at wave boundaries and results merge in function
+/// order, so output is bitwise identical to a serial run.
 ///
-/// \p Cache optionally memoizes per-function CFG analyses across rounds
+/// \p Cache optionally memoizes per-function CFG analyses across sweeps
 /// and across predictors (see analysis/AnalysisCache.h). Cloning
 /// invalidates the entries of callers whose call sites were retargeted.
 ///
@@ -74,6 +92,25 @@ ModuleVRPResult runModuleVRP(Module &M, const VRPOptions &Opts,
 ModuleVRPResult runModuleVRP(const Module &M, const VRPOptions &Opts,
                              AnalysisCache *Cache = nullptr,
                              PersistentCache *PCache = nullptr);
+
+/// Incremental re-analysis: analyzes \p M reusing \p Previous, the result
+/// of analyzing \p PrevModule (an earlier compile of the same program).
+/// Functions are matched by name; a function whose canonical IR text is
+/// unchanged starts from its previous result (rebound to the new module
+/// through the PersistentCache serialization, so the reuse is bitwise).
+/// The changed functions seed the dirty set and the scheduler re-analyzes
+/// exactly the invalidated cone: callers re-run only when a callee's
+/// return range actually changed, callees only when the merged jump
+/// function into them changed. Result::Reanalyzed reports the cone.
+///
+/// Cloning is not applied in incremental mode (the module is not
+/// mutated); pass Opts with EnableCloning off.
+ModuleVRPResult runModuleVRPIncremental(const Module &M,
+                                        const VRPOptions &Opts,
+                                        const Module &PrevModule,
+                                        const ModuleVRPResult &Previous,
+                                        AnalysisCache *Cache = nullptr,
+                                        PersistentCache *PCache = nullptr);
 
 } // namespace vrp
 

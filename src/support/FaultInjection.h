@@ -21,6 +21,12 @@
 ///                    range, in module order) — invisible until the
 ///                    soundness sentinel (vrp/Audit.h) replays an
 ///                    execution against it
+///   "module-deadline" the interprocedural scheduler treats its module
+///                    deadline as expired; probed once per wave boundary
+///                    with pending work, on the coordinating thread, so
+///                    "module-deadline:n" degrades a deterministic,
+///                    schedule-independent set of functions (the fault
+///                    clock for deadline-determinism tests)
 ///
 /// A spec arms one or more entries, comma separated:
 ///

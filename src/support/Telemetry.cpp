@@ -91,6 +91,14 @@ const char *counterName(Counter C) {
     return "range_kernel_slow_path";
   case Counter::RangeOpMemoHits:
     return "range_op_memo_hits";
+  case Counter::InterprocSweeps:
+    return "interproc_sweeps";
+  case Counter::InterprocWaves:
+    return "interproc_waves";
+  case Counter::InterprocFunctionsReanalyzed:
+    return "interproc_functions_reanalyzed";
+  case Counter::IncrementalFunctionsReused:
+    return "incremental_functions_reused";
   case Counter::NumCounters:
     break;
   }

@@ -100,6 +100,14 @@ enum class Counter : unsigned {
   RangeKernelFastPath,
   RangeKernelSlowPath,
   RangeOpMemoHits,
+  // Interprocedural SCC-wave scheduler (interproc/InterproceduralVRP.cpp).
+  // Sweeps, waves and the (re-)analyzed / reused function counts are pure
+  // functions of the module and the dirty set, so they sit in the
+  // deterministic half of the report.
+  InterprocSweeps,
+  InterprocWaves,
+  InterprocFunctionsReanalyzed,
+  IncrementalFunctionsReused,
 
   NumCounters ///< Sentinel; keep last.
 };

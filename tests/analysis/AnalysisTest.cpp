@@ -230,6 +230,65 @@ TEST(CallGraphTest, SCCBottomUpOrder) {
   EXPECT_EQ(CG.callees(C->IR->findFunction("main")).size(), 2u);
 }
 
+TEST(CallGraphTest, WavesLayerTheCondensation) {
+  auto C = compile(R"(
+    fn leaf1(n) { return n + 1; }
+    fn leaf2(n) { return n * 2; }
+    fn mid(n) { return leaf1(n) + leaf2(n); }
+    fn top(n) { return mid(n) + leaf2(n); }
+    fn pa(n) { if (n > 0) { return pb(n - 1); } return 0; }
+    fn pb(n) { return pa(n); }
+    fn main() { return top(4) + pa(3); }
+  )");
+  CallGraph CG(*C->IR);
+  auto waveOf = [&](const char *Name) {
+    return CG.waveOf(CG.sccOf(C->IR->findFunction(Name)));
+  };
+  // Leaves sit in wave 0 — including the pa/pb cycle, which calls
+  // nothing outside itself.
+  EXPECT_EQ(waveOf("leaf1"), 0u);
+  EXPECT_EQ(waveOf("leaf2"), 0u);
+  EXPECT_EQ(waveOf("pa"), 0u);
+  EXPECT_EQ(waveOf("pb"), 0u);
+  EXPECT_EQ(waveOf("mid"), 1u);
+  EXPECT_EQ(waveOf("top"), 2u);
+  EXPECT_EQ(waveOf("main"), 3u);
+  EXPECT_EQ(CG.numWaves(), 4u);
+
+  // waves() enumerates every SCC exactly once, grouped consistently with
+  // waveOf().
+  unsigned Enumerated = 0;
+  for (unsigned W = 0; W < CG.numWaves(); ++W)
+    for (unsigned S : CG.waves()[W]) {
+      EXPECT_EQ(CG.waveOf(S), W);
+      ++Enumerated;
+    }
+  EXPECT_EQ(Enumerated, CG.numSccs());
+}
+
+TEST(CallGraphTest, SameWaveSccsShareNoCallEdge) {
+  auto C = compile(R"(
+    fn a(n) { return n + 1; }
+    fn b(n) { return a(n) + 2; }
+    fn c(n) { return a(n) * 3; }
+    fn d(n) { return b(n) + c(n); }
+    fn main() { return d(5); }
+  )");
+  CallGraph CG(*C->IR);
+  // Every call edge crosses strictly downward in the wave order: a wave's
+  // SCCs are mutually independent, the property the parallel scheduler
+  // relies on.
+  for (const auto &F : C->IR->functions())
+    for (const Function *Callee : CG.callees(F.get())) {
+      unsigned CallerScc = CG.sccOf(F.get());
+      unsigned CalleeScc = CG.sccOf(Callee);
+      if (CallerScc == CalleeScc)
+        continue;
+      EXPECT_LT(CG.waveOf(CalleeScc), CG.waveOf(CallerScc))
+          << F->name() << " -> " << Callee->name();
+    }
+}
+
 TEST(CallGraphTest, RecursionDetection) {
   auto C = compile(R"(
     fn odd(n) { if (n == 0) { return 0; } return even(n - 1); }
