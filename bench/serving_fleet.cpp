@@ -1,0 +1,491 @@
+//===- bench/serving_fleet.cpp - predictord fleet load generator -----------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Load-tests the supervised multi-process fleet (serve/Supervisor.h +
+// serve/Router.h) end to end, spawning the real predictord binary:
+//
+//  * a single-process, memoization-off baseline (in-process Server, the
+//    same shape as BENCH_serving.json's memo-off rows) — the number the
+//    fleet has to beat;
+//  * fleet throughput at 1/2/4 workers in the production configuration
+//    (response memo on, rendezvous-hashed shard affinity). The host has
+//    one core, so the fleet's win comes from cache affinity — the same
+//    source always lands on the same worker, whose response memo answers
+//    repeats with a hash lookup — not from parallel analysis;
+//  * a kill -9 under load scenario: one worker is SIGKILLed mid-burst
+//    and every client request must still succeed (the router retries the
+//    in-flight request exactly once on a healthy worker; predict is
+//    idempotent, so the retry is bitwise-identical);
+//  * cross-process bitwise identity: every fleet `predict` payload must
+//    equal the in-process baseline's payload for the same source.
+//
+// Emits BENCH_serving_fleet.json. The acceptance bar: 4-worker fleet
+// aggregate req/s >= 2x the single-process memo-off baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchsuite/Programs.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "serve/Supervisor.h"
+#include "support/Format.h"
+#include "support/Process.h"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+double wallSeconds(std::chrono::steady_clock::time_point Start,
+                   std::chrono::steady_clock::time_point End) {
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  double Index = P * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Index);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Index - static_cast<double>(Lo);
+  return Sorted[Lo] + (Sorted[Hi] - Sorted[Lo]) * Frac;
+}
+
+std::vector<const BenchmarkProgram *> loadSources() {
+  std::vector<const BenchmarkProgram *> All = allPrograms();
+  if (All.size() > 6)
+    All.resize(6);
+  return All;
+}
+
+struct LoadResult {
+  unsigned Workers = 0;
+  uint64_t Requests = 0;
+  uint64_t Errors = 0;
+  double Seconds = 0.0;
+  double Throughput = 0.0;
+  double P50Ms = 0.0, P95Ms = 0.0, P99Ms = 0.0;
+  bool Deterministic = true;
+};
+
+/// One client thread against \p SocketPath; shared ledger keyed by
+/// source name enforces bitwise identity across clients and scenarios.
+void clientLoop(const std::string &SocketPath,
+                const std::vector<const BenchmarkProgram *> &Sources,
+                unsigned Count, unsigned Offset,
+                std::vector<double> &LatenciesMs, uint64_t &Errors,
+                std::map<std::string, std::string> &PayloadBySource,
+                std::mutex &M) {
+  std::unique_ptr<Client> C = Client::connect(SocketPath);
+  if (!C) {
+    std::lock_guard<std::mutex> Lock(M);
+    Errors += Count;
+    return;
+  }
+  for (unsigned I = 0; I < Count; ++I) {
+    const BenchmarkProgram *P = Sources[(Offset + I) % Sources.size()];
+    Request Req;
+    Req.Id = I + 1;
+    Req.Method = "predict";
+    Req.Source = P->Source;
+    auto Start = std::chrono::steady_clock::now();
+    StatusOr<Response> R = C->call(Req);
+    auto End = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> Lock(M);
+    if (!R.ok() || R.value().Status != RespStatus::Ok) {
+      ++Errors;
+      continue;
+    }
+    LatenciesMs.push_back(wallSeconds(Start, End) * 1e3);
+    auto It = PayloadBySource.find(P->Name);
+    if (It == PayloadBySource.end())
+      PayloadBySource.emplace(P->Name, R.value().Payload);
+    else if (It->second != R.value().Payload)
+      PayloadBySource[P->Name] = std::string(); // Poison: mismatch seen.
+  }
+}
+
+/// Runs \p Clients x \p RequestsPerClient against an already-listening
+/// socket and folds the payload ledger into \p GlobalPayloads.
+LoadResult measure(const std::string &SocketPath, unsigned Workers,
+                   unsigned Clients, unsigned RequestsPerClient,
+                   std::map<std::string, std::string> &GlobalPayloads) {
+  std::vector<const BenchmarkProgram *> Sources = loadSources();
+  std::vector<double> LatenciesMs;
+  uint64_t Errors = 0;
+  std::map<std::string, std::string> PayloadBySource;
+  std::mutex M;
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> ClientThreads;
+  for (unsigned I = 0; I < Clients; ++I)
+    ClientThreads.emplace_back([&, I] {
+      clientLoop(SocketPath, Sources, RequestsPerClient, I, LatenciesMs,
+                 Errors, PayloadBySource, M);
+    });
+  for (std::thread &T : ClientThreads)
+    T.join();
+  auto End = std::chrono::steady_clock::now();
+
+  LoadResult R;
+  R.Workers = Workers;
+  R.Requests = static_cast<uint64_t>(Clients) * RequestsPerClient;
+  R.Errors = Errors;
+  R.Seconds = wallSeconds(Start, End);
+  R.Throughput = R.Seconds > 0
+                     ? static_cast<double>(LatenciesMs.size()) / R.Seconds
+                     : 0.0;
+  std::sort(LatenciesMs.begin(), LatenciesMs.end());
+  R.P50Ms = percentile(LatenciesMs, 0.50);
+  R.P95Ms = percentile(LatenciesMs, 0.95);
+  R.P99Ms = percentile(LatenciesMs, 0.99);
+  R.Deterministic = true;
+  for (const auto &[Name, Payload] : PayloadBySource) {
+    if (Payload.empty()) {
+      R.Deterministic = false;
+      continue;
+    }
+    auto It = GlobalPayloads.find(Name);
+    if (It == GlobalPayloads.end())
+      GlobalPayloads.emplace(Name, Payload);
+    else if (It->second != Payload)
+      R.Deterministic = false;
+  }
+  return R;
+}
+
+// --- Fleet process management ---------------------------------------------
+
+bool waitForSocket(const std::string &Path, uint64_t TimeoutMs) {
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMs);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    if (std::unique_ptr<Client> C = Client::connect(Path))
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+std::string fleetStats(const std::string &SocketPath) {
+  std::unique_ptr<Client> C = Client::connect(SocketPath);
+  if (!C)
+    return std::string();
+  Request Req;
+  Req.Id = 1;
+  Req.Method = "stats";
+  StatusOr<Response> R = C->call(Req);
+  return R.ok() ? R.value().Payload : std::string();
+}
+
+size_t countUpWorkers(const std::string &Json) {
+  size_t N = 0;
+  for (size_t Pos = Json.find("\"state\":\"up\""); Pos != std::string::npos;
+       Pos = Json.find("\"state\":\"up\"", Pos + 1))
+    ++N;
+  return N;
+}
+
+pid_t workerPid(const std::string &Json, unsigned Index) {
+  std::string Key = "{\"index\":" + std::to_string(Index) + ",\"pid\":";
+  size_t Pos = Json.find(Key);
+  if (Pos == std::string::npos)
+    return -1;
+  return static_cast<pid_t>(std::atol(Json.c_str() + Pos + Key.size()));
+}
+
+uint64_t servingCounter(const std::string &Json, const std::string &Name) {
+  std::string Key = "\"" + Name + "\":";
+  size_t Serving = Json.find("\"serving\":");
+  if (Serving == std::string::npos)
+    return 0;
+  size_t Pos = Json.find(Key, Serving);
+  if (Pos == std::string::npos)
+    return 0;
+  return static_cast<uint64_t>(std::atoll(Json.c_str() + Pos + Key.size()));
+}
+
+struct Fleet {
+  pid_t Pid = -1;
+  std::string SocketPath;
+  unsigned Workers = 0;
+
+  bool start(unsigned NumWorkers, const std::string &Socket,
+             std::vector<std::string> Extra = {}) {
+    SocketPath = Socket;
+    Workers = NumWorkers;
+    ::unlink(Socket.c_str());
+    std::vector<std::string> Args = {"--socket=" + Socket,
+                                     "--workers=" +
+                                         std::to_string(NumWorkers)};
+    for (std::string &E : Extra)
+      Args.push_back(std::move(E));
+    Status Why;
+    Pid = process::spawn(PREDICTORD_PATH, Args, &Why);
+    if (Pid < 0) {
+      std::cerr << "FATAL: spawn: " << Why.error().str() << "\n";
+      return false;
+    }
+    if (!waitForSocket(Socket, 15000))
+      return false;
+    // Wait for the whole fleet to report Up, so the timed window never
+    // includes worker cold-start.
+    auto Deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (std::chrono::steady_clock::now() < Deadline) {
+      if (countUpWorkers(fleetStats(SocketPath)) >= Workers)
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  }
+
+  /// Graceful drain via the `shutdown` method; returns the exit code, or
+  /// -1 when the fleet had to be SIGKILLed.
+  int shutdown() {
+    if (Pid < 0)
+      return -1;
+    if (std::unique_ptr<Client> C = Client::connect(SocketPath)) {
+      Request Req;
+      Req.Id = 1;
+      Req.Method = "shutdown";
+      (void)C->call(Req);
+    }
+    process::ReapResult R = process::waitWithTimeout(Pid, 20000);
+    if (R.State == process::ChildState::Running) {
+      process::signalProcess(Pid, SIGKILL);
+      (void)process::waitWithTimeout(Pid, 5000);
+      Pid = -1;
+      return -1;
+    }
+    Pid = -1;
+    return R.State == process::ChildState::Exited ? R.Code : -1;
+  }
+};
+
+struct KillResult {
+  uint64_t Requests = 0;
+  uint64_t Errors = 0;
+  double Seconds = 0.0;
+  double Throughput = 0.0;
+  uint64_t WorkerRestarts = 0;
+  uint64_t Reroutes = 0;
+  bool Killed = false;
+  bool ZeroClientFailures = false;
+  bool Deterministic = true;
+};
+
+KillResult runKillUnderLoad(std::map<std::string, std::string> &GlobalPayloads) {
+  KillResult K;
+  Fleet F;
+  if (!F.start(4, "BENCH_fleet_kill.sock", {"--backoff-ms=100"})) {
+    std::cerr << "FATAL: kill-under-load fleet failed to start\n";
+    return K;
+  }
+  pid_t Victim = workerPid(fleetStats(F.SocketPath), 0);
+
+  std::vector<const BenchmarkProgram *> Sources = loadSources();
+  constexpr unsigned Clients = 4;
+  constexpr unsigned PerClient = 400;
+  std::vector<double> LatenciesMs;
+  uint64_t Errors = 0;
+  std::map<std::string, std::string> PayloadBySource;
+  std::mutex M;
+
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> ClientThreads;
+  for (unsigned I = 0; I < Clients; ++I)
+    ClientThreads.emplace_back([&, I] {
+      clientLoop(F.SocketPath, Sources, PerClient, I, LatenciesMs, Errors,
+                 PayloadBySource, M);
+    });
+  // Let the burst get going, then murder one worker outright. The router
+  // must retry any in-flight request on a healthy shard: zero client-
+  // visible failures is the contract under test.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  K.Killed = Victim > 0 && process::signalProcess(Victim, SIGKILL);
+  for (std::thread &T : ClientThreads)
+    T.join();
+  auto End = std::chrono::steady_clock::now();
+
+  K.Requests = static_cast<uint64_t>(Clients) * PerClient;
+  K.Errors = Errors;
+  K.Seconds = wallSeconds(Start, End);
+  K.Throughput = K.Seconds > 0
+                     ? static_cast<double>(K.Requests - Errors) / K.Seconds
+                     : 0.0;
+  K.ZeroClientFailures = K.Killed && Errors == 0;
+  for (const auto &[Name, Payload] : PayloadBySource) {
+    if (Payload.empty())
+      K.Deterministic = false;
+    auto It = GlobalPayloads.find(Name);
+    if (It != GlobalPayloads.end() && !Payload.empty() &&
+        It->second != Payload)
+      K.Deterministic = false;
+  }
+
+  // The supervisor notices the death and respawns the shard; give it a
+  // moment so the JSON records the restart.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    std::string S = fleetStats(F.SocketPath);
+    K.WorkerRestarts = servingCounter(S, "worker_restarts");
+    K.Reroutes = servingCounter(S, "reroutes");
+    if (K.WorkerRestarts > 0)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  (void)F.shutdown();
+  return K;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "==== predictord fleet bench ====\n\n";
+  (void)allPrograms();
+
+  std::map<std::string, std::string> GlobalPayloads;
+
+  // Baseline: one in-process Server, memoization off, 4 worker threads —
+  // the same shape as BENCH_serving.json's 4-worker memo-off row,
+  // re-measured here so the comparison is same-host, same-run.
+  LoadResult Baseline;
+  {
+    ServerConfig Config;
+    Config.SocketPath = "BENCH_fleet_baseline.sock";
+    Config.Workers = 4;
+    Config.Service.ResponseMemo = false;
+    Status Why;
+    std::unique_ptr<Server> S = Server::create(Config, &Why);
+    if (!S) {
+      std::cerr << "FATAL: " << Why.error().str() << "\n";
+      return 1;
+    }
+    std::thread ServerThread([&] { (void)S->serve(); });
+    Baseline = measure(Config.SocketPath, 4, /*Clients=*/8,
+                       /*RequestsPerClient=*/50, GlobalPayloads);
+    S->requestShutdown();
+    ServerThread.join();
+  }
+
+  // Fleet scenarios: real predictord processes in the production config
+  // (memo on). Shard affinity keeps each source's memo hot on its home
+  // worker, so repeats are a hash lookup away regardless of which client
+  // sent them.
+  std::vector<LoadResult> FleetLoads;
+  std::vector<int> DrainExitCodes;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    Fleet F;
+    if (!F.start(Workers,
+                 "BENCH_fleet_" + std::to_string(Workers) + ".sock")) {
+      std::cerr << "FATAL: fleet of " << Workers << " failed to start\n";
+      return 1;
+    }
+    FleetLoads.push_back(measure(F.SocketPath, Workers, /*Clients=*/8,
+                                 /*RequestsPerClient=*/50, GlobalPayloads));
+    DrainExitCodes.push_back(F.shutdown());
+  }
+
+  std::cout << "-- load (baseline = single process, memo off; fleet = "
+               "predictord --workers=N, memo on) --\n";
+  TextTable Table({"mode", "workers", "requests", "errors", "req/s",
+                   "p50 ms", "p95 ms", "p99 ms", "identical"});
+  auto addRow = [&Table](const char *Mode, const LoadResult &R) {
+    Table.addRow({Mode, std::to_string(R.Workers),
+                  std::to_string(R.Requests), std::to_string(R.Errors),
+                  formatDouble(R.Throughput, 1), formatDouble(R.P50Ms, 2),
+                  formatDouble(R.P95Ms, 2), formatDouble(R.P99Ms, 2),
+                  R.Deterministic ? "yes" : "NO"});
+  };
+  addRow("single", Baseline);
+  for (const LoadResult &R : FleetLoads)
+    addRow("fleet", R);
+  Table.print(std::cout);
+
+  std::cout << "\n-- kill -9 one of 4 workers under load --\n";
+  KillResult K = runKillUnderLoad(GlobalPayloads);
+  TextTable KTable({"requests", "errors", "req/s", "restarts", "reroutes",
+                    "zero-failures"});
+  KTable.addRow({std::to_string(K.Requests), std::to_string(K.Errors),
+                 formatDouble(K.Throughput, 1),
+                 std::to_string(K.WorkerRestarts),
+                 std::to_string(K.Reroutes),
+                 K.ZeroClientFailures ? "yes" : "NO"});
+  KTable.print(std::cout);
+
+  const LoadResult &Fleet4 = FleetLoads.back();
+  double Speedup = Baseline.Throughput > 0
+                       ? Fleet4.Throughput / Baseline.Throughput
+                       : 0.0;
+  bool AllDeterministic = Baseline.Deterministic && K.Deterministic;
+  bool NoErrors = Baseline.Errors == 0 && K.Errors == 0;
+  bool CleanDrains = true;
+  for (const LoadResult &R : FleetLoads) {
+    AllDeterministic = AllDeterministic && R.Deterministic;
+    NoErrors = NoErrors && R.Errors == 0;
+  }
+  for (int Code : DrainExitCodes)
+    CleanDrains = CleanDrains && Code == 0;
+  bool TargetMet = Speedup >= 2.0;
+  bool Pass = AllDeterministic && NoErrors && CleanDrains && TargetMet &&
+              K.ZeroClientFailures && K.WorkerRestarts > 0;
+
+  std::ofstream Json("BENCH_serving_fleet.json");
+  auto emitLoad = [&Json](const LoadResult &R, const char *Mode) {
+    Json << "{\"mode\": \"" << Mode << "\", \"workers\": " << R.Workers
+         << ", \"requests\": " << R.Requests << ", \"errors\": " << R.Errors
+         << ", \"throughput_rps\": " << formatDouble(R.Throughput, 1)
+         << ", \"p50_ms\": " << formatDouble(R.P50Ms, 3)
+         << ", \"p95_ms\": " << formatDouble(R.P95Ms, 3)
+         << ", \"p99_ms\": " << formatDouble(R.P99Ms, 3)
+         << ", \"deterministic\": " << (R.Deterministic ? "true" : "false")
+         << "}";
+  };
+  Json << "{\n  \"baseline\": ";
+  emitLoad(Baseline, "single-process-memo-off");
+  Json << ",\n  \"fleet\": [\n";
+  for (size_t I = 0; I < FleetLoads.size(); ++I) {
+    Json << "    ";
+    emitLoad(FleetLoads[I], "fleet-memo-on");
+    Json << (I + 1 < FleetLoads.size() ? "," : "") << "\n";
+  }
+  Json << "  ],\n  \"drain_exit_codes\": [";
+  for (size_t I = 0; I < DrainExitCodes.size(); ++I)
+    Json << DrainExitCodes[I] << (I + 1 < DrainExitCodes.size() ? ", " : "");
+  Json << "],\n  \"kill_under_load\": {\"workers\": 4, \"requests\": "
+       << K.Requests << ", \"errors\": " << K.Errors
+       << ", \"throughput_rps\": " << formatDouble(K.Throughput, 1)
+       << ", \"worker_restarts\": " << K.WorkerRestarts
+       << ", \"reroutes\": " << K.Reroutes
+       << ", \"zero_client_failures\": "
+       << (K.ZeroClientFailures ? "true" : "false")
+       << ", \"deterministic\": " << (K.Deterministic ? "true" : "false")
+       << "},\n  \"speedup_4w_fleet_vs_single\": " << formatDouble(Speedup, 2)
+       << ",\n  \"target_2x_met\": " << (TargetMet ? "true" : "false")
+       << ",\n  \"all_deterministic\": "
+       << (AllDeterministic ? "true" : "false") << "\n}\n";
+  Json.close();
+
+  std::cout << "\nresult: " << (Pass ? "PASS" : "FAIL") << " (speedup="
+            << formatDouble(Speedup, 2) << "x vs single memo-off, target>=2x "
+            << (TargetMet ? "met" : "MISSED") << ", zero-failures-on-kill="
+            << (K.ZeroClientFailures ? "yes" : "no") << ", deterministic="
+            << (AllDeterministic ? "yes" : "no") << ", clean-drains="
+            << (CleanDrains ? "yes" : "no")
+            << "); wrote BENCH_serving_fleet.json\n";
+  return Pass ? 0 : 1;
+}

@@ -11,25 +11,40 @@
 //                      [--max-queue=N] [--degrade-depth=N]
 //                      [--max-conns=N] [--deadline=MS] [--no-memo]
 //
+//   fleet:  predictord --socket=<path> --workers=N [server options]
+//                      [--restart-budget=K] [--restart-window-ms=MS]
+//                      [--backoff-ms=MS] [--heartbeat-ms=MS]
+//                      [--forward-timeout=MS] [--breaker-threshold=K]
+//
 //   client: predictord --socket=<path> --send=<file.vl>
 //                      [--method=predict|analyze] [--predictor=NAME]
 //                      [--ranges] [--budget=N] [--deadline=MS]
 //           predictord --socket=<path> --ping | --stats | --shutdown
 //
+// Fleet mode (--workers=N, docs/SERVING.md "Fleet supervision") forks N
+// crash-isolated worker processes — each a single-process server on
+// <socket>.wK with pcache shard <cache>.wK — and serves the public
+// socket through a supervising router that hashes each request's source
+// to its home shard, retries a failed worker exactly once on a healthy
+// one, and restarts crashed workers with exponential backoff.
+//
 // A `predict` response is byte-for-byte the report `predictor_tool
 // <file.vl>` prints — the client writes the payload to stdout verbatim,
 // so `diff <(predictor_tool f.vl) <(predictord --socket=S --send=f.vl)`
-// is empty (scripts/check.sh enforces this).
+// is empty (scripts/check.sh enforces this), in fleet mode too.
 //
 // Exit codes: 0 success (server: clean drain; client: ok response),
 // 1 error/shed response or request failure, 2 usage error, 3 internal
-// error, 6 startup failure (socket in use, bind failure, or persistent
-// cache locked by another process).
+// error, 5 fleet failure (every worker exhausted its restart budget),
+// 6 startup failure (socket in use, bind failure, or persistent cache
+// locked by another process).
 //
 //===----------------------------------------------------------------------===//
 
 #include "serve/Client.h"
 #include "serve/Server.h"
+#include "serve/Supervisor.h"
+#include "support/Process.h"
 #include "support/Signal.h"
 #include "support/ThreadPool.h"
 
@@ -48,6 +63,7 @@ enum ExitCode : int {
   ExitRequestFailed = 1,
   ExitUsage = 2,
   ExitInternal = 3,
+  ExitFleetFailed = 5,
   ExitStartup = 6,
 };
 
@@ -70,6 +86,23 @@ void printUsage() {
          "  --deadline=MS     default per-request analysis deadline "
          "(0 = none)\n"
          "  --no-memo         disable response memoization\n"
+         "fleet mode (--workers selects it; server options apply "
+         "per worker):\n"
+         "  --workers=N       fork N crash-isolated worker processes "
+         "behind a\n                    supervising router on the "
+         "public socket\n"
+         "  --restart-budget=K    restarts per window before a worker "
+         "is marked\n                        dead (default 5)\n"
+         "  --restart-window-ms=MS  restart-budget window (default "
+         "30000)\n"
+         "  --backoff-ms=MS   first restart delay; doubles per crash "
+         "(default 200)\n"
+         "  --heartbeat-ms=MS health-probe interval per worker "
+         "(default 500)\n"
+         "  --forward-timeout=MS  per-attempt forward budget "
+         "(default 2000)\n"
+         "  --breaker-threshold=K consecutive failures that open a "
+         "shard's\n                        circuit breaker (default 3)\n"
          "client mode (any of these selects it):\n"
          "  --send=<file.vl>  submit the file and print the response "
          "payload\n"
@@ -82,7 +115,8 @@ void printUsage() {
          "  --stats           print server statistics JSON\n"
          "  --shutdown        ask the server to drain and exit\n"
          "exit codes: 0 success, 1 error/shed response, 2 usage error, "
-         "3 internal\n            error, 6 startup/connect failure\n";
+         "3 internal\n            error, 5 fleet failed (all workers "
+         "dead), 6 startup/connect\n            failure\n";
 }
 
 bool parseUnsigned(const std::string &V, uint64_t &Out) {
@@ -113,6 +147,25 @@ int runServer(const ServerConfig &Config) {
     return ExitInternal;
   }
   std::cerr << "predictord: drained\n";
+  return ExitSuccess;
+}
+
+int runFleet(const FleetConfig &Config) {
+  Status Why;
+  std::unique_ptr<Supervisor> Sup = Supervisor::create(Config, &Why);
+  if (!Sup) {
+    std::cerr << "error: " << Why.error().str() << "\n";
+    return ExitStartup;
+  }
+  stopsignal::installHandlers();
+  std::cerr << "predictord: fleet of " << Config.Workers
+            << " workers serving on " << Config.PublicSocket << "\n";
+  Status Rc = Sup->run();
+  if (!Rc.ok()) {
+    std::cerr << "error: " << Rc.error().str() << "\n";
+    return ExitFleetFailed;
+  }
+  std::cerr << "predictord: fleet drained\n";
   return ExitSuccess;
 }
 
@@ -150,6 +203,8 @@ int runClient(const std::string &SocketPath, const Request &Req) {
 
 int runTool(int argc, char **argv) {
   ServerConfig Config;
+  FleetConfig Fleet;
+  unsigned FleetWorkers = 0;
   Request Req;
   Req.Method = "predict";
   std::string SendFile;
@@ -195,7 +250,38 @@ int runTool(int argc, char **argv) {
       Req.DeadlineMs = V;
     } else if (Arg == "--no-memo")
       Config.Service.ResponseMemo = false;
-    else if (Arg.rfind("--send=", 0) == 0) {
+    else if (Arg.rfind("--workers=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(10, V) || V == 0 || V > 64)
+        return ExitUsage;
+      FleetWorkers = static_cast<unsigned>(V);
+    } else if (Arg.rfind("--restart-budget=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(17, V) || V == 0)
+        return ExitUsage;
+      Fleet.RestartBudget = static_cast<unsigned>(V);
+    } else if (Arg.rfind("--restart-window-ms=", 0) == 0) {
+      if (!needUnsigned(20, Fleet.RestartWindowMs))
+        return ExitUsage;
+    } else if (Arg.rfind("--backoff-ms=", 0) == 0) {
+      if (!needUnsigned(13, Fleet.BackoffBaseMs))
+        return ExitUsage;
+    } else if (Arg.rfind("--heartbeat-ms=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(15, V) || V == 0)
+        return ExitUsage;
+      Fleet.HeartbeatIntervalMs = V;
+    } else if (Arg.rfind("--forward-timeout=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(18, V) || V == 0)
+        return ExitUsage;
+      Fleet.ForwardTimeoutMs = V;
+    } else if (Arg.rfind("--breaker-threshold=", 0) == 0) {
+      uint64_t V;
+      if (!needUnsigned(20, V) || V == 0)
+        return ExitUsage;
+      Fleet.BreakerThreshold = static_cast<unsigned>(V);
+    } else if (Arg.rfind("--send=", 0) == 0) {
       SendFile = Arg.substr(7);
       ClientMode = true;
       if (SendFile.empty()) {
@@ -240,8 +326,26 @@ int runTool(int argc, char **argv) {
     printUsage();
     return ExitUsage;
   }
-  if (!ClientMode)
-    return runServer(Config);
+  if (!ClientMode) {
+    if (FleetWorkers == 0)
+      return runServer(Config);
+    // Fleet mode: the server knobs apply per worker; each worker is this
+    // same binary in single-process server mode.
+    Fleet.PublicSocket = Config.SocketPath;
+    Fleet.Workers = FleetWorkers;
+    Fleet.WorkerBinary = process::selfExePath();
+    if (Fleet.WorkerBinary.empty())
+      Fleet.WorkerBinary = argv[0];
+    Fleet.CachePath = Config.Service.CachePath;
+    Fleet.WorkerThreads = Config.Workers;
+    Fleet.MaxQueue = static_cast<unsigned>(Config.Admission.MaxQueue);
+    Fleet.DegradeDepth =
+        static_cast<unsigned>(Config.Admission.DegradeDepth);
+    Fleet.DefaultDeadlineMs = Config.Service.DefaultDeadlineMs;
+    Fleet.ResponseMemo = Config.Service.ResponseMemo;
+    Fleet.MaxConnections = Config.MaxConnections;
+    return runFleet(Fleet);
+  }
 
   if (!SendFile.empty()) {
     std::ifstream In(SendFile);

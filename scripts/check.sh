@@ -203,6 +203,121 @@ build/examples/predictor_tool --cache="$PCACHE" --cache-verify \
   examples/vl/histogram.vl >/dev/null
 echo "serving smoke: ok"
 
+# Fleet chaos smoke: the supervised multi-worker fleet must (1) answer
+# byte-identically to the one-shot tool through the router, (2) survive
+# kill -9 of a worker under load with ZERO client-visible failures (the
+# router retries in-flight requests once on a healthy shard) and restart
+# the shard, (3) detect a SIGSTOPped worker via missed heartbeats, open
+# its circuit breaker (visible in the stats "serving" block) and replace
+# it, (4) mark a crash-looping worker Dead once its restart budget is
+# spent while the survivors keep answering, and (5) drain the whole
+# fleet on shutdown with exit 0 and every socket file unlinked.
+FSOCK=build/fleet.sock
+FCACHE=build/fleet.pcache
+rm -f "$FSOCK" "$FSOCK".w* "$FCACHE".w*
+build/examples/predictord --socket="$FSOCK" --cache="$FCACHE" --workers=3 \
+  --backoff-ms=100 --heartbeat-ms=200 --forward-timeout=1000 2>/dev/null &
+FLT=$!
+wait_for_socket "$FSOCK" 1
+fleet_stats() { build/examples/predictord --socket="$FSOCK" --stats; }
+fleet_counter() { # name -> value from the "serving" block
+  fleet_stats | grep -o "\"$1\":[0-9][0-9]*" | head -n1 | grep -o '[0-9]*$'
+}
+wait_fleet() { # condition-command, retried for 15s
+  for _ in $(seq 1 150); do
+    if "$@"; then return 0; fi
+    sleep 0.1
+  done
+  echo "fleet chaos smoke: timed out waiting for: $*" >&2
+  return 1
+}
+all_up() { [ "$(fleet_stats | grep -o '"state":"up"' | wc -l)" -eq 3 ]; }
+wait_fleet all_up
+# (1) Identity through the router, against the one-shot tool.
+build/examples/predictor_tool examples/vl/histogram.vl > build/fleet-oneshot.txt
+build/examples/predictord --socket="$FSOCK" --send=examples/vl/histogram.vl \
+  > build/fleet-served.txt
+diff build/fleet-oneshot.txt build/fleet-served.txt
+# (2) kill -9 one worker mid-load: every request must still succeed.
+VICTIM=$(fleet_stats | grep -o '"index":0,"pid":[0-9]*' | grep -o '[0-9]*$')
+rm -f build/fleet-load-failed
+( for _ in $(seq 1 24); do
+    build/examples/predictord --socket="$FSOCK" \
+      --send=examples/vl/triangle.vl >/dev/null 2>&1 \
+      || touch build/fleet-load-failed
+  done ) &
+FLOAD=$!
+sleep 0.2
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$FLOAD"
+if [ -e build/fleet-load-failed ]; then
+  echo "fleet chaos smoke: kill -9 caused a client-visible failure" >&2
+  exit 1
+fi
+restarted() { [ "$(fleet_counter worker_restarts)" -ge 1 ]; }
+wait_fleet restarted
+wait_fleet all_up
+# (3) SIGSTOP a worker: heartbeats miss, the breaker opens, the
+# supervisor replaces it — again with zero client-visible failures.
+VICTIM=$(fleet_stats | grep -o '"index":1,"pid":[0-9]*' | grep -o '[0-9]*$')
+kill -STOP "$VICTIM" 2>/dev/null || true
+rm -f build/fleet-load-failed
+( for _ in $(seq 1 12); do
+    build/examples/predictord --socket="$FSOCK" \
+      --send=examples/vl/histogram.vl >/dev/null 2>&1 \
+      || touch build/fleet-load-failed
+  done ) &
+FLOAD=$!
+breaker_opened() { [ "$(fleet_counter breaker_open)" -ge 1 ]; }
+wait_fleet breaker_opened
+wait "$FLOAD"
+if [ -e build/fleet-load-failed ]; then
+  echo "fleet chaos smoke: stopped worker caused a client-visible failure" >&2
+  exit 1
+fi
+wait_fleet all_up
+# (5a) Graceful fleet drain: shutdown exits 0, all sockets unlinked.
+build/examples/predictord --socket="$FSOCK" --shutdown >/dev/null
+if ! wait "$FLT"; then
+  echo "fleet chaos smoke: fleet drain must exit 0" >&2
+  exit 1
+fi
+wait_for_socket "$FSOCK" 0
+for W in 0 1 2; do
+  if [ -e "$FSOCK.w$W" ]; then
+    echo "fleet chaos smoke: drain left worker socket $FSOCK.w$W" >&2
+    exit 1
+  fi
+done
+# (4) Crash loop: a locker daemon holds worker 0's pcache shard flock,
+# so every respawn of worker 0 dies at startup (exit 6). The budget
+# expires, worker 0 is marked dead, and the survivors still answer.
+CLCACHE=build/fleet-cl.pcache
+rm -f build/locker.sock "$CLCACHE".w* build/fleet-cl.sock*
+build/examples/predictord --socket=build/locker.sock --cache="$CLCACHE.w0" \
+  --threads=1 2>/dev/null &
+LOCKER=$!
+wait_for_socket build/locker.sock 1
+build/examples/predictord --socket=build/fleet-cl.sock --cache="$CLCACHE" \
+  --workers=2 --restart-budget=2 --backoff-ms=50 --heartbeat-ms=200 \
+  2>/dev/null &
+CLFLT=$!
+wait_for_socket build/fleet-cl.sock 1
+FSOCK=build/fleet-cl.sock # fleet_stats/wait_fleet now watch this fleet
+worker0_dead() { fleet_stats | grep -q '"index":0,[^{]*"state":"dead"'; }
+wait_fleet worker0_dead
+build/examples/predictord --socket=build/fleet-cl.sock \
+  --send=examples/vl/histogram.vl > build/fleet-cl-served.txt
+diff build/fleet-oneshot.txt build/fleet-cl-served.txt
+build/examples/predictord --socket=build/fleet-cl.sock --shutdown >/dev/null
+if ! wait "$CLFLT"; then
+  echo "fleet chaos smoke: degraded fleet drain must exit 0" >&2
+  exit 1
+fi
+kill -TERM "$LOCKER" 2>/dev/null || true
+wait "$LOCKER" 2>/dev/null || true
+echo "fleet chaos smoke: ok"
+
 # Perf smoke: median kernel times from bench/micro_ranges must stay
 # within a +25% geomean of the committed BENCH_micro_ranges.json
 # baseline. Geomean (not per-benchmark) so one noisy entry cannot flake

@@ -31,6 +31,7 @@
 #include "interproc/FunctionCloning.h"
 #include "ir/IRPrinter.h"
 #include "support/FaultInjection.h"
+#include "support/ResultStore.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 #include "vrp/Audit.h"
@@ -669,13 +670,20 @@ InterprocDriver::runIncremental(const Module &PrevModule,
   initState();
 
   std::map<std::string, const Function *> PrevByName;
-  for (const auto &PF : PrevModule.functions())
+  std::map<std::string, uint64_t> PrevHashByName;
+  for (const auto &PF : PrevModule.functions()) {
     PrevByName.emplace(PF->name(), PF.get());
+    PrevHashByName.emplace(PF->name(), store::fnv1a64(irText(*PF)));
+  }
 
-  // Changed-function detection by canonical IR text (the same content
-  // fingerprint PersistentCache keys on): a function whose text is
-  // unchanged starts from its previous result, rebound to this module's
-  // pointers through the pointer-free serialization — a bitwise reuse.
+  // Changed-function detection by FNV-1a content hash of the canonical
+  // IR text (the same fingerprint family PersistentCache keys on): each
+  // side is rendered and hashed exactly once, and unchanged functions
+  // are matched hash-to-hash with no per-function text diff. A function
+  // whose hash is unchanged starts from its previous result, rebound to
+  // this module's pointers through the pointer-free serialization — a
+  // bitwise reuse (SccSchedulerTest asserts cold-vs-incremental
+  // identity).
   unsigned Reused = 0;
   for (unsigned I = 0; I < Fns.size(); ++I) {
     const Function *F = Fns[I];
@@ -683,7 +691,8 @@ InterprocDriver::runIncremental(const Module &PrevModule,
     const FunctionVRPResult *PR =
         It == PrevByName.end() ? nullptr : Previous.forFunction(It->second);
     bool Changed = true;
-    if (PR && !PR->Degraded && irText(*F) == irText(*It->second)) {
+    if (PR && !PR->Degraded &&
+        store::fnv1a64(irText(*F)) == PrevHashByName[F->name()]) {
       FunctionVRPResult Rebound;
       if (PersistentCache::deserialize(PersistentCache::serialize(*PR), *F,
                                        Rebound)) {

@@ -6,6 +6,8 @@
 
 #include "serve/AdmissionController.h"
 
+#include "support/Status.h"
+
 #include <algorithm>
 
 using namespace vrp;
@@ -51,6 +53,31 @@ bool AdmissionController::pop(Task &Out) {
   Out = std::move(Queue.front());
   Queue.pop_front();
   return true;
+}
+
+bool AdmissionController::expiredInQueue(const Task &T) {
+  if (T.Req.DeadlineMs == 0)
+    return false;
+  auto Waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - T.Enqueued)
+                    .count();
+  return Waited >= 0 &&
+         static_cast<uint64_t>(Waited) >= T.Req.DeadlineMs;
+}
+
+Response AdmissionController::makeExpiredResponse(const Request &Req) {
+  Response R;
+  R.Id = Req.Id;
+  R.Status = RespStatus::Shed;
+  R.Category = errorCategoryName(ErrorCategory::BudgetExceeded);
+  R.Site = "admission";
+  R.Message = "deadline expired in queue";
+  return R;
+}
+
+void AdmissionController::noteExpired() {
+  std::lock_guard<std::mutex> Lock(M);
+  ++Counters.ExpiredInQueue;
 }
 
 void AdmissionController::close() {

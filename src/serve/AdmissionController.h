@@ -57,6 +57,9 @@ struct AdmissionStats {
   uint64_t Admitted = 0;
   uint64_t Degraded = 0; ///< Admitted through the degrade band.
   uint64_t Shed = 0;     ///< Includes drain-mode rejections.
+  /// Admitted, but the request's deadline had already expired by the
+  /// time a worker dequeued it — shed at the last moment instead of run.
+  uint64_t ExpiredInQueue = 0;
   uint64_t MaxDepthSeen = 0;
 };
 
@@ -82,6 +85,21 @@ public:
   /// controller is closed and the queue is drained — the worker's signal
   /// to exit.
   bool pop(Task &Out);
+
+  /// True when \p T carried a deadline that has already expired while it
+  /// sat in the queue. Running such a task would waste a worker on an
+  /// answer the client has given up on; the worker sheds it with
+  /// makeExpiredResponse instead.
+  static bool expiredInQueue(const Task &T);
+
+  /// The structured "deadline expired in queue" shed response for
+  /// \p Req, with the same category the deadline machinery uses when a
+  /// request expires *during* analysis (budget exceeded).
+  static Response makeExpiredResponse(const Request &Req);
+
+  /// Counts one expired-in-queue shed (the worker detected it; the
+  /// controller just keeps the statistics honest).
+  void noteExpired();
 
   /// Enters drain mode (idempotent): queued tasks still pop, new
   /// submissions shed, and blocked workers wake to finish and exit.

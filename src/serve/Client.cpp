@@ -7,11 +7,9 @@
 #include "serve/Client.h"
 
 #include "serve/Frame.h"
+#include "serve/UnixSocket.h"
 
-#include <cerrno>
-#include <cstring>
-#include <sys/socket.h>
-#include <sys/un.h>
+#include <chrono>
 #include <unistd.h>
 
 using namespace vrp;
@@ -19,27 +17,13 @@ using namespace vrp::serve;
 
 std::unique_ptr<Client> Client::connect(const std::string &SocketPath,
                                         Status *Why) {
-  auto fail = [&](std::string Message) -> std::unique_ptr<Client> {
+  Status ConnWhy;
+  int Fd = connectUnixSocket(SocketPath, &ConnWhy);
+  if (Fd < 0) {
     if (Why)
       *Why = Status::failure(ErrorCategory::Internal, "client",
-                             std::move(Message));
+                             ConnWhy.error().Message);
     return nullptr;
-  };
-  sockaddr_un Addr;
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (SocketPath.size() >= sizeof(Addr.sun_path))
-    return fail("socket path too long: " + SocketPath);
-  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
-
-  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (Fd < 0)
-    return fail(std::string("socket: ") + std::strerror(errno));
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
-      0) {
-    int E = errno;
-    ::close(Fd);
-    return fail(SocketPath + ": connect: " + std::strerror(E));
   }
   return std::unique_ptr<Client>(new Client(Fd));
 }
@@ -72,6 +56,51 @@ StatusOr<Response> Client::call(const Request &Req) {
       return R;
     }
     case FrameRead::Timeout:
+      continue;
+    case FrameRead::Eof:
+      return Ret::failure(ErrorCategory::Internal, "client",
+                          "connection closed before a response arrived");
+    case FrameRead::Error:
+      return Ret::failure(ErrorCategory::Internal, "client",
+                          Err.empty() ? "transport error" : Err);
+    }
+  }
+}
+
+StatusOr<Response> Client::call(const Request &Req, uint64_t TimeoutMs,
+                                bool *TimedOut) {
+  using Ret = StatusOr<Response>;
+  if (TimedOut)
+    *TimedOut = false;
+  Status W = writeFrame(Fd, serializeRequest(Req));
+  if (!W.ok())
+    return Ret::failure(W.error().Category, "client", W.error().Message);
+
+  // Poll in short slices so the deadline is honored to ~100ms even
+  // though the kernel timeout only bounds a single recv.
+  setRecvTimeout(Fd, 100);
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  std::string Payload;
+  while (true) {
+    std::string Err;
+    switch (readFrame(Fd, Payload, &Err)) {
+    case FrameRead::Frame: {
+      setRecvTimeout(Fd, 0);
+      Response R;
+      std::string ParseErr;
+      if (!parseResponse(Payload, R, &ParseErr))
+        return Ret::failure(ErrorCategory::ParseError, "client",
+                            "malformed response: " + ParseErr);
+      return R;
+    }
+    case FrameRead::Timeout:
+      if (std::chrono::steady_clock::now() >= Deadline) {
+        if (TimedOut)
+          *TimedOut = true;
+        return Ret::failure(ErrorCategory::Internal, "client",
+                            "timed out waiting for a response");
+      }
       continue;
     case FrameRead::Eof:
       return Ret::failure(ErrorCategory::Internal, "client",

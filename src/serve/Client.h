@@ -40,6 +40,15 @@ public:
   /// caller inspects Response::Status.
   StatusOr<Response> call(const Request &Req);
 
+  /// Like call(), but gives up after \p TimeoutMs without a response,
+  /// setting *\p TimedOut so the caller can distinguish a hung peer from
+  /// a dead one. After a timeout the connection is poisoned (a late
+  /// response would desync the request/response stream) — the caller
+  /// must discard this Client. Used by the fleet router to bound a
+  /// forward to a possibly-wedged worker.
+  StatusOr<Response> call(const Request &Req, uint64_t TimeoutMs,
+                          bool *TimedOut);
+
 private:
   explicit Client(int Fd) : Fd(Fd) {}
   int Fd = -1;

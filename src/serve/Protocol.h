@@ -34,7 +34,10 @@ namespace vrp::serve {
 /// `predictor_tool file.vl`.
 struct Request {
   uint64_t Id = 0;            ///< Client-chosen; echoed in the response.
-  std::string Method;         ///< ping | predict | analyze | stats | shutdown.
+  /// ping | predict | analyze | stats | health | shutdown. health is
+  /// the supervisor's heartbeat: answered from resident state with the
+  /// worker's {"pid":N}, bypassing admission.
+  std::string Method;
   std::string Source;         ///< VL program text (predict/analyze).
   std::string Predictor = "vrp"; ///< vrp | ball-larus | 90-50 | random.
   bool DumpRanges = false;    ///< predict: append the value-range dump.

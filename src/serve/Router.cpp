@@ -1,0 +1,251 @@
+//===- serve/Router.cpp - Fleet front-end request router -------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Router.h"
+
+#include "serve/Client.h"
+#include "serve/Frame.h"
+#include "serve/Supervisor.h"
+#include "serve/UnixSocket.h"
+#include "support/ResultStore.h"
+
+#include <cerrno>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+constexpr int RecvTimeoutMs = 200;
+constexpr int AcceptPollMs = 100;
+
+} // namespace
+
+std::unique_ptr<Router> Router::create(const std::string &SocketPath,
+                                       unsigned MaxConnections,
+                                       uint64_t ForwardTimeoutMs,
+                                       Supervisor &Fleet, Status *Why) {
+  std::unique_ptr<Router> R(new Router());
+  R->SocketPath = SocketPath;
+  R->MaxConnections = MaxConnections ? MaxConnections : 64;
+  R->ForwardTimeoutMs = ForwardTimeoutMs ? ForwardTimeoutMs : 2000;
+  R->Fleet = &Fleet;
+  R->ListenFd = listenUnixSocket(SocketPath, Why);
+  if (R->ListenFd < 0)
+    return nullptr;
+  R->Bound = true;
+  return R;
+}
+
+Router::~Router() {
+  stop();
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (Bound && !SocketPath.empty())
+    ::unlink(SocketPath.c_str());
+}
+
+void Router::start() {
+  Acceptor = std::thread([this] { acceptLoop(); });
+}
+
+void Router::stop() {
+  if (Stopped.exchange(true))
+    return;
+  Stopping.store(true);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  std::vector<std::thread> Conns;
+  {
+    std::lock_guard<std::mutex> Lock(ThreadsM);
+    Conns.swap(ConnectionThreads);
+  }
+  // Connection threads notice Stopping at their next receive timeout;
+  // a request already being forwarded completes and is answered first.
+  for (std::thread &C : Conns)
+    C.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  if (Bound && !SocketPath.empty()) {
+    ::unlink(SocketPath.c_str());
+    Bound = false;
+  }
+}
+
+void Router::acceptLoop() {
+  pollfd Pfd;
+  Pfd.fd = ListenFd;
+  Pfd.events = POLLIN;
+  while (!Stopping.load()) {
+    Pfd.revents = 0;
+    int Ready = ::poll(&Pfd, 1, AcceptPollMs);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Ready == 0)
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      break;
+    }
+    if (ActiveConnections.load() >= MaxConnections) {
+      RejectedConnections.fetch_add(1);
+      ::close(Fd);
+      continue;
+    }
+    Connections.fetch_add(1);
+    ActiveConnections.fetch_add(1);
+    setRecvTimeout(Fd, RecvTimeoutMs);
+    std::lock_guard<std::mutex> Lock(ThreadsM);
+    ConnectionThreads.emplace_back([this, Fd] { connectionLoop(Fd); });
+  }
+}
+
+void Router::connectionLoop(int Fd) {
+  std::string Payload;
+  while (true) {
+    std::string Err;
+    FrameRead Rc = readFrame(Fd, Payload, &Err);
+    if (Rc == FrameRead::Timeout) {
+      if (Stopping.load())
+        break;
+      continue;
+    }
+    if (Rc == FrameRead::Eof)
+      break;
+    if (Rc == FrameRead::Error) {
+      ProtocolErrors.fetch_add(1);
+      break;
+    }
+
+    Request Req;
+    std::string ParseErr;
+    if (!parseRequest(Payload, Req, &ParseErr)) {
+      ProtocolErrors.fetch_add(1);
+      Response R;
+      R.Status = RespStatus::Error;
+      R.Category = errorCategoryName(ErrorCategory::ParseError);
+      R.Site = "protocol";
+      R.Message = ParseErr;
+      if (!writeFrame(Fd, serializeResponse(R)).ok())
+        break;
+      continue;
+    }
+    Response R = dispatch(Req);
+    if (!writeFrame(Fd, serializeResponse(R)).ok())
+      break;
+  }
+  ::close(Fd);
+  ActiveConnections.fetch_sub(1);
+}
+
+Response Router::dispatch(const Request &Req) {
+  // Control methods are answered by the router itself — the fleet view
+  // lives here, and they must work even with every worker down.
+  if (Req.Method == "ping") {
+    Response R;
+    R.Id = Req.Id;
+    R.Payload = "pong";
+    return R;
+  }
+  if (Req.Method == "stats" || Req.Method == "health") {
+    Response R;
+    R.Id = Req.Id;
+    R.Payload = Fleet->statsJson();
+    return R;
+  }
+  if (Req.Method == "shutdown") {
+    Fleet->requestShutdown();
+    Response R;
+    R.Id = Req.Id;
+    R.Payload = "draining";
+    return R;
+  }
+  if (Fleet->draining()) {
+    Shed.fetch_add(1);
+    Response R;
+    R.Id = Req.Id;
+    R.Status = RespStatus::Shed;
+    R.Site = "router";
+    R.Message = "draining";
+    return R;
+  }
+  return forward(Req);
+}
+
+Response Router::forward(const Request &Req) {
+  // Shard affinity: the same source always hashes to the same home
+  // worker, so its analysis caches and response memo stay hot there.
+  uint64_t Fp = store::fnv1a64(Req.Source);
+  RoutePlan Plan = Fleet->routeTargets(Fp);
+  if (Plan.Targets.empty()) {
+    Shed.fetch_add(1);
+    Response R;
+    R.Id = Req.Id;
+    R.Status = RespStatus::Shed;
+    R.Site = "router";
+    R.Message = Fleet->draining() ? "draining" : "no healthy worker";
+    return R;
+  }
+
+  for (size_t Attempt = 0; Attempt < Plan.Targets.size(); ++Attempt) {
+    int Idx = Plan.Targets[Attempt];
+    uint64_t Gen = Plan.Generations[Attempt];
+    if (Attempt > 0)
+      Retried.fetch_add(1);
+
+    std::unique_ptr<Client> C = Client::connect(Plan.Sockets[Attempt]);
+    if (!C) {
+      Fleet->reportForward(Idx, Gen, /*Ok=*/false, /*TimedOut=*/false);
+      continue;
+    }
+    bool TimedOut = false;
+    StatusOr<Response> R = C->call(Req, ForwardTimeoutMs, &TimedOut);
+    if (!R.ok()) {
+      // Covers the worker dying mid-request (EOF) and hanging (timeout).
+      // Safe to retry exactly once on the next target: predict/analyze
+      // are idempotent, so the retry is bitwise-identical to what the
+      // dead worker would have answered.
+      Fleet->reportForward(Idx, Gen, /*Ok=*/false, TimedOut);
+      continue;
+    }
+    Fleet->reportForward(Idx, Gen, /*Ok=*/true, /*TimedOut=*/false);
+    Forwarded.fetch_add(1);
+    if (Idx != Plan.HomeIndex)
+      Fleet->noteReroute();
+    return R.value();
+  }
+
+  Failed.fetch_add(1);
+  Response R;
+  R.Id = Req.Id;
+  R.Status = RespStatus::Error;
+  R.Category = errorCategoryName(ErrorCategory::Internal);
+  R.Site = "router";
+  R.Message = "request failed on all routable workers";
+  return R;
+}
+
+RouterStats Router::stats() const {
+  RouterStats S;
+  S.Connections = Connections.load();
+  S.RejectedConnections = RejectedConnections.load();
+  S.ProtocolErrors = ProtocolErrors.load();
+  S.Forwarded = Forwarded.load();
+  S.Retried = Retried.load();
+  S.Failed = Failed.load();
+  S.Shed = Shed.load();
+  return S;
+}

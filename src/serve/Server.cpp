@@ -7,13 +7,12 @@
 #include "serve/Server.h"
 
 #include "serve/Frame.h"
+#include "serve/UnixSocket.h"
 #include "support/Signal.h"
 
 #include <cerrno>
-#include <cstring>
 #include <poll.h>
 #include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 using namespace vrp;
@@ -26,31 +25,6 @@ namespace {
 constexpr int RecvTimeoutMs = 200;
 /// Accept-loop poll granularity: how fast the server notices a stop.
 constexpr int AcceptPollMs = 100;
-
-Status failure(std::string Message) {
-  return Status::failure(ErrorCategory::Internal, "server",
-                         std::move(Message));
-}
-
-bool fillSockAddr(const std::string &Path, sockaddr_un &Addr,
-                  Status *Why) {
-  std::memset(&Addr, 0, sizeof(Addr));
-  Addr.sun_family = AF_UNIX;
-  if (Path.size() >= sizeof(Addr.sun_path)) {
-    if (Why)
-      *Why = failure("socket path too long: " + Path);
-    return false;
-  }
-  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
-  return true;
-}
-
-void setRecvTimeout(int Fd, int Ms) {
-  timeval Tv;
-  Tv.tv_sec = Ms / 1000;
-  Tv.tv_usec = (Ms % 1000) * 1000;
-  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
-}
 
 } // namespace
 
@@ -70,51 +44,9 @@ std::unique_ptr<Server> Server::create(const ServerConfig &Config,
   }
   S->Admission = std::make_unique<AdmissionController>(Config.Admission);
 
-  sockaddr_un Addr;
-  if (!fillSockAddr(Config.SocketPath, Addr, Why))
+  S->ListenFd = listenUnixSocket(Config.SocketPath, Why);
+  if (S->ListenFd < 0)
     return nullptr;
-
-  // A socket file left by a kill -9'd predecessor would make bind() fail
-  // forever. Probe it: a refused connect proves nobody is listening, so
-  // the stale file is safe to remove; a successful connect means a live
-  // server owns this path and starting a second one is an error.
-  if (::access(Config.SocketPath.c_str(), F_OK) == 0) {
-    int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (Probe < 0) {
-      if (Why)
-        *Why = failure(std::string("socket: ") + std::strerror(errno));
-      return nullptr;
-    }
-    int Rc = ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr),
-                       sizeof(Addr));
-    ::close(Probe);
-    if (Rc == 0) {
-      if (Why)
-        *Why = failure(Config.SocketPath +
-                       ": another server is already listening");
-      return nullptr;
-    }
-    ::unlink(Config.SocketPath.c_str());
-  }
-
-  S->ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (S->ListenFd < 0) {
-    if (Why)
-      *Why = failure(std::string("socket: ") + std::strerror(errno));
-    return nullptr;
-  }
-  if (::bind(S->ListenFd, reinterpret_cast<sockaddr *>(&Addr),
-             sizeof(Addr)) != 0) {
-    if (Why)
-      *Why = failure(Config.SocketPath + ": bind: " + std::strerror(errno));
-    return nullptr;
-  }
-  if (::listen(S->ListenFd, 64) != 0) {
-    if (Why)
-      *Why = failure(Config.SocketPath +
-                     ": listen: " + std::strerror(errno));
-    return nullptr;
-  }
   S->Bound = true;
   return S;
 }
@@ -202,6 +134,14 @@ Status Server::serve() {
 void Server::workerLoop() {
   AdmissionController::Task T;
   while (Admission->pop(T)) {
+    // A deadline can expire while the request waits in the queue. Running
+    // it anyway would burn a worker on an answer the client has already
+    // written off; shed it here with a structured reason instead.
+    if (AdmissionController::expiredInQueue(T)) {
+      Admission->noteExpired();
+      T.Done.set_value(AdmissionController::makeExpiredResponse(T.Req));
+      continue;
+    }
     Response R = Svc->handle(T.Req, T.Degrade);
     T.Done.set_value(std::move(R));
   }
@@ -209,8 +149,11 @@ void Server::workerLoop() {
 
 Response Server::dispatch(const Request &Req) {
   // Control methods bypass admission: they answer from resident state
-  // and must stay observable under overload.
-  if (Req.Method == "ping" || Req.Method == "stats") {
+  // and must stay observable under overload. health is the supervisor's
+  // heartbeat — if it queued behind analysis work, a busy worker would be
+  // indistinguishable from a hung one.
+  if (Req.Method == "ping" || Req.Method == "stats" ||
+      Req.Method == "health") {
     if (Req.Method == "stats") {
       Response R;
       R.Id = Req.Id;
@@ -226,6 +169,8 @@ Response Server::dispatch(const Request &Req) {
                          ",\"degraded\":" +
                          std::to_string(S.Admission.Degraded) +
                          ",\"shed\":" + std::to_string(S.Admission.Shed) +
+                         ",\"expired\":" +
+                         std::to_string(S.Admission.ExpiredInQueue) +
                          ",\"max_depth\":" +
                          std::to_string(S.Admission.MaxDepthSeen) +
                          "},\"service\":" + Svc->statsJson() + "}";

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <unistd.h>
 #include <exception>
 #include <sstream>
 #include <stdexcept>
@@ -100,6 +101,14 @@ Response Service::handle(const Request &Req, bool ForceDegrade) {
   }
   if (Req.Method == "stats") {
     R.Payload = statsJson();
+    return R;
+  }
+  if (Req.Method == "health") {
+    // The supervisor's heartbeat: proves the process is alive *and*
+    // dispatching (a SIGSTOPped or wedged worker cannot answer). The pid
+    // lets the supervisor confirm it is talking to the generation it
+    // spawned, not a stale socket.
+    R.Payload = "{\"pid\":" + std::to_string(::getpid()) + "}";
     return R;
   }
   if (Req.Method != "predict" && Req.Method != "analyze") {

@@ -1,0 +1,113 @@
+//===- serve/UnixSocket.cpp - Unix-domain-socket plumbing ------------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/UnixSocket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+Status failure(std::string Message) {
+  return Status::failure(ErrorCategory::Internal, "socket",
+                         std::move(Message));
+}
+
+bool fillSockAddr(const std::string &Path, sockaddr_un &Addr, Status *Why) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Why)
+      *Why = failure("socket path too long: " + Path);
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+int serve::listenUnixSocket(const std::string &Path, Status *Why) {
+  sockaddr_un Addr;
+  if (!fillSockAddr(Path, Addr, Why))
+    return -1;
+
+  // A socket file left by a kill -9'd predecessor would make bind() fail
+  // forever. Probe it: a refused connect proves nobody is listening, so
+  // the stale file is safe to remove; a successful connect means a live
+  // server owns this path and starting a second one is an error.
+  if (::access(Path.c_str(), F_OK) == 0) {
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Probe < 0) {
+      if (Why)
+        *Why = failure(std::string("socket: ") + std::strerror(errno));
+      return -1;
+    }
+    int Rc =
+        ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+    ::close(Probe);
+    if (Rc == 0) {
+      if (Why)
+        *Why = failure(Path + ": another server is already listening");
+      return -1;
+    }
+    ::unlink(Path.c_str());
+  }
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    if (Why)
+      *Why = failure(std::string("socket: ") + std::strerror(errno));
+    return -1;
+  }
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Why)
+      *Why = failure(Path + ": bind: " + std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 64) != 0) {
+    if (Why)
+      *Why = failure(Path + ": listen: " + std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int serve::connectUnixSocket(const std::string &Path, Status *Why) {
+  sockaddr_un Addr;
+  if (!fillSockAddr(Path, Addr, Why))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    if (Why)
+      *Why = failure(std::string("socket: ") + std::strerror(errno));
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    int E = errno;
+    ::close(Fd);
+    if (Why)
+      *Why = failure(Path + ": connect: " + std::strerror(E));
+    return -1;
+  }
+  return Fd;
+}
+
+void serve::setRecvTimeout(int Fd, int Ms) {
+  timeval Tv;
+  Tv.tv_sec = Ms / 1000;
+  Tv.tv_usec = (Ms % 1000) * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+}

@@ -1,0 +1,110 @@
+//===- support/Process.cpp - Child-process spawn/reap helpers --------------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Process.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+using namespace vrp;
+using namespace vrp::process;
+
+pid_t process::spawn(const std::string &Binary,
+                     const std::vector<std::string> &Args, Status *Why) {
+  // Build argv before forking: the child may only touch async-signal-safe
+  // state, and these strings stay alive in the parent across the exec.
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size() + 2);
+  Argv.push_back(const_cast<char *>(Binary.c_str()));
+  for (const std::string &A : Args)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    if (Why)
+      *Why = Status::failure(ErrorCategory::Internal, "process",
+                             std::string("fork: ") + std::strerror(errno));
+    return -1;
+  }
+  if (Pid == 0) {
+    // Child. Async-signal-safe calls only from here to exec.
+#ifdef __linux__
+    // Tie the child's fate to the parent: if the supervisor dies without
+    // draining, every worker receives SIGTERM and drains itself.
+    ::prctl(PR_SET_PDEATHSIG, SIGTERM);
+    // Race: the parent may already be gone. getppid()==1 means we were
+    // reparented before prctl took effect; act as if SIGTERM arrived.
+    if (::getppid() == 1)
+      ::_exit(0);
+#endif
+    ::execv(Binary.c_str(), Argv.data());
+    ::_exit(127); // exec failed; 127 is the shell's "command not found".
+  }
+  return Pid;
+}
+
+ReapResult process::reap(pid_t Pid) {
+  ReapResult R;
+  int Wstatus = 0;
+  pid_t Got = ::waitpid(Pid, &Wstatus, WNOHANG);
+  if (Got == 0)
+    return R; // Running.
+  if (Got < 0) {
+    R.State = ChildState::Gone;
+    return R;
+  }
+  if (WIFEXITED(Wstatus)) {
+    R.State = ChildState::Exited;
+    R.Code = WEXITSTATUS(Wstatus);
+  } else if (WIFSIGNALED(Wstatus)) {
+    R.State = ChildState::Signaled;
+    R.Code = WTERMSIG(Wstatus);
+  } else {
+    // Stopped/continued notifications are not requested; treat anything
+    // else as still running.
+    R.State = ChildState::Running;
+  }
+  return R;
+}
+
+ReapResult process::waitWithTimeout(pid_t Pid, uint64_t TimeoutMs) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  while (true) {
+    ReapResult R = reap(Pid);
+    if (R.State != ChildState::Running)
+      return R;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return R;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+bool process::signalProcess(pid_t Pid, int Sig) {
+  return Pid > 0 && ::kill(Pid, Sig) == 0;
+}
+
+std::string process::selfExePath() {
+#ifdef __linux__
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N > 0) {
+    Buf[N] = '\0';
+    return Buf;
+  }
+#endif
+  return std::string();
+}

@@ -1,0 +1,72 @@
+//===- support/Process.h - Child-process spawn/reap helpers -----*- C++ -*-===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin POSIX process-management helpers for the fleet supervisor
+/// (serve/Supervisor.h): fork+exec a child, poll or wait for its exit,
+/// and deliver signals. The sibling of support/Signal.h — Signal.h is
+/// the *receiving* side of process lifecycle (a cooperative stop flag),
+/// this is the *controlling* side (spawning and reaping workers).
+///
+/// spawn() is safe to call from a multi-threaded parent: between fork()
+/// and execv() the child touches only async-signal-safe state (prctl,
+/// execv, _exit). Children are tied to the parent with
+/// PR_SET_PDEATHSIG(SIGTERM), so a crashed supervisor can never leak a
+/// fleet of orphaned workers — they drain themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VRP_SUPPORT_PROCESS_H
+#define VRP_SUPPORT_PROCESS_H
+
+#include "support/Status.h"
+
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace vrp::process {
+
+/// What a reap() observed about a child.
+enum class ChildState {
+  Running,  ///< Still alive (non-blocking reap found nothing).
+  Exited,   ///< Exited normally; Code is the exit status.
+  Signaled, ///< Killed by a signal; Code is the signal number.
+  Gone,     ///< Not a child of this process (already reaped, or bad pid).
+};
+
+struct ReapResult {
+  ChildState State = ChildState::Running;
+  int Code = 0; ///< Exit status (Exited) or signal number (Signaled).
+};
+
+/// Forks and execs \p Binary with \p Args (argv[0] is \p Binary itself).
+/// The child gets PR_SET_PDEATHSIG(SIGTERM) so it drains if the parent
+/// dies. Returns the child pid, or -1 with \p Why on failure. An exec
+/// failure inside the child surfaces as the child exiting 127 — the
+/// caller's reap sees it like any other startup crash.
+pid_t spawn(const std::string &Binary, const std::vector<std::string> &Args,
+            Status *Why = nullptr);
+
+/// Non-blocking waitpid on \p Pid.
+ReapResult reap(pid_t Pid);
+
+/// Blocks up to \p TimeoutMs for \p Pid to exit, polling at a few-ms
+/// granularity. Running in the result means the timeout elapsed.
+ReapResult waitWithTimeout(pid_t Pid, uint64_t TimeoutMs);
+
+/// kill() wrapper; returns false when the signal could not be delivered
+/// (ESRCH — the process is already gone).
+bool signalProcess(pid_t Pid, int Sig);
+
+/// Absolute path of the running executable (/proc/self/exe), or empty
+/// when the platform cannot say. Used by the supervisor to respawn
+/// itself in worker mode without trusting argv[0] or the cwd.
+std::string selfExePath();
+
+} // namespace vrp::process
+
+#endif // VRP_SUPPORT_PROCESS_H

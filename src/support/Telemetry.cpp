@@ -99,6 +99,14 @@ const char *counterName(Counter C) {
     return "interproc_functions_reanalyzed";
   case Counter::IncrementalFunctionsReused:
     return "incremental_functions_reused";
+  case Counter::ServeWorkerRestarts:
+    return "serve_worker_restarts";
+  case Counter::ServeReroutes:
+    return "serve_reroutes";
+  case Counter::ServeBreakerOpen:
+    return "serve_breaker_open";
+  case Counter::ServeHeartbeatTimeouts:
+    return "serve_heartbeat_timeouts";
   case Counter::NumCounters:
     break;
   }

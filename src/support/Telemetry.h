@@ -108,6 +108,14 @@ enum class Counter : unsigned {
   InterprocWaves,
   InterprocFunctionsReanalyzed,
   IncrementalFunctionsReused,
+  // Fleet supervision (serve/Supervisor.h). Unlike everything above,
+  // these count *fault* events — crashes, timeouts, failovers — so they
+  // are inherently schedule-dependent and live in the
+  // determinism-EXEMPT half of any report (docs/TELEMETRY.md).
+  ServeWorkerRestarts,
+  ServeReroutes,
+  ServeBreakerOpen,
+  ServeHeartbeatTimeouts,
 
   NumCounters ///< Sentinel; keep last.
 };

@@ -329,4 +329,46 @@ TEST(SccSchedulerTest, IncrementalMatchesColdRunOnSyntheticModule) {
   EXPECT_EQ(fingerprint(*Next->IR, RInc), fingerprint(*Next->IR, RCold));
 }
 
+TEST(SccSchedulerTest, ContentHashShortCircuitPreservesBitwiseIdentity) {
+  // The incremental path keys changed-function detection on an FNV-1a
+  // content hash of each function's IR text instead of a per-function
+  // text diff. The hash must draw exactly the same changed/unchanged
+  // line the text comparison drew — reuse counts and bitwise
+  // cold-vs-incremental identity both still hold.
+  SyntheticModuleConfig Base;
+  Base.NumFunctions = 60;
+  Base.Seed = 23;
+  Base.Layers = 3;
+  SyntheticModuleConfig MutatedCfg = Base;
+  MutatedCfg.MutateCount = 1;
+
+  std::vector<std::string> MutatedNames;
+  auto Prev = compile(makeSyntheticModule(Base));
+  auto Next = compile(makeSyntheticModule(MutatedCfg, &MutatedNames));
+  ASSERT_EQ(MutatedNames.size(), 1u);
+
+  ModuleVRPResult RPrev = runModuleVRP(*Prev->IR, interprocOpts());
+
+  telemetry::reset();
+  telemetry::setEnabled(true);
+  ModuleVRPResult RInc = runModuleVRPIncremental(*Next->IR, interprocOpts(),
+                                                 *Prev->IR, RPrev);
+  telemetry::Snapshot S = telemetry::snapshot();
+  telemetry::setEnabled(false);
+
+  // Every function outside the invalidated cone was matched by hash and
+  // reused without re-analysis.
+  EXPECT_EQ(S.counter(telemetry::Counter::IncrementalFunctionsReused),
+            Next->IR->functions().size() - RInc.FunctionsReanalyzed);
+  EXPECT_GT(S.counter(telemetry::Counter::IncrementalFunctionsReused), 0u);
+  // The mutated function's hash changed, so it was re-analyzed.
+  std::set<std::string> Cone = namesOf(RInc.Reanalyzed);
+  EXPECT_TRUE(Cone.count(MutatedNames[0])) << MutatedNames[0];
+
+  // And the short-circuit is invisible in the output: bitwise identical
+  // to the cold run.
+  ModuleVRPResult RCold = runModuleVRP(*Next->IR, interprocOpts());
+  EXPECT_EQ(fingerprint(*Next->IR, RInc), fingerprint(*Next->IR, RCold));
+}
+
 } // namespace

@@ -115,6 +115,48 @@ TEST(AdmissionTest, CloseWakesBlockedWorkers) {
   Worker.join();
 }
 
+TEST(AdmissionTest, DeadlineExpiredInQueueIsShedNotRun) {
+  // Regression for the dequeue race: a request whose deadline passes
+  // while it waits must be shed by the popping worker, not run — the
+  // client has already written the answer off.
+  AdmissionController A({8, 8});
+  std::future<Response> F;
+  Request R = req(1);
+  R.DeadlineMs = 1;
+  ASSERT_EQ(AdmissionVerdict::Admit, A.submit(std::move(R), F));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  AdmissionController::Task T;
+  ASSERT_TRUE(A.pop(T));
+  ASSERT_TRUE(AdmissionController::expiredInQueue(T));
+  A.noteExpired();
+  Response Shed = AdmissionController::makeExpiredResponse(T.Req);
+  EXPECT_EQ(RespStatus::Shed, Shed.Status);
+  EXPECT_EQ("admission", Shed.Site);
+  EXPECT_EQ("deadline expired in queue", Shed.Message);
+  EXPECT_EQ(1u, Shed.Id);
+  EXPECT_EQ(1u, A.stats().ExpiredInQueue);
+}
+
+TEST(AdmissionTest, FreshOrDeadlineFreeTasksAreNotExpired) {
+  AdmissionController A({8, 8});
+  std::future<Response> F;
+  // No deadline: can never expire, however long it waited.
+  ASSERT_EQ(AdmissionVerdict::Admit, A.submit(req(1), F));
+  // Generous deadline: freshly enqueued, not yet expired.
+  Request R = req(2);
+  R.DeadlineMs = 60000;
+  ASSERT_EQ(AdmissionVerdict::Admit, A.submit(std::move(R), F));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  AdmissionController::Task T;
+  ASSERT_TRUE(A.pop(T));
+  EXPECT_FALSE(AdmissionController::expiredInQueue(T));
+  ASSERT_TRUE(A.pop(T));
+  EXPECT_FALSE(AdmissionController::expiredInQueue(T));
+  EXPECT_EQ(0u, A.stats().ExpiredInQueue);
+}
+
 TEST(AdmissionTest, DegradeDepthClampedToMaxQueue) {
   // A degrade depth past the cap would be unreachable policy; the
   // controller clamps it so the invariant DegradeDepth <= MaxQueue holds.

@@ -187,6 +187,48 @@ TEST(ServerTest, OverloadShedsInsteadOfHanging) {
   EXPECT_GE(Srv.S->stats().Admission.Shed, Shed);
 }
 
+TEST(ServerTest, DeadlineExpiredInQueueIsShedByTheWorker) {
+  // One worker, so the second request waits in the queue while the first
+  // occupies it; its 1ms deadline expires in the queue and the worker
+  // must shed it with the structured reason instead of analyzing it.
+  ServerConfig Config = baseConfig("queue_deadline");
+  Config.Workers = 1;
+  Config.Service.ResponseMemo = false;
+  RunningServer Srv(Config);
+  ASSERT_TRUE(Srv.S != nullptr);
+
+  std::thread Occupier([&] {
+    std::unique_ptr<Client> C = Client::connect(Srv.S->socketPath());
+    if (!C)
+      return;
+    Request R;
+    R.Id = 1;
+    R.Method = "predict";
+    R.Source = Source;
+    (void)C->call(R);
+  });
+  // Let the occupier's request reach the lone worker first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  std::unique_ptr<Client> C = Client::connect(Srv.S->socketPath());
+  ASSERT_TRUE(C != nullptr);
+  Request R;
+  R.Id = 2;
+  R.Method = "predict";
+  R.Source = Source;
+  R.DeadlineMs = 1;
+  StatusOr<Response> Resp = C->call(R);
+  Occupier.join();
+  ASSERT_TRUE(Resp.ok()) << Resp.error().str();
+  // Either the race was lost (the worker was free and served it inside
+  // the deadline) or — the interesting path — it expired in the queue.
+  if (Resp.value().Status == RespStatus::Shed) {
+    EXPECT_EQ("admission", Resp.value().Site);
+    EXPECT_EQ("deadline expired in queue", Resp.value().Message);
+    EXPECT_GE(Srv.S->stats().Admission.ExpiredInQueue, 1u);
+  }
+}
+
 TEST(ServerTest, ShutdownRequestDrainsTheServer) {
   ServerConfig Config = baseConfig("shutdown");
   Status Why;

@@ -1,0 +1,394 @@
+//===- tests/serve/SupervisorTest.cpp - Fleet supervision contract --------===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// The multi-process fleet's robustness contract (docs/SERVING.md "Fleet
+// supervision"): shard path derivation, flock isolation of pcache
+// shards across *forked* processes, the structured locked-store error
+// surfacing through the Protocol error triple, and — against the real
+// predictord binary — fleet serving identity, kill -9 crash recovery,
+// crash-loop dead-marking with continued service, and graceful drain.
+// Binary paths are injected by CMake as PREDICTORD_PATH /
+// PREDICTOR_TOOL_PATH.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+#include "serve/Service.h"
+#include "serve/Supervisor.h"
+#include "support/ResultStore.h"
+#include "support/Status.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace vrp;
+using namespace vrp::serve;
+
+namespace {
+
+int exitCode(int Raw) {
+  if (Raw == -1)
+    return -1;
+  if (WIFEXITED(Raw))
+    return WEXITSTATUS(Raw);
+  return -1;
+}
+
+int runTool(const std::string &Args, const std::string &LogFile) {
+  std::string Cmd = std::string(PREDICTORD_PATH) + " " + Args + " > " +
+                    LogFile + " 2>&1";
+  return exitCode(std::system(Cmd.c_str()));
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  return std::string((std::istreambuf_iterator<char>(In)),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string writeTemp(const std::string &Name, const std::string &Source) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::ofstream Out(Path);
+  Out << Source;
+  return Path;
+}
+
+/// Per-process-unique temp path: a leaked fleet from a previous test
+/// run must never be able to hold this run's sockets or cache shards.
+std::string uniq(const std::string &Name) {
+  return ::testing::TempDir() + Name + "." + std::to_string(::getpid());
+}
+
+bool waitForSocket(const std::string &Path, bool Present, int Ms = 10000) {
+  for (int Waited = 0; Waited < Ms; Waited += 20) {
+    bool Exists = ::access(Path.c_str(), F_OK) == 0;
+    if (Exists == Present)
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+const char *ValidSource = R"(
+fn main() {
+  var total = 0;
+  for (var i = 0; i < 10; i = i + 1) {
+    if (i > 5) {
+      total = total + i;
+    }
+  }
+  return total;
+}
+)";
+
+/// Polls `--stats` until \p Pred matches the JSON or the budget runs out;
+/// returns the last stats payload either way.
+template <typename Pred>
+std::string waitForStats(const std::string &Socket, Pred Matches,
+                         int Ms = 15000) {
+  std::string Log = ::testing::TempDir() + "fleet_stats_poll.log";
+  std::string Last;
+  for (int Waited = 0; Waited < Ms; Waited += 100) {
+    if (runTool("--socket=" + Socket + " --stats", Log) == 0) {
+      Last = slurp(Log);
+      if (Matches(Last))
+        return Last;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return Last;
+}
+
+/// First "pid" value after the given "index" entry in the workers array.
+pid_t workerPid(const std::string &StatsJson, unsigned Index) {
+  std::string Anchor = "{\"index\":" + std::to_string(Index) + ",\"pid\":";
+  size_t At = StatsJson.find(Anchor);
+  if (At == std::string::npos)
+    return -1;
+  return static_cast<pid_t>(
+      std::strtol(StatsJson.c_str() + At + Anchor.size(), nullptr, 10));
+}
+
+std::string workerState(const std::string &StatsJson, unsigned Index) {
+  std::string Anchor = "{\"index\":" + std::to_string(Index) + ",";
+  size_t At = StatsJson.find(Anchor);
+  if (At == std::string::npos)
+    return "";
+  std::string StateKey = "\"state\":\"";
+  size_t S = StatsJson.find(StateKey, At);
+  if (S == std::string::npos)
+    return "";
+  S += StateKey.size();
+  return StatsJson.substr(S, StatsJson.find('"', S) - S);
+}
+
+/// A predictord fleet launched in the background; drained via the
+/// shutdown method on destruction.
+class BackgroundFleet {
+public:
+  BackgroundFleet(const std::string &Name, unsigned Workers,
+                  const std::string &ExtraArgs = "") {
+    Socket = uniq(Name) + ".sock";
+    Log = uniq(Name) + ".fleet.log";
+    std::remove(Socket.c_str());
+    std::string Cmd = std::string(PREDICTORD_PATH) + " --socket=" + Socket +
+                      " --workers=" + std::to_string(Workers) + " " +
+                      ExtraArgs + " > " + Log + " 2>&1 &";
+    Started = std::system(Cmd.c_str()) == 0 &&
+              waitForSocket(Socket, /*Present=*/true) &&
+              !waitForStats(Socket, [Workers](const std::string &J) {
+                 unsigned Up = 0;
+                 for (size_t At = 0;
+                      (At = J.find("\"state\":\"up\"", At)) !=
+                      std::string::npos;
+                      At += 1)
+                   ++Up;
+                 return Up >= Workers;
+               }).empty();
+  }
+  ~BackgroundFleet() {
+    // Drain even when startup was judged failed (e.g. a worker never
+    // came up): the supervisor may still be running, and leaking it
+    // would leave sockets bound and pcache shards locked.
+    if (::access(Socket.c_str(), F_OK) != 0)
+      return;
+    std::string Cmd = std::string(PREDICTORD_PATH) + " --socket=" + Socket +
+                      " --shutdown > /dev/null 2>&1";
+    (void)std::system(Cmd.c_str());
+    waitForSocket(Socket, /*Present=*/false);
+  }
+
+  bool Started = false;
+  std::string Socket;
+  std::string Log;
+};
+
+class SupervisorTest : public ::testing::Test {
+protected:
+  std::string Log = ::testing::TempDir() + "fleet_" +
+                    ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+                    ".log";
+};
+
+TEST_F(SupervisorTest, ShardPathsAreDistinctPerWorker) {
+  EXPECT_EQ(Supervisor::shardSocketPath("/tmp/p.sock", 0), "/tmp/p.sock.w0");
+  EXPECT_EQ(Supervisor::shardSocketPath("/tmp/p.sock", 3), "/tmp/p.sock.w3");
+  EXPECT_EQ(Supervisor::shardCachePath("/tmp/p.pcache", 1),
+            "/tmp/p.pcache.w1");
+  EXPECT_EQ(Supervisor::shardCachePath("", 1), "");
+  // No two workers may ever share a socket or cache file.
+  for (unsigned A = 0; A < 8; ++A)
+    for (unsigned B = A + 1; B < 8; ++B) {
+      EXPECT_NE(Supervisor::shardSocketPath("/tmp/p.sock", A),
+                Supervisor::shardSocketPath("/tmp/p.sock", B));
+      EXPECT_NE(Supervisor::shardCachePath("/tmp/p.pcache", A),
+                Supervisor::shardCachePath("/tmp/p.pcache", B));
+    }
+}
+
+TEST_F(SupervisorTest, ForkedProcessCannotOpenALockedPcacheShard) {
+  // The fleet's isolation primitive, exercised across a real fork: the
+  // parent holds shard 0's flock; a forked child must fail to open the
+  // same file but succeed on its own shard.
+  std::string Base = ::testing::TempDir() + "fleet_flock.pcache";
+  std::string Shard0 = Supervisor::shardCachePath(Base, 0);
+  std::string Shard1 = Supervisor::shardCachePath(Base, 1);
+  std::remove(Shard0.c_str());
+  std::remove(Shard1.c_str());
+
+  Status Why;
+  auto Mine = store::ResultStore::open(Shard0, 1, &Why);
+  ASSERT_NE(Mine, nullptr) << Why.error().str();
+
+  pid_t Child = ::fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    // flock is per open-file-description: the child re-opening the path
+    // takes a *new* description, so the parent's lock must exclude it.
+    auto Stolen = store::ResultStore::open(Shard0, 1);
+    auto Own = store::ResultStore::open(Shard1, 1);
+    ::_exit((Stolen == nullptr && Own != nullptr) ? 0 : 1);
+  }
+  int Raw = 0;
+  ASSERT_EQ(::waitpid(Child, &Raw, 0), Child);
+  EXPECT_EQ(exitCode(Raw), 0)
+      << "child opened a locked shard, or failed on its own shard";
+
+  Mine.reset();
+  std::remove(Shard0.c_str());
+  std::remove(Shard1.c_str());
+}
+
+TEST_F(SupervisorTest, LockedStoreErrorSurvivesTheProtocolErrorTriple) {
+  // A worker that loses the race for a pcache shard reports the
+  // structured "locked by another process" reason; that triple must
+  // round-trip the wire protocol losslessly.
+  std::string Cache = ::testing::TempDir() + "fleet_triple.pcache";
+  std::remove(Cache.c_str());
+  auto Holder = store::ResultStore::open(Cache, 1);
+  ASSERT_NE(Holder, nullptr);
+
+  ServiceConfig SC;
+  SC.CachePath = Cache;
+  Status Why;
+  EXPECT_EQ(Service::create(SC, &Why), nullptr);
+  ASSERT_FALSE(Why.ok());
+
+  Response R;
+  R.Id = 7;
+  R.Status = RespStatus::Error;
+  R.Category = errorCategoryName(Why.error().Category);
+  R.Site = Why.error().Site;
+  R.Message = Why.error().Message;
+  Response Parsed;
+  ASSERT_TRUE(parseResponse(serializeResponse(R), Parsed));
+  EXPECT_EQ(Parsed.Status, RespStatus::Error);
+  EXPECT_EQ(Parsed.Category, R.Category);
+  EXPECT_EQ(Parsed.Site, R.Site);
+  EXPECT_NE(Parsed.Message.find("locked by another process"),
+            std::string::npos)
+      << Parsed.Message;
+
+  Holder.reset();
+  std::remove(Cache.c_str());
+}
+
+TEST_F(SupervisorTest, FleetServesBitwiseIdenticalToOneShotAndDrains) {
+  std::string Cache = uniq("fleet_identity.pcache");
+  for (unsigned I = 0; I < 2; ++I)
+    std::remove(Supervisor::shardCachePath(Cache, I).c_str());
+  std::string Pub;
+  {
+    BackgroundFleet Fleet("fleet_identity", 2, "--cache=" + Cache);
+    Pub = Fleet.Socket;
+    ASSERT_TRUE(Fleet.Started) << slurp(Fleet.Log);
+    std::string File = writeTemp("fleet_identity.vl", ValidSource);
+
+    std::string ServedOut = ::testing::TempDir() + "fleet_identity.served";
+    std::string Cmd = std::string(PREDICTORD_PATH) + " --socket=" +
+                      Fleet.Socket + " --send=" + File + " > " + ServedOut +
+                      " 2>/dev/null";
+    ASSERT_EQ(exitCode(std::system(Cmd.c_str())), 0) << slurp(Fleet.Log);
+
+    std::string OneShotOut = ::testing::TempDir() + "fleet_identity.oneshot";
+    Cmd = std::string(PREDICTOR_TOOL_PATH) + " " + File + " > " +
+          OneShotOut + " 2>/dev/null";
+    ASSERT_EQ(exitCode(std::system(Cmd.c_str())), 0);
+    EXPECT_EQ(slurp(OneShotOut), slurp(ServedOut));
+
+    // The fleet stats JSON carries the per-worker table and the
+    // determinism-exempt "serving" counter block.
+    ASSERT_EQ(runTool("--socket=" + Fleet.Socket + " --stats", Log), 0);
+    std::string Stats = slurp(Log);
+    EXPECT_NE(Stats.find("\"workers\":["), std::string::npos) << Stats;
+    EXPECT_NE(Stats.find("\"serving\":{\"worker_restarts\":"),
+              std::string::npos)
+        << Stats;
+  }
+  // Destruction drained the fleet: the public socket and every shard
+  // socket are unlinked, and each worker opened its own pcache shard.
+  // The public socket disappears first (the router stops before the
+  // workers drain), so the shard-socket checks must wait, not poll once.
+  EXPECT_NE(::access(Pub.c_str(), F_OK), 0);
+  for (unsigned I = 0; I < 2; ++I) {
+    EXPECT_TRUE(waitForSocket(Supervisor::shardSocketPath(Pub, I),
+                              /*Present=*/false));
+    EXPECT_EQ(
+        ::access(Supervisor::shardCachePath(Cache, I).c_str(), F_OK), 0)
+        << "worker " << I << " never opened its pcache shard";
+  }
+}
+
+TEST_F(SupervisorTest, Kill9WorkerIsRestartedAndServiceKeepsAnswering) {
+  BackgroundFleet Fleet("fleet_kill9", 2,
+                        "--backoff-ms=100 --heartbeat-ms=200");
+  ASSERT_TRUE(Fleet.Started) << slurp(Fleet.Log);
+  std::string File = writeTemp("fleet_kill9.vl", ValidSource);
+
+  ASSERT_EQ(runTool("--socket=" + Fleet.Socket + " --stats", Log), 0);
+  pid_t Victim = workerPid(slurp(Log), 0);
+  ASSERT_GT(Victim, 0) << slurp(Log);
+  ASSERT_EQ(::kill(Victim, SIGKILL), 0);
+
+  // Every request during the outage must still be answered — the hash
+  // range of the dead worker re-routes to the survivor until the
+  // restarted generation comes up.
+  for (int I = 0; I < 10; ++I) {
+    EXPECT_EQ(runTool("--socket=" + Fleet.Socket + " --send=" + File, Log),
+              0)
+        << slurp(Log);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::string Stats = waitForStats(
+      Fleet.Socket, [&](const std::string &J) {
+        return J.find("\"worker_restarts\":0") == std::string::npos &&
+               workerState(J, 0) == "up";
+      });
+  EXPECT_EQ(workerState(Stats, 0), "up") << Stats;
+  EXPECT_EQ(Stats.find("\"worker_restarts\":0"), std::string::npos) << Stats;
+  // The restarted slot runs a new generation of the worker.
+  pid_t Reborn = workerPid(Stats, 0);
+  EXPECT_GT(Reborn, 0);
+  EXPECT_NE(Reborn, Victim);
+}
+
+TEST_F(SupervisorTest, CrashLoopingWorkerIsMarkedDeadWhileServiceAnswers) {
+  // Hold worker 0's pcache shard lock so its every generation exits at
+  // startup (the daemon refuses a locked cache): a crash loop. With a
+  // budget of 2 restarts the slot must be marked dead — and the fleet
+  // must keep answering from worker 1 the whole time.
+  std::string Cache = uniq("fleet_crashloop.pcache");
+  std::string Shard0 = Supervisor::shardCachePath(Cache, 0);
+  std::remove(Shard0.c_str());
+  Status Why;
+  auto Lock = store::ResultStore::open(Shard0, 1, &Why);
+  ASSERT_NE(Lock, nullptr) << Why.error().str();
+
+  BackgroundFleet Fleet("fleet_crashloop", 2,
+                        "--cache=" + Cache +
+                            " --restart-budget=2 --backoff-ms=50 "
+                            "--heartbeat-ms=200");
+  // Worker 0 never comes up, so the fleet reports Started=false on the
+  // all-up wait; the public socket is what matters here.
+  ASSERT_TRUE(waitForSocket(Fleet.Socket, /*Present=*/true))
+      << slurp(Fleet.Log);
+
+  std::string Stats = waitForStats(Fleet.Socket, [](const std::string &J) {
+    return J.find("\"state\":\"dead\"") != std::string::npos;
+  });
+  EXPECT_EQ(workerState(Stats, 0), "dead") << Stats;
+  EXPECT_EQ(workerState(Stats, 1), "up") << Stats;
+
+  // Dead shard, live service: every request re-routes to worker 1.
+  std::string File = writeTemp("fleet_crashloop.vl", ValidSource);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(runTool("--socket=" + Fleet.Socket + " --send=" + File, Log),
+              0)
+        << slurp(Log);
+
+  // Drain still exits cleanly with a dead slot in the table.
+  std::string Cmd = std::string(PREDICTORD_PATH) + " --socket=" +
+                    Fleet.Socket + " --shutdown > /dev/null 2>&1";
+  (void)std::system(Cmd.c_str());
+  EXPECT_TRUE(waitForSocket(Fleet.Socket, /*Present=*/false))
+      << slurp(Fleet.Log);
+
+  Lock.reset();
+  std::remove(Shard0.c_str());
+  std::remove(Supervisor::shardCachePath(Cache, 1).c_str());
+}
+
+} // namespace
