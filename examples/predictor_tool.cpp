@@ -10,6 +10,7 @@
 //                  [--trace=<function>] [--audit[=json]]
 //                  [--suite] [--journal=<path>] [--resume]
 //                  [--cache=<path>] [--cache-verify]
+//                  [--fp-ranges=on|off] [--alias=on|off]
 //                  [--module-scale=N [--module-seed=S] [--module-layers=L]
 //                   [--mutate=K] [--incremental]] [file.vl]
 //
@@ -31,6 +32,9 @@
 // warm runs restore per-function analyses bitwise-identically from the
 // file and skip propagation. --cache-verify re-analyzes on every hit and
 // compares against the stored bytes, exiting 5 on any divergence.
+// --fp-ranges=off and --alias=off are ablation toggles (both default
+// on): the first reverts floating-point-tested branches to the
+// heuristic fallback, the second makes every load ⊥ (docs/DOMAINS.md).
 // --module-scale=N generates a synthetic N-function module (deep call
 // DAG with recursive SCCs, see benchsuite/Synthetic.h) and analyzes it
 // whole-module, printing a JSON summary with a bitwise result
@@ -113,7 +117,7 @@ void printUsage() {
                "[--dump-ir] [--ranges] [--stats[=json]] "
                "[--trace=<function>] [--audit[=json]] [--suite] "
                "[--journal=<path>] [--resume] [--cache=<path>] "
-               "[--cache-verify]\n"
+               "[--cache-verify] [--fp-ranges=on|off] [--alias=on|off]\n"
                "                      [--module-scale=N [--module-seed=S] "
                "[--module-layers=L]\n                       [--mutate=K] "
                "[--incremental]] [file.vl]\n"
@@ -155,6 +159,12 @@ void printUsage() {
                "  --cache-verify with --cache: re-analyze on every hit, "
                "compare against\n                the stored bytes, exit 5 "
                "on any divergence\n"
+               "  --fp-ranges=on|off toggle the floating-point interval "
+               "lattice (default\n                on; off reverts FP-tested "
+               "branches to the heuristic fallback)\n"
+               "  --alias=on|off toggle probabilistic load aliasing "
+               "(default on; off\n                makes every load bottom, "
+               "the pre-alias behavior)\n"
                "  --module-scale=N analyze a generated N-function module "
                "and print a JSON\n                summary (waves, sweeps, "
                "re-analyzed cone, result fingerprint)\n"
@@ -199,7 +209,17 @@ int runTool(int argc, char **argv) {
   uint64_t StepBudget = 0, DeadlineMs = 0;
   uint64_t ModuleScale = 0, ModuleSeed = 1, ModuleLayers = 0, Mutate = 0;
   bool Incremental = false;
+  bool FPRanges = true, AliasRanges = true;
   std::string FileName;
+
+  // "--flag=on|off" ablation toggles (both default on).
+  auto parseOnOff = [](const std::string &Arg, size_t Prefix, bool &Out) {
+    std::string V = Arg.substr(Prefix);
+    if (V != "on" && V != "off")
+      return false;
+    Out = V == "on";
+    return true;
+  };
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -286,6 +306,18 @@ int runTool(int argc, char **argv) {
         std::cerr << "invalid --mutate value: " << Arg << "\n";
         return ExitUsage;
       }
+    } else if (Arg.rfind("--fp-ranges=", 0) == 0) {
+      if (!parseOnOff(Arg, 12, FPRanges)) {
+        std::cerr << "invalid --fp-ranges value: " << Arg
+                  << " (expected on or off)\n";
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--alias=", 0) == 0) {
+      if (!parseOnOff(Arg, 8, AliasRanges)) {
+        std::cerr << "invalid --alias value: " << Arg
+                  << " (expected on or off)\n";
+        return ExitUsage;
+      }
     } else if (Arg == "--incremental")
       Incremental = true;
     else if (Arg == "--dump-ir")
@@ -350,6 +382,8 @@ int runTool(int argc, char **argv) {
     Opts.Threads = Threads;
     Opts.Budget.PropagationStepLimit = StepBudget;
     Opts.Budget.DeadlineMs = DeadlineMs;
+    Opts.EnableFPRanges = FPRanges;
+    Opts.EnableAliasRanges = AliasRanges;
 
     DiagnosticEngine Diags;
     auto compileCfg = [&](const SyntheticModuleConfig &Cfg) {
@@ -427,6 +461,8 @@ int runTool(int argc, char **argv) {
     Opts.Threads = Threads;
     Opts.Budget.PropagationStepLimit = StepBudget;
     Opts.Budget.DeadlineMs = DeadlineMs;
+    Opts.EnableFPRanges = FPRanges;
+    Opts.EnableAliasRanges = AliasRanges;
     Opts.Audit = Audit;
     SuiteRunConfig Config;
     Config.JournalPath = JournalPath;
@@ -481,6 +517,8 @@ int runTool(int argc, char **argv) {
   Opts.Threads = Threads;
   Opts.Budget.PropagationStepLimit = StepBudget;
   Opts.Budget.DeadlineMs = DeadlineMs;
+  Opts.EnableFPRanges = FPRanges;
+  Opts.EnableAliasRanges = AliasRanges;
   trace::TraceSink Sink(TraceFn);
   if (!TraceFn.empty())
     Opts.Trace = &Sink;

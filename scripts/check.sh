@@ -46,12 +46,36 @@ else
 fi
 echo "sentinel smoke: ok"
 
-# Range-arithmetic oracle under UBSan alone: the exhaustive div/rem/mul
-# containment sweep deliberately walks the Int64Min/Int64Max boundary,
-# exactly where undefined behavior in the kernels would hide.
+# Range-arithmetic oracles under UBSan alone: the exhaustive integer
+# div/rem/mul containment sweep deliberately walks the
+# Int64Min/Int64Max boundary, and the FP interval oracle walks
+# NaN/±∞/±0.0/subnormal endpoints — exactly where undefined behavior
+# in the kernels would hide.
 cmake -B build-ubsan -G Ninja -DVRP_SANITIZE=undefined
-cmake --build build-ubsan --target RangeOpsOracleTest
+cmake --build build-ubsan --target RangeOpsOracleTest FPIntervalOracleTest
 ctest --test-dir build-ubsan --output-on-failure -R 'Oracle'
+
+# FP/alias stage (docs/DOMAINS.md): the alias determinism suite pins
+# bitwise-identical curves at 1/2/4 threads and across a cold-vs-warm
+# pcache cycle with the FP domain and load aliasing on; the fp_alias
+# bench then re-checks the same identities end to end over the full
+# suite (it exits nonzero itself if any gate fails) and its JSON gate
+# fields are verified here against accidental report-only regressions.
+ctest --test-dir build --output-on-failure -R 'AliasDeterminism'
+build/bench/fp_alias
+for gate in threads_identical cache_identical; do
+  if ! grep -q "\"$gate\": true" BENCH_fp_alias.json; then
+    echo "fp-alias stage: $gate is not true in BENCH_fp_alias.json" >&2
+    exit 1
+  fi
+done
+fp_predicted=$(grep -o '"fp_branches_range_predicted": [0-9]*' \
+  BENCH_fp_alias.json | grep -o '[0-9]*$')
+if [ "${fp_predicted:-0}" -eq 0 ]; then
+  echo "fp-alias stage: no FP-tested branch received a range prediction" >&2
+  exit 1
+fi
+echo "fp-alias stage: ok ($fp_predicted fp-tested branches range-predicted)"
 
 # Stats determinism: the non-timing half of --stats=json must be bitwise
 # identical at 1 and 4 threads ("timings" is the trailing key, so
@@ -326,22 +350,55 @@ echo "fleet chaos smoke: ok"
 python3 scripts/perf_smoke.py
 echo "perf smoke: ok"
 
-# Docs lint: every relative link in README.md and docs/*.md must resolve
-# to a file in the repo. Absolute URLs and #anchors are out of scope.
+# Docs lint, part 1: every relative link in README.md and docs/*.md must
+# resolve to a file in the repo. Absolute URLs and #anchors are out of
+# scope.
+doc_links() { # doc -> its relative link targets, one per line
+  grep -o '\]([^)]*)' "$1" | sed 's/^](//; s/)$//' \
+    | grep -v '^https\?://\|^mailto:\|^#' | sed 's/#.*//' | grep -v '^$' || true
+}
 docs_lint_failed=0
 for doc in README.md docs/*.md; do
   dir=$(dirname "$doc")
-  while IFS= read -r link; do
-    case "$link" in
-      http://*|https://*|mailto:*|\#*) continue ;;
-    esac
-    target="${link%%#*}"
-    [ -n "$target" ] || continue
+  while IFS= read -r target; do
     if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
-      echo "docs lint: $doc links to missing file: $link" >&2
+      echo "docs lint: $doc links to missing file: $target" >&2
       docs_lint_failed=1
     fi
-  done < <(grep -o '\]([^)]*)' "$doc" | sed 's/^](//; s/)$//')
+  done < <(doc_links "$doc")
+done
+[ "$docs_lint_failed" -eq 0 ] || exit 1
+
+# Docs lint, part 2: every docs/*.md must be reachable from README.md
+# by following Markdown links — an unreachable doc is dead documentation
+# nobody browsing from the front page will find.
+reachable="README.md"
+frontier="README.md"
+while [ -n "$frontier" ]; do
+  next=""
+  for doc in $frontier; do
+    dir=$(dirname "$doc")
+    while IFS= read -r target; do
+      for cand in "$dir/$target" "$target"; do
+        [ -e "$cand" ] || continue
+        case "$cand" in *.md) ;; *) continue ;; esac
+        norm=$(realpath --relative-to=. "$cand")
+        case " $reachable " in *" $norm "*) ;; *)
+          reachable="$reachable $norm"
+          next="$next $norm"
+        ;; esac
+        break
+      done
+    done < <(doc_links "$doc")
+  done
+  frontier="$next"
+done
+for doc in docs/*.md; do
+  case " $reachable " in
+    *" $doc "*) ;;
+    *) echo "docs lint: $doc is not reachable from README.md" >&2
+       docs_lint_failed=1 ;;
+  esac
 done
 [ "$docs_lint_failed" -eq 0 ] || exit 1
 echo "docs lint: ok"

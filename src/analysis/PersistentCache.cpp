@@ -6,6 +6,7 @@
 
 #include "analysis/PersistentCache.h"
 
+#include "analysis/AliasAnalysis.h"
 #include "ir/Function.h"
 #include "ir/IRPrinter.h"
 #include "ir/Instruction.h"
@@ -153,6 +154,16 @@ std::string renderRange(const ValueRange &VR, const ValueEncoder &Enc) {
   case ValueRange::Kind::FloatConst:
     OS << "F " << hexDouble(VR.floatValue());
     return OS.str();
+  case ValueRange::Kind::FloatRanges: {
+    FPIntervalView FPs = VR.fpIntervals();
+    OS << "N " << FPs.size() << " " << hexDouble(VR.nanMass());
+    for (size_t I = 0; I < FPs.size(); ++I) {
+      FPInterval S = FPs[I];
+      OS << " " << hexDouble(S.Prob) << " " << hexDouble(S.Lo) << " "
+         << hexDouble(S.Hi);
+    }
+    return OS.str();
+  }
   case ValueRange::Kind::Ranges:
     break;
   }
@@ -189,6 +200,27 @@ bool parseRange(std::istringstream &In, const DecodeCtx &Ctx,
     if (!(In >> V) || !parseDouble(V, F))
       return false;
     Out = ValueRange::restored(ValueRange::Kind::FloatConst, F, DistKnown, {});
+    return true;
+  }
+  if (KindTok == "N") {
+    uint64_t N = 0;
+    std::string NaNTok;
+    double NaNMass = 0;
+    if (!(In >> Tok) || !parseU64(Tok, N) || N > 4096 || !(In >> NaNTok) ||
+        !parseDouble(NaNTok, NaNMass))
+      return false;
+    std::vector<FPInterval> Subs;
+    Subs.reserve(N);
+    for (uint64_t I = 0; I < N; ++I) {
+      std::string ProbTok, LoTok, HiTok;
+      FPInterval S;
+      if (!(In >> ProbTok >> LoTok >> HiTok) ||
+          !parseDouble(ProbTok, S.Prob) || !parseDouble(LoTok, S.Lo) ||
+          !parseDouble(HiTok, S.Hi))
+        return false;
+      Subs.push_back(S);
+    }
+    Out = ValueRange::restoredFP(NaNMass, DistKnown, std::move(Subs));
     return true;
   }
   if (KindTok != "R")
@@ -240,7 +272,8 @@ std::string optionsText(const VRPOptions &O) {
      << O.FlowVisitLimit << "|" << O.DerivationRetryLimit << "|"
      << hexDouble(O.AssumedSymbolicCount) << "|" << O.Interprocedural << "|"
      << O.EnableCloning << "|" << hexDouble(O.ProbTolerance) << "|"
-     << O.Budget.PropagationStepLimit << "|" << O.Budget.DeadlineMs;
+     << O.Budget.PropagationStepLimit << "|" << O.Budget.DeadlineMs << "|"
+     << O.EnableFPRanges << "|" << O.EnableAliasRanges;
   return OS.str();
 }
 
@@ -248,8 +281,12 @@ std::string optionsText(const VRPOptions &O) {
 /// it through the hooks: one range per formal parameter, one per call
 /// site in walk order. Symbolic bounds (possible only in hook outputs
 /// that skipped sanitizeForCallee) render via displayName — deterministic
-/// text, hashing-only.
-std::string contextText(const Function &F, const PropagationContext &Ctx) {
+/// text, hashing-only. With alias ranges on, the function's alias
+/// environment is appended: load results then depend on module-level
+/// facts (writer exclusivity, global initializers) that F's own IR text
+/// cannot capture, so a store added in *another* function must miss.
+std::string contextText(const Function &F, const PropagationContext &Ctx,
+                        const VRPOptions &Opts) {
   ValueEncoder Names = [](const Value *V) {
     return V ? V->displayName() : std::string("_");
   };
@@ -267,6 +304,8 @@ std::string contextText(const Function &F, const PropagationContext &Ctx) {
                                            : ValueRange::bottom();
         OS << "C" << CallIdx++ << ":" << renderRange(R, Names) << "\n";
       }
+  if (Opts.EnableAliasRanges)
+    OS << AliasInfo::environmentText(F);
   return OS.str();
 }
 
@@ -293,7 +332,7 @@ std::string PersistentCache::makeKey(const Function &F, const VRPOptions &Opts,
   printFunction(F, IR);
   return fnvHex(store::fnv1a64(IR.str())) + "-" +
          fnvHex(store::fnv1a64(optionsText(Opts))) + "-" +
-         fnvHex(store::fnv1a64(contextText(F, Ctx)));
+         fnvHex(store::fnv1a64(contextText(F, Ctx, Opts)));
 }
 
 std::string PersistentCache::serialize(const FunctionVRPResult &R) {

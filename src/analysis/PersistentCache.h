@@ -67,7 +67,7 @@ class PersistentCache {
 public:
   /// Payload-encoding version, stored in the ResultStore header; bump on
   /// any change to serialize()'s output or the key recipe.
-  static constexpr uint32_t FormatVersion = 1;
+  static constexpr uint32_t FormatVersion = 2;
 
   /// Opens (creating if absent) the cache file at \p Path. With \p Verify
   /// set, a hit does not skip analysis: the function is re-analyzed and

@@ -2,10 +2,13 @@
 //
 // Part of the VRP reproduction of Patterson, PLDI 1995.
 //
-// Eight numeric programs: dense linear algebra, stencils, integration and
-// escape-time iteration. Control flow is dominated by integer loop
-// counters — the structure behind the paper's observation that VRP is
-// "significantly more accurate for numeric code".
+// Nine numeric programs: dense linear algebra, stencils, integration,
+// escape-time iteration and a fixed-grid threshold sweep. Control flow is
+// dominated by integer loop counters — the structure behind the paper's
+// observation that VRP is "significantly more accurate for numeric code".
+// `sweep` adds float induction loops and calibration-table loads so the
+// FP interval domain and the load-alias pass (docs/DOMAINS.md) have
+// branches to predict.
 //
 //===----------------------------------------------------------------------===//
 
@@ -393,6 +396,56 @@ fn main() {
 )",
                    {67, 64},
                    {848484, 512}});
+
+  //===------------------------------------------------------------------===//
+  // sweep: fixed-grid float sweep with threshold classification. The
+  // float induction variable has constant bounds and step, so the FP
+  // derivation template produces a real interval for it, and the
+  // calibration table is written only at constant indices, so the alias
+  // pass resolves the loads (docs/DOMAINS.md worked examples).
+  //===------------------------------------------------------------------===//
+  Suite.push_back({"sweep", true, R"(
+var scale = 1.5;
+var calib[8]: float;
+fn main() {
+  var reps = input();
+  calib[1] = 2.5;
+  calib[5] = 0.25;
+  var lows = 0;
+  var spikes = 0;
+  var area = 0.0;
+  for (var t = 0; t < reps; t = t + 1) {
+    for (var x = 0.0; x < 8.0; x = x + 0.0625) {
+      var y = x * scale;
+      if (x < 2.0) {
+        lows = lows + 1;
+      }
+      if (y > 10.5) {
+        spikes = spikes + 1;
+      }
+      area = area + y * 0.0625;
+    }
+  }
+  var hot = calib[1];
+  var cold = calib[3];
+  if (hot > 0.5) {
+    print(1);
+  } else {
+    print(0);
+  }
+  if (cold > 0.5) {
+    print(1);
+  } else {
+    print(0);
+  }
+  print(area);
+  print(lows);
+  print(spikes);
+  return lows + spikes;
+}
+)",
+                   {2},
+                   {40}});
 
   return Suite;
 }

@@ -25,6 +25,7 @@
 
 #include "interproc/InterproceduralVRP.h"
 
+#include "analysis/AliasAnalysis.h"
 #include "analysis/AnalysisCache.h"
 #include "analysis/CallGraph.h"
 #include "analysis/PersistentCache.h"
@@ -669,11 +670,21 @@ InterprocDriver::runIncremental(const Module &PrevModule,
                                 const ModuleVRPResult &Previous) {
   initState();
 
+  // With alias ranges on, a function's load results depend on module-
+  // level facts outside its own IR text — writer exclusivity and global
+  // initializers (analysis/AliasAnalysis.h) — so the fingerprint folds
+  // in the alias environment: a store added in *another* function must
+  // invalidate this one.
+  auto fingerprint = [&](const Function &F) {
+    return store::fnv1a64(irText(F) + (Opts.EnableAliasRanges
+                                           ? AliasInfo::environmentText(F)
+                                           : std::string()));
+  };
   std::map<std::string, const Function *> PrevByName;
   std::map<std::string, uint64_t> PrevHashByName;
   for (const auto &PF : PrevModule.functions()) {
     PrevByName.emplace(PF->name(), PF.get());
-    PrevHashByName.emplace(PF->name(), store::fnv1a64(irText(*PF)));
+    PrevHashByName.emplace(PF->name(), fingerprint(*PF));
   }
 
   // Changed-function detection by FNV-1a content hash of the canonical
@@ -691,8 +702,7 @@ InterprocDriver::runIncremental(const Module &PrevModule,
     const FunctionVRPResult *PR =
         It == PrevByName.end() ? nullptr : Previous.forFunction(It->second);
     bool Changed = true;
-    if (PR && !PR->Degraded &&
-        store::fnv1a64(irText(*F)) == PrevHashByName[F->name()]) {
+    if (PR && !PR->Degraded && fingerprint(*F) == PrevHashByName[F->name()]) {
       FunctionVRPResult Rebound;
       if (PersistentCache::deserialize(PersistentCache::serialize(*PR), *F,
                                        Rebound)) {

@@ -133,6 +133,19 @@ public:
     return std::nullopt;
   }
 
+  std::optional<double> floatValue(const Value *V) const override {
+    if (const auto *C = dyn_cast<Constant>(V))
+      return C->isInt() ? std::optional<double>()
+                        : std::optional<double>(C->floatValue());
+    if (V->type() != IRType::Float)
+      return std::nullopt;
+    if (const auto *P = dyn_cast<Param>(V))
+      return Fr.Params[P->index()].F;
+    if (const auto *I = dyn_cast<Instruction>(V))
+      return Fr.Regs[I->id()].F;
+    return std::nullopt;
+  }
+
 private:
   const Frame &Fr;
 };

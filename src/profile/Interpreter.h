@@ -81,8 +81,12 @@ class FrameValues {
 public:
   virtual ~FrameValues() = default;
   /// The current activation's value of an int-typed SSA value; nullopt
-  /// for float-typed values (observers audit integer ranges only).
+  /// for float-typed values (use floatValue() for those).
   virtual std::optional<int64_t> intValue(const Value *V) const = 0;
+  /// The current activation's value of a float-typed SSA value; nullopt
+  /// for int-typed values. Observers use this to audit FP interval
+  /// ranges (docs/DOMAINS.md).
+  virtual std::optional<double> floatValue(const Value *V) const = 0;
 };
 
 /// Hook invoked at every *executed* conditional branch, after the

@@ -88,10 +88,11 @@ void AssertionInserter::rewriteDominatedUses(Value *Old, AssertInst *New,
 
 void AssertionInserter::insertOnEdge(BasicBlock *Target, Value *Source,
                                      CmpPred Pred, Value *Bound) {
-  // Only assert on SSA variables (instructions/params); constants carry no
-  // refinable information. Float asserts are skipped: the range lattice
-  // tracks ints (see DESIGN.md).
-  if (isa<Constant>(Source) || Source->type() != IRType::Int)
+  // Only assert on SSA variables (instructions/params); constants carry
+  // no refinable information. Both element domains are assertable: int
+  // asserts clip subranges, float asserts clip intervals and strip or
+  // keep the NaN mass per predicate (docs/DOMAINS.md).
+  if (isa<Constant>(Source))
     return;
   auto Assertion = std::make_unique<AssertInst>(Source, Pred, Bound);
   auto *A = cast<AssertInst>(Target->insertAtHead(std::move(Assertion)));
@@ -105,8 +106,6 @@ void AssertionInserter::processBranch(CondBrInst *Branch) {
     return;
   Value *L = Cmp->lhs();
   Value *R = Cmp->rhs();
-  if (L->type() != IRType::Int)
-    return;
 
   BasicBlock *TrueTarget = Branch->trueBlock();
   BasicBlock *FalseTarget = Branch->falseBlock();

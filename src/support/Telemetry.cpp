@@ -99,6 +99,16 @@ const char *counterName(Counter C) {
     return "interproc_functions_reanalyzed";
   case Counter::IncrementalFunctionsReused:
     return "incremental_functions_reused";
+  case Counter::FPRangeKernelOps:
+    return "fp_range_kernel_ops";
+  case Counter::FPCmpDecided:
+    return "fp_cmp_decided";
+  case Counter::AliasForwardedLoads:
+    return "alias_forwarded_loads";
+  case Counter::AliasWeightedLoads:
+    return "alias_weighted_loads";
+  case Counter::AliasBottomLoads:
+    return "alias_bottom_loads";
   case Counter::ServeWorkerRestarts:
     return "serve_worker_restarts";
   case Counter::ServeReroutes:

@@ -108,6 +108,13 @@ enum class Counter : unsigned {
   InterprocWaves,
   InterprocFunctionsReanalyzed,
   IncrementalFunctionsReused,
+  // Floating-point interval kernels and probabilistic load aliasing
+  // (docs/DOMAINS.md). Deterministic: pure functions of the analysis work.
+  FPRangeKernelOps,
+  FPCmpDecided,
+  AliasForwardedLoads,
+  AliasWeightedLoads,
+  AliasBottomLoads,
   // Fleet supervision (serve/Supervisor.h). Unlike everything above,
   // these count *fault* events — crashes, timeouts, failovers — so they
   // are inherently schedule-dependent and live in the

@@ -6,6 +6,7 @@
 #include "support/Telemetry.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 using namespace vrp;
@@ -25,13 +26,20 @@ void forEachAuditedValue(const CondBrInst *Br,
   }
 }
 
-/// True when \p VR makes a checkable claim about an int value: a Ranges
-/// value with purely numeric bounds. ⊤/⊥ claim nothing; symbolic bounds
-/// cannot be checked against a single frame value.
-bool auditable(const Value *V, const ValueRange &VR) {
-  if (isa<Constant>(V) || V->type() != IRType::Int)
+/// True when \p VR makes a checkable claim about \p V. Int values need a
+/// Ranges value with purely numeric bounds (⊤/⊥ claim nothing; symbolic
+/// bounds cannot be checked against a single frame value). Float values
+/// need a FloatRanges interval set or a float-constant singleton; both
+/// are checkable, and \p AllowFloat gates them off for callers that can
+/// only handle the int domain (the corruption back door).
+bool auditable(const Value *V, const ValueRange &VR, bool AllowFloat) {
+  if (isa<Constant>(V))
     return false;
-  return VR.isRanges() && !VR.hasSymbolicBounds();
+  if (V->type() == IRType::Int)
+    return VR.isRanges() && !VR.hasSymbolicBounds();
+  if (V->type() == IRType::Float && AllowFloat)
+    return VR.isFloatRanges() || VR.isFloatConst();
+  return false;
 }
 
 /// Range membership: inside some subrange's [Lo, Hi] and on its stride
@@ -46,6 +54,19 @@ bool contains(const std::vector<SubRange> &Subs, int64_t V) {
   return false;
 }
 
+/// Float-range membership: inside some closed interval [Lo, Hi], or NaN
+/// while the range carries NaN mass. -0.0 compares equal to +0.0 under
+/// IEEE <=, matching the lattice's convention (docs/DOMAINS.md).
+bool containsFP(const std::vector<FPInterval> &Subs, double NaNMass,
+                double V) {
+  if (std::isnan(V))
+    return NaNMass > 0.0;
+  for (const FPInterval &S : Subs)
+    if (S.Lo <= V && V <= S.Hi)
+      return true;
+  return false;
+}
+
 } // namespace
 
 std::string AuditViolation::str() const {
@@ -55,8 +76,12 @@ std::string AuditViolation::str() const {
        << Count << (Count == 1 ? " time" : " times");
     return OS.str();
   }
-  OS << "value " << Value << " at " << Branch << " observed " << Witness
-     << " outside " << Range << " (" << Count << " violating execution"
+  OS << "value " << Value << " at " << Branch << " observed ";
+  if (FloatWitness)
+    OS << FWitness;
+  else
+    OS << Witness;
+  OS << " outside " << Range << " (" << Count << " violating execution"
      << (Count == 1 ? ")" : "s)");
   return OS.str();
 }
@@ -118,13 +143,30 @@ void RangeAuditor::addFunction(const Function &F,
           BrIt != VRP.Branches.end() && !BrIt->second.Reachable;
       forEachAuditedValue(Br, [&](const Value *V) {
         auto It = VRP.Ranges.find(V);
-        if (It == VRP.Ranges.end() || !auditable(V, It->second))
+        if (It == VRP.Ranges.end() ||
+            !auditable(V, It->second, /*AllowFloat=*/true))
           return;
         ValuePlan VP;
         VP.V = V;
         VP.Name = V->displayName();
         VP.RangeStr = It->second.str();
-        VP.Subs = It->second.subRanges();
+        const ValueRange &VR = It->second;
+        if (V->type() == IRType::Float) {
+          VP.IsFloat = true;
+          if (VR.isFloatConst()) {
+            // A singleton claim: the point interval, or pure NaN mass.
+            double C = VR.floatValue();
+            if (std::isnan(C))
+              VP.NaNMass = 1.0;
+            else
+              VP.FPSubs.push_back(FPInterval(1.0, C, C));
+          } else {
+            VP.FPSubs = VR.fpIntervals();
+            VP.NaNMass = VR.nanMass();
+          }
+        } else {
+          VP.Subs = VR.subRanges();
+        }
         Plan.Values.push_back(std::move(VP));
       });
       if (Plan.PredictedUnreachable || !Plan.Values.empty())
@@ -135,7 +177,7 @@ void RangeAuditor::addFunction(const Function &F,
 
 void RangeAuditor::recordViolation(FunctionAudit &FA, const ValuePlan *VP,
                                    const BranchPlan &BP, int64_t Witness,
-                                   bool Unreachable) {
+                                   double FWitness, bool Unreachable) {
   ++FA.Violations;
   for (AuditViolation &D : FA.Details) {
     if (D.UnreachableExecuted == Unreachable && D.Branch == BP.Loc &&
@@ -153,7 +195,11 @@ void RangeAuditor::recordViolation(FunctionAudit &FA, const ValuePlan *VP,
   if (!Unreachable) {
     D.Value = VP->Name;
     D.Range = VP->RangeStr;
-    D.Witness = Witness;
+    D.FloatWitness = VP->IsFloat;
+    if (VP->IsFloat)
+      D.FWitness = FWitness;
+    else
+      D.Witness = Witness;
   }
   FA.Details.push_back(std::move(D));
 }
@@ -169,15 +215,24 @@ void RangeAuditor::branchExecuted(const Function &F, const CondBrInst *Branch,
   FunctionAudit &FA = Functions[BP.FnIdx];
   if (BP.PredictedUnreachable) {
     ++FA.Checked;
-    recordViolation(FA, nullptr, BP, 0, /*Unreachable=*/true);
+    recordViolation(FA, nullptr, BP, 0, 0.0, /*Unreachable=*/true);
   }
   for (const ValuePlan &VP : BP.Values) {
+    if (VP.IsFloat) {
+      std::optional<double> V = Values.floatValue(VP.V);
+      if (!V)
+        continue;
+      ++FA.Checked;
+      if (!containsFP(VP.FPSubs, VP.NaNMass, *V))
+        recordViolation(FA, &VP, BP, 0, *V, /*Unreachable=*/false);
+      continue;
+    }
     std::optional<int64_t> V = Values.intValue(VP.V);
     if (!V)
       continue;
     ++FA.Checked;
     if (!contains(VP.Subs, *V))
-      recordViolation(FA, &VP, BP, *V, /*Unreachable=*/false);
+      recordViolation(FA, &VP, BP, *V, 0.0, /*Unreachable=*/false);
   }
 }
 
@@ -194,7 +249,9 @@ AuditReport RangeAuditor::takeReport() {
 
 namespace {
 
-/// First value in block order whose range the audit would check.
+/// First value in block order whose range the audit would check. The
+/// corruption machinery replaces the range with an out-of-hull int
+/// singleton, so only int-domain targets qualify.
 const Value *findCorruptTarget(const Function &F,
                                const FunctionVRPResult &VRP) {
   if (VRP.Degraded)
@@ -209,7 +266,8 @@ const Value *findCorruptTarget(const Function &F,
         if (Target)
           return;
         auto It = VRP.Ranges.find(V);
-        if (It != VRP.Ranges.end() && auditable(V, It->second))
+        if (It != VRP.Ranges.end() &&
+            auditable(V, It->second, /*AllowFloat=*/false))
           Target = V;
       });
       if (Target)

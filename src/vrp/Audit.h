@@ -22,12 +22,15 @@
 /// the Ball–Larus heuristic fallback (see eval/SuiteRunner.cpp), records
 /// a support/Quarantine.h record, and keeps going.
 ///
-/// Only numeric, non-symbolic ranges are audited: ⊤ and ⊥ claim nothing,
-/// float-constant ranges have no branch-dominating integer witness, and
-/// symbolic bounds would need the bound variable's concurrent value,
-/// which only the range *lattice* — not the activation frame — relates
-/// to the audited value. Each skip is a deliberate loss of audit
-/// coverage, never a soundness loss.
+/// Both element domains are audited. Integer claims are checked as
+/// subrange-plus-stride membership; float claims (FloatRanges and
+/// float-constant singletons) are checked as interval membership, with a
+/// NaN observation legal exactly when the range carries NaN mass
+/// (docs/DOMAINS.md). ⊤ and ⊥ claim nothing, and symbolic bounds would
+/// need the bound variable's concurrent value, which only the range
+/// *lattice* — not the activation frame — relates to the audited value.
+/// Each skip is a deliberate loss of audit coverage, never a soundness
+/// loss.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,7 +54,11 @@ struct AuditViolation {
   std::string Value;  ///< SSA display name of the violating value.
   std::string Branch; ///< Source location of the branch ("file:line").
   std::string Range;  ///< The range the value was claimed to lie in.
-  int64_t Witness = 0; ///< First observed out-of-range value.
+  int64_t Witness = 0; ///< First observed out-of-range value (int domain).
+  /// First observed out-of-range value in the float domain; meaningful
+  /// only when FloatWitness is set (Witness is 0 then).
+  double FWitness = 0.0;
+  bool FloatWitness = false; ///< True when the violating value is float.
   uint64_t Count = 0;  ///< Executions that violated this contract.
   /// True for the "propagation proved this branch unreachable, yet it
   /// executed" violation; Witness is meaningless then.
@@ -109,7 +116,10 @@ private:
     const Value *V = nullptr;
     std::string Name;
     std::string RangeStr;
-    std::vector<SubRange> Subs; ///< All numeric, non-symbolic.
+    std::vector<SubRange> Subs; ///< Int domain: all numeric, non-symbolic.
+    std::vector<FPInterval> FPSubs; ///< Float domain: closed intervals.
+    double NaNMass = 0.0; ///< Float domain: probability mass on NaN.
+    bool IsFloat = false; ///< Selects FPSubs/NaNMass over Subs.
   };
   struct BranchPlan {
     size_t FnIdx = 0;
@@ -120,7 +130,7 @@ private:
 
   void recordViolation(FunctionAudit &FA, const ValuePlan *VP,
                        const BranchPlan &BP, int64_t Witness,
-                       bool Unreachable);
+                       double FWitness, bool Unreachable);
 
   std::vector<FunctionAudit> Functions;
   std::unordered_map<const CondBrInst *, BranchPlan> Plans;

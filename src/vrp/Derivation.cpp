@@ -7,6 +7,8 @@
 #include "vrp/Derivation.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -113,6 +115,193 @@ bool walkChains(const Value *V, const PhiInst *Phi, int64_t Offset,
   }
 }
 
+/// One assert constraint met along a float back-edge chain: the chain
+/// value at accumulated float offset \p Offset satisfied `value PRED
+/// Bound`.
+struct FloatConstraint {
+  CmpPred Pred;
+  const Value *Bound;
+  double Offset;
+};
+
+struct FloatChain {
+  double Delta = 0.0;
+  std::vector<FloatConstraint> Constraints;
+};
+
+/// The float induction template (docs/DOMAINS.md): a straight chain of
+/// copies, asserts and float-constant add/sub from the latch back to the
+/// φ. No inner φs — conditional float increments are rare enough that
+/// the template keeps to the common accumulator shape.
+bool walkFloatChain(const Value *V, const PhiInst *Phi,
+                    std::vector<FloatChain> &Out) {
+  FloatChain C;
+  double Offset = 0.0;
+  std::set<const Value *> Visiting;
+  while (true) {
+    if (V == Phi) {
+      C.Delta = Offset;
+      Out.push_back(std::move(C));
+      return true;
+    }
+    const auto *I = dyn_cast<Instruction>(V);
+    if (!I || !Visiting.insert(V).second)
+      return false;
+    switch (I->opcode()) {
+    case Opcode::Copy:
+      V = cast<UnaryInst>(I)->sub();
+      continue;
+    case Opcode::Assert: {
+      const auto *A = cast<AssertInst>(I);
+      C.Constraints.push_back({A->pred(), A->bound(), Offset});
+      V = A->source();
+      continue;
+    }
+    case Opcode::Add:
+    case Opcode::Sub: {
+      const auto *B = cast<BinaryInst>(I);
+      const Constant *K = dyn_cast<Constant>(B->rhs());
+      const Value *Next = B->lhs();
+      if (!K && I->opcode() == Opcode::Add) {
+        K = dyn_cast<Constant>(B->lhs());
+        Next = B->rhs();
+      }
+      if (!K || K->isInt())
+        return false;
+      double Step = K->floatValue();
+      if (I->opcode() == Opcode::Sub)
+        Step = -Step;
+      if (!std::isfinite(Step))
+        return false;
+      Offset += Step;
+      if (!std::isfinite(Offset))
+        return false;
+      V = Next;
+      continue;
+    }
+    default:
+      return false;
+    }
+  }
+}
+
+/// The FP hull [Lo, Hi] of \p VR when it is NaN-free and fully known;
+/// false otherwise.
+bool fpHull(const ValueRange &VR, double &Lo, double &Hi) {
+  if (VR.isFloatConst()) {
+    double C = VR.floatValue();
+    if (std::isnan(C))
+      return false;
+    Lo = Hi = C;
+    return true;
+  }
+  if (!VR.isFloatRanges() || VR.nanMass() > 0.0)
+    return false;
+  FPIntervalView V = VR.fpIntervals();
+  if (V.empty())
+    return false;
+  Lo = V[0].Lo;
+  Hi = V[0].Hi;
+  for (uint32_t I = 1; I < V.size(); ++I) {
+    Lo = std::min(Lo, V[I].Lo);
+    Hi = std::max(Hi, V[I].Hi);
+  }
+  return true;
+}
+
+/// Derivation for float loop-carried φs: the int algorithm transplanted
+/// onto the interval domain. The accumulated per-iteration delta gives
+/// the direction, the entry hull anchors the near bound, and the
+/// tightest termination assert (plus one increment of overshoot) caps
+/// the far bound. Strict and non-strict bounds are treated alike — a
+/// one-ulp giveaway on a continuous domain, sound by construction.
+DerivationResult deriveFloatRange(
+    const PhiInst *Phi, const std::vector<const Value *> &EntryValues,
+    const std::vector<const Value *> &BackValues, const VRPOptions &Opts,
+    RangeStats &Stats,
+    const std::function<ValueRange(const Value *)> &RangeOf) {
+  DerivationResult Fail{DerivationOutcome::Impossible, ValueRange::bottom()};
+  if (!Opts.EnableFPRanges)
+    return Fail;
+
+  double InitLo = HUGE_VAL, InitHi = -HUGE_VAL;
+  for (const Value *V : EntryValues) {
+    ValueRange VR = RangeOf(V);
+    if (VR.isTop())
+      return {DerivationOutcome::NotYet, ValueRange::top()};
+    double Lo = 0, Hi = 0;
+    if (!fpHull(VR, Lo, Hi))
+      return Fail; // ⊥, int-domain, or NaN-tainted entry.
+    InitLo = std::min(InitLo, Lo);
+    InitHi = std::max(InitHi, Hi);
+  }
+
+  std::vector<FloatChain> Chains;
+  for (const Value *V : BackValues)
+    if (!walkFloatChain(V, Phi, Chains))
+      return Fail;
+  if (Chains.empty())
+    return Fail;
+
+  bool AnyProgress = false, Positive = false;
+  double MaxAbsDelta = 0.0;
+  for (const FloatChain &C : Chains) {
+    if (C.Delta != 0.0 && !AnyProgress) {
+      AnyProgress = true;
+      Positive = C.Delta > 0.0;
+    }
+    MaxAbsDelta = std::max(MaxAbsDelta, std::abs(C.Delta));
+  }
+  if (!AnyProgress)
+    return Fail;
+  for (const FloatChain &C : Chains)
+    if (C.Delta != 0.0 && (C.Delta > 0.0) != Positive)
+      return Fail;
+
+  // The tightest termination bound: an upper bound for a growing
+  // accumulator, a lower bound for a shrinking one. NE is useless on a
+  // continuous domain.
+  std::optional<double> Limit;
+  for (const FloatChain &C : Chains)
+    for (const FloatConstraint &K : C.Constraints) {
+      bool Usable = Positive
+                        ? (K.Pred == CmpPred::LT || K.Pred == CmpPred::LE)
+                        : (K.Pred == CmpPred::GT || K.Pred == CmpPred::GE);
+      if (!Usable)
+        continue;
+      double BLo = 0, BHi = 0;
+      if (!fpHull(RangeOf(K.Bound), BLo, BHi))
+        continue;
+      // Asserted value = φ + (Delta - Offset); solve for φ.
+      double Rel = C.Delta - K.Offset;
+      double Cap = (Positive ? BHi : BLo) - Rel;
+      if (std::isnan(Cap))
+        continue;
+      if (!Limit)
+        Limit = Cap;
+      else
+        Limit = Positive ? std::min(*Limit, Cap) : std::max(*Limit, Cap);
+    }
+  if (!Limit)
+    return Fail;
+
+  double Lo, Hi;
+  if (Positive) {
+    Lo = InitLo;
+    Hi = std::max(*Limit + MaxAbsDelta, InitHi);
+  } else {
+    Hi = InitHi;
+    Lo = std::min(*Limit - MaxAbsDelta, InitLo);
+  }
+  if (std::isnan(Lo) || std::isnan(Hi) || Lo > Hi)
+    return Fail;
+
+  ++Stats.DerivationsMatched;
+  return {DerivationOutcome::Derived,
+          ValueRange::floatRanges({FPInterval(1.0, Lo, Hi)}, 0.0,
+                                  Opts.MaxSubRanges)};
+}
+
 } // namespace
 
 DerivationResult vrp::deriveLoopCarriedRange(
@@ -132,6 +321,10 @@ DerivationResult vrp::deriveLoopCarriedRange(
   }
   if (BackValues.empty() || EntryValues.empty())
     return Fail;
+
+  if (Phi->type() == IRType::Float)
+    return deriveFloatRange(Phi, EntryValues, BackValues, Opts, Stats,
+                            RangeOf);
 
   // Initial value: meet of the entry operands. Fully numeric entries
   // aggregate into a hull; a single symbolic entry (e.g. `j = i - 1`

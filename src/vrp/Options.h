@@ -101,6 +101,16 @@ struct VRPOptions {
   /// range predicts at (C-1)/C taken. Ablatable.
   double AssumedSymbolicCount = 100.0;
 
+  /// Floating-point interval lattice (docs/DOMAINS.md). When off, every
+  /// non-constant FP value is ⊥ and FP-tested branches fall back to the
+  /// Ball–Larus heuristics — the pre-FP behavior, kept for ablation.
+  bool EnableFPRanges = true;
+
+  /// Probabilistic load aliasing (analysis/AliasAnalysis.h): loads meet
+  /// the ranges of their weighted may-alias store set instead of
+  /// dropping to ⊥. When off, loads are ⊥ (pre-alias behavior).
+  bool EnableAliasRanges = true;
+
   /// Analyze across calls via jump functions (§3.7).
   bool Interprocedural = false;
 

@@ -6,6 +6,7 @@
 
 #include "vrp/Propagation.h"
 
+#include "analysis/AliasAnalysis.h"
 #include "analysis/AnalysisCache.h"
 #include "analysis/DFS.h"
 #include "support/FaultInjection.h"
@@ -65,7 +66,8 @@ public:
          const PropagationContext &Ctx)
       : F(F), Opts(Opts), Ctx(Ctx), Ops(Opts, Result.Stats),
         OwnedDFS(Ctx.Cache ? nullptr : std::make_unique<DFSInfo>(F)),
-        DFS(Ctx.Cache ? Ctx.Cache->dfs(F) : *OwnedDFS) {
+        DFS(Ctx.Cache ? Ctx.Cache->dfs(F) : *OwnedDFS),
+        Alias(Opts.EnableAliasRanges ? AliasInfo::analyze(F) : AliasInfo()) {
     if (Opts.Trace && Opts.Trace->wants(F))
       Ring = std::make_unique<trace::TraceRing>(Opts.Trace->capacity());
   }
@@ -159,6 +161,7 @@ private:
   void evaluatePhi(const PhiInst *Phi);
   void evaluateBranch(const CondBrInst *Branch);
   ValueRange evaluateExpression(const Instruction *I);
+  ValueRange evaluateLoad(const LoadInst *L);
 
   /// Attempts loop-carried derivation per paper step 4.
   void tryDerivation(const PhiInst *Phi);
@@ -171,6 +174,9 @@ private:
   /// Locally computed DFS when no cache is supplied; see the ctor.
   std::unique_ptr<DFSInfo> OwnedDFS;
   const DFSInfo &DFS;
+  /// Per-load forwarding / weighted-candidate summary; empty when
+  /// EnableAliasRanges is off (analysis/AliasAnalysis.h).
+  AliasInfo Alias;
 
   std::deque<std::pair<const BasicBlock *, const BasicBlock *>> FlowWorkList;
   std::deque<const Instruction *> SSAWorkList;
@@ -392,16 +398,55 @@ ValueRange Engine::evaluateExpression(const Instruction *I) {
     ValueRange BoundVR = rangeOf(A->bound());
     if (Src.isTop() || BoundVR.isTop())
       return ValueRange::top();
+    // Float asserts refine only through the FP lattice: with it off, or
+    // with a ⊥ bound (nothing to clip against), the assertion adds no
+    // information and passes its source through — always a superset of
+    // the true intersection, so sound.
+    if (A->type() == IRType::Float &&
+        (!Opts.EnableFPRanges || BoundVR.isBottom()))
+      return Src;
     return Ops.applyAssert(Src, A->pred(), BoundVR, A->bound());
   }
   case Opcode::Load:
+    return evaluateLoad(cast<LoadInst>(I));
   case Opcode::Input:
-    return ValueRange::bottom(); // §3.5: loads are ⊥ without alias info.
+    return ValueRange::bottom(); // External input is unbounded.
   case Opcode::Call:
     return Ctx.CallResultRange(cast<CallInst>(I));
   default:
     return ValueRange::bottom();
   }
+}
+
+ValueRange Engine::evaluateLoad(const LoadInst *L) {
+  const LoadAliasInfo *AI =
+      Opts.EnableAliasRanges ? Alias.infoFor(L) : nullptr;
+  if (!AI) {
+    telemetry::count(telemetry::Counter::AliasBottomLoads);
+    return ValueRange::bottom(); // §3.5: loads are ⊥ without alias info.
+  }
+  if (AI->Forwarded) {
+    // Tier (a): the load must observe exactly this stored SSA value.
+    telemetry::count(telemetry::Counter::AliasForwardedLoads);
+    return rangeOf(AI->Forwarded);
+  }
+  // Tier (b): meet the candidates' ranges under the index-overlap
+  // weights. The initial-value candidate is a constant range, so the
+  // meet is never all-⊤; a ⊥ candidate forces ⊥ (meetWeighted's
+  // contract), which is the paper's behavior for that load.
+  std::vector<std::pair<ValueRange, double>> Entries;
+  Entries.reserve(AI->Candidates.size());
+  for (const AliasCandidate &C : AI->Candidates)
+    Entries.push_back(
+        {C.Stored ? rangeOf(C.Stored)
+         : L->object()->elemType() == IRType::Float
+             ? ValueRange::floatConstant(C.InitValue)
+             : ValueRange::intConstant(static_cast<int64_t>(C.InitValue)),
+         C.Weight});
+  ValueRange VR = Ops.meetWeighted(Entries);
+  telemetry::count(VR.isBottom() ? telemetry::Counter::AliasBottomLoads
+                                 : telemetry::Counter::AliasWeightedLoads);
+  return VR;
 }
 
 void Engine::evaluateBranch(const CondBrInst *Branch) {
@@ -444,6 +489,17 @@ void Engine::evaluateInstruction(const Instruction *I) {
   }
   if (const auto *CBr = dyn_cast<CondBrInst>(I)) {
     evaluateBranch(CBr);
+    return;
+  }
+  if (const auto *St = dyn_cast<StoreInst>(I)) {
+    // A store defines no SSA value, but dependent loads read through it
+    // (its stored value is their forwarding source or one of their
+    // weighted candidates): re-push them exactly as updateRange pushes
+    // SSA users. The store lands here both on its block's first visit
+    // and whenever its stored value's range changes (the store is an
+    // SSA user of that value).
+    for (const LoadInst *L : Alias.dependentLoads(St))
+      SSAWorkList.push_back(L);
     return;
   }
   if (I->isTerminator() || I->type() == IRType::Void)

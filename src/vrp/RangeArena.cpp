@@ -22,6 +22,11 @@ namespace {
 constexpr uint64_t RowPayloadBytes = sizeof(double) + 3 * sizeof(int64_t) +
                                      2 * sizeof(uint32_t);
 
+/// FP family: three double columns per row, plus one double of NaN mass
+/// per slice (counted with the slice, not per row).
+constexpr uint64_t FPRowPayloadBytes = 3 * sizeof(double);
+constexpr uint64_t FPSlicePayloadBytes = sizeof(double);
+
 inline uint64_t fnv1a(uint64_t Hash, uint64_t Word) {
   // 64-bit FNV-1a over one word, byte at a time unrolled by multiplier.
   constexpr uint64_t Prime = 1099511628211ull;
@@ -47,9 +52,15 @@ RangeArena::RangeArena() {
     C.store(nullptr, std::memory_order_relaxed);
   for (auto &C : SymChunks)
     C.store(nullptr, std::memory_order_relaxed);
+  for (auto &C : FPRowChunks)
+    C.store(nullptr, std::memory_order_relaxed);
+  for (auto &C : FPSliceChunks)
+    C.store(nullptr, std::memory_order_relaxed);
   // Materialize slice 0 (the empty slice) so sliceInfo(0) is valid.
   auto *SC = new SliceChunk();
   SliceChunks[0].store(SC, std::memory_order_release);
+  auto *FSC = new FPSliceChunk();
+  FPSliceChunks[0].store(FSC, std::memory_order_release);
 }
 
 RangeArena &RangeArena::global() {
@@ -254,4 +265,141 @@ uint32_t RangeArena::sliceSize(uint32_t SliceId) const {
 
 bool RangeArena::sliceAllNumeric(uint32_t SliceId) const {
   return SliceId == 0 ? true : sliceInfo(SliceId).AllNumeric != 0;
+}
+
+//===----------------------------------------------------------------------===
+// Floating-point column family
+//===----------------------------------------------------------------------===
+
+const RangeArena::FPSliceInfo &
+RangeArena::fpSliceInfo(uint32_t SliceId) const {
+  const FPSliceChunk *C =
+      FPSliceChunks[SliceId >> ChunkShift].load(std::memory_order_acquire);
+  return C->Infos[SliceId & (ChunkRows - 1)];
+}
+
+uint32_t RangeArena::internFP(const FPInterval *Subs, uint32_t N,
+                              double NaNMass) {
+  if (N == 0 && probBits(NaNMass) == probBits(0.0))
+    return 0;
+  assert(N <= MaxSliceRows && "FP interval set exceeds one arena chunk");
+
+  std::lock_guard<std::mutex> Lock(Mu);
+
+  // FP contents are pointer-free, so everything interns. The NaN mass is
+  // part of the content: two slices with identical rows but different
+  // NaN mass get different ids, keeping slice id -> lattice value
+  // injective (RangeOps' memo keys depend on this).
+  uint64_t Hash = 14695981039346656037ull ^ (uint64_t(N) << 32);
+  Hash = fnv1a(Hash, probBits(NaNMass));
+  for (uint32_t I = 0; I < N; ++I) {
+    Hash = fnv1a(Hash, probBits(Subs[I].Prob));
+    Hash = fnv1a(Hash, probBits(Subs[I].Lo));
+    Hash = fnv1a(Hash, probBits(Subs[I].Hi));
+  }
+
+  std::vector<uint32_t> *Bucket = &FPInternMap[Hash];
+  for (uint32_t Candidate : *Bucket) {
+    FPSliceChunk *SC =
+        FPSliceChunks[Candidate >> ChunkShift].load(std::memory_order_acquire);
+    FPSliceInfo &Info = SC->Infos[Candidate & (ChunkRows - 1)];
+    if (Info.Count != N || probBits(Info.NaNMass) != probBits(NaNMass))
+      continue;
+    bool Same = true;
+    if (N > 0) {
+      const FPRowChunk *C =
+          FPRowChunks[Info.RowBegin >> ChunkShift].load(
+              std::memory_order_acquire);
+      uint32_t Base = Info.RowBegin & (ChunkRows - 1);
+      for (uint32_t I = 0; I < N && Same; ++I) {
+        Same = probBits(C->Prob[Base + I]) == probBits(Subs[I].Prob) &&
+               probBits(C->Lo[Base + I]) == probBits(Subs[I].Lo) &&
+               probBits(C->Hi[Base + I]) == probBits(Subs[I].Hi);
+      }
+    }
+    if (Same) {
+      // Epoch-relative counting, exactly as for integer slices.
+      if (Info.Epoch != CurrentEpoch) {
+        Info.Epoch = CurrentEpoch;
+        telemetry::count(telemetry::Counter::RangeInternMisses);
+        telemetry::count(telemetry::Counter::RangeArenaPayloadBytes,
+                         FPRowPayloadBytes * N + FPSlicePayloadBytes);
+      } else {
+        telemetry::count(telemetry::Counter::RangeInternHits);
+      }
+      return Candidate;
+    }
+  }
+
+  // New content: allocate rows (none for the pure-NaN range). A slice
+  // never straddles a chunk.
+  uint32_t RowBegin = 0;
+  if (N > 0) {
+    uint32_t Offset = NextFPRow & (ChunkRows - 1);
+    if (Offset + N > ChunkRows)
+      NextFPRow = (NextFPRow + ChunkRows - 1) & ~(ChunkRows - 1);
+    RowBegin = NextFPRow;
+    uint32_t ChunkIdx = RowBegin >> ChunkShift;
+    assert(ChunkIdx < MaxChunks && "FP range arena exhausted");
+    FPRowChunk *C = FPRowChunks[ChunkIdx].load(std::memory_order_acquire);
+    if (!C) {
+      C = new FPRowChunk();
+      FPRowChunks[ChunkIdx].store(C, std::memory_order_release);
+    }
+    uint32_t Base = RowBegin & (ChunkRows - 1);
+    for (uint32_t I = 0; I < N; ++I) {
+      C->Prob[Base + I] = Subs[I].Prob;
+      C->Lo[Base + I] = Subs[I].Lo;
+      C->Hi[Base + I] = Subs[I].Hi;
+    }
+    NextFPRow = RowBegin + N;
+  }
+
+  uint32_t SliceId = NextFPSlice++;
+  assert(SliceId < MaxChunks * ChunkRows && "FP slice table exhausted");
+  uint32_t SliceChunkIdx = SliceId >> ChunkShift;
+  FPSliceChunk *SC =
+      FPSliceChunks[SliceChunkIdx].load(std::memory_order_acquire);
+  if (!SC) {
+    SC = new FPSliceChunk();
+    FPSliceChunks[SliceChunkIdx].store(SC, std::memory_order_release);
+  }
+  FPSliceInfo &Info = SC->Infos[SliceId & (ChunkRows - 1)];
+  Info.RowBegin = RowBegin;
+  Info.Count = static_cast<uint16_t>(N);
+  Info.Epoch = CurrentEpoch;
+  Info.NaNMass = NaNMass;
+  Bucket->push_back(SliceId);
+
+  telemetry::count(telemetry::Counter::RangeInternMisses);
+  telemetry::count(telemetry::Counter::RangeArenaPayloadBytes,
+                   FPRowPayloadBytes * N + FPSlicePayloadBytes);
+  return SliceId;
+}
+
+RangeArena::FPRows RangeArena::fpRows(uint32_t SliceId) const {
+  FPRows R;
+  if (SliceId == 0)
+    return R;
+  const FPSliceInfo &Info = fpSliceInfo(SliceId);
+  R.Count = Info.Count;
+  R.NaNMass = Info.NaNMass;
+  if (Info.Count > 0) {
+    const FPRowChunk *C =
+        FPRowChunks[Info.RowBegin >> ChunkShift].load(
+            std::memory_order_acquire);
+    uint32_t Base = Info.RowBegin & (ChunkRows - 1);
+    R.Prob = C->Prob + Base;
+    R.Lo = C->Lo + Base;
+    R.Hi = C->Hi + Base;
+  }
+  return R;
+}
+
+uint32_t RangeArena::fpSliceSize(uint32_t SliceId) const {
+  return SliceId == 0 ? 0 : fpSliceInfo(SliceId).Count;
+}
+
+double RangeArena::fpNaNMass(uint32_t SliceId) const {
+  return SliceId == 0 ? 0.0 : fpSliceInfo(SliceId).NaNMass;
 }

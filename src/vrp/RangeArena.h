@@ -23,6 +23,15 @@
 /// reuse across function lifetimes would make cross-function identity —
 /// and with it the intern counters — depend on the thread schedule.
 ///
+/// The floating-point domain (docs/DOMAINS.md) stores its weighted
+/// intervals as a *parallel column family* in the same arena: three
+/// contiguous columns `{Prob, Lo, Hi}` (binary64 bounds) plus a per-slice
+/// NaN probability mass, with its own slice-id space and intern map. FP
+/// contents are always pointer-free, so every FP slice interns
+/// module-wide; the NaN mass is part of the interned content (hashed and
+/// compared by bit pattern) so an FP slice id alone identifies the full
+/// lattice value.
+///
 /// Concurrency: insertion takes a mutex; reads are lock-free. Columns are
 /// chunked with stable addresses (a slice never straddles a chunk), so a
 /// published slice id can be dereferenced without synchronizing with later
@@ -45,6 +54,21 @@ namespace vrp {
 
 class Value;
 struct SubRange;
+
+/// One weighted floating-point interval `P[Lo:Hi]` (closed, binary64).
+/// Probability mass inside an interval is assumed uniform; NaN mass is
+/// carried per *slice*, not per interval (see RangeArena::internFP).
+struct FPInterval {
+  double Prob = 0.0;
+  double Lo = 0.0;
+  double Hi = 0.0;
+
+  FPInterval() = default;
+  FPInterval(double Prob, double Lo, double Hi)
+      : Prob(Prob), Lo(Lo), Hi(Hi) {}
+
+  bool isSingleton() const { return Lo == Hi; }
+};
 
 class RangeArena {
 public:
@@ -95,6 +119,37 @@ public:
   uint32_t sliceSize(uint32_t SliceId) const;
   bool sliceAllNumeric(uint32_t SliceId) const;
 
+  //===--------------------------------------------------------------------===
+  // Floating-point column family (docs/DOMAINS.md)
+  //===--------------------------------------------------------------------===
+
+  /// SoA view of one FP slice: three parallel columns of length `Count`
+  /// plus the slice-level NaN probability mass.
+  struct FPRows {
+    const double *Prob = nullptr;
+    const double *Lo = nullptr;
+    const double *Hi = nullptr;
+    uint32_t Count = 0;
+    double NaNMass = 0.0;
+  };
+
+  /// Interns \p N weighted FP intervals plus the slice's NaN probability
+  /// mass as one FP slice and returns its id. FP slice ids are a separate
+  /// id space from integer slice ids (a ValueRange's kind disambiguates).
+  /// All FP contents are pointer-free, so every FP slice interns
+  /// module-wide; \p NaNMass participates in the content hash and the
+  /// dedup compare (by bit pattern), making slice id -> NaN mass
+  /// injective — which RangeOps' memo keys rely on. N == 0 with zero NaN
+  /// mass returns the empty slice 0; N == 0 with positive NaN mass is the
+  /// pure-NaN range and interns a rowless slice.
+  uint32_t internFP(const FPInterval *Subs, uint32_t N, double NaNMass);
+
+  /// Column view of an FP slice. Slice 0 yields an empty view.
+  FPRows fpRows(uint32_t SliceId) const;
+
+  uint32_t fpSliceSize(uint32_t SliceId) const;
+  double fpNaNMass(uint32_t SliceId) const;
+
   /// Symbol ordinal -> SSA value (0 -> nullptr).
   const Value *symValue(uint32_t SymId) const;
 
@@ -129,24 +184,49 @@ private:
     const Value *Syms[ChunkRows];
   };
 
+  /// FP column family: same chunked-stable-address discipline as the
+  /// integer rows, but only three double columns and a per-slice NaN mass.
+  struct FPRowChunk {
+    double Prob[ChunkRows];
+    double Lo[ChunkRows];
+    double Hi[ChunkRows];
+  };
+
+  struct FPSliceInfo {
+    uint32_t RowBegin = 0;
+    uint16_t Count = 0;
+    uint32_t Epoch = 0; ///< See SliceInfo::Epoch.
+    double NaNMass = 0.0;
+  };
+
+  struct FPSliceChunk {
+    FPSliceInfo Infos[ChunkRows];
+  };
+
   static constexpr uint32_t MaxChunks = 1u << 15; // 2^27 rows / slices.
 
   RowChunk *rowChunk(uint32_t Index) const;
   const SliceInfo &sliceInfo(uint32_t SliceId) const;
+  const FPSliceInfo &fpSliceInfo(uint32_t SliceId) const;
   uint32_t symId(const Value *V); // Under Mu.
 
   mutable std::mutex Mu;
   uint32_t NextRow = 0;   // Global row cursor (chunk-padded).
   uint32_t NextSlice = 1; // Slice 0 is the reserved empty slice.
   uint32_t NextSym = 1;   // Symbol 0 is the numeric bound.
+  uint32_t NextFPRow = 0;   // FP row cursor (chunk-padded).
+  uint32_t NextFPSlice = 1; // FP slice 0 is the reserved empty slice.
   uint32_t CurrentEpoch = 1; // Counting epoch; SliceInfo::Epoch 0 = stale.
 
   std::atomic<RowChunk *> RowChunks[MaxChunks];
   std::atomic<SliceChunk *> SliceChunks[MaxChunks];
   std::atomic<SymChunk *> SymChunks[MaxChunks];
+  std::atomic<FPRowChunk *> FPRowChunks[MaxChunks];
+  std::atomic<FPSliceChunk *> FPSliceChunks[MaxChunks];
 
   /// Content hash -> slice ids with that hash (collision list).
   std::unordered_map<uint64_t, std::vector<uint32_t>> InternMap;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> FPInternMap;
   std::unordered_map<const Value *, uint32_t> SymIds;
 
   /// Scratch symbol-ordinal buffers for the row being interned (guarded

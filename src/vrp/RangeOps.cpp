@@ -347,6 +347,21 @@ enum : uint8_t {
   TagNot,
   TagAssert,
   TagCmp,
+  // Floating-point kernels. FP operand handles encode Kind::FloatRanges,
+  // so FP and integer keys could share tags without colliding; distinct
+  // tags keep the dispatch honest and the memo debuggable.
+  TagFAdd,
+  TagFSub,
+  TagFMul,
+  TagFDiv,
+  TagFMin,
+  TagFMax,
+  TagFNeg,
+  TagFAbs,
+  TagI2F,
+  TagF2I,
+  TagFAssert,
+  TagFCmp,
 };
 
 uint64_t predTag(uint8_t Tag, CmpPred Pred) {
@@ -488,41 +503,52 @@ ValueRange RangeOps::binaryNumericUncached(
 
 namespace {
 
-/// Folds a float binary op when both sides are known constants.
-ValueRange foldFloat(const ValueRange &L, const ValueRange &R,
-                     double (*Fold)(double, double)) {
-  if (L.isTop() || R.isTop())
-    return ValueRange::top();
-  if (L.isFloatConst() && R.isFloatConst())
-    return ValueRange::floatConstant(Fold(L.floatValue(), R.floatValue()));
-  return ValueRange::bottom();
+/// Exact scalar semantics of a float binary op, matching the interpreter
+/// (profile/Interpreter.cpp) bit for bit: language division defines
+/// x / 0.0 == 0.0, and min/max are `(b < a) ? b : a`-style selections
+/// (std::min/std::max), so a NaN *left* operand propagates while a NaN
+/// *right* operand selects the left value.
+double foldFloatScalar(uint8_t Tag, double A, double B) {
+  switch (Tag) {
+  case TagFAdd:
+    return A + B;
+  case TagFSub:
+    return A - B;
+  case TagFMul:
+    return A * B;
+  case TagFDiv:
+    return B == 0.0 ? 0.0 : A / B;
+  case TagFMin:
+    return std::min(A, B);
+  case TagFMax:
+    return std::max(A, B);
+  }
+  return 0.0;
 }
 
 } // namespace
 
 ValueRange RangeOps::add(const ValueRange &L, const ValueRange &R) {
-  if (L.isFloatConst() || R.isFloatConst())
-    return foldFloat(L, R, [](double A, double B) { return A + B; });
+  if (L.isFloatKind() || R.isFloatKind())
+    return fpBinary(TagFAdd, L, R);
   return binaryNumeric(TagAdd, L, R, &RangeOps::pairAdd);
 }
 
 ValueRange RangeOps::sub(const ValueRange &L, const ValueRange &R) {
-  if (L.isFloatConst() || R.isFloatConst())
-    return foldFloat(L, R, [](double A, double B) { return A - B; });
+  if (L.isFloatKind() || R.isFloatKind())
+    return fpBinary(TagFSub, L, R);
   return binaryNumeric(TagSub, L, R, &RangeOps::pairSub);
 }
 
 ValueRange RangeOps::mul(const ValueRange &L, const ValueRange &R) {
-  if (L.isFloatConst() || R.isFloatConst())
-    return foldFloat(L, R, [](double A, double B) { return A * B; });
+  if (L.isFloatKind() || R.isFloatKind())
+    return fpBinary(TagFMul, L, R);
   return binaryNumeric(TagMul, L, R, &RangeOps::pairMul);
 }
 
 ValueRange RangeOps::div(const ValueRange &L, const ValueRange &R) {
-  if (L.isFloatConst() || R.isFloatConst())
-    return foldFloat(L, R, [](double A, double B) {
-      return B == 0.0 ? 0.0 : A / B;
-    });
+  if (L.isFloatKind() || R.isFloatKind())
+    return fpBinary(TagFDiv, L, R);
   return binaryNumeric(TagDiv, L, R, &RangeOps::pairDiv);
 }
 
@@ -545,16 +571,14 @@ ValueRange RangeOps::rem(const ValueRange &L, const ValueRange &R) {
 }
 
 ValueRange RangeOps::minOp(const ValueRange &L, const ValueRange &R) {
-  if (L.isFloatConst() || R.isFloatConst())
-    return foldFloat(L, R,
-                     [](double A, double B) { return std::min(A, B); });
+  if (L.isFloatKind() || R.isFloatKind())
+    return fpBinary(TagFMin, L, R);
   return binaryNumeric(TagMin, L, R, &RangeOps::pairMin);
 }
 
 ValueRange RangeOps::maxOp(const ValueRange &L, const ValueRange &R) {
-  if (L.isFloatConst() || R.isFloatConst())
-    return foldFloat(L, R,
-                     [](double A, double B) { return std::max(A, B); });
+  if (L.isFloatKind() || R.isFloatKind())
+    return fpBinary(TagFMax, L, R);
   return binaryNumeric(TagMax, L, R, &RangeOps::pairMax);
 }
 
@@ -563,6 +587,8 @@ ValueRange RangeOps::neg(const ValueRange &V) {
     return V;
   if (V.isFloatConst())
     return ValueRange::floatConstant(-V.floatValue());
+  if (V.isFloatRanges())
+    return fpUnary(TagFNeg, V);
   MemoKey K{TagNeg, encodeHandle(V), 0, nullptr, nullptr};
   return memoRange(K, [&] {
     Scratch.clear();
@@ -584,6 +610,8 @@ ValueRange RangeOps::absOp(const ValueRange &V) {
     return V;
   if (V.isFloatConst())
     return ValueRange::floatConstant(std::abs(V.floatValue()));
+  if (V.isFloatRanges())
+    return fpUnary(TagFAbs, V);
   MemoKey K{TagAbs, encodeHandle(V), 0, nullptr, nullptr};
   return memoRange(K, [&] {
     Scratch.clear();
@@ -633,7 +661,10 @@ ValueRange RangeOps::intToFloat(const ValueRange &V) {
     return ValueRange::top();
   if (auto C = V.asIntConstant())
     return ValueRange::floatConstant(static_cast<double>(*C));
-  return ValueRange::bottom();
+  if (!Opts.EnableFPRanges || !V.isRanges() || !V.allNumeric())
+    return ValueRange::bottom();
+  MemoKey K{TagI2F, encodeHandle(V), 0, nullptr, nullptr};
+  return memoRange(K, [&] { return intToFloatUncached(V); });
 }
 
 ValueRange RangeOps::floatToInt(const ValueRange &V) {
@@ -645,7 +676,247 @@ ValueRange RangeOps::floatToInt(const ValueRange &V) {
         D <= static_cast<double>(Int64Max))
       return ValueRange::intConstant(static_cast<int64_t>(D));
   }
-  return ValueRange::bottom();
+  if (!Opts.EnableFPRanges || !V.isFloatRanges())
+    return ValueRange::bottom();
+  MemoKey K{TagF2I, encodeHandle(V), 0, nullptr, nullptr};
+  return memoRange(K, [&] { return floatToIntUncached(V); });
+}
+
+//===----------------------------------------------------------------------===//
+// Floating-point interval kernels (docs/DOMAINS.md)
+//===----------------------------------------------------------------------===//
+
+ValueRange RangeOps::fpPromote(const ValueRange &V) {
+  if (V.isFloatRanges())
+    return V;
+  if (!V.isFloatConst())
+    return ValueRange::bottom();
+  double C = V.floatValue();
+  if (std::isnan(C))
+    return ValueRange::restoredFP(1.0, true, {});
+  return ValueRange::restoredFP(0.0, true, {FPInterval(1.0, C, C)});
+}
+
+ValueRange RangeOps::fpBinary(uint8_t Tag, const ValueRange &L,
+                              const ValueRange &R) {
+  if (L.isTop() || R.isTop())
+    return ValueRange::top();
+  // Both-constant folds stay exact and payload-driven, so they must not
+  // enter the memo (FloatConst payloads are not part of encodeHandle).
+  if (L.isFloatConst() && R.isFloatConst())
+    return ValueRange::floatConstant(
+        foldFloatScalar(Tag, L.floatValue(), R.floatValue()));
+  if (!Opts.EnableFPRanges || L.isBottom() || R.isBottom())
+    return ValueRange::bottom();
+  ValueRange LP = fpPromote(L), RP = fpPromote(R);
+  if (!LP.isFloatRanges() || !RP.isFloatRanges())
+    return ValueRange::bottom(); // Mixed with the integer domain.
+  MemoKey K{Tag, encodeHandle(LP), encodeHandle(RP), nullptr, nullptr};
+  return memoRange(K, [&] { return fpBinaryUncached(Tag, LP, RP); });
+}
+
+ValueRange RangeOps::fpBinaryUncached(uint8_t Tag, const ValueRange &L,
+                                      const ValueRange &R) {
+  telemetry::count(telemetry::Counter::FPRangeKernelOps);
+  FPIntervalView LV = L.fpIntervals(), RV = R.fpIntervals();
+  const double NL = L.nanMass(), NR = R.nanMass();
+  FPScratch.clear();
+  if (Tag == TagFMin || Tag == TagFMax) {
+    // `(b < a) ? b : a` selection semantics: a NaN left operand
+    // propagates (mass NL); a NaN right operand selects the left value
+    // (mass (1-NL)*NR, distributed over L's intervals).
+    FPNaNAcc = NL;
+    if (NR > 0.0) {
+      for (size_t I = 0; I < LV.size(); ++I) {
+        ++Stats.SubOps;
+        FPInterval A = LV[I];
+        FPScratch.push_back(FPInterval(A.Prob * NR, A.Lo, A.Hi));
+      }
+    }
+  } else {
+    // Arithmetic propagates NaN from either side.
+    FPNaNAcc = NL + NR - NL * NR;
+  }
+  for (size_t I = 0; I < LV.size(); ++I) {
+    FPInterval A = LV[I];
+    for (size_t J = 0; J < RV.size(); ++J) {
+      ++Stats.SubOps;
+      fpPairArith(Tag, A, RV[J]);
+    }
+  }
+  ValueRange Result =
+      ValueRange::canonicalizeFP(FPScratch, FPNaNAcc, Opts.MaxSubRanges);
+  Result.setDistributionKnown(L.distributionKnown() &&
+                              R.distributionKnown());
+  return Result;
+}
+
+void RangeOps::fpPairArith(uint8_t Tag, const FPInterval &A,
+                           const FPInterval &B) {
+  double P = A.Prob * B.Prob;
+  if (P <= 0.0)
+    return;
+  if (Tag == TagFDiv) {
+    if (B.Lo == 0.0 && B.Hi == 0.0) {
+      // Language rule: x / 0.0 == 0.0.
+      FPScratch.push_back(FPInterval(P, 0.0, 0.0));
+      return;
+    }
+    if (B.Lo <= 0.0 && B.Hi >= 0.0) {
+      // Divisor straddles zero: quotient magnitudes are unbounded on both
+      // sides (and the exact-zero divisor maps to 0), so the hull is the
+      // full line. NaN additionally needs ±inf / ±inf.
+      if ((std::isinf(A.Lo) || std::isinf(A.Hi)) &&
+          (std::isinf(B.Lo) || std::isinf(B.Hi))) {
+        FPNaNAcc += P * 0.25;
+        P *= 0.75;
+      }
+      FPScratch.push_back(FPInterval(P, -HUGE_VAL, HUGE_VAL));
+      return;
+    }
+  }
+  // Corner evaluation in binary64 — the same arithmetic the runtime uses.
+  // Every op here is monotone in each argument over the sign-consistent
+  // region (division with a zero-straddling divisor was peeled off
+  // above), and fl() is monotone, so the corners bound the interior.
+  const double Cs[4] = {
+      foldFloatScalar(Tag, A.Lo, B.Lo), foldFloatScalar(Tag, A.Lo, B.Hi),
+      foldFloatScalar(Tag, A.Hi, B.Lo), foldFloatScalar(Tag, A.Hi, B.Hi)};
+  double Lo = HUGE_VAL, Hi = -HUGE_VAL;
+  int NaNCorners = 0;
+  for (double C : Cs) {
+    if (std::isnan(C)) {
+      ++NaNCorners;
+      continue;
+    }
+    Lo = std::min(Lo, C);
+    Hi = std::max(Hi, C);
+  }
+  if (NaNCorners == 4) {
+    if (A.isSingleton() && B.isSingleton()) {
+      FPNaNAcc += P; // Exactly one concrete pair, and it is NaN.
+      return;
+    }
+    // All four corners are NaN (0·∞ and ∞/∞ shapes) but a non-singleton
+    // operand has interior points the corners cannot see — e.g.
+    // [-∞,∞] × [0,0], where every corner is NaN yet 5.0 × 0.0 == 0.0.
+    // Declaring pure NaN here would exclude those real outcomes; claim
+    // the full line for the interior mass instead.
+    FPNaNAcc += P * 0.5;
+    FPScratch.push_back(FPInterval(P * 0.5, -HUGE_VAL, HUGE_VAL));
+    return;
+  }
+  // Corner evaluation can miss a reachable NaN in exactly one shape:
+  // multiplication where ±∞ is an endpoint of one operand and zero lies
+  // in the *interior* of the other ([-0.5,∞] × [-1,1] has no NaN corner,
+  // yet ∞ × 0 == NaN). Addition/division NaNs need ±∞ from both sides,
+  // and ∞ is always an endpoint, so their corners see every case.
+  if (NaNCorners == 0 && Tag == TagFMul &&
+      (((std::isinf(A.Lo) || std::isinf(A.Hi)) && B.Lo <= 0.0 &&
+        B.Hi >= 0.0) ||
+       ((std::isinf(B.Lo) || std::isinf(B.Hi)) && A.Lo <= 0.0 &&
+        A.Hi >= 0.0)))
+    NaNCorners = 1;
+  if (NaNCorners > 0) {
+    // NaN-producing corners (inf-inf, 0*inf, ...): attribute a corner's
+    // share of the pair mass to NaN, the rest to the non-NaN hull.
+    FPNaNAcc += P * NaNCorners / 4.0;
+    P *= (4.0 - NaNCorners) / 4.0;
+  }
+  // Directed outward widening: one ulp each way as defense in depth
+  // against corner-rounding edge cases. Exact pairs (two singletons) and
+  // degenerate results stay tight so constants survive verbatim.
+  if (!(A.isSingleton() && B.isSingleton()) && Lo != Hi) {
+    Lo = std::nextafter(Lo, -HUGE_VAL);
+    Hi = std::nextafter(Hi, HUGE_VAL);
+  }
+  FPScratch.push_back(FPInterval(P, Lo, Hi));
+}
+
+ValueRange RangeOps::fpUnary(uint8_t Tag, const ValueRange &V) {
+  MemoKey K{Tag, encodeHandle(V), 0, nullptr, nullptr};
+  return memoRange(K, [&] { return fpUnaryUncached(Tag, V); });
+}
+
+ValueRange RangeOps::fpUnaryUncached(uint8_t Tag, const ValueRange &V) {
+  telemetry::count(telemetry::Counter::FPRangeKernelOps);
+  FPIntervalView IV = V.fpIntervals();
+  FPScratch.clear();
+  FPNaNAcc = V.nanMass(); // Neg/abs propagate NaN unchanged.
+  for (size_t I = 0; I < IV.size(); ++I) {
+    ++Stats.SubOps;
+    FPInterval S = IV[I];
+    if (Tag == TagFNeg) {
+      FPScratch.push_back(FPInterval(S.Prob, -S.Hi, -S.Lo));
+    } else if (S.Lo >= 0.0) { // TagFAbs; negation and fabs are exact.
+      FPScratch.push_back(S);
+    } else if (S.Hi <= 0.0) {
+      FPScratch.push_back(FPInterval(S.Prob, -S.Hi, -S.Lo));
+    } else {
+      FPScratch.push_back(FPInterval(S.Prob, 0.0, std::max(-S.Lo, S.Hi)));
+    }
+  }
+  ValueRange Result =
+      ValueRange::canonicalizeFP(FPScratch, FPNaNAcc, Opts.MaxSubRanges);
+  Result.setDistributionKnown(V.distributionKnown());
+  return Result;
+}
+
+ValueRange RangeOps::intToFloatUncached(const ValueRange &V) {
+  telemetry::count(telemetry::Counter::FPRangeKernelOps);
+  FPScratch.clear();
+  for (const SubRange &S : V.subRanges()) {
+    ++Stats.SubOps;
+    // static_cast<double> rounds-to-nearest and is monotone, so the
+    // converted endpoints bound every converted interior point exactly.
+    FPScratch.push_back(FPInterval(S.Prob,
+                                   static_cast<double>(S.Lo.Offset),
+                                   static_cast<double>(S.Hi.Offset)));
+  }
+  ValueRange Result =
+      ValueRange::canonicalizeFP(FPScratch, 0.0, Opts.MaxSubRanges);
+  Result.setDistributionKnown(V.distributionKnown());
+  return Result;
+}
+
+ValueRange RangeOps::floatToIntUncached(const ValueRange &V) {
+  telemetry::count(telemetry::Counter::FPRangeKernelOps);
+  FPIntervalView IV = V.fpIntervals();
+  // The runtime rule (profile/Interpreter.cpp): finite values inside the
+  // int64 window truncate; everything else — ±inf, NaN, out of window —
+  // produces 0. The window top is the largest double that truncates to a
+  // representable int64 (2^63 itself is out).
+  const double WinLo = static_cast<double>(Int64Min); // -2^63, exact.
+  const double WinHi = 9223372036854774784.0;         // 2^63 - 1024.
+  Scratch.clear();
+  double ZeroMass = V.nanMass();
+  for (size_t I = 0; I < IV.size(); ++I) {
+    ++Stats.SubOps;
+    FPInterval S = IV[I];
+    double CLo = std::max(S.Lo, WinLo), CHi = std::min(S.Hi, WinHi);
+    if (CLo > CHi) { // Entirely outside the window.
+      ZeroMass += S.Prob;
+      continue;
+    }
+    double InFrac;
+    if (CLo == S.Lo && CHi == S.Hi) {
+      InFrac = 1.0;
+    } else if (std::isfinite(S.Hi - S.Lo) && S.Hi > S.Lo) {
+      InFrac = (CHi - CLo) / (S.Hi - S.Lo);
+    } else {
+      InFrac = 0.5; // Infinite-width split convention (docs/DOMAINS.md).
+    }
+    ZeroMass += S.Prob * (1.0 - InFrac);
+    int64_t TLo = static_cast<int64_t>(std::trunc(CLo));
+    int64_t THi = static_cast<int64_t>(std::trunc(CHi));
+    Scratch.push_back(makePiece(S.Prob * InFrac, TLo, THi,
+                                TLo == THi ? 0 : 1));
+  }
+  if (ZeroMass > 0.0)
+    Scratch.push_back(SubRange::singleton(ZeroMass, 0));
+  ValueRange Result = ValueRange::canonicalize(Scratch, Opts.MaxSubRanges);
+  Result.setDistributionKnown(V.distributionKnown());
+  return Result;
 }
 
 //===----------------------------------------------------------------------===//
@@ -684,7 +955,7 @@ ValueRange RangeOps::meetWeighted(
 ValueRange RangeOps::meetWeightedUncached(
     const std::vector<std::pair<ValueRange, double>> &Entries) {
   double TotalWeight = 0.0;
-  bool SawFloat = false, SawRanges = false;
+  bool SawFloat = false, SawRanges = false, SawFPRanges = false;
   double FloatVal = 0.0;
   bool FloatConsistent = true;
 
@@ -698,6 +969,8 @@ ValueRange RangeOps::meetWeightedUncached(
         FloatConsistent = false;
       FloatVal = VR.floatValue();
       SawFloat = true;
+    } else if (VR.isFloatRanges()) {
+      SawFPRanges = true;
     } else {
       SawRanges = true;
     }
@@ -705,10 +978,48 @@ ValueRange RangeOps::meetWeightedUncached(
   }
   if (TotalWeight <= 0.0)
     return ValueRange::top(); // Nothing known yet.
-  if (SawFloat) {
-    if (SawRanges || !FloatConsistent)
-      return ValueRange::bottom();
+  if ((SawFloat || SawFPRanges) && SawRanges)
+    return ValueRange::bottom(); // FP / integer domain confusion.
+  // A NaN constant is routed through the interval path when FP ranges
+  // are on: pure-NaN FloatRanges compare stably by slice id, while a NaN
+  // FloatConst payload is never ==-equal to itself.
+  if (SawFloat && !SawFPRanges && FloatConsistent &&
+      (!Opts.EnableFPRanges || !std::isnan(FloatVal)))
     return ValueRange::floatConstant(FloatVal);
+  if (SawFloat || SawFPRanges) {
+    if (!Opts.EnableFPRanges)
+      return ValueRange::bottom();
+    // Weighted FP mixture: constants enter as exact singletons (NaN
+    // constants as NaN mass), interval sets scale piecewise.
+    FPScratch.clear();
+    FPNaNAcc = 0.0;
+    bool DistKnown = true;
+    for (const auto &[VR, W] : Entries) {
+      if (W <= 0.0 || !VR.isFloatKind())
+        continue;
+      double Scale = W / TotalWeight;
+      if (VR.isFloatConst()) {
+        ++Stats.SubOps;
+        double C = VR.floatValue();
+        if (std::isnan(C))
+          FPNaNAcc += Scale;
+        else
+          FPScratch.push_back(FPInterval(Scale, C, C));
+        continue;
+      }
+      DistKnown &= VR.distributionKnown();
+      FPNaNAcc += VR.nanMass() * Scale;
+      FPIntervalView IV = VR.fpIntervals();
+      for (size_t I = 0; I < IV.size(); ++I) {
+        ++Stats.SubOps;
+        FPInterval S = IV[I];
+        FPScratch.push_back(FPInterval(S.Prob * Scale, S.Lo, S.Hi));
+      }
+    }
+    ValueRange Result =
+        ValueRange::canonicalizeFP(FPScratch, FPNaNAcc, Opts.MaxSubRanges);
+    Result.setDistributionKnown(DistKnown);
+    return Result;
   }
 
   Scratch.clear();
@@ -878,6 +1189,19 @@ void clipSymbolic(const SubRange &S, CmpPred Pred, const Value *Sym,
 ValueRange RangeOps::applyAssert(const ValueRange &Src, CmpPred Pred,
                                  const ValueRange &BoundRange,
                                  const Value *BoundVal) {
+  // FP asserts: an FP interval source, or an FP-typed bound refining a ⊥
+  // source (the ⊥ float still has a known universe: [-inf,+inf] ∪ NaN).
+  // The bound is promoted before the memo key is formed — a FloatConst
+  // payload is not part of encodeHandle but the clip depends on it.
+  if (Opts.EnableFPRanges &&
+      (Src.isFloatRanges() || (BoundRange.isFloatKind() && Src.isBottom()))) {
+    ValueRange B =
+        BoundRange.isFloatConst() ? fpPromote(BoundRange) : BoundRange;
+    MemoKey FK{predTag(TagFAssert, Pred), encodeHandle(Src),
+               encodeHandle(B), nullptr, nullptr};
+    return memoRange(FK,
+                     [&] { return applyFPAssertUncached(Src, Pred, B); });
+  }
   if (!Src.isRanges() && !Src.isBottom())
     return Src; // ⊤ / float-const pass through untouched (not memoized:
                 // a float-const result carries its payload verbatim).
@@ -969,6 +1293,112 @@ ValueRange RangeOps::applyAssertUncached(const ValueRange &Src,
   ValueRange Result = ValueRange::ranges(std::move(Out), Opts.MaxSubRanges);
   Result.setDistributionKnown(SrcR.distributionKnown());
   Result.assertNormalized();
+  return Result;
+}
+
+ValueRange RangeOps::applyFPAssertUncached(const ValueRange &Src,
+                                           CmpPred Pred,
+                                           const ValueRange &Bound) {
+  telemetry::count(telemetry::Counter::FPRangeKernelOps);
+  // Effective source: a ⊥ float still has a known universe —
+  // [-inf,+inf] ∪ NaN with an unknown distribution (the FP analogue of
+  // the integer path's fullIntRange fallback).
+  std::vector<FPInterval> SrcIv;
+  double SrcNaN = 0.0;
+  bool DistKnown = true;
+  if (Src.isBottom()) {
+    SrcIv.push_back(FPInterval(0.5, -HUGE_VAL, HUGE_VAL));
+    SrcNaN = 0.5;
+    DistKnown = false;
+  } else {
+    FPIntervalView IV = Src.fpIntervals();
+    for (size_t I = 0; I < IV.size(); ++I)
+      SrcIv.push_back(IV[I]);
+    SrcNaN = Src.nanMass();
+    DistKnown = Src.distributionKnown();
+  }
+
+  // Bound hull [CLo, CHi]. The clip against a non-singleton bound uses
+  // the conservative extreme: `x < b` for some b in the bound's support
+  // only guarantees x below the support's maximum.
+  bool HaveHull = false, BoundSingleton = false;
+  double CLo = 0.0, CHi = 0.0;
+  if (Bound.isFloatRanges()) {
+    FPIntervalView BV = Bound.fpIntervals();
+    if (BV.empty())
+      // Certainly-NaN bound: every ordered comparison (and EQ) is false,
+      // so those assert edges are unreachable; NE holds vacuously.
+      return Pred == CmpPred::NE ? Src : ValueRange::bottom();
+    CLo = HUGE_VAL;
+    CHi = -HUGE_VAL;
+    for (size_t I = 0; I < BV.size(); ++I) {
+      CLo = std::min(CLo, BV[I].Lo);
+      CHi = std::max(CHi, BV[I].Hi);
+    }
+    HaveHull = true;
+    BoundSingleton =
+        BV.size() == 1 && BV[0].isSingleton() && BV.nanMass() == 0.0;
+  }
+
+  // Any predicate but NE is false on NaN, so the assert holding strips
+  // the source's NaN mass; `x != b` keeps it.
+  FPScratch.clear();
+  double OutNaN = Pred == CmpPred::NE ? SrcNaN : 0.0;
+  auto clipFrac = [](const FPInterval &S, double NLo, double NHi) {
+    if (S.isSingleton() || (NLo == S.Lo && NHi == S.Hi))
+      return 1.0;
+    double W = S.Hi - S.Lo;
+    if (!std::isfinite(W))
+      return 0.5; // Infinite-width split convention (docs/DOMAINS.md).
+    return (NHi - NLo) / W;
+  };
+  for (const FPInterval &S : SrcIv) {
+    ++Stats.SubOps;
+    double NLo = S.Lo, NHi = S.Hi;
+    switch (Pred) {
+    case CmpPred::LT:
+      if (HaveHull)
+        NHi = std::min(NHi, std::nextafter(CHi, -HUGE_VAL));
+      break;
+    case CmpPred::LE:
+      if (HaveHull)
+        NHi = std::min(NHi, CHi);
+      break;
+    case CmpPred::GT:
+      if (HaveHull)
+        NLo = std::max(NLo, std::nextafter(CLo, HUGE_VAL));
+      break;
+    case CmpPred::GE:
+      if (HaveHull)
+        NLo = std::max(NLo, CLo);
+      break;
+    case CmpPred::EQ:
+      // x == b pins x into the bound's hull.
+      if (HaveHull) {
+        NLo = std::max(NLo, CLo);
+        NHi = std::min(NHi, CHi);
+      }
+      break;
+    case CmpPred::NE:
+      // Holes are unrepresentable; only an excluded exact point drops,
+      // and only when the bound is certainly that point.
+      if (BoundSingleton && S.isSingleton() && S.Lo == CLo)
+        continue;
+      FPScratch.push_back(S);
+      continue;
+    }
+    if (NLo > NHi)
+      continue; // Contradicted piece.
+    double P = S.Prob * clipFrac(S, NLo, NHi);
+    if (P > 0.0)
+      FPScratch.push_back(FPInterval(P, NLo, NHi));
+  }
+  if (FPScratch.empty() && OutNaN <= 0.0)
+    return ValueRange::bottom(); // Contradicted assert: edge unreachable.
+  // canonicalizeFP renormalizes the surviving mass jointly with OutNaN.
+  ValueRange Result =
+      ValueRange::canonicalizeFP(FPScratch, OutNaN, Opts.MaxSubRanges);
+  Result.setDistributionKnown(DistKnown);
   return Result;
 }
 
@@ -1309,14 +1739,23 @@ std::optional<double> RangeOps::cmpProb(CmpPred Pred, const ValueRange &L,
                                         const ValueRange &R,
                                         const Value *LVal,
                                         const Value *RVal) {
-  // The only float-payload-sensitive case; everything past this point
-  // depends solely on handle kind/slice and the SSA identities, so the
-  // memo key below captures the computation exactly.
+  // The only float-payload-sensitive cases are handled before the memo:
+  // both-const comparisons fold exactly, and a FloatConst meeting an FP
+  // interval set is promoted to its interned singleton form (whose slice
+  // id captures the payload). Everything past this point depends solely
+  // on handle kind/slice and the SSA identities, so the memo key below
+  // captures the computation exactly.
   if (L.isFloatConst() && R.isFloatConst())
     return evalPredOnDoubles(Pred, L.floatValue(), R.floatValue());
 
-  MemoKey K{predTag(TagCmp, Pred), encodeHandle(L), encodeHandle(R), LVal,
-            RVal};
+  ValueRange LK = L, RK = R;
+  uint64_t Tag = predTag(TagCmp, Pred);
+  if (Opts.EnableFPRanges && (L.isFloatRanges() || R.isFloatRanges())) {
+    LK = fpPromote(L);
+    RK = fpPromote(R);
+    Tag = predTag(TagFCmp, Pred);
+  }
+  MemoKey K{Tag, encodeHandle(LK), encodeHandle(RK), LVal, RVal};
   auto It = Memo.find(K);
   if (It != Memo.end()) {
     const MemoEntry &E = It->second;
@@ -1330,7 +1769,7 @@ std::optional<double> RangeOps::cmpProb(CmpPred Pred, const ValueRange &L,
   }
   uint64_t SubOps0 = Stats.SubOps;
   uint64_t Norms0 = normalizationTicks();
-  std::optional<double> P = cmpProbUncached(Pred, L, R, LVal, RVal);
+  std::optional<double> P = cmpProbUncached(Pred, LK, RK, LVal, RVal);
   MemoEntry E;
   E.CmpHas = P.has_value();
   E.CmpVal = P.value_or(0.0);
@@ -1345,6 +1784,13 @@ std::optional<double> RangeOps::cmpProbUncached(CmpPred Pred,
                                                 const ValueRange &R,
                                                 const Value *LVal,
                                                 const Value *RVal) {
+  // FP interval comparisons have their own engine; an FP side meeting a
+  // non-FP side (a ⊥ float, after promotion) is undecidable here.
+  if (L.isFloatRanges() && R.isFloatRanges())
+    return fpCmpProbUncached(Pred, L, R);
+  if (L.isFloatRanges() || R.isFloatRanges())
+    return std::nullopt;
+
   // A ⊥ operand may still be decidable when the other side's bounds are
   // relative to it (e.g. the loop test i < n with i in [0:n:1] and n
   // unknown): substitute the symbolic singleton [v:v].
@@ -1387,4 +1833,136 @@ std::optional<double> RangeOps::cmpProbUncached(CmpPred Pred,
       return std::nullopt;
   }
   return P;
+}
+
+std::optional<double> RangeOps::fpCmpProbUncached(CmpPred Pred,
+                                                  const ValueRange &L,
+                                                  const ValueRange &R) {
+  FPIntervalView LV = L.fpIntervals(), RV = R.fpIntervals();
+  const double NL = L.nanMass(), NR = R.nanMass();
+  // IEEE ordered comparisons are false whenever either side is NaN; NE
+  // is true. P(either NaN) under independence:
+  const double PN = NL + NR - NL * NR;
+  const double NaNTerm = Pred == CmpPred::NE ? PN : 0.0;
+  if (LV.empty() || RV.empty()) {
+    // At least one side is certainly NaN: the outcome is decided.
+    telemetry::count(telemetry::Counter::FPCmpDecided);
+    return Pred == CmpPred::NE ? 1.0 : 0.0;
+  }
+  const bool Trusted = L.distributionKnown() && R.distributionKnown();
+  // Interval masses are conditional on "not NaN" (per-side probabilities
+  // sum to 1 - NaN mass).
+  double P = 0.0;
+  for (size_t I = 0; I < LV.size(); ++I) {
+    FPInterval A = LV[I];
+    for (size_t J = 0; J < RV.size(); ++J) {
+      ++Stats.SubOps;
+      std::optional<double> F = fpPairCmpProb(Pred, A, RV[J], Trusted);
+      if (!F)
+        return std::nullopt;
+      P += (A.Prob / (1.0 - NL)) * (RV[J].Prob / (1.0 - NR)) * *F;
+    }
+  }
+  P = std::clamp(P, 0.0, 1.0);
+  double Final = (1.0 - PN) * P + NaNTerm;
+  // Untrusted distributions: pairs were individually gated to set-level
+  // certainty, but mixing certain 0s and 1s — or an untrusted NaN mass —
+  // can still produce a non-certain aggregate. Only unanimity survives.
+  if (!Trusted && Final != 0.0 && Final != 1.0 &&
+      (LV.size() > 1 || RV.size() > 1 || PN > 0.0))
+    return std::nullopt;
+  telemetry::count(telemetry::Counter::FPCmpDecided);
+  return Final;
+}
+
+std::optional<double> RangeOps::fpPairCmpProb(CmpPred Pred,
+                                              const FPInterval &A,
+                                              const FPInterval &B,
+                                              bool Trusted) {
+  // Set-level certainties first: valid for any distribution and the only
+  // results an untrusted one may produce. Closed intervals, so e.g.
+  // A.Lo >= B.Hi already refutes `a < b`.
+  switch (Pred) {
+  case CmpPred::LT:
+    if (A.Hi < B.Lo)
+      return 1.0;
+    if (A.Lo >= B.Hi)
+      return 0.0;
+    break;
+  case CmpPred::LE:
+    if (A.Hi <= B.Lo)
+      return 1.0;
+    if (A.Lo > B.Hi)
+      return 0.0;
+    break;
+  case CmpPred::GT:
+    if (A.Lo > B.Hi)
+      return 1.0;
+    if (A.Hi <= B.Lo)
+      return 0.0;
+    break;
+  case CmpPred::GE:
+    if (A.Lo >= B.Hi)
+      return 1.0;
+    if (A.Hi < B.Lo)
+      return 0.0;
+    break;
+  case CmpPred::EQ:
+    if (A.Hi < B.Lo || B.Hi < A.Lo)
+      return 0.0;
+    if (A.isSingleton() && B.isSingleton())
+      return A.Lo == B.Lo ? 1.0 : 0.0;
+    break;
+  case CmpPred::NE:
+    if (A.Hi < B.Lo || B.Hi < A.Lo)
+      return 1.0;
+    if (A.isSingleton() && B.isSingleton())
+      return A.Lo == B.Lo ? 0.0 : 1.0;
+    break;
+  }
+  if (A.isSingleton() && B.isSingleton())
+    return evalPredOnDoubles(Pred, A.Lo, B.Lo);
+  if (!Trusted)
+    return std::nullopt;
+
+  // Continuous uniform model over the overlap. Point equality has
+  // measure zero, so EQ/NE resolve immediately and LT == LE.
+  if (Pred == CmpPred::EQ)
+    return 0.0;
+  if (Pred == CmpPred::NE)
+    return 1.0;
+  // A uniform distribution over an infinite-width interval is not a
+  // model we can integrate; only the certainties above were available.
+  if (!std::isfinite(A.Hi - A.Lo) || !std::isfinite(B.Hi - B.Lo))
+    return std::nullopt;
+  double PLt;
+  if (A.isSingleton()) {
+    PLt = std::clamp((B.Hi - A.Lo) / (B.Hi - B.Lo), 0.0, 1.0);
+  } else if (B.isSingleton()) {
+    PLt = std::clamp((B.Lo - A.Lo) / (A.Hi - A.Lo), 0.0, 1.0);
+  } else {
+    // P(a < y) integrated over y ~ U[B.Lo, B.Hi] — the continuous
+    // counterpart of numericLtProb's integralF.
+    double A1 = A.Lo, A2 = A.Hi;
+    auto integralF = [&](double Y) {
+      if (Y <= A1)
+        return 0.0;
+      if (Y >= A2)
+        return (A2 - A1) / 2.0 + (Y - A2);
+      return (Y - A1) * (Y - A1) / (2.0 * (A2 - A1));
+    };
+    PLt = std::clamp(
+        (integralF(B.Hi) - integralF(B.Lo)) / (B.Hi - B.Lo), 0.0, 1.0);
+  }
+  // Huge-but-finite widths can overflow the integrals into ∞/∞; a NaN
+  // must surface as "undecidable", never as a probability.
+  if (std::isnan(PLt))
+    return std::nullopt;
+  switch (Pred) {
+  case CmpPred::LT:
+  case CmpPred::LE:
+    return PLt;
+  default: // GT / GE.
+    return 1.0 - PLt;
+  }
 }

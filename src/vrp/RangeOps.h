@@ -189,12 +189,52 @@ private:
   /// singleton, continuous approximation otherwise.
   double numericLtProb(const SubRange &A, const SubRange &B);
 
+  //===--------------------------------------------------------------------===
+  // Floating-point kernels (docs/DOMAINS.md)
+  //===--------------------------------------------------------------------===
+
+  /// Promotes a FloatConst to its interned singleton FloatRanges form so
+  /// it can enter a memo key (FloatConst payloads are not part of
+  /// encodeHandle). FloatRanges pass through; everything else is ⊥.
+  ValueRange fpPromote(const ValueRange &V);
+
+  /// Dispatch for FP binary arithmetic: exact both-const fold, promotion,
+  /// memoization, then the corner kernel.
+  ValueRange fpBinary(uint8_t Tag, const ValueRange &L, const ValueRange &R);
+  ValueRange fpBinaryUncached(uint8_t Tag, const ValueRange &L,
+                              const ValueRange &R);
+  /// One interval pair through the corner evaluation for \p Tag;
+  /// accumulates pieces into FPScratch and NaN mass into FPNaNAcc.
+  void fpPairArith(uint8_t Tag, const FPInterval &A, const FPInterval &B);
+
+  ValueRange fpUnary(uint8_t Tag, const ValueRange &V);
+  ValueRange fpUnaryUncached(uint8_t Tag, const ValueRange &V);
+
+  ValueRange intToFloatUncached(const ValueRange &V);
+  ValueRange floatToIntUncached(const ValueRange &V);
+
+  ValueRange applyFPAssertUncached(const ValueRange &Src, CmpPred Pred,
+                                   const ValueRange &Bound);
+
+  std::optional<double> fpCmpProbUncached(CmpPred Pred, const ValueRange &L,
+                                          const ValueRange &R);
+  /// P(a PRED b) for one FP interval pair under uniformity. Set-level
+  /// certainties (0/1) are returned regardless of \p Trusted; anything
+  /// that consults the distributions requires it.
+  std::optional<double> fpPairCmpProb(CmpPred Pred, const FPInterval &A,
+                                      const FPInterval &B, bool Trusted);
+
   const VRPOptions &Opts;
   RangeStats &Stats;
 
   /// Result accumulation scratch, reused across calls (operations never
   /// nest on the same instance).
   std::vector<SubRange> Scratch;
+
+  /// FP result accumulation scratch: interval pieces plus the NaN mass
+  /// produced by the running operation (same no-nesting discipline).
+  std::vector<FPInterval> FPScratch;
+  double FPNaNAcc = 0.0;
 
   std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> Memo;
   std::unordered_map<std::vector<uint64_t>, MemoEntry, MeetKeyHash>

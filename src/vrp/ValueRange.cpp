@@ -231,6 +231,129 @@ ValueRange ValueRange::ranges(std::vector<SubRange> Subs,
   return canonicalize(Subs, MaxSubRanges);
 }
 
+namespace {
+
+/// Interval width for coalescing cost; non-finite spans (an interval
+/// reaching ±∞) rank behind every finite merge so bounded intervals
+/// coalesce first.
+double fpSpan(double Lo, double Hi) {
+  double W = Hi - Lo;
+  return std::isfinite(W) ? W : HUGE_VAL;
+}
+
+} // namespace
+
+ValueRange ValueRange::canonicalizeFP(std::vector<FPInterval> &Subs,
+                                      double NaNMass,
+                                      unsigned MaxSubRanges) {
+  assert(MaxSubRanges >= 1 && "need at least one interval");
+  if (NaNMass < 0.0 || std::isnan(NaNMass))
+    NaNMass = 0.0;
+  // Clean in place: drop non-positive mass, fold NaN-bounded pieces into
+  // the NaN mass (a kernel that produces a NaN bound means the pair's
+  // outcome is NaN), normalize -0.0 bounds to +0.0 so canonical content
+  // is unique and the sort below is bitwise deterministic.
+  size_t W = 0;
+  for (size_t I = 0; I < Subs.size(); ++I) {
+    FPInterval S = Subs[I];
+    if (!(S.Prob > 0.0))
+      continue;
+    if (std::isnan(S.Lo) || std::isnan(S.Hi)) {
+      NaNMass += S.Prob;
+      continue;
+    }
+    S.Lo += 0.0;
+    S.Hi += 0.0;
+    if (S.Lo > S.Hi)
+      return bottom(); // Caller produced an inconsistent interval.
+    Subs[W++] = S;
+  }
+  Subs.resize(W);
+
+  if (Subs.empty()) {
+    if (!(NaNMass > 0.0))
+      return bottom();
+    // The pure-NaN range: no intervals, all mass on NaN.
+    ValueRange R;
+    R.TheKind = Kind::FloatRanges;
+    R.FloatVal = 1.0;
+    R.SliceId = RangeArena::global().internFP(nullptr, 0, 1.0);
+    return R;
+  }
+
+  // Canonical order (no NaNs or -0.0 remain, so < is a total order),
+  // then merge identical shapes.
+  std::sort(Subs.begin(), Subs.end(),
+            [](const FPInterval &A, const FPInterval &B) {
+              return std::tie(A.Lo, A.Hi) < std::tie(B.Lo, B.Hi);
+            });
+  size_t M = 0;
+  for (size_t I = 0; I < Subs.size(); ++I) {
+    if (M > 0 && Subs[M - 1].Lo == Subs[I].Lo && Subs[M - 1].Hi == Subs[I].Hi)
+      Subs[M - 1].Prob += Subs[I].Prob;
+    else
+      Subs[M++] = Subs[I];
+  }
+  Subs.resize(M);
+
+  // Renormalize interval mass and NaN mass jointly to total 1.
+  double Total = NaNMass;
+  for (const FPInterval &S : Subs)
+    Total += S.Prob;
+  if (Total <= 0.0)
+    return bottom();
+  if (std::abs(Total - 1.0) > 1e-12) {
+    telemetry::count(telemetry::Counter::RangeNormalizations);
+    for (FPInterval &S : Subs)
+      S.Prob /= Total;
+    NaNMass /= Total;
+  }
+
+  // Coalesce down to the cap: repeatedly hull-merge the adjacent pair
+  // with the smallest gap (sorted order makes adjacent merges optimal —
+  // there are no strides to preserve).
+  while (Subs.size() > MaxSubRanges) {
+    size_t Best = 0;
+    double BestCost = HUGE_VAL;
+    for (size_t I = 0; I + 1 < Subs.size(); ++I) {
+      double Hull = fpSpan(Subs[I].Lo, std::max(Subs[I].Hi, Subs[I + 1].Hi));
+      double Cost = Hull - fpSpan(Subs[I].Lo, Subs[I].Hi) -
+                    fpSpan(Subs[I + 1].Lo, Subs[I + 1].Hi);
+      if (!std::isfinite(Cost))
+        Cost = HUGE_VAL;
+      if (Cost < BestCost) {
+        Best = I;
+        BestCost = Cost;
+      }
+    }
+    Subs[Best] = FPInterval(Subs[Best].Prob + Subs[Best + 1].Prob,
+                            Subs[Best].Lo,
+                            std::max(Subs[Best].Hi, Subs[Best + 1].Hi));
+    Subs.erase(Subs.begin() + Best + 1);
+    std::sort(Subs.begin(), Subs.end(),
+              [](const FPInterval &A, const FPInterval &B) {
+                return std::tie(A.Lo, A.Hi) < std::tie(B.Lo, B.Hi);
+              });
+  }
+
+  // An exact non-NaN singleton demotes to the FloatConst lattice level.
+  if (Subs.size() == 1 && Subs[0].Lo == Subs[0].Hi && !(NaNMass > 0.0))
+    return floatConstant(Subs[0].Lo);
+
+  ValueRange R;
+  R.TheKind = Kind::FloatRanges;
+  R.FloatVal = NaNMass;
+  R.SliceId = RangeArena::global().internFP(
+      Subs.data(), static_cast<uint32_t>(Subs.size()), NaNMass);
+  R.assertNormalized();
+  return R;
+}
+
+ValueRange ValueRange::floatRanges(std::vector<FPInterval> Subs,
+                                   double NaNMass, unsigned MaxSubRanges) {
+  return canonicalizeFP(Subs, NaNMass, MaxSubRanges);
+}
+
 ValueRange ValueRange::intConstant(int64_t V) {
   // Interned directly: historically this constructor bypassed ranges()'s
   // normalization pipeline, and the canonical single row needs none.
@@ -291,6 +414,23 @@ bool ValueRange::equals(const ValueRange &RHS, double Tolerance) const {
     return true;
   case Kind::FloatConst:
     return FloatVal == RHS.FloatVal;
+  case Kind::FloatRanges: {
+    if (SliceId == RHS.SliceId)
+      return true; // Interned: same id, bitwise-identical content.
+    FPIntervalView A = fpIntervals();
+    FPIntervalView B = RHS.fpIntervals();
+    if (A.size() != B.size())
+      return false;
+    if (std::abs(A.nanMass() - B.nanMass()) > Tolerance)
+      return false;
+    for (size_t I = 0; I < A.size(); ++I) {
+      if (A[I].Lo != B[I].Lo || A[I].Hi != B[I].Hi)
+        return false;
+      if (std::abs(A[I].Prob - B[I].Prob) > Tolerance)
+        return false;
+    }
+    return true;
+  }
   case Kind::Ranges:
     break;
   }
@@ -316,6 +456,21 @@ bool ValueRange::sameSupport(const ValueRange &RHS) const {
     return false;
   if (TheKind == Kind::FloatConst)
     return FloatVal == RHS.FloatVal;
+  if (TheKind == Kind::FloatRanges) {
+    if (SliceId == RHS.SliceId)
+      return true;
+    FPIntervalView A = fpIntervals();
+    FPIntervalView B = RHS.fpIntervals();
+    if (A.size() != B.size())
+      return false;
+    // NaN is part of the support exactly when its mass is positive.
+    if ((A.nanMass() > 0.0) != (B.nanMass() > 0.0))
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (A[I].Lo != B[I].Lo || A[I].Hi != B[I].Hi)
+        return false;
+    return true;
+  }
   if (TheKind != Kind::Ranges)
     return true;
   if (SliceId == RHS.SliceId)
@@ -339,6 +494,10 @@ std::optional<double> ValueRange::probNonZero() const {
     return std::nullopt;
   case Kind::FloatConst:
     return FloatVal != 0.0 ? 1.0 : 0.0;
+  case Kind::FloatRanges:
+    // FP values never feed an integer truth test directly in this IR
+    // (comparisons produce int booleans); stay conservative.
+    return std::nullopt;
   case Kind::Ranges:
     break;
   }
@@ -364,6 +523,17 @@ std::optional<double> ValueRange::probNonZero() const {
 }
 
 void ValueRange::assertNormalized(double Epsilon) const {
+  if (TheKind == Kind::FloatRanges) {
+    FPIntervalView V = fpIntervals();
+    double Total = V.nanMass();
+    for (size_t I = 0; I < V.size(); ++I)
+      Total += V[I].Prob;
+    assert(std::abs(Total - 1.0) <= Epsilon &&
+           "FP probability mass not conserved");
+    (void)Total;
+    (void)Epsilon;
+    return;
+  }
   if (TheKind != Kind::Ranges)
     return;
   assert(std::abs(totalProb(subRanges()) - 1.0) <= Epsilon &&
@@ -381,6 +551,28 @@ std::string ValueRange::str() const {
     char Buf[32];
     std::snprintf(Buf, sizeof(Buf), "%g", FloatVal);
     return std::string("fconst ") + Buf;
+  }
+  case Kind::FloatRanges: {
+    FPIntervalView V = fpIntervals();
+    std::string S = "f{ ";
+    char Buf[96];
+    for (size_t I = 0; I < V.size(); ++I) {
+      if (I)
+        S += ", ";
+      std::snprintf(Buf, sizeof(Buf), "%.4g[%g:%g]", V[I].Prob, V[I].Lo,
+                    V[I].Hi);
+      S += Buf;
+    }
+    if (V.nanMass() > 0.0) {
+      if (!V.empty())
+        S += ", ";
+      std::snprintf(Buf, sizeof(Buf), "%.4g[nan]", V.nanMass());
+      S += Buf;
+    }
+    S += " }";
+    if (!DistKnown)
+      S += "?";
+    return S;
   }
   case Kind::Ranges:
     break;

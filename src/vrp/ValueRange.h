@@ -186,6 +186,40 @@ private:
   RangeArena::Rows R;
 };
 
+/// A read-only view over one FP arena slice's weighted intervals plus its
+/// NaN mass. Valid for the process lifetime (arena storage is never
+/// freed).
+class FPIntervalView {
+public:
+  FPIntervalView() = default;
+  explicit FPIntervalView(uint32_t SliceId)
+      : R(RangeArena::global().fpRows(SliceId)) {}
+
+  size_t size() const { return R.Count; }
+  bool empty() const { return R.Count == 0; }
+  double nanMass() const { return R.NaNMass; }
+
+  FPInterval operator[](size_t I) const {
+    return FPInterval(R.Prob[I], R.Lo[I], R.Hi[I]);
+  }
+  FPInterval front() const { return (*this)[0]; }
+  FPInterval back() const { return (*this)[R.Count - 1]; }
+
+  operator std::vector<FPInterval>() const {
+    std::vector<FPInterval> Out;
+    Out.reserve(R.Count);
+    for (uint32_t I = 0; I < R.Count; ++I)
+      Out.push_back((*this)[I]);
+    return Out;
+  }
+
+  /// Raw SoA columns, for batched kernels.
+  const RangeArena::FPRows &rawRows() const { return R; }
+
+private:
+  RangeArena::FPRows R;
+};
+
 /// The lattice value attached to every SSA variable during propagation.
 /// A 16-byte trivially-copyable handle; subrange storage lives in the
 /// interned RangeArena.
@@ -196,6 +230,7 @@ public:
     Ranges,     ///< A weighted set of integer subranges.
     FloatConst, ///< A known IEEE double constant.
     Bottom,     ///< ⊥: cannot be determined statically.
+    FloatRanges, ///< A weighted set of FP intervals + NaN mass.
   };
 
   ValueRange() : TheKind(Kind::Top) {}
@@ -222,6 +257,19 @@ public:
   /// buffers. \p Subs is consumed (contents unspecified afterwards).
   static ValueRange canonicalize(std::vector<SubRange> &Subs,
                                  unsigned MaxSubRanges);
+
+  /// Builds an FP range set from weighted intervals plus NaN mass;
+  /// canonicalizes (drops invalid pieces, normalizes -0.0 bounds to +0.0,
+  /// sorts, merges identical shapes, renormalizes jointly with the NaN
+  /// mass, coalesces down to \p MaxSubRanges) and interns. An exact
+  /// non-NaN singleton demotes to FloatConst; an empty set with no NaN
+  /// mass yields ⊥. See docs/DOMAINS.md for the full rules.
+  static ValueRange floatRanges(std::vector<FPInterval> Subs, double NaNMass,
+                                unsigned MaxSubRanges);
+
+  /// In-place back end of `floatRanges()` — \p Subs is consumed.
+  static ValueRange canonicalizeFP(std::vector<FPInterval> &Subs,
+                                   double NaNMass, unsigned MaxSubRanges);
 
   /// A single-constant integer range {1[c:c:0]}.
   static ValueRange intConstant(int64_t V);
@@ -252,11 +300,29 @@ public:
     return R;
   }
 
+  /// FloatRanges counterpart of `restored()`: reconstructs an FP range
+  /// verbatim for the PersistentCache deserializer.
+  static ValueRange restoredFP(double NaNMass, bool DistKnown,
+                               std::vector<FPInterval> Subs) {
+    ValueRange R;
+    R.TheKind = Kind::FloatRanges;
+    R.FloatVal = NaNMass;
+    R.DistKnown = DistKnown;
+    R.SliceId = RangeArena::global().internFP(
+        Subs.data(), static_cast<uint32_t>(Subs.size()), NaNMass);
+    return R;
+  }
+
   Kind kind() const { return TheKind; }
   bool isTop() const { return TheKind == Kind::Top; }
   bool isBottom() const { return TheKind == Kind::Bottom; }
   bool isRanges() const { return TheKind == Kind::Ranges; }
   bool isFloatConst() const { return TheKind == Kind::FloatConst; }
+  bool isFloatRanges() const { return TheKind == Kind::FloatRanges; }
+  /// Either FP lattice level (exact constant or interval set).
+  bool isFloatKind() const {
+    return TheKind == Kind::FloatConst || TheKind == Kind::FloatRanges;
+  }
 
   /// When false, the *set* of possible values is valid but the per-point
   /// probabilities are not (the range descends from an assertion on a ⊥
@@ -269,6 +335,16 @@ public:
 
   double floatValue() const { return FloatVal; }
 
+  /// NaN probability mass of a FloatRanges value (cached in the handle;
+  /// the authoritative copy is interned in the FP slice). 0 otherwise.
+  double nanMass() const {
+    return TheKind == Kind::FloatRanges ? FloatVal : 0.0;
+  }
+
+  /// The FP interval set as an on-demand view over the FP arena slice.
+  /// Meaningful only for FloatRanges values.
+  FPIntervalView fpIntervals() const { return FPIntervalView(SliceId); }
+
   /// The subrange set as an on-demand view over the arena slice.
   SubRangeView subRanges() const { return SubRangeView(SliceId); }
 
@@ -278,8 +354,11 @@ public:
   uint32_t sliceId() const { return SliceId; }
 
   /// True when every subrange bound is numeric (O(1), cached per slice).
+  /// Non-Ranges kinds are trivially numeric (FP intervals never carry
+  /// symbolic bounds; their slice ids live in the FP id space).
   bool allNumeric() const {
-    return RangeArena::global().sliceAllNumeric(SliceId);
+    return TheKind != Kind::Ranges ||
+           RangeArena::global().sliceAllNumeric(SliceId);
   }
 
   /// If the range is a single integer constant {1[c:c:0]}, returns it.

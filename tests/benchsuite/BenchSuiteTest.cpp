@@ -81,7 +81,7 @@ INSTANTIATE_TEST_SUITE_P(AllPrograms, SuiteProgramTest,
 
 TEST(BenchSuiteTest, SuiteComposition) {
   EXPECT_EQ(integerSuite().size(), 10u);
-  EXPECT_EQ(numericSuite().size(), 8u);
+  EXPECT_EQ(numericSuite().size(), 9u);
   for (const BenchmarkProgram &P : integerSuite())
     EXPECT_FALSE(P.Numeric);
   for (const BenchmarkProgram &P : numericSuite())

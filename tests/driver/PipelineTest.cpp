@@ -213,7 +213,7 @@ TEST(PipelineTest, RejectsProgramsWithErrors) {
   EXPECT_TRUE(Diags.hasErrors());
 }
 
-TEST(PipelineTest, FinalizePredictionsUsesFallbackForLoads) {
+TEST(PipelineTest, FinalizePredictionsUsesAliasRangesForLoads) {
   const char *Source = R"(
     var g = 0;
     fn main() {
@@ -225,11 +225,24 @@ TEST(PipelineTest, FinalizePredictionsUsesFallbackForLoads) {
   auto Compiled = compileToSSA(Source, Diags);
   ASSERT_TRUE(Compiled) << Diags.firstError();
   const Function *Main = Compiled->IR->findFunction("main");
+
+  // g is a never-stored global: the alias pass resolves the load to the
+  // initializer, so the branch is predicted from ranges — and since g is
+  // always 0, the comparison against 7 is decided.
   FunctionVRPResult R = propagateRanges(*Main, VRPOptions());
   FinalPredictionMap Final = finalizePredictions(*Main, R);
   ASSERT_EQ(Final.size(), 1u);
-  // g is loaded from memory: range ⊥, heuristics take over (§3.5).
-  EXPECT_EQ(Final.begin()->second.Source, PredictionSource::Heuristic);
+  EXPECT_EQ(Final.begin()->second.Source, PredictionSource::Range);
+  EXPECT_EQ(Final.begin()->second.ProbTrue, 0.0);
+
+  // With the alias pass disabled, the load is ⊥ and heuristics take over
+  // (§3.5, the pre-alias behavior kept for ablation).
+  VRPOptions NoAlias;
+  NoAlias.EnableAliasRanges = false;
+  FunctionVRPResult ROff = propagateRanges(*Main, NoAlias);
+  FinalPredictionMap FinalOff = finalizePredictions(*Main, ROff);
+  ASSERT_EQ(FinalOff.size(), 1u);
+  EXPECT_EQ(FinalOff.begin()->second.Source, PredictionSource::Heuristic);
 }
 
 } // namespace

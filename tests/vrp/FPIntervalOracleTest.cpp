@@ -1,0 +1,329 @@
+//===- tests/vrp/FPIntervalOracleTest.cpp - FP interval sampling oracle ---===//
+//
+// Part of the VRP reproduction of Patterson, PLDI 1995.
+//
+// Randomized containment oracle for the floating-point interval kernels
+// (docs/DOMAINS.md). The integer oracle can enumerate its domain; the FP
+// domain cannot, so this test draws interval endpoints from a pool of
+// adversarial doubles (±0.0, denormals, huge magnitudes, ±inf), attaches
+// random probability and NaN mass, and checks every sampled concrete
+// result against the computed range: a finite/infinite result must lie
+// in some interval, a NaN result is legal exactly when the range carries
+// NaN mass, and ⊥ is trivially sound. Concrete arithmetic mirrors the
+// interpreter (x / 0.0 == 0.0, std::min/std::max selection semantics),
+// so the oracle exercises the same corner-evaluation rules the kernels
+// use — this test runs under UBSan in scripts/check.sh alongside the
+// integer oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vrp/RangeOps.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+using namespace vrp;
+
+namespace {
+
+/// Endpoint pool: every class of double the kernels special-case. The
+/// window (2^63 - 1024, 2^63] where float→int truncation is
+/// implementation-defined is deliberately absent.
+const double Pool[] = {
+    -HUGE_VAL, -1.0e300, -6.25e3,  -2.5,     -1.0,
+    -0.5,      -5e-324,  -0.0,     0.0,      5e-324,
+    1.0e-3,    0.5,      1.0,      3.75,     6.25e3,
+    1.0e300,   HUGE_VAL,
+};
+constexpr size_t PoolSize = sizeof(Pool) / sizeof(Pool[0]);
+
+struct RandomFP {
+  ValueRange VR;
+  std::vector<double> Samples; // Concrete members, NaN included last.
+};
+
+/// A random FP range (1–3 intervals, optional NaN mass) plus the sample
+/// set used as its concrete witnesses: both endpoints of every interval
+/// and every pool value the interval contains.
+RandomFP randomRange(std::mt19937_64 &Rng) {
+  std::uniform_int_distribution<size_t> PickPool(0, PoolSize - 1);
+  std::uniform_int_distribution<int> PickCount(1, 3);
+  std::uniform_int_distribution<int> PickNaN(0, 3);
+  std::uniform_real_distribution<double> PickWeight(0.1, 1.0);
+
+  int Count = PickCount(Rng);
+  double NaNMass = PickNaN(Rng) == 0 ? 0.25 : 0.0;
+  std::vector<FPInterval> Subs;
+  std::vector<double> Weights;
+  double Total = NaNMass;
+  for (int I = 0; I < Count; ++I) {
+    double A = Pool[PickPool(Rng)], B = Pool[PickPool(Rng)];
+    double Lo = std::min(A, B), Hi = std::max(A, B);
+    double W = PickWeight(Rng);
+    Subs.push_back(FPInterval(W, Lo, Hi));
+    Weights.push_back(W);
+    Total += W;
+  }
+  for (int I = 0; I < Count; ++I)
+    Subs[I].Prob = Weights[I] / Total;
+
+  RandomFP Out;
+  Out.VR = ValueRange::floatRanges(Subs, NaNMass / Total, 4);
+  for (const FPInterval &S : Subs) {
+    Out.Samples.push_back(S.Lo);
+    Out.Samples.push_back(S.Hi);
+    for (double V : Pool)
+      if (S.Lo <= V && V <= S.Hi)
+        Out.Samples.push_back(V);
+  }
+  if (NaNMass > 0.0)
+    Out.Samples.push_back(std::nan(""));
+  return Out;
+}
+
+/// Membership of a concrete value in a computed range. ⊥ claims nothing
+/// (sound); ⊤ must never escape the kernels on non-⊤ inputs.
+bool containsFP(const ValueRange &VR, double V) {
+  if (VR.isBottom())
+    return true;
+  if (VR.isFloatConst()) {
+    double C = VR.floatValue();
+    return std::isnan(V) ? std::isnan(C) : V == C;
+  }
+  if (!VR.isFloatRanges())
+    return false;
+  if (std::isnan(V))
+    return VR.nanMass() > 0.0;
+  FPIntervalView IV = VR.fpIntervals();
+  for (size_t I = 0; I < IV.size(); ++I)
+    if (IV[I].Lo <= V && V <= IV[I].Hi)
+      return true;
+  return false;
+}
+
+/// Probability mass must be conserved: intervals plus NaN sum to 1.
+void expectMassConserved(const ValueRange &VR, const char *What) {
+  if (!VR.isFloatRanges())
+    return;
+  double Mass = VR.nanMass();
+  FPIntervalView IV = VR.fpIntervals();
+  for (size_t I = 0; I < IV.size(); ++I)
+    Mass += IV[I].Prob;
+  EXPECT_NEAR(Mass, 1.0, 1e-6) << What << " lost probability mass";
+}
+
+/// Concrete scalar semantics, bit-for-bit the interpreter's
+/// (profile/Interpreter.cpp): division by zero yields 0.0 and min/max
+/// are `(b < a) ? b : a` selections.
+struct FPOp {
+  const char *Name;
+  ValueRange (RangeOps::*Fn)(const ValueRange &, const ValueRange &);
+  double (*Concrete)(double, double);
+};
+
+const FPOp BinaryOps[] = {
+    {"add", &RangeOps::add, [](double A, double B) { return A + B; }},
+    {"sub", &RangeOps::sub, [](double A, double B) { return A - B; }},
+    {"mul", &RangeOps::mul, [](double A, double B) { return A * B; }},
+    {"div", &RangeOps::div,
+     [](double A, double B) { return B == 0.0 ? 0.0 : A / B; }},
+    {"min", &RangeOps::minOp,
+     [](double A, double B) { return std::min(A, B); }},
+    {"max", &RangeOps::maxOp,
+     [](double A, double B) { return std::max(A, B); }},
+};
+
+class FPIntervalOracle : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FPIntervalOracle, SampledBinaryResultsAreContained) {
+  const FPOp &Op = BinaryOps[GetParam()];
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  std::mt19937_64 Rng(0xF10A7 + GetParam());
+
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    RandomFP L = randomRange(Rng);
+    RandomFP R = randomRange(Rng);
+    // Every third trial demotes one side to a float constant so the
+    // fpPromote path (FloatConst → singleton interval) is exercised.
+    if (Trial % 3 == 1) {
+      double C = L.Samples.front();
+      L.VR = ValueRange::floatConstant(C);
+      L.Samples = {C};
+    }
+    ValueRange Result = (Ops.*Op.Fn)(L.VR, R.VR);
+    if (Result.isBottom())
+      continue; // ⊥ claims nothing.
+    ASSERT_FALSE(Result.isTop())
+        << Op.Name << " produced ⊤ from non-⊤ inputs";
+    expectMassConserved(Result, Op.Name);
+    for (double A : L.Samples)
+      for (double B : R.Samples) {
+        double C = Op.Concrete(A, B);
+        if (!containsFP(Result, C))
+          ADD_FAILURE() << Op.Name << "(" << A << ", " << B << ") = " << C
+                        << " not covered by " << Result.str()
+                        << "\n  L = " << L.VR.str()
+                        << "\n  R = " << R.VR.str();
+      }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Binary, FPIntervalOracle,
+                         ::testing::Range<size_t>(0, std::size(BinaryOps)),
+                         [](const auto &Info) {
+                           return BinaryOps[Info.param].Name;
+                         });
+
+TEST(FPIntervalOracle, SampledUnaryResultsAreContained) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  std::mt19937_64 Rng(0xF10A8);
+
+  for (int Trial = 0; Trial < 600; ++Trial) {
+    RandomFP V = randomRange(Rng);
+    ValueRange Negated = Ops.neg(V.VR);
+    ValueRange Magnitude = Ops.absOp(V.VR);
+    expectMassConserved(Negated, "neg");
+    expectMassConserved(Magnitude, "abs");
+    for (double A : V.Samples) {
+      EXPECT_TRUE(containsFP(Negated, -A))
+          << "neg(" << A << ") not covered by " << Negated.str();
+      EXPECT_TRUE(containsFP(Magnitude, std::fabs(A)))
+          << "abs(" << A << ") not covered by " << Magnitude.str();
+    }
+  }
+}
+
+TEST(FPIntervalOracle, SampledFloatToIntResultsAreContained) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  std::mt19937_64 Rng(0xF10A9);
+
+  // The runtime rule: finite values inside the safely-truncatable int64
+  // window truncate, everything else produces 0.
+  const double WinLo = static_cast<double>(Int64Min);
+  const double WinHi = 9223372036854774784.0; // 2^63 - 1024.
+  auto Concrete = [&](double D) -> int64_t {
+    if (!std::isfinite(D) || D < WinLo || D > WinHi)
+      return 0;
+    return static_cast<int64_t>(std::trunc(D));
+  };
+  auto covers = [](const ValueRange &VR, int64_t V) {
+    if (VR.isBottom())
+      return true;
+    if (auto C = VR.asIntConstant())
+      return *C == V;
+    if (!VR.isRanges())
+      return false;
+    for (const SubRange &S : VR.subRanges()) {
+      if (!S.isNumeric())
+        return true;
+      if (V >= S.Lo.Offset && V <= S.Hi.Offset)
+        return true;
+    }
+    return false;
+  };
+
+  for (int Trial = 0; Trial < 600; ++Trial) {
+    RandomFP V = randomRange(Rng);
+    ValueRange Result = Ops.floatToInt(V.VR);
+    for (double A : V.Samples)
+      EXPECT_TRUE(covers(Result, Concrete(A)))
+          << "int(" << A << ") = " << Concrete(A) << " not covered by "
+          << Result.str() << " from " << V.VR.str();
+  }
+}
+
+TEST(FPIntervalOracle, CertainComparisonsAgreeWithEverySample) {
+  VRPOptions Opts;
+  RangeStats Stats;
+  RangeOps Ops(Opts, Stats);
+  std::mt19937_64 Rng(0xF10AA);
+
+  const CmpPred Preds[] = {CmpPred::LT, CmpPred::LE, CmpPred::GT,
+                           CmpPred::GE, CmpPred::EQ, CmpPred::NE};
+  auto Concrete = [](CmpPred P, double A, double B) {
+    switch (P) {
+    case CmpPred::LT:
+      return A < B;
+    case CmpPred::LE:
+      return A <= B;
+    case CmpPred::GT:
+      return A > B;
+    case CmpPred::GE:
+      return A >= B;
+    case CmpPred::EQ:
+      return A == B;
+    case CmpPred::NE:
+      return A != B;
+    }
+    return false;
+  };
+
+  // Certainty is a hard contract only when it is *set-level* — the
+  // operand hulls are strictly separated, so no concrete pair can
+  // disagree. (Exact 0/1 can also fall out of the continuous estimator
+  // by rounding — P = 1 - 3e-297 IS 1.0 in binary64 — so an exact
+  // result alone does not imply a set-level claim.)
+  auto hull = [](const ValueRange &VR, double &Lo, double &Hi) {
+    if (VR.isFloatConst()) {
+      Lo = Hi = VR.floatValue();
+      return true;
+    }
+    if (!VR.isFloatRanges() || VR.nanMass() > 0.0)
+      return false;
+    FPIntervalView IV = VR.fpIntervals();
+    Lo = HUGE_VAL;
+    Hi = -HUGE_VAL;
+    for (size_t I = 0; I < IV.size(); ++I) {
+      Lo = std::min(Lo, IV[I].Lo);
+      Hi = std::max(Hi, IV[I].Hi);
+    }
+    return !IV.empty();
+  };
+
+  int SeparatedSeen = 0;
+  for (int Trial = 0; Trial < 600; ++Trial) {
+    RandomFP L = randomRange(Rng);
+    RandomFP R = randomRange(Rng);
+    double LLo = 0, LHi = 0, RLo = 0, RHi = 0;
+    bool Hulls = hull(L.VR, LLo, LHi) && hull(R.VR, RLo, RHi);
+    for (CmpPred P : Preds) {
+      std::optional<double> Prob =
+          Ops.cmpProb(P, L.VR, R.VR, nullptr, nullptr);
+      if (Prob) {
+        EXPECT_GE(*Prob, 0.0);
+        EXPECT_LE(*Prob, 1.0);
+      }
+      if (!Hulls || (LHi >= RLo && RHi >= LLo))
+        continue; // Overlapping or NaN-tainted: estimates, not claims.
+      ++SeparatedSeen;
+      ASSERT_TRUE(Prob.has_value())
+          << "separated hulls must decide every predicate";
+      bool AllBelow = LHi < RLo; // Every a < every b.
+      bool Expect = Concrete(P, AllBelow ? LHi : LLo, AllBelow ? RLo : RHi);
+      EXPECT_EQ(*Prob, Expect ? 1.0 : 0.0)
+          << "pred " << static_cast<int>(P) << " on separated L = "
+          << L.VR.str() << ", R = " << R.VR.str();
+      for (double A : L.Samples)
+        for (double B : R.Samples)
+          if (!std::isnan(A) && !std::isnan(B) &&
+              Concrete(P, A, B) != Expect)
+            ADD_FAILURE() << "separated-hull claim violated by (" << A
+                          << ", " << B << ")\n  L = " << L.VR.str()
+                          << "\n  R = " << R.VR.str();
+    }
+  }
+  // The generator must actually produce separated pairs, or the test is
+  // vacuous.
+  EXPECT_GT(SeparatedSeen, 50);
+}
+
+} // namespace

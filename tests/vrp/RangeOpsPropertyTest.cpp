@@ -404,11 +404,23 @@ TEST(MeetWeighted, LatticeRules) {
   EXPECT_EQ(M.asIntConstant(), 5);
   // All-⊤ stays ⊤.
   EXPECT_TRUE(Ops.meetWeighted({{ValueRange::top(), 1.0}}).isTop());
-  // Equal float constants survive; different ones do not.
+  // Equal float constants survive; different ones meet into a weighted
+  // two-point FP range (docs/DOMAINS.md) — unless the FP lattice is
+  // disabled, which restores the old collapse to ⊥.
   ValueRange F1 = ValueRange::floatConstant(1.5);
   EXPECT_TRUE(Ops.meetWeighted({{F1, 0.5}, {F1, 0.5}}).isFloatConst());
-  EXPECT_TRUE(Ops.meetWeighted(
-                     {{F1, 0.5}, {ValueRange::floatConstant(2.5), 0.5}})
+  ValueRange FMet =
+      Ops.meetWeighted({{F1, 0.5}, {ValueRange::floatConstant(2.5), 0.5}});
+  ASSERT_TRUE(FMet.isFloatRanges());
+  EXPECT_EQ(FMet.fpIntervals().size(), 2u);
+  EXPECT_EQ(FMet.nanMass(), 0.0);
+  VRPOptions NoFP;
+  NoFP.EnableFPRanges = false;
+  RangeStats NoFPStats;
+  RangeOps NoFPOps(NoFP, NoFPStats);
+  EXPECT_TRUE(NoFPOps
+                  .meetWeighted(
+                      {{F1, 0.5}, {ValueRange::floatConstant(2.5), 0.5}})
                   .isBottom());
   // Identical constants merge into one subrange.
   ValueRange Same = Ops.meetWeighted({{C5, 0.3}, {C5, 0.7}});

@@ -97,8 +97,19 @@ TEST_F(RangeOpsUnitTest, Casts) {
   EXPECT_EQ(
       Ops.floatToInt(ValueRange::floatConstant(-3.99)).asIntConstant(),
       -3);
-  // Non-constant conversions degrade to ⊥ (the lattice tracks ints).
-  EXPECT_TRUE(Ops.intToFloat(numeric(1.0, 0, 5, 1)).isBottom());
+  // A non-constant int range converts into the FP interval hull; with
+  // the FP lattice disabled it degrades to ⊥ as before.
+  ValueRange Conv = Ops.intToFloat(numeric(1.0, 0, 5, 1));
+  ASSERT_TRUE(Conv.isFloatRanges());
+  EXPECT_EQ(Conv.fpIntervals().front().Lo, 0.0);
+  EXPECT_EQ(Conv.fpIntervals().back().Hi, 5.0);
+  {
+    VRPOptions NoFP;
+    NoFP.EnableFPRanges = false;
+    RangeStats NoFPStats;
+    RangeOps NoFPOps(NoFP, NoFPStats);
+    EXPECT_TRUE(NoFPOps.intToFloat(numeric(1.0, 0, 5, 1)).isBottom());
+  }
   EXPECT_TRUE(Ops.floatToInt(ValueRange::bottom()).isBottom());
   // ⊤ passes through (SCCP optimism).
   EXPECT_TRUE(Ops.intToFloat(ValueRange::top()).isTop());
